@@ -1,0 +1,74 @@
+//! Criterion bench for Figure 10: the three query predicates under both
+//! evaluation strategies as the query window grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ust_core::engine::{forall, ktimes, object_based, query_based, EngineConfig};
+use ust_core::EvalStats;
+use ust_data::workload;
+use ust_data::{synthetic, SyntheticConfig};
+
+fn bench_predicates(c: &mut Criterion) {
+    let data = synthetic::generate(&SyntheticConfig {
+        num_objects: 100,
+        num_states: 10_000,
+        ..SyntheticConfig::default()
+    });
+    let base = workload::paper_default_window(10_000).unwrap();
+    let config = EngineConfig::default();
+
+    let mut ob = c.benchmark_group("fig10a_predicates_object_based");
+    ob.sample_size(10).measurement_time(Duration::from_secs(3));
+    for len in [2u32, 6, 10] {
+        let window = workload::with_duration(&base, len).unwrap();
+        ob.bench_with_input(BenchmarkId::new("exists", len), &len, |b, _| {
+            b.iter(|| {
+                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
+                    .unwrap()
+            })
+        });
+        ob.bench_with_input(BenchmarkId::new("forall", len), &len, |b, _| {
+            b.iter(|| {
+                forall::evaluate_object_based(&data.db, &window, &config, &mut EvalStats::new())
+                    .unwrap()
+            })
+        });
+        ob.bench_with_input(BenchmarkId::new("ktimes", len), &len, |b, _| {
+            b.iter(|| {
+                ktimes::evaluate_object_based(&data.db, &window, &config, &mut EvalStats::new())
+                    .unwrap()
+            })
+        });
+    }
+    ob.finish();
+
+    let mut qb = c.benchmark_group("fig10b_predicates_query_based");
+    qb.sample_size(10).measurement_time(Duration::from_secs(3));
+    for len in [2u32, 6, 10] {
+        let window = workload::with_duration(&base, len).unwrap();
+        qb.bench_with_input(BenchmarkId::new("exists", len), &len, |b, _| {
+            b.iter(|| {
+                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
+                    .unwrap()
+            })
+        });
+        qb.bench_with_input(BenchmarkId::new("forall", len), &len, |b, _| {
+            b.iter(|| {
+                forall::evaluate_query_based(&data.db, &window, &config, &mut EvalStats::new())
+                    .unwrap()
+            })
+        });
+        qb.bench_with_input(BenchmarkId::new("ktimes", len), &len, |b, _| {
+            b.iter(|| {
+                ktimes::evaluate_query_based(&data.db, &window, &config, &mut EvalStats::new())
+                    .unwrap()
+            })
+        });
+    }
+    qb.finish();
+}
+
+criterion_group!(benches, bench_predicates);
+criterion_main!(benches);

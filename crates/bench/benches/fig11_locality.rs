@@ -1,0 +1,64 @@
+//! Criterion bench for Figure 11: sensitivity of both engines to the
+//! locality parameters `max_step` and `state_spread`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ust_core::engine::{object_based, query_based, EngineConfig};
+use ust_core::EvalStats;
+use ust_data::workload;
+use ust_data::{synthetic, SyntheticConfig};
+
+fn base() -> SyntheticConfig {
+    SyntheticConfig { num_objects: 100, num_states: 10_000, ..SyntheticConfig::default() }
+}
+
+fn bench_max_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11a_max_step");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for max_step in [10usize, 40, 100] {
+        let data = synthetic::generate(&SyntheticConfig { max_step, ..base() });
+        let window = workload::paper_default_window(10_000).unwrap();
+        let config = EngineConfig::default();
+        group.bench_with_input(BenchmarkId::new("OB", max_step), &max_step, |b, _| {
+            b.iter(|| {
+                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("QB", max_step), &max_step, |b, _| {
+            b.iter(|| {
+                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_state_spread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11b_state_spread");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for state_spread in [2usize, 10, 20] {
+        let data = synthetic::generate(&SyntheticConfig { state_spread, ..base() });
+        let window = workload::paper_default_window(10_000).unwrap();
+        let config = EngineConfig::default();
+        group.bench_with_input(BenchmarkId::new("OB", state_spread), &state_spread, |b, _| {
+            b.iter(|| {
+                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("QB", state_spread), &state_spread, |b, _| {
+            b.iter(|| {
+                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_max_step, bench_state_spread);
+criterion_main!(benches);

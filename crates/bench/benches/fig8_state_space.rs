@@ -1,0 +1,51 @@
+//! Criterion bench for Figure 8: PST∃Q runtime vs `|S|` for the
+//! Monte-Carlo competitor and the two exact engines.
+//!
+//! Scaled down from the paper's parameters so `cargo bench` stays fast; the
+//! `paper_experiments` binary reproduces the full sweeps.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ust_core::engine::monte_carlo::MonteCarlo;
+use ust_core::engine::{object_based, query_based, EngineConfig};
+use ust_core::EvalStats;
+use ust_data::workload::paper_default_window;
+use ust_data::{synthetic, SyntheticConfig};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_exists_vs_states");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for states in [2_000usize, 10_000] {
+        let data = synthetic::generate(&SyntheticConfig {
+            num_objects: 100,
+            num_states: states,
+            ..SyntheticConfig::default()
+        });
+        let window = paper_default_window(states).unwrap();
+        let config = EngineConfig::default();
+        let mc = MonteCarlo::new(100, 1);
+
+        group.bench_with_input(BenchmarkId::new("MC@100", states), &states, |b, _| {
+            b.iter(|| mc.evaluate_exists(&data.db, &window, &mut EvalStats::new()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("OB", states), &states, |b, _| {
+            b.iter(|| {
+                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("QB", states), &states, |b, _| {
+            b.iter(|| {
+                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

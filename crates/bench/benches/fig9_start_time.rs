@@ -1,0 +1,113 @@
+//! Criterion bench for Figure 9(a)–(c): PST∃Q runtime vs query start time
+//! on synthetic data and a road network, plus the temporal-independence
+//! model evaluation used by Fig. 9(d).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ust_core::engine::{independent, object_based, query_based, EngineConfig};
+use ust_core::{EvalStats, QueryWindow};
+use ust_data::network_data::{self, NetworkObjectConfig};
+use ust_data::workload;
+use ust_data::{synthetic, SyntheticConfig};
+use ust_space::{NetworkConfig, TimeSet};
+
+fn bench_synthetic_start_time(c: &mut Criterion) {
+    let data = synthetic::generate(&SyntheticConfig {
+        num_objects: 200,
+        num_states: 10_000,
+        ..SyntheticConfig::default()
+    });
+    let base = workload::paper_default_window(10_000).unwrap();
+    let config = EngineConfig::default();
+
+    let mut group = c.benchmark_group("fig9a_start_time_synthetic");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for start in [5u32, 25, 50] {
+        let window = workload::with_start_time(&base, start).unwrap();
+        group.bench_with_input(BenchmarkId::new("OB", start), &start, |b, _| {
+            b.iter(|| {
+                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("QB", start), &start, |b, _| {
+            b.iter(|| {
+                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_network_start_time(c: &mut Criterion) {
+    let dataset = network_data::generate(
+        &NetworkConfig { num_nodes: 5_000, num_edges: 6_400, extent: 200.0, seed: 0xB9 },
+        &NetworkObjectConfig { num_objects: 200, object_spread: 5, seed: 0xB9 },
+    );
+    let n = dataset.network.num_nodes();
+    let config = EngineConfig::default();
+
+    let mut group = c.benchmark_group("fig9bc_start_time_road_network");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for start in [5u32, 25, 50] {
+        let window =
+            QueryWindow::from_states(n, 100usize..=120, TimeSet::interval(start, start + 5))
+                .unwrap();
+        group.bench_with_input(BenchmarkId::new("OB", start), &start, |b, _| {
+            b.iter(|| {
+                object_based::evaluate(&dataset.db, &window, &config, &mut EvalStats::new())
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("QB", start), &start, |b, _| {
+            b.iter(|| {
+                query_based::evaluate(&dataset.db, &window, &config, &mut EvalStats::new())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_independence_model(c: &mut Criterion) {
+    // Fig. 9(d) compares accuracy; this measures the evaluation cost of the
+    // two models on the same window (both are forward passes).
+    let data = synthetic::generate(&SyntheticConfig {
+        num_objects: 200,
+        num_states: 10_000,
+        ..SyntheticConfig::default()
+    });
+    let window = workload::paper_default_window(10_000).unwrap();
+    let config = EngineConfig::default();
+
+    let mut group = c.benchmark_group("fig9d_model_comparison");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("with_temporal_correlation(OB)", |b| {
+        b.iter(|| {
+            object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
+        })
+    });
+    group.bench_function("without_temporal_correlation", |b| {
+        b.iter(|| {
+            independent::evaluate_exists_independent(
+                &data.db,
+                &window,
+                &config,
+                &mut EvalStats::new(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_synthetic_start_time,
+    bench_network_start_time,
+    bench_independence_model
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the sparse kernels every query reduces to:
+//! sparse/dense vector–matrix products, the backward matvec, transposition
+//! and mask extraction.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ust_markov::testutil;
+use ust_markov::{DenseVector, SparseVector, SpmvScratch, StateMask};
+
+fn bench_vecmat(c: &mut Criterion) {
+    let mut rng = testutil::rng(42);
+    let n = 50_000;
+    let matrix = testutil::random_banded_stochastic(&mut rng, n, 5, 40);
+
+    let mut group = c.benchmark_group("kernel_vecmat");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    // Sparse input at several support sizes.
+    for nnz in [5usize, 500, 5_000] {
+        let v = testutil::random_distribution(&mut rng, n, nnz);
+        let mut scratch = SpmvScratch::new();
+        group.bench_with_input(BenchmarkId::new("sparse", nnz), &nnz, |b, _| {
+            b.iter(|| matrix.vecmat_sparse_with(&v, &mut scratch).unwrap())
+        });
+    }
+
+    // Dense input.
+    let dense = DenseVector::uniform(n).unwrap();
+    group.bench_function("dense_forward", |b| {
+        b.iter(|| matrix.vecmat_dense(&dense).unwrap())
+    });
+    group.bench_function("dense_backward_matvec", |b| {
+        b.iter(|| matrix.matvec_dense(&dense).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_transpose_and_masks(c: &mut Criterion) {
+    let mut rng = testutil::rng(7);
+    let n = 50_000;
+    let matrix = testutil::random_banded_stochastic(&mut rng, n, 5, 40);
+
+    let mut group = c.benchmark_group("kernel_structure");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("transpose_50k", |b| b.iter(|| matrix.transpose()));
+
+    let mask = StateMask::from_indices(n, 100usize..=120).unwrap();
+    let v = testutil::random_distribution(&mut rng, n, 2_000);
+    group.bench_function("masked_extract_sparse", |b| {
+        b.iter_batched(
+            || v.clone(),
+            |mut v| v.extract_masked(&mask),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let dense = v.to_dense();
+    group.bench_function("masked_extract_dense", |b| {
+        b.iter_batched(
+            || dense.clone(),
+            |mut d| d.extract_masked(&mask),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_sparse_ops(c: &mut Criterion) {
+    let mut rng = testutil::rng(9);
+    let n = 50_000;
+    let a = testutil::random_distribution(&mut rng, n, 2_000);
+    let b_vec = testutil::random_distribution(&mut rng, n, 2_000);
+    let dense = b_vec.to_dense();
+
+    let mut group = c.benchmark_group("kernel_sparse_vector_ops");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.bench_function("dot_sparse_sparse", |b| {
+        b.iter(|| a.dot_sparse(&b_vec).unwrap())
+    });
+    group.bench_function("dot_sparse_dense", |b| {
+        b.iter(|| a.dot_dense(&dense).unwrap())
+    });
+    group.bench_function("add_sparse", |b| b.iter(|| a.add(&b_vec).unwrap()));
+    group.bench_function("from_dense_threshold", |b| {
+        b.iter(|| SparseVector::from_dense(&dense, 1e-12))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vecmat, bench_transpose_and_masks, bench_sparse_ops);
+criterion_main!(benches);

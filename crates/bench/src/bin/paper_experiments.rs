@@ -1,0 +1,118 @@
+//! Regenerates every figure of the paper's evaluation section.
+//!
+//! ```text
+//! paper_experiments [--scale ci|paper] [--only fig8a,fig9d,...] [--out DIR]
+//! ```
+//!
+//! Prints each experiment as a Markdown table (the format EXPERIMENTS.md
+//! archives) and, when `--out` is given, writes one CSV per experiment.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ust_bench::{experiments, Scale};
+
+struct Args {
+    scale: Scale,
+    only: Option<Vec<String>>,
+    out_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { scale: Scale::Ci, only: None, out_dir: None };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = iter.next().ok_or("--scale requires a value")?;
+                args.scale = Scale::parse(&value)
+                    .ok_or_else(|| format!("unknown scale '{value}' (use ci|paper)"))?;
+            }
+            "--only" => {
+                let value = iter.next().ok_or("--only requires a value")?;
+                let ids: Vec<String> = value.split(',').map(|s| s.trim().to_string()).collect();
+                for id in &ids {
+                    if !experiments::known_ids().contains(&id.as_str()) {
+                        return Err(format!(
+                            "unknown experiment '{id}'; known: {}",
+                            experiments::known_ids().join(", ")
+                        ));
+                    }
+                }
+                args.only = Some(ids);
+            }
+            "--out" => {
+                let value = iter.next().ok_or("--out requires a directory")?;
+                args.out_dir = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: paper_experiments [--scale ci|paper] [--only id,id,...] [--out DIR]\n\
+                     experiments: {}",
+                    experiments::known_ids().join(", ")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scale_name = match args.scale {
+        Scale::Ci => "ci",
+        Scale::Paper => "paper",
+    };
+    println!("# Paper experiment reproduction (scale: {scale_name})\n");
+    println!(
+        "Reproducing the evaluation of Emrich et al., *Querying Uncertain \
+         Spatio-Temporal Data*, ICDE 2012.\n"
+    );
+
+    if let Some(dir) = &args.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create output directory {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Run experiments lazily, streaming each result as it completes.
+    let ids: Vec<String> = match &args.only {
+        Some(ids) => ids.clone(),
+        None => experiments::known_ids().iter().map(|s| s.to_string()).collect(),
+    };
+
+    for id in &ids {
+        let started = std::time::Instant::now();
+        let output =
+            experiments::by_id(id, args.scale).expect("ids validated during parsing");
+        println!("## {} (`{}`)\n", output.title, output.id);
+        println!("{}", output.table.to_markdown());
+        println!("*Expected shape:* {}\n", output.expectation);
+        println!("*(experiment wall time: {:.1}s)*\n", started.elapsed().as_secs_f64());
+        if let Some(dir) = &args.out_dir {
+            let path = dir.join(format!("{}.csv", output.id));
+            if let Err(e) = output.table.write_csv(&path) {
+                eprintln!("error: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        // Flush so long runs stream progress.
+        let _ = std::io::stdout().flush();
+    }
+
+    if let Some(dir) = &args.out_dir {
+        println!("CSV series written to {}", dir.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,130 @@
+//! Figure 10 — runtime of the three query predicates (∃, ∀, k-times) as a
+//! function of the query window length, for both evaluation strategies.
+
+use ust_core::engine::{forall, ktimes, object_based, query_based, EngineConfig};
+use ust_core::EvalStats;
+use ust_data::csv::fmt_secs;
+use ust_data::workload;
+use ust_data::{synthetic, ResultTable, SyntheticConfig, SyntheticDataset};
+
+use crate::{time, ExperimentOutput, Scale};
+
+fn dataset(scale: Scale) -> SyntheticDataset {
+    let cfg = match scale {
+        Scale::Ci => SyntheticConfig {
+            num_objects: 500,
+            num_states: 10_000,
+            ..SyntheticConfig::default()
+        },
+        Scale::Paper => SyntheticConfig::default(),
+    };
+    synthetic::generate(&cfg)
+}
+
+fn window_lengths(scale: Scale) -> Vec<u32> {
+    match scale {
+        Scale::Ci => vec![1, 3, 5, 7, 10],
+        Scale::Paper => (1..=10).collect(),
+    }
+}
+
+/// Figure 10(a): OB runtime of PST∃Q / PST∀Q / PSTkQ vs window length.
+pub fn fig10a(scale: Scale) -> ExperimentOutput {
+    let data = dataset(scale);
+    let config = EngineConfig::default();
+    let base =
+        workload::paper_default_window(data.config.num_states).expect("window fits");
+    let mut table =
+        ResultTable::new(["window timeslots", "∃OB (s)", "∀OB (s)", "kOB (s)"]);
+    for len in window_lengths(scale) {
+        let window = workload::with_duration(&base, len).expect("valid");
+        let (e_t, _) = time(|| {
+            object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
+        });
+        let (a_t, _) = time(|| {
+            forall::evaluate_object_based(&data.db, &window, &config, &mut EvalStats::new())
+                .unwrap()
+        });
+        let (k_t, _) = time(|| {
+            ktimes::evaluate_object_based(&data.db, &window, &config, &mut EvalStats::new())
+                .unwrap()
+        });
+        table.push_row([len.to_string(), fmt_secs(e_t), fmt_secs(a_t), fmt_secs(k_t)]);
+    }
+    ExperimentOutput {
+        id: "fig10a".into(),
+        title: "Fig. 10(a) — OB runtime of the three predicates vs window length".into(),
+        table,
+        expectation: "PSTkQ is the most expensive (it maintains |T▫|+1 vectors per object); \
+                      PST∃Q and PST∀Q stay close to each other (the paper found them equal \
+                      in all settings)."
+            .into(),
+    }
+}
+
+/// Figure 10(b): QB runtime of the three predicates vs window length.
+pub fn fig10b(scale: Scale) -> ExperimentOutput {
+    let data = dataset(scale);
+    let config = EngineConfig::default();
+    let base =
+        workload::paper_default_window(data.config.num_states).expect("window fits");
+    let mut table =
+        ResultTable::new(["window timeslots", "∃QB (s)", "∀QB (s)", "kQB (s)"]);
+    for len in window_lengths(scale) {
+        let window = workload::with_duration(&base, len).expect("valid");
+        let (e_t, _) = time(|| {
+            query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
+        });
+        let (a_t, _) = time(|| {
+            forall::evaluate_query_based(&data.db, &window, &config, &mut EvalStats::new())
+                .unwrap()
+        });
+        let (k_t, _) = time(|| {
+            ktimes::evaluate_query_based(&data.db, &window, &config, &mut EvalStats::new())
+                .unwrap()
+        });
+        table.push_row([len.to_string(), fmt_secs(e_t), fmt_secs(a_t), fmt_secs(k_t)]);
+    }
+    ExperimentOutput {
+        id: "fig10b".into(),
+        title: "Fig. 10(b) — QB runtime of the three predicates vs window length".into(),
+        table,
+        expectation: "All predicates run in fractions of a second under QB; the k-times \
+                      variant scales roughly linearly with the window length (one backward \
+                      level vector per possible count)."
+            .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ust_core::QueryWindow;
+    use ust_space::TimeSet;
+
+    #[test]
+    fn predicates_are_mutually_consistent_on_micro_data() {
+        // The identity P∃ = 1 − P(k=0) and P∀ = P(k=|T▫|) must hold on the
+        // generated synthetic data for both strategies.
+        let data = synthetic::generate(&SyntheticConfig {
+            num_objects: 15,
+            num_states: 1_500,
+            ..SyntheticConfig::default()
+        });
+        let config = EngineConfig::default();
+        let window =
+            QueryWindow::from_states(1_500, 100usize..=120, TimeSet::interval(8, 11)).unwrap();
+        let exists =
+            object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap();
+        let forall_r =
+            forall::evaluate_query_based(&data.db, &window, &config, &mut EvalStats::new())
+                .unwrap();
+        let kdist =
+            ktimes::evaluate_object_based(&data.db, &window, &config, &mut EvalStats::new())
+                .unwrap();
+        for ((e, a), k) in exists.iter().zip(&forall_r).zip(&kdist) {
+            assert!((e.probability - k.prob_at_least_once()).abs() < 1e-9);
+            assert!((a.probability - k.prob_always()).abs() < 1e-9);
+        }
+    }
+}

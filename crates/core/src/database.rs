@@ -1,0 +1,200 @@
+//! The uncertain-trajectory database `D`.
+//!
+//! Holds the transition models (one shared chain in the common case the
+//! paper optimizes for, or several per-class chains as discussed in
+//! Section V-C) and the uncertain objects referencing them.
+
+use std::sync::Arc;
+
+use ust_markov::MarkovChain;
+
+use crate::error::{QueryError, Result};
+use crate::object::UncertainObject;
+
+/// A database of uncertain spatio-temporal objects over one or more
+/// transition models.
+#[derive(Debug, Clone)]
+pub struct TrajectoryDatabase {
+    models: Vec<Arc<MarkovChain>>,
+    objects: Vec<UncertainObject>,
+}
+
+impl TrajectoryDatabase {
+    /// Creates a database with a single shared model (the paper's primary
+    /// setting: "all objects follow the same model").
+    pub fn new(chain: MarkovChain) -> Self {
+        TrajectoryDatabase { models: vec![Arc::new(chain)], objects: Vec::new() }
+    }
+
+    /// Creates a database with several models (e.g. buses / trucks / cars).
+    pub fn with_models(chains: Vec<MarkovChain>) -> Result<Self> {
+        if chains.is_empty() {
+            return Err(QueryError::UnknownModel { model: 0 });
+        }
+        let dim = chains[0].num_states();
+        for c in &chains {
+            if c.num_states() != dim {
+                return Err(QueryError::ModelDimensionMismatch {
+                    model_states: dim,
+                    object_states: c.num_states(),
+                });
+            }
+        }
+        Ok(TrajectoryDatabase {
+            models: chains.into_iter().map(Arc::new).collect(),
+            objects: Vec::new(),
+        })
+    }
+
+    /// Adds an object after validating its model reference and dimensions.
+    pub fn insert(&mut self, object: UncertainObject) -> Result<()> {
+        let model = object.model();
+        let chain = self
+            .models
+            .get(model)
+            .ok_or(QueryError::UnknownModel { model })?;
+        if object.num_states() != chain.num_states() {
+            return Err(QueryError::ModelDimensionMismatch {
+                model_states: chain.num_states(),
+                object_states: object.num_states(),
+            });
+        }
+        self.objects.push(object);
+        Ok(())
+    }
+
+    /// Bulk insert.
+    pub fn insert_all<I: IntoIterator<Item = UncertainObject>>(&mut self, objects: I) -> Result<()> {
+        for o in objects {
+            self.insert(o)?;
+        }
+        Ok(())
+    }
+
+    /// Number of objects `|D|`.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects are stored.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Number of states of the (shared-dimension) state space.
+    pub fn num_states(&self) -> usize {
+        self.models[0].num_states()
+    }
+
+    /// All objects.
+    pub fn objects(&self) -> &[UncertainObject] {
+        &self.objects
+    }
+
+    /// The object with database index `idx`.
+    pub fn object(&self, idx: usize) -> Option<&UncertainObject> {
+        self.objects.get(idx)
+    }
+
+    /// All transition models.
+    pub fn models(&self) -> &[Arc<MarkovChain>] {
+        &self.models
+    }
+
+    /// The model a given object follows.
+    pub fn model_of(&self, object: &UncertainObject) -> &Arc<MarkovChain> {
+        &self.models[object.model()]
+    }
+
+    /// The shared model, when there is exactly one.
+    pub fn shared_model(&self) -> Option<&Arc<MarkovChain>> {
+        if self.models.len() == 1 {
+            Some(&self.models[0])
+        } else {
+            None
+        }
+    }
+
+    /// Groups object indices by model index (used by the query-based engine
+    /// to amortize one backward pass per model, per Section V-C).
+    pub fn objects_by_model(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.models.len()];
+        for (idx, o) in self.objects.iter().enumerate() {
+            groups[o.model()].push(idx);
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Observation;
+    use ust_markov::CsrMatrix;
+
+    fn chain3() -> MarkovChain {
+        MarkovChain::from_csr(
+            CsrMatrix::from_dense(&[
+                vec![0.0, 0.0, 1.0],
+                vec![0.6, 0.0, 0.4],
+                vec![0.0, 0.8, 0.2],
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn object(id: u64, state: usize) -> UncertainObject {
+        UncertainObject::with_single_observation(id, Observation::exact(0, 3, state).unwrap())
+    }
+
+    #[test]
+    fn insert_and_query_objects() {
+        let mut db = TrajectoryDatabase::new(chain3());
+        db.insert(object(1, 0)).unwrap();
+        db.insert(object(2, 1)).unwrap();
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_empty());
+        assert_eq!(db.num_states(), 3);
+        assert_eq!(db.object(0).unwrap().id(), 1);
+        assert!(db.object(5).is_none());
+        assert!(db.shared_model().is_some());
+    }
+
+    #[test]
+    fn insert_validates_model_and_dimension() {
+        let mut db = TrajectoryDatabase::new(chain3());
+        let bad_model = object(3, 0).with_model(7);
+        assert_eq!(db.insert(bad_model), Err(QueryError::UnknownModel { model: 7 }));
+        let bad_dim = UncertainObject::with_single_observation(
+            4,
+            Observation::exact(0, 5, 0).unwrap(),
+        );
+        assert!(matches!(
+            db.insert(bad_dim),
+            Err(QueryError::ModelDimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_model_grouping() {
+        let mut db = TrajectoryDatabase::with_models(vec![chain3(), chain3()]).unwrap();
+        db.insert_all([
+            object(1, 0),
+            object(2, 1).with_model(1),
+            object(3, 2),
+        ])
+        .unwrap();
+        assert!(db.shared_model().is_none());
+        let groups = db.objects_by_model();
+        assert_eq!(groups, vec![vec![0, 2], vec![1]]);
+        assert_eq!(db.model_of(db.object(1).unwrap()).num_states(), 3);
+    }
+
+    #[test]
+    fn with_models_validates() {
+        assert!(TrajectoryDatabase::with_models(vec![]).is_err());
+        let two = MarkovChain::from_csr(CsrMatrix::identity(2)).unwrap();
+        assert!(TrajectoryDatabase::with_models(vec![chain3(), two]).is_err());
+    }
+}

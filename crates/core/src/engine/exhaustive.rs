@@ -1,0 +1,250 @@
+//! Exact possible-worlds enumeration — the ground truth oracle.
+//!
+//! The paper observes that the number of possible worlds is `O(|S|^δt)`,
+//! making enumeration infeasible in general — that blow-up is the whole
+//! motivation for the matrix framework. On *tiny* instances, however,
+//! enumeration is the perfect test oracle: this module walks every path of
+//! non-zero probability, weights it (including multi-observation
+//! likelihoods, Section VI semantics), and tallies each query predicate
+//! directly from the definition. Every exact engine in this crate is
+//! cross-checked against it.
+
+use ust_markov::MarkovChain;
+
+use crate::engine::object_based::validate;
+use crate::error::{QueryError, Result};
+use crate::object::UncertainObject;
+use crate::query::QueryWindow;
+
+/// Exact results of the enumeration: the full visit-count distribution and
+/// the derived predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExhaustiveResult {
+    /// `P(k)` for `k ∈ {0..|T▫|}` under possible-worlds semantics.
+    pub ktimes: Vec<f64>,
+}
+
+impl ExhaustiveResult {
+    /// PST∃Q probability.
+    pub fn exists(&self) -> f64 {
+        1.0 - self.ktimes.first().copied().unwrap_or(1.0)
+    }
+
+    /// PST∀Q probability.
+    pub fn forall(&self) -> f64 {
+        self.ktimes.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Enumerates all possible worlds of `object` between its first observation
+/// and `max(t_end, last observation)`, conditioning on every observation
+/// (Section VI) and tallying window visit counts.
+///
+/// `budget` caps the number of expanded path prefixes; exceeding it returns
+/// [`QueryError::ExhaustiveBudgetExceeded`] instead of hanging the caller.
+pub fn enumerate(
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    window: &QueryWindow,
+    budget: u64,
+) -> Result<ExhaustiveResult> {
+    validate(chain, object, window)?;
+    let k_max = window.num_times();
+    let anchor = object.anchor();
+    let horizon = window.t_end().max(object.last_observation().time());
+
+    let mut tally = vec![0.0f64; k_max + 1];
+    let mut total = 0.0f64;
+    let mut expansions = 0u64;
+
+    // Depth-first over (time, state, weight, visits).
+    struct Frame {
+        t: u32,
+        state: usize,
+        weight: f64,
+        visits: usize,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    for (s, p) in anchor.distribution().iter() {
+        if p > 0.0 {
+            let visits = usize::from(
+                window.time_in_window(anchor.time()) && window.states().contains(s),
+            );
+            stack.push(Frame { t: anchor.time(), state: s, weight: p, visits });
+        }
+    }
+
+    while let Some(frame) = stack.pop() {
+        expansions += 1;
+        if expansions > budget {
+            return Err(QueryError::ExhaustiveBudgetExceeded { budget });
+        }
+        if frame.t == horizon {
+            tally[frame.visits.min(k_max)] += frame.weight;
+            total += frame.weight;
+            continue;
+        }
+        let (cols, vals) = chain.matrix().row(frame.state);
+        let next_t = frame.t + 1;
+        for (&c, &p) in cols.iter().zip(vals) {
+            if p == 0.0 {
+                continue;
+            }
+            let state = c as usize;
+            let mut weight = frame.weight * p;
+            // Condition on an observation at next_t, if any (Lemma 1).
+            if let Some(obs) = object.observation_at(next_t) {
+                weight *= obs.distribution().get(state);
+                if weight == 0.0 {
+                    continue;
+                }
+            }
+            let visits = frame.visits
+                + usize::from(
+                    window.time_in_window(next_t) && window.states().contains(state),
+                );
+            stack.push(Frame { t: next_t, state, weight, visits });
+        }
+    }
+
+    if total <= 0.0 {
+        return Err(QueryError::ImpossibleEvidence);
+    }
+    // Possible-worlds semantics (Equation 1): normalize by the surviving
+    // world mass (total = 1 when no conditioning removed worlds).
+    Ok(ExhaustiveResult { ktimes: tally.into_iter().map(|w| w / total).collect() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Observation;
+    use ust_markov::CsrMatrix;
+    use ust_space::TimeSet;
+
+    fn paper_chain() -> MarkovChain {
+        MarkovChain::from_csr(
+            CsrMatrix::from_dense(&[
+                vec![0.0, 0.0, 1.0],
+                vec![0.6, 0.0, 0.4],
+                vec![0.0, 0.8, 0.2],
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn object_at_s2() -> UncertainObject {
+        UncertainObject::with_single_observation(1, Observation::exact(0, 3, 1).unwrap())
+    }
+
+    fn paper_window() -> QueryWindow {
+        QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap()
+    }
+
+    #[test]
+    fn reproduces_all_worked_examples() {
+        let r = enumerate(&paper_chain(), &object_at_s2(), &paper_window(), 1 << 20).unwrap();
+        assert!((r.exists() - 0.864).abs() < 1e-12);
+        assert!((r.ktimes[0] - 0.136).abs() < 1e-12);
+        assert!((r.ktimes[1] - 0.672).abs() < 1e-12);
+        assert!((r.ktimes[2] - 0.192).abs() < 1e-12);
+        assert!((r.forall() - 0.192).abs() < 1e-12);
+        assert!((r.ktimes.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        assert!(matches!(
+            enumerate(&paper_chain(), &object_at_s2(), &paper_window(), 3),
+            Err(QueryError::ExhaustiveBudgetExceeded { budget: 3 })
+        ));
+    }
+
+    #[test]
+    fn section_6_multi_observation_example() {
+        // Chain of Section VI (row 2 = 0.5/0.5), obs s1@t0 and the paper's
+        // uncertain observation (s2 or s5→ here states s2/s... the paper
+        // uses obs = (0, 0.5, 0, 0, 0.5, 0) over the doubled space, i.e.
+        // location s2 with the hit flag unknown). With a point observation
+        // at s2@t3 and window S▫={s2}, T▫={1,2}: the only consistent path
+        // is s1→s3→s3→s2, which avoids the window → P∃ = 0.
+        let chain = MarkovChain::from_csr(
+            CsrMatrix::from_dense(&[
+                vec![0.0, 0.0, 1.0],
+                vec![0.5, 0.0, 0.5],
+                vec![0.0, 0.8, 0.2],
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let object = UncertainObject::new(
+            2,
+            vec![
+                Observation::exact(0, 3, 0).unwrap(),
+                Observation::exact(3, 3, 1).unwrap(),
+            ],
+        )
+        .unwrap();
+        let window = QueryWindow::from_states(3, [1usize], TimeSet::interval(1, 2)).unwrap();
+        let r = enumerate(&chain, &object, &window, 1 << 20).unwrap();
+        assert!(r.exists().abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditioning_renormalizes_worlds() {
+        // Observation at t=1 fixes the state to s1 (reachable from s2 with
+        // p=0.6). Conditioned on that, a window {s1}×{1} is hit surely.
+        let object = UncertainObject::new(
+            3,
+            vec![
+                Observation::exact(0, 3, 1).unwrap(),
+                Observation::exact(1, 3, 0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let window = QueryWindow::from_states(3, [0usize], TimeSet::at(1)).unwrap();
+        let r = enumerate(&paper_chain(), &object, &window, 1 << 20).unwrap();
+        assert!((r.exists() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impossible_evidence_detected() {
+        let object = UncertainObject::new(
+            4,
+            vec![
+                Observation::exact(0, 3, 1).unwrap(),
+                Observation::exact(1, 3, 1).unwrap(), // s2 → s2 impossible
+            ],
+        )
+        .unwrap();
+        let window = QueryWindow::from_states(3, [0usize], TimeSet::at(1)).unwrap();
+        assert!(matches!(
+            enumerate(&paper_chain(), &object, &window, 1 << 20),
+            Err(QueryError::ImpossibleEvidence)
+        ));
+    }
+
+    #[test]
+    fn horizon_extends_to_late_observation() {
+        // Observation after t_end still conditions the result.
+        let object = UncertainObject::new(
+            5,
+            vec![
+                Observation::exact(0, 3, 1).unwrap(),
+                Observation::exact(4, 3, 1).unwrap(),
+            ],
+        )
+        .unwrap();
+        let window = QueryWindow::from_states(3, [0usize], TimeSet::at(1)).unwrap();
+        let unconditioned = enumerate(
+            &paper_chain(),
+            &object_at_s2(),
+            &window,
+            1 << 20,
+        )
+        .unwrap();
+        let conditioned = enumerate(&paper_chain(), &object, &window, 1 << 20).unwrap();
+        assert!((conditioned.exists() - unconditioned.exists()).abs() > 1e-6);
+    }
+}

@@ -1,0 +1,490 @@
+//! PSTkQ evaluation — Section VII of the paper.
+//!
+//! Computes, for each object, the full distribution over the number of
+//! query timestamps `k ∈ {0..|T▫|}` at which the object is inside `S▫`.
+//!
+//! Three implementations:
+//!
+//! * [`ktimes_distribution_ob`] — the paper's memory-efficient algorithm:
+//!   a `(|T▫|+1) × |S|` matrix `C(t)` whose row `i` holds the probability
+//!   mass currently at each state *having visited the window exactly `i`
+//!   times*; a transition steps every row through `M`, and each query
+//!   timestamp "shifts down" the columns of `S▫` by one row.
+//! * [`ktimes_distribution_qb`] — a query-based counterpart (the paper
+//!   reports its runtime in Fig. 10(b) without spelling out the algorithm):
+//!   backward level vectors `f_t(s, j)` = probability of exactly `j`
+//!   further window visits in `(t, t_end]` given state `s` at `t`,
+//!   propagated with one `M·w` product per level and step — hence the
+//!   "scales rather linearly with k" behaviour the paper observes.
+//! * [`ktimes_distribution_blowup`] — the explicit `S × {0..|T▫|}`
+//!   blown-up-matrix construction, kept as the executable specification
+//!   (exercised by tests on small instances).
+
+use std::collections::BTreeMap;
+
+use ust_markov::augmented;
+use ust_markov::{DenseVector, MarkovChain, PropagationVector, SpmvScratch};
+
+use crate::database::TrajectoryDatabase;
+use crate::engine::object_based::validate;
+use crate::engine::EngineConfig;
+use crate::error::Result;
+use crate::object::UncertainObject;
+use crate::query::{ObjectKDistribution, QueryWindow};
+use crate::stats::EvalStats;
+
+/// The paper's memory-efficient `C(t)` algorithm (object-based).
+///
+/// Returns `P(k)` for `k ∈ {0..|T▫|}` (length `|T▫| + 1`).
+pub fn ktimes_distribution_ob(
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    window: &QueryWindow,
+    config: &EngineConfig,
+) -> Result<Vec<f64>> {
+    ktimes_distribution_ob_with_stats(chain, object, window, config, &mut EvalStats::new())
+}
+
+/// As [`ktimes_distribution_ob`], accumulating counters into `stats`.
+pub fn ktimes_distribution_ob_with_stats(
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<f64>> {
+    validate(chain, object, window)?;
+    let k_max = window.num_times();
+    let anchor = object.anchor();
+    let t0 = anchor.time();
+    let t_end = window.t_end();
+    let mut scratch = SpmvScratch::new();
+
+    // rows[i] = mass at each state having visited the window exactly i times.
+    let mut rows: Vec<PropagationVector> = Vec::with_capacity(k_max + 1);
+    rows.push(
+        PropagationVector::from_sparse(anchor.distribution().clone())
+            .with_densify_threshold(config.densify_threshold),
+    );
+    for _ in 0..k_max {
+        rows.push(
+            PropagationVector::from_sparse(ust_markov::SparseVector::zeros(
+                chain.num_states(),
+            ))
+            .with_densify_threshold(config.densify_threshold),
+        );
+    }
+
+    // Footnote 3: an anchor inside T▫ starts window-resident mass at k = 1.
+    if window.time_in_window(t0) {
+        shift_down(&mut rows, window)?;
+    }
+
+    for t in t0..t_end {
+        for row in rows.iter_mut() {
+            if row.nnz() == 0 {
+                continue;
+            }
+            row.step(chain.matrix(), &mut scratch)?;
+            stats.transitions += 1;
+            if config.epsilon > 0.0 {
+                stats.pruned_mass += row.prune(config.epsilon);
+            }
+        }
+        if window.time_in_window(t + 1) {
+            shift_down(&mut rows, window)?;
+        }
+    }
+    stats.objects_evaluated += 1;
+    Ok(rows.iter().map(|r| r.sum()).collect())
+}
+
+/// The column shift of the `C(t)` algorithm: for every state `s ∈ S▫`, the
+/// mass at count level `i` moves to level `i + 1` (processed top-down so
+/// each unit of mass moves exactly once).
+fn shift_down(rows: &mut [PropagationVector], window: &QueryWindow) -> Result<()> {
+    let k_max = rows.len() - 1;
+    for i in (0..k_max).rev() {
+        let moved = rows[i].split_masked(window.states());
+        if moved.nnz() > 0 {
+            rows[i + 1].add_sparse(&moved)?;
+        }
+    }
+    Ok(())
+}
+
+/// Backward level field for query-based PSTkQ: snapshots (per anchor time)
+/// of the level vectors `f_t(·, j)`, `j ∈ {0..|T▫|}`.
+#[derive(Debug, Clone)]
+pub struct KTimesBackwardField {
+    snapshots: BTreeMap<u32, Vec<DenseVector>>,
+}
+
+impl KTimesBackwardField {
+    /// Computes the field down to the earliest requested anchor time.
+    pub fn compute(
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        anchor_times: &[u32],
+        stats: &mut EvalStats,
+    ) -> Result<KTimesBackwardField> {
+        let n = chain.num_states();
+        let k_max = window.num_times();
+        let t_end = window.t_end();
+        let t_min = anchor_times.iter().copied().min().unwrap_or(t_end);
+        let mut wanted: Vec<u32> = anchor_times.to_vec();
+        wanted.sort_unstable();
+        wanted.dedup();
+
+        // Boundary at t_end: zero further visits with certainty.
+        let mut levels: Vec<DenseVector> = Vec::with_capacity(k_max + 1);
+        levels.push(DenseVector::from_vec(vec![1.0; n]));
+        for _ in 0..k_max {
+            levels.push(DenseVector::zeros(n));
+        }
+
+        let mut snapshots = BTreeMap::new();
+        if wanted.binary_search(&t_end).is_ok() {
+            snapshots.insert(t_end, levels.clone());
+        }
+        let mut t = t_end;
+        while t > t_min {
+            let target_in = window.time_in_window(t);
+            let mut next: Vec<DenseVector> = Vec::with_capacity(k_max + 1);
+            for j in 0..=k_max {
+                let w = if target_in {
+                    // Entering a window state consumes one visit level.
+                    let mut w = levels[j].clone();
+                    let slice = w.as_mut_slice();
+                    if j == 0 {
+                        for s in window.states().iter() {
+                            slice[s] = 0.0;
+                        }
+                    } else {
+                        let lower = levels[j - 1].as_slice();
+                        for s in window.states().iter() {
+                            slice[s] = lower[s];
+                        }
+                    }
+                    w
+                } else {
+                    levels[j].clone()
+                };
+                next.push(chain.matrix().matvec_dense(&w)?);
+                stats.backward_steps += 1;
+            }
+            levels = next;
+            t -= 1;
+            if wanted.binary_search(&t).is_ok() {
+                snapshots.insert(t, levels.clone());
+            }
+        }
+        Ok(KTimesBackwardField { snapshots })
+    }
+
+    /// Answers one object from the field.
+    pub fn object_distribution(
+        &self,
+        object: &UncertainObject,
+        window: &QueryWindow,
+    ) -> Option<Vec<f64>> {
+        let anchor = object.anchor();
+        let levels = self.snapshots.get(&anchor.time())?;
+        let k_max = levels.len() - 1;
+        let anchor_in = window.time_in_window(anchor.time());
+        let mut out = vec![0.0; k_max + 1];
+        for (s, mass) in anchor.distribution().iter() {
+            let counts_now = anchor_in && window.states().contains(s);
+            for (k, slot) in out.iter_mut().enumerate() {
+                let f = if counts_now {
+                    if k == 0 {
+                        0.0
+                    } else {
+                        levels[k - 1].get(s)
+                    }
+                } else {
+                    levels[k].get(s)
+                };
+                *slot += mass * f;
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Query-based PSTkQ for a single object.
+pub fn ktimes_distribution_qb(
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    window: &QueryWindow,
+    config: &EngineConfig,
+) -> Result<Vec<f64>> {
+    let _ = config;
+    validate(chain, object, window)?;
+    let field = KTimesBackwardField::compute(
+        chain,
+        window,
+        &[object.anchor().time()],
+        &mut EvalStats::new(),
+    )?;
+    Ok(field
+        .object_distribution(object, window)
+        .expect("anchor snapshot was requested"))
+}
+
+/// Reference implementation over the explicit blown-up matrices of
+/// Section VII (`S′ = S × {0..|T▫|}`). Exponential memory in nothing, but
+/// `(|T▫|+1)·|S|`-dimensional — use for validation on small instances only.
+pub fn ktimes_distribution_blowup(
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    window: &QueryWindow,
+) -> Result<Vec<f64>> {
+    validate(chain, object, window)?;
+    let n = chain.num_states();
+    let k_max = window.num_times();
+    let levels = k_max + 1;
+    let minus = augmented::ktimes_minus(chain.matrix(), levels);
+    let plus = augmented::ktimes_plus(chain.matrix(), window.states(), levels);
+
+    let anchor = object.anchor();
+    let mut v = DenseVector::zeros(levels * n);
+    for (s, p) in anchor.distribution().iter() {
+        // Footnote 3: anchor mass inside the window starts at level 1.
+        let level = if window.time_in_window(anchor.time()) && window.states().contains(s) {
+            1
+        } else {
+            0
+        };
+        v.set(level * n + s, p).map_err(crate::error::QueryError::from)?;
+    }
+    for t in anchor.time()..window.t_end() {
+        let m = if window.time_in_window(t + 1) { &plus } else { &minus };
+        v = m.vecmat_dense(&v)?;
+    }
+    Ok((0..levels)
+        .map(|k| (0..n).map(|s| v.get(k * n + s)).sum())
+        .collect())
+}
+
+/// PSTkQ for the whole database, object-based `C(t)` algorithm.
+pub fn evaluate_object_based(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectKDistribution>> {
+    let mut results = Vec::with_capacity(db.len());
+    for object in db.objects() {
+        let chain = db.model_of(object);
+        let probabilities =
+            ktimes_distribution_ob_with_stats(chain, object, window, config, stats)?;
+        results.push(ObjectKDistribution { object_id: object.id(), probabilities });
+    }
+    Ok(results)
+}
+
+/// PSTkQ for the whole database, query-based: one backward level sweep per
+/// model, one `(|T▫|+1)`-way dot product per object.
+pub fn evaluate_query_based(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectKDistribution>> {
+    let _ = config;
+    let mut results: Vec<Option<ObjectKDistribution>> = vec![None; db.len()];
+    for (model_idx, members) in db.objects_by_model().into_iter().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        let chain = &db.models()[model_idx];
+        let mut anchors = Vec::with_capacity(members.len());
+        for &idx in &members {
+            let object = db.object(idx).expect("index from enumeration");
+            validate(chain, object, window)?;
+            anchors.push(object.anchor().time());
+        }
+        let field = KTimesBackwardField::compute(chain, window, &anchors, stats)?;
+        for &idx in &members {
+            let object = db.object(idx).expect("index from enumeration");
+            let probabilities = field
+                .object_distribution(object, window)
+                .expect("anchor snapshot was requested");
+            stats.objects_evaluated += 1;
+            results[idx] =
+                Some(ObjectKDistribution { object_id: object.id(), probabilities });
+        }
+    }
+    Ok(results.into_iter().map(|r| r.expect("every object belongs to a model")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Observation;
+    use ust_markov::CsrMatrix;
+    use ust_space::TimeSet;
+
+    fn paper_chain() -> MarkovChain {
+        MarkovChain::from_csr(
+            CsrMatrix::from_dense(&[
+                vec![0.0, 0.0, 1.0],
+                vec![0.6, 0.0, 0.4],
+                vec![0.0, 0.8, 0.2],
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn object_at_s2() -> UncertainObject {
+        UncertainObject::with_single_observation(1, Observation::exact(0, 3, 1).unwrap())
+    }
+
+    fn paper_window() -> QueryWindow {
+        QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap()
+    }
+
+    #[test]
+    fn section_7_worked_example() {
+        // The paper derives P(k = 0, 1, 2) = (0.136, 0.672, 0.192).
+        let dist = ktimes_distribution_ob(
+            &paper_chain(),
+            &object_at_s2(),
+            &paper_window(),
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(dist.len(), 3);
+        assert!((dist[0] - 0.136).abs() < 1e-12, "{dist:?}");
+        assert!((dist[1] - 0.672).abs() < 1e-12, "{dist:?}");
+        assert!((dist[2] - 0.192).abs() < 1e-12, "{dist:?}");
+    }
+
+    #[test]
+    fn qb_and_blowup_match_worked_example() {
+        let qb = ktimes_distribution_qb(
+            &paper_chain(),
+            &object_at_s2(),
+            &paper_window(),
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        let blow =
+            ktimes_distribution_blowup(&paper_chain(), &object_at_s2(), &paper_window())
+                .unwrap();
+        for (k, expected) in [0.136, 0.672, 0.192].into_iter().enumerate() {
+            assert!((qb[k] - expected).abs() < 1e-12, "qb = {qb:?}");
+            assert!((blow[k] - expected).abs() < 1e-12, "blowup = {blow:?}");
+        }
+    }
+
+    #[test]
+    fn distribution_sums_to_one_and_ties_to_exists_forall() {
+        let config = EngineConfig::default();
+        let chain = paper_chain();
+        let o = object_at_s2();
+        let w = paper_window();
+        let dist = ktimes_distribution_ob(&chain, &o, &w, &config).unwrap();
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let exists =
+            crate::engine::object_based::exists_probability(&chain, &o, &w, &config).unwrap();
+        assert!((1.0 - dist[0] - exists).abs() < 1e-12);
+        let forall =
+            crate::engine::forall::forall_probability_ob(&chain, &o, &w, &config).unwrap();
+        assert!((dist[dist.len() - 1] - forall).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anchor_inside_window_starts_at_level_one() {
+        // Anchor at t=2 (∈ T▫) on state s1 (∈ S▫): already one visit.
+        let o = UncertainObject::with_single_observation(
+            1,
+            Observation::exact(2, 3, 0).unwrap(),
+        );
+        for dist in [
+            ktimes_distribution_ob(&paper_chain(), &o, &paper_window(), &EngineConfig::default())
+                .unwrap(),
+            ktimes_distribution_qb(&paper_chain(), &o, &paper_window(), &EngineConfig::default())
+                .unwrap(),
+            ktimes_distribution_blowup(&paper_chain(), &o, &paper_window()).unwrap(),
+        ] {
+            assert!(dist[0].abs() < 1e-12, "{dist:?}");
+            // From s1 at t=2, the object moves to s3 ∉ S▫ at t=3: k = 1
+            // with certainty.
+            assert!((dist[1] - 1.0).abs() < 1e-12, "{dist:?}");
+            assert!(dist[2].abs() < 1e-12, "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn three_engines_agree_on_uncertain_anchor() {
+        let chain = paper_chain();
+        let start =
+            ust_markov::SparseVector::from_pairs(3, [(0, 0.3), (1, 0.3), (2, 0.4)]).unwrap();
+        let o = UncertainObject::with_single_observation(
+            2,
+            Observation::uncertain(0, start).unwrap(),
+        );
+        let w = QueryWindow::from_states(3, [1usize], TimeSet::new([1, 3, 4])).unwrap();
+        let config = EngineConfig::default();
+        let ob = ktimes_distribution_ob(&chain, &o, &w, &config).unwrap();
+        let qb = ktimes_distribution_qb(&chain, &o, &w, &config).unwrap();
+        let blow = ktimes_distribution_blowup(&chain, &o, &w).unwrap();
+        assert_eq!(ob.len(), 4);
+        for k in 0..4 {
+            assert!((ob[k] - qb[k]).abs() < 1e-12, "k={k}: ob={ob:?} qb={qb:?}");
+            assert!((ob[k] - blow[k]).abs() < 1e-12, "k={k}: ob={ob:?} blow={blow:?}");
+        }
+    }
+
+    #[test]
+    fn batch_evaluators_agree() {
+        let mut db = TrajectoryDatabase::new(paper_chain());
+        for s in 0..3usize {
+            db.insert(UncertainObject::with_single_observation(
+                s as u64,
+                Observation::exact(0, 3, s).unwrap(),
+            ))
+            .unwrap();
+        }
+        let w = paper_window();
+        let ob = evaluate_object_based(&db, &w, &EngineConfig::default(), &mut EvalStats::new())
+            .unwrap();
+        let qb = evaluate_query_based(&db, &w, &EngineConfig::default(), &mut EvalStats::new())
+            .unwrap();
+        for (a, b) in ob.iter().zip(&qb) {
+            assert_eq!(a.object_id, b.object_id);
+            for (x, y) in a.probabilities.iter().zip(&b.probabilities) {
+                assert!((x - y).abs() < 1e-12);
+            }
+            assert!((a.probabilities.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expected_visits_matches_marginal_sum() {
+        // E[visits] = Σ_{t∈T▫} P(o(t) ∈ S▫) — linearity of expectation
+        // (holds even though the joint distribution is correlated).
+        let chain = paper_chain();
+        let o = object_at_s2();
+        let w = paper_window();
+        let dist =
+            ktimes_distribution_ob(&chain, &o, &w, &EngineConfig::default()).unwrap();
+        let expected: f64 =
+            dist.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        let mut marginal_sum = 0.0;
+        let mut v = o.anchor().distribution().to_dense();
+        for t in 0..=w.t_end() {
+            if t > 0 {
+                v = chain.step_dense(&v).unwrap();
+            }
+            if w.time_in_window(t) {
+                marginal_sum += v.masked_sum(w.states());
+            }
+        }
+        assert!((expected - marginal_sum).abs() < 1e-12);
+    }
+}

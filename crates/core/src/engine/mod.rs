@@ -1,0 +1,146 @@
+//! Query evaluation engines.
+//!
+//! Implements the paper's two exact strategies — the **object-based (OB)**
+//! forward approach (Section V-A) and the **query-based (QB)** backward
+//! approach (Section V-B) — for all three predicates (∃, ∀, k-times), plus
+//! the comparison baselines of the evaluation:
+//!
+//! * [`object_based`] / [`query_based`] — exact possible-worlds evaluation
+//!   using the virtual `M−`/`M+` operators;
+//! * [`forall`] — PST∀Q by complement reduction (Section VII);
+//! * [`ktimes`] — the memory-efficient `C(t)` algorithm (Section VII), a
+//!   QB counterpart, and the blown-up-matrix reference;
+//! * [`monte_carlo`] — the sampling competitor (MC in Fig. 8);
+//! * [`independent`] — the temporal-independence model prior work uses
+//!   (the strawman of Fig. 1 / accuracy experiment Fig. 9d);
+//! * [`exhaustive`] — exact possible-world enumeration for tiny instances,
+//!   the ground truth of the test suite.
+
+pub mod exhaustive;
+pub mod forall;
+pub mod independent;
+pub mod ktimes;
+pub mod monte_carlo;
+pub mod object_based;
+pub mod query_based;
+
+use crate::database::TrajectoryDatabase;
+use crate::error::Result;
+use crate::query::{ObjectKDistribution, ObjectProbability, QueryWindow};
+use crate::stats::EvalStats;
+
+/// Tuning knobs shared by the exact engines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// ε-pruning threshold: probability entries `≤ epsilon` are dropped
+    /// during propagation (`0.0` = exact). The dropped mass is reported in
+    /// [`EvalStats::pruned_mass`] and bounds the absolute result error.
+    pub epsilon: f64,
+    /// Density at which propagation vectors switch from sparse to dense
+    /// (see `ust_markov::hybrid`); `≥ 1.0` forces always-sparse, `0.0`
+    /// always-dense.
+    pub densify_threshold: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { epsilon: 0.0, densify_threshold: 0.25 }
+    }
+}
+
+impl EngineConfig {
+    /// The exact configuration (no pruning, adaptive representation).
+    pub fn exact() -> Self {
+        EngineConfig::default()
+    }
+
+    /// Sets the ε-pruning threshold.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the sparse→dense switching threshold.
+    pub fn with_densify_threshold(mut self, threshold: f64) -> Self {
+        self.densify_threshold = threshold;
+        self
+    }
+}
+
+/// High-level façade tying a database to the engines.
+///
+/// ```
+/// use ust_core::prelude::*;
+/// use ust_markov::{CsrMatrix, MarkovChain};
+/// use ust_space::TimeSet;
+///
+/// // The running-example chain of the paper (Section V).
+/// let chain = MarkovChain::from_csr(CsrMatrix::from_dense(&[
+///     vec![0.0, 0.0, 1.0],
+///     vec![0.6, 0.0, 0.4],
+///     vec![0.0, 0.8, 0.2],
+/// ]).unwrap()).unwrap();
+/// let mut db = TrajectoryDatabase::new(chain);
+/// db.insert(UncertainObject::with_single_observation(
+///     7, Observation::exact(0, 3, 1).unwrap(),
+/// )).unwrap();
+///
+/// let window = QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap();
+/// let processor = QueryProcessor::new(&db);
+/// let ob = processor.exists_object_based(&window).unwrap();
+/// let qb = processor.exists_query_based(&window).unwrap();
+/// assert!((ob[0].probability - 0.864).abs() < 1e-12);
+/// assert!((qb[0].probability - 0.864).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryProcessor<'a> {
+    db: &'a TrajectoryDatabase,
+    config: EngineConfig,
+}
+
+impl<'a> QueryProcessor<'a> {
+    /// Creates a processor with the exact default configuration.
+    pub fn new(db: &'a TrajectoryDatabase) -> Self {
+        QueryProcessor { db, config: EngineConfig::default() }
+    }
+
+    /// Creates a processor with a custom configuration.
+    pub fn with_config(db: &'a TrajectoryDatabase, config: EngineConfig) -> Self {
+        QueryProcessor { db, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// PST∃Q for every object, object-based (forward) evaluation.
+    pub fn exists_object_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
+        object_based::evaluate(self.db, window, &self.config, &mut EvalStats::new())
+    }
+
+    /// PST∃Q for every object, query-based (backward) evaluation.
+    pub fn exists_query_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
+        query_based::evaluate(self.db, window, &self.config, &mut EvalStats::new())
+    }
+
+    /// PST∀Q for every object, object-based evaluation.
+    pub fn forall_object_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
+        forall::evaluate_object_based(self.db, window, &self.config, &mut EvalStats::new())
+    }
+
+    /// PST∀Q for every object, query-based evaluation.
+    pub fn forall_query_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
+        forall::evaluate_query_based(self.db, window, &self.config, &mut EvalStats::new())
+    }
+
+    /// PSTkQ for every object, object-based (`C(t)` algorithm).
+    pub fn ktimes_object_based(&self, window: &QueryWindow) -> Result<Vec<ObjectKDistribution>> {
+        ktimes::evaluate_object_based(self.db, window, &self.config, &mut EvalStats::new())
+    }
+
+    /// PSTkQ for every object, query-based evaluation.
+    pub fn ktimes_query_based(&self, window: &QueryWindow) -> Result<Vec<ObjectKDistribution>> {
+        ktimes::evaluate_query_based(self.db, window, &self.config, &mut EvalStats::new())
+    }
+}

@@ -1,0 +1,384 @@
+//! Monte-Carlo path sampling — the paper's baseline competitor (MC).
+//!
+//! Samples complete trajectories ("possible worlds") of each object and
+//! reports the fraction satisfying the query predicate. The paper uses this
+//! as the state-of-the-art stand-in and shows it is orders of magnitude
+//! slower than OB/QB while only approximating the answer: sampling is a
+//! Bernoulli sequence, so the estimate carries a standard deviation of
+//! `σ = √(p(1−p)/n)` — at the paper's 100 samples, up to 5 percentage
+//! points.
+//!
+//! One sampled walk serves all three predicates (∃ / ∀ / k-times): we count
+//! window visits along the walk and derive each predicate from the count.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ust_markov::{MarkovChain, SparseVector};
+
+use crate::database::TrajectoryDatabase;
+use crate::engine::object_based::validate;
+use crate::error::Result;
+use crate::object::UncertainObject;
+use crate::query::{ObjectKDistribution, ObjectProbability, QueryWindow};
+use crate::stats::EvalStats;
+
+/// Monte-Carlo estimator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarlo {
+    /// Trajectories sampled per object (the paper uses 100).
+    pub samples: usize,
+    /// RNG seed (estimates are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for MonteCarlo {
+    fn default() -> Self {
+        MonteCarlo { samples: 100, seed: 0xC0FFEE }
+    }
+}
+
+impl MonteCarlo {
+    /// Creates an estimator with the given sample count.
+    pub fn new(samples: usize, seed: u64) -> Self {
+        MonteCarlo { samples, seed }
+    }
+
+    /// The standard deviation of the estimate `p̂` at `n` samples:
+    /// `σ = √(p(1−p)/n)` (the paper's accuracy argument against MC).
+    pub fn standard_error(p: f64, n: usize) -> f64 {
+        if n == 0 {
+            return f64::INFINITY;
+        }
+        (p * (1.0 - p) / n as f64).sqrt()
+    }
+
+    /// Samples the visit-count distribution for one object; the basis of
+    /// all three predicates.
+    pub fn visit_counts(
+        &self,
+        chain: &MarkovChain,
+        object: &UncertainObject,
+        window: &QueryWindow,
+    ) -> Result<Vec<f64>> {
+        validate(chain, object, window)?;
+        let k_max = window.num_times();
+        let mut counts = vec![0u64; k_max + 1];
+        let mut rng = StdRng::seed_from_u64(self.seed ^ object.id().wrapping_mul(0x9E3779B97F4A7C15));
+        let anchor = object.anchor();
+        let t_end = window.t_end();
+        for _ in 0..self.samples {
+            let mut state = sample_sparse(anchor.distribution(), &mut rng);
+            let mut visits = 0usize;
+            if window.time_in_window(anchor.time()) && window.states().contains(state) {
+                visits += 1;
+            }
+            for t in anchor.time()..t_end {
+                state = sample_row(chain, state, &mut rng);
+                if window.time_in_window(t + 1) && window.states().contains(state) {
+                    visits += 1;
+                }
+            }
+            counts[visits.min(k_max)] += 1;
+        }
+        Ok(counts
+            .into_iter()
+            .map(|c| c as f64 / self.samples.max(1) as f64)
+            .collect())
+    }
+
+    /// PST∃Q estimate: fraction of sampled worlds with ≥ 1 window visit.
+    pub fn exists_probability(
+        &self,
+        chain: &MarkovChain,
+        object: &UncertainObject,
+        window: &QueryWindow,
+    ) -> Result<f64> {
+        Ok(1.0 - self.visit_counts(chain, object, window)?[0])
+    }
+
+    /// PST∀Q estimate: fraction of worlds visiting at every query time.
+    pub fn forall_probability(
+        &self,
+        chain: &MarkovChain,
+        object: &UncertainObject,
+        window: &QueryWindow,
+    ) -> Result<f64> {
+        let counts = self.visit_counts(chain, object, window)?;
+        Ok(*counts.last().expect("k distribution has |T▫|+1 entries"))
+    }
+
+    /// PSTkQ estimate.
+    pub fn ktimes_distribution(
+        &self,
+        chain: &MarkovChain,
+        object: &UncertainObject,
+        window: &QueryWindow,
+    ) -> Result<Vec<f64>> {
+        self.visit_counts(chain, object, window)
+    }
+
+    /// PST∃Q estimates for the whole database.
+    pub fn evaluate_exists(
+        &self,
+        db: &TrajectoryDatabase,
+        window: &QueryWindow,
+        stats: &mut EvalStats,
+    ) -> Result<Vec<ObjectProbability>> {
+        let mut out = Vec::with_capacity(db.len());
+        for object in db.objects() {
+            let chain = db.model_of(object);
+            let probability = self.exists_probability(chain, object, window)?;
+            stats.objects_evaluated += 1;
+            // Each sample walks δt transitions.
+            stats.transitions +=
+                (self.samples as u64) * u64::from(window.t_end() - object.anchor().time());
+            out.push(ObjectProbability { object_id: object.id(), probability });
+        }
+        Ok(out)
+    }
+
+    /// PSTkQ estimates for the whole database.
+    pub fn evaluate_ktimes(
+        &self,
+        db: &TrajectoryDatabase,
+        window: &QueryWindow,
+    ) -> Result<Vec<ObjectKDistribution>> {
+        db.objects()
+            .iter()
+            .map(|object| {
+                let chain = db.model_of(object);
+                Ok(ObjectKDistribution {
+                    object_id: object.id(),
+                    probabilities: self.ktimes_distribution(chain, object, window)?,
+                })
+            })
+            .collect()
+    }
+
+    /// Importance-sampled PST∃Q with multiple observations (Section VI):
+    /// paths are sampled from the first observation and weighted by the
+    /// likelihood of the remaining observations; the estimate is the
+    /// weighted fraction of paths intersecting the window. Serves as the
+    /// sampling cross-check for the exact doubled-state-space algorithm.
+    pub fn exists_probability_multi(
+        &self,
+        chain: &MarkovChain,
+        object: &UncertainObject,
+        window: &QueryWindow,
+    ) -> Result<f64> {
+        validate(chain, object, window)?;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ object.id().wrapping_mul(0x9E3779B97F4A7C15));
+        let anchor = object.anchor();
+        let horizon = window.t_end().max(object.last_observation().time());
+        let mut weighted_hits = 0.0;
+        let mut total_weight = 0.0;
+        for _ in 0..self.samples {
+            let mut state = sample_sparse(anchor.distribution(), &mut rng);
+            let mut weight = 1.0;
+            let mut hit = window.time_in_window(anchor.time()) && window.states().contains(state);
+            for t in anchor.time()..horizon {
+                state = sample_row(chain, state, &mut rng);
+                if window.time_in_window(t + 1) && window.states().contains(state) {
+                    hit = true;
+                }
+                if let Some(obs) = object.observation_at(t + 1) {
+                    weight *= obs.distribution().get(state);
+                    if weight == 0.0 {
+                        break;
+                    }
+                }
+            }
+            if weight > 0.0 {
+                total_weight += weight;
+                if hit {
+                    weighted_hits += weight;
+                }
+            }
+        }
+        if total_weight == 0.0 {
+            return Err(crate::error::QueryError::ImpossibleEvidence);
+        }
+        Ok(weighted_hits / total_weight)
+    }
+}
+
+/// Draws a state from a sparse distribution by inverse-CDF walking.
+fn sample_sparse(dist: &SparseVector, rng: &mut StdRng) -> usize {
+    let u: f64 = rng.random::<f64>() * dist.sum();
+    let mut acc = 0.0;
+    let mut last = 0;
+    for (i, p) in dist.iter() {
+        acc += p;
+        last = i;
+        if u < acc {
+            return i;
+        }
+    }
+    last // numeric tail: return the final support state
+}
+
+/// Draws the successor of `state` from the chain's transition row.
+fn sample_row(chain: &MarkovChain, state: usize, rng: &mut StdRng) -> usize {
+    let (cols, vals) = chain.matrix().row(state);
+    debug_assert!(!cols.is_empty(), "stochastic rows are non-empty");
+    let u: f64 = rng.random();
+    let mut acc = 0.0;
+    for (&c, &p) in cols.iter().zip(vals) {
+        acc += p;
+        if u < acc {
+            return c as usize;
+        }
+    }
+    cols[cols.len() - 1] as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::observation::Observation;
+    use ust_markov::CsrMatrix;
+    use ust_space::TimeSet;
+
+    fn paper_chain() -> MarkovChain {
+        MarkovChain::from_csr(
+            CsrMatrix::from_dense(&[
+                vec![0.0, 0.0, 1.0],
+                vec![0.6, 0.0, 0.4],
+                vec![0.0, 0.8, 0.2],
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn object_at_s2() -> UncertainObject {
+        UncertainObject::with_single_observation(1, Observation::exact(0, 3, 1).unwrap())
+    }
+
+    fn paper_window() -> QueryWindow {
+        QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap()
+    }
+
+    #[test]
+    fn estimate_converges_to_0864() {
+        let mc = MonteCarlo::new(40_000, 7);
+        let p = mc
+            .exists_probability(&paper_chain(), &object_at_s2(), &paper_window())
+            .unwrap();
+        // 4σ tolerance at n = 40,000: ≈ 0.0069.
+        let tol = 4.0 * MonteCarlo::standard_error(0.864, 40_000);
+        assert!((p - 0.864).abs() < tol, "estimate {p} off by more than {tol}");
+    }
+
+    #[test]
+    fn k_distribution_converges_to_section_7_values() {
+        let mc = MonteCarlo::new(40_000, 11);
+        let dist = mc
+            .ktimes_distribution(&paper_chain(), &object_at_s2(), &paper_window())
+            .unwrap();
+        for (k, expected) in [0.136, 0.672, 0.192].into_iter().enumerate() {
+            let tol = 4.0 * MonteCarlo::standard_error(expected, 40_000);
+            assert!((dist[k] - expected).abs() < tol, "k={k}: {dist:?}");
+        }
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forall_equals_top_count_bucket() {
+        let mc = MonteCarlo::new(5_000, 3);
+        let counts = mc
+            .visit_counts(&paper_chain(), &object_at_s2(), &paper_window())
+            .unwrap();
+        let forall = mc
+            .forall_probability(&paper_chain(), &object_at_s2(), &paper_window())
+            .unwrap();
+        assert_eq!(counts[counts.len() - 1], forall);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mc = MonteCarlo::new(500, 42);
+        let a = mc
+            .exists_probability(&paper_chain(), &object_at_s2(), &paper_window())
+            .unwrap();
+        let b = mc
+            .exists_probability(&paper_chain(), &object_at_s2(), &paper_window())
+            .unwrap();
+        assert_eq!(a, b);
+        let c = MonteCarlo::new(500, 43)
+            .exists_probability(&paper_chain(), &object_at_s2(), &paper_window())
+            .unwrap();
+        assert_ne!(a, c, "different seeds should (virtually always) differ");
+    }
+
+    #[test]
+    fn standard_error_formula() {
+        assert!((MonteCarlo::standard_error(0.5, 100) - 0.05).abs() < 1e-12);
+        assert_eq!(MonteCarlo::standard_error(0.5, 0), f64::INFINITY);
+        assert_eq!(MonteCarlo::standard_error(0.0, 100), 0.0);
+    }
+
+    #[test]
+    fn batch_evaluation_counts_transitions() {
+        let mut db = TrajectoryDatabase::new(paper_chain());
+        db.insert(object_at_s2()).unwrap();
+        let mc = MonteCarlo::new(100, 1);
+        let mut stats = EvalStats::new();
+        let results = mc.evaluate_exists(&db, &paper_window(), &mut stats).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(stats.transitions, 300); // 100 samples × 3 transitions
+        let kresults = mc.evaluate_ktimes(&db, &paper_window()).unwrap();
+        assert_eq!(kresults[0].probabilities.len(), 3);
+    }
+
+    #[test]
+    fn multi_observation_importance_sampling() {
+        // Section VI example: obs s1@t0 and s2@t3 force P∃ = 0 for the
+        // window S▫ = {s2}, T▫ = {1, 2} under the modified chain.
+        let chain = MarkovChain::from_csr(
+            CsrMatrix::from_dense(&[
+                vec![0.0, 0.0, 1.0],
+                vec![0.5, 0.0, 0.5],
+                vec![0.0, 0.8, 0.2],
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let object = UncertainObject::new(
+            5,
+            vec![
+                Observation::exact(0, 3, 0).unwrap(),
+                Observation::exact(3, 3, 1).unwrap(),
+            ],
+        )
+        .unwrap();
+        let window = QueryWindow::from_states(3, [1usize], TimeSet::interval(1, 2)).unwrap();
+        let mc = MonteCarlo::new(20_000, 5);
+        let p = mc.exists_probability_multi(&chain, &object, &window).unwrap();
+        assert!(p.abs() < 1e-12, "only the non-hitting path is consistent, got {p}");
+        let _ = EngineConfig::default();
+    }
+
+    #[test]
+    fn impossible_evidence_is_reported() {
+        // Second observation at an unreachable state.
+        let chain = paper_chain();
+        let object = UncertainObject::new(
+            6,
+            vec![
+                Observation::exact(0, 3, 1).unwrap(),
+                // From s2, reaching s2 again at t=1 is impossible.
+                Observation::exact(1, 3, 1).unwrap(),
+            ],
+        )
+        .unwrap();
+        let window = QueryWindow::from_states(3, [0usize], TimeSet::at(1)).unwrap();
+        let mc = MonteCarlo::new(1_000, 2);
+        assert!(matches!(
+            mc.exists_probability_multi(&chain, &object, &window),
+            Err(crate::error::QueryError::ImpossibleEvidence)
+        ));
+    }
+}

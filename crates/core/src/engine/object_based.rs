@@ -1,0 +1,334 @@
+//! Object-based (OB) PST∃Q evaluation — Section V-A of the paper.
+//!
+//! For each object, the distribution vector is propagated forward from its
+//! anchor observation through the augmented matrices `M−`/`M+`. We apply
+//! those matrices *virtually*: a step is an ordinary `v · M` product, and
+//! when the target timestamp lies in `T▫` the mass entering the query states
+//! is removed from the vector and accumulated into the scalar ⊤ — exactly
+//! the column surgery `M+` performs, without materializing an
+//! `(|S|+1)²` matrix per query (cross-checked against the explicit
+//! construction in `ust_markov::augmented` by the test suite).
+//!
+//! Worlds that reached the window are *excluded from further propagation*,
+//! which is what makes the result correct under possible-worlds semantics —
+//! each world is counted at most once (the flaw of the naive
+//! "sum the per-timestamp probabilities" approach the paper opens with).
+
+use ust_markov::{MarkovChain, PropagationVector, SpmvScratch};
+
+use crate::database::TrajectoryDatabase;
+use crate::engine::EngineConfig;
+use crate::error::{QueryError, Result};
+use crate::object::UncertainObject;
+use crate::query::{ObjectProbability, QueryWindow};
+use crate::stats::EvalStats;
+
+/// Probability that `object` intersects the query window at some query
+/// timestamp (PST∃Q, Definition 2), evaluated forward from the object's
+/// anchor observation.
+pub fn exists_probability(
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    window: &QueryWindow,
+    config: &EngineConfig,
+) -> Result<f64> {
+    exists_probability_with_stats(chain, object, window, config, &mut EvalStats::new())
+}
+
+/// As [`exists_probability`], accumulating operation counters into `stats`.
+pub fn exists_probability_with_stats(
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<f64> {
+    validate(chain, object, window)?;
+    let mut scratch = SpmvScratch::new();
+    exists_probability_inner(chain, object, window, config, stats, &mut scratch)
+}
+
+/// Shared-scratch inner loop (used by the batch evaluator and the parallel
+/// engine so the accumulator is allocated once per worker).
+pub(crate) fn exists_probability_inner(
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+    scratch: &mut SpmvScratch,
+) -> Result<f64> {
+    let anchor = object.anchor();
+    let t0 = anchor.time();
+    let t_end = window.t_end();
+
+    let mut v = PropagationVector::from_sparse(anchor.distribution().clone())
+        .with_densify_threshold(config.densify_threshold);
+    let mut hit = 0.0;
+
+    // Footnote 2 of the paper: when the anchor time itself belongs to T▫,
+    // the window mass of the initial vector moves straight to ⊤.
+    if window.time_in_window(t0) {
+        hit += v.extract_masked(window.states());
+    }
+
+    for t in t0..t_end {
+        // All remaining worlds decided (everything absorbed in ⊤, possibly
+        // minus ε-pruned mass): the paper's inherent true-hit early stop.
+        if v.nnz() == 0 {
+            stats.early_terminations += 1;
+            break;
+        }
+        v.step(chain.matrix(), scratch)?;
+        stats.transitions += 1;
+        if window.time_in_window(t + 1) {
+            hit += v.extract_masked(window.states());
+        }
+        if config.epsilon > 0.0 {
+            stats.pruned_mass += v.prune(config.epsilon);
+        }
+        let _ = t;
+    }
+    stats.objects_evaluated += 1;
+    Ok(hit.min(1.0))
+}
+
+/// Evaluates the PST∃Q for every object in the database.
+pub fn evaluate(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectProbability>> {
+    let mut scratch = SpmvScratch::new();
+    let mut results = Vec::with_capacity(db.len());
+    for object in db.objects() {
+        let chain = db.model_of(object);
+        validate(chain, object, window)?;
+        let probability =
+            exists_probability_inner(chain, object, window, config, stats, &mut scratch)?;
+        results.push(ObjectProbability { object_id: object.id(), probability });
+    }
+    Ok(results)
+}
+
+/// Common validation: dimensions agree and the window starts no earlier
+/// than the anchor observation.
+pub(crate) fn validate(
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    window: &QueryWindow,
+) -> Result<()> {
+    if chain.num_states() != object.num_states() {
+        return Err(QueryError::ModelDimensionMismatch {
+            model_states: chain.num_states(),
+            object_states: object.num_states(),
+        });
+    }
+    if window.states().dim() != chain.num_states() {
+        return Err(QueryError::ModelDimensionMismatch {
+            model_states: chain.num_states(),
+            object_states: window.states().dim(),
+        });
+    }
+    let anchor_time = object.anchor().time();
+    if window.t_start() < anchor_time {
+        return Err(QueryError::WindowBeforeObservation {
+            window_start: window.t_start(),
+            observation: anchor_time,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Observation;
+    use ust_markov::CsrMatrix;
+    use ust_space::TimeSet;
+
+    fn paper_chain() -> MarkovChain {
+        MarkovChain::from_csr(
+            CsrMatrix::from_dense(&[
+                vec![0.0, 0.0, 1.0],
+                vec![0.6, 0.0, 0.4],
+                vec![0.0, 0.8, 0.2],
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn object_at_s2() -> UncertainObject {
+        UncertainObject::with_single_observation(1, Observation::exact(0, 3, 1).unwrap())
+    }
+
+    fn paper_window() -> QueryWindow {
+        QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap()
+    }
+
+    #[test]
+    fn worked_example_yields_0864() {
+        let p = exists_probability(
+            &paper_chain(),
+            &object_at_s2(),
+            &paper_window(),
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert!((p - 0.864).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_explicit_augmented_matrices() {
+        // The virtual operator must agree with the materialized M−/M+
+        // propagation for an uncertain (multi-state) start distribution.
+        let chain = paper_chain();
+        let start = ust_markov::SparseVector::from_pairs(3, [(0, 0.25), (2, 0.75)]).unwrap();
+        let object = UncertainObject::with_single_observation(
+            1,
+            Observation::uncertain(0, start.clone()).unwrap(),
+        );
+        let window = paper_window();
+        let fast =
+            exists_probability(&chain, &object, &window, &EngineConfig::default()).unwrap();
+
+        // Reference: explicit augmented matrices.
+        let minus = ust_markov::augmented::exists_minus(chain.matrix());
+        let plus = ust_markov::augmented::exists_plus(chain.matrix(), window.states());
+        let mut v = ust_markov::DenseVector::zeros(4);
+        for (i, p) in start.iter() {
+            v.set(i, p).unwrap();
+        }
+        for t in 0..3u32 {
+            let m = if window.time_in_window(t + 1) { &plus } else { &minus };
+            v = m.vecmat_dense(&v).unwrap();
+        }
+        assert!((fast - v.get(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anchor_inside_window_counts_immediately() {
+        // Anchor at t=2 which is in T▫ and at a window state: probability 1.
+        let object =
+            UncertainObject::with_single_observation(1, Observation::exact(2, 3, 0).unwrap());
+        let p = exists_probability(
+            &paper_chain(),
+            &object,
+            &paper_window(),
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_before_observation_is_rejected() {
+        let object =
+            UncertainObject::with_single_observation(1, Observation::exact(5, 3, 0).unwrap());
+        assert!(matches!(
+            exists_probability(
+                &paper_chain(),
+                &object,
+                &paper_window(),
+                &EngineConfig::default()
+            ),
+            Err(QueryError::WindowBeforeObservation { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let object =
+            UncertainObject::with_single_observation(1, Observation::exact(0, 5, 0).unwrap());
+        assert!(matches!(
+            exists_probability(
+                &paper_chain(),
+                &object,
+                &paper_window(),
+                &EngineConfig::default()
+            ),
+            Err(QueryError::ModelDimensionMismatch { .. })
+        ));
+        let window = QueryWindow::from_states(4, [0usize], TimeSet::at(1)).unwrap();
+        assert!(matches!(
+            exists_probability(&paper_chain(), &object_at_s2(), &window, &EngineConfig::default()),
+            Err(QueryError::ModelDimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn early_termination_when_all_worlds_hit() {
+        // Window covering the full space at t=1: every world hits at t=1,
+        // so propagation to t=9 must stop early.
+        let window =
+            QueryWindow::from_states(3, [0usize, 1, 2], TimeSet::new([1, 9])).unwrap();
+        let mut stats = EvalStats::new();
+        let p = exists_probability_with_stats(
+            &paper_chain(),
+            &object_at_s2(),
+            &window,
+            &EngineConfig::default(),
+            &mut stats,
+        )
+        .unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
+        assert_eq!(stats.early_terminations, 1);
+        assert!(stats.transitions < 9);
+    }
+
+    #[test]
+    fn epsilon_pruning_reports_dropped_mass() {
+        let config = EngineConfig::default().with_epsilon(0.05);
+        let mut stats = EvalStats::new();
+        let p = exists_probability_with_stats(
+            &paper_chain(),
+            &object_at_s2(),
+            &paper_window(),
+            &config,
+            &mut stats,
+        )
+        .unwrap();
+        // The pruned result may deviate by at most the dropped mass.
+        assert!((p - 0.864).abs() <= stats.pruned_mass + 1e-12);
+    }
+
+    #[test]
+    fn batch_evaluation_covers_all_objects() {
+        let mut db = TrajectoryDatabase::new(paper_chain());
+        for (i, s) in [0usize, 1, 2].into_iter().enumerate() {
+            db.insert(UncertainObject::with_single_observation(
+                i as u64,
+                Observation::exact(0, 3, s).unwrap(),
+            ))
+            .unwrap();
+        }
+        let mut stats = EvalStats::new();
+        let results =
+            evaluate(&db, &paper_window(), &EngineConfig::default(), &mut stats).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(stats.objects_evaluated, 3);
+        // From Example 2's backward vector: starting at s1 → 0.96,
+        // s2 → 0.864, s3 → 0.928.
+        assert!((results[0].probability - 0.96).abs() < 1e-12);
+        assert!((results[1].probability - 0.864).abs() < 1e-12);
+        assert!((results[2].probability - 0.928).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noncontiguous_window_times() {
+        // T▫ = {1, 3} skips t=2 entirely.
+        let window = QueryWindow::from_states(3, [0usize], TimeSet::new([1, 3])).unwrap();
+        let p = exists_probability(
+            &paper_chain(),
+            &object_at_s2(),
+            &window,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        // By hand: at t=1 mass at s1 = 0.6 (hit). Remaining (0, 0, 0.4):
+        // t=2 → (0, 0.32, 0.08); t=3 → s1 gets 0.32·0.6 = 0.192 (hit).
+        assert!((p - (0.6 + 0.192)).abs() < 1e-12);
+    }
+}

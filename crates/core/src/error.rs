@@ -1,0 +1,124 @@
+//! Error types for query specification and evaluation.
+
+use std::fmt;
+
+use ust_markov::MarkovError;
+
+/// Errors raised while building or evaluating probabilistic
+/// spatio-temporal queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// A lower-level linear-algebra/Markov error.
+    Markov(MarkovError),
+    /// The query window selects no states.
+    EmptySpatialWindow,
+    /// The query window selects no timestamps.
+    EmptyTemporalWindow,
+    /// The object has no observations at all.
+    NoObservations,
+    /// Two observations share the same timestamp.
+    DuplicateObservation {
+        /// The conflicting timestamp.
+        time: u32,
+    },
+    /// The query window starts before the object's anchor observation, so a
+    /// forward pass from that observation cannot cover it.
+    WindowBeforeObservation {
+        /// Earliest query timestamp.
+        window_start: u32,
+        /// Anchor observation timestamp.
+        observation: u32,
+    },
+    /// The object references a transition model the database doesn't hold.
+    UnknownModel {
+        /// The offending model index.
+        model: usize,
+    },
+    /// The object's distribution dimension differs from the model's.
+    ModelDimensionMismatch {
+        /// States in the model.
+        model_states: usize,
+        /// Dimension of the object's distribution.
+        object_states: usize,
+    },
+    /// The observations made an evaluated scenario impossible (all possible
+    /// worlds eliminated — zero joint likelihood).
+    ImpossibleEvidence,
+    /// Exhaustive possible-world enumeration exceeded its work budget
+    /// (`O(|S|^δt)` worlds — the blow-up the paper's framework avoids).
+    ExhaustiveBudgetExceeded {
+        /// The budget that was exceeded (expanded path prefixes).
+        budget: u64,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Markov(e) => write!(f, "markov substrate error: {e}"),
+            QueryError::EmptySpatialWindow => write!(f, "query window selects no states"),
+            QueryError::EmptyTemporalWindow => write!(f, "query window selects no timestamps"),
+            QueryError::NoObservations => write!(f, "object has no observations"),
+            QueryError::DuplicateObservation { time } => {
+                write!(f, "duplicate observation at time {time}")
+            }
+            QueryError::WindowBeforeObservation { window_start, observation } => write!(
+                f,
+                "query window starts at {window_start}, before the anchor observation at {observation}"
+            ),
+            QueryError::UnknownModel { model } => write!(f, "unknown model index {model}"),
+            QueryError::ModelDimensionMismatch { model_states, object_states } => write!(
+                f,
+                "object distribution has {object_states} states but the model has {model_states}"
+            ),
+            QueryError::ImpossibleEvidence => {
+                write!(f, "observations are jointly impossible under the model")
+            }
+            QueryError::ExhaustiveBudgetExceeded { budget } => {
+                write!(f, "exhaustive enumeration exceeded its budget of {budget} expansions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Markov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MarkovError> for QueryError {
+    fn from(e: MarkovError) -> Self {
+        QueryError::Markov(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, QueryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = QueryError::from(MarkovError::ZeroMass);
+        assert!(e.to_string().contains("zero"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&QueryError::EmptySpatialWindow).is_none());
+        assert!(QueryError::WindowBeforeObservation { window_start: 3, observation: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(QueryError::ModelDimensionMismatch { model_states: 4, object_states: 5 }
+            .to_string()
+            .contains('5'));
+        assert!(QueryError::UnknownModel { model: 2 }.to_string().contains('2'));
+        assert!(QueryError::DuplicateObservation { time: 9 }.to_string().contains('9'));
+        assert!(!QueryError::ImpossibleEvidence.to_string().is_empty());
+        assert!(!QueryError::NoObservations.to_string().is_empty());
+        assert!(!QueryError::EmptyTemporalWindow.to_string().is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! # ust-core — querying uncertain spatio-temporal data
+//!
+//! A faithful, production-quality Rust implementation of
+//! *Querying Uncertain Spatio-Temporal Data* (Emrich, Kriegel, Mamoulis,
+//! Renz, Züfle — ICDE 2012).
+//!
+//! Uncertain moving objects are modeled as realizations of a first-order
+//! homogeneous Markov chain over a discrete state space (Definition 1).
+//! On top of that model the paper defines three probabilistic
+//! spatio-temporal queries over a window `S▫ × T▫`:
+//!
+//! | Query | Definition | Module |
+//! |---|---|---|
+//! | PST∃Q | object inside `S▫` at *some* `t ∈ T▫` | [`engine::object_based`], [`engine::query_based`] |
+//! | PST∀Q | object inside `S▫` at *all* `t ∈ T▫` | [`engine::forall`] |
+//! | PSTkQ | inside `S▫` at exactly `k` times of `T▫` | [`engine::ktimes`] |
+//!
+//! Correct possible-worlds semantics comes from the absorbing-state
+//! (`M−`/`M+`) construction of Section V, applied virtually by the engines.
+//! Section VI (multiple observations / interpolation) lives in
+//! [`multi_obs`] and [`smoothing`]; Section V-C (cluster pruning with
+//! interval chains) in [`cluster`]. Baselines for the paper's evaluation —
+//! Monte-Carlo sampling and the temporal-independence model — live in
+//! [`engine::monte_carlo`] and [`engine::independent`], with
+//! [`engine::exhaustive`] as the test oracle.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ust_core::prelude::*;
+//! use ust_markov::{CsrMatrix, MarkovChain};
+//! use ust_space::TimeSet;
+//!
+//! // A 3-state chain (the paper's running example) and one object
+//! // observed at state s2 at time 0.
+//! let chain = MarkovChain::from_csr(CsrMatrix::from_dense(&[
+//!     vec![0.0, 0.0, 1.0],
+//!     vec![0.6, 0.0, 0.4],
+//!     vec![0.0, 0.8, 0.2],
+//! ]).unwrap()).unwrap();
+//! let mut db = TrajectoryDatabase::new(chain);
+//! db.insert(UncertainObject::with_single_observation(
+//!     1, Observation::exact(0, 3, 1).unwrap(),
+//! )).unwrap();
+//!
+//! // P(object in {s1, s2} at some t ∈ [2, 3]) = 0.864.
+//! let window = QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap();
+//! let results = QueryProcessor::new(&db).exists_query_based(&window).unwrap();
+//! assert!((results[0].probability - 0.864).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod database;
+pub mod engine;
+pub mod error;
+pub mod multi_obs;
+pub mod object;
+pub mod observation;
+pub mod parallel;
+pub mod prefilter;
+pub mod query;
+pub mod ranking;
+pub mod smoothing;
+pub mod stats;
+pub mod streaming;
+pub mod threshold;
+
+pub use database::TrajectoryDatabase;
+pub use engine::{EngineConfig, QueryProcessor};
+pub use error::{QueryError, Result};
+pub use object::UncertainObject;
+pub use observation::Observation;
+pub use query::{ObjectKDistribution, ObjectProbability, QueryWindow};
+pub use stats::EvalStats;
+
+/// Convenience prelude re-exporting the types most applications need.
+pub mod prelude {
+    pub use crate::database::TrajectoryDatabase;
+    pub use crate::engine::{EngineConfig, QueryProcessor};
+    pub use crate::error::{QueryError, Result};
+    pub use crate::object::UncertainObject;
+    pub use crate::observation::Observation;
+    pub use crate::query::{ObjectKDistribution, ObjectProbability, QueryWindow};
+    pub use crate::stats::EvalStats;
+}

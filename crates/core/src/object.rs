@@ -1,0 +1,172 @@
+//! Uncertain spatio-temporal objects (Definition 1).
+//!
+//! An uncertain object is a stochastic process `{o(t) ∈ S, t ∈ T}`: a set of
+//! timestamped observations plus the (shared or per-class) Markov chain that
+//! instantiates its location at all unobserved timestamps.
+
+use ust_markov::SparseVector;
+
+use crate::error::{QueryError, Result};
+use crate::observation::Observation;
+
+/// An uncertain moving object: id, observations, and the index of the
+/// transition model it follows (into its database's model table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertainObject {
+    id: u64,
+    observations: Vec<Observation>,
+    model: usize,
+}
+
+impl UncertainObject {
+    /// Creates an object from observations (sorted by time on construction).
+    /// At least one observation is required; duplicate timestamps are
+    /// rejected.
+    pub fn new(id: u64, mut observations: Vec<Observation>) -> Result<Self> {
+        if observations.is_empty() {
+            return Err(QueryError::NoObservations);
+        }
+        observations.sort_by_key(|o| o.time());
+        for pair in observations.windows(2) {
+            if pair[0].time() == pair[1].time() {
+                return Err(QueryError::DuplicateObservation { time: pair[0].time() });
+            }
+        }
+        let dim = observations[0].num_states();
+        for o in &observations {
+            if o.num_states() != dim {
+                return Err(QueryError::ModelDimensionMismatch {
+                    model_states: dim,
+                    object_states: o.num_states(),
+                });
+            }
+        }
+        Ok(UncertainObject { id, observations, model: 0 })
+    }
+
+    /// Creates an object with a single observation.
+    pub fn with_single_observation(id: u64, observation: Observation) -> Self {
+        UncertainObject { id, observations: vec![observation], model: 0 }
+    }
+
+    /// Assigns a transition-model index (defaults to 0, the shared model).
+    pub fn with_model(mut self, model: usize) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The object identifier.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Index of the object's transition model in the database model table.
+    pub fn model(&self) -> usize {
+        self.model
+    }
+
+    /// All observations, ascending by time.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// The earliest observation — the anchor of forward propagation.
+    pub fn anchor(&self) -> &Observation {
+        &self.observations[0]
+    }
+
+    /// The latest observation.
+    pub fn last_observation(&self) -> &Observation {
+        self.observations.last().expect("objects hold ≥ 1 observation")
+    }
+
+    /// The observation at exactly time `t`, if any.
+    pub fn observation_at(&self, t: u32) -> Option<&Observation> {
+        self.observations
+            .binary_search_by_key(&t, |o| o.time())
+            .ok()
+            .map(|i| &self.observations[i])
+    }
+
+    /// The latest observation at or before `t`, if any.
+    pub fn observation_at_or_before(&self, t: u32) -> Option<&Observation> {
+        match self.observations.binary_search_by_key(&t, |o| o.time()) {
+            Ok(i) => Some(&self.observations[i]),
+            Err(0) => None,
+            Err(i) => Some(&self.observations[i - 1]),
+        }
+    }
+
+    /// The anchor distribution (initial `P(o, t_anchor)`).
+    pub fn initial_distribution(&self) -> &SparseVector {
+        self.anchor().distribution()
+    }
+
+    /// Dimension of the state space the object lives in.
+    pub fn num_states(&self) -> usize {
+        self.anchor().num_states()
+    }
+
+    /// True when more than one observation is attached (interpolation
+    /// semantics of Section VI apply).
+    pub fn has_multiple_observations(&self) -> bool {
+        self.observations.len() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(time: u32, state: usize) -> Observation {
+        Observation::exact(time, 10, state).unwrap()
+    }
+
+    #[test]
+    fn construction_sorts_observations() {
+        let o = UncertainObject::new(1, vec![obs(7, 2), obs(3, 1)]).unwrap();
+        assert_eq!(o.id(), 1);
+        assert_eq!(o.anchor().time(), 3);
+        assert_eq!(o.last_observation().time(), 7);
+        assert!(o.has_multiple_observations());
+        assert_eq!(o.num_states(), 10);
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicates() {
+        assert_eq!(UncertainObject::new(1, vec![]), Err(QueryError::NoObservations));
+        assert_eq!(
+            UncertainObject::new(1, vec![obs(3, 1), obs(3, 2)]),
+            Err(QueryError::DuplicateObservation { time: 3 })
+        );
+    }
+
+    #[test]
+    fn rejects_mixed_dimensions() {
+        let a = Observation::exact(0, 10, 1).unwrap();
+        let b = Observation::exact(1, 12, 1).unwrap();
+        assert!(matches!(
+            UncertainObject::new(1, vec![a, b]),
+            Err(QueryError::ModelDimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn observation_lookup() {
+        let o = UncertainObject::new(1, vec![obs(2, 0), obs(5, 1), obs(9, 2)]).unwrap();
+        assert_eq!(o.observation_at(5).unwrap().time(), 5);
+        assert!(o.observation_at(4).is_none());
+        assert_eq!(o.observation_at_or_before(4).unwrap().time(), 2);
+        assert_eq!(o.observation_at_or_before(9).unwrap().time(), 9);
+        assert_eq!(o.observation_at_or_before(100).unwrap().time(), 9);
+        assert!(o.observation_at_or_before(1).is_none());
+    }
+
+    #[test]
+    fn model_assignment() {
+        let o = UncertainObject::with_single_observation(4, obs(0, 0)).with_model(2);
+        assert_eq!(o.model(), 2);
+        assert!(!o.has_multiple_observations());
+        assert_eq!(o.initial_distribution().get(0), 1.0);
+    }
+}

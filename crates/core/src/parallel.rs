@@ -1,0 +1,191 @@
+//! Parallel object-based evaluation.
+//!
+//! The object-based approach is embarrassingly parallel over objects — each
+//! propagation touches only the shared read-only chain. This module shards
+//! the database across `crossbeam` scoped threads, giving each worker its
+//! own scratch accumulator, and stitches the results back in object order.
+//! (The query-based approach rarely needs this: its per-object work is a
+//! single dot product.)
+
+use ust_markov::SpmvScratch;
+
+use crate::database::TrajectoryDatabase;
+use crate::engine::{object_based, EngineConfig};
+use crate::error::Result;
+use crate::query::{ObjectProbability, QueryWindow};
+use crate::stats::EvalStats;
+
+/// Evaluates the PST∃Q for every object with `num_threads` workers.
+///
+/// Results are identical to [`object_based::evaluate`] (same order, same
+/// probabilities); `stats` aggregates the per-worker counters.
+pub fn evaluate_exists_parallel(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    num_threads: usize,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectProbability>> {
+    let num_threads = num_threads.max(1);
+    if db.is_empty() {
+        return Ok(Vec::new());
+    }
+    if num_threads == 1 || db.len() == 1 {
+        return object_based::evaluate(db, window, config, stats);
+    }
+
+    // Validate everything up front so workers can't fail halfway through.
+    for object in db.objects() {
+        object_based::validate(db.model_of(object), object, window)?;
+    }
+
+    let chunk_size = db.len().div_ceil(num_threads);
+    let objects = db.objects();
+    type WorkerOutput = Result<(Vec<(usize, ObjectProbability)>, EvalStats)>;
+
+    let worker_results: Vec<WorkerOutput> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_threads);
+        for (chunk_idx, chunk) in objects.chunks(chunk_size).enumerate() {
+            let base = chunk_idx * chunk_size;
+            handles.push(scope.spawn(move |_| -> WorkerOutput {
+                let mut scratch = SpmvScratch::new();
+                let mut local_stats = EvalStats::new();
+                let mut out = Vec::with_capacity(chunk.len());
+                for (offset, object) in chunk.iter().enumerate() {
+                    let chain = db.model_of(object);
+                    let probability = object_based::exists_probability_inner(
+                        chain,
+                        object,
+                        window,
+                        config,
+                        &mut local_stats,
+                        &mut scratch,
+                    )?;
+                    out.push((
+                        base + offset,
+                        ObjectProbability { object_id: object.id(), probability },
+                    ));
+                }
+                Ok((out, local_stats))
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    let mut results: Vec<Option<ObjectProbability>> = vec![None; db.len()];
+    for worker in worker_results {
+        let (entries, local_stats) = worker?;
+        stats.merge(&local_stats);
+        for (idx, r) in entries {
+            results[idx] = Some(r);
+        }
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("all chunks cover the database"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::UncertainObject;
+    use crate::observation::Observation;
+    use ust_markov::testutil;
+    use ust_markov::MarkovChain;
+    use ust_space::TimeSet;
+
+    fn random_db(seed: u64, n_states: usize, n_objects: usize) -> TrajectoryDatabase {
+        let chain = testutil::random_chain(seed, n_states, 4);
+        let mut rng = testutil::rng(seed + 1);
+        let mut db = TrajectoryDatabase::new(chain);
+        for i in 0..n_objects {
+            let dist = testutil::random_distribution(&mut rng, n_states, 3);
+            db.insert(UncertainObject::with_single_observation(
+                i as u64,
+                Observation::uncertain(0, dist).unwrap(),
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let db = random_db(17, 60, 37);
+        let window =
+            QueryWindow::from_states(60, 10usize..=15, TimeSet::interval(4, 7)).unwrap();
+        let config = EngineConfig::default();
+        let sequential =
+            object_based::evaluate(&db, &window, &config, &mut EvalStats::new()).unwrap();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let mut stats = EvalStats::new();
+            let parallel =
+                evaluate_exists_parallel(&db, &window, &config, threads, &mut stats).unwrap();
+            assert_eq!(parallel.len(), sequential.len());
+            for (a, b) in parallel.iter().zip(&sequential) {
+                assert_eq!(a.object_id, b.object_id);
+                assert!(
+                    (a.probability - b.probability).abs() < 1e-12,
+                    "threads={threads}"
+                );
+            }
+            assert_eq!(stats.objects_evaluated, db.len() as u64);
+        }
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = random_db(5, 10, 0);
+        let window = QueryWindow::from_states(10, [0usize], TimeSet::at(1)).unwrap();
+        let out = evaluate_exists_parallel(
+            &db,
+            &window,
+            &EngineConfig::default(),
+            4,
+            &mut EvalStats::new(),
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn validation_errors_surface_before_spawning() {
+        let mut db = random_db(9, 10, 3);
+        // Add an object anchored after the window.
+        db.insert(UncertainObject::with_single_observation(
+            99,
+            Observation::exact(50, 10, 0).unwrap(),
+        ))
+        .unwrap();
+        let window = QueryWindow::from_states(10, [0usize], TimeSet::at(3)).unwrap();
+        assert!(evaluate_exists_parallel(
+            &db,
+            &window,
+            &EngineConfig::default(),
+            4,
+            &mut EvalStats::new(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let db = random_db(3, 20, 5);
+        let window = QueryWindow::from_states(20, [1usize, 2], TimeSet::interval(2, 4)).unwrap();
+        let out = evaluate_exists_parallel(
+            &db,
+            &window,
+            &EngineConfig::default(),
+            0,
+            &mut EvalStats::new(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 5);
+        let _ = MarkovChain::from_csr(ust_markov::CsrMatrix::identity(2)).unwrap();
+    }
+}

@@ -1,0 +1,261 @@
+//! Spatial candidate prefiltering (reachability cones).
+//!
+//! Before any matrix work, objects that *cannot possibly* reach the query
+//! region in the available time can be discarded geometrically: the chain
+//! moves an object at most `max_step_distance` per transition (the longest
+//! spatial displacement of any non-zero transition), so an object anchored
+//! at time `t_a` can reach at most radius `(t_end − t_a) · max_step`
+//! around its anchor support by `t_end`. An R-tree over object anchor
+//! centroids turns this cone test into a range query.
+//!
+//! This prefilter is an *engineering extension* of the paper (which prunes
+//! inside the matrices); it is conservative — never discards an object with
+//! non-zero probability — as verified against the exact engines.
+
+use ust_markov::MarkovChain;
+use ust_space::{Point2, Rect, RTree, RTreeEntry, StateSpace};
+
+use crate::database::TrajectoryDatabase;
+use crate::object::UncertainObject;
+use crate::query::QueryWindow;
+
+/// The largest spatial displacement of any single transition of `chain`
+/// under the embedding of `space`.
+pub fn max_step_distance<S: StateSpace + ?Sized>(chain: &MarkovChain, space: &S) -> f64 {
+    let mut max_d2: f64 = 0.0;
+    for i in 0..chain.num_states() {
+        let from = space.location(i);
+        let (cols, _) = chain.matrix().row(i);
+        for &j in cols {
+            let d2 = from.distance_sq(&space.location(j as usize));
+            if d2 > max_d2 {
+                max_d2 = d2;
+            }
+        }
+    }
+    max_d2.sqrt()
+}
+
+/// A prefilter over a database: object anchor geometry indexed in an
+/// R-tree, plus the chain's per-step displacement bound.
+#[derive(Debug)]
+pub struct ConePrefilter {
+    tree: RTree,
+    /// Per-object: (anchor time, radius of the anchor support around its
+    /// centroid).
+    anchors: Vec<(u32, f64)>,
+    max_step: f64,
+}
+
+impl ConePrefilter {
+    /// Builds the prefilter for all objects of `db` embedded in `space`.
+    pub fn build<S: StateSpace + ?Sized>(db: &TrajectoryDatabase, space: &S) -> ConePrefilter {
+        let max_step = db
+            .models()
+            .iter()
+            .map(|chain| max_step_distance(chain.as_ref(), space))
+            .fold(0.0f64, f64::max);
+        let mut entries = Vec::with_capacity(db.len());
+        let mut anchors = Vec::with_capacity(db.len());
+        for (idx, object) in db.objects().iter().enumerate() {
+            let (centroid, radius) = anchor_geometry(object, space);
+            entries.push(RTreeEntry { point: centroid, id: idx });
+            anchors.push((object.anchor().time(), radius));
+        }
+        ConePrefilter { tree: RTree::bulk_load(entries), anchors, max_step }
+    }
+
+    /// The chain displacement bound used by the cone test.
+    pub fn max_step(&self) -> f64 {
+        self.max_step
+    }
+
+    /// Indices of objects that *may* intersect `query_rect` during the
+    /// window (sorted). Everything outside is guaranteed to have `P∃ = 0`.
+    pub fn candidates(&self, query_rect: &Rect, window: &QueryWindow) -> Vec<usize> {
+        let t_end = window.t_end();
+        // The cone radius depends on each object's anchor time; expand the
+        // query rectangle by the *maximum* possible cone and confirm per
+        // object. (Anchors after t_end cannot reach backwards: radius 0.)
+        let max_radius = self
+            .anchors
+            .iter()
+            .map(|&(t_a, r)| cone_radius(t_a, t_end, self.max_step) + r)
+            .fold(0.0f64, f64::max);
+        let coarse = self.tree.query_rect(&query_rect.expand(max_radius));
+        let mut out: Vec<usize> = coarse
+            .into_iter()
+            .filter(|&idx| {
+                let (t_a, r) = self.anchors[idx];
+                let reach = cone_radius(t_a, t_end, self.max_step) + r;
+                // Re-test with the object's own radius.
+                let entry_rect = query_rect.expand(reach);
+                self.tree
+                    .query_rect(&entry_rect)
+                    .contains(&idx)
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+fn cone_radius(anchor_time: u32, t_end: u32, max_step: f64) -> f64 {
+    f64::from(t_end.saturating_sub(anchor_time)) * max_step
+}
+
+/// Weighted centroid of the anchor support and the largest distance from
+/// the centroid to any support state.
+fn anchor_geometry<S: StateSpace + ?Sized>(
+    object: &UncertainObject,
+    space: &S,
+) -> (Point2, f64) {
+    let dist = object.initial_distribution();
+    let mut cx = 0.0;
+    let mut cy = 0.0;
+    let mut total = 0.0;
+    for (s, p) in dist.iter() {
+        let loc = space.location(s);
+        cx += loc.x * p;
+        cy += loc.y * p;
+        total += p;
+    }
+    if total > 0.0 {
+        cx /= total;
+        cy /= total;
+    }
+    let centroid = Point2::new(cx, cy);
+    let radius = dist
+        .iter()
+        .map(|(s, _)| space.location(s).distance(&centroid))
+        .fold(0.0f64, f64::max);
+    (centroid, radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{object_based, EngineConfig};
+    use crate::observation::Observation;
+    use crate::query::QueryWindow;
+    use ust_markov::{CooBuilder, MarkovChain};
+    use ust_space::{LineSpace, TimeSet};
+
+    /// A random-walk chain on a line: state i moves to i±1 (clipped).
+    fn line_chain(n: usize) -> MarkovChain {
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            let left = i.saturating_sub(1);
+            let right = (i + 1).min(n - 1);
+            if left == right {
+                b.push(i, i, 1.0).unwrap();
+            } else {
+                b.push(i, left, 0.5).unwrap();
+                b.push(i, right, 0.5).unwrap();
+            }
+        }
+        MarkovChain::from_weights(b.build()).unwrap()
+    }
+
+    fn db_on_line(n: usize, positions: &[usize]) -> TrajectoryDatabase {
+        let mut db = TrajectoryDatabase::new(line_chain(n));
+        for (i, &s) in positions.iter().enumerate() {
+            db.insert(UncertainObject::with_single_observation(
+                i as u64,
+                Observation::exact(0, n, s).unwrap(),
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn max_step_distance_of_line_walk() {
+        let space = LineSpace::new(50);
+        let chain = line_chain(50);
+        assert!((max_step_distance(&chain, &space) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cone_filter_is_conservative() {
+        // Objects at 0, 10, 25, 49; window around states 20..=22 at t ≤ 5.
+        let n = 50;
+        let space = LineSpace::new(n);
+        let db = db_on_line(n, &[0, 10, 25, 49]);
+        let window =
+            QueryWindow::from_states(n, 20usize..=22, TimeSet::interval(3, 5)).unwrap();
+        let filter = ConePrefilter::build(&db, &space);
+        let rect = Rect::from_bounds(20.0, -0.5, 22.0, 0.5);
+        let candidates = filter.candidates(&rect, &window);
+
+        // Exact check: every object with non-zero probability must survive.
+        let exact =
+            object_based::evaluate(&db, &window, &EngineConfig::default(), &mut Default::default())
+                .unwrap();
+        for (idx, r) in exact.iter().enumerate() {
+            if r.probability > 0.0 {
+                assert!(
+                    candidates.contains(&idx),
+                    "object {idx} (p = {}) was wrongly pruned",
+                    r.probability
+                );
+            }
+        }
+        // And the far-away objects (0 and 49, > 5 steps from the window)
+        // must be pruned.
+        assert!(!candidates.contains(&0));
+        assert!(!candidates.contains(&3));
+        assert!(candidates.contains(&2));
+    }
+
+    #[test]
+    fn anchor_time_shrinks_the_cone() {
+        let n = 50;
+        let space = LineSpace::new(n);
+        let mut db = TrajectoryDatabase::new(line_chain(n));
+        // Same state, but anchored at t=4 → only 1 step of slack.
+        db.insert(UncertainObject::with_single_observation(
+            0,
+            Observation::exact(4, n, 10).unwrap(),
+        ))
+        .unwrap();
+        let window = QueryWindow::from_states(n, [20usize], TimeSet::at(5)).unwrap();
+        let filter = ConePrefilter::build(&db, &space);
+        let rect = Rect::from_bounds(20.0, -0.5, 20.0, 0.5);
+        assert!(filter.candidates(&rect, &window).is_empty());
+    }
+
+    #[test]
+    fn uncertain_anchor_radius_is_respected() {
+        let n = 50;
+        let space = LineSpace::new(n);
+        let mut db = TrajectoryDatabase::new(line_chain(n));
+        // Anchor spread over states 5 and 15: centroid 10, radius 5.
+        db.insert(UncertainObject::with_single_observation(
+            0,
+            Observation::uncertain(
+                0,
+                ust_markov::SparseVector::from_pairs(n, [(5, 0.5), (15, 0.5)]).unwrap(),
+            )
+            .unwrap(),
+        ))
+        .unwrap();
+        // Window at state 18, t=3: reachable from 15 (distance 3).
+        let window = QueryWindow::from_states(n, [18usize], TimeSet::at(3)).unwrap();
+        let filter = ConePrefilter::build(&db, &space);
+        let rect = Rect::from_bounds(18.0, -0.5, 18.0, 0.5);
+        assert_eq!(filter.candidates(&rect, &window), vec![0]);
+    }
+
+    #[test]
+    fn empty_database_yields_no_candidates() {
+        let db = TrajectoryDatabase::new(line_chain(10));
+        let space = LineSpace::new(10);
+        let filter = ConePrefilter::build(&db, &space);
+        let window = QueryWindow::from_states(10, [5usize], TimeSet::at(1)).unwrap();
+        assert!(filter
+            .candidates(&Rect::from_bounds(5.0, -1.0, 5.0, 1.0), &window)
+            .is_empty());
+    }
+}

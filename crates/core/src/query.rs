@@ -1,0 +1,188 @@
+//! Query windows and result types (Definitions 2–4 of the paper).
+
+use ust_markov::StateMask;
+use ust_space::{Region, StateSpace, TimeSet};
+
+use crate::error::{QueryError, Result};
+
+/// A resolved spatio-temporal query window `Q▫ = S▫ × T▫`: a set of states
+/// and a set of timestamps (neither necessarily contiguous).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryWindow {
+    states: StateMask,
+    times: TimeSet,
+}
+
+impl QueryWindow {
+    /// Creates a window from a state mask and time set; both must be
+    /// non-empty.
+    pub fn new(states: StateMask, times: TimeSet) -> Result<Self> {
+        if states.is_empty() {
+            return Err(QueryError::EmptySpatialWindow);
+        }
+        if times.is_empty() {
+            return Err(QueryError::EmptyTemporalWindow);
+        }
+        Ok(QueryWindow { states, times })
+    }
+
+    /// Resolves a geometric [`Region`] against a state space.
+    pub fn from_region<S: StateSpace + ?Sized>(
+        space: &S,
+        region: &Region,
+        times: TimeSet,
+    ) -> Result<Self> {
+        let ids = region.resolve(space);
+        let states = StateMask::from_indices(space.num_states(), ids)?;
+        QueryWindow::new(states, times)
+    }
+
+    /// Convenience constructor from explicit state ids.
+    pub fn from_states<I: IntoIterator<Item = usize>>(
+        num_states: usize,
+        states: I,
+        times: TimeSet,
+    ) -> Result<Self> {
+        QueryWindow::new(StateMask::from_indices(num_states, states)?, times)
+    }
+
+    /// The spatial component `S▫`.
+    pub fn states(&self) -> &StateMask {
+        &self.states
+    }
+
+    /// The temporal component `T▫`.
+    pub fn times(&self) -> &TimeSet {
+        &self.times
+    }
+
+    /// `t_end = max(T▫)` — the anchor of backward passes.
+    pub fn t_end(&self) -> u32 {
+        self.times.max().expect("validated non-empty")
+    }
+
+    /// `t_start = min(T▫)`.
+    pub fn t_start(&self) -> u32 {
+        self.times.min().expect("validated non-empty")
+    }
+
+    /// Number of query timestamps `|T▫|`.
+    pub fn num_times(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when `t ∈ T▫`.
+    pub fn time_in_window(&self, t: u32) -> bool {
+        self.times.contains(t)
+    }
+
+    /// The complemented window `(S ∖ S▫) × T▫` used to reduce PST∀Q to
+    /// PST∃Q (Section VII): `P∀(S▫, T▫) = 1 − P∃(S ∖ S▫, T▫)`.
+    pub fn complement_states(&self) -> Result<QueryWindow> {
+        QueryWindow::new(self.states.complement(), self.times.clone())
+    }
+}
+
+/// Per-object probability result of a PST∃Q or PST∀Q.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectProbability {
+    /// The object's identifier.
+    pub object_id: u64,
+    /// The query probability for that object.
+    pub probability: f64,
+}
+
+/// Per-object result of a PSTkQ: `probabilities[k]` is the probability the
+/// object is inside the window at exactly `k ∈ {0..|T▫|}` query timestamps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectKDistribution {
+    /// The object's identifier.
+    pub object_id: u64,
+    /// Distribution over visit counts, indexed by `k` (length `|T▫| + 1`).
+    pub probabilities: Vec<f64>,
+}
+
+impl ObjectKDistribution {
+    /// `P(k ≥ 1)` — must equal the PST∃Q probability.
+    pub fn prob_at_least_once(&self) -> f64 {
+        1.0 - self.probabilities.first().copied().unwrap_or(1.0)
+    }
+
+    /// `P(k = |T▫|)` — must equal the PST∀Q probability.
+    pub fn prob_always(&self) -> f64 {
+        self.probabilities.last().copied().unwrap_or(0.0)
+    }
+
+    /// Expected number of window timestamps the object is inside `S▫`.
+    pub fn expected_visits(&self) -> f64 {
+        self.probabilities
+            .iter()
+            .enumerate()
+            .map(|(k, p)| k as f64 * p)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ust_space::LineSpace;
+
+    #[test]
+    fn window_construction_and_accessors() {
+        let w = QueryWindow::from_states(10, [3usize, 4, 5], TimeSet::interval(2, 4)).unwrap();
+        assert_eq!(w.t_start(), 2);
+        assert_eq!(w.t_end(), 4);
+        assert_eq!(w.num_times(), 3);
+        assert!(w.time_in_window(3));
+        assert!(!w.time_in_window(5));
+        assert!(w.states().contains(4));
+        assert!(!w.states().contains(6));
+    }
+
+    #[test]
+    fn empty_windows_rejected() {
+        assert_eq!(
+            QueryWindow::from_states(10, [], TimeSet::interval(0, 1)),
+            Err(QueryError::EmptySpatialWindow)
+        );
+        assert_eq!(
+            QueryWindow::from_states(10, [1usize], TimeSet::empty()),
+            Err(QueryError::EmptyTemporalWindow)
+        );
+    }
+
+    #[test]
+    fn from_region_resolves_states() {
+        let line = LineSpace::new(20);
+        let w = QueryWindow::from_region(
+            &line,
+            &Region::rect(4.2, -1.0, 7.9, 1.0),
+            TimeSet::at(3),
+        )
+        .unwrap();
+        assert_eq!(w.states().to_indices(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn complement_flips_states() {
+        let w = QueryWindow::from_states(5, [1usize, 2], TimeSet::at(0)).unwrap();
+        let c = w.complement_states().unwrap();
+        assert_eq!(c.states().to_indices(), vec![0, 3, 4]);
+        assert_eq!(c.times(), w.times());
+        // Complement of the full space is empty and must be rejected.
+        let full = QueryWindow::from_states(3, [0usize, 1, 2], TimeSet::at(0)).unwrap();
+        assert_eq!(full.complement_states(), Err(QueryError::EmptySpatialWindow));
+    }
+
+    #[test]
+    fn k_distribution_helpers() {
+        let d = ObjectKDistribution {
+            object_id: 7,
+            probabilities: vec![0.136, 0.672, 0.192],
+        };
+        assert!((d.prob_at_least_once() - 0.864).abs() < 1e-12);
+        assert!((d.prob_always() - 0.192).abs() < 1e-12);
+        assert!((d.expected_visits() - (0.672 + 2.0 * 0.192)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,313 @@
+//! Top-k probability ranking.
+//!
+//! "Find the k icebergs most likely to enter the shipping lane" — a ranking
+//! variant of the PST∃Q that uncertain databases commonly expose alongside
+//! threshold queries (cf. the probabilistic ranking literature the paper
+//! cites, e.g. Bernecker et al., TKDE 2010). Two strategies:
+//!
+//! * [`topk_query_based`] — compute every probability via the (cheap)
+//!   query-based engine and select the k largest; the baseline.
+//! * [`topk_object_based_pruned`] — object-based evaluation with
+//!   bound-based pruning: objects are first screened with the
+//!   [`ReachabilityPruner`]'s instant upper bound; propagation then runs
+//!   only while an object's upper bound still beats the current k-th best
+//!   lower bound. With a selective window most objects are dismissed
+//!   before (or shortly after) their first transition.
+
+use ust_markov::{PropagationVector, SpmvScratch};
+
+use crate::database::TrajectoryDatabase;
+use crate::engine::{object_based, query_based, EngineConfig};
+use crate::error::Result;
+use crate::query::QueryWindow;
+use crate::stats::EvalStats;
+use crate::threshold::ReachabilityPruner;
+
+/// One ranked result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedObject {
+    /// The object's identifier.
+    pub object_id: u64,
+    /// Its PST∃Q probability.
+    pub probability: f64,
+}
+
+/// Exact top-k via the query-based engine (one backward pass, one dot
+/// product per object, then selection). Ties broken by ascending id.
+pub fn topk_query_based(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    k: usize,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<RankedObject>> {
+    let mut all = query_based::evaluate(db, window, config, stats)?;
+    all.sort_by(|a, b| {
+        b.probability
+            .total_cmp(&a.probability)
+            .then(a.object_id.cmp(&b.object_id))
+    });
+    Ok(all
+        .into_iter()
+        .take(k)
+        .map(|r| RankedObject { object_id: r.object_id, probability: r.probability })
+        .collect())
+}
+
+/// Exact top-k via pruned object-based evaluation.
+///
+/// Useful when objects follow *many distinct models* (where QB would need
+/// one backward pass per model) or when `k` is small and the window
+/// selective. Produces exactly the same ranking as [`topk_query_based`].
+pub fn topk_object_based_pruned(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    k: usize,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<RankedObject>> {
+    use std::collections::BTreeMap;
+    if k == 0 || db.is_empty() {
+        return Ok(Vec::new());
+    }
+    for object in db.objects() {
+        object_based::validate(db.model_of(object), object, window)?;
+    }
+
+    // Current top-k lower bounds (min-heap behaviour via sorted Vec —
+    // k is small in practice).
+    let mut best: Vec<RankedObject> = Vec::with_capacity(k + 1);
+    let kth_bound = |best: &Vec<RankedObject>| -> f64 {
+        if best.len() < k {
+            0.0
+        } else {
+            best.last().map(|r| r.probability).unwrap_or(0.0)
+        }
+    };
+
+    let mut pruners: BTreeMap<(usize, u32), ReachabilityPruner> = BTreeMap::new();
+    let mut scratch = SpmvScratch::new();
+
+    for object in db.objects() {
+        let chain = db.model_of(object);
+        let key = (object.model(), object.anchor().time());
+        let pruner = pruners
+            .entry(key)
+            .or_insert_with(|| ReachabilityPruner::build(chain, window, key.1));
+
+        let anchor = object.anchor();
+        let t0 = anchor.time();
+        let t_end = window.t_end();
+        let mut v = PropagationVector::from_sparse(anchor.distribution().clone())
+            .with_densify_threshold(config.densify_threshold);
+        let mut hit = 0.0;
+        if window.time_in_window(t0) {
+            hit += v.extract_masked(window.states());
+        }
+
+        let upper = |hit: f64, v: &PropagationVector, t: u32| -> f64 {
+            match pruner.mask_at(t) {
+                Some(mask) => (hit + v.masked_sum(mask)).min(1.0),
+                None => (hit + v.sum()).min(1.0),
+            }
+        };
+
+        let mut dismissed = false;
+        if upper(hit, &v, t0) <= kth_bound(&best) {
+            stats.objects_pruned += 1;
+            dismissed = true;
+        } else {
+            for t in t0..t_end {
+                v.step(chain.matrix(), &mut scratch)?;
+                stats.transitions += 1;
+                if window.time_in_window(t + 1) {
+                    hit += v.extract_masked(window.states());
+                }
+                if upper(hit, &v, t + 1) <= kth_bound(&best) {
+                    // Cannot beat the current k-th candidate: dismiss.
+                    stats.early_terminations += 1;
+                    dismissed = true;
+                    break;
+                }
+            }
+        }
+        if !dismissed {
+            stats.objects_evaluated += 1;
+            let entry = RankedObject { object_id: object.id(), probability: hit.min(1.0) };
+            let pos = best
+                .binary_search_by(|probe| {
+                    probe
+                        .probability
+                        .total_cmp(&entry.probability)
+                        .reverse()
+                        .then(probe.object_id.cmp(&entry.object_id))
+                })
+                .unwrap_or_else(|p| p);
+            best.insert(pos, entry);
+            if best.len() > k {
+                best.pop();
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::UncertainObject;
+    use crate::observation::Observation;
+    use ust_markov::{CsrMatrix, MarkovChain};
+    use ust_space::TimeSet;
+
+    fn paper_chain() -> MarkovChain {
+        MarkovChain::from_csr(
+            CsrMatrix::from_dense(&[
+                vec![0.0, 0.0, 1.0],
+                vec![0.6, 0.0, 0.4],
+                vec![0.0, 0.8, 0.2],
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn three_object_db() -> TrajectoryDatabase {
+        let mut db = TrajectoryDatabase::new(paper_chain());
+        for (id, s) in [(10u64, 0usize), (20, 1), (30, 2)] {
+            db.insert(UncertainObject::with_single_observation(
+                id,
+                Observation::exact(0, 3, s).unwrap(),
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    fn window() -> QueryWindow {
+        QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap()
+    }
+
+    #[test]
+    fn topk_orders_by_probability() {
+        // Exact probabilities: id 10 → 0.96, id 20 → 0.864, id 30 → 0.928.
+        let db = three_object_db();
+        let config = EngineConfig::default();
+        let top2 =
+            topk_query_based(&db, &window(), 2, &config, &mut EvalStats::new()).unwrap();
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0].object_id, 10);
+        assert_eq!(top2[1].object_id, 30);
+        assert!((top2[0].probability - 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_strategies_agree() {
+        let db = three_object_db();
+        let config = EngineConfig::default();
+        for k in 0..=4usize {
+            let qb = topk_query_based(&db, &window(), k, &config, &mut EvalStats::new())
+                .unwrap();
+            let ob = topk_object_based_pruned(
+                &db,
+                &window(),
+                k,
+                &config,
+                &mut EvalStats::new(),
+            )
+            .unwrap();
+            assert_eq!(qb.len(), ob.len(), "k = {k}");
+            for (a, b) in qb.iter().zip(&ob) {
+                assert_eq!(a.object_id, b.object_id, "k = {k}");
+                assert!((a.probability - b.probability).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn agreement_on_random_dataset() {
+        let chain = ust_markov::testutil::random_chain(3, 100, 4);
+        let mut rng = ust_markov::testutil::rng(4);
+        let mut db = TrajectoryDatabase::new(chain);
+        for id in 0..40u64 {
+            let dist = ust_markov::testutil::random_distribution(&mut rng, 100, 3);
+            db.insert(UncertainObject::with_single_observation(
+                id,
+                Observation::uncertain(0, dist).unwrap(),
+            ))
+            .unwrap();
+        }
+        let window =
+            QueryWindow::from_states(100, 10usize..=14, TimeSet::interval(3, 6)).unwrap();
+        let config = EngineConfig::default();
+        let qb = topk_query_based(&db, &window, 5, &config, &mut EvalStats::new()).unwrap();
+        let ob =
+            topk_object_based_pruned(&db, &window, 5, &config, &mut EvalStats::new()).unwrap();
+        assert_eq!(qb.len(), 5);
+        for (a, b) in qb.iter().zip(&ob) {
+            assert_eq!(a.object_id, b.object_id);
+            assert!((a.probability - b.probability).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pruning_actually_skips_work() {
+        // A line chain where only nearby objects can reach the window.
+        let n = 60;
+        let mut b = ust_markov::CooBuilder::new(n, n);
+        for i in 0..n {
+            if i + 1 < n {
+                b.push(i, i + 1, 1.0).unwrap();
+            } else {
+                b.push(i, i, 1.0).unwrap();
+            }
+        }
+        let chain = MarkovChain::from_csr(b.build()).unwrap();
+        let mut db = TrajectoryDatabase::new(chain);
+        for id in 0..n as u64 {
+            db.insert(UncertainObject::with_single_observation(
+                id,
+                Observation::exact(0, n, id as usize).unwrap(),
+            ))
+            .unwrap();
+        }
+        // Window at states [40, 42] over times [1, 3]: only objects at
+        // 37..=41 can hit it.
+        let window =
+            QueryWindow::from_states(n, 40usize..=42, TimeSet::interval(1, 3)).unwrap();
+        let mut stats = EvalStats::new();
+        let top = topk_object_based_pruned(
+            &db,
+            &window,
+            3,
+            &EngineConfig::default(),
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(top.len(), 3);
+        for r in &top {
+            assert!((r.probability - 1.0).abs() < 1e-12);
+        }
+        assert!(
+            stats.objects_pruned > 40,
+            "most objects should be dismissed instantly, pruned = {}",
+            stats.objects_pruned
+        );
+    }
+
+    #[test]
+    fn k_zero_and_empty_db() {
+        let db = three_object_db();
+        let config = EngineConfig::default();
+        assert!(topk_object_based_pruned(&db, &window(), 0, &config, &mut EvalStats::new())
+            .unwrap()
+            .is_empty());
+        let empty = TrajectoryDatabase::new(paper_chain());
+        assert!(topk_object_based_pruned(&empty, &window(), 3, &config, &mut EvalStats::new())
+            .unwrap()
+            .is_empty());
+        assert!(topk_query_based(&empty, &window(), 3, &config, &mut EvalStats::new())
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! Forward–backward location inference.
+//!
+//! Section VI of the paper interpolates between observations to answer
+//! window queries; the same machinery answers the more basic question
+//! "where was the object at time `t`, given *all* its observations?" —
+//! the classic smoothing problem of hidden Markov models. This module
+//! implements it on the sparse substrate:
+//!
+//! * forward message `α_t(s) ∝ P(o(t) = s, obs at times ≤ t)`,
+//! * backward message `β_t(s) = P(obs at times > t | o(t) = s)`,
+//! * posterior `P(o(t) = s | all obs) ∝ α_t(s) · β_t(s)`.
+//!
+//! For `t` past the last observation this degrades gracefully to prediction
+//! (`β ≡ 1`), matching Corollary 2 extrapolation.
+
+use ust_markov::{DenseVector, MarkovChain, PropagationVector, SpmvScratch};
+
+use crate::error::{QueryError, Result};
+use crate::object::UncertainObject;
+
+/// Posterior location distribution `P(o(t) = s | observations)` of
+/// `object` at time `t`. Requires `t ≥` the anchor observation time.
+pub fn smoothed_distribution(
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    t: u32,
+) -> Result<DenseVector> {
+    let anchor = object.anchor();
+    if chain.num_states() != object.num_states() {
+        return Err(QueryError::ModelDimensionMismatch {
+            model_states: chain.num_states(),
+            object_states: object.num_states(),
+        });
+    }
+    if t < anchor.time() {
+        return Err(QueryError::WindowBeforeObservation {
+            window_start: t,
+            observation: anchor.time(),
+        });
+    }
+    let mut scratch = SpmvScratch::new();
+
+    // Forward pass: anchor → t, fusing observations at times ≤ t.
+    let mut alpha = PropagationVector::from_sparse(anchor.distribution().clone());
+    for step_t in anchor.time()..t {
+        alpha.step(chain.matrix(), &mut scratch)?;
+        if let Some(obs) = object.observation_at(step_t + 1) {
+            alpha.hadamard_sparse(obs.distribution())?;
+            let total = alpha.sum();
+            if total <= 0.0 {
+                return Err(QueryError::ImpossibleEvidence);
+            }
+            alpha.scale(1.0 / total);
+        }
+    }
+
+    // Backward pass: last observation → t (β ≡ 1 when t is at/after it).
+    let horizon = object.last_observation().time();
+    let n = chain.num_states();
+    let mut beta = DenseVector::from_vec(vec![1.0; n]);
+    let mut bt = horizon.max(t);
+    while bt > t {
+        // Fuse the observation at time `bt` (likelihood of the evidence at
+        // bt and beyond, given the state at bt).
+        if let Some(obs) = object.observation_at(bt) {
+            let slice = beta.as_mut_slice();
+            let mut masked = vec![0.0; n];
+            for (s, l) in obs.distribution().iter() {
+                masked[s] = l * slice[s];
+            }
+            beta = DenseVector::from_vec(masked);
+        }
+        beta = chain.matrix().matvec_dense(&beta)?;
+        bt -= 1;
+    }
+
+    // Posterior ∝ α ⊙ β.
+    let mut posterior = alpha.to_dense().hadamard(&beta)?;
+    posterior.normalize().map_err(|_| QueryError::ImpossibleEvidence)?;
+    Ok(posterior)
+}
+
+/// Posterior distributions for a whole range of times (shares the passes'
+/// cost across queries; convenience for trajectory reconstruction).
+pub fn smoothed_trajectory(
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    times: std::ops::RangeInclusive<u32>,
+) -> Result<Vec<(u32, DenseVector)>> {
+    times
+        .map(|t| smoothed_distribution(chain, object, t).map(|d| (t, d)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::exhaustive;
+    use crate::observation::Observation;
+    use crate::query::QueryWindow;
+    use ust_markov::CsrMatrix;
+    use ust_space::TimeSet;
+
+    fn paper_chain() -> MarkovChain {
+        MarkovChain::from_csr(
+            CsrMatrix::from_dense(&[
+                vec![0.0, 0.0, 1.0],
+                vec![0.6, 0.0, 0.4],
+                vec![0.0, 0.8, 0.2],
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn without_future_observations_equals_forward_prediction() {
+        let chain = paper_chain();
+        let object = UncertainObject::with_single_observation(
+            1,
+            Observation::exact(0, 3, 1).unwrap(),
+        );
+        let smoothed = smoothed_distribution(&chain, &object, 2).unwrap();
+        let predicted = chain
+            .propagate_dense(&DenseVector::from_vec(vec![0.0, 1.0, 0.0]), 2)
+            .unwrap();
+        assert!(smoothed.approx_eq(&predicted, 1e-12));
+    }
+
+    #[test]
+    fn interpolation_matches_exhaustive_marginals() {
+        // P(o(t) = s | obs) equals the exists-probability of the degenerate
+        // window {s} × {t} under full conditioning — use the enumeration
+        // oracle to verify every state at every intermediate time.
+        let chain = paper_chain();
+        let object = UncertainObject::new(
+            2,
+            vec![
+                Observation::exact(0, 3, 1).unwrap(),
+                Observation::uncertain(
+                    4,
+                    ust_markov::SparseVector::from_pairs(3, [(1, 0.5), (2, 0.5)]).unwrap(),
+                )
+                .unwrap(),
+            ],
+        )
+        .unwrap();
+        for t in 1..=3u32 {
+            let smoothed = smoothed_distribution(&chain, &object, t).unwrap();
+            for s in 0..3usize {
+                let window =
+                    QueryWindow::from_states(3, [s], TimeSet::at(t)).unwrap();
+                let oracle =
+                    exhaustive::enumerate(&chain, &object, &window, 1 << 22).unwrap();
+                assert!(
+                    (smoothed.get(s) - oracle.exists()).abs() < 1e-12,
+                    "t={t}, s={s}: smoothed {} vs oracle {}",
+                    smoothed.get(s),
+                    oracle.exists()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_observation_pins_the_posterior() {
+        let chain = paper_chain();
+        let object = UncertainObject::new(
+            3,
+            vec![
+                Observation::exact(0, 3, 1).unwrap(),
+                Observation::exact(3, 3, 0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let at_obs = smoothed_distribution(&chain, &object, 3).unwrap();
+        assert!((at_obs.get(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impossible_evidence_detected() {
+        let chain = paper_chain();
+        let object = UncertainObject::new(
+            4,
+            vec![
+                Observation::exact(0, 3, 1).unwrap(),
+                Observation::exact(1, 3, 1).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert!(matches!(
+            smoothed_distribution(&chain, &object, 1),
+            Err(QueryError::ImpossibleEvidence)
+        ));
+    }
+
+    #[test]
+    fn time_before_anchor_rejected() {
+        let chain = paper_chain();
+        let object = UncertainObject::with_single_observation(
+            5,
+            Observation::exact(3, 3, 1).unwrap(),
+        );
+        assert!(matches!(
+            smoothed_distribution(&chain, &object, 2),
+            Err(QueryError::WindowBeforeObservation { .. })
+        ));
+    }
+
+    #[test]
+    fn trajectory_reconstruction_is_normalized() {
+        let chain = paper_chain();
+        let object = UncertainObject::new(
+            6,
+            vec![
+                Observation::exact(0, 3, 1).unwrap(),
+                Observation::exact(5, 3, 2).unwrap(),
+            ],
+        )
+        .unwrap();
+        let trajectory = smoothed_trajectory(&chain, &object, 0..=5).unwrap();
+        assert_eq!(trajectory.len(), 6);
+        for (t, dist) in &trajectory {
+            assert!(
+                (dist.sum() - 1.0).abs() < 1e-9,
+                "posterior at t={t} not normalized: {}",
+                dist.sum()
+            );
+        }
+        // Endpoints honour the exact observations.
+        assert!((trajectory[0].1.get(1) - 1.0).abs() < 1e-12);
+        assert!((trajectory[5].1.get(2) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,78 @@
+//! Evaluation statistics (operation counters).
+//!
+//! The paper's complexity claims are stated in transitions and touched
+//! states (`O(|D|·|S_reach|²·δt)` for OB vs `O(|D| + |S_reach|²·δt)` for
+//! QB). These counters make the claims observable: tests assert that QB
+//! performs a number of transitions independent of `|D|` while OB scales
+//! linearly, without relying on wall-clock timing.
+
+/// Counters accumulated during query evaluation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalStats {
+    /// Forward vector–matrix transitions performed.
+    pub transitions: u64,
+    /// Backward vector–matrix transitions performed (query-based passes).
+    pub backward_steps: u64,
+    /// Objects whose probability was computed.
+    pub objects_evaluated: u64,
+    /// Objects skipped by a prefilter or cluster bound.
+    pub objects_pruned: u64,
+    /// Propagations cut short because all worlds were already decided.
+    pub early_terminations: u64,
+    /// Total probability mass dropped by ε-pruning (bounds the error).
+    pub pruned_mass: f64,
+}
+
+impl EvalStats {
+    /// A fresh zeroed counter set.
+    pub fn new() -> Self {
+        EvalStats::default()
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.transitions += other.transitions;
+        self.backward_steps += other.backward_steps;
+        self.objects_evaluated += other.objects_evaluated;
+        self.objects_pruned += other.objects_pruned;
+        self.early_terminations += other.early_terminations;
+        self.pruned_mass += other.pruned_mass;
+    }
+
+    /// Total matrix transitions of either direction.
+    pub fn total_steps(&self) -> u64 {
+        self.transitions + self.backward_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EvalStats { transitions: 3, backward_steps: 1, ..Default::default() };
+        let b = EvalStats {
+            transitions: 2,
+            backward_steps: 4,
+            objects_evaluated: 7,
+            objects_pruned: 1,
+            early_terminations: 2,
+            pruned_mass: 0.5,
+        };
+        a.merge(&b);
+        assert_eq!(a.transitions, 5);
+        assert_eq!(a.backward_steps, 5);
+        assert_eq!(a.objects_evaluated, 7);
+        assert_eq!(a.objects_pruned, 1);
+        assert_eq!(a.early_terminations, 2);
+        assert_eq!(a.total_steps(), 10);
+        assert!((a.pruned_mass - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(EvalStats::new(), EvalStats::default());
+        assert_eq!(EvalStats::new().total_steps(), 0);
+    }
+}

@@ -1,0 +1,480 @@
+//! Probabilistic threshold queries with early termination.
+//!
+//! Applications usually ask for the objects whose query probability exceeds
+//! a threshold `τ` (e.g. "icebergs with ≥ 5% chance of entering the
+//! shipping lane") rather than the exact probabilities. During the
+//! object-based forward pass the ⊤ mass is a monotonically growing **lower
+//! bound** and `⊤ + remaining` a shrinking **upper bound** on `P∃`, so the
+//! propagation can stop as soon as either bound decides `τ` — the paper's
+//! remark that "computation can be stopped as soon as the probability of
+//! state ⊤ becomes sufficiently large", made symmetric for rejection.
+
+use ust_markov::{MarkovChain, PropagationVector, SpmvScratch, StateMask};
+
+use crate::database::TrajectoryDatabase;
+use crate::engine::object_based::validate;
+use crate::engine::EngineConfig;
+use crate::error::Result;
+use crate::object::UncertainObject;
+use crate::query::QueryWindow;
+use crate::stats::EvalStats;
+
+/// Time-indexed backward reachability of the query window.
+///
+/// `mask(t)` is the set of states from which the *remaining* window
+/// (`T▫ ∩ (t, t_end]`) is reachable along the chain's non-zero transitions.
+/// Mass outside `mask(t)` can never contribute to ⊤ anymore, so the upper
+/// bound tightens from `hit + alive` to `hit + alive∩mask(t)` — this is the
+/// structural pruning the paper folds into the `M+` matrices, hoisted out
+/// as a per-query precomputation shared by all objects.
+#[derive(Debug, Clone)]
+pub struct ReachabilityPruner {
+    t0: u32,
+    masks: Vec<StateMask>,
+}
+
+impl ReachabilityPruner {
+    /// Builds the masks for times `t0..=t_end` (one backward sweep over the
+    /// transposed chain).
+    pub fn build(chain: &MarkovChain, window: &QueryWindow, t0: u32) -> ReachabilityPruner {
+        let n = chain.num_states();
+        let t_end = window.t_end();
+        let steps = (t_end - t0.min(t_end)) as usize;
+        let transposed = chain.transposed();
+        let mut masks: Vec<StateMask> = Vec::with_capacity(steps + 1);
+        // At t_end nothing of the window remains ahead.
+        masks.push(StateMask::new(n));
+        let mut current = StateMask::new(n);
+        let mut t = t_end;
+        while t > t0.min(t_end) {
+            // Target of a transition out of time t-1: remaining-window
+            // reachable states at t, plus the window itself when t ∈ T▫.
+            let target = if window.time_in_window(t) {
+                current.union(window.states()).expect("same dimension")
+            } else {
+                current.clone()
+            };
+            let mut prev = StateMask::new(n);
+            if target.count() == n {
+                prev = StateMask::full(n);
+            } else {
+                for s in target.iter() {
+                    let (preds, _) = transposed.row(s);
+                    for &p in preds {
+                        let _ = prev.insert(p as usize);
+                    }
+                }
+            }
+            masks.push(prev.clone());
+            current = prev;
+            t -= 1;
+        }
+        masks.reverse();
+        ReachabilityPruner { t0: t0.min(t_end), masks }
+    }
+
+    /// The reachability mask at time `t` (None when `t` is out of range).
+    pub fn mask_at(&self, t: u32) -> Option<&StateMask> {
+        self.masks.get((t.checked_sub(self.t0)?) as usize)
+    }
+}
+
+/// Outcome of a thresholded PST∃Q on one object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdOutcome {
+    /// True when `P∃ ≥ τ`.
+    pub qualifies: bool,
+    /// Lower bound on `P∃` at the decision point.
+    pub lower: f64,
+    /// Upper bound on `P∃` at the decision point.
+    pub upper: f64,
+    /// True when the decision was reached before `t_end`.
+    pub early: bool,
+}
+
+/// Thresholded PST∃Q for one object (object-based with bound-based early
+/// termination).
+pub fn exists_threshold(
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    window: &QueryWindow,
+    tau: f64,
+    config: &EngineConfig,
+) -> Result<ThresholdOutcome> {
+    exists_threshold_with_stats(chain, object, window, tau, config, &mut EvalStats::new())
+}
+
+/// As [`exists_threshold`], accumulating counters.
+pub fn exists_threshold_with_stats(
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    window: &QueryWindow,
+    tau: f64,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<ThresholdOutcome> {
+    validate(chain, object, window)?;
+    let anchor = object.anchor();
+    let t0 = anchor.time();
+    let t_end = window.t_end();
+    let mut scratch = SpmvScratch::new();
+
+    let mut v = PropagationVector::from_sparse(anchor.distribution().clone())
+        .with_densify_threshold(config.densify_threshold);
+    let mut hit = 0.0;
+    if window.time_in_window(t0) {
+        hit += v.extract_masked(window.states());
+    }
+
+    let mut remaining_query_times =
+        window.times().iter().filter(|&t| t > t0).count();
+
+    let decide = |hit: f64, alive: f64, remaining: usize| -> Option<(bool, f64, f64)> {
+        // With no query timestamps left, no more mass can reach ⊤.
+        let upper = if remaining == 0 { hit } else { (hit + alive).min(1.0) };
+        if hit >= tau {
+            Some((true, hit, upper))
+        } else if upper < tau {
+            Some((false, hit, upper))
+        } else {
+            None
+        }
+    };
+
+    if let Some((qualifies, lower, upper)) = decide(hit, v.sum(), remaining_query_times) {
+        stats.objects_evaluated += 1;
+        return Ok(ThresholdOutcome { qualifies, lower, upper, early: true });
+    }
+
+    for t in t0..t_end {
+        v.step(chain.matrix(), &mut scratch)?;
+        stats.transitions += 1;
+        if window.time_in_window(t + 1) {
+            hit += v.extract_masked(window.states());
+            remaining_query_times -= 1;
+        }
+        if config.epsilon > 0.0 {
+            stats.pruned_mass += v.prune(config.epsilon);
+        }
+        if let Some((qualifies, lower, upper)) = decide(hit, v.sum(), remaining_query_times)
+        {
+            let early = t + 1 < t_end;
+            if early {
+                stats.early_terminations += 1;
+            }
+            stats.objects_evaluated += 1;
+            return Ok(ThresholdOutcome { qualifies, lower, upper, early });
+        }
+    }
+    stats.objects_evaluated += 1;
+    Ok(ThresholdOutcome { qualifies: hit >= tau, lower: hit, upper: hit, early: false })
+}
+
+/// As [`exists_threshold_with_stats`], additionally using a
+/// [`ReachabilityPruner`] to tighten the upper bound: alive mass outside
+/// the remaining window's backward-reachable set can never hit.
+pub fn exists_threshold_pruned(
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    window: &QueryWindow,
+    tau: f64,
+    config: &EngineConfig,
+    pruner: &ReachabilityPruner,
+    stats: &mut EvalStats,
+) -> Result<ThresholdOutcome> {
+    validate(chain, object, window)?;
+    let anchor = object.anchor();
+    let t0 = anchor.time();
+    let t_end = window.t_end();
+    let mut scratch = SpmvScratch::new();
+
+    let mut v = PropagationVector::from_sparse(anchor.distribution().clone())
+        .with_densify_threshold(config.densify_threshold);
+    let mut hit = 0.0;
+    if window.time_in_window(t0) {
+        hit += v.extract_masked(window.states());
+    }
+
+    let reachable_alive = |v: &PropagationVector, t: u32| -> f64 {
+        match pruner.mask_at(t) {
+            Some(mask) => v.masked_sum(mask),
+            None => v.sum(),
+        }
+    };
+
+    let decide = |hit: f64, alive: f64| -> Option<(bool, f64, f64)> {
+        let upper = (hit + alive).min(1.0);
+        if hit >= tau {
+            Some((true, hit, upper))
+        } else if upper < tau {
+            Some((false, hit, upper))
+        } else {
+            None
+        }
+    };
+
+    if let Some((qualifies, lower, upper)) = decide(hit, reachable_alive(&v, t0)) {
+        stats.objects_evaluated += 1;
+        stats.early_terminations += u64::from(t0 < t_end);
+        return Ok(ThresholdOutcome { qualifies, lower, upper, early: t0 < t_end });
+    }
+
+    for t in t0..t_end {
+        v.step(chain.matrix(), &mut scratch)?;
+        stats.transitions += 1;
+        if window.time_in_window(t + 1) {
+            hit += v.extract_masked(window.states());
+        }
+        if config.epsilon > 0.0 {
+            stats.pruned_mass += v.prune(config.epsilon);
+        }
+        if let Some((qualifies, lower, upper)) = decide(hit, reachable_alive(&v, t + 1)) {
+            let early = t + 1 < t_end;
+            if early {
+                stats.early_terminations += 1;
+            }
+            stats.objects_evaluated += 1;
+            return Ok(ThresholdOutcome { qualifies, lower, upper, early });
+        }
+    }
+    stats.objects_evaluated += 1;
+    Ok(ThresholdOutcome { qualifies: hit >= tau, lower: hit, upper: hit, early: false })
+}
+
+/// Ids of all database objects with `P∃ ≥ τ`. Builds one
+/// [`ReachabilityPruner`] per (model, anchor time) and evaluates every
+/// object with tight bound-based early termination.
+pub fn threshold_query(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    tau: f64,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<u64>> {
+    use std::collections::BTreeMap;
+    let mut accepted = Vec::new();
+    let mut pruners: BTreeMap<(usize, u32), ReachabilityPruner> = BTreeMap::new();
+    for object in db.objects() {
+        let chain = db.model_of(object);
+        let key = (object.model(), object.anchor().time());
+        let pruner = pruners
+            .entry(key)
+            .or_insert_with(|| ReachabilityPruner::build(chain, window, key.1));
+        let outcome =
+            exists_threshold_pruned(chain, object, window, tau, config, pruner, stats)?;
+        if outcome.qualifies {
+            accepted.push(object.id());
+        }
+    }
+    Ok(accepted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::object_based;
+    use crate::observation::Observation;
+    use ust_markov::CsrMatrix;
+    use ust_space::TimeSet;
+
+    fn paper_chain() -> MarkovChain {
+        MarkovChain::from_csr(
+            CsrMatrix::from_dense(&[
+                vec![0.0, 0.0, 1.0],
+                vec![0.6, 0.0, 0.4],
+                vec![0.0, 0.8, 0.2],
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn object_at_s2() -> UncertainObject {
+        UncertainObject::with_single_observation(1, Observation::exact(0, 3, 1).unwrap())
+    }
+
+    fn paper_window() -> QueryWindow {
+        QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap()
+    }
+
+    #[test]
+    fn decisions_match_exact_probability_for_all_taus() {
+        let chain = paper_chain();
+        let o = object_at_s2();
+        let w = paper_window();
+        let config = EngineConfig::default();
+        let exact = object_based::exists_probability(&chain, &o, &w, &config).unwrap();
+        for tau in [0.01, 0.1, 0.3, 0.5, 0.8, 0.863, 0.865, 0.99] {
+            let outcome = exists_threshold(&chain, &o, &w, tau, &config).unwrap();
+            assert_eq!(
+                outcome.qualifies,
+                exact >= tau,
+                "τ = {tau}: exact {exact}, outcome {outcome:?}"
+            );
+            assert!(outcome.lower <= exact + 1e-12);
+            assert!(outcome.upper >= exact - 1e-12);
+        }
+    }
+
+    #[test]
+    fn low_threshold_accepts_early() {
+        // After the first window timestamp the ⊤ mass is already 0.32,
+        // so τ = 0.3 must accept without propagating to t=3.
+        let mut stats = EvalStats::new();
+        let outcome = exists_threshold_with_stats(
+            &paper_chain(),
+            &object_at_s2(),
+            &paper_window(),
+            0.3,
+            &EngineConfig::default(),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(outcome.qualifies);
+        assert!(outcome.early);
+        assert_eq!(stats.transitions, 2);
+        assert_eq!(stats.early_terminations, 1);
+    }
+
+    #[test]
+    fn unreachable_window_rejects_early() {
+        // Query on a state that s1-anchored worlds cannot reach in 1 step
+        // with τ above the total reachable mass: from s1 all mass goes to
+        // s3, so window {s2}×{1} has probability 0 → upper bound drops to 0
+        // at t=1 < t_end=1 edge; use τ > 0 with a longer horizon instead.
+        let o = UncertainObject::with_single_observation(
+            2,
+            Observation::exact(0, 3, 0).unwrap(),
+        );
+        let w = QueryWindow::from_states(3, [1usize], TimeSet::at(1)).unwrap();
+        let outcome = exists_threshold(
+            &paper_chain(),
+            &o,
+            &w,
+            0.5,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert!(!outcome.qualifies);
+        assert_eq!(outcome.upper, 0.0);
+    }
+
+    #[test]
+    fn anchor_in_window_can_decide_before_any_transition() {
+        let o = UncertainObject::with_single_observation(
+            3,
+            Observation::exact(2, 3, 0).unwrap(),
+        );
+        let mut stats = EvalStats::new();
+        let outcome = exists_threshold_with_stats(
+            &paper_chain(),
+            &o,
+            &paper_window(),
+            0.9,
+            &EngineConfig::default(),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(outcome.qualifies);
+        assert!(outcome.early);
+        assert_eq!(stats.transitions, 0);
+    }
+
+    #[test]
+    fn reachability_pruner_masks_shrink_near_t_end() {
+        let chain = paper_chain();
+        let window = paper_window();
+        let pruner = ReachabilityPruner::build(&chain, &window, 0);
+        // At t_end nothing remains ahead.
+        assert_eq!(pruner.mask_at(3).unwrap().count(), 0);
+        // At t=2: states that can enter {s1, s2} at t=3 → predecessors of
+        // the window: s2 (→s1) and s3 (→s2).
+        assert_eq!(pruner.mask_at(2).unwrap().to_indices(), vec![1, 2]);
+        // Earlier masks can only grow (window reachable from everywhere).
+        assert_eq!(pruner.mask_at(0).unwrap().count(), 3);
+        assert!(pruner.mask_at(4).is_none());
+    }
+
+    #[test]
+    fn pruned_threshold_matches_unpruned_decisions() {
+        let chain = paper_chain();
+        let o = object_at_s2();
+        let w = paper_window();
+        let config = EngineConfig::default();
+        let pruner = ReachabilityPruner::build(&chain, &w, 0);
+        for tau in [0.05, 0.3, 0.5, 0.8, 0.9] {
+            let plain = exists_threshold(&chain, &o, &w, tau, &config).unwrap();
+            let pruned = exists_threshold_pruned(
+                &chain,
+                &o,
+                &w,
+                tau,
+                &config,
+                &pruner,
+                &mut EvalStats::new(),
+            )
+            .unwrap();
+            assert_eq!(plain.qualifies, pruned.qualifies, "τ = {tau}");
+            assert!(pruned.upper <= plain.upper + 1e-12, "pruned bound must be tighter");
+        }
+    }
+
+    #[test]
+    fn pruner_rejects_unreachable_objects_immediately() {
+        // A 5-state "conveyor belt" moving right: an object at state 4
+        // (the absorbing end) can never come back to state 0.
+        let chain = MarkovChain::from_csr(
+            CsrMatrix::from_dense(&[
+                vec![0.0, 1.0, 0.0, 0.0, 0.0],
+                vec![0.0, 0.0, 1.0, 0.0, 0.0],
+                vec![0.0, 0.0, 0.0, 1.0, 0.0],
+                vec![0.0, 0.0, 0.0, 0.0, 1.0],
+                vec![0.0, 0.0, 0.0, 0.0, 1.0],
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let o = UncertainObject::with_single_observation(
+            1,
+            Observation::exact(0, 5, 4).unwrap(),
+        );
+        let w = QueryWindow::from_states(5, [0usize], TimeSet::interval(3, 8)).unwrap();
+        let pruner = ReachabilityPruner::build(&chain, &w, 0);
+        let mut stats = EvalStats::new();
+        let outcome = exists_threshold_pruned(
+            &chain,
+            &o,
+            &w,
+            0.01,
+            &EngineConfig::default(),
+            &pruner,
+            &mut stats,
+        )
+        .unwrap();
+        assert!(!outcome.qualifies);
+        assert!(outcome.early);
+        assert_eq!(stats.transitions, 0, "decided before any propagation");
+    }
+
+    #[test]
+    fn batch_threshold_query() {
+        let mut db = TrajectoryDatabase::new(paper_chain());
+        for (i, s) in [0usize, 1, 2].into_iter().enumerate() {
+            db.insert(UncertainObject::with_single_observation(
+                i as u64,
+                Observation::exact(0, 3, s).unwrap(),
+            ))
+            .unwrap();
+        }
+        // Exact probabilities are (0.96, 0.864, 0.928).
+        let accepted = threshold_query(
+            &db,
+            &paper_window(),
+            0.9,
+            &EngineConfig::default(),
+            &mut EvalStats::new(),
+        )
+        .unwrap();
+        assert_eq!(accepted, vec![0, 2]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # ust-data — datasets, scenarios and workloads
+//!
+//! Generators for everything the ICDE 2012 evaluation runs on:
+//!
+//! * [`synthetic`] — the Table I synthetic generator (`|D|`, `|S|`,
+//!   `object_spread`, `state_spread`, `max_step`);
+//! * [`network_data`] — road-network chains ("transition matrix =
+//!   adjacency matrix with random row-normalized weights") over the
+//!   NA-like / Munich-like graphs from `ust_space::network_gen`;
+//! * [`iceberg`] — the introduction's iceberg-drift scenario on a 2-D
+//!   raster with a current-biased chain and sparse re-sightings;
+//! * [`traffic`] — the road-traffic motivation (expected congestion
+//!   queries, hotspot ranking);
+//! * [`workload`] — query-window workloads, including the paper's default
+//!   window (states `[100, 120]` × times `[20, 25]`);
+//! * [`csv`] — the result-table writer used by the benchmark harness;
+//! * [`io`] — plain-text persistence for chains and databases.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod iceberg;
+pub mod io;
+pub mod network_data;
+pub mod synthetic;
+pub mod traffic;
+pub mod workload;
+
+pub use csv::ResultTable;
+pub use synthetic::{SyntheticConfig, SyntheticDataset};

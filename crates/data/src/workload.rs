@@ -1,0 +1,130 @@
+//! Query workload generators for the evaluation harness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ust_core::{QueryWindow, Result};
+use ust_space::TimeSet;
+
+/// The paper's default query window: states `[100, 120]`, times `[20, 25]`
+/// ("the query window is defined by the states [100, 120] and time
+/// interval [20, 25]").
+pub fn paper_default_window(num_states: usize) -> Result<QueryWindow> {
+    QueryWindow::from_states(num_states, 100usize..=120, TimeSet::interval(20, 25))
+}
+
+/// Parameters for random rectangular windows over a linear state space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowWorkloadConfig {
+    /// Number of windows to generate.
+    pub count: usize,
+    /// Total number of states.
+    pub num_states: usize,
+    /// Width of the state range per window (e.g. 21 for `[100, 120]`).
+    pub state_width: usize,
+    /// Earliest possible query start time.
+    pub min_start: u32,
+    /// Latest possible query start time.
+    pub max_start: u32,
+    /// Number of timestamps per window (e.g. 6 for `[20, 25]`).
+    pub duration: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates `count` random windows with the given shape.
+pub fn random_windows(config: &WindowWorkloadConfig) -> Result<Vec<QueryWindow>> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(config.count);
+    let width = config.state_width.clamp(1, config.num_states);
+    for _ in 0..config.count {
+        let lo = rng.random_range(0..=(config.num_states - width));
+        let start = if config.max_start > config.min_start {
+            rng.random_range(config.min_start..=config.max_start)
+        } else {
+            config.min_start
+        };
+        let end = start + config.duration.saturating_sub(1);
+        out.push(QueryWindow::from_states(
+            config.num_states,
+            lo..=(lo + width - 1),
+            TimeSet::interval(start, end),
+        )?);
+    }
+    Ok(out)
+}
+
+/// A window identical to `window` in space but re-anchored to start at
+/// `start` with the same duration — used by the "query start time" sweeps
+/// of Fig. 9.
+pub fn with_start_time(window: &QueryWindow, start: u32) -> Result<QueryWindow> {
+    let len = window.num_times() as u32;
+    QueryWindow::new(
+        window.states().clone(),
+        TimeSet::interval(start, start + len.saturating_sub(1)),
+    )
+}
+
+/// A window identical in space but spanning `[t_start, t_start + len − 1]`
+/// with variable length — the "query window timeslot" sweeps of Fig. 10.
+pub fn with_duration(window: &QueryWindow, len: u32) -> Result<QueryWindow> {
+    let start = window.t_start();
+    QueryWindow::new(
+        window.states().clone(),
+        TimeSet::interval(start, start + len.saturating_sub(1)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_window_shape() {
+        let w = paper_default_window(100_000).unwrap();
+        assert_eq!(w.states().count(), 21);
+        assert!(w.states().contains(100));
+        assert!(w.states().contains(120));
+        assert!(!w.states().contains(99));
+        assert_eq!(w.t_start(), 20);
+        assert_eq!(w.t_end(), 25);
+        assert!(paper_default_window(50).is_err(), "window must fit the space");
+    }
+
+    #[test]
+    fn random_windows_have_requested_shape() {
+        let config = WindowWorkloadConfig {
+            count: 25,
+            num_states: 5_000,
+            state_width: 21,
+            min_start: 5,
+            max_start: 50,
+            duration: 6,
+            seed: 8,
+        };
+        let windows = random_windows(&config).unwrap();
+        assert_eq!(windows.len(), 25);
+        for w in &windows {
+            assert_eq!(w.states().count(), 21);
+            assert_eq!(w.num_times(), 6);
+            assert!(w.t_start() >= 5 && w.t_start() <= 50);
+        }
+        // Determinism.
+        let again = random_windows(&config).unwrap();
+        assert_eq!(windows[3], again[3]);
+    }
+
+    #[test]
+    fn start_time_and_duration_rewrites() {
+        let w = paper_default_window(100_000).unwrap();
+        let shifted = with_start_time(&w, 40).unwrap();
+        assert_eq!(shifted.t_start(), 40);
+        assert_eq!(shifted.t_end(), 45);
+        assert_eq!(shifted.states(), w.states());
+        let stretched = with_duration(&w, 10).unwrap();
+        assert_eq!(stretched.t_start(), 20);
+        assert_eq!(stretched.t_end(), 29);
+        let single = with_duration(&w, 1).unwrap();
+        assert_eq!(single.num_times(), 1);
+    }
+}

@@ -1,0 +1,305 @@
+//! Homogeneous Markov chains over a discrete state space (Definition 5/6).
+//!
+//! [`MarkovChain`] bundles a validated transition matrix with the derived
+//! artifacts query processing needs: the transposed matrix (built lazily and
+//! cached — the query-based approach uses it for every backward step),
+//! reachability analysis, and distribution propagation (Corollaries 1 and 2
+//! of the paper).
+
+use std::sync::OnceLock;
+
+use crate::csr::{CsrMatrix, SpmvScratch};
+use crate::dense::DenseVector;
+use crate::error::{MarkovError, Result};
+use crate::mask::StateMask;
+use crate::sparse_vec::SparseVector;
+use crate::stochastic::StochasticMatrix;
+
+/// A homogeneous first-order Markov chain.
+#[derive(Debug)]
+pub struct MarkovChain {
+    matrix: StochasticMatrix,
+    transposed: OnceLock<CsrMatrix>,
+}
+
+impl Clone for MarkovChain {
+    fn clone(&self) -> Self {
+        MarkovChain { matrix: self.matrix.clone(), transposed: OnceLock::new() }
+    }
+}
+
+impl MarkovChain {
+    /// Wraps a validated transition matrix.
+    pub fn new(matrix: StochasticMatrix) -> Self {
+        MarkovChain { matrix, transposed: OnceLock::new() }
+    }
+
+    /// Validates `matrix` and wraps it.
+    pub fn from_csr(matrix: CsrMatrix) -> Result<Self> {
+        Ok(Self::new(StochasticMatrix::new(matrix)?))
+    }
+
+    /// Builds a chain by row-normalizing arbitrary non-negative weights.
+    pub fn from_weights(matrix: CsrMatrix) -> Result<Self> {
+        Ok(Self::new(StochasticMatrix::normalize(matrix)?))
+    }
+
+    /// Number of states `|S|`.
+    pub fn num_states(&self) -> usize {
+        self.matrix.dim()
+    }
+
+    /// The validated transition matrix.
+    pub fn stochastic(&self) -> &StochasticMatrix {
+        &self.matrix
+    }
+
+    /// The raw CSR transition matrix `M`.
+    pub fn matrix(&self) -> &CsrMatrix {
+        self.matrix.matrix()
+    }
+
+    /// The cached transposed matrix `Mᵀ` (computed on first use).
+    pub fn transposed(&self) -> &CsrMatrix {
+        self.transposed.get_or_init(|| self.matrix.transposed())
+    }
+
+    /// One forward step: `P(o, t+1) = P(o, t) · M` (Corollary 1).
+    pub fn step_dense(&self, dist: &DenseVector) -> Result<DenseVector> {
+        self.matrix().vecmat_dense(dist)
+    }
+
+    /// One forward step on a sparse distribution.
+    pub fn step_sparse(&self, dist: &SparseVector, scratch: &mut SpmvScratch) -> Result<SparseVector> {
+        self.matrix().vecmat_sparse_with(dist, scratch)
+    }
+
+    /// `m` forward steps: `P(o, t+m) = P(o, t) · M^m` (Corollary 2),
+    /// evaluated as `m` successive vector-matrix products (cheaper than
+    /// materializing `M^m` unless the power is reused many times).
+    pub fn propagate_dense(&self, dist: &DenseVector, m: u32) -> Result<DenseVector> {
+        let mut current = dist.clone();
+        for _ in 0..m {
+            current = self.step_dense(&current)?;
+        }
+        Ok(current)
+    }
+
+    /// `m` forward steps on a sparse distribution.
+    pub fn propagate_sparse(&self, dist: &SparseVector, m: u32) -> Result<SparseVector> {
+        let mut scratch = SpmvScratch::new();
+        let mut current = dist.clone();
+        for _ in 0..m {
+            current = self.step_sparse(&current, &mut scratch)?;
+        }
+        Ok(current)
+    }
+
+    /// The `m`-step transition matrix `M^m` (Chapman-Kolmogorov equations).
+    pub fn m_step_matrix(&self, m: u32) -> Result<CsrMatrix> {
+        self.matrix().power(m)
+    }
+
+    /// States reachable from `start` within at most `steps` transitions
+    /// (the `S_reach` of the paper's complexity analysis). The start states
+    /// themselves are included.
+    pub fn reachable_within(&self, start: &StateMask, steps: u32) -> StateMask {
+        let n = self.num_states();
+        let mut reached = start.clone();
+        let mut frontier: Vec<usize> = start.iter().collect();
+        for _ in 0..steps {
+            let mut next = Vec::new();
+            for &s in &frontier {
+                let (cols, _) = self.matrix().row(s);
+                for &c in cols {
+                    let c = c as usize;
+                    if c < n && !reached.contains(c) {
+                        // insert cannot fail: c < n by construction
+                        let _ = reached.insert(c);
+                        next.push(c);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        reached
+    }
+
+    /// States that can reach `targets` within at most `steps` transitions
+    /// (backward reachability over `Mᵀ`), used for query-side pruning.
+    pub fn co_reachable_within(&self, targets: &StateMask, steps: u32) -> StateMask {
+        let n = self.num_states();
+        let transposed = self.transposed();
+        let mut reached = targets.clone();
+        let mut frontier: Vec<usize> = targets.iter().collect();
+        for _ in 0..steps {
+            let mut next = Vec::new();
+            for &s in &frontier {
+                let (cols, _) = transposed.row(s);
+                for &c in cols {
+                    let c = c as usize;
+                    if c < n && !reached.contains(c) {
+                        let _ = reached.insert(c);
+                        next.push(c);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        reached
+    }
+
+    /// Approximates the stationary distribution by power iteration from the
+    /// uniform distribution. Returns the distribution and the number of
+    /// iterations used; converges for irreducible aperiodic chains.
+    pub fn stationary(&self, tol: f64, max_iter: u32) -> Result<(DenseVector, u32)> {
+        if self.num_states() == 0 {
+            return Err(MarkovError::Empty { what: "state space" });
+        }
+        let mut current = DenseVector::uniform(self.num_states())?;
+        for iter in 0..max_iter {
+            let next = self.step_dense(&current)?;
+            let delta: f64 = current
+                .as_slice()
+                .iter()
+                .zip(next.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            current = next;
+            if delta < tol {
+                return Ok((current, iter + 1));
+            }
+        }
+        Ok((current, max_iter))
+    }
+
+    /// True when every state can reach every other state (single strongly
+    /// connected component). Uses two BFS passes (forward + backward) from
+    /// state 0 — O(nnz) each.
+    pub fn is_irreducible(&self) -> bool {
+        let n = self.num_states();
+        if n == 0 {
+            return false;
+        }
+        let origin = match StateMask::from_indices(n, [0usize]) {
+            Ok(m) => m,
+            Err(_) => return false,
+        };
+        let fwd = self.reachable_within(&origin, n as u32);
+        if fwd.count() != n {
+            return false;
+        }
+        let bwd = self.co_reachable_within(&origin, n as u32);
+        bwd.count() == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_chain() -> MarkovChain {
+        MarkovChain::from_csr(
+            CsrMatrix::from_dense(&[
+                vec![0.0, 0.0, 1.0],
+                vec![0.6, 0.0, 0.4],
+                vec![0.0, 0.8, 0.2],
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn propagation_matches_worked_example() {
+        let chain = paper_chain();
+        let p0 = DenseVector::from_vec(vec![0.0, 1.0, 0.0]);
+        let p2 = chain.propagate_dense(&p0, 2).unwrap();
+        assert!(p2.approx_eq(&DenseVector::from_vec(vec![0.0, 0.32, 0.68]), 1e-12));
+        let sparse = chain
+            .propagate_sparse(&SparseVector::unit(3, 1).unwrap(), 2)
+            .unwrap();
+        assert!(sparse.to_dense().approx_eq(&p2, 1e-12));
+    }
+
+    #[test]
+    fn m_step_matrix_equals_stepwise_propagation() {
+        let chain = paper_chain();
+        let m3 = chain.m_step_matrix(3).unwrap();
+        let p0 = DenseVector::from_vec(vec![1.0, 0.0, 0.0]);
+        let direct = m3.vecmat_dense(&p0).unwrap();
+        let stepped = chain.propagate_dense(&p0, 3).unwrap();
+        assert!(direct.approx_eq(&stepped, 1e-12));
+    }
+
+    #[test]
+    fn transposed_is_cached_and_correct() {
+        let chain = paper_chain();
+        let t1 = chain.transposed() as *const CsrMatrix;
+        let t2 = chain.transposed() as *const CsrMatrix;
+        assert_eq!(t1, t2, "transpose should be computed once");
+        assert_eq!(chain.transposed().get(0, 1), 0.6);
+    }
+
+    #[test]
+    fn reachability_grows_with_steps() {
+        let chain = paper_chain();
+        let start = StateMask::from_indices(3, [0usize]).unwrap();
+        let r0 = chain.reachable_within(&start, 0);
+        assert_eq!(r0.to_indices(), vec![0]);
+        let r1 = chain.reachable_within(&start, 1);
+        assert_eq!(r1.to_indices(), vec![0, 2]);
+        let r2 = chain.reachable_within(&start, 2);
+        assert_eq!(r2.to_indices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn co_reachability_uses_incoming_edges() {
+        let chain = paper_chain();
+        let target = StateMask::from_indices(3, [0usize]).unwrap();
+        // Only s1 (index 1) has an edge into s0.
+        let r1 = chain.co_reachable_within(&target, 1);
+        assert_eq!(r1.to_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn stationary_distribution_is_fixed_point() {
+        let chain = paper_chain();
+        let (pi, iters) = chain.stationary(1e-12, 10_000).unwrap();
+        assert!(iters < 10_000, "power iteration should converge");
+        let next = chain.step_dense(&pi).unwrap();
+        assert!(next.approx_eq(&pi, 1e-9));
+        assert!((pi.sum() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn irreducibility_detection() {
+        assert!(paper_chain().is_irreducible());
+        // Two disconnected self-loop states: reducible.
+        let chain = MarkovChain::from_csr(CsrMatrix::identity(2)).unwrap();
+        assert!(!chain.is_irreducible());
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let raw = CsrMatrix::from_dense(&[vec![3.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let chain = MarkovChain::from_weights(raw).unwrap();
+        assert_eq!(chain.matrix().get(0, 0), 0.75);
+        assert_eq!(chain.num_states(), 2);
+    }
+
+    #[test]
+    fn clone_preserves_matrix() {
+        let chain = paper_chain();
+        let _ = chain.transposed();
+        let cloned = chain.clone();
+        assert_eq!(cloned.matrix().get(1, 0), 0.6);
+        assert_eq!(cloned.transposed().get(0, 1), 0.6);
+    }
+}

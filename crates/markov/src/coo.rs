@@ -1,0 +1,174 @@
+//! Triplet (coordinate-format) builder for sparse matrices.
+//!
+//! Transition matrices are assembled from arbitrary-order `(row, col, value)`
+//! triplets — e.g. one triplet per road-network edge — and then frozen into
+//! the compressed sparse row format used by the propagation kernels.
+
+use crate::csr::CsrMatrix;
+use crate::error::{MarkovError, Result};
+
+/// Accumulates `(row, col, value)` triplets for a matrix of fixed shape.
+#[derive(Debug, Clone)]
+pub struct CooBuilder {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CooBuilder {
+    /// Creates a builder for an `nrows × ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooBuilder { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates a builder with pre-allocated capacity for `cap` triplets.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooBuilder {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of triplets currently stored (duplicates not yet combined).
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True when no triplet has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Matrix shape `(nrows, ncols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Adds one triplet. Duplicate `(row, col)` pairs are summed on build.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.nrows {
+            return Err(MarkovError::IndexOutOfBounds { index: row, dim: self.nrows });
+        }
+        if col >= self.ncols {
+            return Err(MarkovError::IndexOutOfBounds { index: col, dim: self.ncols });
+        }
+        if value != 0.0 {
+            self.rows.push(row as u32);
+            self.cols.push(col as u32);
+            self.vals.push(value);
+        }
+        Ok(())
+    }
+
+    /// Freezes the triplets into a [`CsrMatrix`], summing duplicates and
+    /// dropping entries that cancel to exactly zero.
+    pub fn build(self) -> CsrMatrix {
+        let nnz = self.vals.len();
+        // Counting sort by row: O(nnz + nrows) instead of a comparison sort.
+        let mut counts = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            counts[i + 1] += counts[i];
+        }
+        let mut order = vec![0usize; nnz];
+        let mut next = counts.clone();
+        for (k, &r) in self.rows.iter().enumerate() {
+            order[next[r as usize]] = k;
+            next[r as usize] += 1;
+        }
+
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices: Vec<u32> = Vec::with_capacity(nnz);
+        let mut data: Vec<f64> = Vec::with_capacity(nnz);
+        indptr.push(0);
+        let mut row_buf: Vec<(u32, f64)> = Vec::new();
+        for row in 0..self.nrows {
+            row_buf.clear();
+            for &k in &order[counts[row]..counts[row + 1]] {
+                row_buf.push((self.cols[k], self.vals[k]));
+            }
+            row_buf.sort_unstable_by_key(|(c, _)| *c);
+            let mut iter = row_buf.iter().copied().peekable();
+            while let Some((c, mut v)) = iter.next() {
+                while let Some(&(c2, v2)) = iter.peek() {
+                    if c2 == c {
+                        v += v2;
+                        iter.next();
+                    } else {
+                        break;
+                    }
+                }
+                if v != 0.0 {
+                    indices.push(c);
+                    data.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix::from_raw_parts(self.nrows, self.ncols, indptr, indices, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_csr_from_unsorted_triplets() {
+        let mut b = CooBuilder::new(3, 3);
+        b.push(2, 1, 0.8).unwrap();
+        b.push(0, 2, 1.0).unwrap();
+        b.push(1, 0, 0.6).unwrap();
+        b.push(1, 2, 0.4).unwrap();
+        b.push(2, 2, 0.2).unwrap();
+        let m = b.build();
+        assert_eq!(m.shape(), (3, 3));
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.get(0, 2), 1.0);
+        assert_eq!(m.get(1, 0), 0.6);
+        assert_eq!(m.get(2, 1), 0.8);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed_and_cancellations_dropped() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, 0.5).unwrap();
+        b.push(0, 0, 0.25).unwrap();
+        b.push(1, 1, 1.0).unwrap();
+        b.push(1, 1, -1.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.get(0, 0), 0.75);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn zero_values_are_ignored() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, 0.0).unwrap();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let mut b = CooBuilder::new(2, 3);
+        assert!(b.push(2, 0, 1.0).is_err());
+        assert!(b.push(0, 3, 1.0).is_err());
+        assert_eq!(b.shape(), (2, 3));
+    }
+
+    #[test]
+    fn empty_builder_yields_empty_matrix() {
+        let m = CooBuilder::new(4, 4).build();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.shape(), (4, 4));
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for the linear-algebra and Markov-chain substrate.
+
+use std::fmt;
+
+/// Errors raised by matrix/vector construction and Markov-chain validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        found: usize,
+    },
+    /// An index is out of range for the given dimension.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The dimension it was checked against.
+        dim: usize,
+    },
+    /// A matrix row violates row-stochasticity (sum ≉ 1 or negative entry).
+    NotStochastic {
+        /// Row that failed validation.
+        row: usize,
+        /// The row sum that was observed.
+        sum: f64,
+    },
+    /// A value that must be a probability lies outside `[0, 1]`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// A vector that must carry probability mass has zero (or negative) mass,
+    /// e.g. after conditioning on contradictory observations.
+    ZeroMass,
+    /// An operation requires a non-empty structure but got an empty one.
+    Empty {
+        /// What was empty.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::DimensionMismatch { op, expected, found } => {
+                write!(f, "dimension mismatch in {op}: expected {expected}, found {found}")
+            }
+            MarkovError::IndexOutOfBounds { index, dim } => {
+                write!(f, "index {index} out of bounds for dimension {dim}")
+            }
+            MarkovError::NotStochastic { row, sum } => {
+                write!(f, "row {row} is not stochastic (sum = {sum})")
+            }
+            MarkovError::InvalidProbability { value } => {
+                write!(f, "value {value} is not a probability in [0, 1]")
+            }
+            MarkovError::ZeroMass => write!(f, "probability vector has zero total mass"),
+            MarkovError::Empty { what } => write!(f, "{what} must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for MarkovError {}
+
+/// Convenience alias used across the substrate.
+pub type Result<T> = std::result::Result<T, MarkovError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MarkovError::DimensionMismatch { op: "dot", expected: 3, found: 4 };
+        assert!(e.to_string().contains("dot"));
+        assert!(e.to_string().contains('3'));
+        let e = MarkovError::NotStochastic { row: 7, sum: 0.5 };
+        assert!(e.to_string().contains('7'));
+        let e = MarkovError::IndexOutOfBounds { index: 9, dim: 3 };
+        assert!(e.to_string().contains('9'));
+        let e = MarkovError::InvalidProbability { value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        assert!(MarkovError::ZeroMass.to_string().contains("zero"));
+        let e = MarkovError::Empty { what: "state set" };
+        assert!(e.to_string().contains("state set"));
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let e = MarkovError::ZeroMass;
+        assert_eq!(e.clone(), e);
+        assert_ne!(e, MarkovError::Empty { what: "x" });
+    }
+}

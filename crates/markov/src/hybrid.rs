@@ -1,0 +1,384 @@
+//! Adaptive sparse→dense propagation vectors.
+//!
+//! An object's location distribution starts with a handful of non-zero
+//! entries (the paper's `object_spread` defaults to 5) and fans out by at
+//! most `state_spread` successors per step, so early transitions are far
+//! cheaper on a sparse vector. As the chain mixes, the vector densifies and
+//! sparse bookkeeping becomes pure overhead — beyond roughly 1/4 fill, a
+//! dense kernel is faster and allocation-free. [`PropagationVector`] switches
+//! representation automatically at a configurable density threshold.
+//!
+//! This is the "hybrid" design choice ablated in `bench/ablation_hybrid`.
+
+use crate::csr::{CsrMatrix, SpmvScratch};
+use crate::dense::DenseVector;
+use crate::error::{MarkovError, Result};
+use crate::mask::StateMask;
+use crate::sparse_vec::SparseVector;
+
+/// Density above which the vector flips to the dense representation.
+pub const DEFAULT_DENSIFY_THRESHOLD: f64 = 0.25;
+
+/// The two physical representations of a propagation vector.
+#[derive(Debug, Clone, PartialEq)]
+enum Repr {
+    Sparse(SparseVector),
+    Dense(DenseVector),
+}
+
+/// A probability vector that propagates through transition matrices,
+/// choosing its representation adaptively.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropagationVector {
+    repr: Repr,
+    densify_at: f64,
+}
+
+impl PropagationVector {
+    /// Starts from a sparse distribution with the default threshold.
+    pub fn from_sparse(v: SparseVector) -> Self {
+        PropagationVector { repr: Repr::Sparse(v), densify_at: DEFAULT_DENSIFY_THRESHOLD }
+    }
+
+    /// Starts from a dense distribution (never converts back to sparse).
+    pub fn from_dense(v: DenseVector) -> Self {
+        PropagationVector { repr: Repr::Dense(v), densify_at: DEFAULT_DENSIFY_THRESHOLD }
+    }
+
+    /// Overrides the densification threshold.
+    ///
+    /// `1.0` (or anything ≥ 1) keeps the vector sparse forever; `0.0`
+    /// densifies on the first step. Used by the ablation benchmarks.
+    pub fn with_densify_threshold(mut self, threshold: f64) -> Self {
+        self.densify_at = threshold;
+        self
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(v) => v.dim(),
+            Repr::Dense(v) => v.dim(),
+        }
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(v) => v.nnz(),
+            Repr::Dense(v) => v.nnz(),
+        }
+    }
+
+    /// True while the sparse representation is active.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, Repr::Sparse(_))
+    }
+
+    /// Total mass (sum of entries).
+    pub fn sum(&self) -> f64 {
+        match &self.repr {
+            Repr::Sparse(v) => v.sum(),
+            Repr::Dense(v) => v.sum(),
+        }
+    }
+
+    /// Value at a single state.
+    pub fn get(&self, index: usize) -> f64 {
+        match &self.repr {
+            Repr::Sparse(v) => v.get(index),
+            Repr::Dense(v) => v.get(index),
+        }
+    }
+
+    /// One transition `v ← v · M`, switching representation if the result
+    /// crosses the density threshold.
+    pub fn step(&mut self, matrix: &CsrMatrix, scratch: &mut SpmvScratch) -> Result<()> {
+        match &self.repr {
+            Repr::Sparse(v) => {
+                let next = matrix.vecmat_sparse_with(v, scratch)?;
+                if next.density() > self.densify_at {
+                    self.repr = Repr::Dense(next.to_dense());
+                } else {
+                    self.repr = Repr::Sparse(next);
+                }
+            }
+            Repr::Dense(v) => {
+                self.repr = Repr::Dense(matrix.vecmat_dense(v)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Sum of the mass currently inside `mask`.
+    pub fn masked_sum(&self, mask: &StateMask) -> f64 {
+        match &self.repr {
+            Repr::Sparse(v) => v.masked_sum(mask),
+            Repr::Dense(v) => v.masked_sum(mask),
+        }
+    }
+
+    /// Removes and returns the mass inside `mask` — the virtual application
+    /// of the `M+` redirect-to-⊤ column surgery.
+    pub fn extract_masked(&mut self, mask: &StateMask) -> f64 {
+        match &mut self.repr {
+            Repr::Sparse(v) => v.extract_masked(mask),
+            Repr::Dense(v) => v.extract_masked(mask),
+        }
+    }
+
+    /// Removes the entries inside `mask`, returning them as a sparse vector
+    /// (the k-times level shift of Section VII).
+    pub fn split_masked(&mut self, mask: &StateMask) -> SparseVector {
+        match &mut self.repr {
+            Repr::Sparse(v) => v.split_masked(mask),
+            Repr::Dense(v) => v.split_masked(mask),
+        }
+    }
+
+    /// Adds a sparse vector into this one (in place).
+    pub fn add_sparse(&mut self, other: &SparseVector) -> Result<()> {
+        if other.dim() != self.dim() {
+            return Err(MarkovError::DimensionMismatch {
+                op: "propagation add",
+                expected: self.dim(),
+                found: other.dim(),
+            });
+        }
+        match &mut self.repr {
+            Repr::Sparse(v) => {
+                let merged = v.add(other)?;
+                if merged.density() > self.densify_at {
+                    self.repr = Repr::Dense(merged.to_dense());
+                } else {
+                    self.repr = Repr::Sparse(merged);
+                }
+            }
+            Repr::Dense(v) => {
+                let slice = v.as_mut_slice();
+                for (i, val) in other.iter() {
+                    slice[i] += val;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Element-wise multiplication with an observation likelihood (Lemma 1
+    /// fusion). The result keeps the current representation.
+    pub fn hadamard_sparse(&mut self, obs: &SparseVector) -> Result<()> {
+        if obs.dim() != self.dim() {
+            return Err(MarkovError::DimensionMismatch {
+                op: "observation fusion",
+                expected: self.dim(),
+                found: obs.dim(),
+            });
+        }
+        match &mut self.repr {
+            Repr::Sparse(v) => {
+                *v = v.hadamard(obs)?;
+            }
+            Repr::Dense(v) => {
+                // Posterior support is a subset of the observation support,
+                // so the result is sparse regardless of the prior's density.
+                let pairs: Vec<(usize, f64)> = obs
+                    .iter()
+                    .map(|(i, likelihood)| (i, likelihood * v.get(i)))
+                    .filter(|(_, p)| *p != 0.0)
+                    .collect();
+                let sparse = SparseVector::from_pairs(v.dim(), pairs)?;
+                if sparse.density() > self.densify_at {
+                    self.repr = Repr::Dense(sparse.to_dense());
+                } else {
+                    self.repr = Repr::Sparse(sparse);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Scales all entries by `factor` (joint renormalization across the
+    /// hit/not-hit pair of vectors is done by the caller).
+    pub fn scale(&mut self, factor: f64) {
+        match &mut self.repr {
+            Repr::Sparse(v) => v.scale(factor),
+            Repr::Dense(v) => v.scale(factor),
+        }
+    }
+
+    /// ε-pruning: drops entries with `|v| ≤ threshold`, returning the
+    /// dropped mass. Only meaningful on the sparse representation; a dense
+    /// vector is left untouched (dropping entries would not shrink it).
+    pub fn prune(&mut self, threshold: f64) -> f64 {
+        match &mut self.repr {
+            Repr::Sparse(v) => v.prune(threshold),
+            Repr::Dense(_) => 0.0,
+        }
+    }
+
+    /// Dot product against a dense vector (e.g. a QB backward vector).
+    pub fn dot_dense(&self, other: &DenseVector) -> Result<f64> {
+        match &self.repr {
+            Repr::Sparse(v) => v.dot_dense(other),
+            Repr::Dense(v) => v.dot(other),
+        }
+    }
+
+    /// Materializes the current state as a dense vector.
+    pub fn to_dense(&self) -> DenseVector {
+        match &self.repr {
+            Repr::Sparse(v) => v.to_dense(),
+            Repr::Dense(v) => v.clone(),
+        }
+    }
+
+    /// Materializes the current state as a sparse vector.
+    pub fn to_sparse(&self) -> SparseVector {
+        match &self.repr {
+            Repr::Sparse(v) => v.clone(),
+            Repr::Dense(v) => SparseVector::from_dense(v, 0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_matrix() -> CsrMatrix {
+        CsrMatrix::from_dense(&[
+            vec![0.0, 0.0, 1.0],
+            vec![0.6, 0.0, 0.4],
+            vec![0.0, 0.8, 0.2],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn sparse_start_densifies_at_threshold() {
+        let m = paper_matrix();
+        let mut scratch = SpmvScratch::new();
+        let mut v = PropagationVector::from_sparse(SparseVector::unit(3, 1).unwrap())
+            .with_densify_threshold(0.5);
+        assert!(v.is_sparse());
+        v.step(&m, &mut scratch).unwrap(); // (0.6, 0, 0.4): density 2/3 > 0.5
+        assert!(!v.is_sparse());
+        assert!(v
+            .to_dense()
+            .approx_eq(&DenseVector::from_vec(vec![0.6, 0.0, 0.4]), 1e-12));
+    }
+
+    #[test]
+    fn threshold_one_stays_sparse() {
+        let m = paper_matrix();
+        let mut scratch = SpmvScratch::new();
+        let mut v = PropagationVector::from_sparse(SparseVector::unit(3, 1).unwrap())
+            .with_densify_threshold(1.0);
+        for _ in 0..10 {
+            v.step(&m, &mut scratch).unwrap();
+            assert!(v.is_sparse());
+        }
+        assert!((v.sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_and_dense_propagation_agree() {
+        let m = paper_matrix();
+        let mut scratch = SpmvScratch::new();
+        let mut sparse = PropagationVector::from_sparse(SparseVector::unit(3, 0).unwrap())
+            .with_densify_threshold(1.0);
+        let mut dense =
+            PropagationVector::from_dense(DenseVector::unit(3, 0).unwrap());
+        for _ in 0..7 {
+            sparse.step(&m, &mut scratch).unwrap();
+            dense.step(&m, &mut scratch).unwrap();
+            assert!(sparse.to_dense().approx_eq(&dense.to_dense(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn extract_masked_moves_mass_in_both_representations() {
+        let mask = StateMask::from_indices(3, [0usize]).unwrap();
+        let mut sparse = PropagationVector::from_sparse(
+            SparseVector::from_pairs(3, [(0, 0.3), (2, 0.7)]).unwrap(),
+        );
+        assert!((sparse.extract_masked(&mask) - 0.3).abs() < 1e-12);
+        assert!((sparse.sum() - 0.7).abs() < 1e-12);
+
+        let mut dense = PropagationVector::from_dense(DenseVector::from_vec(vec![0.3, 0.0, 0.7]));
+        assert!((dense.extract_masked(&mask) - 0.3).abs() < 1e-12);
+        assert!((dense.masked_sum(&mask)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_fusion_on_dense_resparsifies() {
+        let mut v = PropagationVector::from_dense(DenseVector::from_vec(vec![0.2, 0.5, 0.3]))
+            .with_densify_threshold(0.5);
+        let obs = SparseVector::from_pairs(3, [(1, 0.5)]).unwrap();
+        v.hadamard_sparse(&obs).unwrap();
+        assert!(v.is_sparse());
+        assert!((v.get(1) - 0.25).abs() < 1e-12);
+        assert_eq!(v.nnz(), 1);
+        let bad = SparseVector::zeros(5);
+        assert!(v.hadamard_sparse(&bad).is_err());
+    }
+
+    #[test]
+    fn prune_only_affects_sparse() {
+        let mut sparse = PropagationVector::from_sparse(
+            SparseVector::from_pairs(4, [(0, 1e-12), (1, 0.9)]).unwrap(),
+        );
+        assert!(sparse.prune(1e-9) > 0.0);
+        assert_eq!(sparse.nnz(), 1);
+        let mut dense = PropagationVector::from_dense(DenseVector::from_vec(vec![1e-12, 0.9]));
+        assert_eq!(dense.prune(1e-9), 0.0);
+        assert_eq!(dense.nnz(), 2);
+    }
+
+    #[test]
+    fn dot_dense_works_in_both_representations() {
+        let backward = DenseVector::from_vec(vec![0.96, 0.864, 0.928]);
+        let sparse = PropagationVector::from_sparse(SparseVector::unit(3, 1).unwrap());
+        assert!((sparse.dot_dense(&backward).unwrap() - 0.864).abs() < 1e-12);
+        let dense = PropagationVector::from_dense(DenseVector::unit(3, 1).unwrap());
+        assert!((dense.dot_dense(&backward).unwrap() - 0.864).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_masked_and_add_sparse_roundtrip() {
+        let mask = StateMask::from_indices(4, [1usize, 2]).unwrap();
+        for mut v in [
+            PropagationVector::from_sparse(
+                SparseVector::from_pairs(4, [(0, 0.1), (1, 0.2), (2, 0.3), (3, 0.4)]).unwrap(),
+            )
+            .with_densify_threshold(1.0),
+            PropagationVector::from_dense(DenseVector::from_vec(vec![0.1, 0.2, 0.3, 0.4])),
+        ] {
+            let split = v.split_masked(&mask);
+            assert!((split.sum() - 0.5).abs() < 1e-12);
+            assert!((v.sum() - 0.5).abs() < 1e-12);
+            assert_eq!(v.get(1), 0.0);
+            v.add_sparse(&split).unwrap();
+            assert!((v.sum() - 1.0).abs() < 1e-12);
+            assert!((v.get(2) - 0.3).abs() < 1e-12);
+            assert!(v.add_sparse(&SparseVector::zeros(9)).is_err());
+        }
+    }
+
+    #[test]
+    fn scale_applies_uniformly() {
+        let mut v = PropagationVector::from_sparse(
+            SparseVector::from_pairs(3, [(0, 0.5), (1, 0.5)]).unwrap(),
+        );
+        v.scale(2.0);
+        assert!((v.sum() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_sparse_roundtrip() {
+        let dense = PropagationVector::from_dense(DenseVector::from_vec(vec![0.0, 1.0, 0.0]));
+        let s = dense.to_sparse();
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.get(1), 1.0);
+    }
+}

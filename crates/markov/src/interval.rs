@@ -1,0 +1,252 @@
+//! Interval Markov chains for cluster-level pruning (Section V-C).
+//!
+//! When objects follow *different* transition matrices, the query-based
+//! approach would need one backward pass per object. The paper proposes
+//! clustering objects with similar chains and representing each cluster by
+//! an **approximated Markov chain whose entries are probability intervals**.
+//! Propagating interval bounds backward yields, for every start state, a
+//! lower and upper bound on the probability of satisfying the query
+//! predicate — enough to accept or reject whole clusters against a
+//! probability threshold without touching their member objects.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseVector;
+use crate::error::{MarkovError, Result};
+use crate::mask::StateMask;
+
+/// An element-wise interval envelope `[lo, hi]` over a set of transition
+/// matrices of identical dimension.
+#[derive(Debug, Clone)]
+pub struct IntervalMatrix {
+    lo: CsrMatrix,
+    hi: CsrMatrix,
+}
+
+impl IntervalMatrix {
+    /// Builds the envelope of `matrices`: for every entry `(i, j)`,
+    /// `lo(i,j) = min_k M_k(i,j)` and `hi(i,j) = max_k M_k(i,j)` (with the
+    /// min taken over *all* matrices, so an entry missing from any matrix
+    /// forces `lo = 0`).
+    pub fn envelope(matrices: &[&CsrMatrix]) -> Result<IntervalMatrix> {
+        let first = matrices.first().ok_or(MarkovError::Empty { what: "matrix set" })?;
+        let shape = first.shape();
+        for m in matrices {
+            if m.shape() != shape {
+                return Err(MarkovError::DimensionMismatch {
+                    op: "interval envelope",
+                    expected: shape.0,
+                    found: m.shape().0,
+                });
+            }
+        }
+        let (nrows, ncols) = shape;
+        let mut lo = crate::coo::CooBuilder::new(nrows, ncols);
+        let mut hi = crate::coo::CooBuilder::new(nrows, ncols);
+        // Merge row-wise across all matrices.
+        let mut row_hi: Vec<f64> = vec![0.0; ncols];
+        let mut row_lo: Vec<f64> = vec![f64::INFINITY; ncols];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut seen_count: Vec<u32> = vec![0; ncols];
+        for i in 0..nrows {
+            touched.clear();
+            for m in matrices {
+                let (cols, vals) = m.row(i);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let ci = c as usize;
+                    if seen_count[ci] == 0 {
+                        touched.push(c);
+                    }
+                    seen_count[ci] += 1;
+                    row_hi[ci] = row_hi[ci].max(v);
+                    row_lo[ci] = row_lo[ci].min(v);
+                }
+            }
+            for &c in &touched {
+                let ci = c as usize;
+                let lo_val = if (seen_count[ci] as usize) < matrices.len() {
+                    0.0 // at least one matrix lacks the entry entirely
+                } else {
+                    row_lo[ci]
+                };
+                if lo_val > 0.0 {
+                    lo.push(i, ci, lo_val)?;
+                }
+                hi.push(i, ci, row_hi[ci])?;
+                row_hi[ci] = 0.0;
+                row_lo[ci] = f64::INFINITY;
+                seen_count[ci] = 0;
+            }
+        }
+        Ok(IntervalMatrix { lo: lo.build(), hi: hi.build() })
+    }
+
+    /// Number of states.
+    pub fn dim(&self) -> usize {
+        self.lo.nrows()
+    }
+
+    /// Lower-bound matrix.
+    pub fn lower(&self) -> &CsrMatrix {
+        &self.lo
+    }
+
+    /// Upper-bound matrix.
+    pub fn upper(&self) -> &CsrMatrix {
+        &self.hi
+    }
+
+    /// Backward-propagates PST∃Q satisfaction bounds from `t_end` down to
+    /// `t = 0`, mirroring the query-based recurrence:
+    ///
+    /// `h_t(s) = Σ_{j∈S▫} M(s,j) + Σ_{j∉S▫} M(s,j) · h_{t+1}(j)` when
+    /// `t+1 ∈ T▫`, else `h_t(s) = Σ_j M(s,j) · h_{t+1}(j)`,
+    ///
+    /// evaluated once with the `hi` matrix (clamped to 1) for upper bounds
+    /// and once with `lo` for lower bounds. `in_window(t)` reports whether
+    /// `t ∈ T▫`; hits at `t = 0` must be handled by the caller (as in the
+    /// exact engines).
+    pub fn backward_exists_bounds(
+        &self,
+        window: &StateMask,
+        t_end: u32,
+        in_window: impl Fn(u32) -> bool,
+    ) -> Result<(DenseVector, DenseVector)> {
+        let n = self.dim();
+        if window.dim() != n {
+            return Err(MarkovError::DimensionMismatch {
+                op: "interval backward bounds",
+                expected: n,
+                found: window.dim(),
+            });
+        }
+        let mut lo_vec = vec![0.0f64; n];
+        let mut hi_vec = vec![0.0f64; n];
+        let mut t = t_end;
+        while t > 0 {
+            let target_in_window = in_window(t);
+            let mut next_lo = vec![0.0f64; n];
+            let mut next_hi = vec![0.0f64; n];
+            for s in 0..n {
+                let mut acc_lo = 0.0;
+                let mut acc_hi = 0.0;
+                let (lc, lv) = self.lo.row(s);
+                for (&j, &p) in lc.iter().zip(lv) {
+                    let j = j as usize;
+                    let h = if target_in_window && window.contains(j) { 1.0 } else { lo_vec[j] };
+                    acc_lo += p * h;
+                }
+                let (hc, hv) = self.hi.row(s);
+                for (&j, &p) in hc.iter().zip(hv) {
+                    let j = j as usize;
+                    let h = if target_in_window && window.contains(j) { 1.0 } else { hi_vec[j] };
+                    acc_hi += p * h;
+                }
+                next_lo[s] = acc_lo.min(1.0);
+                next_hi[s] = acc_hi.min(1.0);
+            }
+            lo_vec = next_lo;
+            hi_vec = next_hi;
+            t -= 1;
+        }
+        Ok((DenseVector::from_vec(lo_vec), DenseVector::from_vec(hi_vec)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_matrix() -> CsrMatrix {
+        CsrMatrix::from_dense(&[
+            vec![0.0, 0.0, 1.0],
+            vec![0.6, 0.0, 0.4],
+            vec![0.0, 0.8, 0.2],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn envelope_of_single_matrix_is_exact() {
+        let m = paper_matrix();
+        let env = IntervalMatrix::envelope(&[&m]).unwrap();
+        assert!(env.lower().approx_eq(&m, 0.0));
+        assert!(env.upper().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn envelope_brackets_two_matrices() {
+        let a = CsrMatrix::from_dense(&[vec![0.7, 0.3], vec![0.2, 0.8]]).unwrap();
+        let b = CsrMatrix::from_dense(&[vec![0.5, 0.5], vec![0.0, 1.0]]).unwrap();
+        let env = IntervalMatrix::envelope(&[&a, &b]).unwrap();
+        assert_eq!(env.lower().get(0, 0), 0.5);
+        assert_eq!(env.upper().get(0, 0), 0.7);
+        // Entry (1,0) is missing from `b`, so the lower bound collapses to 0.
+        assert_eq!(env.lower().get(1, 0), 0.0);
+        assert_eq!(env.upper().get(1, 0), 0.2);
+    }
+
+    #[test]
+    fn envelope_rejects_mismatched_shapes_and_empty_sets() {
+        let a = CsrMatrix::identity(2);
+        let b = CsrMatrix::identity(3);
+        assert!(IntervalMatrix::envelope(&[&a, &b]).is_err());
+        assert!(IntervalMatrix::envelope(&[]).is_err());
+    }
+
+    #[test]
+    fn degenerate_envelope_bounds_equal_exact_backward_vector() {
+        // With a single chain the interval bounds must coincide with the
+        // exact QB backward vector from Example 2: (0.96, 0.864, 0.928).
+        let m = paper_matrix();
+        let env = IntervalMatrix::envelope(&[&m]).unwrap();
+        let window = StateMask::from_indices(3, [0usize, 1]).unwrap();
+        let (lo, hi) = env
+            .backward_exists_bounds(&window, 3, |t| t == 2 || t == 3)
+            .unwrap();
+        let expected = DenseVector::from_vec(vec![0.96, 0.864, 0.928]);
+        assert!(lo.approx_eq(&expected, 1e-12));
+        assert!(hi.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn interval_bounds_bracket_member_chains() {
+        let a = paper_matrix();
+        let b = CsrMatrix::from_dense(&[
+            vec![0.0, 0.0, 1.0],
+            vec![0.5, 0.0, 0.5],
+            vec![0.0, 0.9, 0.1],
+        ])
+        .unwrap();
+        let window = StateMask::from_indices(3, [0usize, 1]).unwrap();
+        let in_window = |t: u32| t == 2 || t == 3;
+        let env = IntervalMatrix::envelope(&[&a, &b]).unwrap();
+        let (lo, hi) = env.backward_exists_bounds(&window, 3, in_window).unwrap();
+        for m in [&a, &b] {
+            let exact_env = IntervalMatrix::envelope(&[m]).unwrap();
+            let (exact, _) = exact_env.backward_exists_bounds(&window, 3, in_window).unwrap();
+            for s in 0..3 {
+                assert!(
+                    lo.get(s) <= exact.get(s) + 1e-12 && exact.get(s) <= hi.get(s) + 1e-12,
+                    "state {s}: {} ≤ {} ≤ {} violated",
+                    lo.get(s),
+                    exact.get(s),
+                    hi.get(s)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bounds_are_clamped_to_one() {
+        // Envelope of matrices whose hi rows sum above 1.
+        let a = CsrMatrix::from_dense(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let b = CsrMatrix::from_dense(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let env = IntervalMatrix::envelope(&[&a, &b]).unwrap();
+        let window = StateMask::from_indices(2, [0usize, 1]).unwrap();
+        let (lo, hi) = env.backward_exists_bounds(&window, 2, |_| true).unwrap();
+        for s in 0..2 {
+            assert!(hi.get(s) <= 1.0);
+            assert!(lo.get(s) >= 0.0);
+        }
+    }
+}

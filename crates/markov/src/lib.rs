@@ -1,0 +1,53 @@
+//! # ust-markov — Markov-chain and sparse linear-algebra substrate
+//!
+//! This crate is the computational substrate of the reproduction of
+//! *Querying Uncertain Spatio-Temporal Data* (Emrich, Kriegel, Mamoulis,
+//! Renz, Züfle — ICDE 2012). The paper models uncertain trajectories as
+//! realizations of a first-order homogeneous Markov chain and reduces every
+//! probabilistic spatio-temporal query to products with (augmented)
+//! transition matrices; the original artifact delegated those products to
+//! MATLAB. This crate replaces that dependency with purpose-built sparse
+//! kernels:
+//!
+//! * [`csr::CsrMatrix`] — compressed sparse row matrices with the
+//!   vector–matrix, matrix–matrix and transpose kernels used by every query;
+//! * [`sparse_vec::SparseVector`] / [`dense::DenseVector`] — the two
+//!   distribution representations, with [`hybrid::PropagationVector`]
+//!   switching adaptively between them during propagation;
+//! * [`stochastic::StochasticMatrix`] / [`chain::MarkovChain`] — validated
+//!   transition matrices and chains (Definitions 5/6, Corollaries 1/2);
+//! * [`augmented`] — the paper's `M−`/`M+` constructions with the absorbing
+//!   ⊤ state (Section V), the doubled state space for multiple observations
+//!   (Section VI) and the k-times blow-up (Section VII), kept as executable
+//!   specifications the fast engines are cross-checked against;
+//! * [`interval::IntervalMatrix`] — interval Markov chains for the
+//!   cluster-level pruning sketched in Section V-C;
+//! * [`mask::StateMask`] — bitset state sets for query windows.
+
+#![warn(missing_docs)]
+
+pub mod augmented;
+pub mod chain;
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod hybrid;
+pub mod interval;
+pub mod mask;
+pub mod power;
+pub mod sparse_vec;
+pub mod stochastic;
+pub mod testutil;
+
+pub use chain::MarkovChain;
+pub use coo::CooBuilder;
+pub use csr::{CsrMatrix, SpmvScratch};
+pub use dense::DenseVector;
+pub use error::{MarkovError, Result};
+pub use hybrid::PropagationVector;
+pub use interval::IntervalMatrix;
+pub use mask::StateMask;
+pub use power::PowerCache;
+pub use sparse_vec::SparseVector;
+pub use stochastic::StochasticMatrix;

@@ -1,0 +1,168 @@
+//! Cached Chapman-Kolmogorov powers.
+//!
+//! Corollary 2 of the paper evaluates `P(o, t+m) = P(o, t) · M^m`. When the
+//! same horizon `m` (or many different horizons) is queried repeatedly —
+//! e.g. a dashboard asking "where will every iceberg be in 6 / 12 / 24
+//! steps?" — materializing binary powers `M^(2^k)` once and combining them
+//! per query beats both re-running `m` sparse steps per object and
+//! materializing every `M^m`. The cache grows lazily and is clone-cheap.
+//!
+//! Note the trade-off the paper's analysis implies: matrix powers densify
+//! (`nnz(M^m)` grows with the reachable band), so for a *single* object a
+//! stepwise propagation is cheaper; the cache wins when one horizon serves
+//! many distribution queries. The ablation bench quantifies this.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseVector;
+use crate::error::{MarkovError, Result};
+use crate::sparse_vec::SparseVector;
+use crate::stochastic::StochasticMatrix;
+
+/// A lazy cache of the binary powers `M^(2^k)` of a stochastic matrix.
+#[derive(Debug, Clone)]
+pub struct PowerCache {
+    /// `powers[k] = M^(2^k)`; `powers[0] = M`.
+    powers: Vec<CsrMatrix>,
+}
+
+impl PowerCache {
+    /// Creates the cache for `matrix`.
+    pub fn new(matrix: &StochasticMatrix) -> PowerCache {
+        PowerCache { powers: vec![matrix.matrix().clone()] }
+    }
+
+    /// Number of binary powers currently materialized.
+    pub fn materialized(&self) -> usize {
+        self.powers.len()
+    }
+
+    /// Ensures `M^(2^k)` exists for all `2^k ≤ m` and returns nothing.
+    fn ensure(&mut self, m: u32) -> Result<()> {
+        if m == 0 {
+            return Ok(());
+        }
+        let needed = (32 - m.leading_zeros()) as usize; // bits in m
+        while self.powers.len() < needed {
+            let last = self.powers.last().expect("non-empty by construction");
+            let next = last.matmul(last)?;
+            self.powers.push(next);
+        }
+        Ok(())
+    }
+
+    /// `v · M^m` for a dense row vector.
+    pub fn propagate_dense(&mut self, v: &DenseVector, m: u32) -> Result<DenseVector> {
+        self.ensure(m)?;
+        let mut out = v.clone();
+        let mut remaining = m;
+        let mut k = 0usize;
+        while remaining > 0 {
+            if remaining & 1 == 1 {
+                out = self.powers[k].vecmat_dense(&out)?;
+            }
+            remaining >>= 1;
+            k += 1;
+        }
+        Ok(out)
+    }
+
+    /// `v · M^m` for a sparse row vector (densifies through the product).
+    pub fn propagate_sparse(&mut self, v: &SparseVector, m: u32) -> Result<DenseVector> {
+        self.propagate_dense(&v.to_dense(), m)
+    }
+
+    /// The materialized `M^m` (combines cached binary powers).
+    pub fn power(&mut self, m: u32) -> Result<CsrMatrix> {
+        self.ensure(m)?;
+        let n = self.powers[0].nrows();
+        let mut out: Option<CsrMatrix> = None;
+        let mut remaining = m;
+        let mut k = 0usize;
+        while remaining > 0 {
+            if remaining & 1 == 1 {
+                out = Some(match out {
+                    None => self.powers[k].clone(),
+                    Some(acc) => acc.matmul(&self.powers[k])?,
+                });
+            }
+            remaining >>= 1;
+            k += 1;
+        }
+        Ok(out.unwrap_or_else(|| CsrMatrix::identity(n)))
+    }
+}
+
+impl TryFrom<&CsrMatrix> for PowerCache {
+    type Error = MarkovError;
+
+    fn try_from(matrix: &CsrMatrix) -> Result<PowerCache> {
+        Ok(PowerCache::new(&StochasticMatrix::new(matrix.clone())?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::MarkovChain;
+    use crate::testutil;
+
+    fn chain(seed: u64, n: usize) -> MarkovChain {
+        let mut rng = testutil::rng(seed);
+        MarkovChain::from_csr(testutil::random_banded_stochastic(&mut rng, n, 3, 6)).unwrap()
+    }
+
+    #[test]
+    fn propagation_matches_stepwise_for_all_horizons() {
+        let c = chain(3, 30);
+        let mut cache = PowerCache::new(c.stochastic());
+        let mut rng = testutil::rng(4);
+        let start = testutil::random_distribution(&mut rng, 30, 3);
+        for m in 0..=17u32 {
+            let fast = cache.propagate_sparse(&start, m).unwrap();
+            let slow = c.propagate_sparse(&start, m).unwrap().to_dense();
+            assert!(fast.approx_eq(&slow, 1e-10), "horizon {m}");
+        }
+    }
+
+    #[test]
+    fn power_matches_naive_power() {
+        let c = chain(9, 12);
+        let mut cache = PowerCache::new(c.stochastic());
+        for m in [0u32, 1, 2, 5, 8, 13] {
+            let fast = cache.power(m).unwrap();
+            let slow = c.matrix().power(m).unwrap();
+            assert!(fast.approx_eq(&slow, 1e-10), "power {m}");
+        }
+    }
+
+    #[test]
+    fn cache_grows_logarithmically() {
+        let c = chain(1, 10);
+        let mut cache = PowerCache::new(c.stochastic());
+        assert_eq!(cache.materialized(), 1);
+        cache.power(1).unwrap();
+        assert_eq!(cache.materialized(), 1);
+        cache.power(8).unwrap();
+        assert_eq!(cache.materialized(), 4); // M, M², M⁴, M⁸
+        cache.power(6).unwrap();
+        assert_eq!(cache.materialized(), 4, "smaller horizons reuse the cache");
+    }
+
+    #[test]
+    fn try_from_validates() {
+        let good = CsrMatrix::identity(3);
+        assert!(PowerCache::try_from(&good).is_ok());
+        let bad = CsrMatrix::from_dense(&[vec![0.5, 0.1], vec![0.0, 1.0]]).unwrap();
+        assert!(PowerCache::try_from(&bad).is_err());
+    }
+
+    #[test]
+    fn zero_horizon_is_identity() {
+        let c = chain(5, 8);
+        let mut cache = PowerCache::new(c.stochastic());
+        let m0 = cache.power(0).unwrap();
+        assert!(m0.approx_eq(&CsrMatrix::identity(8), 0.0));
+        let v = DenseVector::unit(8, 2).unwrap();
+        assert!(cache.propagate_dense(&v, 0).unwrap().approx_eq(&v, 0.0));
+    }
+}

@@ -1,0 +1,276 @@
+//! Property-based tests of the linear-algebra substrate: the algebraic
+//! invariants every query engine silently relies on.
+
+use proptest::prelude::*;
+
+use ust_markov::augmented;
+use ust_markov::testutil;
+use ust_markov::{
+    CsrMatrix, DenseVector, MarkovChain, PropagationVector, SparseVector, SpmvScratch,
+    StateMask, StochasticMatrix,
+};
+
+fn chain_params() -> impl Strategy<Value = (u64, usize, usize)> {
+    (0u64..10_000, 2usize..=24, 1usize..=5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_generator_produces_stochastic_matrices((seed, n, deg) in chain_params()) {
+        let mut rng = testutil::rng(seed);
+        let m = testutil::random_stochastic(&mut rng, n, deg);
+        prop_assert!(StochasticMatrix::new(m).is_ok());
+    }
+
+    #[test]
+    fn product_of_stochastic_matrices_is_stochastic((seed, n, deg) in chain_params()) {
+        let mut rng = testutil::rng(seed);
+        let a = testutil::random_stochastic(&mut rng, n, deg);
+        let b = testutil::random_stochastic(&mut rng, n, deg);
+        let product = a.matmul(&b).unwrap();
+        prop_assert!(StochasticMatrix::with_tolerance(product, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn transpose_is_involutive_and_preserves_nnz((seed, n, deg) in chain_params()) {
+        let mut rng = testutil::rng(seed);
+        let m = testutil::random_stochastic(&mut rng, n, deg);
+        let t = m.transpose();
+        prop_assert_eq!(t.nnz(), m.nnz());
+        prop_assert!(t.transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn sparse_and_dense_vecmat_agree((seed, n, deg) in chain_params(), spread in 1usize..=6) {
+        let mut rng = testutil::rng(seed);
+        let m = testutil::random_stochastic(&mut rng, n, deg);
+        let v = testutil::random_distribution(&mut rng, n, spread);
+        let sparse_out = m.vecmat_sparse(&v).unwrap().to_dense();
+        let dense_out = m.vecmat_dense(&v.to_dense()).unwrap();
+        prop_assert!(sparse_out.approx_eq(&dense_out, 1e-12));
+    }
+
+    #[test]
+    fn matvec_is_vecmat_of_transpose((seed, n, deg) in chain_params()) {
+        let mut rng = testutil::rng(seed);
+        let m = testutil::random_stochastic(&mut rng, n, deg);
+        let v = testutil::random_distribution(&mut rng, n, (n / 2).max(1)).to_dense();
+        let a = m.matvec_dense(&v).unwrap();
+        let b = m.transpose().vecmat_dense(&v).unwrap();
+        prop_assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn propagation_preserves_total_mass((seed, n, deg) in chain_params(), steps in 0u32..12) {
+        let chain = MarkovChain::from_csr({
+            let mut rng = testutil::rng(seed);
+            testutil::random_stochastic(&mut rng, n, deg)
+        }).unwrap();
+        let mut rng = testutil::rng(seed ^ 1);
+        let start = testutil::random_distribution(&mut rng, n, 2);
+        let out = chain.propagate_sparse(&start, steps).unwrap();
+        prop_assert!((out.sum() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_matches_iterated_propagation((seed, n, deg) in chain_params(), steps in 0u32..6) {
+        let chain = MarkovChain::from_csr({
+            let mut rng = testutil::rng(seed);
+            testutil::random_stochastic(&mut rng, n, deg)
+        }).unwrap();
+        let mut rng = testutil::rng(seed ^ 2);
+        let start = testutil::random_distribution(&mut rng, n, 2).to_dense();
+        let direct = chain.m_step_matrix(steps).unwrap().transpose().transpose()
+            .vecmat_dense(&start).unwrap();
+        let stepped = chain.propagate_dense(&start, steps).unwrap();
+        prop_assert!(direct.approx_eq(&stepped, 1e-9));
+    }
+
+    #[test]
+    fn augmented_matrices_preserve_stochasticity(
+        (seed, n, deg) in chain_params(),
+        mask_seed in 0u64..1_000,
+    ) {
+        let mut rng = testutil::rng(seed);
+        let m = testutil::random_stochastic(&mut rng, n, deg);
+        let mut mask_rng = testutil::rng(mask_seed);
+        let mut mask = StateMask::new(n);
+        use rand::Rng as _;
+        for s in 0..n {
+            if mask_rng.random::<f64>() < 0.4 {
+                mask.insert(s).unwrap();
+            }
+        }
+        for aug in [
+            augmented::exists_minus(&m),
+            augmented::exists_plus(&m, &mask),
+            augmented::doubled_minus(&m),
+            augmented::doubled_plus(&m, &mask),
+            augmented::ktimes_minus(&m, 3),
+            augmented::ktimes_plus(&m, &mask, 3),
+        ] {
+            prop_assert!(StochasticMatrix::with_tolerance(aug, 1e-9).is_ok());
+        }
+    }
+
+    #[test]
+    fn hybrid_vector_agrees_with_pure_sparse(
+        (seed, n, deg) in chain_params(),
+        steps in 0u32..8,
+        threshold in 0.0f64..=1.0,
+    ) {
+        let mut rng = testutil::rng(seed);
+        let m = testutil::random_stochastic(&mut rng, n, deg);
+        let start = testutil::random_distribution(&mut rng, n, 2);
+        let mut scratch = SpmvScratch::new();
+        let mut hybrid = PropagationVector::from_sparse(start.clone())
+            .with_densify_threshold(threshold);
+        let mut reference = PropagationVector::from_sparse(start)
+            .with_densify_threshold(1.0);
+        for _ in 0..steps {
+            hybrid.step(&m, &mut scratch).unwrap();
+            reference.step(&m, &mut scratch).unwrap();
+        }
+        prop_assert!(hybrid.to_dense().approx_eq(&reference.to_dense(), 1e-12));
+    }
+
+    #[test]
+    fn mask_set_laws(n in 1usize..200, seed in 0u64..1_000) {
+        let mut rng = testutil::rng(seed);
+        use rand::Rng as _;
+        let mut a = StateMask::new(n);
+        let mut b = StateMask::new(n);
+        for s in 0..n {
+            if rng.random::<f64>() < 0.3 { a.insert(s).unwrap(); }
+            if rng.random::<f64>() < 0.3 { b.insert(s).unwrap(); }
+        }
+        // De Morgan: ¬(a ∪ b) = ¬a ∩ ¬b.
+        let lhs = a.union(&b).unwrap().complement();
+        let rhs = a.complement().intersection(&b.complement()).unwrap();
+        prop_assert_eq!(lhs.to_indices(), rhs.to_indices());
+        // |a| + |¬a| = n.
+        prop_assert_eq!(a.count() + a.complement().count(), n);
+        // intersects ⇔ non-empty intersection.
+        prop_assert_eq!(a.intersects(&b), !a.intersection(&b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sparse_vector_algebra(
+        n in 1usize..100,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = testutil::rng(seed);
+        let a = testutil::random_distribution(&mut rng, n, (n / 3).max(1));
+        let b = testutil::random_distribution(&mut rng, n, (n / 4).max(1));
+        // Commutativity of dot and add.
+        prop_assert!((a.dot_sparse(&b).unwrap() - b.dot_sparse(&a).unwrap()).abs() < 1e-12);
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert!(ab.to_dense().approx_eq(&ba.to_dense(), 1e-12));
+        // Dense agreement.
+        let dense_dot = a.to_dense().dot(&b.to_dense()).unwrap();
+        prop_assert!((a.dot_sparse(&b).unwrap() - dense_dot).abs() < 1e-12);
+        // split + add round-trips.
+        let mask = StateMask::from_indices(n, (0..n).step_by(2)).unwrap();
+        let mut v = a.clone();
+        let split = v.split_masked(&mask);
+        let merged = v.add(&split).unwrap();
+        prop_assert!(merged.to_dense().approx_eq(&a.to_dense(), 1e-12));
+    }
+
+    #[test]
+    fn coo_builder_accumulates_duplicates(
+        n in 2usize..20,
+        seed in 0u64..1_000,
+        extra in 1usize..30,
+    ) {
+        use rand::Rng as _;
+        let mut rng = testutil::rng(seed);
+        let mut builder = ust_markov::CooBuilder::new(n, n);
+        let mut dense = vec![vec![0.0f64; n]; n];
+        for _ in 0..extra {
+            let r = rng.random_range(0..n);
+            let c = rng.random_range(0..n);
+            let v: f64 = rng.random::<f64>() - 0.5;
+            builder.push(r, c, v).unwrap();
+            dense[r][c] += v;
+        }
+        let m = builder.build();
+        let reference = CsrMatrix::from_dense(&dense).unwrap();
+        prop_assert!(m.approx_eq(&reference, 1e-12));
+    }
+
+    #[test]
+    fn stationary_is_fixed_point_for_irreducible_chains(
+        seed in 0u64..500, n in 2usize..=10,
+    ) {
+        // Banded chains with self-loops are usually irreducible; skip the
+        // rare reducible draw.
+        let mut rng = testutil::rng(seed);
+        let m = testutil::random_banded_stochastic(&mut rng, n, 3.min(n), 4);
+        let chain = MarkovChain::from_csr(m).unwrap();
+        prop_assume!(chain.is_irreducible());
+        let (pi, _) = chain.stationary(1e-13, 50_000).unwrap();
+        let next = chain.step_dense(&pi).unwrap();
+        prop_assert!(next.approx_eq(&pi, 1e-6));
+    }
+}
+
+#[test]
+fn interval_envelope_brackets_every_member_backward_vector() {
+    // Deterministic variant of the Section V-C soundness property on a
+    // family of perturbed chains.
+    for seed in 0..20u64 {
+        let n = 6;
+        let mut rng = testutil::rng(seed);
+        let base = testutil::random_banded_stochastic(&mut rng, n, 3, 4);
+        let alt = testutil::random_banded_stochastic(&mut rng, n, 3, 4);
+        let env = ust_markov::IntervalMatrix::envelope(&[&base, &alt]).unwrap();
+        let window = StateMask::from_indices(n, [0usize, 1]).unwrap();
+        let in_window = |t: u32| (2..=3).contains(&t);
+        let (lo, hi) = env.backward_exists_bounds(&window, 3, in_window).unwrap();
+        for m in [&base, &alt] {
+            let exact_env = ust_markov::IntervalMatrix::envelope(&[m]).unwrap();
+            let (exact, _) = exact_env.backward_exists_bounds(&window, 3, in_window).unwrap();
+            for s in 0..n {
+                assert!(
+                    lo.get(s) <= exact.get(s) + 1e-12 && exact.get(s) <= hi.get(s) + 1e-12,
+                    "seed {seed}, state {s}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_vector_masked_ops_match_naive() {
+    for seed in 0..10u64 {
+        let n = 64;
+        let mut rng = testutil::rng(seed);
+        let v = testutil::random_distribution(&mut rng, n, 20).to_dense();
+        let mask = StateMask::from_indices(n, (0..n).filter(|i| i % 3 == 0)).unwrap();
+        let naive: f64 = (0..n).filter(|&i| mask.contains(i)).map(|i| v.get(i)).sum();
+        assert!((v.masked_sum(&mask) - naive).abs() < 1e-12);
+        let mut w = v.clone();
+        let extracted = w.extract_masked(&mask);
+        assert!((extracted - naive).abs() < 1e-12);
+        assert!((w.sum() + extracted - v.sum()).abs() < 1e-12);
+        let mut x = v.clone();
+        let split: SparseVector = x.split_masked(&mask);
+        assert!((split.sum() - naive).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn dense_roundtrip_through_sparse() {
+    for seed in 0..10u64 {
+        let mut rng = testutil::rng(seed);
+        let v = testutil::random_distribution(&mut rng, 50, 17);
+        let roundtrip = SparseVector::from_dense(&v.to_dense(), 0.0);
+        assert_eq!(roundtrip.indices(), v.indices());
+        let dv: DenseVector = v.to_dense();
+        assert!((dv.sum() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,226 @@
+//! Synthetic road-network generators.
+//!
+//! The paper evaluates on two proprietary-to-obtain datasets: the North
+//! America road network (175,813 nodes / 179,102 edges) and the Munich road
+//! network (73,120 nodes / 93,925 edges). We do not have those files, so
+//! this module generates **connected, sparse, near-planar graphs with the
+//! same node/edge counts**. The experiments only exploit (a) graph sparsity
+//! — the transition matrix is the adjacency matrix — and (b) random
+//! row-normalized transition weights, both of which the generator
+//! reproduces; absolute coordinates never enter the measured kernels.
+//!
+//! Construction: nodes are scattered uniformly, ordered along a serpentine
+//! coarse-grid space-filling curve and chained into a spanning path (local,
+//! road-like edges), then the remaining edge budget connects random nodes to
+//! *spatially nearby* nodes via a uniform grid hash.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::network::RoadNetwork;
+use crate::point::Point2;
+
+/// Parameters for [`generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// Number of nodes (states).
+    pub num_nodes: usize,
+    /// Target number of undirected edges (≥ `num_nodes − 1`; clipped below).
+    pub num_edges: usize,
+    /// Side length of the square embedding area.
+    pub extent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Preset matching the paper's North America road network
+/// (175,813 nodes, 179,102 edges — mean degree ≈ 2.04).
+pub fn na_like(seed: u64) -> NetworkConfig {
+    NetworkConfig { num_nodes: 175_813, num_edges: 179_102, extent: 4_000.0, seed }
+}
+
+/// Preset matching the paper's Munich road network
+/// (73,120 nodes, 93,925 edges — mean degree ≈ 2.57).
+pub fn munich_like(seed: u64) -> NetworkConfig {
+    NetworkConfig { num_nodes: 73_120, num_edges: 93_925, extent: 1_500.0, seed }
+}
+
+/// A small city-scale preset for tests and examples.
+pub fn small_city(seed: u64) -> NetworkConfig {
+    NetworkConfig { num_nodes: 2_000, num_edges: 2_600, extent: 100.0, seed }
+}
+
+/// Generates a connected road-like network for `config`.
+pub fn generate(config: &NetworkConfig) -> RoadNetwork {
+    let n = config.num_nodes;
+    if n == 0 {
+        return RoadNetwork::from_edges(vec![], &[]);
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let coords: Vec<Point2> = (0..n)
+        .map(|_| {
+            Point2::new(
+                rng.random::<f64>() * config.extent,
+                rng.random::<f64>() * config.extent,
+            )
+        })
+        .collect();
+
+    // Coarse grid for both the space-filling ordering and neighbor lookups.
+    let cells_per_side = ((n as f64).sqrt() / 2.0).ceil().max(1.0) as usize;
+    let cell_size = config.extent / cells_per_side as f64;
+    let cell_of = |p: &Point2| -> (usize, usize) {
+        let cx = (p.x / cell_size).floor().clamp(0.0, (cells_per_side - 1) as f64) as usize;
+        let cy = (p.y / cell_size).floor().clamp(0.0, (cells_per_side - 1) as f64) as usize;
+        (cx, cy)
+    };
+
+    // Bucket nodes by cell.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (id, p) in coords.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        buckets[cy * cells_per_side + cx].push(id as u32);
+    }
+
+    // Serpentine order over cells: left→right on even rows, right→left on
+    // odd rows, so consecutive nodes are spatially close.
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    for cy in 0..cells_per_side {
+        let xs: Box<dyn Iterator<Item = usize>> = if cy % 2 == 0 {
+            Box::new(0..cells_per_side)
+        } else {
+            Box::new((0..cells_per_side).rev())
+        };
+        for cx in xs {
+            let bucket = &mut buckets[cy * cells_per_side + cx];
+            bucket.sort_unstable_by(|&a, &b| {
+                coords[a as usize].x.total_cmp(&coords[b as usize].x)
+            });
+            order.extend_from_slice(bucket);
+        }
+    }
+
+    // Spanning path along the serpentine order: n − 1 edges, connected.
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(config.num_edges);
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(config.num_edges * 2);
+    let add_edge = |edges: &mut Vec<(usize, usize)>,
+                        seen: &mut HashSet<(u32, u32)>,
+                        u: u32,
+                        v: u32|
+     -> bool {
+        if u == v {
+            return false;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            edges.push((u as usize, v as usize));
+            true
+        } else {
+            false
+        }
+    };
+    for w in order.windows(2) {
+        add_edge(&mut edges, &mut seen, w[0], w[1]);
+    }
+
+    // Extra edges: connect random nodes to a random node of a nearby cell.
+    let target = config.num_edges.max(n.saturating_sub(1));
+    let mut attempts = 0usize;
+    let max_attempts = target.saturating_sub(edges.len()) * 20 + 100;
+    while edges.len() < target && attempts < max_attempts {
+        attempts += 1;
+        let u = rng.random_range(0..n) as u32;
+        let (cx, cy) = cell_of(&coords[u as usize]);
+        let dx = rng.random_range(0..3) as i64 - 1;
+        let dy = rng.random_range(0..3) as i64 - 1;
+        let nx = cx as i64 + dx;
+        let ny = cy as i64 + dy;
+        if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64 {
+            continue;
+        }
+        let bucket = &buckets[ny as usize * cells_per_side + nx as usize];
+        if bucket.is_empty() {
+            continue;
+        }
+        let v = bucket[rng.random_range(0..bucket.len())];
+        add_edge(&mut edges, &mut seen, u, v);
+    }
+
+    RoadNetwork::from_edges(coords, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_network_matches_config_and_is_connected() {
+        let cfg = small_city(11);
+        let g = generate(&cfg);
+        assert_eq!(g.num_nodes(), cfg.num_nodes);
+        assert_eq!(g.num_edges(), cfg.num_edges);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = NetworkConfig { num_nodes: 300, num_edges: 400, extent: 50.0, seed: 3 };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&NetworkConfig { num_nodes: 200, num_edges: 260, extent: 50.0, seed: 1 });
+        let b = generate(&NetworkConfig { num_nodes: 200, num_edges: 260, extent: 50.0, seed: 2 });
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn edges_are_local() {
+        // Road networks have short edges; the serpentine + grid-hash
+        // construction should keep the mean edge length well under the
+        // extent.
+        let cfg = NetworkConfig { num_nodes: 1_000, num_edges: 1_300, extent: 100.0, seed: 5 };
+        let g = generate(&cfg);
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (u, v) in g.edges() {
+            total += g.location(u).distance(&g.location(v));
+            count += 1;
+        }
+        let mean = total / count as f64;
+        assert!(mean < 15.0, "mean edge length {mean} too large for extent 100");
+    }
+
+    #[test]
+    fn presets_have_paper_sizes() {
+        let na = na_like(0);
+        assert_eq!(na.num_nodes, 175_813);
+        assert_eq!(na.num_edges, 179_102);
+        let munich = munich_like(0);
+        assert_eq!(munich.num_nodes, 73_120);
+        assert_eq!(munich.num_edges, 93_925);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let empty = generate(&NetworkConfig { num_nodes: 0, num_edges: 0, extent: 1.0, seed: 0 });
+        assert_eq!(empty.num_nodes(), 0);
+        let single = generate(&NetworkConfig { num_nodes: 1, num_edges: 5, extent: 1.0, seed: 0 });
+        assert_eq!(single.num_nodes(), 1);
+        assert_eq!(single.num_edges(), 0);
+        let pair = generate(&NetworkConfig { num_nodes: 2, num_edges: 1, extent: 1.0, seed: 0 });
+        assert!(pair.is_connected());
+    }
+
+    use crate::state_space::StateSpace;
+}

@@ -1,0 +1,199 @@
+//! Spatial query regions — the `S▫` component of a query window.
+//!
+//! The paper allows `S▫` to be "a set of (not necessarily connected)
+//! locations in space". [`Region`] covers the geometric shapes applications
+//! specify (rectangles, circles), raw state-id sets, and unions thereof;
+//! [`Region::resolve`] maps any of them to the concrete state ids of a
+//! [`StateSpace`].
+
+use crate::point::Point2;
+use crate::rect::Rect;
+use crate::state_space::StateSpace;
+
+/// A spatial predicate over the continuous embedding space.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Region {
+    /// All states inside an axis-aligned rectangle.
+    Rect(Rect),
+    /// All states within `radius` of `center`.
+    Circle {
+        /// Circle center.
+        center: Point2,
+        /// Circle radius (inclusive).
+        radius: f64,
+    },
+    /// An explicit set of state ids (resolution is identity, after bounds
+    /// filtering).
+    StateIds(Vec<usize>),
+    /// The union of several regions.
+    Union(Vec<Region>),
+}
+
+impl Region {
+    /// Convenience constructor for a rectangle from bounds.
+    pub fn rect(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Region {
+        Region::Rect(Rect::from_bounds(min_x, min_y, max_x, max_y))
+    }
+
+    /// Convenience constructor for a circle.
+    pub fn circle(center: Point2, radius: f64) -> Region {
+        Region::Circle { center, radius }
+    }
+
+    /// Resolves the region to the sorted, duplicate-free set of state ids
+    /// of `space` that satisfy it.
+    pub fn resolve<S: StateSpace + ?Sized>(&self, space: &S) -> Vec<usize> {
+        let mut ids = self.collect_ids(space);
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    fn collect_ids<S: StateSpace + ?Sized>(&self, space: &S) -> Vec<usize> {
+        match self {
+            Region::Rect(rect) => space.states_in_rect(rect),
+            Region::Circle { center, radius } => {
+                let bbox = Rect::point(*center).expand(*radius);
+                let r_sq = radius * radius;
+                space
+                    .states_in_rect(&bbox)
+                    .into_iter()
+                    .filter(|&id| space.location(id).distance_sq(center) <= r_sq)
+                    .collect()
+            }
+            Region::StateIds(ids) => {
+                ids.iter().copied().filter(|&id| id < space.num_states()).collect()
+            }
+            Region::Union(parts) => {
+                parts.iter().flat_map(|r| r.collect_ids(space)).collect()
+            }
+        }
+    }
+
+    /// Geometric membership test for a point; `None` for pure id sets,
+    /// whose geometry depends on the state space.
+    pub fn contains_point(&self, p: &Point2) -> Option<bool> {
+        match self {
+            Region::Rect(rect) => Some(rect.contains(p)),
+            Region::Circle { center, radius } => {
+                Some(p.distance_sq(center) <= radius * radius)
+            }
+            Region::StateIds(_) => None,
+            Region::Union(parts) => {
+                let mut any_known = false;
+                for part in parts {
+                    match part.contains_point(p) {
+                        Some(true) => return Some(true),
+                        Some(false) => any_known = true,
+                        None => {}
+                    }
+                }
+                if any_known {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// A rectangle bounding the region's geometry, when derivable.
+    pub fn bounding_rect(&self) -> Option<Rect> {
+        match self {
+            Region::Rect(rect) => Some(*rect),
+            Region::Circle { center, radius } => {
+                Some(Rect::point(*center).expand(*radius))
+            }
+            Region::StateIds(_) => None,
+            Region::Union(parts) => {
+                let mut bounds = Rect::empty();
+                for part in parts {
+                    bounds = bounds.union(&part.bounding_rect()?);
+                }
+                Some(bounds)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSpace;
+    use crate::line::LineSpace;
+
+    #[test]
+    fn rect_region_on_grid() {
+        let grid = GridSpace::new(4, 4);
+        let r = Region::rect(0.0, 0.0, 1.6, 1.6);
+        assert_eq!(r.resolve(&grid), vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn circle_region_filters_by_distance() {
+        let grid = GridSpace::new(3, 3);
+        // Circle around the center cell (1.5, 1.5) with radius 1 covers the
+        // center and its 4-neighborhood.
+        let r = Region::circle(Point2::new(1.5, 1.5), 1.0);
+        assert_eq!(r.resolve(&grid), vec![1, 3, 4, 5, 7]);
+    }
+
+    #[test]
+    fn state_ids_filter_out_of_range() {
+        let line = LineSpace::new(5);
+        let r = Region::StateIds(vec![4, 1, 1, 99]);
+        assert_eq!(r.resolve(&line), vec![1, 4]);
+    }
+
+    #[test]
+    fn union_dedups() {
+        let line = LineSpace::new(10);
+        let r = Region::Union(vec![
+            Region::StateIds(vec![1, 2]),
+            Region::StateIds(vec![2, 3]),
+            Region::rect(5.0, -1.0, 6.0, 1.0),
+        ]);
+        assert_eq!(r.resolve(&line), vec![1, 2, 3, 5, 6]);
+    }
+
+    #[test]
+    fn contains_point_semantics() {
+        let r = Region::rect(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(r.contains_point(&Point2::new(0.5, 0.5)), Some(true));
+        assert_eq!(r.contains_point(&Point2::new(2.0, 0.5)), Some(false));
+        assert_eq!(Region::StateIds(vec![0]).contains_point(&Point2::origin()), None);
+        let u = Region::Union(vec![
+            Region::StateIds(vec![0]),
+            Region::circle(Point2::origin(), 1.0),
+        ]);
+        assert_eq!(u.contains_point(&Point2::new(0.5, 0.0)), Some(true));
+        assert_eq!(u.contains_point(&Point2::new(5.0, 5.0)), Some(false));
+        let pure_ids = Region::Union(vec![Region::StateIds(vec![0])]);
+        assert_eq!(pure_ids.contains_point(&Point2::origin()), None);
+    }
+
+    #[test]
+    fn bounding_rects() {
+        assert_eq!(
+            Region::circle(Point2::new(1.0, 1.0), 2.0).bounding_rect(),
+            Some(Rect::from_bounds(-1.0, -1.0, 3.0, 3.0))
+        );
+        assert_eq!(Region::StateIds(vec![1]).bounding_rect(), None);
+        let u = Region::Union(vec![
+            Region::rect(0.0, 0.0, 1.0, 1.0),
+            Region::rect(4.0, 4.0, 5.0, 5.0),
+        ]);
+        assert_eq!(u.bounding_rect(), Some(Rect::from_bounds(0.0, 0.0, 5.0, 5.0)));
+        let mixed = Region::Union(vec![
+            Region::rect(0.0, 0.0, 1.0, 1.0),
+            Region::StateIds(vec![0]),
+        ]);
+        assert_eq!(mixed.bounding_rect(), None);
+    }
+
+    #[test]
+    fn empty_union_resolves_empty() {
+        let line = LineSpace::new(3);
+        assert!(Region::Union(vec![]).resolve(&line).is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! The discrete state space abstraction `S = {s_1, …, s_|S|} ⊆ R^d`.
+
+use crate::point::Point2;
+use crate::rect::Rect;
+
+/// A finite set of spatial states, each embedded at a planar location.
+///
+/// The paper's model is agnostic to *where* the states are — only the query
+/// region resolution (which states fall inside a spatial region) and data
+/// generators need the embedding. Implementations: [`crate::grid::GridSpace`]
+/// (the raster of Fig. 2), [`crate::line::LineSpace`] (the 1-D synthetic
+/// domain of the evaluation) and [`crate::network::RoadNetwork`] (the road
+/// datasets).
+pub trait StateSpace {
+    /// Number of states `|S|`.
+    fn num_states(&self) -> usize;
+
+    /// The planar location of state `id`.
+    ///
+    /// # Panics
+    /// Implementations may panic when `id ≥ num_states()`.
+    fn location(&self, id: usize) -> Point2;
+
+    /// The state whose location is nearest to `p` (ties broken arbitrarily),
+    /// or `None` for an empty space.
+    fn nearest_state(&self, p: &Point2) -> Option<usize> {
+        (0..self.num_states()).min_by(|&a, &b| {
+            self.location(a)
+                .distance_sq(p)
+                .total_cmp(&self.location(b).distance_sq(p))
+        })
+    }
+
+    /// All states whose location lies inside `rect` (ascending ids).
+    ///
+    /// The default implementation scans every state; spatially indexed
+    /// implementations override this.
+    fn states_in_rect(&self, rect: &Rect) -> Vec<usize> {
+        (0..self.num_states())
+            .filter(|&id| rect.contains(&self.location(id)))
+            .collect()
+    }
+
+    /// The bounding box of all state locations.
+    fn bounding_box(&self) -> Rect {
+        let mut bounds = Rect::empty();
+        for id in 0..self.num_states() {
+            bounds = bounds.union(&Rect::point(self.location(id)));
+        }
+        bounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal in-memory state space for testing the trait defaults.
+    struct Points(Vec<Point2>);
+
+    impl StateSpace for Points {
+        fn num_states(&self) -> usize {
+            self.0.len()
+        }
+        fn location(&self, id: usize) -> Point2 {
+            self.0[id]
+        }
+    }
+
+    #[test]
+    fn default_nearest_state() {
+        let s = Points(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(5.0, 0.0),
+            Point2::new(0.0, 5.0),
+        ]);
+        assert_eq!(s.nearest_state(&Point2::new(4.0, 1.0)), Some(1));
+        assert_eq!(s.nearest_state(&Point2::new(0.1, 0.1)), Some(0));
+        assert_eq!(Points(vec![]).nearest_state(&Point2::origin()), None);
+    }
+
+    #[test]
+    fn default_states_in_rect() {
+        let s = Points(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(5.0, 0.0),
+            Point2::new(0.0, 5.0),
+        ]);
+        let hits = s.states_in_rect(&Rect::from_bounds(-1.0, -1.0, 1.0, 6.0));
+        assert_eq!(hits, vec![0, 2]);
+    }
+
+    #[test]
+    fn default_bounding_box() {
+        let s = Points(vec![Point2::new(-1.0, 2.0), Point2::new(3.0, -4.0)]);
+        assert_eq!(s.bounding_box(), Rect::from_bounds(-1.0, -4.0, 3.0, 2.0));
+        assert!(Points(vec![]).bounding_box().is_empty());
+    }
+}

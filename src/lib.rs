@@ -1,0 +1,32 @@
+//! # ust — querying uncertain spatio-temporal data
+//!
+//! Facade crate of the reproduction of Emrich, Kriegel, Mamoulis, Renz,
+//! Züfle: *Querying Uncertain Spatio-Temporal Data* (ICDE 2012). Re-exports
+//! the workspace crates:
+//!
+//! * [`ust_markov`] — sparse linear algebra, Markov chains, augmented
+//!   (`M−`/`M+`) matrices;
+//! * [`ust_space`] — state spaces (grid / line / road network), regions,
+//!   time sets, R-tree;
+//! * [`ust_core`] — the paper's query model and engines (PST∃Q, PST∀Q,
+//!   PSTkQ; object-based and query-based; multiple observations;
+//!   baselines);
+//! * [`ust_data`] — dataset generators (Table I synthetic, road networks,
+//!   iceberg and traffic scenarios) and workloads.
+//!
+//! See the repository README for a guided tour, `examples/` for runnable
+//! programs, and EXPERIMENTS.md for the regenerated evaluation.
+
+pub use ust_core;
+pub use ust_data;
+pub use ust_markov;
+pub use ust_space;
+
+/// One-stop prelude for applications.
+pub mod prelude {
+    pub use ust_core::prelude::*;
+    pub use ust_markov::{CsrMatrix, DenseVector, MarkovChain, SparseVector, StateMask};
+    pub use ust_space::{
+        GridSpace, LineSpace, Point2, Rect, Region, RoadNetwork, StateSpace, TimeSet,
+    };
+}

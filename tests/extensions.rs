@@ -1,0 +1,170 @@
+//! Integration tests for the engineering extensions layered on the paper's
+//! framework: persistence, standing queries, top-k ranking, cluster pruning
+//! and the Chapman-Kolmogorov power cache — all exercised together through
+//! the public facade.
+
+use std::sync::Arc;
+
+use ust::prelude::*;
+use ust_core::streaming::{StandingQuery, StreamingMonitor};
+use ust_core::{cluster, ranking, threshold};
+use ust_data::{io, synthetic, workload, SyntheticConfig};
+use ust_markov::PowerCache;
+
+fn dataset() -> ust_data::SyntheticDataset {
+    synthetic::generate(&SyntheticConfig {
+        num_objects: 120,
+        num_states: 3_000,
+        ..SyntheticConfig::default()
+    })
+}
+
+#[test]
+fn persisted_dataset_answers_identically() {
+    let data = dataset();
+    let window = workload::paper_default_window(3_000).unwrap();
+
+    // Save → load → re-query.
+    let dir = std::env::temp_dir().join("ust_ext_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("synthetic.ust");
+    io::save_database(&data.db, &path).unwrap();
+    let loaded = io::load_database(&path).unwrap();
+
+    let a = QueryProcessor::new(&data.db).exists_query_based(&window).unwrap();
+    let b = QueryProcessor::new(&loaded).exists_query_based(&window).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.object_id, y.object_id);
+        assert!((x.probability - y.probability).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn standing_query_agrees_with_batch_for_fresh_fixes() {
+    let data = dataset();
+    let window = workload::paper_default_window(3_000).unwrap();
+    let chain = Arc::clone(&data.db.models()[0]);
+    let standing = StandingQuery::new(chain, window.clone()).unwrap();
+    let mut monitor = StreamingMonitor::new(standing);
+
+    let batch = QueryProcessor::new(&data.db).exists_query_based(&window).unwrap();
+    for (object, expected) in data.db.objects().iter().zip(&batch) {
+        let p = monitor.observe(object.id(), object.anchor()).unwrap();
+        assert!(
+            (p - expected.probability).abs() < 1e-12,
+            "object {}: streamed {p} vs batch {}",
+            object.id(),
+            expected.probability
+        );
+    }
+    assert_eq!(monitor.len(), data.db.len());
+    // The ranking of the monitor's board matches a top-k query.
+    let board = monitor.above(0.0);
+    let topk = ranking::topk_query_based(
+        &data.db,
+        &window,
+        5,
+        &EngineConfig::default(),
+        &mut EvalStats::new(),
+    )
+    .unwrap();
+    for (b, t) in board.iter().take(5).zip(&topk) {
+        assert_eq!(b.0, t.object_id);
+    }
+}
+
+#[test]
+fn topk_matches_threshold_and_exact_order() {
+    let data = dataset();
+    let window = workload::paper_default_window(3_000).unwrap();
+    let config = EngineConfig::default();
+    let k = 10;
+    let qb = ranking::topk_query_based(&data.db, &window, k, &config, &mut EvalStats::new())
+        .unwrap();
+    let mut stats = EvalStats::new();
+    let ob = ranking::topk_object_based_pruned(&data.db, &window, k, &config, &mut stats)
+        .unwrap();
+    assert_eq!(qb.len(), ob.len());
+    for (a, b) in qb.iter().zip(&ob) {
+        assert_eq!(a.object_id, b.object_id);
+        assert!((a.probability - b.probability).abs() < 1e-12);
+    }
+    // Every member of the top-k passes a threshold query at its own score.
+    if let Some(last) = qb.last() {
+        if last.probability > 0.0 {
+            let accepted = threshold::threshold_query(
+                &data.db,
+                &window,
+                last.probability,
+                &config,
+                &mut EvalStats::new(),
+            )
+            .unwrap();
+            for r in &qb {
+                assert!(accepted.contains(&r.object_id));
+            }
+        }
+    }
+}
+
+#[test]
+fn power_cache_predicts_like_the_chain() {
+    let data = dataset();
+    let chain = &data.db.models()[0];
+    let mut cache = PowerCache::new(chain.stochastic());
+    let object = data.db.object(0).unwrap();
+    for horizon in [0u32, 1, 7, 25] {
+        let via_cache = cache
+            .propagate_sparse(object.initial_distribution(), horizon)
+            .unwrap();
+        let via_steps = chain
+            .propagate_sparse(object.initial_distribution(), horizon)
+            .unwrap()
+            .to_dense();
+        assert!(
+            via_cache.approx_eq(&via_steps, 1e-9),
+            "horizon {horizon} diverged"
+        );
+    }
+}
+
+#[test]
+fn cluster_bounds_respect_exact_results_on_perturbed_models() {
+    // Build a 4-model database by perturbing the synthetic chain's weights.
+    let base = dataset();
+    let n = base.db.num_states();
+    let models: Vec<_> = (0..4u64)
+        .map(|i| {
+            let m = base.db.models()[0].matrix().map_values(|v| v * (1.0 + i as f64 * 0.01));
+            ust_markov::MarkovChain::from_weights(m).unwrap()
+        })
+        .collect();
+    let mut db = TrajectoryDatabase::with_models(models).unwrap();
+    for (i, o) in base.db.objects().iter().take(60).enumerate() {
+        db.insert(o.clone().with_model(i % 4)).unwrap();
+    }
+    let window = workload::paper_default_window(n).unwrap();
+    let clusters = vec![cluster::ModelCluster::build(&db, vec![0, 1, 2, 3]).unwrap()];
+    let tau = 0.05;
+    let result = cluster::clustered_threshold_query(
+        &db,
+        &window,
+        tau,
+        &clusters,
+        &EngineConfig::default(),
+        &mut EvalStats::new(),
+    )
+    .unwrap();
+    let exact = threshold::threshold_query(
+        &db,
+        &window,
+        tau,
+        &EngineConfig::default(),
+        &mut EvalStats::new(),
+    )
+    .unwrap();
+    let mut got = result.accepted.clone();
+    got.sort_unstable();
+    assert_eq!(got, exact);
+}

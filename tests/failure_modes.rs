@@ -1,0 +1,182 @@
+//! Failure-injection tests: every error path reachable through the public
+//! API must surface as a typed error, never a panic or a silent wrong
+//! answer.
+
+use ust::prelude::*;
+use ust_core::engine::{exhaustive, object_based, query_based};
+use ust_core::{multi_obs, smoothing, QueryError};
+use ust_markov::{MarkovError, StochasticMatrix};
+
+fn paper_chain() -> MarkovChain {
+    MarkovChain::from_csr(
+        CsrMatrix::from_dense(&[
+            vec![0.0, 0.0, 1.0],
+            vec![0.6, 0.0, 0.4],
+            vec![0.0, 0.8, 0.2],
+        ])
+        .unwrap(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn non_stochastic_matrices_are_rejected() {
+    let bad_sum = CsrMatrix::from_dense(&[vec![0.5, 0.4], vec![1.0, 0.0]]).unwrap();
+    assert!(matches!(
+        StochasticMatrix::new(bad_sum),
+        Err(MarkovError::NotStochastic { row: 0, .. })
+    ));
+    let negative = CsrMatrix::from_dense(&[vec![1.5, -0.5], vec![0.0, 1.0]]).unwrap();
+    assert!(matches!(
+        StochasticMatrix::new(negative),
+        Err(MarkovError::InvalidProbability { .. })
+    ));
+    let empty_row = CsrMatrix::from_dense(&[vec![0.0, 0.0], vec![0.0, 1.0]]).unwrap();
+    assert!(StochasticMatrix::new(empty_row).is_err());
+    let non_square = CsrMatrix::from_dense(&[vec![0.5, 0.5, 0.0]]).unwrap();
+    assert!(StochasticMatrix::new(non_square).is_err());
+}
+
+#[test]
+fn empty_windows_are_rejected() {
+    assert_eq!(
+        QueryWindow::from_states(5, Vec::<usize>::new(), TimeSet::at(1)),
+        Err(QueryError::EmptySpatialWindow)
+    );
+    assert_eq!(
+        QueryWindow::from_states(5, [1usize], TimeSet::empty()),
+        Err(QueryError::EmptyTemporalWindow)
+    );
+    // Out-of-range window states.
+    assert!(matches!(
+        QueryWindow::from_states(5, [5usize], TimeSet::at(1)),
+        Err(QueryError::Markov(MarkovError::IndexOutOfBounds { .. }))
+    ));
+}
+
+#[test]
+fn malformed_objects_are_rejected() {
+    assert_eq!(
+        UncertainObject::new(1, vec![]),
+        Err(QueryError::NoObservations)
+    );
+    let a = Observation::exact(3, 4, 0).unwrap();
+    let b = Observation::exact(3, 4, 1).unwrap();
+    assert_eq!(
+        UncertainObject::new(1, vec![a, b]),
+        Err(QueryError::DuplicateObservation { time: 3 })
+    );
+    assert!(Observation::exact(0, 4, 9).is_err());
+    assert!(Observation::uncertain(0, SparseVector::zeros(4)).is_err());
+}
+
+#[test]
+fn database_insert_validation() {
+    let mut db = TrajectoryDatabase::new(paper_chain());
+    // Wrong dimension.
+    let wrong_dim =
+        UncertainObject::with_single_observation(1, Observation::exact(0, 7, 0).unwrap());
+    assert!(matches!(
+        db.insert(wrong_dim),
+        Err(QueryError::ModelDimensionMismatch { .. })
+    ));
+    // Unknown model index.
+    let unknown_model =
+        UncertainObject::with_single_observation(2, Observation::exact(0, 3, 0).unwrap())
+            .with_model(3);
+    assert_eq!(db.insert(unknown_model), Err(QueryError::UnknownModel { model: 3 }));
+}
+
+#[test]
+fn window_before_observation_is_rejected_by_all_engines() {
+    let chain = paper_chain();
+    let late_object =
+        UncertainObject::with_single_observation(1, Observation::exact(10, 3, 0).unwrap());
+    let window = QueryWindow::from_states(3, [0usize], TimeSet::interval(2, 4)).unwrap();
+    let config = EngineConfig::default();
+    assert!(matches!(
+        object_based::exists_probability(&chain, &late_object, &window, &config),
+        Err(QueryError::WindowBeforeObservation { .. })
+    ));
+    assert!(matches!(
+        query_based::exists_probability(&chain, &late_object, &window, &config),
+        Err(QueryError::WindowBeforeObservation { .. })
+    ));
+    assert!(matches!(
+        multi_obs::exists_probability_multi(&chain, &late_object, &window, &config),
+        Err(QueryError::WindowBeforeObservation { .. })
+    ));
+    assert!(matches!(
+        smoothing::smoothed_distribution(&chain, &late_object, 2),
+        Err(QueryError::WindowBeforeObservation { .. })
+    ));
+}
+
+#[test]
+fn impossible_evidence_is_consistent_across_engines() {
+    let chain = paper_chain();
+    // From s2 the object cannot be at s2 one step later.
+    let contradictory = UncertainObject::new(
+        1,
+        vec![
+            Observation::exact(0, 3, 1).unwrap(),
+            Observation::exact(1, 3, 1).unwrap(),
+        ],
+    )
+    .unwrap();
+    let window = QueryWindow::from_states(3, [0usize], TimeSet::at(1)).unwrap();
+    let config = EngineConfig::default();
+    assert_eq!(
+        multi_obs::exists_probability_multi(&chain, &contradictory, &window, &config),
+        Err(QueryError::ImpossibleEvidence)
+    );
+    assert_eq!(
+        exhaustive::enumerate(&chain, &contradictory, &window, 1 << 20)
+            .map(|r| r.exists()),
+        Err(QueryError::ImpossibleEvidence)
+    );
+    assert_eq!(
+        smoothing::smoothed_distribution(&chain, &contradictory, 1).map(|_| ()),
+        Err(QueryError::ImpossibleEvidence)
+    );
+}
+
+#[test]
+fn exhaustive_budget_guard() {
+    // A 20-state dense-ish chain over 20 steps overflows a tiny budget.
+    let mut rng = ust_markov::testutil::rng(5);
+    let chain = MarkovChain::from_csr(ust_markov::testutil::random_stochastic(
+        &mut rng, 20, 4,
+    ))
+    .unwrap();
+    let object =
+        UncertainObject::with_single_observation(1, Observation::exact(0, 20, 0).unwrap());
+    let window = QueryWindow::from_states(20, [5usize], TimeSet::interval(15, 20)).unwrap();
+    assert!(matches!(
+        exhaustive::enumerate(&chain, &object, &window, 1_000),
+        Err(QueryError::ExhaustiveBudgetExceeded { budget: 1_000 })
+    ));
+}
+
+#[test]
+fn error_messages_are_human_readable() {
+    let e = QueryError::WindowBeforeObservation { window_start: 1, observation: 5 };
+    let s = format!("{e}");
+    assert!(s.contains('1') && s.contains('5'));
+    let e: QueryError = MarkovError::ZeroMass.into();
+    assert!(format!("{e}").contains("zero"));
+}
+
+#[test]
+fn degenerate_chain_sizes() {
+    // A single absorbing state still answers queries.
+    let chain = MarkovChain::from_csr(CsrMatrix::identity(1)).unwrap();
+    let object =
+        UncertainObject::with_single_observation(1, Observation::exact(0, 1, 0).unwrap());
+    let window = QueryWindow::from_states(1, [0usize], TimeSet::interval(1, 3)).unwrap();
+    let config = EngineConfig::default();
+    let p = object_based::exists_probability(&chain, &object, &window, &config).unwrap();
+    assert_eq!(p, 1.0);
+    let q = query_based::exists_probability(&chain, &object, &window, &config).unwrap();
+    assert_eq!(q, 1.0);
+}
