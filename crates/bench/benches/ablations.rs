@@ -68,8 +68,7 @@ fn bench_hybrid(c: &mut Criterion) {
         let config = EngineConfig::default().with_densify_threshold(threshold);
         group.bench_with_input(BenchmarkId::new("OB", label), &label, |b, _| {
             b.iter(|| {
-                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
-                    .unwrap()
+                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
             })
         });
     }
@@ -86,8 +85,7 @@ fn bench_epsilon(c: &mut Criterion) {
         let config = EngineConfig::default().with_epsilon(eps);
         group.bench_with_input(BenchmarkId::new("OB", label), &label, |b, _| {
             b.iter(|| {
-                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
-                    .unwrap()
+                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
             })
         });
     }

@@ -25,8 +25,7 @@ fn bench_predicates(c: &mut Criterion) {
         let window = workload::with_duration(&base, len).unwrap();
         ob.bench_with_input(BenchmarkId::new("exists", len), &len, |b, _| {
             b.iter(|| {
-                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
-                    .unwrap()
+                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
             })
         });
         ob.bench_with_input(BenchmarkId::new("forall", len), &len, |b, _| {
@@ -50,8 +49,7 @@ fn bench_predicates(c: &mut Criterion) {
         let window = workload::with_duration(&base, len).unwrap();
         qb.bench_with_input(BenchmarkId::new("exists", len), &len, |b, _| {
             b.iter(|| {
-                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
-                    .unwrap()
+                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
             })
         });
         qb.bench_with_input(BenchmarkId::new("forall", len), &len, |b, _| {

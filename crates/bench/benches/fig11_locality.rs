@@ -23,14 +23,12 @@ fn bench_max_step(c: &mut Criterion) {
         let config = EngineConfig::default();
         group.bench_with_input(BenchmarkId::new("OB", max_step), &max_step, |b, _| {
             b.iter(|| {
-                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
-                    .unwrap()
+                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("QB", max_step), &max_step, |b, _| {
             b.iter(|| {
-                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
-                    .unwrap()
+                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
             })
         });
     }
@@ -46,14 +44,12 @@ fn bench_state_spread(c: &mut Criterion) {
         let config = EngineConfig::default();
         group.bench_with_input(BenchmarkId::new("OB", state_spread), &state_spread, |b, _| {
             b.iter(|| {
-                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
-                    .unwrap()
+                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("QB", state_spread), &state_spread, |b, _| {
             b.iter(|| {
-                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
-                    .unwrap()
+                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
             })
         });
     }

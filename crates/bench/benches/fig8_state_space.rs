@@ -33,14 +33,12 @@ fn bench_fig8(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("OB", states), &states, |b, _| {
             b.iter(|| {
-                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
-                    .unwrap()
+                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("QB", states), &states, |b, _| {
             b.iter(|| {
-                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
-                    .unwrap()
+                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
             })
         });
     }

@@ -28,14 +28,12 @@ fn bench_synthetic_start_time(c: &mut Criterion) {
         let window = workload::with_start_time(&base, start).unwrap();
         group.bench_with_input(BenchmarkId::new("OB", start), &start, |b, _| {
             b.iter(|| {
-                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
-                    .unwrap()
+                object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("QB", start), &start, |b, _| {
             b.iter(|| {
-                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
-                    .unwrap()
+                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
             })
         });
     }
@@ -64,8 +62,7 @@ fn bench_network_start_time(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("QB", start), &start, |b, _| {
             b.iter(|| {
-                query_based::evaluate(&dataset.db, &window, &config, &mut EvalStats::new())
-                    .unwrap()
+                query_based::evaluate(&dataset.db, &window, &config, &mut EvalStats::new()).unwrap()
             })
         });
     }

@@ -28,9 +28,7 @@ fn bench_vecmat(c: &mut Criterion) {
 
     // Dense input.
     let dense = DenseVector::uniform(n).unwrap();
-    group.bench_function("dense_forward", |b| {
-        b.iter(|| matrix.vecmat_dense(&dense).unwrap())
-    });
+    group.bench_function("dense_forward", |b| b.iter(|| matrix.vecmat_dense(&dense).unwrap()));
     group.bench_function("dense_backward_matvec", |b| {
         b.iter(|| matrix.matvec_dense(&dense).unwrap())
     });
@@ -75,12 +73,8 @@ fn bench_sparse_ops(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("kernel_sparse_vector_ops");
     group.sample_size(20).measurement_time(Duration::from_secs(3));
-    group.bench_function("dot_sparse_sparse", |b| {
-        b.iter(|| a.dot_sparse(&b_vec).unwrap())
-    });
-    group.bench_function("dot_sparse_dense", |b| {
-        b.iter(|| a.dot_dense(&dense).unwrap())
-    });
+    group.bench_function("dot_sparse_sparse", |b| b.iter(|| a.dot_sparse(&b_vec).unwrap()));
+    group.bench_function("dot_sparse_dense", |b| b.iter(|| a.dot_dense(&dense).unwrap()));
     group.bench_function("add_sparse", |b| b.iter(|| a.add(&b_vec).unwrap()));
     group.bench_function("from_dense_threshold", |b| {
         b.iter(|| SparseVector::from_dense(&dense, 1e-12))

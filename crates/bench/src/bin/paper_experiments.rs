@@ -94,8 +94,7 @@ fn main() -> ExitCode {
 
     for id in &ids {
         let started = std::time::Instant::now();
-        let output =
-            experiments::by_id(id, args.scale).expect("ids validated during parsing");
+        let output = experiments::by_id(id, args.scale).expect("ids validated during parsing");
         println!("## {} (`{}`)\n", output.title, output.id);
         println!("{}", output.table.to_markdown());
         println!("*Expected shape:* {}\n", output.expectation);

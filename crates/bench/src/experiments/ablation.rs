@@ -98,11 +98,9 @@ pub fn ablation_augmented(scale: Scale) -> ExperimentOutput {
 /// Hybrid sparse→dense switching vs always-sparse vs always-dense vectors.
 pub fn ablation_hybrid(scale: Scale) -> ExperimentOutput {
     let cfg = match scale {
-        Scale::Ci => SyntheticConfig {
-            num_objects: 500,
-            num_states: 10_000,
-            ..SyntheticConfig::default()
-        },
+        Scale::Ci => {
+            SyntheticConfig { num_objects: 500, num_states: 10_000, ..SyntheticConfig::default() }
+        }
         Scale::Paper => SyntheticConfig::default(),
     };
     let data = synthetic::generate(&cfg);
@@ -134,24 +132,17 @@ pub fn ablation_hybrid(scale: Scale) -> ExperimentOutput {
 /// ε-pruning: speed vs bounded error.
 pub fn ablation_epsilon(scale: Scale) -> ExperimentOutput {
     let cfg = match scale {
-        Scale::Ci => SyntheticConfig {
-            num_objects: 500,
-            num_states: 10_000,
-            ..SyntheticConfig::default()
-        },
+        Scale::Ci => {
+            SyntheticConfig { num_objects: 500, num_states: 10_000, ..SyntheticConfig::default() }
+        }
         Scale::Paper => SyntheticConfig::default(),
     };
     let data = synthetic::generate(&cfg);
     let window = workload::paper_default_window(cfg.num_states).expect("window fits");
-    let exact = object_based::evaluate(
-        &data.db,
-        &window,
-        &EngineConfig::default(),
-        &mut EvalStats::new(),
-    )
-    .unwrap();
-    let mut table =
-        ResultTable::new(["ε", "OB (s)", "max |error|", "dropped mass (total)"]);
+    let exact =
+        object_based::evaluate(&data.db, &window, &EngineConfig::default(), &mut EvalStats::new())
+            .unwrap();
+    let mut table = ResultTable::new(["ε", "OB (s)", "max |error|", "dropped mass (total)"]);
     for eps in [0.0, 1e-9, 1e-6, 1e-4] {
         let config = EngineConfig::default().with_epsilon(eps);
         let mut stats = EvalStats::new();
@@ -182,19 +173,16 @@ pub fn ablation_epsilon(scale: Scale) -> ExperimentOutput {
 /// Early termination of thresholded queries via ⊤ bounds.
 pub fn ablation_threshold(scale: Scale) -> ExperimentOutput {
     let cfg = match scale {
-        Scale::Ci => SyntheticConfig {
-            num_objects: 500,
-            num_states: 10_000,
-            ..SyntheticConfig::default()
-        },
+        Scale::Ci => {
+            SyntheticConfig { num_objects: 500, num_states: 10_000, ..SyntheticConfig::default() }
+        }
         Scale::Paper => SyntheticConfig::default(),
     };
     let data = synthetic::generate(&cfg);
     let window = workload::paper_default_window(cfg.num_states).expect("window fits");
     let config = EngineConfig::default();
-    let (exact_t, _) = time(|| {
-        object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
-    });
+    let (exact_t, _) =
+        time(|| object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap());
     let mut table = ResultTable::new([
         "τ",
         "threshold query (s)",

@@ -11,11 +11,9 @@ use crate::{time, ExperimentOutput, Scale};
 
 fn dataset(scale: Scale) -> SyntheticDataset {
     let cfg = match scale {
-        Scale::Ci => SyntheticConfig {
-            num_objects: 500,
-            num_states: 10_000,
-            ..SyntheticConfig::default()
-        },
+        Scale::Ci => {
+            SyntheticConfig { num_objects: 500, num_states: 10_000, ..SyntheticConfig::default() }
+        }
         Scale::Paper => SyntheticConfig::default(),
     };
     synthetic::generate(&cfg)
@@ -32,10 +30,8 @@ fn window_lengths(scale: Scale) -> Vec<u32> {
 pub fn fig10a(scale: Scale) -> ExperimentOutput {
     let data = dataset(scale);
     let config = EngineConfig::default();
-    let base =
-        workload::paper_default_window(data.config.num_states).expect("window fits");
-    let mut table =
-        ResultTable::new(["window timeslots", "∃OB (s)", "∀OB (s)", "kOB (s)"]);
+    let base = workload::paper_default_window(data.config.num_states).expect("window fits");
+    let mut table = ResultTable::new(["window timeslots", "∃OB (s)", "∀OB (s)", "kOB (s)"]);
     for len in window_lengths(scale) {
         let window = workload::with_duration(&base, len).expect("valid");
         let (e_t, _) = time(|| {
@@ -66,22 +62,18 @@ pub fn fig10a(scale: Scale) -> ExperimentOutput {
 pub fn fig10b(scale: Scale) -> ExperimentOutput {
     let data = dataset(scale);
     let config = EngineConfig::default();
-    let base =
-        workload::paper_default_window(data.config.num_states).expect("window fits");
-    let mut table =
-        ResultTable::new(["window timeslots", "∃QB (s)", "∀QB (s)", "kQB (s)"]);
+    let base = workload::paper_default_window(data.config.num_states).expect("window fits");
+    let mut table = ResultTable::new(["window timeslots", "∃QB (s)", "∀QB (s)", "kQB (s)"]);
     for len in window_lengths(scale) {
         let window = workload::with_duration(&base, len).expect("valid");
         let (e_t, _) = time(|| {
             query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
         });
         let (a_t, _) = time(|| {
-            forall::evaluate_query_based(&data.db, &window, &config, &mut EvalStats::new())
-                .unwrap()
+            forall::evaluate_query_based(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
         });
         let (k_t, _) = time(|| {
-            ktimes::evaluate_query_based(&data.db, &window, &config, &mut EvalStats::new())
-                .unwrap()
+            ktimes::evaluate_query_based(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
         });
         table.push_row([len.to_string(), fmt_secs(e_t), fmt_secs(a_t), fmt_secs(k_t)]);
     }

@@ -12,11 +12,9 @@ use crate::{time, ExperimentOutput, Scale};
 
 fn base_config(scale: Scale) -> SyntheticConfig {
     match scale {
-        Scale::Ci => SyntheticConfig {
-            num_objects: 1_000,
-            num_states: 10_000,
-            ..SyntheticConfig::default()
-        },
+        Scale::Ci => {
+            SyntheticConfig { num_objects: 1_000, num_states: 10_000, ..SyntheticConfig::default() }
+        }
         Scale::Paper => SyntheticConfig::default(),
     }
 }
@@ -67,9 +65,10 @@ pub fn fig11b(scale: Scale) -> ExperimentOutput {
         Scale::Ci => vec![2, 8, 14, 20],
         Scale::Paper => (1..=10).map(|i| i * 2).collect(),
     };
-    let table = sweep(spreads.into_iter().map(|state_spread| {
-        (state_spread.to_string(), SyntheticConfig { state_spread, ..base })
-    }));
+    let table =
+        sweep(spreads.into_iter().map(|state_spread| {
+            (state_spread.to_string(), SyntheticConfig { state_spread, ..base })
+        }));
     ExperimentOutput {
         id: "fig11b".into(),
         title: "Fig. 11(b) — impact of state_spread on OB and QB".into(),
@@ -86,11 +85,8 @@ mod tests {
 
     #[test]
     fn sweep_produces_label_per_config() {
-        let base = SyntheticConfig {
-            num_objects: 10,
-            num_states: 1_000,
-            ..SyntheticConfig::default()
-        };
+        let base =
+            SyntheticConfig { num_objects: 10, num_states: 1_000, ..SyntheticConfig::default() };
         let table = sweep(
             [10usize, 20]
                 .into_iter()

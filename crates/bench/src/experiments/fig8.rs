@@ -27,14 +27,8 @@ pub fn fig8a(scale: Scale) -> ExperimentOutput {
     let mc = MonteCarlo::new(100, 0xF18A);
     let mc_acc = MonteCarlo::new(10_000, 0xF18B);
     let config = EngineConfig::default();
-    let mut table = ResultTable::new([
-        "|S|",
-        "MC@100 (s)",
-        "MC@10k (s)",
-        "OB (s)",
-        "QB (s)",
-        "max |OB-QB|",
-    ]);
+    let mut table =
+        ResultTable::new(["|S|", "MC@100 (s)", "MC@10k (s)", "OB (s)", "QB (s)", "max |OB-QB|"]);
     for states in states_list {
         let data = synthetic::generate(&SyntheticConfig {
             num_objects,
@@ -44,13 +38,14 @@ pub fn fig8a(scale: Scale) -> ExperimentOutput {
         let window = paper_default_window(states).expect("window fits the space");
         let (mc_t, _) =
             time(|| mc.evaluate_exists(&data.db, &window, &mut EvalStats::new()).unwrap());
-        let (mc_acc_t, _) = time(|| {
-            mc_acc.evaluate_exists(&data.db, &window, &mut EvalStats::new()).unwrap()
+        let (mc_acc_t, _) =
+            time(|| mc_acc.evaluate_exists(&data.db, &window, &mut EvalStats::new()).unwrap());
+        let (ob_t, ob) = time(|| {
+            object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
         });
-        let (ob_t, ob) =
-            time(|| object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap());
-        let (qb_t, qb) =
-            time(|| query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap());
+        let (qb_t, qb) = time(|| {
+            query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
+        });
         let max_diff = ob
             .iter()
             .zip(&qb)
@@ -92,10 +87,12 @@ pub fn fig8b(scale: Scale) -> ExperimentOutput {
             ..SyntheticConfig::default()
         });
         let window = paper_default_window(states).expect("window fits the space");
-        let (ob_t, _) =
-            time(|| object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap());
-        let (qb_t, _) =
-            time(|| query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap());
+        let (ob_t, _) = time(|| {
+            object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
+        });
+        let (qb_t, _) = time(|| {
+            query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap()
+        });
         table.push_row([
             states.to_string(),
             fmt_secs(ob_t),
@@ -129,11 +126,11 @@ mod tests {
         });
         let window = paper_default_window(2_000).unwrap();
         let config = EngineConfig::default();
-        let ob = object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
+        let ob = object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap();
+        let qb = query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap();
+        let mc = MonteCarlo::new(50, 1)
+            .evaluate_exists(&data.db, &window, &mut EvalStats::new())
             .unwrap();
-        let qb = query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
-            .unwrap();
-        let mc = MonteCarlo::new(50, 1).evaluate_exists(&data.db, &window, &mut EvalStats::new()).unwrap();
         assert_eq!(ob.len(), 20);
         assert_eq!(qb.len(), 20);
         assert_eq!(mc.len(), 20);

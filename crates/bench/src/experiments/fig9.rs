@@ -46,11 +46,9 @@ fn start_time_sweep(
 /// Figure 9(a): start-time sweep on synthetic data.
 pub fn fig9a(scale: Scale) -> ExperimentOutput {
     let cfg = match scale {
-        Scale::Ci => SyntheticConfig {
-            num_objects: 1_000,
-            num_states: 20_000,
-            ..SyntheticConfig::default()
-        },
+        Scale::Ci => {
+            SyntheticConfig { num_objects: 1_000, num_states: 20_000, ..SyntheticConfig::default() }
+        }
         Scale::Paper => SyntheticConfig::default(),
     };
     let data = synthetic::generate(&cfg);
@@ -134,11 +132,9 @@ pub fn fig9c(scale: Scale) -> ExperimentOutput {
 /// independence model as the query window grows.
 pub fn fig9d(scale: Scale) -> ExperimentOutput {
     let cfg = match scale {
-        Scale::Ci => SyntheticConfig {
-            num_objects: 500,
-            num_states: 10_000,
-            ..SyntheticConfig::default()
-        },
+        Scale::Ci => {
+            SyntheticConfig { num_objects: 500, num_states: 10_000, ..SyntheticConfig::default() }
+        }
         Scale::Paper => SyntheticConfig::default(),
     };
     let data = synthetic::generate(&cfg);
@@ -227,8 +223,7 @@ mod tests {
         for len in [1u32, 6, 10] {
             let window = workload::with_duration(&base, len).unwrap();
             let correct =
-                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
-                    .unwrap();
+                query_based::evaluate(&data.db, &window, &config, &mut EvalStats::new()).unwrap();
             let indep = independent::evaluate_exists_independent(
                 &data.db,
                 &window,

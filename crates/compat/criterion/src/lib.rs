@@ -1,0 +1,280 @@
+//! Minimal, dependency-free drop-in for the subset of the `criterion` API
+//! this workspace's benches use.
+//!
+//! The build environment is fully offline, so instead of the real harness
+//! the workspace ships this miniature: it runs each benchmark closure for a
+//! warm-up, then measures `sample_size` samples capped by
+//! `measurement_time`, and prints `group/name  median ±spread` per-iteration
+//! timings to stdout. No statistics beyond median/min/max, no HTML reports,
+//! no comparison against saved baselines — but `cargo bench` compiles, runs
+//! and produces usable relative numbers for every target.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_id/parameter`.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Batch sizing hints (accepted, not used for anything beyond API parity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// The top-level harness handle passed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name.to_string(), f);
+        group.finish();
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<I: Into<BenchName>, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = self.label(&id.into());
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement_time;
+        // One warm-up sample, then timed samples until count or deadline.
+        for i in 0..=self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            if i > 0 && b.iters > 0 {
+                samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+            }
+            if Instant::now() >= deadline && !samples.is_empty() {
+                break;
+            }
+        }
+        report(&label, &mut samples);
+        self
+    }
+
+    /// Benchmarks a closure that receives `input` by reference.
+    pub fn bench_with_input<I: Into<BenchName>, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+
+    fn label(&self, name: &BenchName) -> String {
+        if self.name.is_empty() {
+            name.0.clone()
+        } else {
+            format!("{}/{}", self.name, name.0)
+        }
+    }
+}
+
+/// Anything usable as a benchmark name (`&str`, `String`, [`BenchmarkId`]).
+#[derive(Debug, Clone)]
+pub struct BenchName(String);
+
+impl From<&str> for BenchName {
+    fn from(s: &str) -> Self {
+        BenchName(s.to_string())
+    }
+}
+
+impl From<String> for BenchName {
+    fn from(s: String) -> Self {
+        BenchName(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchName {
+    fn from(id: BenchmarkId) -> Self {
+        BenchName(id.id)
+    }
+}
+
+/// Passed to benchmark closures; accumulates timed iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = 16u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+
+    /// Times `routine` on inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = 16u64;
+        let mut inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs.drain(..) {
+            black_box(routine(input));
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+}
+
+fn report(label: &str, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{label:<48} median {} (min {}, max {}, {} samples)",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(max),
+        samples.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group runner: `criterion_group!(name, fn1, fn2);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render_as_path() {
+        let id = BenchmarkId::new("sparse", 500);
+        let name: BenchName = id.into();
+        assert_eq!(name.0, "sparse/500");
+    }
+
+    #[test]
+    fn harness_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2).measurement_time(Duration::from_millis(20));
+        let mut calls = 0u64;
+        group.bench_function("iter", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("input", 3), &3u32, |b, &x| {
+            b.iter_batched(|| x, |v| v + 1, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -84,10 +84,7 @@ pub fn greedy_clusters(db: &TrajectoryDatabase, max_width: f64) -> Result<Vec<Mo
             clusters.push(vec![m]);
         }
     }
-    clusters
-        .into_iter()
-        .map(|models| ModelCluster::build(db, models))
-        .collect()
+    clusters.into_iter().map(|models| ModelCluster::build(db, models)).collect()
 }
 
 /// Result of a clustered threshold query.
@@ -124,8 +121,10 @@ pub fn clustered_threshold_query(
 
     // Bounds are anchored per (cluster, anchor time): homogeneity lets us
     // shift the window instead of re-anchoring the chain.
-    let mut bound_cache: BTreeMap<(usize, u32), (ust_markov::DenseVector, ust_markov::DenseVector)> =
-        BTreeMap::new();
+    let mut bound_cache: BTreeMap<
+        (usize, u32),
+        (ust_markov::DenseVector, ust_markov::DenseVector),
+    > = BTreeMap::new();
 
     for object in db.objects() {
         let model = object.model();
@@ -174,12 +173,7 @@ pub fn clustered_threshold_query(
         } else {
             // Undecided: exact QB evaluation with the object's own chain.
             individual += 1;
-            let p = query_based::exists_probability(
-                db.model_of(object),
-                object,
-                window,
-                config,
-            )?;
+            let p = query_based::exists_probability(db.model_of(object), object, window, config)?;
             stats.objects_evaluated += 1;
             if p >= tau {
                 accepted.push(object.id());
@@ -207,29 +201,17 @@ mod tests {
     }
 
     fn paper_chain() -> MarkovChain {
-        chain(&[
-            vec![0.0, 0.0, 1.0],
-            vec![0.6, 0.0, 0.4],
-            vec![0.0, 0.8, 0.2],
-        ])
+        chain(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
     }
 
     /// A chain similar to the paper's (slightly perturbed rows).
     fn similar_chain() -> MarkovChain {
-        chain(&[
-            vec![0.0, 0.0, 1.0],
-            vec![0.55, 0.0, 0.45],
-            vec![0.0, 0.85, 0.15],
-        ])
+        chain(&[vec![0.0, 0.0, 1.0], vec![0.55, 0.0, 0.45], vec![0.0, 0.85, 0.15]])
     }
 
     /// A very different chain (drifts to s3 and stays).
     fn divergent_chain() -> MarkovChain {
-        chain(&[
-            vec![0.0, 0.0, 1.0],
-            vec![0.0, 0.0, 1.0],
-            vec![0.0, 0.05, 0.95],
-        ])
+        chain(&[vec![0.0, 0.0, 1.0], vec![0.0, 0.0, 1.0], vec![0.0, 0.05, 0.95]])
     }
 
     fn window() -> QueryWindow {
@@ -289,21 +271,13 @@ mod tests {
             let clustered =
                 clustered_threshold_query(&db, &window(), tau, &clusters, &config, &mut stats)
                     .unwrap();
-            let exact = threshold::threshold_query(
-                &db,
-                &window(),
-                tau,
-                &config,
-                &mut EvalStats::new(),
-            )
-            .unwrap();
+            let exact =
+                threshold::threshold_query(&db, &window(), tau, &config, &mut EvalStats::new())
+                    .unwrap();
             let mut got = clustered.accepted.clone();
             got.sort_unstable();
             assert_eq!(got, exact, "τ = {tau}");
-            assert_eq!(
-                clustered.decided_by_bounds + clustered.individually_evaluated,
-                db.len()
-            );
+            assert_eq!(clustered.decided_by_bounds + clustered.individually_evaluated, db.len());
         }
     }
 
@@ -312,9 +286,8 @@ mod tests {
         // With one model per cluster the interval is degenerate (lo = hi),
         // so every object is decided by bounds alone.
         let db = make_db();
-        let clusters: Vec<ModelCluster> = (0..3)
-            .map(|m| ModelCluster::build(&db, vec![m]).unwrap())
-            .collect();
+        let clusters: Vec<ModelCluster> =
+            (0..3).map(|m| ModelCluster::build(&db, vec![m]).unwrap()).collect();
         let mut stats = EvalStats::new();
         let result = clustered_threshold_query(
             &db,

@@ -49,10 +49,7 @@ impl TrajectoryDatabase {
     /// Adds an object after validating its model reference and dimensions.
     pub fn insert(&mut self, object: UncertainObject) -> Result<()> {
         let model = object.model();
-        let chain = self
-            .models
-            .get(model)
-            .ok_or(QueryError::UnknownModel { model })?;
+        let chain = self.models.get(model).ok_or(QueryError::UnknownModel { model })?;
         if object.num_states() != chain.num_states() {
             return Err(QueryError::ModelDimensionMismatch {
                 model_states: chain.num_states(),
@@ -64,7 +61,10 @@ impl TrajectoryDatabase {
     }
 
     /// Bulk insert.
-    pub fn insert_all<I: IntoIterator<Item = UncertainObject>>(&mut self, objects: I) -> Result<()> {
+    pub fn insert_all<I: IntoIterator<Item = UncertainObject>>(
+        &mut self,
+        objects: I,
+    ) -> Result<()> {
         for o in objects {
             self.insert(o)?;
         }
@@ -134,12 +134,8 @@ mod tests {
 
     fn chain3() -> MarkovChain {
         MarkovChain::from_csr(
-            CsrMatrix::from_dense(&[
-                vec![0.0, 0.0, 1.0],
-                vec![0.6, 0.0, 0.4],
-                vec![0.0, 0.8, 0.2],
-            ])
-            .unwrap(),
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
         )
         .unwrap()
     }
@@ -166,25 +162,15 @@ mod tests {
         let mut db = TrajectoryDatabase::new(chain3());
         let bad_model = object(3, 0).with_model(7);
         assert_eq!(db.insert(bad_model), Err(QueryError::UnknownModel { model: 7 }));
-        let bad_dim = UncertainObject::with_single_observation(
-            4,
-            Observation::exact(0, 5, 0).unwrap(),
-        );
-        assert!(matches!(
-            db.insert(bad_dim),
-            Err(QueryError::ModelDimensionMismatch { .. })
-        ));
+        let bad_dim =
+            UncertainObject::with_single_observation(4, Observation::exact(0, 5, 0).unwrap());
+        assert!(matches!(db.insert(bad_dim), Err(QueryError::ModelDimensionMismatch { .. })));
     }
 
     #[test]
     fn multi_model_grouping() {
         let mut db = TrajectoryDatabase::with_models(vec![chain3(), chain3()]).unwrap();
-        db.insert_all([
-            object(1, 0),
-            object(2, 1).with_model(1),
-            object(3, 2),
-        ])
-        .unwrap();
+        db.insert_all([object(1, 0), object(2, 1).with_model(1), object(3, 2)]).unwrap();
         assert!(db.shared_model().is_none());
         let groups = db.objects_by_model();
         assert_eq!(groups, vec![vec![0, 2], vec![1]]);

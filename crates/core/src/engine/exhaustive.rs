@@ -67,9 +67,8 @@ pub fn enumerate(
     let mut stack: Vec<Frame> = Vec::new();
     for (s, p) in anchor.distribution().iter() {
         if p > 0.0 {
-            let visits = usize::from(
-                window.time_in_window(anchor.time()) && window.states().contains(s),
-            );
+            let visits =
+                usize::from(window.time_in_window(anchor.time()) && window.states().contains(s));
             stack.push(Frame { t: anchor.time(), state: s, weight: p, visits });
         }
     }
@@ -100,9 +99,7 @@ pub fn enumerate(
                 }
             }
             let visits = frame.visits
-                + usize::from(
-                    window.time_in_window(next_t) && window.states().contains(state),
-                );
+                + usize::from(window.time_in_window(next_t) && window.states().contains(state));
             stack.push(Frame { t: next_t, state, weight, visits });
         }
     }
@@ -124,12 +121,8 @@ mod tests {
 
     fn paper_chain() -> MarkovChain {
         MarkovChain::from_csr(
-            CsrMatrix::from_dense(&[
-                vec![0.0, 0.0, 1.0],
-                vec![0.6, 0.0, 0.4],
-                vec![0.0, 0.8, 0.2],
-            ])
-            .unwrap(),
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
         )
         .unwrap()
     }
@@ -170,20 +163,13 @@ mod tests {
         // at s2@t3 and window S▫={s2}, T▫={1,2}: the only consistent path
         // is s1→s3→s3→s2, which avoids the window → P∃ = 0.
         let chain = MarkovChain::from_csr(
-            CsrMatrix::from_dense(&[
-                vec![0.0, 0.0, 1.0],
-                vec![0.5, 0.0, 0.5],
-                vec![0.0, 0.8, 0.2],
-            ])
-            .unwrap(),
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.5, 0.0, 0.5], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
         )
         .unwrap();
         let object = UncertainObject::new(
             2,
-            vec![
-                Observation::exact(0, 3, 0).unwrap(),
-                Observation::exact(3, 3, 1).unwrap(),
-            ],
+            vec![Observation::exact(0, 3, 0).unwrap(), Observation::exact(3, 3, 1).unwrap()],
         )
         .unwrap();
         let window = QueryWindow::from_states(3, [1usize], TimeSet::interval(1, 2)).unwrap();
@@ -197,10 +183,7 @@ mod tests {
         // p=0.6). Conditioned on that, a window {s1}×{1} is hit surely.
         let object = UncertainObject::new(
             3,
-            vec![
-                Observation::exact(0, 3, 1).unwrap(),
-                Observation::exact(1, 3, 0).unwrap(),
-            ],
+            vec![Observation::exact(0, 3, 1).unwrap(), Observation::exact(1, 3, 0).unwrap()],
         )
         .unwrap();
         let window = QueryWindow::from_states(3, [0usize], TimeSet::at(1)).unwrap();
@@ -230,20 +213,11 @@ mod tests {
         // Observation after t_end still conditions the result.
         let object = UncertainObject::new(
             5,
-            vec![
-                Observation::exact(0, 3, 1).unwrap(),
-                Observation::exact(4, 3, 1).unwrap(),
-            ],
+            vec![Observation::exact(0, 3, 1).unwrap(), Observation::exact(4, 3, 1).unwrap()],
         )
         .unwrap();
         let window = QueryWindow::from_states(3, [0usize], TimeSet::at(1)).unwrap();
-        let unconditioned = enumerate(
-            &paper_chain(),
-            &object_at_s2(),
-            &window,
-            1 << 20,
-        )
-        .unwrap();
+        let unconditioned = enumerate(&paper_chain(), &object_at_s2(), &window, 1 << 20).unwrap();
         let conditioned = enumerate(&paper_chain(), &object, &window, 1 << 20).unwrap();
         assert!((conditioned.exists() - unconditioned.exists()).abs() > 1e-6);
     }

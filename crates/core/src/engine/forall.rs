@@ -85,12 +85,8 @@ mod tests {
 
     fn paper_chain() -> MarkovChain {
         MarkovChain::from_csr(
-            CsrMatrix::from_dense(&[
-                vec![0.0, 0.0, 1.0],
-                vec![0.6, 0.0, 0.4],
-                vec![0.0, 0.8, 0.2],
-            ])
-            .unwrap(),
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
         )
         .unwrap()
     }
@@ -104,20 +100,12 @@ mod tests {
         // P(stay at s3 during t ∈ {1, 2} | start s2):
         // paths s2→s3→s3 with probability 0.4 · 0.2 = 0.08.
         let window = QueryWindow::from_states(3, [2usize], TimeSet::interval(1, 2)).unwrap();
-        let ob = forall_probability_ob(
-            &paper_chain(),
-            &object_at(1),
-            &window,
-            &EngineConfig::default(),
-        )
-        .unwrap();
-        let qb = forall_probability_qb(
-            &paper_chain(),
-            &object_at(1),
-            &window,
-            &EngineConfig::default(),
-        )
-        .unwrap();
+        let ob =
+            forall_probability_ob(&paper_chain(), &object_at(1), &window, &EngineConfig::default())
+                .unwrap();
+        let qb =
+            forall_probability_qb(&paper_chain(), &object_at(1), &window, &EngineConfig::default())
+                .unwrap();
         assert!((ob - 0.08).abs() < 1e-12, "ob = {ob}");
         assert!((qb - 0.08).abs() < 1e-12, "qb = {qb}");
     }
@@ -130,8 +118,7 @@ mod tests {
         let chain = paper_chain();
         let o = object_at(1);
         let forall = forall_probability_ob(&chain, &o, &window, &config).unwrap();
-        let exists =
-            object_based::exists_probability(&chain, &o, &window, &config).unwrap();
+        let exists = object_based::exists_probability(&chain, &o, &window, &config).unwrap();
         assert!((forall - exists).abs() < 1e-12);
     }
 
@@ -139,14 +126,9 @@ mod tests {
     fn full_space_window_is_certain() {
         // Staying "somewhere in S" is certain, but the complement window
         // would be empty — the reduction must surface that as an error.
-        let window =
-            QueryWindow::from_states(3, [0usize, 1, 2], TimeSet::interval(1, 2)).unwrap();
-        let r = forall_probability_ob(
-            &paper_chain(),
-            &object_at(0),
-            &window,
-            &EngineConfig::default(),
-        );
+        let window = QueryWindow::from_states(3, [0usize, 1, 2], TimeSet::interval(1, 2)).unwrap();
+        let r =
+            forall_probability_ob(&paper_chain(), &object_at(0), &window, &EngineConfig::default());
         assert!(r.is_err(), "degenerate full-space ∀ query should error, got {r:?}");
     }
 
@@ -161,20 +143,12 @@ mod tests {
             .unwrap();
         }
         let window = QueryWindow::from_states(3, [1usize, 2], TimeSet::interval(2, 3)).unwrap();
-        let ob = evaluate_object_based(
-            &db,
-            &window,
-            &EngineConfig::default(),
-            &mut EvalStats::new(),
-        )
-        .unwrap();
-        let qb = evaluate_query_based(
-            &db,
-            &window,
-            &EngineConfig::default(),
-            &mut EvalStats::new(),
-        )
-        .unwrap();
+        let ob =
+            evaluate_object_based(&db, &window, &EngineConfig::default(), &mut EvalStats::new())
+                .unwrap();
+        let qb =
+            evaluate_query_based(&db, &window, &EngineConfig::default(), &mut EvalStats::new())
+                .unwrap();
         for (a, b) in ob.iter().zip(&qb) {
             assert_eq!(a.object_id, b.object_id);
             assert!((a.probability - b.probability).abs() < 1e-12);

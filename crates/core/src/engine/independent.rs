@@ -16,10 +16,11 @@
 //! assumption (the k-times case via the Poisson-binomial recurrence) to
 //! regenerate the accuracy experiment of Fig. 9(d).
 
-use ust_markov::{MarkovChain, SpmvScratch};
+use ust_markov::MarkovChain;
 
 use crate::database::TrajectoryDatabase;
 use crate::engine::object_based::validate;
+use crate::engine::pipeline::Propagator;
 use crate::engine::EngineConfig;
 use crate::error::Result;
 use crate::object::UncertainObject;
@@ -35,22 +36,39 @@ pub fn window_marginals(
     window: &QueryWindow,
     config: &EngineConfig,
 ) -> Result<Vec<f64>> {
+    let mut stats = EvalStats::new();
+    marginals_with(&mut Propagator::new(config, &mut stats), chain, object, window)
+}
+
+/// The independence driver on an existing [`Propagator`]: its accumulation
+/// rule *records* the window mass at each query timestamp without removing
+/// it — precisely the per-timestamp marginal that ignores the temporal
+/// correlation the exact engines preserve.
+pub(crate) fn marginals_with(
+    pipeline: &mut Propagator<'_>,
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    window: &QueryWindow,
+) -> Result<Vec<f64>> {
     validate(chain, object, window)?;
     let anchor = object.anchor();
-    let mut v = ust_markov::PropagationVector::from_sparse(anchor.distribution().clone())
-        .with_densify_threshold(config.densify_threshold);
-    let mut scratch = SpmvScratch::new();
+    let mut rows = [pipeline.seed(anchor.distribution().clone())];
     let mut marginals = Vec::with_capacity(window.num_times());
-    if window.time_in_window(anchor.time()) {
-        marginals.push(v.masked_sum(window.states()));
-    }
-    for t in anchor.time()..window.t_end() {
-        v.step(chain.matrix(), &mut scratch)?;
-        if window.time_in_window(t + 1) {
-            marginals.push(v.masked_sum(window.states()));
-        }
-    }
+    pipeline.forward(chain.matrix(), &mut rows, anchor.time(), window, |rows, _| {
+        marginals.push(rows[0].masked_sum(window.states()));
+        Ok(())
+    })?;
+    // Under ε-pruning the pipeline may stop once the vector runs empty; the
+    // remaining query timestamps then carry marginal 0, and the contract
+    // stays "one entry per t ∈ T▫".
+    marginals.resize(window.num_times(), 0.0);
     Ok(marginals)
+}
+
+/// The independence combination rule `1 − Π (1 − m_t)` (shared by the
+/// single-object and database evaluators).
+fn exists_from_marginals(marginals: &[f64]) -> f64 {
+    1.0 - marginals.iter().map(|m| 1.0 - m).product::<f64>()
 }
 
 /// PST∃Q under the (incorrect) temporal-independence assumption.
@@ -61,7 +79,7 @@ pub fn exists_probability_independent(
     config: &EngineConfig,
 ) -> Result<f64> {
     let marginals = window_marginals(chain, object, window, config)?;
-    Ok(1.0 - marginals.iter().map(|m| 1.0 - m).product::<f64>())
+    Ok(exists_from_marginals(&marginals))
 }
 
 /// PST∀Q under the independence assumption: `Π m_t`.
@@ -102,11 +120,12 @@ pub fn evaluate_exists_independent(
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<Vec<ObjectProbability>> {
+    let mut pipeline = Propagator::new(config, stats);
     let mut out = Vec::with_capacity(db.len());
     for object in db.objects() {
         let chain = db.model_of(object);
-        let probability = exists_probability_independent(chain, object, window, config)?;
-        stats.objects_evaluated += 1;
+        let marginals = marginals_with(&mut pipeline, chain, object, window)?;
+        let probability = exists_from_marginals(&marginals);
         out.push(ObjectProbability { object_id: object.id(), probability });
     }
     Ok(out)
@@ -122,12 +141,8 @@ mod tests {
 
     fn paper_chain() -> MarkovChain {
         MarkovChain::from_csr(
-            CsrMatrix::from_dense(&[
-                vec![0.0, 0.0, 1.0],
-                vec![0.6, 0.0, 0.4],
-                vec![0.0, 0.8, 0.2],
-            ])
-            .unwrap(),
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
         )
         .unwrap()
     }
@@ -208,11 +223,9 @@ mod tests {
         let w = QueryWindow::from_states(3, [0usize, 1], TimeSet::at(2)).unwrap();
         let config = EngineConfig::default();
         let correct =
-            object_based::exists_probability(&paper_chain(), &object_at_s2(), &w, &config)
-                .unwrap();
+            object_based::exists_probability(&paper_chain(), &object_at_s2(), &w, &config).unwrap();
         let indep =
-            exists_probability_independent(&paper_chain(), &object_at_s2(), &w, &config)
-                .unwrap();
+            exists_probability_independent(&paper_chain(), &object_at_s2(), &w, &config).unwrap();
         assert!((correct - indep).abs() < 1e-12);
     }
 

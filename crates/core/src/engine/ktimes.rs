@@ -23,10 +23,11 @@
 use std::collections::BTreeMap;
 
 use ust_markov::augmented;
-use ust_markov::{DenseVector, MarkovChain, PropagationVector, SpmvScratch};
+use ust_markov::{DenseVector, MarkovChain, PropagationVector, SparseVector};
 
 use crate::database::TrajectoryDatabase;
 use crate::engine::object_based::validate;
+use crate::engine::pipeline::Propagator;
 use crate::engine::EngineConfig;
 use crate::error::Result;
 use crate::object::UncertainObject;
@@ -53,49 +54,33 @@ pub fn ktimes_distribution_ob_with_stats(
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<Vec<f64>> {
+    ktimes_with(&mut Propagator::new(config, stats), chain, object, window)
+}
+
+/// The `C(t)` driver on an existing [`Propagator`]: the propagated state is
+/// the family of count-level vectors, and the accumulation rule applied at
+/// every query timestamp (including an anchor inside `T▫`, footnote 3) is
+/// the [`shift_down`] column shift.
+pub(crate) fn ktimes_with(
+    pipeline: &mut Propagator<'_>,
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    window: &QueryWindow,
+) -> Result<Vec<f64>> {
     validate(chain, object, window)?;
     let k_max = window.num_times();
     let anchor = object.anchor();
-    let t0 = anchor.time();
-    let t_end = window.t_end();
-    let mut scratch = SpmvScratch::new();
 
     // rows[i] = mass at each state having visited the window exactly i times.
     let mut rows: Vec<PropagationVector> = Vec::with_capacity(k_max + 1);
-    rows.push(
-        PropagationVector::from_sparse(anchor.distribution().clone())
-            .with_densify_threshold(config.densify_threshold),
-    );
+    rows.push(pipeline.seed(anchor.distribution().clone()));
     for _ in 0..k_max {
-        rows.push(
-            PropagationVector::from_sparse(ust_markov::SparseVector::zeros(
-                chain.num_states(),
-            ))
-            .with_densify_threshold(config.densify_threshold),
-        );
+        rows.push(pipeline.seed(SparseVector::zeros(chain.num_states())));
     }
 
-    // Footnote 3: an anchor inside T▫ starts window-resident mass at k = 1.
-    if window.time_in_window(t0) {
-        shift_down(&mut rows, window)?;
-    }
-
-    for t in t0..t_end {
-        for row in rows.iter_mut() {
-            if row.nnz() == 0 {
-                continue;
-            }
-            row.step(chain.matrix(), &mut scratch)?;
-            stats.transitions += 1;
-            if config.epsilon > 0.0 {
-                stats.pruned_mass += row.prune(config.epsilon);
-            }
-        }
-        if window.time_in_window(t + 1) {
-            shift_down(&mut rows, window)?;
-        }
-    }
-    stats.objects_evaluated += 1;
+    pipeline.forward(chain.matrix(), &mut rows, anchor.time(), window, |rows, _| {
+        shift_down(rows, window)
+    })?;
     Ok(rows.iter().map(|r| r.sum()).collect())
 }
 
@@ -130,11 +115,6 @@ impl KTimesBackwardField {
     ) -> Result<KTimesBackwardField> {
         let n = chain.num_states();
         let k_max = window.num_times();
-        let t_end = window.t_end();
-        let t_min = anchor_times.iter().copied().min().unwrap_or(t_end);
-        let mut wanted: Vec<u32> = anchor_times.to_vec();
-        wanted.sort_unstable();
-        wanted.dedup();
 
         // Boundary at t_end: zero further visits with certainty.
         let mut levels: Vec<DenseVector> = Vec::with_capacity(k_max + 1);
@@ -143,42 +123,43 @@ impl KTimesBackwardField {
             levels.push(DenseVector::zeros(n));
         }
 
+        let mut pipeline = Propagator::new(&EngineConfig::default(), stats);
         let mut snapshots = BTreeMap::new();
-        if wanted.binary_search(&t_end).is_ok() {
-            snapshots.insert(t_end, levels.clone());
-        }
-        let mut t = t_end;
-        while t > t_min {
-            let target_in = window.time_in_window(t);
-            let mut next: Vec<DenseVector> = Vec::with_capacity(k_max + 1);
-            for j in 0..=k_max {
-                let w = if target_in {
-                    // Entering a window state consumes one visit level.
-                    let mut w = levels[j].clone();
-                    let slice = w.as_mut_slice();
+        pipeline.backward(
+            &mut levels,
+            window,
+            anchor_times,
+            // Entering a window state consumes one visit level: processed
+            // top-down so each lower level is still unmodified when the
+            // level above reads it.
+            |levels| {
+                for j in (0..=k_max).rev() {
                     if j == 0 {
+                        let slice = levels[0].as_mut_slice();
                         for s in window.states().iter() {
                             slice[s] = 0.0;
                         }
                     } else {
-                        let lower = levels[j - 1].as_slice();
+                        let (lower, upper) = levels.split_at_mut(j);
+                        let lower = lower[j - 1].as_slice();
+                        let slice = upper[0].as_mut_slice();
                         for s in window.states().iter() {
                             slice[s] = lower[s];
                         }
                     }
-                    w
-                } else {
-                    levels[j].clone()
-                };
-                next.push(chain.matrix().matvec_dense(&w)?);
-                stats.backward_steps += 1;
-            }
-            levels = next;
-            t -= 1;
-            if wanted.binary_search(&t).is_ok() {
+                }
+                Ok(())
+            },
+            |levels, _| {
+                for level in levels.iter_mut() {
+                    *level = chain.matrix().matvec_dense(level)?;
+                }
+                Ok(levels.len() as u64)
+            },
+            |levels, t| {
                 snapshots.insert(t, levels.clone());
-            }
-        }
+            },
+        )?;
         Ok(KTimesBackwardField { snapshots })
     }
 
@@ -227,9 +208,7 @@ pub fn ktimes_distribution_qb(
         &[object.anchor().time()],
         &mut EvalStats::new(),
     )?;
-    Ok(field
-        .object_distribution(object, window)
-        .expect("anchor snapshot was requested"))
+    Ok(field.object_distribution(object, window).expect("anchor snapshot was requested"))
 }
 
 /// Reference implementation over the explicit blown-up matrices of
@@ -251,20 +230,15 @@ pub fn ktimes_distribution_blowup(
     let mut v = DenseVector::zeros(levels * n);
     for (s, p) in anchor.distribution().iter() {
         // Footnote 3: anchor mass inside the window starts at level 1.
-        let level = if window.time_in_window(anchor.time()) && window.states().contains(s) {
-            1
-        } else {
-            0
-        };
+        let level =
+            if window.time_in_window(anchor.time()) && window.states().contains(s) { 1 } else { 0 };
         v.set(level * n + s, p).map_err(crate::error::QueryError::from)?;
     }
     for t in anchor.time()..window.t_end() {
         let m = if window.time_in_window(t + 1) { &plus } else { &minus };
         v = m.vecmat_dense(&v)?;
     }
-    Ok((0..levels)
-        .map(|k| (0..n).map(|s| v.get(k * n + s)).sum())
-        .collect())
+    Ok((0..levels).map(|k| (0..n).map(|s| v.get(k * n + s)).sum()).collect())
 }
 
 /// PSTkQ for the whole database, object-based `C(t)` algorithm.
@@ -308,12 +282,10 @@ pub fn evaluate_query_based(
         let field = KTimesBackwardField::compute(chain, window, &anchors, stats)?;
         for &idx in &members {
             let object = db.object(idx).expect("index from enumeration");
-            let probabilities = field
-                .object_distribution(object, window)
-                .expect("anchor snapshot was requested");
+            let probabilities =
+                field.object_distribution(object, window).expect("anchor snapshot was requested");
             stats.objects_evaluated += 1;
-            results[idx] =
-                Some(ObjectKDistribution { object_id: object.id(), probabilities });
+            results[idx] = Some(ObjectKDistribution { object_id: object.id(), probabilities });
         }
     }
     Ok(results.into_iter().map(|r| r.expect("every object belongs to a model")).collect())
@@ -328,12 +300,8 @@ mod tests {
 
     fn paper_chain() -> MarkovChain {
         MarkovChain::from_csr(
-            CsrMatrix::from_dense(&[
-                vec![0.0, 0.0, 1.0],
-                vec![0.6, 0.0, 0.4],
-                vec![0.0, 0.8, 0.2],
-            ])
-            .unwrap(),
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
         )
         .unwrap()
     }
@@ -372,8 +340,7 @@ mod tests {
         )
         .unwrap();
         let blow =
-            ktimes_distribution_blowup(&paper_chain(), &object_at_s2(), &paper_window())
-                .unwrap();
+            ktimes_distribution_blowup(&paper_chain(), &object_at_s2(), &paper_window()).unwrap();
         for (k, expected) in [0.136, 0.672, 0.192].into_iter().enumerate() {
             assert!((qb[k] - expected).abs() < 1e-12, "qb = {qb:?}");
             assert!((blow[k] - expected).abs() < 1e-12, "blowup = {blow:?}");
@@ -392,18 +359,14 @@ mod tests {
         let exists =
             crate::engine::object_based::exists_probability(&chain, &o, &w, &config).unwrap();
         assert!((1.0 - dist[0] - exists).abs() < 1e-12);
-        let forall =
-            crate::engine::forall::forall_probability_ob(&chain, &o, &w, &config).unwrap();
+        let forall = crate::engine::forall::forall_probability_ob(&chain, &o, &w, &config).unwrap();
         assert!((dist[dist.len() - 1] - forall).abs() < 1e-12);
     }
 
     #[test]
     fn anchor_inside_window_starts_at_level_one() {
         // Anchor at t=2 (∈ T▫) on state s1 (∈ S▫): already one visit.
-        let o = UncertainObject::with_single_observation(
-            1,
-            Observation::exact(2, 3, 0).unwrap(),
-        );
+        let o = UncertainObject::with_single_observation(1, Observation::exact(2, 3, 0).unwrap());
         for dist in [
             ktimes_distribution_ob(&paper_chain(), &o, &paper_window(), &EngineConfig::default())
                 .unwrap(),
@@ -424,10 +387,8 @@ mod tests {
         let chain = paper_chain();
         let start =
             ust_markov::SparseVector::from_pairs(3, [(0, 0.3), (1, 0.3), (2, 0.4)]).unwrap();
-        let o = UncertainObject::with_single_observation(
-            2,
-            Observation::uncertain(0, start).unwrap(),
-        );
+        let o =
+            UncertainObject::with_single_observation(2, Observation::uncertain(0, start).unwrap());
         let w = QueryWindow::from_states(3, [1usize], TimeSet::new([1, 3, 4])).unwrap();
         let config = EngineConfig::default();
         let ob = ktimes_distribution_ob(&chain, &o, &w, &config).unwrap();
@@ -453,8 +414,8 @@ mod tests {
         let w = paper_window();
         let ob = evaluate_object_based(&db, &w, &EngineConfig::default(), &mut EvalStats::new())
             .unwrap();
-        let qb = evaluate_query_based(&db, &w, &EngineConfig::default(), &mut EvalStats::new())
-            .unwrap();
+        let qb =
+            evaluate_query_based(&db, &w, &EngineConfig::default(), &mut EvalStats::new()).unwrap();
         for (a, b) in ob.iter().zip(&qb) {
             assert_eq!(a.object_id, b.object_id);
             for (x, y) in a.probabilities.iter().zip(&b.probabilities) {
@@ -471,10 +432,8 @@ mod tests {
         let chain = paper_chain();
         let o = object_at_s2();
         let w = paper_window();
-        let dist =
-            ktimes_distribution_ob(&chain, &o, &w, &EngineConfig::default()).unwrap();
-        let expected: f64 =
-            dist.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        let dist = ktimes_distribution_ob(&chain, &o, &w, &EngineConfig::default()).unwrap();
+        let expected: f64 = dist.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
         let mut marginal_sum = 0.0;
         let mut v = o.anchor().distribution().to_dense();
         for t in 0..=w.t_end() {

@@ -15,6 +15,11 @@
 //!   (the strawman of Fig. 1 / accuracy experiment Fig. 9d);
 //! * [`exhaustive`] — exact possible-world enumeration for tiny instances,
 //!   the ground truth of the test suite.
+//!
+//! All of them drive the shared propagation core in [`pipeline`]: the
+//! engines supply direction, start state and the accumulation rule applied
+//! at query timestamps, while the step loop, ε-pruning, sparse↔dense
+//! switching and statistics accounting exist exactly once.
 
 pub mod exhaustive;
 pub mod forall;
@@ -22,6 +27,7 @@ pub mod independent;
 pub mod ktimes;
 pub mod monte_carlo;
 pub mod object_based;
+pub mod pipeline;
 pub mod query_based;
 
 use crate::database::TrajectoryDatabase;

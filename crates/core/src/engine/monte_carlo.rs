@@ -11,6 +11,8 @@
 //! One sampled walk serves all three predicates (∃ / ∀ / k-times): we count
 //! window visits along the walk and derive each predicate from the count.
 
+use std::ops::ControlFlow;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -18,6 +20,8 @@ use ust_markov::{MarkovChain, SparseVector};
 
 use crate::database::TrajectoryDatabase;
 use crate::engine::object_based::validate;
+use crate::engine::pipeline::Propagator;
+use crate::engine::EngineConfig;
 use crate::error::Result;
 use crate::object::UncertainObject;
 use crate::query::{ObjectKDistribution, ObjectProbability, QueryWindow};
@@ -61,30 +65,55 @@ impl MonteCarlo {
         object: &UncertainObject,
         window: &QueryWindow,
     ) -> Result<Vec<f64>> {
+        let mut stats = EvalStats::new();
+        self.visit_counts_with(
+            &mut Propagator::new(&EngineConfig::default(), &mut stats),
+            chain,
+            object,
+            window,
+        )
+    }
+
+    /// The sampling driver on an existing [`Propagator`]: each sampled
+    /// world is one [`Propagator::walk`] through the masking schedule, with
+    /// the per-step rule "draw the successor state" and the window rule
+    /// "count a visit when the walker stands inside `S▫`".
+    pub(crate) fn visit_counts_with(
+        &self,
+        pipeline: &mut Propagator<'_>,
+        chain: &MarkovChain,
+        object: &UncertainObject,
+        window: &QueryWindow,
+    ) -> Result<Vec<f64>> {
         validate(chain, object, window)?;
         let k_max = window.num_times();
         let mut counts = vec![0u64; k_max + 1];
-        let mut rng = StdRng::seed_from_u64(self.seed ^ object.id().wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ object.id().wrapping_mul(0x9E3779B97F4A7C15));
         let anchor = object.anchor();
         let t_end = window.t_end();
         for _ in 0..self.samples {
-            let mut state = sample_sparse(anchor.distribution(), &mut rng);
-            let mut visits = 0usize;
-            if window.time_in_window(anchor.time()) && window.states().contains(state) {
-                visits += 1;
-            }
-            for t in anchor.time()..t_end {
-                state = sample_row(chain, state, &mut rng);
-                if window.time_in_window(t + 1) && window.states().contains(state) {
-                    visits += 1;
-                }
-            }
-            counts[visits.min(k_max)] += 1;
+            // Walker state: (current chain state, window visits so far).
+            let mut walker = (sample_sparse(anchor.distribution(), &mut rng), 0usize);
+            pipeline.walk(
+                anchor.time(),
+                t_end,
+                window,
+                &mut walker,
+                |walker, _| {
+                    walker.0 = sample_row(chain, walker.0, &mut rng);
+                    Ok(ControlFlow::Continue(()))
+                },
+                |walker, _| {
+                    if window.states().contains(walker.0) {
+                        walker.1 += 1;
+                    }
+                    Ok(())
+                },
+            )?;
+            counts[walker.1.min(k_max)] += 1;
         }
-        Ok(counts
-            .into_iter()
-            .map(|c| c as f64 / self.samples.max(1) as f64)
-            .collect())
+        Ok(counts.into_iter().map(|c| c as f64 / self.samples.max(1) as f64).collect())
     }
 
     /// PST∃Q estimate: fraction of sampled worlds with ≥ 1 window visit.
@@ -125,15 +154,13 @@ impl MonteCarlo {
         window: &QueryWindow,
         stats: &mut EvalStats,
     ) -> Result<Vec<ObjectProbability>> {
+        let mut pipeline = Propagator::new(&EngineConfig::default(), stats);
         let mut out = Vec::with_capacity(db.len());
         for object in db.objects() {
             let chain = db.model_of(object);
-            let probability = self.exists_probability(chain, object, window)?;
-            stats.objects_evaluated += 1;
-            // Each sample walks δt transitions.
-            stats.transitions +=
-                (self.samples as u64) * u64::from(window.t_end() - object.anchor().time());
-            out.push(ObjectProbability { object_id: object.id(), probability });
+            let counts = self.visit_counts_with(&mut pipeline, chain, object, window)?;
+            pipeline.stats().objects_evaluated += 1;
+            out.push(ObjectProbability { object_id: object.id(), probability: 1.0 - counts[0] });
         }
         Ok(out)
     }
@@ -168,31 +195,55 @@ impl MonteCarlo {
         window: &QueryWindow,
     ) -> Result<f64> {
         validate(chain, object, window)?;
-        let mut rng = StdRng::seed_from_u64(self.seed ^ object.id().wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ object.id().wrapping_mul(0x9E3779B97F4A7C15));
+        let mut stats = EvalStats::new();
+        let mut pipeline = Propagator::new(&EngineConfig::default(), &mut stats);
         let anchor = object.anchor();
         let horizon = window.t_end().max(object.last_observation().time());
         let mut weighted_hits = 0.0;
         let mut total_weight = 0.0;
+
+        /// One importance-sampled world.
+        struct Walker {
+            state: usize,
+            weight: f64,
+            hit: bool,
+        }
         for _ in 0..self.samples {
-            let mut state = sample_sparse(anchor.distribution(), &mut rng);
-            let mut weight = 1.0;
-            let mut hit = window.time_in_window(anchor.time()) && window.states().contains(state);
-            for t in anchor.time()..horizon {
-                state = sample_row(chain, state, &mut rng);
-                if window.time_in_window(t + 1) && window.states().contains(state) {
-                    hit = true;
-                }
-                if let Some(obs) = object.observation_at(t + 1) {
-                    weight *= obs.distribution().get(state);
-                    if weight == 0.0 {
-                        break;
+            let mut walker = Walker {
+                state: sample_sparse(anchor.distribution(), &mut rng),
+                weight: 1.0,
+                hit: false,
+            };
+            pipeline.walk(
+                anchor.time(),
+                horizon,
+                window,
+                &mut walker,
+                |walker, t| {
+                    walker.state = sample_row(chain, walker.state, &mut rng);
+                    // Weight by the likelihood of an observation at t; a
+                    // zero-weight world contributes nothing — abandon it.
+                    if let Some(obs) = object.observation_at(t) {
+                        walker.weight *= obs.distribution().get(walker.state);
+                        if walker.weight == 0.0 {
+                            return Ok(ControlFlow::Break(()));
+                        }
                     }
-                }
-            }
-            if weight > 0.0 {
-                total_weight += weight;
-                if hit {
-                    weighted_hits += weight;
+                    Ok(ControlFlow::Continue(()))
+                },
+                |walker, _| {
+                    if window.states().contains(walker.state) {
+                        walker.hit = true;
+                    }
+                    Ok(())
+                },
+            )?;
+            if walker.weight > 0.0 {
+                total_weight += walker.weight;
+                if walker.hit {
+                    weighted_hits += walker.weight;
                 }
             }
         }
@@ -243,12 +294,8 @@ mod tests {
 
     fn paper_chain() -> MarkovChain {
         MarkovChain::from_csr(
-            CsrMatrix::from_dense(&[
-                vec![0.0, 0.0, 1.0],
-                vec![0.6, 0.0, 0.4],
-                vec![0.0, 0.8, 0.2],
-            ])
-            .unwrap(),
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
         )
         .unwrap()
     }
@@ -264,9 +311,7 @@ mod tests {
     #[test]
     fn estimate_converges_to_0864() {
         let mc = MonteCarlo::new(40_000, 7);
-        let p = mc
-            .exists_probability(&paper_chain(), &object_at_s2(), &paper_window())
-            .unwrap();
+        let p = mc.exists_probability(&paper_chain(), &object_at_s2(), &paper_window()).unwrap();
         // 4σ tolerance at n = 40,000: ≈ 0.0069.
         let tol = 4.0 * MonteCarlo::standard_error(0.864, 40_000);
         assert!((p - 0.864).abs() < tol, "estimate {p} off by more than {tol}");
@@ -275,9 +320,8 @@ mod tests {
     #[test]
     fn k_distribution_converges_to_section_7_values() {
         let mc = MonteCarlo::new(40_000, 11);
-        let dist = mc
-            .ktimes_distribution(&paper_chain(), &object_at_s2(), &paper_window())
-            .unwrap();
+        let dist =
+            mc.ktimes_distribution(&paper_chain(), &object_at_s2(), &paper_window()).unwrap();
         for (k, expected) in [0.136, 0.672, 0.192].into_iter().enumerate() {
             let tol = 4.0 * MonteCarlo::standard_error(expected, 40_000);
             assert!((dist[k] - expected).abs() < tol, "k={k}: {dist:?}");
@@ -288,24 +332,17 @@ mod tests {
     #[test]
     fn forall_equals_top_count_bucket() {
         let mc = MonteCarlo::new(5_000, 3);
-        let counts = mc
-            .visit_counts(&paper_chain(), &object_at_s2(), &paper_window())
-            .unwrap();
-        let forall = mc
-            .forall_probability(&paper_chain(), &object_at_s2(), &paper_window())
-            .unwrap();
+        let counts = mc.visit_counts(&paper_chain(), &object_at_s2(), &paper_window()).unwrap();
+        let forall =
+            mc.forall_probability(&paper_chain(), &object_at_s2(), &paper_window()).unwrap();
         assert_eq!(counts[counts.len() - 1], forall);
     }
 
     #[test]
     fn deterministic_per_seed() {
         let mc = MonteCarlo::new(500, 42);
-        let a = mc
-            .exists_probability(&paper_chain(), &object_at_s2(), &paper_window())
-            .unwrap();
-        let b = mc
-            .exists_probability(&paper_chain(), &object_at_s2(), &paper_window())
-            .unwrap();
+        let a = mc.exists_probability(&paper_chain(), &object_at_s2(), &paper_window()).unwrap();
+        let b = mc.exists_probability(&paper_chain(), &object_at_s2(), &paper_window()).unwrap();
         assert_eq!(a, b);
         let c = MonteCarlo::new(500, 43)
             .exists_probability(&paper_chain(), &object_at_s2(), &paper_window())
@@ -338,20 +375,13 @@ mod tests {
         // Section VI example: obs s1@t0 and s2@t3 force P∃ = 0 for the
         // window S▫ = {s2}, T▫ = {1, 2} under the modified chain.
         let chain = MarkovChain::from_csr(
-            CsrMatrix::from_dense(&[
-                vec![0.0, 0.0, 1.0],
-                vec![0.5, 0.0, 0.5],
-                vec![0.0, 0.8, 0.2],
-            ])
-            .unwrap(),
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.5, 0.0, 0.5], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
         )
         .unwrap();
         let object = UncertainObject::new(
             5,
-            vec![
-                Observation::exact(0, 3, 0).unwrap(),
-                Observation::exact(3, 3, 1).unwrap(),
-            ],
+            vec![Observation::exact(0, 3, 0).unwrap(), Observation::exact(3, 3, 1).unwrap()],
         )
         .unwrap();
         let window = QueryWindow::from_states(3, [1usize], TimeSet::interval(1, 2)).unwrap();

@@ -14,9 +14,10 @@
 //! each world is counted at most once (the flaw of the naive
 //! "sum the per-timestamp probabilities" approach the paper opens with).
 
-use ust_markov::{MarkovChain, PropagationVector, SpmvScratch};
+use ust_markov::MarkovChain;
 
 use crate::database::TrajectoryDatabase;
+use crate::engine::pipeline::Propagator;
 use crate::engine::EngineConfig;
 use crate::error::{QueryError, Result};
 use crate::object::UncertainObject;
@@ -43,53 +44,33 @@ pub fn exists_probability_with_stats(
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<f64> {
-    validate(chain, object, window)?;
-    let mut scratch = SpmvScratch::new();
-    exists_probability_inner(chain, object, window, config, stats, &mut scratch)
+    exists_with(&mut Propagator::new(config, stats), chain, object, window)
 }
 
-/// Shared-scratch inner loop (used by the batch evaluator and the parallel
-/// engine so the accumulator is allocated once per worker).
-pub(crate) fn exists_probability_inner(
+/// The OB driver on an existing [`Propagator`] (the batch evaluator and the
+/// parallel engine reuse one pipeline per worker so scratch space is
+/// allocated once).
+///
+/// The driver's whole job is the ∃ accumulation rule: at every query
+/// timestamp the mass inside `S▫` moves from the vector to the scalar ⊤ —
+/// the virtual application of the `M+` column surgery (worlds that reached
+/// the window are excluded from further propagation, so each world is
+/// counted at most once). Step loop, pruning and accounting live in
+/// [`Propagator::forward`].
+pub(crate) fn exists_with(
+    pipeline: &mut Propagator<'_>,
     chain: &MarkovChain,
     object: &UncertainObject,
     window: &QueryWindow,
-    config: &EngineConfig,
-    stats: &mut EvalStats,
-    scratch: &mut SpmvScratch,
 ) -> Result<f64> {
+    validate(chain, object, window)?;
     let anchor = object.anchor();
-    let t0 = anchor.time();
-    let t_end = window.t_end();
-
-    let mut v = PropagationVector::from_sparse(anchor.distribution().clone())
-        .with_densify_threshold(config.densify_threshold);
+    let mut rows = [pipeline.seed(anchor.distribution().clone())];
     let mut hit = 0.0;
-
-    // Footnote 2 of the paper: when the anchor time itself belongs to T▫,
-    // the window mass of the initial vector moves straight to ⊤.
-    if window.time_in_window(t0) {
-        hit += v.extract_masked(window.states());
-    }
-
-    for t in t0..t_end {
-        // All remaining worlds decided (everything absorbed in ⊤, possibly
-        // minus ε-pruned mass): the paper's inherent true-hit early stop.
-        if v.nnz() == 0 {
-            stats.early_terminations += 1;
-            break;
-        }
-        v.step(chain.matrix(), scratch)?;
-        stats.transitions += 1;
-        if window.time_in_window(t + 1) {
-            hit += v.extract_masked(window.states());
-        }
-        if config.epsilon > 0.0 {
-            stats.pruned_mass += v.prune(config.epsilon);
-        }
-        let _ = t;
-    }
-    stats.objects_evaluated += 1;
+    pipeline.forward(chain.matrix(), &mut rows, anchor.time(), window, |rows, _| {
+        hit += rows[0].extract_masked(window.states());
+        Ok(())
+    })?;
     Ok(hit.min(1.0))
 }
 
@@ -100,13 +81,11 @@ pub fn evaluate(
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<Vec<ObjectProbability>> {
-    let mut scratch = SpmvScratch::new();
+    let mut pipeline = Propagator::new(config, stats);
     let mut results = Vec::with_capacity(db.len());
     for object in db.objects() {
         let chain = db.model_of(object);
-        validate(chain, object, window)?;
-        let probability =
-            exists_probability_inner(chain, object, window, config, stats, &mut scratch)?;
+        let probability = exists_with(&mut pipeline, chain, object, window)?;
         results.push(ObjectProbability { object_id: object.id(), probability });
     }
     Ok(results)
@@ -150,12 +129,8 @@ mod tests {
 
     fn paper_chain() -> MarkovChain {
         MarkovChain::from_csr(
-            CsrMatrix::from_dense(&[
-                vec![0.0, 0.0, 1.0],
-                vec![0.6, 0.0, 0.4],
-                vec![0.0, 0.8, 0.2],
-            ])
-            .unwrap(),
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
         )
         .unwrap()
     }
@@ -191,8 +166,7 @@ mod tests {
             Observation::uncertain(0, start.clone()).unwrap(),
         );
         let window = paper_window();
-        let fast =
-            exists_probability(&chain, &object, &window, &EngineConfig::default()).unwrap();
+        let fast = exists_probability(&chain, &object, &window, &EngineConfig::default()).unwrap();
 
         // Reference: explicit augmented matrices.
         let minus = ust_markov::augmented::exists_minus(chain.matrix());
@@ -213,13 +187,9 @@ mod tests {
         // Anchor at t=2 which is in T▫ and at a window state: probability 1.
         let object =
             UncertainObject::with_single_observation(1, Observation::exact(2, 3, 0).unwrap());
-        let p = exists_probability(
-            &paper_chain(),
-            &object,
-            &paper_window(),
-            &EngineConfig::default(),
-        )
-        .unwrap();
+        let p =
+            exists_probability(&paper_chain(), &object, &paper_window(), &EngineConfig::default())
+                .unwrap();
         assert!((p - 1.0).abs() < 1e-12);
     }
 
@@ -228,12 +198,7 @@ mod tests {
         let object =
             UncertainObject::with_single_observation(1, Observation::exact(5, 3, 0).unwrap());
         assert!(matches!(
-            exists_probability(
-                &paper_chain(),
-                &object,
-                &paper_window(),
-                &EngineConfig::default()
-            ),
+            exists_probability(&paper_chain(), &object, &paper_window(), &EngineConfig::default()),
             Err(QueryError::WindowBeforeObservation { .. })
         ));
     }
@@ -243,12 +208,7 @@ mod tests {
         let object =
             UncertainObject::with_single_observation(1, Observation::exact(0, 5, 0).unwrap());
         assert!(matches!(
-            exists_probability(
-                &paper_chain(),
-                &object,
-                &paper_window(),
-                &EngineConfig::default()
-            ),
+            exists_probability(&paper_chain(), &object, &paper_window(), &EngineConfig::default()),
             Err(QueryError::ModelDimensionMismatch { .. })
         ));
         let window = QueryWindow::from_states(4, [0usize], TimeSet::at(1)).unwrap();
@@ -262,8 +222,7 @@ mod tests {
     fn early_termination_when_all_worlds_hit() {
         // Window covering the full space at t=1: every world hits at t=1,
         // so propagation to t=9 must stop early.
-        let window =
-            QueryWindow::from_states(3, [0usize, 1, 2], TimeSet::new([1, 9])).unwrap();
+        let window = QueryWindow::from_states(3, [0usize, 1, 2], TimeSet::new([1, 9])).unwrap();
         let mut stats = EvalStats::new();
         let p = exists_probability_with_stats(
             &paper_chain(),
@@ -305,8 +264,7 @@ mod tests {
             .unwrap();
         }
         let mut stats = EvalStats::new();
-        let results =
-            evaluate(&db, &paper_window(), &EngineConfig::default(), &mut stats).unwrap();
+        let results = evaluate(&db, &paper_window(), &EngineConfig::default(), &mut stats).unwrap();
         assert_eq!(results.len(), 3);
         assert_eq!(stats.objects_evaluated, 3);
         // From Example 2's backward vector: starting at s1 → 0.96,
@@ -320,13 +278,9 @@ mod tests {
     fn noncontiguous_window_times() {
         // T▫ = {1, 3} skips t=2 entirely.
         let window = QueryWindow::from_states(3, [0usize], TimeSet::new([1, 3])).unwrap();
-        let p = exists_probability(
-            &paper_chain(),
-            &object_at_s2(),
-            &window,
-            &EngineConfig::default(),
-        )
-        .unwrap();
+        let p =
+            exists_probability(&paper_chain(), &object_at_s2(), &window, &EngineConfig::default())
+                .unwrap();
         // By hand: at t=1 mass at s1 = 0.6 (hit). Remaining (0, 0, 0.4):
         // t=2 → (0, 0.32, 0.08); t=3 → s1 gets 0.32·0.6 = 0.192 (hit).
         assert!((p - (0.6 + 0.192)).abs() < 1e-12);

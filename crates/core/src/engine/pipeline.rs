@@ -1,0 +1,401 @@
+//! The shared propagation pipeline every engine drives.
+//!
+//! All of the paper's algorithms are one loop wearing different hats: a
+//! distribution vector (or a small family of them) is pushed through the
+//! chain's transition matrix one timestamp at a time, and at every *query*
+//! timestamp the window states receive special treatment — mass is
+//! redirected to ⊤ (PST∃Q), shifted between count levels (PSTkQ), recorded
+//! as a marginal (the independence baseline) or clamped to certainty (the
+//! backward query-based sweep). Before this module existed, each engine
+//! hand-rolled that loop together with the ε-pruning, the sparse↔dense
+//! densification policy and the [`EvalStats`] bookkeeping; now
+//! [`Propagator`] owns the loop once and the engines reduce to thin drivers
+//! that supply the direction (forward / backward), the start state and the
+//! accumulation rule applied at window timestamps.
+//!
+//! The loop invariants the pipeline enforces uniformly:
+//!
+//! * **Masking schedule** — the window hook fires at the anchor timestamp
+//!   when it lies in `T▫` (footnotes 2/3 of the paper) and after stepping
+//!   into every later `t ∈ T▫`;
+//! * **ε-pruning** — with [`EngineConfig::epsilon`] `> 0`, entries `≤ ε`
+//!   are dropped right after every transition and the dropped mass is
+//!   accounted in [`EvalStats::pruned_mass`] (the absolute error bound);
+//! * **Densification** — vectors created through [`Propagator::seed`]
+//!   switch from sparse to dense at [`EngineConfig::densify_threshold`];
+//! * **Early termination** — a forward sweep whose vectors run empty (all
+//!   worlds decided) stops and counts [`EvalStats::early_terminations`];
+//!   drivers with their own stopping rules (threshold and top-k bounds)
+//!   break via [`Propagator::forward_until`]'s decision hook instead;
+//! * **Counters** — transitions / backward steps are counted per product,
+//!   and [`EvalStats::objects_evaluated`] is bumped for every forward sweep
+//!   that ran to its natural end (drivers that break early account for
+//!   their outcome themselves: a dismissal is not an evaluation).
+
+use std::ops::ControlFlow;
+
+use ust_markov::{CsrMatrix, PropagationVector, SparseVector, SpmvScratch};
+
+use crate::engine::EngineConfig;
+use crate::error::Result;
+use crate::query::QueryWindow;
+use crate::stats::EvalStats;
+
+/// One moment of a forward sweep, delivered to the driver's event hook.
+///
+/// A single-closure event stream (rather than separate window/decision
+/// callbacks) lets a driver keep its accumulator state in plain captured
+/// variables shared by both rules.
+#[derive(Debug)]
+pub enum ForwardEvent<'r> {
+    /// The sweep reached a query timestamp: apply the accumulation rule
+    /// (mutably) to the propagated rows.
+    Window {
+        /// The propagated vectors, freshly stepped into `t`.
+        rows: &'r mut [PropagationVector],
+        /// The query timestamp (`t ∈ T▫`).
+        t: u32,
+    },
+    /// A timestamp is fully processed (stepped, window rule applied,
+    /// pruned). Drivers with their own stopping rules (threshold / top-k
+    /// bounds) decide here; drivers with non-window per-step rules
+    /// (observation fusion in the multi-observation engine) mutate here;
+    /// plain sweeps just continue.
+    StepEnd {
+        /// The propagated vectors after the timestamp's processing.
+        rows: &'r mut [PropagationVector],
+        /// The processed timestamp.
+        t: u32,
+    },
+}
+
+/// The shared propagation core: owns the step loop, the masking schedule,
+/// ε-pruning, the sparse↔dense policy and all [`EvalStats`] accounting.
+///
+/// One `Propagator` is typically created per evaluation batch (or per
+/// worker thread) so the sparse-product scratch space is allocated once and
+/// reused across objects.
+#[derive(Debug)]
+pub struct Propagator<'s> {
+    config: EngineConfig,
+    stats: &'s mut EvalStats,
+    scratch: SpmvScratch,
+}
+
+impl<'s> Propagator<'s> {
+    /// A pipeline accumulating into `stats` under `config`.
+    pub fn new(config: &EngineConfig, stats: &'s mut EvalStats) -> Self {
+        Propagator { config: *config, stats, scratch: SpmvScratch::new() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The statistics sink (drivers use it for outcome-specific counters
+    /// such as `objects_pruned`).
+    pub fn stats(&mut self) -> &mut EvalStats {
+        self.stats
+    }
+
+    /// Wraps a start distribution in a hybrid vector honoring the
+    /// configured densification threshold.
+    pub fn seed(&self, start: SparseVector) -> PropagationVector {
+        PropagationVector::from_sparse(start).with_densify_threshold(self.config.densify_threshold)
+    }
+
+    /// Forward sweep from `start_time` to `window.t_end()`.
+    ///
+    /// `rows` is the propagated state — one vector for the ∃ engines, the
+    /// `|T▫| + 1` count levels of the `C(t)` algorithm for PSTkQ. At every
+    /// query timestamp (including `start_time` itself when it lies in `T▫`)
+    /// `on_window` applies the driver's accumulation rule.
+    pub fn forward(
+        &mut self,
+        matrix: &CsrMatrix,
+        rows: &mut [PropagationVector],
+        start_time: u32,
+        window: &QueryWindow,
+        mut on_window: impl FnMut(&mut [PropagationVector], u32) -> Result<()>,
+    ) -> Result<()> {
+        self.forward_until(matrix, rows, start_time, window, |event| match event {
+            ForwardEvent::Window { rows, t } => {
+                on_window(rows, t)?;
+                Ok(ControlFlow::Continue(()))
+            }
+            ForwardEvent::StepEnd { .. } => Ok(ControlFlow::Continue(())),
+        })
+        .map(|_| ())
+    }
+
+    /// As [`Propagator::forward`], delivering the full [`ForwardEvent`]
+    /// stream: returning [`ControlFlow::Break`] from any event stops the
+    /// sweep.
+    ///
+    /// Returns the timestamp at which the driver broke, or `None` when the
+    /// sweep ran to its natural end (in which case the pipeline counts the
+    /// object as evaluated). Used by the threshold and top-k drivers, whose
+    /// bound-based stopping rules are evaluation outcomes of their own —
+    /// they update [`EvalStats`] through [`Propagator::stats`].
+    pub fn forward_until(
+        &mut self,
+        matrix: &CsrMatrix,
+        rows: &mut [PropagationVector],
+        start_time: u32,
+        window: &QueryWindow,
+        on_event: impl FnMut(ForwardEvent<'_>) -> Result<ControlFlow<()>>,
+    ) -> Result<Option<u32>> {
+        let end_time = window.t_end();
+        self.forward_to(matrix, rows, start_time, end_time, window, on_event)
+    }
+
+    /// As [`Propagator::forward_until`] with an explicit end of sweep,
+    /// which may lie beyond `window.t_end()` — the multi-observation
+    /// engine keeps propagating to its last observation so later evidence
+    /// still conditions the result.
+    pub fn forward_to(
+        &mut self,
+        matrix: &CsrMatrix,
+        rows: &mut [PropagationVector],
+        start_time: u32,
+        end_time: u32,
+        window: &QueryWindow,
+        mut on_event: impl FnMut(ForwardEvent<'_>) -> Result<ControlFlow<()>>,
+    ) -> Result<Option<u32>> {
+        if window.time_in_window(start_time)
+            && on_event(ForwardEvent::Window { rows, t: start_time })?.is_break()
+        {
+            return Ok(Some(start_time));
+        }
+        if on_event(ForwardEvent::StepEnd { rows, t: start_time })?.is_break() {
+            return Ok(Some(start_time));
+        }
+        for t in start_time..end_time {
+            if rows.iter().all(|row| row.nnz() == 0) {
+                // All worlds decided (the paper's inherent true-hit stop).
+                self.stats.early_terminations += 1;
+                break;
+            }
+            for row in rows.iter_mut() {
+                if row.nnz() == 0 {
+                    continue;
+                }
+                row.step(matrix, &mut self.scratch)?;
+                self.stats.transitions += 1;
+                if self.config.epsilon > 0.0 {
+                    self.stats.pruned_mass += row.prune(self.config.epsilon);
+                }
+            }
+            if window.time_in_window(t + 1)
+                && on_event(ForwardEvent::Window { rows, t: t + 1 })?.is_break()
+            {
+                return Ok(Some(t + 1));
+            }
+            if on_event(ForwardEvent::StepEnd { rows, t: t + 1 })?.is_break() {
+                return Ok(Some(t + 1));
+            }
+        }
+        self.stats.objects_evaluated += 1;
+        Ok(None)
+    }
+
+    /// Backward sweep from `window.t_end()` down to the earliest time in
+    /// `snapshot_times`, for the query-based engines.
+    ///
+    /// The driver supplies the state (a hybrid vector for PST∃Q, the level
+    /// family for PSTkQ) and three hooks: `apply_window` — the transposed
+    /// `M+` surgery, applied *before* stepping out of a query timestamp;
+    /// `step` — one backward transition, returning the number of products
+    /// performed (accounted as [`EvalStats::backward_steps`]);
+    /// `snapshot` — called at `window.t_end()` and at every requested time
+    /// reached by the sweep, in descending time order.
+    pub fn backward<S>(
+        &mut self,
+        state: &mut S,
+        window: &QueryWindow,
+        snapshot_times: &[u32],
+        mut apply_window: impl FnMut(&mut S) -> Result<()>,
+        mut step: impl FnMut(&mut S, &mut SpmvScratch) -> Result<u64>,
+        mut snapshot: impl FnMut(&S, u32),
+    ) -> Result<()> {
+        let t_end = window.t_end();
+        let t_min = snapshot_times.iter().copied().min().unwrap_or(t_end);
+        let mut wanted: Vec<u32> = snapshot_times.to_vec();
+        wanted.sort_unstable();
+        wanted.dedup();
+
+        if wanted.binary_search(&t_end).is_ok() {
+            snapshot(state, t_end);
+        }
+        let mut t = t_end;
+        while t > t_min {
+            // Stepping from t to t-1: the step's target time is t.
+            if window.time_in_window(t) {
+                apply_window(state)?;
+            }
+            self.stats.backward_steps += step(state, &mut self.scratch)?;
+            t -= 1;
+            if wanted.binary_search(&t).is_ok() {
+                snapshot(state, t);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drives an arbitrary per-step state through the masking schedule —
+    /// the degenerate "one world at a time" pipeline of the sampling
+    /// baseline.
+    ///
+    /// `advance` moves the state to the given target timestamp (counted as
+    /// a transition; returning [`ControlFlow::Break`] abandons the walk,
+    /// e.g. when an observation weight hits zero); `on_window` fires at
+    /// every query timestamp, including `start_time`. The walk runs to
+    /// `end_time`, which may exceed `window.t_end()` when later
+    /// observations must still be conditioned on.
+    pub fn walk<S>(
+        &mut self,
+        start_time: u32,
+        end_time: u32,
+        window: &QueryWindow,
+        state: &mut S,
+        mut advance: impl FnMut(&mut S, u32) -> Result<ControlFlow<()>>,
+        mut on_window: impl FnMut(&mut S, u32) -> Result<()>,
+    ) -> Result<()> {
+        if window.time_in_window(start_time) {
+            on_window(state, start_time)?;
+        }
+        for t in start_time..end_time {
+            let flow = advance(state, t + 1)?;
+            self.stats.transitions += 1;
+            if flow.is_break() {
+                return Ok(());
+            }
+            if window.time_in_window(t + 1) {
+                on_window(state, t + 1)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::UncertainObject;
+    use crate::observation::Observation;
+    use ust_markov::{CsrMatrix, MarkovChain};
+    use ust_space::TimeSet;
+
+    fn paper_chain() -> MarkovChain {
+        MarkovChain::from_csr(
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn paper_window() -> QueryWindow {
+        QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap()
+    }
+
+    #[test]
+    fn forward_applies_schedule_and_counts() {
+        // Re-derives the paper's 0.864 directly through the pipeline.
+        let chain = paper_chain();
+        let window = paper_window();
+        let object =
+            UncertainObject::with_single_observation(1, Observation::exact(0, 3, 1).unwrap());
+        let mut stats = EvalStats::new();
+        let mut pipeline = Propagator::new(&EngineConfig::default(), &mut stats);
+        let mut rows = [pipeline.seed(object.anchor().distribution().clone())];
+        let mut hit = 0.0;
+        pipeline
+            .forward(chain.matrix(), &mut rows, 0, &window, |rows, _| {
+                hit += rows[0].extract_masked(window.states());
+                Ok(())
+            })
+            .unwrap();
+        assert!((hit - 0.864).abs() < 1e-12);
+        assert_eq!(stats.transitions, 3);
+        assert_eq!(stats.objects_evaluated, 1);
+    }
+
+    #[test]
+    fn forward_until_breaks_without_counting_evaluation() {
+        let chain = paper_chain();
+        let window = paper_window();
+        let mut stats = EvalStats::new();
+        let mut pipeline = Propagator::new(&EngineConfig::default(), &mut stats);
+        let mut rows = [pipeline.seed(SparseVector::from_pairs(3, [(1usize, 1.0)]).unwrap())];
+        let decided = pipeline
+            .forward_until(chain.matrix(), &mut rows, 0, &window, |event| match event {
+                ForwardEvent::StepEnd { t, .. } if t >= 1 => Ok(ControlFlow::Break(())),
+                _ => Ok(ControlFlow::Continue(())),
+            })
+            .unwrap();
+        assert_eq!(decided, Some(1));
+        assert_eq!(stats.transitions, 1);
+        assert_eq!(stats.objects_evaluated, 0, "broken sweeps are the driver's outcome");
+    }
+
+    #[test]
+    fn backward_snapshots_only_requested_times() {
+        let chain = paper_chain();
+        let window = paper_window();
+        let mut stats = EvalStats::new();
+        let mut pipeline = Propagator::new(&EngineConfig::default(), &mut stats);
+        let mut h = pipeline.seed(SparseVector::zeros(3));
+        let mut seen = Vec::new();
+        let transposed = chain.transposed();
+        pipeline
+            .backward(
+                &mut h,
+                &window,
+                &[0, 2],
+                |h| {
+                    let _ = h.extract_masked(window.states());
+                    let ones =
+                        SparseVector::from_pairs(3, window.states().iter().map(|s| (s, 1.0)))?;
+                    h.add_sparse(&ones)?;
+                    Ok(())
+                },
+                |h, scratch| {
+                    h.step(transposed, scratch)?;
+                    Ok(1)
+                },
+                |_, t| seen.push(t),
+            )
+            .unwrap();
+        assert_eq!(seen, vec![2, 0]);
+        assert_eq!(stats.backward_steps, 3);
+    }
+
+    #[test]
+    fn walk_fires_window_hook_on_schedule() {
+        let window = paper_window();
+        let mut stats = EvalStats::new();
+        let mut pipeline = Propagator::new(&EngineConfig::default(), &mut stats);
+        let mut times = Vec::new();
+        let mut t_now = 0u32;
+        pipeline
+            .walk(
+                0,
+                5,
+                &window,
+                &mut t_now,
+                |state, t| {
+                    *state = t;
+                    Ok(ControlFlow::Continue(()))
+                },
+                |_, t| {
+                    times.push(t);
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(times, vec![2, 3], "window times of T▫ = [2, 3]");
+        assert_eq!(stats.transitions, 5);
+        assert_eq!(t_now, 5);
+    }
+}

@@ -23,10 +23,11 @@
 
 use std::collections::BTreeMap;
 
-use ust_markov::{DenseVector, MarkovChain, PropagationVector, SparseVector, SpmvScratch};
+use ust_markov::{DenseVector, MarkovChain, SparseVector};
 
 use crate::database::TrajectoryDatabase;
 use crate::engine::object_based::validate;
+use crate::engine::pipeline::Propagator;
 use crate::engine::EngineConfig;
 use crate::error::Result;
 use crate::object::UncertainObject;
@@ -69,40 +70,32 @@ impl BackwardField {
         stats: &mut EvalStats,
     ) -> Result<BackwardField> {
         let n = chain.num_states();
-        let t_end = window.t_end();
-        let t_min = anchor_times.iter().copied().min().unwrap_or(t_end);
-        let mut wanted: Vec<u32> = anchor_times.to_vec();
-        wanted.sort_unstable();
-        wanted.dedup();
-
         let transposed = chain.transposed();
-        let mut scratch = SpmvScratch::new();
+        let mut pipeline = Propagator::new(config, stats);
         let mut snapshots = BTreeMap::new();
-        let mut h = PropagationVector::from_sparse(SparseVector::zeros(n))
-            .with_densify_threshold(config.densify_threshold);
-        if wanted.binary_search(&t_end).is_ok() {
-            snapshots.insert(t_end, h.to_dense());
-        }
-        let mut t = t_end;
-        while t > t_min {
-            let target = t; // stepping from t to t-1; the "target" time is t
-            // Clamp window states to 1 when the target time is in T▫, then
-            // h_{t-1} = M · w, evaluated as w · Mᵀ on the hybrid vector.
-            if window.time_in_window(target) {
+        let mut h = pipeline.seed(SparseVector::zeros(n));
+        pipeline.backward(
+            &mut h,
+            window,
+            anchor_times,
+            // Transposed M+ surgery: when the step's target time is in T▫,
+            // clamp the window states to 1 (a world there satisfies the
+            // predicate with certainty) before h_{t-1} = M · w, evaluated
+            // as w · Mᵀ on the hybrid vector.
+            |h| {
                 let _ = h.extract_masked(window.states());
-                let ones = SparseVector::from_pairs(
-                    n,
-                    window.states().iter().map(|s| (s, 1.0)),
-                )?;
+                let ones = SparseVector::from_pairs(n, window.states().iter().map(|s| (s, 1.0)))?;
                 h.add_sparse(&ones)?;
-            }
-            h.step(transposed, &mut scratch)?;
-            stats.backward_steps += 1;
-            t -= 1;
-            if wanted.binary_search(&t).is_ok() {
+                Ok(())
+            },
+            |h, scratch| {
+                h.step(transposed, scratch)?;
+                Ok(1)
+            },
+            |h, t| {
                 snapshots.insert(t, h.to_dense());
-            }
-        }
+            },
+        )?;
         Ok(BackwardField { snapshots })
     }
 
@@ -125,11 +118,8 @@ impl BackwardField {
         let anchor_in_window = window.time_in_window(anchor.time());
         let mut p = 0.0;
         for (s, mass) in anchor.distribution().iter() {
-            let value = if anchor_in_window && window.states().contains(s) {
-                1.0
-            } else {
-                h.get(s)
-            };
+            let value =
+                if anchor_in_window && window.states().contains(s) { 1.0 } else { h.get(s) };
             p += mass * value;
         }
         Some(p.min(1.0))
@@ -153,9 +143,7 @@ pub fn exists_probability(
         config,
         &mut stats,
     )?;
-    Ok(field
-        .object_probability(object, window)
-        .expect("anchor snapshot was requested"))
+    Ok(field.object_probability(object, window).expect("anchor snapshot was requested"))
 }
 
 /// Evaluates the PST∃Q for every object in the database: one backward pass
@@ -181,9 +169,8 @@ pub fn evaluate(
         let field = BackwardField::compute_with_config(chain, window, &anchors, config, stats)?;
         for &idx in &members {
             let object = db.object(idx).expect("index from enumeration");
-            let probability = field
-                .object_probability(object, window)
-                .expect("anchor snapshot was requested");
+            let probability =
+                field.object_probability(object, window).expect("anchor snapshot was requested");
             stats.objects_evaluated += 1;
             results[idx] = Some(ObjectProbability { object_id: object.id(), probability });
         }
@@ -200,12 +187,8 @@ mod tests {
 
     fn paper_chain() -> MarkovChain {
         MarkovChain::from_csr(
-            CsrMatrix::from_dense(&[
-                vec![0.0, 0.0, 1.0],
-                vec![0.6, 0.0, 0.4],
-                vec![0.0, 0.8, 0.2],
-            ])
-            .unwrap(),
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
         )
         .unwrap()
     }
@@ -231,25 +214,19 @@ mod tests {
     fn single_object_probability_is_0864() {
         let object =
             UncertainObject::with_single_observation(1, Observation::exact(0, 3, 1).unwrap());
-        let p = exists_probability(
-            &paper_chain(),
-            &object,
-            &paper_window(),
-            &EngineConfig::default(),
-        )
-        .unwrap();
+        let p =
+            exists_probability(&paper_chain(), &object, &paper_window(), &EngineConfig::default())
+                .unwrap();
         assert!((p - 0.864).abs() < 1e-12);
     }
 
     #[test]
     fn agrees_with_object_based_on_uncertain_anchor() {
         let chain = paper_chain();
-        let start = ust_markov::SparseVector::from_pairs(3, [(0, 0.5), (1, 0.2), (2, 0.3)])
-            .unwrap();
-        let object = UncertainObject::with_single_observation(
-            9,
-            Observation::uncertain(0, start).unwrap(),
-        );
+        let start =
+            ust_markov::SparseVector::from_pairs(3, [(0, 0.5), (1, 0.2), (2, 0.3)]).unwrap();
+        let object =
+            UncertainObject::with_single_observation(9, Observation::uncertain(0, start).unwrap());
         let window = paper_window();
         let qb = exists_probability(&chain, &object, &window, &EngineConfig::default()).unwrap();
         let ob = crate::engine::object_based::exists_probability(
@@ -266,13 +243,9 @@ mod tests {
     fn anchor_inside_window_clamps_to_one() {
         let object =
             UncertainObject::with_single_observation(1, Observation::exact(2, 3, 1).unwrap());
-        let p = exists_probability(
-            &paper_chain(),
-            &object,
-            &paper_window(),
-            &EngineConfig::default(),
-        )
-        .unwrap();
+        let p =
+            exists_probability(&paper_chain(), &object, &paper_window(), &EngineConfig::default())
+                .unwrap();
         assert!((p - 1.0).abs() < 1e-12);
     }
 
@@ -284,8 +257,7 @@ mod tests {
             UncertainObject::with_single_observation(1, Observation::exact(3, 3, 2).unwrap());
         let window = QueryWindow::from_states(3, [0usize, 1], TimeSet::at(3)).unwrap();
         let p =
-            exists_probability(&paper_chain(), &object, &window, &EngineConfig::default())
-                .unwrap();
+            exists_probability(&paper_chain(), &object, &window, &EngineConfig::default()).unwrap();
         assert_eq!(p, 0.0);
     }
 
@@ -303,8 +275,7 @@ mod tests {
         ))
         .unwrap();
         let mut stats = EvalStats::new();
-        let results =
-            evaluate(&db, &paper_window(), &EngineConfig::default(), &mut stats).unwrap();
+        let results = evaluate(&db, &paper_window(), &EngineConfig::default(), &mut stats).unwrap();
         assert_eq!(results.len(), 2);
         assert!((results[0].probability - 0.864).abs() < 1e-12);
         // Object anchored at t=1 on s3: h_1(s3) = 0.96 (from Example 2).
@@ -318,8 +289,7 @@ mod tests {
     fn per_model_backward_passes() {
         // Two models: the paper chain and a "frozen" identity chain.
         let frozen = MarkovChain::from_csr(CsrMatrix::identity(3)).unwrap();
-        let mut db =
-            TrajectoryDatabase::with_models(vec![paper_chain(), frozen]).unwrap();
+        let mut db = TrajectoryDatabase::with_models(vec![paper_chain(), frozen]).unwrap();
         db.insert(UncertainObject::with_single_observation(
             0,
             Observation::exact(0, 3, 1).unwrap(),
@@ -330,13 +300,9 @@ mod tests {
                 .with_model(1),
         )
         .unwrap();
-        let results = evaluate(
-            &db,
-            &paper_window(),
-            &EngineConfig::default(),
-            &mut EvalStats::new(),
-        )
-        .unwrap();
+        let results =
+            evaluate(&db, &paper_window(), &EngineConfig::default(), &mut EvalStats::new())
+                .unwrap();
         assert!((results[0].probability - 0.864).abs() < 1e-12);
         // Frozen object stays at s2 ∈ S▫ forever: hits with certainty.
         assert!((results[1].probability - 1.0).abs() < 1e-12);
@@ -345,13 +311,9 @@ mod tests {
     #[test]
     fn empty_database_evaluates_to_empty() {
         let db = TrajectoryDatabase::new(paper_chain());
-        let results = evaluate(
-            &db,
-            &paper_window(),
-            &EngineConfig::default(),
-            &mut EvalStats::new(),
-        )
-        .unwrap();
+        let results =
+            evaluate(&db, &paper_window(), &EngineConfig::default(), &mut EvalStats::new())
+                .unwrap();
         assert!(results.is_empty());
     }
 }

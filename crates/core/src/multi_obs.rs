@@ -19,10 +19,13 @@
 //! cross-checked against the explicit `doubled_minus`/`doubled_plus`
 //! construction in the tests.
 
-use ust_markov::{MarkovChain, PropagationVector, SpmvScratch};
+use std::ops::ControlFlow;
+
+use ust_markov::{MarkovChain, SparseVector};
 
 use crate::database::TrajectoryDatabase;
 use crate::engine::object_based::validate;
+use crate::engine::pipeline::{ForwardEvent, Propagator};
 use crate::engine::EngineConfig;
 use crate::error::{QueryError, Result};
 use crate::object::UncertainObject;
@@ -52,69 +55,50 @@ pub fn exists_probability_multi_with_stats(
     validate(chain, object, window)?;
     let anchor = object.anchor();
     let t0 = anchor.time();
-    let last_obs_time = object.last_observation().time();
-    let horizon = window.t_end().max(last_obs_time);
-    let mut scratch = SpmvScratch::new();
+    let horizon = window.t_end().max(object.last_observation().time());
+    let mut pipeline = Propagator::new(config, stats);
 
-    // u = worlds that have not intersected the window; w = worlds that have.
-    let mut u = PropagationVector::from_sparse(anchor.distribution().clone())
-        .with_densify_threshold(config.densify_threshold);
-    let mut w = PropagationVector::from_sparse(ust_markov::SparseVector::zeros(
-        chain.num_states(),
-    ))
-    .with_densify_threshold(config.densify_threshold);
+    // rows[0] = u, worlds that have not intersected the window;
+    // rows[1] = w, worlds that have — the doubled state space of Section VI
+    // evaluated block-wise.
+    let mut rows = [
+        pipeline.seed(anchor.distribution().clone()),
+        pipeline.seed(SparseVector::zeros(chain.num_states())),
+    ];
 
-    if window.time_in_window(t0) {
-        let moved = u.split_masked(window.states());
-        if moved.nnz() > 0 {
-            w.add_sparse(&moved)?;
-        }
-    }
-
-    for t in t0..horizon {
-        // After the window closes and no observation remains ahead, the
-        // hit/not-hit ratio is invariant — stop early.
-        if t >= window.t_end() && t >= last_obs_time {
-            stats.early_terminations += 1;
-            break;
-        }
-        if u.nnz() > 0 {
-            u.step(chain.matrix(), &mut scratch)?;
-            stats.transitions += 1;
-        }
-        if w.nnz() > 0 {
-            w.step(chain.matrix(), &mut scratch)?;
-            stats.transitions += 1;
-        }
-        let next = t + 1;
-        if window.time_in_window(next) {
-            let moved = u.split_masked(window.states());
+    pipeline.forward_to(chain.matrix(), &mut rows, t0, horizon, window, |event| match event {
+        ForwardEvent::Window { rows, .. } => {
+            let (u, w) = rows.split_at_mut(1);
+            let moved = u[0].split_masked(window.states());
             if moved.nnz() > 0 {
-                w.add_sparse(&moved)?;
+                w[0].add_sparse(&moved)?;
             }
+            Ok(ControlFlow::Continue(()))
         }
-        if next > t0 {
-            if let Some(obs) = object.observation_at(next) {
-                // Lemma 1: independent observations fuse multiplicatively;
-                // the observation says nothing about the hit flag, so it
-                // applies to both halves identically.
-                u.hadamard_sparse(obs.distribution())?;
-                w.hadamard_sparse(obs.distribution())?;
-                let total = u.sum() + w.sum();
-                if total <= 0.0 {
-                    return Err(QueryError::ImpossibleEvidence);
+        ForwardEvent::StepEnd { rows, t } => {
+            if t > t0 {
+                if let Some(obs) = object.observation_at(t) {
+                    // Lemma 1: independent observations fuse
+                    // multiplicatively; the observation says nothing about
+                    // the hit flag, so it applies to both halves
+                    // identically.
+                    for row in rows.iter_mut() {
+                        row.hadamard_sparse(obs.distribution())?;
+                    }
+                    let total: f64 = rows.iter().map(|r| r.sum()).sum();
+                    if total <= 0.0 {
+                        return Err(QueryError::ImpossibleEvidence);
+                    }
+                    // Equation 1: renormalize over the surviving worlds.
+                    for row in rows.iter_mut() {
+                        row.scale(1.0 / total);
+                    }
                 }
-                // Equation 1: renormalize over the surviving worlds.
-                u.scale(1.0 / total);
-                w.scale(1.0 / total);
             }
+            Ok(ControlFlow::Continue(()))
         }
-        if config.epsilon > 0.0 {
-            stats.pruned_mass += u.prune(config.epsilon) + w.prune(config.epsilon);
-        }
-    }
-    stats.objects_evaluated += 1;
-    let (hit, alive) = (w.sum(), u.sum());
+    })?;
+    let (hit, alive) = (rows[1].sum(), rows[0].sum());
     let total = hit + alive;
     if total <= 0.0 {
         return Err(QueryError::ImpossibleEvidence);
@@ -151,12 +135,8 @@ mod tests {
 
     fn paper_chain() -> MarkovChain {
         MarkovChain::from_csr(
-            CsrMatrix::from_dense(&[
-                vec![0.0, 0.0, 1.0],
-                vec![0.6, 0.0, 0.4],
-                vec![0.0, 0.8, 0.2],
-            ])
-            .unwrap(),
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
         )
         .unwrap()
     }
@@ -164,12 +144,8 @@ mod tests {
     /// The Section VI chain (second row 0.5 / 0.5).
     fn section6_chain() -> MarkovChain {
         MarkovChain::from_csr(
-            CsrMatrix::from_dense(&[
-                vec![0.0, 0.0, 1.0],
-                vec![0.5, 0.0, 0.5],
-                vec![0.0, 0.8, 0.2],
-            ])
-            .unwrap(),
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.5, 0.0, 0.5], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
         )
         .unwrap()
     }
@@ -181,20 +157,13 @@ mod tests {
         // having intersected the window: P∃ = 0.
         let object = UncertainObject::new(
             1,
-            vec![
-                Observation::exact(0, 3, 0).unwrap(),
-                Observation::exact(3, 3, 1).unwrap(),
-            ],
+            vec![Observation::exact(0, 3, 0).unwrap(), Observation::exact(3, 3, 1).unwrap()],
         )
         .unwrap();
         let window = QueryWindow::from_states(3, [1usize], TimeSet::interval(1, 2)).unwrap();
-        let p = exists_probability_multi(
-            &section6_chain(),
-            &object,
-            &window,
-            &EngineConfig::default(),
-        )
-        .unwrap();
+        let p =
+            exists_probability_multi(&section6_chain(), &object, &window, &EngineConfig::default())
+                .unwrap();
         assert!(p.abs() < 1e-12, "got {p}");
     }
 
@@ -209,7 +178,7 @@ mod tests {
         let plus = ust_markov::augmented::doubled_plus(chain.matrix(), window.states());
         let mut v = DenseVector::zeros(6);
         v.set(0, 1.0).unwrap(); // observed at s1, not hit
-        // t=1 ∈ T▫.
+                                // t=1 ∈ T▫.
         v = plus.vecmat_dense(&v).unwrap();
         assert!(v.approx_eq(&DenseVector::from_vec(vec![0.0, 0.0, 1.0, 0.0, 0.0, 0.0]), 1e-12));
         // t=2 ∈ T▫.
@@ -217,40 +186,26 @@ mod tests {
         assert!(v.approx_eq(&DenseVector::from_vec(vec![0.0, 0.0, 0.2, 0.0, 0.8, 0.0]), 1e-12));
         // t=3 ∉ T▫.
         v = minus.vecmat_dense(&v).unwrap();
-        assert!(v.approx_eq(
-            &DenseVector::from_vec(vec![0.0, 0.16, 0.04, 0.4, 0.0, 0.4]),
-            1e-12
-        ));
+        assert!(v.approx_eq(&DenseVector::from_vec(vec![0.0, 0.16, 0.04, 0.4, 0.0, 0.4]), 1e-12));
         // Fuse the observation at t=3 (state s2, hit flag unknown):
         // (0, 0.16·1, 0, 0, 0·1, 0) → normalized (0, 1, 0, 0, 0, 0).
         let obs = DenseVector::from_vec(vec![0.0, 1.0, 0.0, 0.0, 1.0, 0.0]);
         let mut fused = v.hadamard(&obs).unwrap();
         fused.normalize().unwrap();
-        assert!(fused.approx_eq(
-            &DenseVector::from_vec(vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0]),
-            1e-12
-        ));
+        assert!(fused.approx_eq(&DenseVector::from_vec(vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0]), 1e-12));
     }
 
     #[test]
     fn single_observation_reduces_to_object_based() {
         let chain = paper_chain();
-        let object = UncertainObject::with_single_observation(
-            2,
-            Observation::exact(0, 3, 1).unwrap(),
-        );
-        let window =
-            QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap();
+        let object =
+            UncertainObject::with_single_observation(2, Observation::exact(0, 3, 1).unwrap());
+        let window = QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap();
         let multi =
-            exists_probability_multi(&chain, &object, &window, &EngineConfig::default())
+            exists_probability_multi(&chain, &object, &window, &EngineConfig::default()).unwrap();
+        let single =
+            object_based::exists_probability(&chain, &object, &window, &EngineConfig::default())
                 .unwrap();
-        let single = object_based::exists_probability(
-            &chain,
-            &object,
-            &window,
-            &EngineConfig::default(),
-        )
-        .unwrap();
         assert!((multi - single).abs() < 1e-12);
         assert!((multi - 0.864).abs() < 1e-12);
     }
@@ -275,13 +230,8 @@ mod tests {
         )
         .unwrap();
         let window = QueryWindow::from_states(3, [0usize], TimeSet::interval(1, 3)).unwrap();
-        let exact = exists_probability_multi(
-            &chain,
-            &object,
-            &window,
-            &EngineConfig::default(),
-        )
-        .unwrap();
+        let exact =
+            exists_probability_multi(&chain, &object, &window, &EngineConfig::default()).unwrap();
         let oracle = exhaustive::enumerate(&chain, &object, &window, 1 << 22).unwrap();
         assert!(
             (exact - oracle.exists()).abs() < 1e-12,
@@ -297,22 +247,16 @@ mod tests {
         // observations farther than the window still carry information).
         let chain = paper_chain();
         let window = QueryWindow::from_states(3, [0usize], TimeSet::at(1)).unwrap();
-        let plain = UncertainObject::with_single_observation(
-            4,
-            Observation::exact(0, 3, 1).unwrap(),
-        );
+        let plain =
+            UncertainObject::with_single_observation(4, Observation::exact(0, 3, 1).unwrap());
         let informed = UncertainObject::new(
             5,
-            vec![
-                Observation::exact(0, 3, 1).unwrap(),
-                Observation::exact(4, 3, 1).unwrap(),
-            ],
+            vec![Observation::exact(0, 3, 1).unwrap(), Observation::exact(4, 3, 1).unwrap()],
         )
         .unwrap();
         let config = EngineConfig::default();
         let p_plain = exists_probability_multi(&chain, &plain, &window, &config).unwrap();
-        let p_informed =
-            exists_probability_multi(&chain, &informed, &window, &config).unwrap();
+        let p_informed = exists_probability_multi(&chain, &informed, &window, &config).unwrap();
         assert!((p_plain - p_informed).abs() > 1e-6);
         // Cross-check the informed value against enumeration.
         let oracle = exhaustive::enumerate(&chain, &informed, &window, 1 << 22).unwrap();
@@ -348,23 +292,15 @@ mod tests {
         db.insert(
             UncertainObject::new(
                 1,
-                vec![
-                    Observation::exact(0, 3, 1).unwrap(),
-                    Observation::exact(4, 3, 2).unwrap(),
-                ],
+                vec![Observation::exact(0, 3, 1).unwrap(), Observation::exact(4, 3, 2).unwrap()],
             )
             .unwrap(),
         )
         .unwrap();
-        let window =
-            QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap();
-        let results = evaluate_exists_multi(
-            &db,
-            &window,
-            &EngineConfig::default(),
-            &mut EvalStats::new(),
-        )
-        .unwrap();
+        let window = QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap();
+        let results =
+            evaluate_exists_multi(&db, &window, &EngineConfig::default(), &mut EvalStats::new())
+                .unwrap();
         assert_eq!(results.len(), 2);
         assert!((results[0].probability - 0.864).abs() < 1e-12);
         assert!(results[1].probability >= 0.0 && results[1].probability <= 1.0);

@@ -82,10 +82,7 @@ impl UncertainObject {
 
     /// The observation at exactly time `t`, if any.
     pub fn observation_at(&self, t: u32) -> Option<&Observation> {
-        self.observations
-            .binary_search_by_key(&t, |o| o.time())
-            .ok()
-            .map(|i| &self.observations[i])
+        self.observations.binary_search_by_key(&t, |o| o.time()).ok().map(|i| &self.observations[i])
     }
 
     /// The latest observation at or before `t`, if any.

@@ -46,8 +46,7 @@ impl Observation {
             }));
         }
         let p = 1.0 / states.count() as f64;
-        let distribution =
-            SparseVector::from_pairs(num_states, states.iter().map(|s| (s, p)))?;
+        let distribution = SparseVector::from_pairs(num_states, states.iter().map(|s| (s, p)))?;
         Ok(Observation { time, distribution })
     }
 

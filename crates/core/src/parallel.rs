@@ -2,14 +2,13 @@
 //!
 //! The object-based approach is embarrassingly parallel over objects — each
 //! propagation touches only the shared read-only chain. This module shards
-//! the database across `crossbeam` scoped threads, giving each worker its
-//! own scratch accumulator, and stitches the results back in object order.
-//! (The query-based approach rarely needs this: its per-object work is a
-//! single dot product.)
-
-use ust_markov::SpmvScratch;
+//! the database across `std::thread` scoped threads, giving each worker its
+//! own propagation pipeline (and thus its own scratch accumulator), and
+//! stitches the results back in object order. (The query-based approach
+//! rarely needs this: its per-object work is a single dot product.)
 
 use crate::database::TrajectoryDatabase;
+use crate::engine::pipeline::Propagator;
 use crate::engine::{object_based, EngineConfig};
 use crate::error::Result;
 use crate::query::{ObjectProbability, QueryWindow};
@@ -43,38 +42,29 @@ pub fn evaluate_exists_parallel(
     let objects = db.objects();
     type WorkerOutput = Result<(Vec<(usize, ObjectProbability)>, EvalStats)>;
 
-    let worker_results: Vec<WorkerOutput> = crossbeam::thread::scope(|scope| {
+    let worker_results: Vec<WorkerOutput> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_threads);
         for (chunk_idx, chunk) in objects.chunks(chunk_size).enumerate() {
             let base = chunk_idx * chunk_size;
-            handles.push(scope.spawn(move |_| -> WorkerOutput {
-                let mut scratch = SpmvScratch::new();
+            handles.push(scope.spawn(move || -> WorkerOutput {
                 let mut local_stats = EvalStats::new();
+                let mut pipeline = Propagator::new(config, &mut local_stats);
                 let mut out = Vec::with_capacity(chunk.len());
                 for (offset, object) in chunk.iter().enumerate() {
                     let chain = db.model_of(object);
-                    let probability = object_based::exists_probability_inner(
-                        chain,
-                        object,
-                        window,
-                        config,
-                        &mut local_stats,
-                        &mut scratch,
-                    )?;
+                    let probability =
+                        object_based::exists_with(&mut pipeline, chain, object, window)?;
                     out.push((
                         base + offset,
                         ObjectProbability { object_id: object.id(), probability },
                     ));
                 }
+                drop(pipeline);
                 Ok((out, local_stats))
             }));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope");
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
 
     let mut results: Vec<Option<ObjectProbability>> = vec![None; db.len()];
     for worker in worker_results {
@@ -84,10 +74,7 @@ pub fn evaluate_exists_parallel(
             results[idx] = Some(r);
         }
     }
-    Ok(results
-        .into_iter()
-        .map(|r| r.expect("all chunks cover the database"))
-        .collect())
+    Ok(results.into_iter().map(|r| r.expect("all chunks cover the database")).collect())
 }
 
 #[cfg(test)]
@@ -117,8 +104,7 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let db = random_db(17, 60, 37);
-        let window =
-            QueryWindow::from_states(60, 10usize..=15, TimeSet::interval(4, 7)).unwrap();
+        let window = QueryWindow::from_states(60, 10usize..=15, TimeSet::interval(4, 7)).unwrap();
         let config = EngineConfig::default();
         let sequential =
             object_based::evaluate(&db, &window, &config, &mut EvalStats::new()).unwrap();
@@ -129,10 +115,7 @@ mod tests {
             assert_eq!(parallel.len(), sequential.len());
             for (a, b) in parallel.iter().zip(&sequential) {
                 assert_eq!(a.object_id, b.object_id);
-                assert!(
-                    (a.probability - b.probability).abs() < 1e-12,
-                    "threads={threads}"
-                );
+                assert!((a.probability - b.probability).abs() < 1e-12, "threads={threads}");
             }
             assert_eq!(stats.objects_evaluated, db.len() as u64);
         }

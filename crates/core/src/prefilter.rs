@@ -13,7 +13,7 @@
 //! non-zero probability — as verified against the exact engines.
 
 use ust_markov::MarkovChain;
-use ust_space::{Point2, Rect, RTree, RTreeEntry, StateSpace};
+use ust_space::{Point2, RTree, RTreeEntry, Rect, StateSpace};
 
 use crate::database::TrajectoryDatabase;
 use crate::object::UncertainObject;
@@ -90,9 +90,7 @@ impl ConePrefilter {
                 let reach = cone_radius(t_a, t_end, self.max_step) + r;
                 // Re-test with the object's own radius.
                 let entry_rect = query_rect.expand(reach);
-                self.tree
-                    .query_rect(&entry_rect)
-                    .contains(&idx)
+                self.tree.query_rect(&entry_rect).contains(&idx)
             })
             .collect();
         out.sort_unstable();
@@ -107,10 +105,7 @@ fn cone_radius(anchor_time: u32, t_end: u32, max_step: f64) -> f64 {
 
 /// Weighted centroid of the anchor support and the largest distance from
 /// the centroid to any support state.
-fn anchor_geometry<S: StateSpace + ?Sized>(
-    object: &UncertainObject,
-    space: &S,
-) -> (Point2, f64) {
+fn anchor_geometry<S: StateSpace + ?Sized>(object: &UncertainObject, space: &S) -> (Point2, f64) {
     let dist = object.initial_distribution();
     let mut cx = 0.0;
     let mut cy = 0.0;
@@ -126,10 +121,8 @@ fn anchor_geometry<S: StateSpace + ?Sized>(
         cy /= total;
     }
     let centroid = Point2::new(cx, cy);
-    let radius = dist
-        .iter()
-        .map(|(s, _)| space.location(s).distance(&centroid))
-        .fold(0.0f64, f64::max);
+    let radius =
+        dist.iter().map(|(s, _)| space.location(s).distance(&centroid)).fold(0.0f64, f64::max);
     (centroid, radius)
 }
 
@@ -183,8 +176,7 @@ mod tests {
         let n = 50;
         let space = LineSpace::new(n);
         let db = db_on_line(n, &[0, 10, 25, 49]);
-        let window =
-            QueryWindow::from_states(n, 20usize..=22, TimeSet::interval(3, 5)).unwrap();
+        let window = QueryWindow::from_states(n, 20usize..=22, TimeSet::interval(3, 5)).unwrap();
         let filter = ConePrefilter::build(&db, &space);
         let rect = Rect::from_bounds(20.0, -0.5, 22.0, 0.5);
         let candidates = filter.candidates(&rect, &window);
@@ -254,8 +246,6 @@ mod tests {
         let space = LineSpace::new(10);
         let filter = ConePrefilter::build(&db, &space);
         let window = QueryWindow::from_states(10, [5usize], TimeSet::at(1)).unwrap();
-        assert!(filter
-            .candidates(&Rect::from_bounds(5.0, -1.0, 5.0, 1.0), &window)
-            .is_empty());
+        assert!(filter.candidates(&Rect::from_bounds(5.0, -1.0, 5.0, 1.0), &window).is_empty());
     }
 }

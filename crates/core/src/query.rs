@@ -115,11 +115,7 @@ impl ObjectKDistribution {
 
     /// Expected number of window timestamps the object is inside `S▫`.
     pub fn expected_visits(&self) -> f64 {
-        self.probabilities
-            .iter()
-            .enumerate()
-            .map(|(k, p)| k as f64 * p)
-            .sum()
+        self.probabilities.iter().enumerate().map(|(k, p)| k as f64 * p).sum()
     }
 }
 
@@ -155,12 +151,8 @@ mod tests {
     #[test]
     fn from_region_resolves_states() {
         let line = LineSpace::new(20);
-        let w = QueryWindow::from_region(
-            &line,
-            &Region::rect(4.2, -1.0, 7.9, 1.0),
-            TimeSet::at(3),
-        )
-        .unwrap();
+        let w = QueryWindow::from_region(&line, &Region::rect(4.2, -1.0, 7.9, 1.0), TimeSet::at(3))
+            .unwrap();
         assert_eq!(w.states().to_indices(), vec![5, 6, 7]);
     }
 
@@ -177,10 +169,7 @@ mod tests {
 
     #[test]
     fn k_distribution_helpers() {
-        let d = ObjectKDistribution {
-            object_id: 7,
-            probabilities: vec![0.136, 0.672, 0.192],
-        };
+        let d = ObjectKDistribution { object_id: 7, probabilities: vec![0.136, 0.672, 0.192] };
         assert!((d.prob_at_least_once() - 0.864).abs() < 1e-12);
         assert!((d.prob_always() - 0.192).abs() < 1e-12);
         assert!((d.expected_visits() - (0.672 + 2.0 * 0.192)).abs() < 1e-12);

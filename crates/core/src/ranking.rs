@@ -14,9 +14,10 @@
 //!   lower bound. With a selective window most objects are dismissed
 //!   before (or shortly after) their first transition.
 
-use ust_markov::{PropagationVector, SpmvScratch};
+use std::ops::ControlFlow;
 
 use crate::database::TrajectoryDatabase;
+use crate::engine::pipeline::{ForwardEvent, Propagator};
 use crate::engine::{object_based, query_based, EngineConfig};
 use crate::error::Result;
 use crate::query::QueryWindow;
@@ -42,11 +43,7 @@ pub fn topk_query_based(
     stats: &mut EvalStats,
 ) -> Result<Vec<RankedObject>> {
     let mut all = query_based::evaluate(db, window, config, stats)?;
-    all.sort_by(|a, b| {
-        b.probability
-            .total_cmp(&a.probability)
-            .then(a.object_id.cmp(&b.object_id))
-    });
+    all.sort_by(|a, b| b.probability.total_cmp(&a.probability).then(a.object_id.cmp(&b.object_id)));
     Ok(all
         .into_iter()
         .take(k)
@@ -86,53 +83,49 @@ pub fn topk_object_based_pruned(
     };
 
     let mut pruners: BTreeMap<(usize, u32), ReachabilityPruner> = BTreeMap::new();
-    let mut scratch = SpmvScratch::new();
+    let mut pipeline = Propagator::new(config, stats);
 
     for object in db.objects() {
         let chain = db.model_of(object);
         let key = (object.model(), object.anchor().time());
-        let pruner = pruners
-            .entry(key)
-            .or_insert_with(|| ReachabilityPruner::build(chain, window, key.1));
+        let pruner =
+            pruners.entry(key).or_insert_with(|| ReachabilityPruner::build(chain, window, key.1));
 
         let anchor = object.anchor();
         let t0 = anchor.time();
-        let t_end = window.t_end();
-        let mut v = PropagationVector::from_sparse(anchor.distribution().clone())
-            .with_densify_threshold(config.densify_threshold);
+        let mut rows = [pipeline.seed(anchor.distribution().clone())];
         let mut hit = 0.0;
-        if window.time_in_window(t0) {
-            hit += v.extract_masked(window.states());
-        }
 
-        let upper = |hit: f64, v: &PropagationVector, t: u32| -> f64 {
-            match pruner.mask_at(t) {
-                Some(mask) => (hit + v.masked_sum(mask)).min(1.0),
-                None => (hit + v.sum()).min(1.0),
-            }
-        };
+        // The top-k driver: ∃ accumulation into ⊤, dismissing the object
+        // as soon as its reachability-pruned upper bound can no longer
+        // beat the current k-th best lower bound.
+        let dismissed_at =
+            pipeline.forward_until(chain.matrix(), &mut rows, t0, window, |event| match event {
+                ForwardEvent::Window { rows, .. } => {
+                    hit += rows[0].extract_masked(window.states());
+                    Ok(ControlFlow::Continue(()))
+                }
+                ForwardEvent::StepEnd { rows, t } => {
+                    let upper = match pruner.mask_at(t) {
+                        Some(mask) => (hit + rows[0].masked_sum(mask)).min(1.0),
+                        None => (hit + rows[0].sum()).min(1.0),
+                    };
+                    if upper <= kth_bound(&best) {
+                        Ok(ControlFlow::Break(()))
+                    } else {
+                        Ok(ControlFlow::Continue(()))
+                    }
+                }
+            })?;
 
-        let mut dismissed = false;
-        if upper(hit, &v, t0) <= kth_bound(&best) {
-            stats.objects_pruned += 1;
-            dismissed = true;
-        } else {
-            for t in t0..t_end {
-                v.step(chain.matrix(), &mut scratch)?;
-                stats.transitions += 1;
-                if window.time_in_window(t + 1) {
-                    hit += v.extract_masked(window.states());
-                }
-                if upper(hit, &v, t + 1) <= kth_bound(&best) {
-                    // Cannot beat the current k-th candidate: dismiss.
-                    stats.early_terminations += 1;
-                    dismissed = true;
-                    break;
-                }
-            }
+        match dismissed_at {
+            // Screened out by the instant upper bound, before any step.
+            Some(t) if t == t0 => pipeline.stats().objects_pruned += 1,
+            // Dismissed mid-propagation: cannot beat the k-th candidate.
+            Some(_) => pipeline.stats().early_terminations += 1,
+            None => {}
         }
-        if !dismissed {
-            stats.objects_evaluated += 1;
+        if dismissed_at.is_none() {
             let entry = RankedObject { object_id: object.id(), probability: hit.min(1.0) };
             let pos = best
                 .binary_search_by(|probe| {
@@ -162,12 +155,8 @@ mod tests {
 
     fn paper_chain() -> MarkovChain {
         MarkovChain::from_csr(
-            CsrMatrix::from_dense(&[
-                vec![0.0, 0.0, 1.0],
-                vec![0.6, 0.0, 0.4],
-                vec![0.0, 0.8, 0.2],
-            ])
-            .unwrap(),
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
         )
         .unwrap()
     }
@@ -193,8 +182,7 @@ mod tests {
         // Exact probabilities: id 10 → 0.96, id 20 → 0.864, id 30 → 0.928.
         let db = three_object_db();
         let config = EngineConfig::default();
-        let top2 =
-            topk_query_based(&db, &window(), 2, &config, &mut EvalStats::new()).unwrap();
+        let top2 = topk_query_based(&db, &window(), 2, &config, &mut EvalStats::new()).unwrap();
         assert_eq!(top2.len(), 2);
         assert_eq!(top2[0].object_id, 10);
         assert_eq!(top2[1].object_id, 30);
@@ -206,16 +194,9 @@ mod tests {
         let db = three_object_db();
         let config = EngineConfig::default();
         for k in 0..=4usize {
-            let qb = topk_query_based(&db, &window(), k, &config, &mut EvalStats::new())
+            let qb = topk_query_based(&db, &window(), k, &config, &mut EvalStats::new()).unwrap();
+            let ob = topk_object_based_pruned(&db, &window(), k, &config, &mut EvalStats::new())
                 .unwrap();
-            let ob = topk_object_based_pruned(
-                &db,
-                &window(),
-                k,
-                &config,
-                &mut EvalStats::new(),
-            )
-            .unwrap();
             assert_eq!(qb.len(), ob.len(), "k = {k}");
             for (a, b) in qb.iter().zip(&ob) {
                 assert_eq!(a.object_id, b.object_id, "k = {k}");
@@ -237,12 +218,10 @@ mod tests {
             ))
             .unwrap();
         }
-        let window =
-            QueryWindow::from_states(100, 10usize..=14, TimeSet::interval(3, 6)).unwrap();
+        let window = QueryWindow::from_states(100, 10usize..=14, TimeSet::interval(3, 6)).unwrap();
         let config = EngineConfig::default();
         let qb = topk_query_based(&db, &window, 5, &config, &mut EvalStats::new()).unwrap();
-        let ob =
-            topk_object_based_pruned(&db, &window, 5, &config, &mut EvalStats::new()).unwrap();
+        let ob = topk_object_based_pruned(&db, &window, 5, &config, &mut EvalStats::new()).unwrap();
         assert_eq!(qb.len(), 5);
         for (a, b) in qb.iter().zip(&ob) {
             assert_eq!(a.object_id, b.object_id);
@@ -273,17 +252,10 @@ mod tests {
         }
         // Window at states [40, 42] over times [1, 3]: only objects at
         // 37..=41 can hit it.
-        let window =
-            QueryWindow::from_states(n, 40usize..=42, TimeSet::interval(1, 3)).unwrap();
+        let window = QueryWindow::from_states(n, 40usize..=42, TimeSet::interval(1, 3)).unwrap();
         let mut stats = EvalStats::new();
-        let top = topk_object_based_pruned(
-            &db,
-            &window,
-            3,
-            &EngineConfig::default(),
-            &mut stats,
-        )
-        .unwrap();
+        let top = topk_object_based_pruned(&db, &window, 3, &EngineConfig::default(), &mut stats)
+            .unwrap();
         assert_eq!(top.len(), 3);
         for r in &top {
             assert!((r.probability - 1.0).abs() < 1e-12);

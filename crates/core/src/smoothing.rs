@@ -87,9 +87,7 @@ pub fn smoothed_trajectory(
     object: &UncertainObject,
     times: std::ops::RangeInclusive<u32>,
 ) -> Result<Vec<(u32, DenseVector)>> {
-    times
-        .map(|t| smoothed_distribution(chain, object, t).map(|d| (t, d)))
-        .collect()
+    times.map(|t| smoothed_distribution(chain, object, t).map(|d| (t, d))).collect()
 }
 
 #[cfg(test)]
@@ -103,12 +101,8 @@ mod tests {
 
     fn paper_chain() -> MarkovChain {
         MarkovChain::from_csr(
-            CsrMatrix::from_dense(&[
-                vec![0.0, 0.0, 1.0],
-                vec![0.6, 0.0, 0.4],
-                vec![0.0, 0.8, 0.2],
-            ])
-            .unwrap(),
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
         )
         .unwrap()
     }
@@ -116,14 +110,11 @@ mod tests {
     #[test]
     fn without_future_observations_equals_forward_prediction() {
         let chain = paper_chain();
-        let object = UncertainObject::with_single_observation(
-            1,
-            Observation::exact(0, 3, 1).unwrap(),
-        );
+        let object =
+            UncertainObject::with_single_observation(1, Observation::exact(0, 3, 1).unwrap());
         let smoothed = smoothed_distribution(&chain, &object, 2).unwrap();
-        let predicted = chain
-            .propagate_dense(&DenseVector::from_vec(vec![0.0, 1.0, 0.0]), 2)
-            .unwrap();
+        let predicted =
+            chain.propagate_dense(&DenseVector::from_vec(vec![0.0, 1.0, 0.0]), 2).unwrap();
         assert!(smoothed.approx_eq(&predicted, 1e-12));
     }
 
@@ -148,10 +139,8 @@ mod tests {
         for t in 1..=3u32 {
             let smoothed = smoothed_distribution(&chain, &object, t).unwrap();
             for s in 0..3usize {
-                let window =
-                    QueryWindow::from_states(3, [s], TimeSet::at(t)).unwrap();
-                let oracle =
-                    exhaustive::enumerate(&chain, &object, &window, 1 << 22).unwrap();
+                let window = QueryWindow::from_states(3, [s], TimeSet::at(t)).unwrap();
+                let oracle = exhaustive::enumerate(&chain, &object, &window, 1 << 22).unwrap();
                 assert!(
                     (smoothed.get(s) - oracle.exists()).abs() < 1e-12,
                     "t={t}, s={s}: smoothed {} vs oracle {}",
@@ -167,10 +156,7 @@ mod tests {
         let chain = paper_chain();
         let object = UncertainObject::new(
             3,
-            vec![
-                Observation::exact(0, 3, 1).unwrap(),
-                Observation::exact(3, 3, 0).unwrap(),
-            ],
+            vec![Observation::exact(0, 3, 1).unwrap(), Observation::exact(3, 3, 0).unwrap()],
         )
         .unwrap();
         let at_obs = smoothed_distribution(&chain, &object, 3).unwrap();
@@ -182,10 +168,7 @@ mod tests {
         let chain = paper_chain();
         let object = UncertainObject::new(
             4,
-            vec![
-                Observation::exact(0, 3, 1).unwrap(),
-                Observation::exact(1, 3, 1).unwrap(),
-            ],
+            vec![Observation::exact(0, 3, 1).unwrap(), Observation::exact(1, 3, 1).unwrap()],
         )
         .unwrap();
         assert!(matches!(
@@ -197,10 +180,8 @@ mod tests {
     #[test]
     fn time_before_anchor_rejected() {
         let chain = paper_chain();
-        let object = UncertainObject::with_single_observation(
-            5,
-            Observation::exact(3, 3, 1).unwrap(),
-        );
+        let object =
+            UncertainObject::with_single_observation(5, Observation::exact(3, 3, 1).unwrap());
         assert!(matches!(
             smoothed_distribution(&chain, &object, 2),
             Err(QueryError::WindowBeforeObservation { .. })
@@ -212,10 +193,7 @@ mod tests {
         let chain = paper_chain();
         let object = UncertainObject::new(
             6,
-            vec![
-                Observation::exact(0, 3, 1).unwrap(),
-                Observation::exact(5, 3, 2).unwrap(),
-            ],
+            vec![Observation::exact(0, 3, 1).unwrap(), Observation::exact(5, 3, 2).unwrap()],
         )
         .unwrap();
         let trajectory = smoothed_trajectory(&chain, &object, 0..=5).unwrap();

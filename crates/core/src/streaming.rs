@@ -38,8 +38,7 @@ impl StandingQuery {
     /// Builds the standing query (one backward sweep over `t_end` steps).
     pub fn new(chain: Arc<MarkovChain>, window: QueryWindow) -> Result<StandingQuery> {
         let anchor_times: Vec<u32> = (0..=window.t_end()).collect();
-        let field =
-            BackwardField::compute(&chain, &window, &anchor_times, &mut EvalStats::new())?;
+        let field = BackwardField::compute(&chain, &window, &anchor_times, &mut EvalStats::new())?;
         Ok(StandingQuery { chain, window, field })
     }
 
@@ -72,12 +71,12 @@ impl StandingQuery {
             });
         }
         let object = UncertainObject::with_single_observation(u64::MAX, obs.clone());
-        self.field
-            .object_probability(&object, &self.window)
-            .ok_or(QueryError::WindowBeforeObservation {
+        self.field.object_probability(&object, &self.window).ok_or(
+            QueryError::WindowBeforeObservation {
                 window_start: self.window.t_start(),
                 observation: obs.time(),
-            })
+            },
+        )
     }
 }
 
@@ -184,10 +183,7 @@ mod tests {
                     &EngineConfig::default(),
                 )
                 .unwrap();
-                assert!(
-                    (streamed - direct).abs() < 1e-12,
-                    "t={t}, s={s}: {streamed} vs {direct}"
-                );
+                assert!((streamed - direct).abs() < 1e-12, "t={t}, s={s}: {streamed} vs {direct}");
             }
         }
         // A fix inside the window (t = 3 > t_start) scores the *remaining*
@@ -247,9 +243,6 @@ mod tests {
     fn dimension_mismatch_is_rejected() {
         let query = StandingQuery::new(paper_chain(), paper_window()).unwrap();
         let bad = Observation::exact(0, 5, 0).unwrap();
-        assert!(matches!(
-            query.score(&bad),
-            Err(QueryError::ModelDimensionMismatch { .. })
-        ));
+        assert!(matches!(query.score(&bad), Err(QueryError::ModelDimensionMismatch { .. })));
     }
 }

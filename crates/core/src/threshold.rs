@@ -9,10 +9,13 @@
 //! remark that "computation can be stopped as soon as the probability of
 //! state ⊤ becomes sufficiently large", made symmetric for rejection.
 
-use ust_markov::{MarkovChain, PropagationVector, SpmvScratch, StateMask};
+use std::ops::ControlFlow;
+
+use ust_markov::{MarkovChain, PropagationVector, StateMask};
 
 use crate::database::TrajectoryDatabase;
 use crate::engine::object_based::validate;
+use crate::engine::pipeline::{ForwardEvent, Propagator};
 use crate::engine::EngineConfig;
 use crate::error::Result;
 use crate::object::UncertainObject;
@@ -113,61 +116,7 @@ pub fn exists_threshold_with_stats(
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<ThresholdOutcome> {
-    validate(chain, object, window)?;
-    let anchor = object.anchor();
-    let t0 = anchor.time();
-    let t_end = window.t_end();
-    let mut scratch = SpmvScratch::new();
-
-    let mut v = PropagationVector::from_sparse(anchor.distribution().clone())
-        .with_densify_threshold(config.densify_threshold);
-    let mut hit = 0.0;
-    if window.time_in_window(t0) {
-        hit += v.extract_masked(window.states());
-    }
-
-    let mut remaining_query_times =
-        window.times().iter().filter(|&t| t > t0).count();
-
-    let decide = |hit: f64, alive: f64, remaining: usize| -> Option<(bool, f64, f64)> {
-        // With no query timestamps left, no more mass can reach ⊤.
-        let upper = if remaining == 0 { hit } else { (hit + alive).min(1.0) };
-        if hit >= tau {
-            Some((true, hit, upper))
-        } else if upper < tau {
-            Some((false, hit, upper))
-        } else {
-            None
-        }
-    };
-
-    if let Some((qualifies, lower, upper)) = decide(hit, v.sum(), remaining_query_times) {
-        stats.objects_evaluated += 1;
-        return Ok(ThresholdOutcome { qualifies, lower, upper, early: true });
-    }
-
-    for t in t0..t_end {
-        v.step(chain.matrix(), &mut scratch)?;
-        stats.transitions += 1;
-        if window.time_in_window(t + 1) {
-            hit += v.extract_masked(window.states());
-            remaining_query_times -= 1;
-        }
-        if config.epsilon > 0.0 {
-            stats.pruned_mass += v.prune(config.epsilon);
-        }
-        if let Some((qualifies, lower, upper)) = decide(hit, v.sum(), remaining_query_times)
-        {
-            let early = t + 1 < t_end;
-            if early {
-                stats.early_terminations += 1;
-            }
-            stats.objects_evaluated += 1;
-            return Ok(ThresholdOutcome { qualifies, lower, upper, early });
-        }
-    }
-    stats.objects_evaluated += 1;
-    Ok(ThresholdOutcome { qualifies: hit >= tau, lower: hit, upper: hit, early: false })
+    threshold_driver(&mut Propagator::new(config, stats), chain, object, window, tau, None)
 }
 
 /// As [`exists_threshold_with_stats`], additionally using a
@@ -182,63 +131,78 @@ pub fn exists_threshold_pruned(
     pruner: &ReachabilityPruner,
     stats: &mut EvalStats,
 ) -> Result<ThresholdOutcome> {
+    threshold_driver(&mut Propagator::new(config, stats), chain, object, window, tau, Some(pruner))
+}
+
+/// The thresholded-∃ driver on the shared pipeline: the accumulation rule
+/// is the ⊤ redirect of the OB engine, and the decision rule compares the
+/// monotone lower bound `⊤` / shrinking upper bound `⊤ + alive` against
+/// `τ` after every timestamp, stopping the sweep at the first decision.
+fn threshold_driver(
+    pipeline: &mut Propagator<'_>,
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    window: &QueryWindow,
+    tau: f64,
+    pruner: Option<&ReachabilityPruner>,
+) -> Result<ThresholdOutcome> {
     validate(chain, object, window)?;
     let anchor = object.anchor();
     let t0 = anchor.time();
     let t_end = window.t_end();
-    let mut scratch = SpmvScratch::new();
 
-    let mut v = PropagationVector::from_sparse(anchor.distribution().clone())
-        .with_densify_threshold(config.densify_threshold);
+    let mut rows = [pipeline.seed(anchor.distribution().clone())];
     let mut hit = 0.0;
-    if window.time_in_window(t0) {
-        hit += v.extract_masked(window.states());
-    }
+    let mut remaining_query_times = window.times().iter().filter(|&t| t > t0).count();
+    let mut decision: Option<(bool, f64, f64)> = None;
 
-    let reachable_alive = |v: &PropagationVector, t: u32| -> f64 {
-        match pruner.mask_at(t) {
-            Some(mask) => v.masked_sum(mask),
-            None => v.sum(),
+    let alive = |rows: &[PropagationVector], t: u32| -> f64 {
+        match pruner.and_then(|p| p.mask_at(t)) {
+            Some(mask) => rows[0].masked_sum(mask),
+            None => rows[0].sum(),
         }
     };
 
-    let decide = |hit: f64, alive: f64| -> Option<(bool, f64, f64)> {
-        let upper = (hit + alive).min(1.0);
-        if hit >= tau {
-            Some((true, hit, upper))
-        } else if upper < tau {
-            Some((false, hit, upper))
-        } else {
-            None
-        }
-    };
-
-    if let Some((qualifies, lower, upper)) = decide(hit, reachable_alive(&v, t0)) {
-        stats.objects_evaluated += 1;
-        stats.early_terminations += u64::from(t0 < t_end);
-        return Ok(ThresholdOutcome { qualifies, lower, upper, early: t0 < t_end });
-    }
-
-    for t in t0..t_end {
-        v.step(chain.matrix(), &mut scratch)?;
-        stats.transitions += 1;
-        if window.time_in_window(t + 1) {
-            hit += v.extract_masked(window.states());
-        }
-        if config.epsilon > 0.0 {
-            stats.pruned_mass += v.prune(config.epsilon);
-        }
-        if let Some((qualifies, lower, upper)) = decide(hit, reachable_alive(&v, t + 1)) {
-            let early = t + 1 < t_end;
-            if early {
-                stats.early_terminations += 1;
+    let decided_at =
+        pipeline.forward_until(chain.matrix(), &mut rows, t0, window, |event| match event {
+            ForwardEvent::Window { rows, t } => {
+                hit += rows[0].extract_masked(window.states());
+                if t > t0 {
+                    remaining_query_times -= 1;
+                }
+                Ok(ControlFlow::Continue(()))
             }
-            stats.objects_evaluated += 1;
-            return Ok(ThresholdOutcome { qualifies, lower, upper, early });
+            ForwardEvent::StepEnd { rows, t } => {
+                // With no query timestamps left, no more mass can reach ⊤.
+                let upper =
+                    if remaining_query_times == 0 { hit } else { (hit + alive(rows, t)).min(1.0) };
+                if hit >= tau {
+                    decision = Some((true, hit, upper));
+                    Ok(ControlFlow::Break(()))
+                } else if upper < tau {
+                    decision = Some((false, hit, upper));
+                    Ok(ControlFlow::Break(()))
+                } else {
+                    Ok(ControlFlow::Continue(()))
+                }
+            }
+        })?;
+
+    match decided_at {
+        Some(t) => {
+            let early = t < t_end;
+            if early {
+                pipeline.stats().early_terminations += 1;
+            }
+            pipeline.stats().objects_evaluated += 1;
+            let (qualifies, lower, upper) = decision.expect("break always records a decision");
+            Ok(ThresholdOutcome { qualifies, lower, upper, early })
+        }
+        None => {
+            // Ran to t_end undecided: the bounds have met at `hit`.
+            Ok(ThresholdOutcome { qualifies: hit >= tau, lower: hit, upper: hit, early: false })
         }
     }
-    stats.objects_evaluated += 1;
-    Ok(ThresholdOutcome { qualifies: hit >= tau, lower: hit, upper: hit, early: false })
 }
 
 /// Ids of all database objects with `P∃ ≥ τ`. Builds one
@@ -257,11 +221,9 @@ pub fn threshold_query(
     for object in db.objects() {
         let chain = db.model_of(object);
         let key = (object.model(), object.anchor().time());
-        let pruner = pruners
-            .entry(key)
-            .or_insert_with(|| ReachabilityPruner::build(chain, window, key.1));
-        let outcome =
-            exists_threshold_pruned(chain, object, window, tau, config, pruner, stats)?;
+        let pruner =
+            pruners.entry(key).or_insert_with(|| ReachabilityPruner::build(chain, window, key.1));
+        let outcome = exists_threshold_pruned(chain, object, window, tau, config, pruner, stats)?;
         if outcome.qualifies {
             accepted.push(object.id());
         }
@@ -279,12 +241,8 @@ mod tests {
 
     fn paper_chain() -> MarkovChain {
         MarkovChain::from_csr(
-            CsrMatrix::from_dense(&[
-                vec![0.0, 0.0, 1.0],
-                vec![0.6, 0.0, 0.4],
-                vec![0.0, 0.8, 0.2],
-            ])
-            .unwrap(),
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
         )
         .unwrap()
     }
@@ -342,29 +300,17 @@ mod tests {
         // with τ above the total reachable mass: from s1 all mass goes to
         // s3, so window {s2}×{1} has probability 0 → upper bound drops to 0
         // at t=1 < t_end=1 edge; use τ > 0 with a longer horizon instead.
-        let o = UncertainObject::with_single_observation(
-            2,
-            Observation::exact(0, 3, 0).unwrap(),
-        );
+        let o = UncertainObject::with_single_observation(2, Observation::exact(0, 3, 0).unwrap());
         let w = QueryWindow::from_states(3, [1usize], TimeSet::at(1)).unwrap();
-        let outcome = exists_threshold(
-            &paper_chain(),
-            &o,
-            &w,
-            0.5,
-            &EngineConfig::default(),
-        )
-        .unwrap();
+        let outcome =
+            exists_threshold(&paper_chain(), &o, &w, 0.5, &EngineConfig::default()).unwrap();
         assert!(!outcome.qualifies);
         assert_eq!(outcome.upper, 0.0);
     }
 
     #[test]
     fn anchor_in_window_can_decide_before_any_transition() {
-        let o = UncertainObject::with_single_observation(
-            3,
-            Observation::exact(2, 3, 0).unwrap(),
-        );
+        let o = UncertainObject::with_single_observation(3, Observation::exact(2, 3, 0).unwrap());
         let mut stats = EvalStats::new();
         let outcome = exists_threshold_with_stats(
             &paper_chain(),
@@ -434,10 +380,7 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        let o = UncertainObject::with_single_observation(
-            1,
-            Observation::exact(0, 5, 4).unwrap(),
-        );
+        let o = UncertainObject::with_single_observation(1, Observation::exact(0, 5, 4).unwrap());
         let w = QueryWindow::from_states(5, [0usize], TimeSet::interval(3, 8)).unwrap();
         let pruner = ReachabilityPruner::build(&chain, &w, 0);
         let mut stats = EvalStats::new();

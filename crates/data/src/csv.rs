@@ -80,11 +80,8 @@ impl ResultTable {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "| {} |", self.headers.join(" | "));
-        let _ = writeln!(
-            out,
-            "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
-        );
+        let _ =
+            writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }

@@ -116,11 +116,9 @@ pub fn generate(config: &IcebergConfig) -> IcebergScenario {
         for nb in grid.neighbors4(cell) {
             pairs.push((nb, 1.0));
         }
-        let first = Observation::uncertain(
-            0,
-            SparseVector::from_pairs(n, pairs).expect("cells in range"),
-        )
-        .expect("positive weights");
+        let first =
+            Observation::uncertain(0, SparseVector::from_pairs(n, pairs).expect("cells in range"))
+                .expect("positive weights");
 
         let mut observations = vec![first];
         if rng.random::<f64>() < config.resight_probability {
@@ -186,12 +184,7 @@ mod tests {
             ..IcebergConfig::default()
         });
         assert_eq!(scenario.db.len(), 100);
-        let multi = scenario
-            .db
-            .objects()
-            .iter()
-            .filter(|o| o.has_multiple_observations())
-            .count();
+        let multi = scenario.db.objects().iter().filter(|o| o.has_multiple_observations()).count();
         assert!(multi > 10, "expected a healthy share of re-sighted icebergs, got {multi}");
         assert!(multi < 100);
         for o in scenario.db.objects() {

@@ -85,13 +85,7 @@ pub fn write_database<W: Write>(db: &TrajectoryDatabase, w: &mut W) -> Result<()
     }
     writeln!(w, "objects {}", db.len())?;
     for object in db.objects() {
-        writeln!(
-            w,
-            "object {} {} {}",
-            object.id(),
-            object.model(),
-            object.observations().len()
-        )?;
+        writeln!(w, "object {} {} {}", object.id(), object.model(), object.observations().len())?;
         for obs in object.observations() {
             writeln!(w, "obs {} {}", obs.time(), obs.distribution().nnz())?;
             for (s, p) in obs.distribution().iter() {
@@ -257,10 +251,10 @@ mod tests {
         assert_eq!(loaded.len(), db.len());
         assert_eq!(loaded.num_states(), db.num_states());
 
-        let window =
-            QueryWindow::from_states(200, 50usize..=60, TimeSet::interval(4, 8)).unwrap();
-        let a = query_based::evaluate(&db, &window, &EngineConfig::default(), &mut EvalStats::new())
-            .unwrap();
+        let window = QueryWindow::from_states(200, 50usize..=60, TimeSet::interval(4, 8)).unwrap();
+        let a =
+            query_based::evaluate(&db, &window, &EngineConfig::default(), &mut EvalStats::new())
+                .unwrap();
         let b = query_based::evaluate(
             &loaded,
             &window,
@@ -282,10 +276,7 @@ mod tests {
         db.insert(
             UncertainObject::new(
                 7,
-                vec![
-                    Observation::exact(0, 50, 3).unwrap(),
-                    Observation::exact(5, 50, 10).unwrap(),
-                ],
+                vec![Observation::exact(0, 50, 3).unwrap(), Observation::exact(5, 50, 10).unwrap()],
             )
             .unwrap()
             .with_model(1),
@@ -300,9 +291,7 @@ mod tests {
         assert_eq!(o.model(), 1);
         assert_eq!(o.observations().len(), 2);
         assert_eq!(o.observations()[1].time(), 5);
-        assert!(loaded.models()[1]
-            .matrix()
-            .approx_eq(db.models()[1].matrix(), 1e-15));
+        assert!(loaded.models()[1].matrix().approx_eq(db.models()[1].matrix(), 1e-15));
     }
 
     #[test]
@@ -324,10 +313,7 @@ mod tests {
             other => panic!("expected header parse error, got {other:?}"),
         }
         let truncated = "ust-dataset v1\nmodels 1\nchain 3 2\n0 1 0.5\n";
-        assert!(matches!(
-            read_database(truncated.as_bytes()),
-            Err(IoError::Parse { .. })
-        ));
+        assert!(matches!(read_database(truncated.as_bytes()), Err(IoError::Parse { .. })));
         let bad_number = "ust-dataset v1\nmodels x\n";
         match read_database(bad_number.as_bytes()) {
             Err(IoError::Parse { line: 2, message }) => {
@@ -351,7 +337,8 @@ mod tests {
         let mut buf = Vec::new();
         write_database(&db, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        let commented = format!("# leading comment\n\n{}", text.replace("objects", "\n# mid comment\nobjects"));
+        let commented =
+            format!("# leading comment\n\n{}", text.replace("objects", "\n# mid comment\nobjects"));
         let loaded = read_database(commented.as_bytes()).unwrap();
         assert_eq!(loaded.len(), db.len());
     }

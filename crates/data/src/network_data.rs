@@ -28,8 +28,7 @@ pub fn chain_from_network(network: &RoadNetwork, seed: u64) -> MarkovChain {
             builder.push(u, u, 1.0).expect("in range");
             continue;
         }
-        let mut weights: Vec<f64> =
-            neighbors.iter().map(|_| rng.random::<f64>() + 1e-3).collect();
+        let mut weights: Vec<f64> = neighbors.iter().map(|_| rng.random::<f64>() + 1e-3).collect();
         let total: f64 = weights.iter().sum();
         for w in &mut weights {
             *w /= total;
@@ -69,10 +68,7 @@ impl Default for NetworkObjectConfig {
 }
 
 /// Populates a database over `network`.
-pub fn generate_on_network(
-    network: RoadNetwork,
-    objects: &NetworkObjectConfig,
-) -> NetworkDataset {
+pub fn generate_on_network(network: RoadNetwork, objects: &NetworkObjectConfig) -> NetworkDataset {
     let chain = chain_from_network(&network, objects.seed ^ 0xC0DE);
     let mut rng = StdRng::seed_from_u64(objects.seed);
     let n = network.num_nodes();
@@ -80,10 +76,8 @@ pub fn generate_on_network(
     for id in 0..objects.num_objects {
         let anchor_node = rng.random_range(0..n);
         let mut pairs = vec![(anchor_node, rng.random::<f64>() + 1e-3)];
-        for &nb in network
-            .neighbors(anchor_node)
-            .iter()
-            .take(objects.object_spread.saturating_sub(1))
+        for &nb in
+            network.neighbors(anchor_node).iter().take(objects.object_spread.saturating_sub(1))
         {
             pairs.push((nb as usize, rng.random::<f64>() + 1e-3));
         }

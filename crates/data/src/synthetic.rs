@@ -106,9 +106,7 @@ pub fn synthetic_chain(config: &SyntheticConfig, rng: &mut StdRng) -> MarkovChai
             total += w;
         }
         for (&c, &w) in successors.iter().zip(&weights) {
-            builder
-                .push(i, c, w / total)
-                .expect("successors lie within the state space");
+            builder.push(i, c, w / total).expect("successors lie within the state space");
         }
     }
     MarkovChain::from_csr(builder.build()).expect("rows are normalized by construction")
@@ -116,11 +114,7 @@ pub fn synthetic_chain(config: &SyntheticConfig, rng: &mut StdRng) -> MarkovChai
 
 /// Draws one object's initial PDF: a contiguous run of `object_spread`
 /// states around a random center, with random normalized weights.
-pub fn synthetic_object(
-    id: u64,
-    config: &SyntheticConfig,
-    rng: &mut StdRng,
-) -> UncertainObject {
+pub fn synthetic_object(id: u64, config: &SyntheticConfig, rng: &mut StdRng) -> UncertainObject {
     let n = config.num_states;
     let spread = config.object_spread.clamp(1, n);
     let start = rng.random_range(0..=(n - spread));

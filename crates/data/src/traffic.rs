@@ -10,7 +10,7 @@
 
 use ust_core::engine::{query_based, EngineConfig};
 use ust_core::{EvalStats, QueryWindow, Result, TrajectoryDatabase};
-use ust_space::{network_gen, NetworkConfig, RoadNetwork, Region, TimeSet};
+use ust_space::{network_gen, NetworkConfig, Region, RoadNetwork, TimeSet};
 
 use crate::network_data::{generate_on_network, NetworkDataset, NetworkObjectConfig};
 
@@ -39,10 +39,7 @@ pub fn generate(config: &TrafficConfig) -> NetworkDataset {
 
 /// Expected number of objects intersecting `window` (Σ_o P∃(o)) — the
 /// paper's "how many cars will be in this segment in 10–15 minutes".
-pub fn expected_objects_in_window(
-    db: &TrajectoryDatabase,
-    window: &QueryWindow,
-) -> Result<f64> {
+pub fn expected_objects_in_window(db: &TrajectoryDatabase, window: &QueryWindow) -> Result<f64> {
     let results =
         query_based::evaluate(db, window, &EngineConfig::default(), &mut EvalStats::new())?;
     Ok(results.iter().map(|r| r.probability).sum())

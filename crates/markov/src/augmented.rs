@@ -176,12 +176,8 @@ mod tests {
     use crate::dense::DenseVector;
 
     fn paper_matrix() -> CsrMatrix {
-        CsrMatrix::from_dense(&[
-            vec![0.0, 0.0, 1.0],
-            vec![0.6, 0.0, 0.4],
-            vec![0.0, 0.8, 0.2],
-        ])
-        .unwrap()
+        CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+            .unwrap()
     }
 
     fn window_s1_s2() -> StateMask {
@@ -268,12 +264,9 @@ mod tests {
         // Section VI uses M with row 2 = (0.5, 0, 0.5) and window {s2} at
         // positions: S▫ = {s2} (the middle state), giving the 6×6 matrices
         // printed in the paper.
-        let m = CsrMatrix::from_dense(&[
-            vec![0.0, 0.0, 1.0],
-            vec![0.5, 0.0, 0.5],
-            vec![0.0, 0.8, 0.2],
-        ])
-        .unwrap();
+        let m =
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.5, 0.0, 0.5], vec![0.0, 0.8, 0.2]])
+                .unwrap();
         let w = StateMask::from_indices(3, [1usize]).unwrap();
         let minus = doubled_minus(&m);
         let expected_minus = CsrMatrix::from_dense(&[

@@ -70,7 +70,11 @@ impl MarkovChain {
     }
 
     /// One forward step on a sparse distribution.
-    pub fn step_sparse(&self, dist: &SparseVector, scratch: &mut SpmvScratch) -> Result<SparseVector> {
+    pub fn step_sparse(
+        &self,
+        dist: &SparseVector,
+        scratch: &mut SpmvScratch,
+    ) -> Result<SparseVector> {
         self.matrix().vecmat_sparse_with(dist, scratch)
     }
 
@@ -165,12 +169,8 @@ impl MarkovChain {
         let mut current = DenseVector::uniform(self.num_states())?;
         for iter in 0..max_iter {
             let next = self.step_dense(&current)?;
-            let delta: f64 = current
-                .as_slice()
-                .iter()
-                .zip(next.as_slice())
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta: f64 =
+                current.as_slice().iter().zip(next.as_slice()).map(|(a, b)| (a - b).abs()).sum();
             current = next;
             if delta < tol {
                 return Ok((current, iter + 1));
@@ -206,12 +206,8 @@ mod tests {
 
     fn paper_chain() -> MarkovChain {
         MarkovChain::from_csr(
-            CsrMatrix::from_dense(&[
-                vec![0.0, 0.0, 1.0],
-                vec![0.6, 0.0, 0.4],
-                vec![0.0, 0.8, 0.2],
-            ])
-            .unwrap(),
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
         )
         .unwrap()
     }
@@ -222,9 +218,7 @@ mod tests {
         let p0 = DenseVector::from_vec(vec![0.0, 1.0, 0.0]);
         let p2 = chain.propagate_dense(&p0, 2).unwrap();
         assert!(p2.approx_eq(&DenseVector::from_vec(vec![0.0, 0.32, 0.68]), 1e-12));
-        let sparse = chain
-            .propagate_sparse(&SparseVector::unit(3, 1).unwrap(), 2)
-            .unwrap();
+        let sparse = chain.propagate_sparse(&SparseVector::unit(3, 1).unwrap(), 2).unwrap();
         assert!(sparse.to_dense().approx_eq(&p2, 1e-12));
     }
 

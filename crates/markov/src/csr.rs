@@ -415,12 +415,8 @@ mod tests {
 
     /// The running-example chain used throughout Section V of the paper.
     fn paper_matrix() -> CsrMatrix {
-        CsrMatrix::from_dense(&[
-            vec![0.0, 0.0, 1.0],
-            vec![0.6, 0.0, 0.4],
-            vec![0.0, 0.8, 0.2],
-        ])
-        .unwrap()
+        CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+            .unwrap()
     }
 
     #[test]
@@ -458,16 +454,12 @@ mod tests {
         let m = paper_matrix();
         let sv = SparseVector::from_pairs(3, [(1, 1.0)]).unwrap();
         let out = m.vecmat_sparse(&sv).unwrap();
-        assert!(out
-            .to_dense()
-            .approx_eq(&DenseVector::from_vec(vec![0.6, 0.0, 0.4]), 1e-12));
+        assert!(out.to_dense().approx_eq(&DenseVector::from_vec(vec![0.6, 0.0, 0.4]), 1e-12));
         // Scratch reuse across calls must not leak accumulator state.
         let mut scratch = SpmvScratch::new();
         let a = m.vecmat_sparse_with(&sv, &mut scratch).unwrap();
         let b = m.vecmat_sparse_with(&a, &mut scratch).unwrap();
-        assert!(b
-            .to_dense()
-            .approx_eq(&DenseVector::from_vec(vec![0.0, 0.32, 0.68]), 1e-12));
+        assert!(b.to_dense().approx_eq(&DenseVector::from_vec(vec![0.0, 0.32, 0.68]), 1e-12));
     }
 
     #[test]
@@ -550,8 +542,8 @@ mod tests {
 
     #[test]
     fn from_rows_builds_expected_matrix() {
-        let m = CsrMatrix::from_rows(3, &[vec![(2, 1.0)], vec![(0, 0.6), (2, 0.4)], vec![]])
-            .unwrap();
+        let m =
+            CsrMatrix::from_rows(3, &[vec![(2, 1.0)], vec![(0, 0.6), (2, 0.4)], vec![]]).unwrap();
         assert_eq!(m.shape(), (3, 3));
         assert_eq!(m.row_nnz(2), 0);
         assert_eq!(m.get(1, 0), 0.6);

@@ -121,12 +121,7 @@ impl DenseVector {
                 found: other.dim(),
             });
         }
-        Ok(self
-            .values
-            .iter()
-            .zip(other.values.iter())
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(self.values.iter().zip(other.values.iter()).map(|(a, b)| a * b).sum())
     }
 
     /// `self += other` element-wise.
@@ -155,12 +150,7 @@ impl DenseVector {
             });
         }
         Ok(DenseVector {
-            values: self
-                .values
-                .iter()
-                .zip(other.values.iter())
-                .map(|(a, b)| a * b)
-                .collect(),
+            values: self.values.iter().zip(other.values.iter()).map(|(a, b)| a * b).collect(),
         })
     }
 
@@ -171,12 +161,7 @@ impl DenseVector {
         if mask.count() * 4 < self.dim() {
             mask.iter().map(|i| self.get(i)).sum()
         } else {
-            self.values
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| mask.contains(*i))
-                .map(|(_, v)| *v)
-                .sum()
+            self.values.iter().enumerate().filter(|(i, _)| mask.contains(*i)).map(|(_, v)| *v).sum()
         }
     }
 
@@ -223,33 +208,21 @@ impl DenseVector {
 
     /// Largest entry and its index, or `None` for an empty vector.
     pub fn argmax(&self) -> Option<(usize, f64)> {
-        self.values
-            .iter()
-            .copied()
-            .enumerate()
-            .fold(None, |best, (i, v)| match best {
-                Some((_, bv)) if bv >= v => best,
-                _ => Some((i, v)),
-            })
+        self.values.iter().copied().enumerate().fold(None, |best, (i, v)| match best {
+            Some((_, bv)) if bv >= v => best,
+            _ => Some((i, v)),
+        })
     }
 
     /// True when every entry differs from `other` by at most `tol`.
     pub fn approx_eq(&self, other: &DenseVector, tol: f64) -> bool {
         self.dim() == other.dim()
-            && self
-                .values
-                .iter()
-                .zip(other.values.iter())
-                .all(|(a, b)| (a - b).abs() <= tol)
+            && self.values.iter().zip(other.values.iter()).all(|(a, b)| (a - b).abs() <= tol)
     }
 
     /// Iterates `(index, value)` over non-zero entries.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.values
-            .iter()
-            .copied()
-            .enumerate()
-            .filter(|(_, v)| *v != 0.0)
+        self.values.iter().copied().enumerate().filter(|(_, v)| *v != 0.0)
     }
 }
 

@@ -246,12 +246,8 @@ mod tests {
     use super::*;
 
     fn paper_matrix() -> CsrMatrix {
-        CsrMatrix::from_dense(&[
-            vec![0.0, 0.0, 1.0],
-            vec![0.6, 0.0, 0.4],
-            vec![0.0, 0.8, 0.2],
-        ])
-        .unwrap()
+        CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+            .unwrap()
     }
 
     #[test]
@@ -263,9 +259,7 @@ mod tests {
         assert!(v.is_sparse());
         v.step(&m, &mut scratch).unwrap(); // (0.6, 0, 0.4): density 2/3 > 0.5
         assert!(!v.is_sparse());
-        assert!(v
-            .to_dense()
-            .approx_eq(&DenseVector::from_vec(vec![0.6, 0.0, 0.4]), 1e-12));
+        assert!(v.to_dense().approx_eq(&DenseVector::from_vec(vec![0.6, 0.0, 0.4]), 1e-12));
     }
 
     #[test]
@@ -287,8 +281,7 @@ mod tests {
         let mut scratch = SpmvScratch::new();
         let mut sparse = PropagationVector::from_sparse(SparseVector::unit(3, 0).unwrap())
             .with_densify_threshold(1.0);
-        let mut dense =
-            PropagationVector::from_dense(DenseVector::unit(3, 0).unwrap());
+        let mut dense = PropagationVector::from_dense(DenseVector::unit(3, 0).unwrap());
         for _ in 0..7 {
             sparse.step(&m, &mut scratch).unwrap();
             dense.step(&m, &mut scratch).unwrap();

@@ -157,12 +157,8 @@ mod tests {
     use super::*;
 
     fn paper_matrix() -> CsrMatrix {
-        CsrMatrix::from_dense(&[
-            vec![0.0, 0.0, 1.0],
-            vec![0.6, 0.0, 0.4],
-            vec![0.0, 0.8, 0.2],
-        ])
-        .unwrap()
+        CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+            .unwrap()
     }
 
     #[test]
@@ -200,9 +196,7 @@ mod tests {
         let m = paper_matrix();
         let env = IntervalMatrix::envelope(&[&m]).unwrap();
         let window = StateMask::from_indices(3, [0usize, 1]).unwrap();
-        let (lo, hi) = env
-            .backward_exists_bounds(&window, 3, |t| t == 2 || t == 3)
-            .unwrap();
+        let (lo, hi) = env.backward_exists_bounds(&window, 3, |t| t == 2 || t == 3).unwrap();
         let expected = DenseVector::from_vec(vec![0.96, 0.864, 0.928]);
         assert!(lo.approx_eq(&expected, 1e-12));
         assert!(hi.approx_eq(&expected, 1e-12));
@@ -211,12 +205,9 @@ mod tests {
     #[test]
     fn interval_bounds_bracket_member_chains() {
         let a = paper_matrix();
-        let b = CsrMatrix::from_dense(&[
-            vec![0.0, 0.0, 1.0],
-            vec![0.5, 0.0, 0.5],
-            vec![0.0, 0.9, 0.1],
-        ])
-        .unwrap();
+        let b =
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.5, 0.0, 0.5], vec![0.0, 0.9, 0.1]])
+                .unwrap();
         let window = StateMask::from_indices(3, [0usize, 1]).unwrap();
         let in_window = |t: u32| t == 2 || t == 3;
         let env = IntervalMatrix::envelope(&[&a, &b]).unwrap();

@@ -106,7 +106,8 @@ impl StateMask {
     /// The complement set `S ∖ self`, used to answer PST∀Q via
     /// `P∀(S▫) = 1 − P∃(S ∖ S▫)` (Section VII of the paper).
     pub fn complement(&self) -> StateMask {
-        let mut out = StateMask { dim: self.dim, words: Vec::with_capacity(self.words.len()), count: 0 };
+        let mut out =
+            StateMask { dim: self.dim, words: Vec::with_capacity(self.words.len()), count: 0 };
         for w in &self.words {
             out.words.push(!w);
         }
@@ -129,8 +130,7 @@ impl StateMask {
                 found: other.dim,
             });
         }
-        let words: Vec<u64> =
-            self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect();
+        let words: Vec<u64> = self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect();
         let count = words.iter().map(|w| w.count_ones() as usize).sum();
         Ok(StateMask { dim: self.dim, words, count })
     }
@@ -144,18 +144,14 @@ impl StateMask {
                 found: other.dim,
             });
         }
-        let words: Vec<u64> =
-            self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect();
+        let words: Vec<u64> = self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect();
         let count = words.iter().map(|w| w.count_ones() as usize).sum();
         Ok(StateMask { dim: self.dim, words, count })
     }
 
     /// True when the two masks share at least one state.
     pub fn intersects(&self, other: &StateMask) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Iterates the set state ids in ascending order.

@@ -115,10 +115,7 @@ impl SparseVector {
 
     /// Iterates `(index, value)` pairs in ascending index order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.indices
-            .iter()
-            .zip(self.values.iter())
-            .map(|(i, v)| (*i as usize, *v))
+        self.indices.iter().zip(self.values.iter()).map(|(i, v)| (*i as usize, *v))
     }
 
     /// Stored indices (ascending).

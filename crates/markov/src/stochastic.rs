@@ -134,7 +134,9 @@ impl StochasticMatrix {
         (0..self.dim())
             .filter(|&i| {
                 let (cols, vals) = self.inner.row(i);
-                cols.len() == 1 && cols[0] as usize == i && (vals[0] - 1.0).abs() <= ROW_SUM_TOLERANCE
+                cols.len() == 1
+                    && cols[0] as usize == i
+                    && (vals[0] - 1.0).abs() <= ROW_SUM_TOLERANCE
             })
             .collect()
     }
@@ -145,12 +147,8 @@ mod tests {
     use super::*;
 
     fn paper_matrix() -> CsrMatrix {
-        CsrMatrix::from_dense(&[
-            vec![0.0, 0.0, 1.0],
-            vec![0.6, 0.0, 0.4],
-            vec![0.0, 0.8, 0.2],
-        ])
-        .unwrap()
+        CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+            .unwrap()
     }
 
     #[test]
@@ -173,16 +171,16 @@ mod tests {
     #[test]
     fn rejects_negative_entries() {
         let bad = CsrMatrix::from_dense(&[vec![1.5, -0.5], vec![0.0, 1.0]]).unwrap();
-        assert!(matches!(
-            StochasticMatrix::new(bad),
-            Err(MarkovError::InvalidProbability { .. })
-        ));
+        assert!(matches!(StochasticMatrix::new(bad), Err(MarkovError::InvalidProbability { .. })));
     }
 
     #[test]
     fn rejects_empty_rows() {
         let bad = CsrMatrix::from_dense(&[vec![0.0, 0.0], vec![0.0, 1.0]]).unwrap();
-        assert!(matches!(StochasticMatrix::new(bad), Err(MarkovError::NotStochastic { row: 0, .. })));
+        assert!(matches!(
+            StochasticMatrix::new(bad),
+            Err(MarkovError::NotStochastic { row: 0, .. })
+        ));
     }
 
     #[test]

@@ -16,11 +16,7 @@ use crate::sparse_vec::SparseVector;
 /// Asserts two floats are within `tol` of each other, with a useful message.
 #[track_caller]
 pub fn assert_close(a: f64, b: f64, tol: f64) {
-    assert!(
-        (a - b).abs() <= tol,
-        "values differ: {a} vs {b} (|Δ| = {} > {tol})",
-        (a - b).abs()
-    );
+    assert!((a - b).abs() <= tol, "values differ: {a} vs {b} (|Δ| = {} > {tol})", (a - b).abs());
 }
 
 /// A deterministic RNG for a given seed.

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use ust_markov::augmented;
 use ust_markov::testutil;
 use ust_markov::{
-    CsrMatrix, DenseVector, MarkovChain, PropagationVector, SparseVector, SpmvScratch,
-    StateMask, StochasticMatrix,
+    CsrMatrix, DenseVector, MarkovChain, PropagationVector, SparseVector, SpmvScratch, StateMask,
+    StochasticMatrix,
 };
 
 fn chain_params() -> impl Strategy<Value = (u64, usize, usize)> {

@@ -100,9 +100,9 @@ impl StateSpace for GridSpace {
     }
 
     fn location(&self, id: usize) -> Point2 {
-        let (r, c) = self
-            .id_to_cell(id)
-            .unwrap_or_else(|| panic!("state id {id} out of range for {}×{} grid", self.rows, self.cols));
+        let (r, c) = self.id_to_cell(id).unwrap_or_else(|| {
+            panic!("state id {id} out of range for {}×{} grid", self.rows, self.cols)
+        });
         Point2::new(c as f64 + 0.5, r as f64 + 0.5)
     }
 

@@ -118,10 +118,7 @@ mod tests {
     #[test]
     fn states_in_rect_respects_y() {
         let l = LineSpace::new(10);
-        assert_eq!(
-            l.states_in_rect(&Rect::from_bounds(1.2, -1.0, 3.8, 1.0)),
-            vec![2, 3]
-        );
+        assert_eq!(l.states_in_rect(&Rect::from_bounds(1.2, -1.0, 3.8, 1.0)), vec![2, 3]);
         assert!(l.states_in_rect(&Rect::from_bounds(0.0, 1.0, 9.0, 2.0)).is_empty());
         assert!(l.states_in_rect(&Rect::from_bounds(20.0, 0.0, 30.0, 0.0)).is_empty());
     }

@@ -61,10 +61,7 @@ pub fn generate(config: &NetworkConfig) -> RoadNetwork {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let coords: Vec<Point2> = (0..n)
         .map(|_| {
-            Point2::new(
-                rng.random::<f64>() * config.extent,
-                rng.random::<f64>() * config.extent,
-            )
+            Point2::new(rng.random::<f64>() * config.extent, rng.random::<f64>() * config.extent)
         })
         .collect();
 
@@ -95,9 +92,7 @@ pub fn generate(config: &NetworkConfig) -> RoadNetwork {
         };
         for cx in xs {
             let bucket = &mut buckets[cy * cells_per_side + cx];
-            bucket.sort_unstable_by(|&a, &b| {
-                coords[a as usize].x.total_cmp(&coords[b as usize].x)
-            });
+            bucket.sort_unstable_by(|&a, &b| coords[a as usize].x.total_cmp(&coords[b as usize].x));
             order.extend_from_slice(bucket);
         }
     }
@@ -105,22 +100,19 @@ pub fn generate(config: &NetworkConfig) -> RoadNetwork {
     // Spanning path along the serpentine order: n − 1 edges, connected.
     let mut edges: Vec<(usize, usize)> = Vec::with_capacity(config.num_edges);
     let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(config.num_edges * 2);
-    let add_edge = |edges: &mut Vec<(usize, usize)>,
-                        seen: &mut HashSet<(u32, u32)>,
-                        u: u32,
-                        v: u32|
-     -> bool {
-        if u == v {
-            return false;
-        }
-        let key = (u.min(v), u.max(v));
-        if seen.insert(key) {
-            edges.push((u as usize, v as usize));
-            true
-        } else {
-            false
-        }
-    };
+    let add_edge =
+        |edges: &mut Vec<(usize, usize)>, seen: &mut HashSet<(u32, u32)>, u: u32, v: u32| -> bool {
+            if u == v {
+                return false;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key) {
+                edges.push((u as usize, v as usize));
+                true
+            } else {
+                false
+            }
+        };
     for w in order.windows(2) {
         add_edge(&mut edges, &mut seen, w[0], w[1]);
     }

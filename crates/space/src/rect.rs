@@ -103,10 +103,7 @@ impl Rect {
 
     /// Grows the rectangle by `margin` on every side.
     pub fn expand(&self, margin: f64) -> Rect {
-        Rect {
-            min: self.min.translate(-margin, -margin),
-            max: self.max.translate(margin, margin),
-        }
+        Rect { min: self.min.translate(-margin, -margin), max: self.max.translate(margin, margin) }
     }
 
     /// Minimum distance from `p` to the rectangle (0 when inside).

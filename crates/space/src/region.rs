@@ -64,9 +64,7 @@ impl Region {
             Region::StateIds(ids) => {
                 ids.iter().copied().filter(|&id| id < space.num_states()).collect()
             }
-            Region::Union(parts) => {
-                parts.iter().flat_map(|r| r.collect_ids(space)).collect()
-            }
+            Region::Union(parts) => parts.iter().flat_map(|r| r.collect_ids(space)).collect(),
         }
     }
 
@@ -75,9 +73,7 @@ impl Region {
     pub fn contains_point(&self, p: &Point2) -> Option<bool> {
         match self {
             Region::Rect(rect) => Some(rect.contains(p)),
-            Region::Circle { center, radius } => {
-                Some(p.distance_sq(center) <= radius * radius)
-            }
+            Region::Circle { center, radius } => Some(p.distance_sq(center) <= radius * radius),
             Region::StateIds(_) => None,
             Region::Union(parts) => {
                 let mut any_known = false;
@@ -101,9 +97,7 @@ impl Region {
     pub fn bounding_rect(&self) -> Option<Rect> {
         match self {
             Region::Rect(rect) => Some(*rect),
-            Region::Circle { center, radius } => {
-                Some(Rect::point(*center).expand(*radius))
-            }
+            Region::Circle { center, radius } => Some(Rect::point(*center).expand(*radius)),
             Region::StateIds(_) => None,
             Region::Union(parts) => {
                 let mut bounds = Rect::empty();
@@ -162,10 +156,8 @@ mod tests {
         assert_eq!(r.contains_point(&Point2::new(0.5, 0.5)), Some(true));
         assert_eq!(r.contains_point(&Point2::new(2.0, 0.5)), Some(false));
         assert_eq!(Region::StateIds(vec![0]).contains_point(&Point2::origin()), None);
-        let u = Region::Union(vec![
-            Region::StateIds(vec![0]),
-            Region::circle(Point2::origin(), 1.0),
-        ]);
+        let u =
+            Region::Union(vec![Region::StateIds(vec![0]), Region::circle(Point2::origin(), 1.0)]);
         assert_eq!(u.contains_point(&Point2::new(0.5, 0.0)), Some(true));
         assert_eq!(u.contains_point(&Point2::new(5.0, 5.0)), Some(false));
         let pure_ids = Region::Union(vec![Region::StateIds(vec![0])]);
@@ -179,15 +171,11 @@ mod tests {
             Some(Rect::from_bounds(-1.0, -1.0, 3.0, 3.0))
         );
         assert_eq!(Region::StateIds(vec![1]).bounding_rect(), None);
-        let u = Region::Union(vec![
-            Region::rect(0.0, 0.0, 1.0, 1.0),
-            Region::rect(4.0, 4.0, 5.0, 5.0),
-        ]);
+        let u =
+            Region::Union(vec![Region::rect(0.0, 0.0, 1.0, 1.0), Region::rect(4.0, 4.0, 5.0, 5.0)]);
         assert_eq!(u.bounding_rect(), Some(Rect::from_bounds(0.0, 0.0, 5.0, 5.0)));
-        let mixed = Region::Union(vec![
-            Region::rect(0.0, 0.0, 1.0, 1.0),
-            Region::StateIds(vec![0]),
-        ]);
+        let mixed =
+            Region::Union(vec![Region::rect(0.0, 0.0, 1.0, 1.0), Region::StateIds(vec![0])]);
         assert_eq!(mixed.bounding_rect(), None);
     }
 

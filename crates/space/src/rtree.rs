@@ -192,7 +192,11 @@ impl RTree {
 
         let root = self.root.as_ref()?;
         let mut heap = BinaryHeap::new();
-        heap.push(Reverse(Candidate { dist: root.bbox().distance_to_point(p), node: Some(root), entry: None }));
+        heap.push(Reverse(Candidate {
+            dist: root.bbox().distance_to_point(p),
+            node: Some(root),
+            entry: None,
+        }));
         while let Some(Reverse(cand)) = heap.pop() {
             if let Some(entry) = cand.entry {
                 return Some(entry); // closest possible candidate reached
@@ -262,11 +266,8 @@ mod tests {
             for rect in rects {
                 let mut got = tree.query_rect(&rect);
                 got.sort_unstable();
-                let expected: Vec<usize> = entries
-                    .iter()
-                    .filter(|e| rect.contains(&e.point))
-                    .map(|e| e.id)
-                    .collect();
+                let expected: Vec<usize> =
+                    entries.iter().filter(|e| rect.contains(&e.point)).map(|e| e.id).collect();
                 assert_eq!(got, expected, "n={n}, rect={rect:?}");
             }
         }
@@ -295,7 +296,8 @@ mod tests {
         let tree = RTree::bulk_load(entries.clone());
         let mut rng = StdRng::seed_from_u64(99);
         for _ in 0..50 {
-            let p = Point2::new(rng.random::<f64>() * 120.0 - 10.0, rng.random::<f64>() * 120.0 - 10.0);
+            let p =
+                Point2::new(rng.random::<f64>() * 120.0 - 10.0, rng.random::<f64>() * 120.0 - 10.0);
             let got = tree.nearest(&p).unwrap();
             let best = entries
                 .iter()

@@ -25,9 +25,7 @@ pub trait StateSpace {
     /// or `None` for an empty space.
     fn nearest_state(&self, p: &Point2) -> Option<usize> {
         (0..self.num_states()).min_by(|&a, &b| {
-            self.location(a)
-                .distance_sq(p)
-                .total_cmp(&self.location(b).distance_sq(p))
+            self.location(a).distance_sq(p).total_cmp(&self.location(b).distance_sq(p))
         })
     }
 
@@ -36,9 +34,7 @@ pub trait StateSpace {
     /// The default implementation scans every state; spatially indexed
     /// implementations override this.
     fn states_in_rect(&self, rect: &Rect) -> Vec<usize> {
-        (0..self.num_states())
-            .filter(|&id| rect.contains(&self.location(id)))
-            .collect()
+        (0..self.num_states()).filter(|&id| rect.contains(&self.location(id))).collect()
     }
 
     /// The bounding box of all state locations.
@@ -69,11 +65,7 @@ mod tests {
 
     #[test]
     fn default_nearest_state() {
-        let s = Points(vec![
-            Point2::new(0.0, 0.0),
-            Point2::new(5.0, 0.0),
-            Point2::new(0.0, 5.0),
-        ]);
+        let s = Points(vec![Point2::new(0.0, 0.0), Point2::new(5.0, 0.0), Point2::new(0.0, 5.0)]);
         assert_eq!(s.nearest_state(&Point2::new(4.0, 1.0)), Some(1));
         assert_eq!(s.nearest_state(&Point2::new(0.1, 0.1)), Some(0));
         assert_eq!(Points(vec![]).nearest_state(&Point2::origin()), None);
@@ -81,11 +73,7 @@ mod tests {
 
     #[test]
     fn default_states_in_rect() {
-        let s = Points(vec![
-            Point2::new(0.0, 0.0),
-            Point2::new(5.0, 0.0),
-            Point2::new(0.0, 5.0),
-        ]);
+        let s = Points(vec![Point2::new(0.0, 0.0), Point2::new(5.0, 0.0), Point2::new(0.0, 5.0)]);
         let hits = s.states_in_rect(&Rect::from_bounds(-1.0, -1.0, 1.0, 6.0));
         assert_eq!(hits, vec![0, 2]);
     }

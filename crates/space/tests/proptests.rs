@@ -6,9 +6,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ust_space::network_gen::{self, NetworkConfig};
-use ust_space::{
-    GridSpace, LineSpace, Point2, RTree, RTreeEntry, Rect, Region, StateSpace,
-};
+use ust_space::{GridSpace, LineSpace, Point2, RTree, RTreeEntry, Rect, Region, StateSpace};
 
 fn random_points(seed: u64, n: usize, extent: f64) -> Vec<Point2> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -191,9 +189,7 @@ fn network_state_space_queries_match_scan() {
     let q = Point2::new(33.3, 44.4);
     let nearest = g.nearest_state(&q).unwrap();
     let best = (0..g.num_states())
-        .min_by(|&a, &b| {
-            g.location(a).distance_sq(&q).total_cmp(&g.location(b).distance_sq(&q))
-        })
+        .min_by(|&a, &b| g.location(a).distance_sq(&q).total_cmp(&g.location(b).distance_sq(&q)))
         .unwrap();
     assert!((g.location(nearest).distance(&q) - g.location(best).distance(&q)).abs() < 1e-9);
 }

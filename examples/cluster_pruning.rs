@@ -43,9 +43,7 @@ fn main() -> Result<()> {
     let mut models = Vec::new();
     for family in 0..3u64 {
         let mut rng = testutil::rng(1000 + family);
-        let base = MarkovChain::from_csr(testutil::random_banded_stochastic(
-            &mut rng, n, 5, 40,
-        ))?;
+        let base = MarkovChain::from_csr(testutil::random_banded_stochastic(&mut rng, n, 5, 40))?;
         for variant in 0..4u64 {
             models.push(perturb(&base, 0.05, family * 10 + variant)?);
         }
@@ -69,11 +67,7 @@ fn main() -> Result<()> {
     let clusters = cluster::greedy_clusters(&db, 250.0)?;
     println!("Clustered 12 transition models into {} clusters:", clusters.len());
     for (i, c) in clusters.iter().enumerate() {
-        println!(
-            "  cluster {i}: models {:?} (envelope width {:.1})",
-            c.models,
-            c.envelope_width()
-        );
+        println!("  cluster {i}: models {:?} (envelope width {:.1})", c.models, c.envelope_width());
     }
 
     let mut stats = EvalStats::new();

@@ -42,13 +42,8 @@ fn main() -> Result<()> {
 
     let mut risky = Vec::new();
     for object in db.objects() {
-        let outcome = threshold::exists_threshold(
-            db.model_of(object),
-            object,
-            &lane_window,
-            0.05,
-            &config,
-        )?;
+        let outcome =
+            threshold::exists_threshold(db.model_of(object), object, &lane_window, 0.05, &config)?;
         if outcome.qualifies {
             risky.push((object.id(), outcome.lower));
         }

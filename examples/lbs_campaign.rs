@@ -18,11 +18,8 @@ use ust_core::threshold;
 use ust_data::{synthetic, SyntheticConfig};
 
 fn main() -> Result<()> {
-    let config = SyntheticConfig {
-        num_objects: 2_000,
-        num_states: 20_000,
-        ..SyntheticConfig::default()
-    };
+    let config =
+        SyntheticConfig { num_objects: 2_000, num_states: 20_000, ..SyntheticConfig::default() };
     let data = synthetic::generate(&config);
     println!(
         "Synthetic city: {} location states, {} tracked customers.",
@@ -30,13 +27,13 @@ fn main() -> Result<()> {
     );
 
     // The mall covers states [100, 130]; the campaign runs at t ∈ [10, 15].
-    let mall = QueryWindow::from_states(config.num_states, 100usize..=130, TimeSet::interval(10, 15))?;
+    let mall =
+        QueryWindow::from_states(config.num_states, 100usize..=130, TimeSet::interval(10, 15))?;
     let engine = EngineConfig::default();
 
     // --- Stage 1: cheap threshold prefilter -------------------------------
     let mut stats = EvalStats::new();
-    let reachable =
-        threshold::threshold_query(&data.db, &mall, 0.01, &engine, &mut stats)?;
+    let reachable = threshold::threshold_query(&data.db, &mall, 0.01, &engine, &mut stats)?;
     println!(
         "\nStage 1 — threshold PST∃Q (τ = 1%): {} candidate customers \
          ({} early terminations across {} objects).",
@@ -49,12 +46,8 @@ fn main() -> Result<()> {
     let mut tiers = [0usize; 3]; // bronze (1), silver (2-3), gold (4+)
     let mut total_expected_dwell = 0.0;
     for &id in &reachable {
-        let object = data
-            .db
-            .objects()
-            .iter()
-            .find(|o| o.id() == id)
-            .expect("id from this database");
+        let object =
+            data.db.objects().iter().find(|o| o.id() == id).expect("id from this database");
         let dist =
             ktimes::ktimes_distribution_ob(data.db.model_of(object), object, &mall, &engine)?;
         let expected: f64 = dist.iter().enumerate().map(|(k, p)| k as f64 * p).sum();

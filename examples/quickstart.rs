@@ -24,10 +24,7 @@ fn main() -> Result<()> {
 
     // One object, observed precisely at s2 (index 1) at time 0.
     let mut db = TrajectoryDatabase::new(chain);
-    db.insert(UncertainObject::with_single_observation(
-        1,
-        Observation::exact(0, 3, 1)?,
-    ))?;
+    db.insert(UncertainObject::with_single_observation(1, Observation::exact(0, 3, 1)?))?;
 
     // Query window: states {s1, s2} during times [2, 3].
     let window = QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3))?;

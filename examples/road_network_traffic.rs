@@ -34,9 +34,7 @@ fn main() -> Result<()> {
     let downtown = Point2::new(50.0, 50.0);
     let window = traffic::segment_window(&dataset.network, downtown, 8.0, 10, 15)?;
     let expected = traffic::expected_objects_in_window(&dataset.db, &window)?;
-    println!(
-        "\nExpected vehicles within 8 units of downtown during t ∈ [10, 15]: {expected:.2}"
-    );
+    println!("\nExpected vehicles within 8 units of downtown during t ∈ [10, 15]: {expected:.2}");
 
     // --- 2. Congestion hotspot ranking ------------------------------------
     let candidates: Vec<Point2> = (1..=4)

@@ -67,10 +67,8 @@ fn main() -> Result<()> {
                 for nb in grid.neighbors4(*pos) {
                     pairs.push((nb, 0.5));
                 }
-                let obs = Observation::uncertain(
-                    t,
-                    ust_markov::SparseVector::from_pairs(n, pairs)?,
-                )?;
+                let obs =
+                    Observation::uncertain(t, ust_markov::SparseVector::from_pairs(n, pairs)?)?;
                 monitor.observe(berg as u64, &obs)?;
             }
         }
@@ -82,11 +80,7 @@ fn main() -> Result<()> {
             if board.is_empty() {
                 String::new()
             } else {
-                format!(
-                    " — top: #{} at {:.0}%",
-                    board[0].0,
-                    board[0].1 * 100.0
-                )
+                format!(" — top: #{} at {:.0}%", board[0].0, board[0].1 * 100.0)
             }
         );
     }

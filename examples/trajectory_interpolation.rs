@@ -63,10 +63,8 @@ fn main() -> Result<()> {
 
     // Observed at state 5 at t=0, re-observed at state 12 at t=8 —
     // slower than the drift alone would predict.
-    let object = UncertainObject::new(
-        1,
-        vec![Observation::exact(0, n, 5)?, Observation::exact(8, n, 12)?],
-    )?;
+    let object =
+        UncertainObject::new(1, vec![Observation::exact(0, n, 5)?, Observation::exact(8, n, 12)?])?;
 
     println!("Forward-only prediction vs interpolated posterior (states 0..40):\n");
     println!("  t  extrapolated (first fix only)             interpolated (both fixes)");

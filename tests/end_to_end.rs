@@ -49,21 +49,12 @@ fn parallel_threshold_and_prefilter_consistency() {
     let config = EngineConfig::default();
 
     // Parallel == sequential.
-    let sequential = ust_core::engine::object_based::evaluate(
-        &data.db,
-        &window,
-        &config,
-        &mut EvalStats::new(),
-    )
-    .unwrap();
-    let parallel = parallel::evaluate_exists_parallel(
-        &data.db,
-        &window,
-        &config,
-        4,
-        &mut EvalStats::new(),
-    )
-    .unwrap();
+    let sequential =
+        ust_core::engine::object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
+            .unwrap();
+    let parallel =
+        parallel::evaluate_exists_parallel(&data.db, &window, &config, 4, &mut EvalStats::new())
+            .unwrap();
     for (a, b) in sequential.iter().zip(&parallel) {
         assert!((a.probability - b.probability).abs() < 1e-12);
     }
@@ -73,11 +64,8 @@ fn parallel_threshold_and_prefilter_consistency() {
         let accepted =
             threshold::threshold_query(&data.db, &window, tau, &config, &mut EvalStats::new())
                 .unwrap();
-        let expected: Vec<u64> = sequential
-            .iter()
-            .filter(|r| r.probability >= tau)
-            .map(|r| r.object_id)
-            .collect();
+        let expected: Vec<u64> =
+            sequential.iter().filter(|r| r.probability >= tau).map(|r| r.object_id).collect();
         assert_eq!(accepted, expected, "τ = {tau}");
     }
 
@@ -101,8 +89,7 @@ fn road_network_pipeline() {
     );
     assert!(dataset.network.is_connected());
     let n = dataset.network.num_nodes();
-    let window =
-        QueryWindow::from_states(n, 100usize..=140, TimeSet::interval(10, 15)).unwrap();
+    let window = QueryWindow::from_states(n, 100usize..=140, TimeSet::interval(10, 15)).unwrap();
     let processor = QueryProcessor::new(&dataset.db);
     let ob = processor.exists_object_based(&window).unwrap();
     let qb = processor.exists_query_based(&window).unwrap();
@@ -169,11 +156,8 @@ fn accuracy_experiment_shape_holds() {
             &mut EvalStats::new(),
         )
         .unwrap();
-        let dev: f64 = exact
-            .iter()
-            .zip(&indep)
-            .map(|(a, b)| (a.probability - b.probability).abs())
-            .sum();
+        let dev: f64 =
+            exact.iter().zip(&indep).map(|(a, b)| (a.probability - b.probability).abs()).sum();
         deviations.push(dev);
     }
     assert!(deviations[0] < 1e-9, "length-1 windows are unbiased");
@@ -192,21 +176,12 @@ fn ktimes_expected_visits_equals_marginal_sum_on_dataset() {
     });
     let window = workload::paper_default_window(2_000).unwrap();
     let config = EngineConfig::default();
-    let kdist = ktimes::evaluate_query_based(
-        &data.db,
-        &window,
-        &config,
-        &mut EvalStats::new(),
-    )
-    .unwrap();
+    let kdist =
+        ktimes::evaluate_query_based(&data.db, &window, &config, &mut EvalStats::new()).unwrap();
     for (object, k) in data.db.objects().iter().zip(&kdist) {
-        let marginals = independent::window_marginals(
-            data.db.model_of(object),
-            object,
-            &window,
-            &config,
-        )
-        .unwrap();
+        let marginals =
+            independent::window_marginals(data.db.model_of(object), object, &window, &config)
+                .unwrap();
         let marginal_sum: f64 = marginals.iter().sum();
         assert!(
             (k.expected_visits() - marginal_sum).abs() < 1e-9,

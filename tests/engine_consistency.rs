@@ -11,7 +11,9 @@
 use proptest::prelude::*;
 
 use ust::prelude::*;
-use ust_core::engine::{exhaustive, forall, ktimes, monte_carlo::MonteCarlo, object_based, query_based};
+use ust_core::engine::{
+    exhaustive, forall, ktimes, monte_carlo::MonteCarlo, object_based, query_based,
+};
 use ust_markov::testutil;
 
 /// Strategy: a random banded stochastic chain with 3..=7 states.
@@ -27,10 +29,7 @@ fn build_chain(seed: u64, n: usize) -> MarkovChain {
 fn build_object(seed: u64, n: usize, anchor_time: u32) -> UncertainObject {
     let mut rng = testutil::rng(seed ^ 0xABCD);
     let dist = testutil::random_distribution(&mut rng, n, 2);
-    UncertainObject::with_single_observation(
-        7,
-        Observation::uncertain(anchor_time, dist).unwrap(),
-    )
+    UncertainObject::with_single_observation(7, Observation::uncertain(anchor_time, dist).unwrap())
 }
 
 proptest! {
@@ -130,19 +129,13 @@ fn monte_carlo_confidence_band() {
         let n = 6;
         let chain = build_chain(seed, n);
         let object = build_object(seed, n, 0);
-        let window =
-            QueryWindow::from_states(n, [0usize, 1], TimeSet::interval(2, 4)).unwrap();
-        let exact = object_based::exists_probability(
-            &chain,
-            &object,
-            &window,
-            &EngineConfig::default(),
-        )
-        .unwrap();
+        let window = QueryWindow::from_states(n, [0usize, 1], TimeSet::interval(2, 4)).unwrap();
+        let exact =
+            object_based::exists_probability(&chain, &object, &window, &EngineConfig::default())
+                .unwrap();
         let samples = 20_000;
-        let estimate = MonteCarlo::new(samples, seed)
-            .exists_probability(&chain, &object, &window)
-            .unwrap();
+        let estimate =
+            MonteCarlo::new(samples, seed).exists_probability(&chain, &object, &window).unwrap();
         let sigma = MonteCarlo::standard_error(exact.clamp(0.01, 0.99), samples);
         assert!(
             (estimate - exact).abs() <= 5.0 * sigma,

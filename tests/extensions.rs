@@ -80,11 +80,10 @@ fn topk_matches_threshold_and_exact_order() {
     let window = workload::paper_default_window(3_000).unwrap();
     let config = EngineConfig::default();
     let k = 10;
-    let qb = ranking::topk_query_based(&data.db, &window, k, &config, &mut EvalStats::new())
-        .unwrap();
+    let qb =
+        ranking::topk_query_based(&data.db, &window, k, &config, &mut EvalStats::new()).unwrap();
     let mut stats = EvalStats::new();
-    let ob = ranking::topk_object_based_pruned(&data.db, &window, k, &config, &mut stats)
-        .unwrap();
+    let ob = ranking::topk_object_based_pruned(&data.db, &window, k, &config, &mut stats).unwrap();
     assert_eq!(qb.len(), ob.len());
     for (a, b) in qb.iter().zip(&ob) {
         assert_eq!(a.object_id, b.object_id);
@@ -115,17 +114,10 @@ fn power_cache_predicts_like_the_chain() {
     let mut cache = PowerCache::new(chain.stochastic());
     let object = data.db.object(0).unwrap();
     for horizon in [0u32, 1, 7, 25] {
-        let via_cache = cache
-            .propagate_sparse(object.initial_distribution(), horizon)
-            .unwrap();
-        let via_steps = chain
-            .propagate_sparse(object.initial_distribution(), horizon)
-            .unwrap()
-            .to_dense();
-        assert!(
-            via_cache.approx_eq(&via_steps, 1e-9),
-            "horizon {horizon} diverged"
-        );
+        let via_cache = cache.propagate_sparse(object.initial_distribution(), horizon).unwrap();
+        let via_steps =
+            chain.propagate_sparse(object.initial_distribution(), horizon).unwrap().to_dense();
+        assert!(via_cache.approx_eq(&via_steps, 1e-9), "horizon {horizon} diverged");
     }
 }
 

@@ -9,12 +9,8 @@ use ust_markov::{MarkovError, StochasticMatrix};
 
 fn paper_chain() -> MarkovChain {
     MarkovChain::from_csr(
-        CsrMatrix::from_dense(&[
-            vec![0.0, 0.0, 1.0],
-            vec![0.6, 0.0, 0.4],
-            vec![0.0, 0.8, 0.2],
-        ])
-        .unwrap(),
+        CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+            .unwrap(),
     )
     .unwrap()
 }
@@ -27,10 +23,7 @@ fn non_stochastic_matrices_are_rejected() {
         Err(MarkovError::NotStochastic { row: 0, .. })
     ));
     let negative = CsrMatrix::from_dense(&[vec![1.5, -0.5], vec![0.0, 1.0]]).unwrap();
-    assert!(matches!(
-        StochasticMatrix::new(negative),
-        Err(MarkovError::InvalidProbability { .. })
-    ));
+    assert!(matches!(StochasticMatrix::new(negative), Err(MarkovError::InvalidProbability { .. })));
     let empty_row = CsrMatrix::from_dense(&[vec![0.0, 0.0], vec![0.0, 1.0]]).unwrap();
     assert!(StochasticMatrix::new(empty_row).is_err());
     let non_square = CsrMatrix::from_dense(&[vec![0.5, 0.5, 0.0]]).unwrap();
@@ -56,10 +49,7 @@ fn empty_windows_are_rejected() {
 
 #[test]
 fn malformed_objects_are_rejected() {
-    assert_eq!(
-        UncertainObject::new(1, vec![]),
-        Err(QueryError::NoObservations)
-    );
+    assert_eq!(UncertainObject::new(1, vec![]), Err(QueryError::NoObservations));
     let a = Observation::exact(3, 4, 0).unwrap();
     let b = Observation::exact(3, 4, 1).unwrap();
     assert_eq!(
@@ -76,10 +66,7 @@ fn database_insert_validation() {
     // Wrong dimension.
     let wrong_dim =
         UncertainObject::with_single_observation(1, Observation::exact(0, 7, 0).unwrap());
-    assert!(matches!(
-        db.insert(wrong_dim),
-        Err(QueryError::ModelDimensionMismatch { .. })
-    ));
+    assert!(matches!(db.insert(wrong_dim), Err(QueryError::ModelDimensionMismatch { .. })));
     // Unknown model index.
     let unknown_model =
         UncertainObject::with_single_observation(2, Observation::exact(0, 3, 0).unwrap())
@@ -118,10 +105,7 @@ fn impossible_evidence_is_consistent_across_engines() {
     // From s2 the object cannot be at s2 one step later.
     let contradictory = UncertainObject::new(
         1,
-        vec![
-            Observation::exact(0, 3, 1).unwrap(),
-            Observation::exact(1, 3, 1).unwrap(),
-        ],
+        vec![Observation::exact(0, 3, 1).unwrap(), Observation::exact(1, 3, 1).unwrap()],
     )
     .unwrap();
     let window = QueryWindow::from_states(3, [0usize], TimeSet::at(1)).unwrap();
@@ -131,8 +115,7 @@ fn impossible_evidence_is_consistent_across_engines() {
         Err(QueryError::ImpossibleEvidence)
     );
     assert_eq!(
-        exhaustive::enumerate(&chain, &contradictory, &window, 1 << 20)
-            .map(|r| r.exists()),
+        exhaustive::enumerate(&chain, &contradictory, &window, 1 << 20).map(|r| r.exists()),
         Err(QueryError::ImpossibleEvidence)
     );
     assert_eq!(
@@ -145,12 +128,9 @@ fn impossible_evidence_is_consistent_across_engines() {
 fn exhaustive_budget_guard() {
     // A 20-state dense-ish chain over 20 steps overflows a tiny budget.
     let mut rng = ust_markov::testutil::rng(5);
-    let chain = MarkovChain::from_csr(ust_markov::testutil::random_stochastic(
-        &mut rng, 20, 4,
-    ))
-    .unwrap();
-    let object =
-        UncertainObject::with_single_observation(1, Observation::exact(0, 20, 0).unwrap());
+    let chain =
+        MarkovChain::from_csr(ust_markov::testutil::random_stochastic(&mut rng, 20, 4)).unwrap();
+    let object = UncertainObject::with_single_observation(1, Observation::exact(0, 20, 0).unwrap());
     let window = QueryWindow::from_states(20, [5usize], TimeSet::interval(15, 20)).unwrap();
     assert!(matches!(
         exhaustive::enumerate(&chain, &object, &window, 1_000),
@@ -171,8 +151,7 @@ fn error_messages_are_human_readable() {
 fn degenerate_chain_sizes() {
     // A single absorbing state still answers queries.
     let chain = MarkovChain::from_csr(CsrMatrix::identity(1)).unwrap();
-    let object =
-        UncertainObject::with_single_observation(1, Observation::exact(0, 1, 0).unwrap());
+    let object = UncertainObject::with_single_observation(1, Observation::exact(0, 1, 0).unwrap());
     let window = QueryWindow::from_states(1, [0usize], TimeSet::interval(1, 3)).unwrap();
     let config = EngineConfig::default();
     let p = object_based::exists_probability(&chain, &object, &window, &config).unwrap();

@@ -17,11 +17,7 @@ fn build_chain(seed: u64, n: usize) -> MarkovChain {
 /// An object with two uncertain observations whose joint evidence is
 /// guaranteed consistent: the second observation's support is the exact
 /// forward image of the first (so no world is impossible).
-fn consistent_two_obs_object(
-    seed: u64,
-    chain: &MarkovChain,
-    gap: u32,
-) -> Option<UncertainObject> {
+fn consistent_two_obs_object(seed: u64, chain: &MarkovChain, gap: u32) -> Option<UncertainObject> {
     let n = chain.num_states();
     let mut rng = testutil::rng(seed ^ 0xFEED);
     let first = testutil::random_distribution(&mut rng, n, 2);
@@ -31,15 +27,11 @@ fn consistent_two_obs_object(
         return None;
     }
     // Pick a soft observation over (a subset of) the reachable support.
-    let pairs: Vec<(usize, f64)> =
-        reached.iter().take(3).map(|(s, _)| (s, 1.0)).collect();
+    let pairs: Vec<(usize, f64)> = reached.iter().take(3).map(|(s, _)| (s, 1.0)).collect();
     let second = ust_markov::SparseVector::from_pairs(n, pairs).ok()?;
     UncertainObject::new(
         1,
-        vec![
-            Observation::uncertain(0, first).ok()?,
-            Observation::uncertain(gap, second).ok()?,
-        ],
+        vec![Observation::uncertain(0, first).ok()?, Observation::uncertain(gap, second).ok()?],
     )
     .ok()
 }
@@ -149,13 +141,8 @@ fn three_observations_are_fused_in_order() {
     )
     .unwrap();
     let window = QueryWindow::from_states(4, [1usize], TimeSet::at(1)).unwrap();
-    let p = multi_obs::exists_probability_multi(
-        &chain,
-        &object,
-        &window,
-        &EngineConfig::default(),
-    )
-    .unwrap();
+    let p = multi_obs::exists_probability_multi(&chain, &object, &window, &EngineConfig::default())
+        .unwrap();
     let oracle = exhaustive::enumerate(&chain, &object, &window, 1 << 20).unwrap();
     assert!((p - oracle.exists()).abs() < 1e-12);
     // Both routes (via s2 or s3) are consistent with all three fixes, so

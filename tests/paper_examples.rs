@@ -8,12 +8,8 @@ use ust_core::multi_obs;
 /// The running-example chain of Section V.
 fn paper_chain() -> MarkovChain {
     MarkovChain::from_csr(
-        CsrMatrix::from_dense(&[
-            vec![0.0, 0.0, 1.0],
-            vec![0.6, 0.0, 0.4],
-            vec![0.0, 0.8, 0.2],
-        ])
-        .unwrap(),
+        CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+            .unwrap(),
     )
     .unwrap()
 }
@@ -21,12 +17,8 @@ fn paper_chain() -> MarkovChain {
 /// The Section VI variant (row s2 = 0.5 / 0.5).
 fn section6_chain() -> MarkovChain {
     MarkovChain::from_csr(
-        CsrMatrix::from_dense(&[
-            vec![0.0, 0.0, 1.0],
-            vec![0.5, 0.0, 0.5],
-            vec![0.0, 0.8, 0.2],
-        ])
-        .unwrap(),
+        CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.5, 0.0, 0.5], vec![0.0, 0.8, 0.2]])
+            .unwrap(),
     )
     .unwrap()
 }
@@ -92,20 +84,12 @@ fn section_6_interpolation_forces_zero() {
     let chain = section6_chain();
     let object = UncertainObject::new(
         1,
-        vec![
-            Observation::exact(0, 3, 0).unwrap(),
-            Observation::exact(3, 3, 1).unwrap(),
-        ],
+        vec![Observation::exact(0, 3, 0).unwrap(), Observation::exact(3, 3, 1).unwrap()],
     )
     .unwrap();
     let window = QueryWindow::from_states(3, [1usize], TimeSet::interval(1, 2)).unwrap();
-    let p = multi_obs::exists_probability_multi(
-        &chain,
-        &object,
-        &window,
-        &EngineConfig::default(),
-    )
-    .unwrap();
+    let p = multi_obs::exists_probability_multi(&chain, &object, &window, &EngineConfig::default())
+        .unwrap();
     assert_eq!(p, 0.0);
     // The exhaustive possible-worlds oracle agrees.
     let oracle = exhaustive::enumerate(&chain, &object, &window, 1 << 20).unwrap();
@@ -154,11 +138,9 @@ fn monte_carlo_error_model_from_section_8() {
     assert!((MonteCarlo::standard_error(0.5, 100) - 0.05).abs() < 1e-12);
     // A large-sample run lands within 4σ of 0.864 on the running example.
     let chain = paper_chain();
-    let object =
-        UncertainObject::with_single_observation(1, Observation::exact(0, 3, 1).unwrap());
-    let estimate = MonteCarlo::new(10_000, 3)
-        .exists_probability(&chain, &object, &paper_window())
-        .unwrap();
+    let object = UncertainObject::with_single_observation(1, Observation::exact(0, 3, 1).unwrap());
+    let estimate =
+        MonteCarlo::new(10_000, 3).exists_probability(&chain, &object, &paper_window()).unwrap();
     assert!((estimate - 0.864).abs() < 4.0 * MonteCarlo::standard_error(0.864, 10_000));
 }
 
@@ -178,20 +160,14 @@ fn figure_1_dependency_argument() {
         }
     }
     let chain = MarkovChain::from_csr(CsrMatrix::from_dense(&rows).unwrap()).unwrap();
-    let object =
-        UncertainObject::with_single_observation(1, Observation::exact(0, n, 0).unwrap());
+    let object = UncertainObject::with_single_observation(1, Observation::exact(0, n, 0).unwrap());
     let config = EngineConfig::default();
     let mut previous = 0.0;
     for t_hi in 2..=8u32 {
-        let window =
-            QueryWindow::from_states(n, [2usize], TimeSet::interval(1, t_hi)).unwrap();
-        let p = ust_core::engine::object_based::exists_probability(
-            &chain,
-            &object,
-            &window,
-            &config,
-        )
-        .unwrap();
+        let window = QueryWindow::from_states(n, [2usize], TimeSet::interval(1, t_hi)).unwrap();
+        let p =
+            ust_core::engine::object_based::exists_probability(&chain, &object, &window, &config)
+                .unwrap();
         // Deterministic motion passes state 2 exactly at t=2: P = 1 for
         // every window containing t=2, never "converging to 1" spuriously
         // from below as the independence model would.

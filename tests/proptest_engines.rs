@@ -1,0 +1,183 @@
+//! Property test of the central correctness claim: on random small
+//! instances, the object-based (forward) and query-based (backward) engines
+//! agree with exhaustive possible-worlds enumeration for all three
+//! predicates (PST∃Q, PST∀Q, PSTkQ).
+//!
+//! Every evaluation below drives the shared `engine::pipeline` propagation
+//! core — OB through `Propagator::forward`, QB through
+//! `Propagator::backward` — so this is an end-to-end consistency check of
+//! the pipeline from both directions, across all six `QueryProcessor`
+//! entry points.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ust::prelude::*;
+use ust_core::engine::exhaustive;
+use ust_core::threshold;
+use ust_markov::{testutil, StateMask};
+use ust_space::TimeSet;
+
+const TOL: f64 = 1e-9;
+
+/// A random query window over `n` states: each state joins `S▫` with
+/// probability 0.4; `T▫ = [t_start, t_start + t_len]`.
+fn random_window(n: usize, mask_seed: u64, t_start: u32, t_len: u32) -> Option<QueryWindow> {
+    let mut rng = StdRng::seed_from_u64(mask_seed);
+    let mut mask = StateMask::new(n);
+    for s in 0..n {
+        if rng.random::<f64>() < 0.4 {
+            mask.insert(s).unwrap();
+        }
+    }
+    // PST∀Q reduces via the complement, so the window must be a proper
+    // non-empty subset of the state space.
+    if mask.is_empty() || mask.count() == n {
+        return None;
+    }
+    QueryWindow::new(mask, TimeSet::interval(t_start, t_start + t_len)).ok()
+}
+
+/// A database of `objects` uncertain objects over one random chain, with
+/// anchor times alternating between 0 and `max_anchor` to exercise the
+/// per-anchor snapshots of the backward field.
+fn random_db(
+    seed: u64,
+    n: usize,
+    deg: usize,
+    objects: usize,
+    max_anchor: u32,
+) -> TrajectoryDatabase {
+    let chain = MarkovChain::from_csr({
+        let mut rng = testutil::rng(seed);
+        testutil::random_stochastic(&mut rng, n, deg)
+    })
+    .unwrap();
+    let mut rng = testutil::rng(seed ^ 0xDA7A);
+    let mut db = TrajectoryDatabase::new(chain);
+    for i in 0..objects {
+        let dist = testutil::random_distribution(&mut rng, n, 2);
+        let anchor_time = if i % 2 == 0 { 0 } else { max_anchor };
+        db.insert(UncertainObject::with_single_observation(
+            i as u64,
+            Observation::uncertain(anchor_time, dist).unwrap(),
+        ))
+        .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn ob_qb_and_exhaustive_agree_on_all_predicates(
+        (seed, n, deg) in (0u64..10_000, 2usize..=6, 1usize..=3),
+        mask_seed in 0u64..1_000,
+        t_start in 1u32..=3,
+        t_len in 0u32..=2,
+        objects in 1usize..=3,
+    ) {
+        let window = match random_window(n, mask_seed, t_start, t_len) {
+            Some(w) => w,
+            None => { prop_assume!(false); unreachable!() }
+        };
+        let db = random_db(seed, n, deg, objects, t_start.min(1));
+        let processor = QueryProcessor::new(&db);
+
+        let exists_ob = processor.exists_object_based(&window).unwrap();
+        let exists_qb = processor.exists_query_based(&window).unwrap();
+        let forall_ob = processor.forall_object_based(&window).unwrap();
+        let forall_qb = processor.forall_query_based(&window).unwrap();
+        let ktimes_ob = processor.ktimes_object_based(&window).unwrap();
+        let ktimes_qb = processor.ktimes_query_based(&window).unwrap();
+
+        for (idx, object) in db.objects().iter().enumerate() {
+            let truth =
+                exhaustive::enumerate(db.model_of(object), object, &window, 1 << 22).unwrap();
+
+            prop_assert!((exists_ob[idx].probability - truth.exists()).abs() < TOL,
+                "∃ OB {} vs exhaustive {}", exists_ob[idx].probability, truth.exists());
+            prop_assert!((exists_qb[idx].probability - truth.exists()).abs() < TOL,
+                "∃ QB {} vs exhaustive {}", exists_qb[idx].probability, truth.exists());
+            prop_assert!((forall_ob[idx].probability - truth.forall()).abs() < TOL,
+                "∀ OB {} vs exhaustive {}", forall_ob[idx].probability, truth.forall());
+            prop_assert!((forall_qb[idx].probability - truth.forall()).abs() < TOL,
+                "∀ QB {} vs exhaustive {}", forall_qb[idx].probability, truth.forall());
+
+            prop_assert_eq!(ktimes_ob[idx].probabilities.len(), truth.ktimes.len());
+            for (k, expected) in truth.ktimes.iter().enumerate() {
+                prop_assert!((ktimes_ob[idx].probabilities[k] - expected).abs() < TOL,
+                    "k={k}: OB {:?} vs exhaustive {:?}",
+                    ktimes_ob[idx].probabilities, truth.ktimes);
+                prop_assert!((ktimes_qb[idx].probabilities[k] - expected).abs() < TOL,
+                    "k={k}: QB {:?} vs exhaustive {:?}",
+                    ktimes_qb[idx].probabilities, truth.ktimes);
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_pruning_error_stays_within_reported_mass(
+        (seed, n, deg) in (0u64..10_000, 3usize..=8, 1usize..=3),
+        mask_seed in 0u64..1_000,
+        t_start in 1u32..=4,
+        t_len in 0u32..=2,
+        epsilon in 0.0005f64..0.02,
+    ) {
+        let window = match random_window(n, mask_seed, t_start, t_len) {
+            Some(w) => w,
+            None => { prop_assume!(false); unreachable!() }
+        };
+        let db = random_db(seed, n, deg, 1, 0);
+        let exact = QueryProcessor::new(&db).exists_object_based(&window).unwrap();
+
+        let mut stats = EvalStats::new();
+        let pruned = ust_core::engine::object_based::evaluate(
+            &db,
+            &window,
+            &EngineConfig::exact().with_epsilon(epsilon),
+            &mut stats,
+        )
+        .unwrap();
+        // The pipeline reports every unit of dropped mass; the result may
+        // deviate from the exact probability by at most that much.
+        prop_assert!(
+            (pruned[0].probability - exact[0].probability).abs() <= stats.pruned_mass + TOL,
+            "pruned {} exact {} dropped {}",
+            pruned[0].probability, exact[0].probability, stats.pruned_mass
+        );
+    }
+
+    #[test]
+    fn threshold_decisions_match_exact_probability(
+        (seed, n, deg) in (0u64..10_000, 2usize..=6, 1usize..=3),
+        mask_seed in 0u64..1_000,
+        t_start in 1u32..=3,
+        t_len in 0u32..=2,
+        tau in 0.05f64..0.95,
+    ) {
+        let window = match random_window(n, mask_seed, t_start, t_len) {
+            Some(w) => w,
+            None => { prop_assume!(false); unreachable!() }
+        };
+        let db = random_db(seed, n, deg, 1, 0);
+        let object = &db.objects()[0];
+        let exact = QueryProcessor::new(&db).exists_object_based(&window).unwrap()[0].probability;
+        // Bound-based early decisions must agree with the exact value
+        // whenever τ is not razor-close to it.
+        prop_assume!((exact - tau).abs() > 1e-6);
+        let outcome = threshold::exists_threshold(
+            db.model_of(object),
+            object,
+            &window,
+            tau,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(outcome.qualifies, exact >= tau,
+            "τ = {}, exact = {}, outcome = {:?}", tau, exact, outcome);
+        prop_assert!(outcome.lower <= exact + TOL && exact <= outcome.upper + TOL);
+    }
+}

@@ -8,21 +8,14 @@ use ust_core::engine::{exhaustive, ktimes, object_based, query_based};
 
 fn paper_chain() -> MarkovChain {
     MarkovChain::from_csr(
-        CsrMatrix::from_dense(&[
-            vec![0.0, 0.0, 1.0],
-            vec![0.6, 0.0, 0.4],
-            vec![0.0, 0.8, 0.2],
-        ])
-        .unwrap(),
+        CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+            .unwrap(),
     )
     .unwrap()
 }
 
 fn object_at(state: usize, time: u32) -> UncertainObject {
-    UncertainObject::with_single_observation(
-        1,
-        Observation::exact(time, 3, state).unwrap(),
-    )
+    UncertainObject::with_single_observation(1, Observation::exact(time, 3, state).unwrap())
 }
 
 fn engines_agree(chain: &MarkovChain, object: &UncertainObject, window: &QueryWindow) -> f64 {
@@ -125,8 +118,7 @@ fn exists_is_monotone_in_window_growth() {
     let chain = paper_chain();
     let object = object_at(1, 0);
     let base = QueryWindow::from_states(3, [0usize], TimeSet::interval(2, 3)).unwrap();
-    let more_states =
-        QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap();
+    let more_states = QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap();
     let more_times = QueryWindow::from_states(3, [0usize], TimeSet::interval(1, 4)).unwrap();
     let p0 = engines_agree(&chain, &object, &base);
     let p1 = engines_agree(&chain, &object, &more_states);
