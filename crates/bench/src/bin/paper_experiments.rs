@@ -2,25 +2,29 @@
 //!
 //! ```text
 //! paper_experiments [--scale ci|paper] [--only fig8a,fig9d,...] [--out DIR]
+//!                   [--json FILE]
 //! ```
 //!
 //! Prints each experiment as a Markdown table (the format EXPERIMENTS.md
-//! archives) and, when `--out` is given, writes one CSV per experiment.
+//! archives); `--out` writes one CSV per experiment, `--json` writes every
+//! experiment's wall time, metrics and table into one machine-readable
+//! JSON file (the `BENCH_pr2.json` perf trajectory).
 
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ust_bench::{experiments, Scale};
+use ust_bench::{experiments, ExperimentOutput, Scale};
 
 struct Args {
     scale: Scale,
     only: Option<Vec<String>>,
     out_dir: Option<PathBuf>,
+    json_path: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { scale: Scale::Ci, only: None, out_dir: None };
+    let mut args = Args { scale: Scale::Ci, only: None, out_dir: None, json_path: None };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -46,9 +50,14 @@ fn parse_args() -> Result<Args, String> {
                 let value = iter.next().ok_or("--out requires a directory")?;
                 args.out_dir = Some(PathBuf::from(value));
             }
+            "--json" => {
+                let value = iter.next().ok_or("--json requires a file path")?;
+                args.json_path = Some(PathBuf::from(value));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: paper_experiments [--scale ci|paper] [--only id,id,...] [--out DIR]\n\
+                    "usage: paper_experiments [--scale ci|paper] [--only id,id,...] [--out DIR] \
+                     [--json FILE]\n\
                      experiments: {}",
                     experiments::known_ids().join(", ")
                 );
@@ -58,6 +67,79 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Minimal JSON string escaping (the vendored toolchain has no serde).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the run as one JSON document: per experiment its id, title,
+/// wall time, named metrics and the full result table.
+fn render_json(scale_name: &str, results: &[(f64, ExperimentOutput)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", json_escape(scale_name)));
+    out.push_str("  \"experiments\": [\n");
+    for (i, (wall, exp)) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"id\": \"{}\",\n", json_escape(&exp.id)));
+        out.push_str(&format!("      \"title\": \"{}\",\n", json_escape(&exp.title)));
+        out.push_str(&format!("      \"wall_secs\": {},\n", json_number(*wall)));
+        out.push_str("      \"metrics\": {");
+        for (j, (name, value)) in exp.metrics.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", json_escape(name), json_number(*value)));
+        }
+        out.push_str("},\n");
+        out.push_str("      \"table\": {\n");
+        out.push_str("        \"columns\": [");
+        for (j, h) in exp.table.headers().iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", json_escape(h)));
+        }
+        out.push_str("],\n        \"rows\": [");
+        for (j, row) in exp.table.rows().iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push('[');
+            for (c, cell) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\"", json_escape(cell)));
+            }
+            out.push(']');
+        }
+        out.push_str("]\n      }\n");
+        out.push_str(if i + 1 < results.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn main() -> ExitCode {
@@ -92,13 +174,15 @@ fn main() -> ExitCode {
         None => experiments::known_ids().iter().map(|s| s.to_string()).collect(),
     };
 
+    let mut results: Vec<(f64, ExperimentOutput)> = Vec::with_capacity(ids.len());
     for id in &ids {
         let started = std::time::Instant::now();
         let output = experiments::by_id(id, args.scale).expect("ids validated during parsing");
+        let wall = started.elapsed().as_secs_f64();
         println!("## {} (`{}`)\n", output.title, output.id);
         println!("{}", output.table.to_markdown());
         println!("*Expected shape:* {}\n", output.expectation);
-        println!("*(experiment wall time: {:.1}s)*\n", started.elapsed().as_secs_f64());
+        println!("*(experiment wall time: {wall:.1}s)*\n");
         if let Some(dir) = &args.out_dir {
             let path = dir.join(format!("{}.csv", output.id));
             if let Err(e) = output.table.write_csv(&path) {
@@ -106,12 +190,20 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        results.push((wall, output));
         // Flush so long runs stream progress.
         let _ = std::io::stdout().flush();
     }
 
     if let Some(dir) = &args.out_dir {
         println!("CSV series written to {}", dir.display());
+    }
+    if let Some(path) = &args.json_path {
+        if let Err(e) = std::fs::write(path, render_json(scale_name, &results)) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("JSON trajectory written to {}", path.display());
     }
     ExitCode::SUCCESS
 }

@@ -85,6 +85,7 @@ pub fn ablation_augmented(scale: Scale) -> ExperimentOutput {
         ]);
     }
     ExperimentOutput {
+        metrics: Vec::new(),
         id: "ablation_augmented".into(),
         title: "Ablation — virtual M−/M+ operators vs materialized matrices".into(),
         table,
@@ -119,6 +120,7 @@ pub fn ablation_hybrid(scale: Scale) -> ExperimentOutput {
         table.push_row([label.to_string(), fmt_secs(t)]);
     }
     ExperimentOutput {
+        metrics: Vec::new(),
         id: "ablation_hybrid".into(),
         title: "Ablation — hybrid propagation-vector representation".into(),
         table,
@@ -161,6 +163,7 @@ pub fn ablation_epsilon(scale: Scale) -> ExperimentOutput {
         ]);
     }
     ExperimentOutput {
+        metrics: Vec::new(),
         id: "ablation_epsilon".into(),
         title: "Ablation — ε-pruning of propagation vectors".into(),
         table,
@@ -204,6 +207,7 @@ pub fn ablation_threshold(scale: Scale) -> ExperimentOutput {
         ]);
     }
     ExperimentOutput {
+        metrics: Vec::new(),
         id: "ablation_threshold".into(),
         title: "Ablation — bound-based early termination for threshold queries".into(),
         table,

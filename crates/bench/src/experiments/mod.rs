@@ -5,6 +5,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig8;
 pub mod fig9;
+pub mod pr2;
 
 use crate::{ExperimentOutput, Scale};
 
@@ -24,6 +25,8 @@ pub fn all(scale: Scale) -> Vec<ExperimentOutput> {
         fig11::fig11b(scale),
     ];
     out.extend(ablation::all(scale));
+    out.push(pr2::pr2_batching(scale));
+    out.push(pr2::pr2_cache(scale));
     out
 }
 
@@ -44,6 +47,8 @@ pub fn by_id(id: &str, scale: Scale) -> Option<ExperimentOutput> {
         "ablation_hybrid" => Some(ablation::ablation_hybrid(scale)),
         "ablation_epsilon" => Some(ablation::ablation_epsilon(scale)),
         "ablation_threshold" => Some(ablation::ablation_threshold(scale)),
+        "pr2_batching" => Some(pr2::pr2_batching(scale)),
+        "pr2_cache" => Some(pr2::pr2_cache(scale)),
         _ => None,
     }
 }
@@ -65,6 +70,8 @@ pub fn known_ids() -> &'static [&'static str] {
         "ablation_hybrid",
         "ablation_epsilon",
         "ablation_threshold",
+        "pr2_batching",
+        "pr2_cache",
     ]
 }
 
@@ -84,6 +91,6 @@ mod tests {
         assert!(!out.table.is_empty());
         assert_eq!(out.id, "ablation_augmented");
         assert!(by_id("nope", Scale::Ci).is_none());
-        assert_eq!(known_ids().len(), 14);
+        assert_eq!(known_ids().len(), 16);
     }
 }

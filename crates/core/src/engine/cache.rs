@@ -1,0 +1,358 @@
+//! A keyed cache of query-based backward fields.
+//!
+//! The query-based engines answer a whole database from one backward sweep
+//! per `(model, window)` — but every *query* used to pay that sweep again,
+//! even when consecutive queries share the window (a dashboard refreshing a
+//! danger-zone query, a threshold and a top-k run over the same window, a
+//! sliding workload revisiting recent windows). [`BackwardFieldCache`]
+//! memoizes [`BackwardField`]s under a `(model id, window)` key, with the
+//! anchor-time snapshots living inside each entry:
+//!
+//! * a lookup whose anchor times are all snapshotted is a **hit** — no
+//!   backward work at all;
+//! * a lookup needing only *earlier* anchor times **extends** the cached
+//!   sweep downward from its earliest snapshot
+//!   ([`BackwardField::extend_down`]) — the `(min, t_end]` suffix is
+//!   shared, which is what makes overlapping anchor populations cheap;
+//! * anything else recomputes the union of known and requested times and
+//!   replaces the entry (a **miss**).
+//!
+//! Hits and misses are reported through [`EvalStats::cache_hits`] /
+//! [`EvalStats::cache_misses`]. Eviction is least-recently-used at a fixed
+//! entry capacity. Cached answers are bit-for-bit identical to uncached
+//! evaluation — resumed sweeps replay the same per-slot floating-point
+//! accumulation order (property-tested in `tests/proptest_engines.rs`).
+
+use std::collections::HashMap;
+
+use ust_markov::MarkovChain;
+
+use crate::engine::query_based::BackwardField;
+use crate::engine::EngineConfig;
+use crate::error::Result;
+use crate::query::QueryWindow;
+use crate::stats::EvalStats;
+
+/// Default number of `(model, window)` entries a cache retains.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// The identity of a backward field: which chain it was swept over and
+/// which query window shaped the sweep.
+///
+/// The chain is identified by its model index **plus** its heap address
+/// and shape, so one cache shared across several databases (or a database
+/// whose models were swapped out) cannot serve another chain's field: a
+/// different `MarkovChain` allocation yields a different key, and the
+/// stale entry simply ages out of the LRU.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    model: usize,
+    chain_addr: usize,
+    chain_shape: (usize, usize),
+    states: Vec<usize>,
+    times: Vec<u32>,
+}
+
+impl CacheKey {
+    fn of(model: usize, chain: &MarkovChain, window: &QueryWindow) -> CacheKey {
+        CacheKey {
+            model,
+            chain_addr: chain as *const MarkovChain as usize,
+            chain_shape: (chain.num_states(), chain.matrix().nnz()),
+            states: window.states().to_indices(),
+            times: window.times().as_slice().to_vec(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    field: BackwardField,
+    last_used: u64,
+}
+
+/// An LRU cache of backward satisfaction fields, shared by the query-based
+/// PST∃Q driver, the query-based top-k driver and the cached threshold
+/// driver.
+#[derive(Debug)]
+pub struct BackwardFieldCache {
+    capacity: usize,
+    entries: HashMap<CacheKey, CacheEntry>,
+    clock: u64,
+}
+
+impl Default for BackwardFieldCache {
+    fn default() -> Self {
+        BackwardFieldCache::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+enum Lookup {
+    /// All requested anchors are snapshotted.
+    Hit,
+    /// The entry exists but must be swept further down to these times.
+    Extend(Vec<u32>),
+    /// The entry must be (re)computed for these times.
+    Compute(Vec<u32>),
+}
+
+impl BackwardFieldCache {
+    /// A cache retaining at most `capacity` `(model, window)` entries
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        BackwardFieldCache { capacity: capacity.max(1), entries: HashMap::new(), clock: 0 }
+    }
+
+    /// Number of cached fields.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every cached field.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// True when the `(model, chain, window)` triple has a cached field
+    /// covering all of `anchor_times` (a lookup that would hit without
+    /// backward work).
+    pub fn contains(
+        &self,
+        model: usize,
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        anchor_times: &[u32],
+    ) -> bool {
+        self.entries
+            .get(&CacheKey::of(model, chain, window))
+            .is_some_and(|e| e.field.covers(anchor_times))
+    }
+
+    /// The backward field of `(model, window)` with snapshots at every time
+    /// in `anchor_times`, computing, extending or reusing as needed.
+    ///
+    /// The key includes the chain's identity (address + shape), so one
+    /// cache can safely be shared across databases: a different chain under
+    /// the same model index misses instead of serving the wrong field.
+    pub fn get_or_compute<'c>(
+        &'c mut self,
+        model: usize,
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        anchor_times: &[u32],
+        config: &EngineConfig,
+        stats: &mut EvalStats,
+    ) -> Result<&'c BackwardField> {
+        let key = CacheKey::of(model, chain, window);
+        self.clock += 1;
+        let clock = self.clock;
+
+        let lookup = match self.entries.get(&key) {
+            Some(entry) => {
+                let missing: Vec<u32> =
+                    anchor_times.iter().copied().filter(|&t| entry.field.at(t).is_none()).collect();
+                if missing.is_empty() {
+                    Lookup::Hit
+                } else if entry.field.min_time().is_some_and(|min| missing.iter().all(|&t| t < min))
+                {
+                    Lookup::Extend(missing)
+                } else {
+                    // Times above the sweep's floor were never snapshotted;
+                    // recompute the union so nothing already served is lost.
+                    let mut union: Vec<u32> = entry.field.times().collect();
+                    union.extend_from_slice(anchor_times);
+                    Lookup::Compute(union)
+                }
+            }
+            None => Lookup::Compute(anchor_times.to_vec()),
+        };
+
+        match lookup {
+            Lookup::Hit => {
+                stats.cache_hits += 1;
+                let entry = self.entries.get_mut(&key).expect("looked up above");
+                entry.last_used = clock;
+            }
+            Lookup::Extend(missing) => {
+                // A partial hit: the (min, t_end] suffix is reused, only
+                // the extension below it is swept.
+                stats.cache_hits += 1;
+                let entry = self.entries.get_mut(&key).expect("looked up above");
+                entry.field.extend_down(chain, window, &missing, config, stats)?;
+                entry.last_used = clock;
+            }
+            Lookup::Compute(times) => {
+                stats.cache_misses += 1;
+                let field =
+                    BackwardField::compute_with_config(chain, window, &times, config, stats)?;
+                if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+                    self.evict_lru();
+                }
+                self.entries.insert(key.clone(), CacheEntry { field, last_used: clock });
+            }
+        }
+        Ok(&self.entries.get(&key).expect("present in every branch").field)
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(victim) =
+            self.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+        {
+            self.entries.remove(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ust_markov::CsrMatrix;
+    use ust_space::TimeSet;
+
+    fn paper_chain() -> MarkovChain {
+        MarkovChain::from_csr(
+            CsrMatrix::from_dense(&[vec![0.0, 0.0, 1.0], vec![0.6, 0.0, 0.4], vec![0.0, 0.8, 0.2]])
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn window(t_hi: u32) -> QueryWindow {
+        QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, t_hi)).unwrap()
+    }
+
+    #[test]
+    fn repeated_lookup_hits_without_backward_work() {
+        let chain = paper_chain();
+        let mut cache = BackwardFieldCache::new(4);
+        let mut stats = EvalStats::new();
+        let config = EngineConfig::default();
+        let w = window(3);
+        let first = cache
+            .get_or_compute(0, &chain, &w, &[0], &config, &mut stats)
+            .unwrap()
+            .at(0)
+            .unwrap()
+            .clone();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 1));
+        let sweeps_after_miss = stats.backward_steps;
+        let again = cache
+            .get_or_compute(0, &chain, &w, &[0], &config, &mut stats)
+            .unwrap()
+            .at(0)
+            .unwrap()
+            .clone();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+        assert_eq!(stats.backward_steps, sweeps_after_miss, "a hit performs no sweep");
+        assert!(first.approx_eq(&again, 0.0), "hits return the identical field");
+        assert!(cache.contains(0, &chain, &w, &[0]));
+        assert!(!cache.contains(0, &chain, &w, &[1]));
+        assert!(!cache.contains(1, &chain, &w, &[0]));
+    }
+
+    #[test]
+    fn extension_reuses_the_suffix_sweep() {
+        let chain = paper_chain();
+        let mut cache = BackwardFieldCache::new(4);
+        let mut stats = EvalStats::new();
+        let config = EngineConfig::default();
+        let w = window(3);
+        // First query anchors at t=2: sweep 3 → 2 (one step).
+        cache.get_or_compute(0, &chain, &w, &[2], &config, &mut stats).unwrap();
+        assert_eq!(stats.backward_steps, 1);
+        // Second query anchors at t=0: extend 2 → 0 (two more steps), a
+        // partial hit rather than a 3-step recomputation.
+        let field = cache.get_or_compute(0, &chain, &w, &[0], &config, &mut stats).unwrap();
+        assert_eq!(stats.backward_steps, 3);
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+        // The extended field matches Example 2 exactly.
+        let h0 = field.at(0).unwrap();
+        assert!((h0.get(1) - 0.864).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let chain = paper_chain();
+        let mut cache = BackwardFieldCache::new(2);
+        let mut stats = EvalStats::new();
+        let config = EngineConfig::default();
+        let (w3, w4, w5) = (window(3), window(4), window(5));
+        cache.get_or_compute(0, &chain, &w3, &[0], &config, &mut stats).unwrap();
+        cache.get_or_compute(0, &chain, &w4, &[0], &config, &mut stats).unwrap();
+        // Touch w3 so w4 becomes the least recently used...
+        cache.get_or_compute(0, &chain, &w3, &[0], &config, &mut stats).unwrap();
+        // ...then inserting a third window must evict w4, not w3.
+        cache.get_or_compute(0, &chain, &w5, &[0], &config, &mut stats).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(0, &chain, &w3, &[0]));
+        assert!(!cache.contains(0, &chain, &w4, &[0]));
+        assert!(cache.contains(0, &chain, &w5, &[0]));
+        // Re-requesting the evicted window is a fresh miss.
+        cache.get_or_compute(0, &chain, &w4, &[0], &config, &mut stats).unwrap();
+        assert_eq!(stats.cache_misses, 4);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 2);
+        assert_eq!(BackwardFieldCache::new(0).capacity(), 1, "capacity clamps to 1");
+    }
+
+    #[test]
+    fn distinct_chains_under_the_same_model_index_do_not_collide() {
+        // One cache shared across two databases: the second chain must miss
+        // and get its own field, not the first chain's.
+        let moving = paper_chain();
+        let frozen = MarkovChain::from_csr(CsrMatrix::identity(3)).unwrap();
+        let mut cache = BackwardFieldCache::new(4);
+        let mut stats = EvalStats::new();
+        let config = EngineConfig::default();
+        let w = window(3);
+        let from_moving = cache
+            .get_or_compute(0, &moving, &w, &[0], &config, &mut stats)
+            .unwrap()
+            .at(0)
+            .unwrap()
+            .clone();
+        let from_frozen = cache
+            .get_or_compute(0, &frozen, &w, &[0], &config, &mut stats)
+            .unwrap()
+            .at(0)
+            .unwrap()
+            .clone();
+        assert_eq!(stats.cache_misses, 2, "different chains must not share an entry");
+        assert!((from_moving.get(1) - 0.864).abs() < 1e-12);
+        // Under the identity chain, worlds inside the window stay there
+        // with certainty and worlds outside never enter.
+        assert_eq!(from_frozen.get(1), 1.0);
+        assert_eq!(from_frozen.get(2), 0.0);
+    }
+
+    #[test]
+    fn anchors_between_snapshots_force_a_union_recompute() {
+        let chain = paper_chain();
+        let mut cache = BackwardFieldCache::new(4);
+        let mut stats = EvalStats::new();
+        let config = EngineConfig::default();
+        let w = window(3);
+        cache.get_or_compute(0, &chain, &w, &[0], &config, &mut stats).unwrap();
+        // t=1 lies above the floor snapshot set {0}? No — 1 > 0, and 1 was
+        // never snapshotted, so the entry cannot be extended downward: it
+        // must be recomputed with the union {0, 1}.
+        let field = cache.get_or_compute(0, &chain, &w, &[1], &config, &mut stats).unwrap();
+        assert!(field.at(0).is_some(), "union keeps previously served anchors");
+        assert!(field.at(1).is_some());
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 2));
+        // Both anchors now hit.
+        cache.get_or_compute(0, &chain, &w, &[0, 1], &config, &mut stats).unwrap();
+        assert_eq!(stats.cache_hits, 1);
+    }
+}

@@ -46,6 +46,16 @@ pub fn forall_probability_qb(
     Ok((1.0 - p_escape).max(0.0))
 }
 
+/// The complement side of the Section VII reduction: turns the ∃
+/// probabilities of the complemented window into ∀ probabilities, in
+/// place. Shared by the sequential and sharded ∀ drivers so the clamp
+/// stays identical everywhere.
+pub(crate) fn complement_probabilities(results: &mut [ObjectProbability]) {
+    for r in results {
+        r.probability = (1.0 - r.probability).max(0.0);
+    }
+}
+
 /// PST∀Q for the whole database, object-based.
 pub fn evaluate_object_based(
     db: &TrajectoryDatabase,
@@ -55,9 +65,7 @@ pub fn evaluate_object_based(
 ) -> Result<Vec<ObjectProbability>> {
     let complement = window.complement_states()?;
     let mut results = object_based::evaluate(db, &complement, config, stats)?;
-    for r in &mut results {
-        r.probability = (1.0 - r.probability).max(0.0);
-    }
+    complement_probabilities(&mut results);
     Ok(results)
 }
 
@@ -70,9 +78,7 @@ pub fn evaluate_query_based(
 ) -> Result<Vec<ObjectProbability>> {
     let complement = window.complement_states()?;
     let mut results = query_based::evaluate(db, &complement, config, stats)?;
-    for r in &mut results {
-        r.probability = (1.0 - r.probability).max(0.0);
-    }
+    complement_probabilities(&mut results);
     Ok(results)
 }
 

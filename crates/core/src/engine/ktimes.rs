@@ -21,14 +21,15 @@
 //!   (exercised by tests on small instances).
 
 use std::collections::BTreeMap;
+use std::ops::ControlFlow;
 
 use ust_markov::augmented;
 use ust_markov::{DenseVector, MarkovChain, PropagationVector, SparseVector};
 
 use crate::database::TrajectoryDatabase;
 use crate::engine::object_based::validate;
-use crate::engine::pipeline::Propagator;
-use crate::engine::EngineConfig;
+use crate::engine::pipeline::{BatchPhase, ObjectBatch, Propagator};
+use crate::engine::{group_batchable, EngineConfig};
 use crate::error::Result;
 use crate::object::UncertainObject;
 use crate::query::{ObjectKDistribution, QueryWindow};
@@ -241,21 +242,105 @@ pub fn ktimes_distribution_blowup(
     Ok((0..levels).map(|k| (0..n).map(|s| v.get(k * n + s)).sum()).collect())
 }
 
-/// PSTkQ for the whole database, object-based `C(t)` algorithm.
+/// The batched `C(t)` driver over an explicit set of database object
+/// indices (one `ShardedExecutor` worker's share). Results come back in the
+/// order of `indices`.
+///
+/// Each object contributes `|T▫| + 1` count-level rows to the batch, so a
+/// batch of `B` objects steps `B · (|T▫|+1)` rows through one shared matrix
+/// traversal per timestamp. The level shift is applied per live group; per
+/// object, results are bit-for-bit identical to [`ktimes_with`].
+pub(crate) fn ktimes_batched(
+    pipeline: &mut Propagator<'_>,
+    db: &TrajectoryDatabase,
+    indices: &[usize],
+    window: &QueryWindow,
+) -> Result<Vec<ObjectKDistribution>> {
+    crate::engine::object_based::validate_indices(db, indices, window)?;
+    let k_max = window.num_times();
+    let group_size = k_max + 1;
+    let batch_size = pipeline.config().effective_batch_size();
+    let mut results: Vec<Option<ObjectKDistribution>> = vec![None; indices.len()];
+    for ((model, anchor_time), members) in group_batchable(db, indices) {
+        let chain = &db.models()[model];
+        let n = chain.num_states();
+        for chunk in members.chunks(batch_size) {
+            let mut rows: Vec<PropagationVector> = Vec::with_capacity(chunk.len() * group_size);
+            for &pos in chunk {
+                let object = db.object(indices[pos]).expect("validated above");
+                rows.push(pipeline.seed(object.anchor().distribution().clone()));
+                for _ in 0..k_max {
+                    rows.push(pipeline.seed(SparseVector::zeros(n)));
+                }
+            }
+            let mut batch = ObjectBatch::new(&mut rows, group_size)?;
+            pipeline.forward_batch(
+                chain.matrix(),
+                &mut batch,
+                anchor_time,
+                window,
+                |phase, batch, _| {
+                    if phase == BatchPhase::Window {
+                        for g in 0..batch.num_groups() {
+                            if batch.is_active(g) {
+                                shift_down(batch.group_mut(g), window)?;
+                            }
+                        }
+                    }
+                    Ok(ControlFlow::Continue(()))
+                },
+            )?;
+            for (g, &pos) in chunk.iter().enumerate() {
+                let object = db.object(indices[pos]).expect("validated above");
+                results[pos] = Some(ObjectKDistribution {
+                    object_id: object.id(),
+                    probabilities: batch.group(g).iter().map(|r| r.sum()).collect(),
+                });
+            }
+        }
+    }
+    Ok(results.into_iter().map(|r| r.expect("every position is covered")).collect())
+}
+
+/// PSTkQ for the whole database, object-based `C(t)` algorithm, through the
+/// batched kernel.
 pub fn evaluate_object_based(
     db: &TrajectoryDatabase,
     window: &QueryWindow,
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<Vec<ObjectKDistribution>> {
-    let mut results = Vec::with_capacity(db.len());
-    for object in db.objects() {
-        let chain = db.model_of(object);
-        let probabilities =
-            ktimes_distribution_ob_with_stats(chain, object, window, config, stats)?;
-        results.push(ObjectKDistribution { object_id: object.id(), probabilities });
+    let indices: Vec<usize> = (0..db.len()).collect();
+    let mut pipeline = Propagator::new(config, stats);
+    ktimes_batched(&mut pipeline, db, &indices, window)
+}
+
+/// One backward level field per model, computed over all of that model's
+/// object anchors (validating every object first; `None` for models with
+/// no objects). Both the sequential [`evaluate_query_based`] and the
+/// sharded driver pay each model's sweep exactly once and then share the
+/// read-only fields.
+pub(crate) fn compute_model_fields(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    stats: &mut EvalStats,
+) -> Result<Vec<Option<KTimesBackwardField>>> {
+    let mut fields: Vec<Option<KTimesBackwardField>> = Vec::with_capacity(db.models().len());
+    for (model_idx, members) in db.objects_by_model().into_iter().enumerate() {
+        if members.is_empty() {
+            fields.push(None);
+            continue;
+        }
+        let chain = &db.models()[model_idx];
+        let mut anchors = Vec::with_capacity(members.len());
+        for &idx in &members {
+            let object = db.object(idx).expect("index from enumeration");
+            validate(chain, object, window)?;
+            anchors.push(object.anchor().time());
+        }
+        fields.push(Some(KTimesBackwardField::compute(chain, window, &anchors, stats)?));
     }
-    Ok(results)
+    Ok(fields)
 }
 
 /// PSTkQ for the whole database, query-based: one backward level sweep per
@@ -267,28 +352,16 @@ pub fn evaluate_query_based(
     stats: &mut EvalStats,
 ) -> Result<Vec<ObjectKDistribution>> {
     let _ = config;
-    let mut results: Vec<Option<ObjectKDistribution>> = vec![None; db.len()];
-    for (model_idx, members) in db.objects_by_model().into_iter().enumerate() {
-        if members.is_empty() {
-            continue;
-        }
-        let chain = &db.models()[model_idx];
-        let mut anchors = Vec::with_capacity(members.len());
-        for &idx in &members {
-            let object = db.object(idx).expect("index from enumeration");
-            validate(chain, object, window)?;
-            anchors.push(object.anchor().time());
-        }
-        let field = KTimesBackwardField::compute(chain, window, &anchors, stats)?;
-        for &idx in &members {
-            let object = db.object(idx).expect("index from enumeration");
-            let probabilities =
-                field.object_distribution(object, window).expect("anchor snapshot was requested");
-            stats.objects_evaluated += 1;
-            results[idx] = Some(ObjectKDistribution { object_id: object.id(), probabilities });
-        }
+    let fields = compute_model_fields(db, window, stats)?;
+    let mut results = Vec::with_capacity(db.len());
+    for object in db.objects() {
+        let field = fields[object.model()].as_ref().expect("one field per populated model");
+        let probabilities =
+            field.object_distribution(object, window).expect("anchor snapshot was requested");
+        stats.objects_evaluated += 1;
+        results.push(ObjectKDistribution { object_id: object.id(), probabilities });
     }
-    Ok(results.into_iter().map(|r| r.expect("every object belongs to a model")).collect())
+    Ok(results)
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 //! at query timestamps, while the step loop, ε-pruning, sparse↔dense
 //! switching and statistics accounting exist exactly once.
 
+pub mod cache;
 pub mod exhaustive;
 pub mod forall;
 pub mod independent;
@@ -35,6 +36,27 @@ use crate::error::Result;
 use crate::query::{ObjectKDistribution, ObjectProbability, QueryWindow};
 use crate::stats::EvalStats;
 
+/// Groups a worker's object indices by `(model, anchor time)` — the two
+/// properties every member of an [`pipeline::ObjectBatch`] must share (one
+/// transition matrix, one sweep start). Returns, per key, the *positions*
+/// into `indices` in their original order, so drivers can stitch results
+/// back deterministically.
+pub(crate) fn group_batchable(
+    db: &TrajectoryDatabase,
+    indices: &[usize],
+) -> std::collections::BTreeMap<(usize, u32), Vec<usize>> {
+    let mut groups: std::collections::BTreeMap<(usize, u32), Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (pos, &idx) in indices.iter().enumerate() {
+        let object = db.object(idx).expect("caller passes valid indices");
+        groups.entry((object.model(), object.anchor().time())).or_default().push(pos);
+    }
+    groups
+}
+
+/// Default number of objects propagated per [`pipeline::ObjectBatch`].
+pub const DEFAULT_BATCH_SIZE: usize = 32;
+
 /// Tuning knobs shared by the exact engines.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
@@ -46,11 +68,24 @@ pub struct EngineConfig {
     /// (see `ust_markov::hybrid`); `≥ 1.0` forces always-sparse, `0.0`
     /// always-dense.
     pub densify_threshold: f64,
+    /// Objects propagated together per batch by the object-based drivers
+    /// (clamped to at least 1). Batched and per-object evaluation are
+    /// bit-for-bit identical; larger batches amortize matrix-row traversals
+    /// across densified vectors.
+    pub batch_size: usize,
+    /// Worker threads the [`crate::parallel::ShardedExecutor`] shards
+    /// object batches across (clamped to at least 1; `1` runs inline).
+    pub num_threads: usize,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { epsilon: 0.0, densify_threshold: 0.25 }
+        EngineConfig {
+            epsilon: 0.0,
+            densify_threshold: 0.25,
+            batch_size: DEFAULT_BATCH_SIZE,
+            num_threads: 1,
+        }
     }
 }
 
@@ -71,9 +106,38 @@ impl EngineConfig {
         self.densify_threshold = threshold;
         self
     }
+
+    /// Sets the number of objects propagated per batch.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the number of sharding worker threads.
+    pub fn with_num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// The effective batch size (at least 1).
+    pub fn effective_batch_size(&self) -> usize {
+        self.batch_size.max(1)
+    }
+
+    /// The effective worker count (at least 1).
+    pub fn effective_num_threads(&self) -> usize {
+        self.num_threads.max(1)
+    }
 }
 
 /// High-level façade tying a database to the engines.
+///
+/// Every entry point routes through the batched propagation kernel and the
+/// [`crate::parallel::ShardedExecutor`]: with the default configuration
+/// (`num_threads == 1`) the single shard runs inline on the caller's
+/// thread; [`EngineConfig::with_num_threads`] shards object batches across
+/// scoped workers, each owning one propagation pipeline. Results are
+/// bit-for-bit independent of both the batch size and the worker count.
 ///
 /// ```
 /// use ust_core::prelude::*;
@@ -122,31 +186,89 @@ impl<'a> QueryProcessor<'a> {
 
     /// PST∃Q for every object, object-based (forward) evaluation.
     pub fn exists_object_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
-        object_based::evaluate(self.db, window, &self.config, &mut EvalStats::new())
+        crate::parallel::evaluate_exists_parallel(
+            self.db,
+            window,
+            &self.config,
+            &mut EvalStats::new(),
+        )
     }
 
     /// PST∃Q for every object, query-based (backward) evaluation.
     pub fn exists_query_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
-        query_based::evaluate(self.db, window, &self.config, &mut EvalStats::new())
+        crate::parallel::evaluate_exists_qb_parallel(
+            self.db,
+            window,
+            &self.config,
+            &mut EvalStats::new(),
+        )
     }
 
     /// PST∀Q for every object, object-based evaluation.
     pub fn forall_object_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
-        forall::evaluate_object_based(self.db, window, &self.config, &mut EvalStats::new())
+        crate::parallel::evaluate_forall_parallel(
+            self.db,
+            window,
+            &self.config,
+            &mut EvalStats::new(),
+        )
     }
 
     /// PST∀Q for every object, query-based evaluation.
     pub fn forall_query_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
-        forall::evaluate_query_based(self.db, window, &self.config, &mut EvalStats::new())
+        crate::parallel::evaluate_forall_qb_parallel(
+            self.db,
+            window,
+            &self.config,
+            &mut EvalStats::new(),
+        )
     }
 
     /// PSTkQ for every object, object-based (`C(t)` algorithm).
     pub fn ktimes_object_based(&self, window: &QueryWindow) -> Result<Vec<ObjectKDistribution>> {
-        ktimes::evaluate_object_based(self.db, window, &self.config, &mut EvalStats::new())
+        crate::parallel::evaluate_ktimes_parallel(
+            self.db,
+            window,
+            &self.config,
+            &mut EvalStats::new(),
+        )
     }
 
     /// PSTkQ for every object, query-based evaluation.
     pub fn ktimes_query_based(&self, window: &QueryWindow) -> Result<Vec<ObjectKDistribution>> {
-        ktimes::evaluate_query_based(self.db, window, &self.config, &mut EvalStats::new())
+        crate::parallel::evaluate_ktimes_qb_parallel(
+            self.db,
+            window,
+            &self.config,
+            &mut EvalStats::new(),
+        )
+    }
+
+    /// Ids of all objects whose PST∃Q probability is at least `tau`
+    /// (bound-based early termination, batched and sharded).
+    pub fn threshold_query(&self, window: &QueryWindow, tau: f64) -> Result<Vec<u64>> {
+        crate::parallel::threshold_query_parallel(
+            self.db,
+            window,
+            tau,
+            &self.config,
+            &mut EvalStats::new(),
+        )
+    }
+
+    /// The `k` objects most likely to intersect the window (object-based
+    /// with reachability pruning, batched and sharded).
+    pub fn topk(
+        &self,
+        window: &QueryWindow,
+        k: usize,
+    ) -> Result<Vec<crate::ranking::RankedObject>> {
+        crate::parallel::topk_object_based_parallel(
+            self.db,
+            window,
+            k,
+            &self.config,
+            &mut EvalStats::new(),
+        )
     }
 }

@@ -14,11 +14,13 @@
 //! each world is counted at most once (the flaw of the naive
 //! "sum the per-timestamp probabilities" approach the paper opens with).
 
-use ust_markov::MarkovChain;
+use std::ops::ControlFlow;
+
+use ust_markov::{MarkovChain, PropagationVector};
 
 use crate::database::TrajectoryDatabase;
-use crate::engine::pipeline::Propagator;
-use crate::engine::EngineConfig;
+use crate::engine::pipeline::{BatchPhase, ObjectBatch, Propagator};
+use crate::engine::{group_batchable, EngineConfig};
 use crate::error::{QueryError, Result};
 use crate::object::UncertainObject;
 use crate::query::{ObjectProbability, QueryWindow};
@@ -74,21 +76,112 @@ pub(crate) fn exists_with(
     Ok(hit.min(1.0))
 }
 
-/// Evaluates the PST∃Q for every object in the database.
+/// Validates every object in a worker's share, in index order, so the
+/// first error is deterministic regardless of batch or shard layout.
+pub(crate) fn validate_indices(
+    db: &TrajectoryDatabase,
+    indices: &[usize],
+    window: &QueryWindow,
+) -> Result<()> {
+    for &idx in indices {
+        let object = db.object(idx).expect("caller passes valid indices");
+        validate(db.model_of(object), object, window)?;
+    }
+    Ok(())
+}
+
+/// Seeds one propagation row per chunk member from its anchor
+/// distribution — the single-row-per-object batch layout shared by the
+/// ∃, threshold and top-k drivers.
+pub(crate) fn seed_anchor_rows(
+    pipeline: &Propagator<'_>,
+    db: &TrajectoryDatabase,
+    indices: &[usize],
+    chunk: &[usize],
+) -> Vec<PropagationVector> {
+    chunk
+        .iter()
+        .map(|&pos| {
+            let object = db.object(indices[pos]).expect("validated by the driver");
+            pipeline.seed(object.anchor().distribution().clone())
+        })
+        .collect()
+}
+
+/// The ∃ accumulation rule over a whole batch: for every live group, the
+/// mass inside `S▫` moves from the group's row into `hits[g]` — the
+/// virtual `M+` redirect to ⊤, applied per object. Shared verbatim by the
+/// ∃, threshold and top-k drivers so the rule cannot diverge between them.
+pub(crate) fn accumulate_exists_hits(
+    batch: &mut ObjectBatch<'_>,
+    hits: &mut [f64],
+    window: &QueryWindow,
+) {
+    for (g, hit) in hits.iter_mut().enumerate() {
+        if batch.is_active(g) {
+            *hit += batch.group_mut(g)[0].extract_masked(window.states());
+        }
+    }
+}
+
+/// The batched OB driver over an explicit set of database object indices —
+/// the unit of work one `ShardedExecutor` worker owns. Results come back in
+/// the order of `indices`.
+///
+/// Objects are grouped by `(model, anchor time)` and propagated in
+/// [`EngineConfig::batch_size`] batches of one row each; every batch shares
+/// one matrix traversal per timestamp through the batched kernel. The ∃
+/// accumulation rule is applied per live group, and groups whose worlds are
+/// all decided drop out of the batch without stopping the sweep. Per
+/// object, results are bit-for-bit identical to [`exists_with`].
+pub(crate) fn exists_batched(
+    pipeline: &mut Propagator<'_>,
+    db: &TrajectoryDatabase,
+    indices: &[usize],
+    window: &QueryWindow,
+) -> Result<Vec<ObjectProbability>> {
+    validate_indices(db, indices, window)?;
+    let batch_size = pipeline.config().effective_batch_size();
+    let mut results: Vec<Option<ObjectProbability>> = vec![None; indices.len()];
+    for ((model, anchor_time), members) in group_batchable(db, indices) {
+        let chain = &db.models()[model];
+        for chunk in members.chunks(batch_size) {
+            let mut rows = seed_anchor_rows(pipeline, db, indices, chunk);
+            let mut batch = ObjectBatch::new(&mut rows, 1)?;
+            let mut hits = vec![0.0f64; chunk.len()];
+            pipeline.forward_batch(
+                chain.matrix(),
+                &mut batch,
+                anchor_time,
+                window,
+                |phase, batch, _| {
+                    if phase == BatchPhase::Window {
+                        accumulate_exists_hits(batch, &mut hits, window);
+                    }
+                    Ok(ControlFlow::Continue(()))
+                },
+            )?;
+            for (&pos, hit) in chunk.iter().zip(hits) {
+                let object = db.object(indices[pos]).expect("validated above");
+                results[pos] =
+                    Some(ObjectProbability { object_id: object.id(), probability: hit.min(1.0) });
+            }
+        }
+    }
+    Ok(results.into_iter().map(|r| r.expect("every position is covered")).collect())
+}
+
+/// Evaluates the PST∃Q for every object in the database through the batched
+/// kernel ([`EngineConfig::batch_size`] objects per shared traversal).
 pub fn evaluate(
     db: &TrajectoryDatabase,
     window: &QueryWindow,
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<Vec<ObjectProbability>> {
+    let indices: Vec<usize> = (0..db.len()).collect();
     let mut pipeline = Propagator::new(config, stats);
-    let mut results = Vec::with_capacity(db.len());
-    for object in db.objects() {
-        let chain = db.model_of(object);
-        let probability = exists_with(&mut pipeline, chain, object, window)?;
-        results.push(ObjectProbability { object_id: object.id(), probability });
-    }
-    Ok(results)
+    exists_batched(&mut pipeline, db, &indices, window)
 }
 
 /// Common validation: dimensions agree and the window starts no earlier

@@ -1,4 +1,4 @@
-//! The shared propagation pipeline every engine drives.
+//! The shared propagation pipeline every engine drives — **batch-first**.
 //!
 //! All of the paper's algorithms are one loop wearing different hats: a
 //! distribution vector (or a small family of them) is pushed through the
@@ -6,12 +6,31 @@
 //! timestamp the window states receive special treatment — mass is
 //! redirected to ⊤ (PST∃Q), shifted between count levels (PSTkQ), recorded
 //! as a marginal (the independence baseline) or clamped to certainty (the
-//! backward query-based sweep). Before this module existed, each engine
-//! hand-rolled that loop together with the ε-pruning, the sparse↔dense
-//! densification policy and the [`EvalStats`] bookkeeping; now
-//! [`Propagator`] owns the loop once and the engines reduce to thin drivers
-//! that supply the direction (forward / backward), the start state and the
-//! accumulation rule applied at window timestamps.
+//! backward query-based sweep). [`Propagator`] owns the loop once and the
+//! engines reduce to thin drivers that supply the direction (forward /
+//! backward), the start state and the accumulation rule applied at window
+//! timestamps.
+//!
+//! Since PR 2 the unit of propagation is an **object batch**, not a single
+//! object. The data flow is:
+//!
+//! ```text
+//! object batch (grouped by model + anchor time)
+//!   └─ ObjectBatch: one row group per object (1 row for ∃, |T▫|+1 for k)
+//!        └─ CsrMatrix::step_batch: one shared row-major matrix traversal
+//!             steps every live row of the batch (densified vectors reuse
+//!             each streamed matrix row; sparse rows pay only their support)
+//!        └─ per-object accumulators updated by the driver's window rule
+//!        └─ per-group early-exit masks: a decided object drops out of the
+//!             batch (bound met, mass exhausted) without stopping the sweep
+//!   └─ shards: ShardedExecutor gives each worker thread its own
+//!        Propagator + scratch and a contiguous slice of the batches
+//! ```
+//!
+//! Per object, the floating-point operations and their order are identical
+//! to a solo sweep, so batched evaluation is bit-for-bit equal to the
+//! per-object path at every batch size (property-tested in
+//! `tests/proptest_engines.rs`).
 //!
 //! The loop invariants the pipeline enforces uniformly:
 //!
@@ -23,21 +42,22 @@
 //!   accounted in [`EvalStats::pruned_mass`] (the absolute error bound);
 //! * **Densification** — vectors created through [`Propagator::seed`]
 //!   switch from sparse to dense at [`EngineConfig::densify_threshold`];
-//! * **Early termination** — a forward sweep whose vectors run empty (all
-//!   worlds decided) stops and counts [`EvalStats::early_terminations`];
-//!   drivers with their own stopping rules (threshold and top-k bounds)
-//!   break via [`Propagator::forward_until`]'s decision hook instead;
-//! * **Counters** — transitions / backward steps are counted per product,
-//!   and [`EvalStats::objects_evaluated`] is bumped for every forward sweep
-//!   that ran to its natural end (drivers that break early account for
-//!   their outcome themselves: a dismissal is not an evaluation).
+//! * **Early termination** — a group whose rows run empty (all worlds
+//!   decided) is retired from the batch and counted in
+//!   [`EvalStats::early_terminations`]; the sweep itself stops only when no
+//!   group remains. Drivers with their own stopping rules (threshold and
+//!   top-k bounds) retire groups via [`ObjectBatch::deactivate`] instead;
+//! * **Counters** — transitions and matrix-row traversals are counted per
+//!   product, and [`EvalStats::objects_evaluated`] is bumped for every
+//!   group that ran to its natural end (groups a driver deactivated are the
+//!   driver's outcome: a dismissal is not an evaluation).
 
 use std::ops::ControlFlow;
 
 use ust_markov::{CsrMatrix, PropagationVector, SparseVector, SpmvScratch};
 
 use crate::engine::EngineConfig;
-use crate::error::Result;
+use crate::error::{QueryError, Result};
 use crate::query::QueryWindow;
 use crate::stats::EvalStats;
 
@@ -69,23 +89,160 @@ pub enum ForwardEvent<'r> {
     },
 }
 
+/// Which hook of the masking schedule a batch event belongs to.
+///
+/// The batched analogue of the two [`ForwardEvent`] variants: `Window`
+/// fires at query timestamps (apply the accumulation rule to every live
+/// group), `StepEnd` after every timestamp's processing (bound checks,
+/// group retirement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPhase {
+    /// The sweep reached a query timestamp `t ∈ T▫`.
+    Window,
+    /// A timestamp is fully processed (stepped, window rule applied,
+    /// pruned).
+    StepEnd,
+}
+
+/// A batch of objects propagating in lockstep: `group_size` consecutive
+/// rows per object (1 for the ∃/∀ drivers, `|T▫| + 1` count levels for
+/// PSTkQ) plus a per-object activity mask.
+///
+/// The pipeline steps only rows of active groups, retires groups whose
+/// mass runs out, and stops the sweep when none remain. Drivers retire
+/// decided objects early through [`ObjectBatch::deactivate`] — the decided
+/// object drops out of the shared traversal without stopping the sweep for
+/// the rest of the batch.
+#[derive(Debug)]
+pub struct ObjectBatch<'r> {
+    rows: &'r mut [PropagationVector],
+    group_size: usize,
+    /// Per group: still propagating.
+    active: Vec<bool>,
+    /// Per group: retired by the pipeline because its mass ran out (counts
+    /// as evaluated, unlike a driver deactivation).
+    exhausted: Vec<bool>,
+}
+
+impl<'r> ObjectBatch<'r> {
+    /// Wraps `rows` as a batch of `rows.len() / group_size` objects.
+    ///
+    /// Fails when `group_size` is zero or does not divide the row count.
+    pub fn new(rows: &'r mut [PropagationVector], group_size: usize) -> Result<Self> {
+        if group_size == 0 || !rows.len().is_multiple_of(group_size) {
+            return Err(QueryError::MalformedBatch { rows: rows.len(), group_size });
+        }
+        let groups = rows.len() / group_size;
+        Ok(ObjectBatch {
+            rows,
+            group_size,
+            active: vec![true; groups],
+            exhausted: vec![false; groups],
+        })
+    }
+
+    /// Number of object groups in the batch.
+    pub fn num_groups(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Rows per object group.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// All rows, in group order.
+    pub fn rows(&self) -> &[PropagationVector] {
+        self.rows
+    }
+
+    /// All rows, mutably.
+    pub fn rows_mut(&mut self) -> &mut [PropagationVector] {
+        self.rows
+    }
+
+    /// The rows of group `g`.
+    pub fn group(&self, g: usize) -> &[PropagationVector] {
+        &self.rows[g * self.group_size..(g + 1) * self.group_size]
+    }
+
+    /// The rows of group `g`, mutably.
+    pub fn group_mut(&mut self, g: usize) -> &mut [PropagationVector] {
+        &mut self.rows[g * self.group_size..(g + 1) * self.group_size]
+    }
+
+    /// True while group `g` still participates in the sweep.
+    pub fn is_active(&self, g: usize) -> bool {
+        self.active[g]
+    }
+
+    /// Retires group `g` from the sweep — the driver decided its object
+    /// (bound met, dismissed, …). The pipeline will not count it as
+    /// evaluated; recording the outcome is the driver's job.
+    pub fn deactivate(&mut self, g: usize) {
+        self.active[g] = false;
+    }
+
+    /// Number of groups still propagating.
+    pub fn active_groups(&self) -> usize {
+        self.active.iter().filter(|a| **a).count()
+    }
+
+    /// Retires active groups whose rows all ran empty (every world
+    /// decided); returns how many were retired this call.
+    fn retire_exhausted(&mut self) -> u64 {
+        let mut retired = 0;
+        for g in 0..self.active.len() {
+            if self.active[g] && self.group(g).iter().all(|row| row.nnz() == 0) {
+                self.active[g] = false;
+                self.exhausted[g] = true;
+                retired += 1;
+            }
+        }
+        retired
+    }
+
+    /// Per-row activity for the batched kernel; `None` when every group is
+    /// live (the kernel's "all active" fast path).
+    fn row_activity(&self, buf: &mut Vec<bool>) -> bool {
+        if self.active.iter().all(|a| *a) {
+            return false;
+        }
+        buf.clear();
+        for &a in &self.active {
+            for _ in 0..self.group_size {
+                buf.push(a);
+            }
+        }
+        true
+    }
+
+    /// Groups that completed evaluation: still live at the natural end of
+    /// the sweep, or retired because their mass ran out. Driver-deactivated
+    /// groups are excluded — their outcome is the driver's to account.
+    fn evaluated_groups(&self) -> u64 {
+        self.active.iter().zip(&self.exhausted).filter(|(a, e)| **a || **e).count() as u64
+    }
+}
+
 /// The shared propagation core: owns the step loop, the masking schedule,
 /// ε-pruning, the sparse↔dense policy and all [`EvalStats`] accounting.
 ///
 /// One `Propagator` is typically created per evaluation batch (or per
-/// worker thread) so the sparse-product scratch space is allocated once and
-/// reused across objects.
+/// [`crate::parallel::ShardedExecutor`] worker) so the sparse-product
+/// scratch space is allocated once and reused across objects.
 #[derive(Debug)]
 pub struct Propagator<'s> {
     config: EngineConfig,
     stats: &'s mut EvalStats,
     scratch: SpmvScratch,
+    row_active: Vec<bool>,
 }
 
 impl<'s> Propagator<'s> {
     /// A pipeline accumulating into `stats` under `config`.
     pub fn new(config: &EngineConfig, stats: &'s mut EvalStats) -> Self {
-        Propagator { config: *config, stats, scratch: SpmvScratch::new() }
+        Propagator { config: *config, stats, scratch: SpmvScratch::new(), row_active: Vec::new() }
     }
 
     /// The active configuration.
@@ -105,12 +262,38 @@ impl<'s> Propagator<'s> {
         PropagationVector::from_sparse(start).with_densify_threshold(self.config.densify_threshold)
     }
 
+    /// Forward sweep of a multi-object batch from `start_time` to
+    /// `window.t_end()` — the batch-first core every OB driver runs on.
+    ///
+    /// All groups must share `start_time` (one anchor time per batch; the
+    /// drivers group objects accordingly). `on_event` fires with
+    /// [`BatchPhase::Window`] at every query timestamp (including
+    /// `start_time` itself when it lies in `T▫`) and with
+    /// [`BatchPhase::StepEnd`] after every processed timestamp; the driver
+    /// applies its accumulation rule to each active group and may retire
+    /// decided groups via [`ObjectBatch::deactivate`]. Returning
+    /// [`ControlFlow::Break`] aborts the whole sweep (single-object drivers
+    /// use it for their bound decisions); the returned timestamp is where
+    /// the sweep broke, `None` at the natural end.
+    pub fn forward_batch(
+        &mut self,
+        matrix: &CsrMatrix,
+        batch: &mut ObjectBatch<'_>,
+        start_time: u32,
+        window: &QueryWindow,
+        on_event: impl FnMut(BatchPhase, &mut ObjectBatch<'_>, u32) -> Result<ControlFlow<()>>,
+    ) -> Result<Option<u32>> {
+        let end_time = window.t_end();
+        self.forward_core(matrix, batch, start_time, end_time, Some(window), on_event)
+    }
+
     /// Forward sweep from `start_time` to `window.t_end()`.
     ///
-    /// `rows` is the propagated state — one vector for the ∃ engines, the
-    /// `|T▫| + 1` count levels of the `C(t)` algorithm for PSTkQ. At every
-    /// query timestamp (including `start_time` itself when it lies in `T▫`)
-    /// `on_window` applies the driver's accumulation rule.
+    /// `rows` is the propagated state of **one object** — a single vector
+    /// for the ∃ engines, the `|T▫| + 1` count levels of the `C(t)`
+    /// algorithm for PSTkQ. At every query timestamp (including
+    /// `start_time` itself when it lies in `T▫`) `on_window` applies the
+    /// driver's accumulation rule.
     pub fn forward(
         &mut self,
         matrix: &CsrMatrix,
@@ -135,9 +318,9 @@ impl<'s> Propagator<'s> {
     ///
     /// Returns the timestamp at which the driver broke, or `None` when the
     /// sweep ran to its natural end (in which case the pipeline counts the
-    /// object as evaluated). Used by the threshold and top-k drivers, whose
-    /// bound-based stopping rules are evaluation outcomes of their own —
-    /// they update [`EvalStats`] through [`Propagator::stats`].
+    /// object as evaluated). Used by the single-object threshold and top-k
+    /// drivers, whose bound-based stopping rules are evaluation outcomes of
+    /// their own — they update [`EvalStats`] through [`Propagator::stats`].
     pub fn forward_until(
         &mut self,
         matrix: &CsrMatrix,
@@ -161,42 +344,100 @@ impl<'s> Propagator<'s> {
         start_time: u32,
         end_time: u32,
         window: &QueryWindow,
+        on_event: impl FnMut(ForwardEvent<'_>) -> Result<ControlFlow<()>>,
+    ) -> Result<Option<u32>> {
+        self.forward_rows(matrix, rows, start_time, end_time, Some(window), on_event)
+    }
+
+    /// Forward sweep with **no window schedule**: only
+    /// [`ForwardEvent::StepEnd`] fires, after every processed timestamp
+    /// (including `start_time`). This is the observation-driven schedule —
+    /// the smoothing α-recursion fuses evidence at its own timestamps
+    /// rather than a query window's.
+    pub fn forward_steps(
+        &mut self,
+        matrix: &CsrMatrix,
+        rows: &mut [PropagationVector],
+        start_time: u32,
+        end_time: u32,
+        on_event: impl FnMut(ForwardEvent<'_>) -> Result<ControlFlow<()>>,
+    ) -> Result<Option<u32>> {
+        self.forward_rows(matrix, rows, start_time, end_time, None, on_event)
+    }
+
+    /// The single-object adapter: one group holding all `rows`, driven
+    /// through the batch core with [`ForwardEvent`] translation.
+    fn forward_rows(
+        &mut self,
+        matrix: &CsrMatrix,
+        rows: &mut [PropagationVector],
+        start_time: u32,
+        end_time: u32,
+        window: Option<&QueryWindow>,
         mut on_event: impl FnMut(ForwardEvent<'_>) -> Result<ControlFlow<()>>,
     ) -> Result<Option<u32>> {
-        if window.time_in_window(start_time)
-            && on_event(ForwardEvent::Window { rows, t: start_time })?.is_break()
+        let group_size = rows.len().max(1);
+        let mut batch = ObjectBatch::new(rows, group_size)?;
+        self.forward_core(matrix, &mut batch, start_time, end_time, window, |phase, batch, t| {
+            on_event(match phase {
+                BatchPhase::Window => ForwardEvent::Window { rows: batch.rows_mut(), t },
+                BatchPhase::StepEnd => ForwardEvent::StepEnd { rows: batch.rows_mut(), t },
+            })
+        })
+    }
+
+    /// The one step loop behind every forward API.
+    fn forward_core(
+        &mut self,
+        matrix: &CsrMatrix,
+        batch: &mut ObjectBatch<'_>,
+        start_time: u32,
+        end_time: u32,
+        window: Option<&QueryWindow>,
+        mut on_event: impl FnMut(BatchPhase, &mut ObjectBatch<'_>, u32) -> Result<ControlFlow<()>>,
+    ) -> Result<Option<u32>> {
+        if window.is_some_and(|w| w.time_in_window(start_time))
+            && on_event(BatchPhase::Window, batch, start_time)?.is_break()
         {
             return Ok(Some(start_time));
         }
-        if on_event(ForwardEvent::StepEnd { rows, t: start_time })?.is_break() {
+        if on_event(BatchPhase::StepEnd, batch, start_time)?.is_break() {
             return Ok(Some(start_time));
         }
         for t in start_time..end_time {
-            if rows.iter().all(|row| row.nnz() == 0) {
-                // All worlds decided (the paper's inherent true-hit stop).
-                self.stats.early_terminations += 1;
+            // Retire groups whose worlds are all decided (the paper's
+            // inherent true-hit stop), then stop once none remain.
+            self.stats.early_terminations += batch.retire_exhausted();
+            if batch.active_groups() == 0 {
                 break;
             }
-            for row in rows.iter_mut() {
-                if row.nnz() == 0 {
-                    continue;
-                }
-                row.step(matrix, &mut self.scratch)?;
-                self.stats.transitions += 1;
-                if self.config.epsilon > 0.0 {
-                    self.stats.pruned_mass += row.prune(self.config.epsilon);
+            let masked = batch.row_activity(&mut self.row_active);
+            let activity: &[bool] = if masked { &self.row_active } else { &[] };
+            let report = matrix.step_batch(batch.rows, activity, &mut self.scratch)?;
+            self.stats.transitions += report.vectors_stepped;
+            self.stats.rows_traversed += report.rows_traversed;
+            if self.config.epsilon > 0.0 {
+                for g in 0..batch.num_groups() {
+                    if !batch.is_active(g) {
+                        continue;
+                    }
+                    for row in batch.group_mut(g) {
+                        self.stats.pruned_mass += row.prune(self.config.epsilon);
+                    }
                 }
             }
-            if window.time_in_window(t + 1)
-                && on_event(ForwardEvent::Window { rows, t: t + 1 })?.is_break()
+            if window.is_some_and(|w| w.time_in_window(t + 1))
+                && on_event(BatchPhase::Window, batch, t + 1)?.is_break()
             {
                 return Ok(Some(t + 1));
             }
-            if on_event(ForwardEvent::StepEnd { rows, t: t + 1 })?.is_break() {
+            if on_event(BatchPhase::StepEnd, batch, t + 1)?.is_break() {
                 return Ok(Some(t + 1));
             }
         }
-        self.stats.objects_evaluated += 1;
+        // Exhaustion at the final timestamp is a natural end, not an early
+        // termination — groups still flagged active are simply done.
+        self.stats.objects_evaluated += batch.evaluated_groups();
         Ok(None)
     }
 
@@ -215,20 +456,56 @@ impl<'s> Propagator<'s> {
         state: &mut S,
         window: &QueryWindow,
         snapshot_times: &[u32],
+        apply_window: impl FnMut(&mut S) -> Result<()>,
+        step: impl FnMut(&mut S, &mut SpmvScratch) -> Result<u64>,
+        snapshot: impl FnMut(&S, u32),
+    ) -> Result<()> {
+        self.backward_from(
+            state,
+            window.t_end(),
+            window,
+            snapshot_times,
+            apply_window,
+            step,
+            snapshot,
+        )
+    }
+
+    /// As [`Propagator::backward`], resuming a sweep whose state is already
+    /// at `resume_time` (i.e. `state` holds `h_{resume_time}`).
+    ///
+    /// This is the suffix-sharing primitive behind
+    /// [`crate::engine::cache::BackwardFieldCache`]: a cached sweep that
+    /// stopped at its earliest snapshot can be extended further down to new
+    /// anchor times without recomputing the `(resume_time, t_end]` suffix.
+    /// Snapshot times above `resume_time` are ignored — they belong to the
+    /// already-computed part of the sweep.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_from<S>(
+        &mut self,
+        state: &mut S,
+        resume_time: u32,
+        window: &QueryWindow,
+        snapshot_times: &[u32],
         mut apply_window: impl FnMut(&mut S) -> Result<()>,
         mut step: impl FnMut(&mut S, &mut SpmvScratch) -> Result<u64>,
         mut snapshot: impl FnMut(&S, u32),
     ) -> Result<()> {
-        let t_end = window.t_end();
-        let t_min = snapshot_times.iter().copied().min().unwrap_or(t_end);
-        let mut wanted: Vec<u32> = snapshot_times.to_vec();
+        let t_min = snapshot_times
+            .iter()
+            .copied()
+            .filter(|&t| t <= resume_time)
+            .min()
+            .unwrap_or(resume_time);
+        let mut wanted: Vec<u32> =
+            snapshot_times.iter().copied().filter(|&t| t <= resume_time).collect();
         wanted.sort_unstable();
         wanted.dedup();
 
-        if wanted.binary_search(&t_end).is_ok() {
-            snapshot(state, t_end);
+        if wanted.binary_search(&resume_time).is_ok() {
+            snapshot(state, resume_time);
         }
-        let mut t = t_end;
+        let mut t = resume_time;
         while t > t_min {
             // Stepping from t to t-1: the step's target time is t.
             if window.time_in_window(t) {
@@ -319,6 +596,7 @@ mod tests {
         assert!((hit - 0.864).abs() < 1e-12);
         assert_eq!(stats.transitions, 3);
         assert_eq!(stats.objects_evaluated, 1);
+        assert!(stats.rows_traversed > 0);
     }
 
     #[test]
@@ -337,6 +615,118 @@ mod tests {
         assert_eq!(decided, Some(1));
         assert_eq!(stats.transitions, 1);
         assert_eq!(stats.objects_evaluated, 0, "broken sweeps are the driver's outcome");
+    }
+
+    #[test]
+    fn batch_retires_decided_groups_without_stopping_the_sweep() {
+        // Two objects: the driver dismisses the first at t=1; the second
+        // propagates to the end and is counted as evaluated.
+        let chain = paper_chain();
+        let window = paper_window();
+        let mut stats = EvalStats::new();
+        let mut pipeline = Propagator::new(&EngineConfig::default(), &mut stats);
+        let mut rows = vec![
+            pipeline.seed(SparseVector::unit(3, 1).unwrap()),
+            pipeline.seed(SparseVector::unit(3, 2).unwrap()),
+        ];
+        let mut batch = ObjectBatch::new(&mut rows, 1).unwrap();
+        let mut hits = [0.0f64; 2];
+        let end = pipeline
+            .forward_batch(chain.matrix(), &mut batch, 0, &window, |phase, batch, t| {
+                match phase {
+                    BatchPhase::Window => {
+                        for (g, hit) in hits.iter_mut().enumerate() {
+                            if batch.is_active(g) {
+                                *hit += batch.group_mut(g)[0].extract_masked(window.states());
+                            }
+                        }
+                    }
+                    BatchPhase::StepEnd => {
+                        if t == 1 && batch.is_active(0) {
+                            batch.deactivate(0);
+                        }
+                    }
+                }
+                Ok(ControlFlow::Continue(()))
+            })
+            .unwrap();
+        assert_eq!(end, None);
+        assert_eq!(stats.objects_evaluated, 1, "the dismissed group is not an evaluation");
+        // Group 1 from s3: hits 0.8 at t=2, then 0.2·0.8 = 0.16 at t=3.
+        assert!((hits[1] - 0.928).abs() < 1e-12);
+        // Group 0 was dismissed after one step: no window mass collected.
+        assert_eq!(hits[0], 0.0);
+        // Transitions: group 0 stepped once, group 1 three times.
+        assert_eq!(stats.transitions, 4);
+    }
+
+    #[test]
+    fn batch_exhausted_groups_count_as_early_terminations() {
+        // A window covering the whole space at t=1 empties every group's
+        // vector; both groups retire, both count as evaluated.
+        let chain = paper_chain();
+        let window = QueryWindow::from_states(3, [0usize, 1, 2], TimeSet::new([1, 9])).unwrap();
+        let mut stats = EvalStats::new();
+        let mut pipeline = Propagator::new(&EngineConfig::default(), &mut stats);
+        let mut rows = vec![
+            pipeline.seed(SparseVector::unit(3, 0).unwrap()),
+            pipeline.seed(SparseVector::unit(3, 1).unwrap()),
+        ];
+        let mut batch = ObjectBatch::new(&mut rows, 1).unwrap();
+        let mut hit = 0.0;
+        pipeline
+            .forward_batch(chain.matrix(), &mut batch, 0, &window, |phase, batch, _| {
+                if phase == BatchPhase::Window {
+                    for g in 0..batch.num_groups() {
+                        hit += batch.group_mut(g)[0].extract_masked(window.states());
+                    }
+                }
+                Ok(ControlFlow::Continue(()))
+            })
+            .unwrap();
+        assert!((hit - 2.0).abs() < 1e-12);
+        assert_eq!(stats.early_terminations, 2);
+        assert_eq!(stats.objects_evaluated, 2);
+        assert!(stats.transitions < 18, "the sweep must stop after t=1");
+    }
+
+    #[test]
+    fn malformed_batches_are_rejected() {
+        let mut rows = vec![
+            PropagationVector::from_sparse(SparseVector::zeros(3)),
+            PropagationVector::from_sparse(SparseVector::zeros(3)),
+            PropagationVector::from_sparse(SparseVector::zeros(3)),
+        ];
+        assert!(matches!(
+            ObjectBatch::new(&mut rows, 2),
+            Err(QueryError::MalformedBatch { rows: 3, group_size: 2 })
+        ));
+        assert!(matches!(ObjectBatch::new(&mut rows, 0), Err(QueryError::MalformedBatch { .. })));
+        let batch = ObjectBatch::new(&mut rows, 3).unwrap();
+        assert_eq!(batch.num_groups(), 1);
+        assert_eq!(batch.group_size(), 3);
+    }
+
+    #[test]
+    fn forward_steps_fires_no_window_events() {
+        // The observation-driven schedule: StepEnd at every timestamp,
+        // never a Window event.
+        let chain = paper_chain();
+        let mut stats = EvalStats::new();
+        let mut pipeline = Propagator::new(&EngineConfig::default(), &mut stats);
+        let mut rows = [pipeline.seed(SparseVector::unit(3, 1).unwrap())];
+        let mut steps = Vec::new();
+        pipeline
+            .forward_steps(chain.matrix(), &mut rows, 0, 4, |event| match event {
+                ForwardEvent::StepEnd { t, .. } => {
+                    steps.push(t);
+                    Ok(ControlFlow::Continue(()))
+                }
+                ForwardEvent::Window { .. } => panic!("no window schedule"),
+            })
+            .unwrap();
+        assert_eq!(steps, vec![0, 1, 2, 3, 4]);
+        assert_eq!(stats.transitions, 4);
     }
 
     #[test]
@@ -369,6 +759,62 @@ mod tests {
             .unwrap();
         assert_eq!(seen, vec![2, 0]);
         assert_eq!(stats.backward_steps, 3);
+    }
+
+    #[test]
+    fn backward_from_resumes_a_suffix_sweep() {
+        // Running t_end → 1 in one sweep must equal t_end → 2 followed by a
+        // resumed 2 → 1 sweep, bit for bit.
+        let chain = paper_chain();
+        let window = paper_window();
+        let transposed = chain.transposed();
+        let run = |segments: &[(u32, Vec<u32>)]| {
+            let mut stats = EvalStats::new();
+            let mut pipeline = Propagator::new(&EngineConfig::default(), &mut stats);
+            let mut h = pipeline.seed(SparseVector::zeros(3));
+            let mut snaps = Vec::new();
+            for (resume, wanted) in segments {
+                pipeline
+                    .backward_from(
+                        &mut h,
+                        *resume,
+                        &window,
+                        wanted,
+                        |h| {
+                            let _ = h.extract_masked(window.states());
+                            let ones = SparseVector::from_pairs(
+                                3,
+                                window.states().iter().map(|s| (s, 1.0)),
+                            )?;
+                            h.add_sparse(&ones)?;
+                            Ok(())
+                        },
+                        |h, scratch| {
+                            h.step(transposed, scratch)?;
+                            Ok(1)
+                        },
+                        |h, t| snaps.push((t, h.to_dense())),
+                    )
+                    .unwrap();
+            }
+            snaps
+        };
+        let full = run(&[(3, vec![1, 2])]);
+        let split = run(&[(3, vec![2]), (2, vec![1])]);
+        assert_eq!(full.len(), 2);
+        // The split run snapshots t=2 twice (once as the end of the first
+        // segment, once as the resume point of the second).
+        let split: Vec<_> = split
+            .iter()
+            .filter(|(t, _)| *t == 1)
+            .chain(split.iter().filter(|(t, _)| *t == 2).take(1))
+            .collect();
+        for (t, h) in &full {
+            let other = split.iter().find(|(st, _)| st == t).unwrap();
+            for s in 0..3 {
+                assert_eq!(h.get(s).to_bits(), other.1.get(s).to_bits(), "t={t}, s={s}");
+            }
+        }
     }
 
     #[test]

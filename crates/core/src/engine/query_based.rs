@@ -23,9 +23,10 @@
 
 use std::collections::BTreeMap;
 
-use ust_markov::{DenseVector, MarkovChain, SparseVector};
+use ust_markov::{DenseVector, MarkovChain, PropagationVector, SparseVector};
 
 use crate::database::TrajectoryDatabase;
+use crate::engine::cache::BackwardFieldCache;
 use crate::engine::object_based::validate;
 use crate::engine::pipeline::Propagator;
 use crate::engine::EngineConfig;
@@ -69,13 +70,64 @@ impl BackwardField {
         config: &EngineConfig,
         stats: &mut EvalStats,
     ) -> Result<BackwardField> {
+        let mut field = BackwardField { snapshots: BTreeMap::new() };
+        let mut h = PropagationVector::from_sparse(SparseVector::zeros(chain.num_states()))
+            .with_densify_threshold(config.densify_threshold);
+        field.sweep_down(chain, window, &mut h, window.t_end(), anchor_times, config, stats)?;
+        Ok(field)
+    }
+
+    /// Extends an already-computed field downward to earlier anchor times,
+    /// resuming the backward sweep from its earliest snapshot instead of
+    /// recomputing the `(min, t_end]` suffix. Every time in `anchor_times`
+    /// must lie at or below [`Self::min_time`]; times already snapshotted
+    /// are free. Resumed sweeps are bit-for-bit identical to a from-scratch
+    /// sweep (the per-slot accumulation order of the backward product does
+    /// not depend on the vector's representation).
+    ///
+    /// This is the suffix sharing behind
+    /// [`crate::engine::cache::BackwardFieldCache`].
+    pub fn extend_down(
+        &mut self,
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        anchor_times: &[u32],
+        config: &EngineConfig,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        let Some(resume) = self.min_time() else {
+            return Ok(());
+        };
+        let wanted: Vec<u32> = anchor_times.iter().copied().filter(|&t| t < resume).collect();
+        if wanted.is_empty() {
+            return Ok(());
+        }
+        let snapshot = self.snapshots.get(&resume).expect("min_time comes from snapshots");
+        let mut h = PropagationVector::from_dense(snapshot.clone())
+            .with_densify_threshold(config.densify_threshold);
+        self.sweep_down(chain, window, &mut h, resume, &wanted, config, stats)
+    }
+
+    /// The shared backward sweep: from `h` = `h_{resume}` down to the
+    /// earliest requested time, recording snapshots along the way.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_down(
+        &mut self,
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        h: &mut PropagationVector,
+        resume: u32,
+        anchor_times: &[u32],
+        config: &EngineConfig,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
         let n = chain.num_states();
         let transposed = chain.transposed();
         let mut pipeline = Propagator::new(config, stats);
-        let mut snapshots = BTreeMap::new();
-        let mut h = pipeline.seed(SparseVector::zeros(n));
-        pipeline.backward(
-            &mut h,
+        let snapshots = &mut self.snapshots;
+        pipeline.backward_from(
+            h,
+            resume,
             window,
             anchor_times,
             // Transposed M+ surgery: when the step's target time is in T▫,
@@ -95,13 +147,27 @@ impl BackwardField {
             |h, t| {
                 snapshots.insert(t, h.to_dense());
             },
-        )?;
-        Ok(BackwardField { snapshots })
+        )
     }
 
     /// The snapshot at anchor time `t`, if it was requested.
     pub fn at(&self, t: u32) -> Option<&DenseVector> {
         self.snapshots.get(&t)
+    }
+
+    /// The earliest snapshotted time — how far down the sweep has run.
+    pub fn min_time(&self) -> Option<u32> {
+        self.snapshots.keys().next().copied()
+    }
+
+    /// Iterates the snapshotted anchor times in ascending order.
+    pub fn times(&self) -> impl Iterator<Item = u32> + '_ {
+        self.snapshots.keys().copied()
+    }
+
+    /// True when every time in `anchor_times` has a snapshot.
+    pub fn covers(&self, anchor_times: &[u32]) -> bool {
+        anchor_times.iter().all(|t| self.snapshots.contains_key(t))
     }
 
     /// Answers one object from the field: a sparse dot product of its
@@ -146,15 +212,25 @@ pub fn exists_probability(
     Ok(field.object_probability(object, window).expect("anchor snapshot was requested"))
 }
 
-/// Evaluates the PST∃Q for every object in the database: one backward pass
-/// per transition model (Section V-C), then one dot product per object.
-pub fn evaluate(
+/// A model's populated object group: database indices in insertion order
+/// plus their (validated) anchor times — everything a backward sweep needs.
+pub(crate) struct ModelGroup {
+    /// Model index into `db.models()`.
+    pub model: usize,
+    /// Database object indices following the model, ascending.
+    pub members: Vec<usize>,
+    /// `members`' anchor times, parallel to `members`.
+    pub anchors: Vec<u32>,
+}
+
+/// Validates every object and groups the database by model — the shared
+/// front half of the sequential, cached and sharded QB drivers, so the
+/// validation and anchor-collection rules cannot diverge between them.
+pub(crate) fn validated_model_groups(
     db: &TrajectoryDatabase,
     window: &QueryWindow,
-    config: &EngineConfig,
-    stats: &mut EvalStats,
-) -> Result<Vec<ObjectProbability>> {
-    let mut results: Vec<Option<ObjectProbability>> = vec![None; db.len()];
+) -> Result<Vec<ModelGroup>> {
+    let mut groups = Vec::new();
     for (model_idx, members) in db.objects_by_model().into_iter().enumerate() {
         if members.is_empty() {
             continue;
@@ -166,14 +242,87 @@ pub fn evaluate(
             validate(chain, object, window)?;
             anchors.push(object.anchor().time());
         }
-        let field = BackwardField::compute_with_config(chain, window, &anchors, config, stats)?;
-        for &idx in &members {
-            let object = db.object(idx).expect("index from enumeration");
-            let probability =
-                field.object_probability(object, window).expect("anchor snapshot was requested");
-            stats.objects_evaluated += 1;
-            results[idx] = Some(ObjectProbability { object_id: object.id(), probability });
-        }
+        groups.push(ModelGroup { model: model_idx, members, anchors });
+    }
+    Ok(groups)
+}
+
+/// The answer half shared by the QB drivers: one dot product per group
+/// member against the group's backward field, written into `results` by
+/// database index.
+fn answer_group(
+    db: &TrajectoryDatabase,
+    group: &ModelGroup,
+    field: &BackwardField,
+    window: &QueryWindow,
+    stats: &mut EvalStats,
+    results: &mut [Option<ObjectProbability>],
+) {
+    for &idx in &group.members {
+        let object = db.object(idx).expect("index from enumeration");
+        let probability =
+            field.object_probability(object, window).expect("anchor snapshot was requested");
+        stats.objects_evaluated += 1;
+        results[idx] = Some(ObjectProbability { object_id: object.id(), probability });
+    }
+}
+
+/// One backward field per model, computed over **all** of that model's
+/// object anchors (validating every object first; `None` for models with
+/// no objects). This is the sweep both the sequential [`evaluate`] and the
+/// sharded driver pay exactly once per model — workers then share the
+/// read-only fields and the per-object work reduces to dot products.
+pub(crate) fn compute_model_fields(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<Option<BackwardField>>> {
+    let mut fields: Vec<Option<BackwardField>> = (0..db.models().len()).map(|_| None).collect();
+    for group in validated_model_groups(db, window)? {
+        let chain = &db.models()[group.model];
+        fields[group.model] =
+            Some(BackwardField::compute_with_config(chain, window, &group.anchors, config, stats)?);
+    }
+    Ok(fields)
+}
+
+/// Evaluates the PST∃Q for every object in the database: one backward pass
+/// per transition model (Section V-C), then one dot product per object.
+pub fn evaluate(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectProbability>> {
+    let mut results: Vec<Option<ObjectProbability>> = vec![None; db.len()];
+    for group in validated_model_groups(db, window)? {
+        let chain = &db.models()[group.model];
+        let field =
+            BackwardField::compute_with_config(chain, window, &group.anchors, config, stats)?;
+        answer_group(db, &group, &field, window, stats, &mut results);
+    }
+    Ok(results.into_iter().map(|r| r.expect("every object belongs to a model")).collect())
+}
+
+/// As [`evaluate`], answering each model's backward field through a
+/// [`BackwardFieldCache`]: repeated or overlapping queries on the same
+/// `(model, window)` reuse the cached suffix sweep (extending it to earlier
+/// anchor times when needed) instead of recomputing it. Results are
+/// bit-for-bit identical to the uncached path.
+pub fn evaluate_with_cache(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    cache: &mut BackwardFieldCache,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectProbability>> {
+    let mut results: Vec<Option<ObjectProbability>> = vec![None; db.len()];
+    for group in validated_model_groups(db, window)? {
+        let chain = &db.models()[group.model];
+        let field =
+            cache.get_or_compute(group.model, chain, window, &group.anchors, config, stats)?;
+        answer_group(db, &group, field, window, stats, &mut results);
     }
     Ok(results.into_iter().map(|r| r.expect("every object belongs to a model")).collect())
 }

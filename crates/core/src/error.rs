@@ -50,6 +50,14 @@ pub enum QueryError {
         /// The budget that was exceeded (expanded path prefixes).
         budget: u64,
     },
+    /// A propagation batch's row count is not a multiple of its per-object
+    /// group size (every object must contribute the same number of rows).
+    MalformedBatch {
+        /// Total rows handed to the batch.
+        rows: usize,
+        /// Rows per object group.
+        group_size: usize,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -76,6 +84,9 @@ impl fmt::Display for QueryError {
             }
             QueryError::ExhaustiveBudgetExceeded { budget } => {
                 write!(f, "exhaustive enumeration exceeded its budget of {budget} expansions")
+            }
+            QueryError::MalformedBatch { rows, group_size } => {
+                write!(f, "batch of {rows} rows is not divisible into groups of {group_size}")
             }
         }
     }

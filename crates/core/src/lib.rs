@@ -68,6 +68,7 @@ pub mod streaming;
 pub mod threshold;
 
 pub use database::TrajectoryDatabase;
+pub use engine::cache::BackwardFieldCache;
 pub use engine::{EngineConfig, QueryProcessor};
 pub use error::{QueryError, Result};
 pub use object::UncertainObject;
@@ -78,6 +79,7 @@ pub use stats::EvalStats;
 /// Convenience prelude re-exporting the types most applications need.
 pub mod prelude {
     pub use crate::database::TrajectoryDatabase;
+    pub use crate::engine::cache::BackwardFieldCache;
     pub use crate::engine::{EngineConfig, QueryProcessor};
     pub use crate::error::{QueryError, Result};
     pub use crate::object::UncertainObject;

@@ -1,85 +1,288 @@
-//! Parallel object-based evaluation.
+//! Sharded parallel evaluation for every query driver.
 //!
-//! The object-based approach is embarrassingly parallel over objects — each
-//! propagation touches only the shared read-only chain. This module shards
-//! the database across `std::thread` scoped threads, giving each worker its
-//! own propagation pipeline (and thus its own scratch accumulator), and
-//! stitches the results back in object order. (The query-based approach
-//! rarely needs this: its per-object work is a single dot product.)
+//! All of the paper's queries are embarrassingly parallel over objects —
+//! each propagation touches only the shared read-only chain. The
+//! [`ShardedExecutor`] shards the database's object indices into contiguous
+//! chunks across `std::thread::scope` workers, gives each worker **its own
+//! [`Propagator`]** (and thus its own scratch accumulator and batch
+//! buffers), and stitches the per-object outputs back in database order,
+//! merging the per-worker [`EvalStats`].
+//!
+//! Every [`crate::engine::QueryProcessor`] entry point routes through the
+//! executor: with [`crate::engine::EngineConfig::num_threads`] `== 1` the
+//! worker runs inline on the caller's thread (no spawn), at higher counts
+//! the shards run concurrently. Within each shard the drivers are the same
+//! batched ones the sequential path uses, so parallel results are
+//! **bit-for-bit identical** to sequential evaluation for ∃/∀/k, threshold
+//! decisions and top-k rankings (asserted by the tests below and the
+//! property suite).
 
 use crate::database::TrajectoryDatabase;
 use crate::engine::pipeline::Propagator;
-use crate::engine::{object_based, EngineConfig};
+use crate::engine::{ktimes, object_based, query_based, EngineConfig};
 use crate::error::Result;
-use crate::query::{ObjectProbability, QueryWindow};
+use crate::query::{ObjectKDistribution, ObjectProbability, QueryWindow};
+use crate::ranking::{self, RankedObject};
 use crate::stats::EvalStats;
+use crate::threshold;
 
-/// Evaluates the PST∃Q for every object with `num_threads` workers.
-///
-/// Results are identical to [`object_based::evaluate`] (same order, same
-/// probabilities); `stats` aggregates the per-worker counters.
+/// Shards object work across scoped worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedExecutor {
+    num_threads: usize,
+}
+
+impl ShardedExecutor {
+    /// An executor with `num_threads` workers (clamped to at least 1).
+    pub fn new(num_threads: usize) -> Self {
+        ShardedExecutor { num_threads: num_threads.max(1) }
+    }
+
+    /// An executor sized from [`EngineConfig::num_threads`].
+    pub fn from_config(config: &EngineConfig) -> Self {
+        ShardedExecutor::new(config.effective_num_threads())
+    }
+
+    /// The worker count.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `worker` over contiguous shards of the database's object
+    /// indices and concatenates the outputs in shard order.
+    ///
+    /// Each worker owns one [`Propagator`] over a private [`EvalStats`]
+    /// that is merged into `stats` afterwards (deterministically, in shard
+    /// order — as is the first error, should any shard fail). Workers that
+    /// return one output per index therefore produce the same vector the
+    /// sequential driver would; reduction-style workers (top-k candidates)
+    /// return fewer and the caller merges.
+    pub fn run<T, F>(
+        &self,
+        db: &TrajectoryDatabase,
+        config: &EngineConfig,
+        stats: &mut EvalStats,
+        worker: F,
+    ) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&mut Propagator<'_>, &[usize]) -> Result<Vec<T>> + Sync,
+    {
+        let n = db.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let threads = self.num_threads.min(n);
+        if threads == 1 {
+            let mut pipeline = Propagator::new(config, stats);
+            let indices: Vec<usize> = (0..n).collect();
+            return worker(&mut pipeline, &indices);
+        }
+
+        let chunk_size = n.div_ceil(threads);
+        type WorkerOutput<T> = Result<(Vec<T>, EvalStats)>;
+        let worker_results: Vec<WorkerOutput<T>> = std::thread::scope(|scope| {
+            let worker = &worker;
+            let mut handles = Vec::with_capacity(threads);
+            for shard in 0..threads {
+                let lo = shard * chunk_size;
+                let hi = ((shard + 1) * chunk_size).min(n);
+                if lo >= hi {
+                    break;
+                }
+                handles.push(scope.spawn(move || -> WorkerOutput<T> {
+                    let indices: Vec<usize> = (lo..hi).collect();
+                    let mut local_stats = EvalStats::new();
+                    let mut pipeline = Propagator::new(config, &mut local_stats);
+                    let out = worker(&mut pipeline, &indices)?;
+                    drop(pipeline);
+                    Ok((out, local_stats))
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        let mut out = Vec::with_capacity(n);
+        for result in worker_results {
+            let (shard_out, local_stats) = result?;
+            stats.merge(&local_stats);
+            out.extend(shard_out);
+        }
+        Ok(out)
+    }
+}
+
+/// PST∃Q for every object, object-based, sharded over
+/// [`EngineConfig::num_threads`] workers. Identical to [`object_based::evaluate`] (same order, same
+/// bits); `stats` aggregates the per-worker counters.
 pub fn evaluate_exists_parallel(
     db: &TrajectoryDatabase,
     window: &QueryWindow,
     config: &EngineConfig,
-    num_threads: usize,
     stats: &mut EvalStats,
 ) -> Result<Vec<ObjectProbability>> {
-    let num_threads = num_threads.max(1);
-    if db.is_empty() {
+    ShardedExecutor::from_config(config).run(db, config, stats, |pipeline, indices| {
+        object_based::exists_batched(pipeline, db, indices, window)
+    })
+}
+
+/// PST∃Q for every object, query-based, sharded. The backward sweep — the
+/// dominant, inherently sequential cost — runs **once per model** up
+/// front; the workers then share the read-only fields and shard only the
+/// per-object dot products. Results match [`query_based::evaluate`] bit
+/// for bit.
+pub fn evaluate_exists_qb_parallel(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectProbability>> {
+    let fields = query_based::compute_model_fields(db, window, config, stats)?;
+    let fields = &fields;
+    ShardedExecutor::from_config(config).run(db, config, stats, |pipeline, indices| {
+        let mut out = Vec::with_capacity(indices.len());
+        for &idx in indices {
+            let object = db.object(idx).expect("executor passes valid indices");
+            let field = fields[object.model()].as_ref().expect("one field per populated model");
+            let probability =
+                field.object_probability(object, window).expect("anchor snapshot was requested");
+            pipeline.stats().objects_evaluated += 1;
+            out.push(ObjectProbability { object_id: object.id(), probability });
+        }
+        Ok(out)
+    })
+}
+
+/// PST∀Q for every object, object-based, sharded (complement reduction on
+/// the sharded ∃ driver).
+pub fn evaluate_forall_parallel(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectProbability>> {
+    let complement = window.complement_states()?;
+    let mut results = evaluate_exists_parallel(db, &complement, config, stats)?;
+    crate::engine::forall::complement_probabilities(&mut results);
+    Ok(results)
+}
+
+/// PST∀Q for every object, query-based, sharded.
+pub fn evaluate_forall_qb_parallel(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectProbability>> {
+    let complement = window.complement_states()?;
+    let mut results = evaluate_exists_qb_parallel(db, &complement, config, stats)?;
+    crate::engine::forall::complement_probabilities(&mut results);
+    Ok(results)
+}
+
+/// PSTkQ for every object, object-based (`C(t)` algorithm), sharded.
+pub fn evaluate_ktimes_parallel(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectKDistribution>> {
+    ShardedExecutor::from_config(config).run(db, config, stats, |pipeline, indices| {
+        ktimes::ktimes_batched(pipeline, db, indices, window)
+    })
+}
+
+/// PSTkQ for every object, query-based, sharded. As with
+/// [`evaluate_exists_qb_parallel`], the per-model backward level sweeps run
+/// once up front and the workers shard the per-object dot products.
+pub fn evaluate_ktimes_qb_parallel(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectKDistribution>> {
+    let fields = ktimes::compute_model_fields(db, window, stats)?;
+    let fields = &fields;
+    ShardedExecutor::from_config(config).run(db, config, stats, |pipeline, indices| {
+        let mut out = Vec::with_capacity(indices.len());
+        for &idx in indices {
+            let object = db.object(idx).expect("executor passes valid indices");
+            let field = fields[object.model()].as_ref().expect("one field per populated model");
+            let probabilities =
+                field.object_distribution(object, window).expect("anchor snapshot was requested");
+            pipeline.stats().objects_evaluated += 1;
+            out.push(ObjectKDistribution { object_id: object.id(), probabilities });
+        }
+        Ok(out)
+    })
+}
+
+/// Thresholded PST∃Q over the whole database, sharded: each worker runs the
+/// batched bound-based driver on its shard (building its own reachability
+/// pruners). The accepted id list matches [`threshold::threshold_query`]
+/// exactly.
+pub fn threshold_query_parallel(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    tau: f64,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<u64>> {
+    let outcomes =
+        ShardedExecutor::from_config(config).run(db, config, stats, |pipeline, indices| {
+            threshold::threshold_batched(pipeline, db, indices, window, tau)
+        })?;
+    Ok(outcomes
+        .into_iter()
+        .enumerate()
+        .filter(|(_, o)| o.qualifies)
+        .map(|(idx, _)| db.object(idx).expect("one outcome per object").id())
+        .collect())
+}
+
+/// Top-k most likely window intersectors, object-based with pruning,
+/// sharded: each worker ranks its shard (pruning against its local k-th
+/// bound — conservative, so no global candidate is lost) and the shard
+/// lists are merged. The final ranking matches
+/// [`ranking::topk_object_based_pruned`] exactly.
+pub fn topk_object_based_parallel(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    k: usize,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<RankedObject>> {
+    if k == 0 {
         return Ok(Vec::new());
     }
-    if num_threads == 1 || db.len() == 1 {
-        return object_based::evaluate(db, window, config, stats);
+    let candidates =
+        ShardedExecutor::from_config(config).run(db, config, stats, |pipeline, indices| {
+            ranking::topk_batched(pipeline, db, indices, window, k)
+        })?;
+    let mut best: Vec<RankedObject> = Vec::with_capacity(k + 1);
+    for candidate in candidates {
+        ranking::insert_ranked(&mut best, candidate, k);
     }
+    Ok(best)
+}
 
-    // Validate everything up front so workers can't fail halfway through.
-    for object in db.objects() {
-        object_based::validate(db.model_of(object), object, window)?;
-    }
-
-    let chunk_size = db.len().div_ceil(num_threads);
-    let objects = db.objects();
-    type WorkerOutput = Result<(Vec<(usize, ObjectProbability)>, EvalStats)>;
-
-    let worker_results: Vec<WorkerOutput> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(num_threads);
-        for (chunk_idx, chunk) in objects.chunks(chunk_size).enumerate() {
-            let base = chunk_idx * chunk_size;
-            handles.push(scope.spawn(move || -> WorkerOutput {
-                let mut local_stats = EvalStats::new();
-                let mut pipeline = Propagator::new(config, &mut local_stats);
-                let mut out = Vec::with_capacity(chunk.len());
-                for (offset, object) in chunk.iter().enumerate() {
-                    let chain = db.model_of(object);
-                    let probability =
-                        object_based::exists_with(&mut pipeline, chain, object, window)?;
-                    out.push((
-                        base + offset,
-                        ObjectProbability { object_id: object.id(), probability },
-                    ));
-                }
-                drop(pipeline);
-                Ok((out, local_stats))
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    });
-
-    let mut results: Vec<Option<ObjectProbability>> = vec![None; db.len()];
-    for worker in worker_results {
-        let (entries, local_stats) = worker?;
-        stats.merge(&local_stats);
-        for (idx, r) in entries {
-            results[idx] = Some(r);
-        }
-    }
-    Ok(results.into_iter().map(|r| r.expect("all chunks cover the database")).collect())
+/// Top-k via the query-based engine, sharded over the probability
+/// computation. Matches [`ranking::topk_query_based`] exactly.
+pub fn topk_query_based_parallel(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    k: usize,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<RankedObject>> {
+    let all = evaluate_exists_qb_parallel(db, window, config, stats)?;
+    Ok(ranking::select_topk(all, k))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::forall;
     use crate::object::UncertainObject;
     use crate::observation::Observation;
     use ust_markov::testutil;
@@ -92,32 +295,152 @@ mod tests {
         let mut db = TrajectoryDatabase::new(chain);
         for i in 0..n_objects {
             let dist = testutil::random_distribution(&mut rng, n_states, 3);
+            let anchor_time = (i % 3) as u32;
             db.insert(UncertainObject::with_single_observation(
                 i as u64,
-                Observation::uncertain(0, dist).unwrap(),
+                Observation::uncertain(anchor_time, dist).unwrap(),
             ))
             .unwrap();
         }
         db
     }
 
+    fn window(n: usize) -> QueryWindow {
+        QueryWindow::from_states(n, 10usize..=15, TimeSet::interval(4, 7)).unwrap()
+    }
+
     #[test]
     fn parallel_matches_sequential() {
         let db = random_db(17, 60, 37);
-        let window = QueryWindow::from_states(60, 10usize..=15, TimeSet::interval(4, 7)).unwrap();
+        let window = window(60);
         let config = EngineConfig::default();
         let sequential =
             object_based::evaluate(&db, &window, &config, &mut EvalStats::new()).unwrap();
         for threads in [1usize, 2, 3, 8, 64] {
             let mut stats = EvalStats::new();
-            let parallel =
-                evaluate_exists_parallel(&db, &window, &config, threads, &mut stats).unwrap();
+            let parallel = evaluate_exists_parallel(
+                &db,
+                &window,
+                &config.with_num_threads(threads),
+                &mut stats,
+            )
+            .unwrap();
             assert_eq!(parallel.len(), sequential.len());
             for (a, b) in parallel.iter().zip(&sequential) {
                 assert_eq!(a.object_id, b.object_id);
-                assert!((a.probability - b.probability).abs() < 1e-12, "threads={threads}");
+                assert_eq!(a.probability.to_bits(), b.probability.to_bits(), "threads={threads}");
             }
             assert_eq!(stats.objects_evaluated, db.len() as u64);
+        }
+    }
+
+    #[test]
+    fn all_drivers_match_sequential_bit_for_bit() {
+        let db = random_db(23, 60, 29);
+        let window = window(60);
+        let config = EngineConfig::default().with_batch_size(7);
+        let mut seq = EvalStats::new();
+        let exists_qb = query_based::evaluate(&db, &window, &config, &mut seq).unwrap();
+        let forall_ob = forall::evaluate_object_based(&db, &window, &config, &mut seq).unwrap();
+        let forall_qb = forall::evaluate_query_based(&db, &window, &config, &mut seq).unwrap();
+        let ktimes_ob = ktimes::evaluate_object_based(&db, &window, &config, &mut seq).unwrap();
+        let ktimes_qb = ktimes::evaluate_query_based(&db, &window, &config, &mut seq).unwrap();
+        let accepted = threshold::threshold_query(&db, &window, 0.4, &config, &mut seq).unwrap();
+        let topk_ob =
+            ranking::topk_object_based_pruned(&db, &window, 5, &config, &mut seq).unwrap();
+        let topk_qb = ranking::topk_query_based(&db, &window, 5, &config, &mut seq).unwrap();
+
+        for threads in [2usize, 5, 16] {
+            let mut stats = EvalStats::new();
+            let p = evaluate_exists_qb_parallel(
+                &db,
+                &window,
+                &config.with_num_threads(threads),
+                &mut stats,
+            )
+            .unwrap();
+            for (a, b) in p.iter().zip(&exists_qb) {
+                assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+            }
+            let p = evaluate_forall_parallel(
+                &db,
+                &window,
+                &config.with_num_threads(threads),
+                &mut stats,
+            )
+            .unwrap();
+            for (a, b) in p.iter().zip(&forall_ob) {
+                assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+            }
+            let p = evaluate_forall_qb_parallel(
+                &db,
+                &window,
+                &config.with_num_threads(threads),
+                &mut stats,
+            )
+            .unwrap();
+            for (a, b) in p.iter().zip(&forall_qb) {
+                assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+            }
+            let p = evaluate_ktimes_parallel(
+                &db,
+                &window,
+                &config.with_num_threads(threads),
+                &mut stats,
+            )
+            .unwrap();
+            for (a, b) in p.iter().zip(&ktimes_ob) {
+                assert_eq!(a.object_id, b.object_id);
+                for (x, y) in a.probabilities.iter().zip(&b.probabilities) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            let p = evaluate_ktimes_qb_parallel(
+                &db,
+                &window,
+                &config.with_num_threads(threads),
+                &mut stats,
+            )
+            .unwrap();
+            for (a, b) in p.iter().zip(&ktimes_qb) {
+                for (x, y) in a.probabilities.iter().zip(&b.probabilities) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            let p = threshold_query_parallel(
+                &db,
+                &window,
+                0.4,
+                &config.with_num_threads(threads),
+                &mut stats,
+            )
+            .unwrap();
+            assert_eq!(p, accepted, "threads={threads}");
+            let p = topk_object_based_parallel(
+                &db,
+                &window,
+                5,
+                &config.with_num_threads(threads),
+                &mut stats,
+            )
+            .unwrap();
+            assert_eq!(p.len(), topk_ob.len());
+            for (a, b) in p.iter().zip(&topk_ob) {
+                assert_eq!(a.object_id, b.object_id);
+                assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+            }
+            let p = topk_query_based_parallel(
+                &db,
+                &window,
+                5,
+                &config.with_num_threads(threads),
+                &mut stats,
+            )
+            .unwrap();
+            for (a, b) in p.iter().zip(&topk_qb) {
+                assert_eq!(a.object_id, b.object_id);
+                assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+            }
         }
     }
 
@@ -128,8 +451,7 @@ mod tests {
         let out = evaluate_exists_parallel(
             &db,
             &window,
-            &EngineConfig::default(),
-            4,
+            &EngineConfig::default().with_num_threads(4),
             &mut EvalStats::new(),
         )
         .unwrap();
@@ -137,7 +459,7 @@ mod tests {
     }
 
     #[test]
-    fn validation_errors_surface_before_spawning() {
+    fn validation_errors_surface_deterministically() {
         let mut db = random_db(9, 10, 3);
         // Add an object anchored after the window.
         db.insert(UncertainObject::with_single_observation(
@@ -146,14 +468,15 @@ mod tests {
         ))
         .unwrap();
         let window = QueryWindow::from_states(10, [0usize], TimeSet::at(3)).unwrap();
-        assert!(evaluate_exists_parallel(
-            &db,
-            &window,
-            &EngineConfig::default(),
-            4,
-            &mut EvalStats::new(),
-        )
-        .is_err());
+        for threads in [1usize, 4] {
+            assert!(evaluate_exists_parallel(
+                &db,
+                &window,
+                &EngineConfig::default().with_num_threads(threads),
+                &mut EvalStats::new(),
+            )
+            .is_err());
+        }
     }
 
     #[test]
@@ -163,12 +486,12 @@ mod tests {
         let out = evaluate_exists_parallel(
             &db,
             &window,
-            &EngineConfig::default(),
-            0,
+            &EngineConfig::default().with_num_threads(0),
             &mut EvalStats::new(),
         )
         .unwrap();
         assert_eq!(out.len(), 5);
+        assert_eq!(ShardedExecutor::new(0).num_threads(), 1);
         let _ = MarkovChain::from_csr(ust_markov::CsrMatrix::identity(2)).unwrap();
     }
 }

@@ -17,8 +17,8 @@
 use std::ops::ControlFlow;
 
 use crate::database::TrajectoryDatabase;
-use crate::engine::pipeline::{ForwardEvent, Propagator};
-use crate::engine::{object_based, query_based, EngineConfig};
+use crate::engine::pipeline::{BatchPhase, ObjectBatch, Propagator};
+use crate::engine::{group_batchable, object_based, query_based, EngineConfig};
 use crate::error::Result;
 use crate::query::QueryWindow;
 use crate::stats::EvalStats;
@@ -42,13 +42,35 @@ pub fn topk_query_based(
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<Vec<RankedObject>> {
-    let mut all = query_based::evaluate(db, window, config, stats)?;
+    let all = query_based::evaluate(db, window, config, stats)?;
+    Ok(select_topk(all, k))
+}
+
+/// As [`topk_query_based`], answering the backward fields through a shared
+/// [`crate::engine::cache::BackwardFieldCache`]: a repeated or overlapping
+/// window reuses the cached suffix sweep. Bit-for-bit identical to the
+/// uncached ranking.
+pub fn topk_query_based_with_cache(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    k: usize,
+    config: &EngineConfig,
+    cache: &mut crate::engine::cache::BackwardFieldCache,
+    stats: &mut EvalStats,
+) -> Result<Vec<RankedObject>> {
+    let all = query_based::evaluate_with_cache(db, window, config, cache, stats)?;
+    Ok(select_topk(all, k))
+}
+
+pub(crate) fn select_topk(
+    mut all: Vec<crate::query::ObjectProbability>,
+    k: usize,
+) -> Vec<RankedObject> {
     all.sort_by(|a, b| b.probability.total_cmp(&a.probability).then(a.object_id.cmp(&b.object_id)));
-    Ok(all
-        .into_iter()
+    all.into_iter()
         .take(k)
         .map(|r| RankedObject { object_id: r.object_id, probability: r.probability })
-        .collect())
+        .collect()
 }
 
 /// Exact top-k via pruned object-based evaluation.
@@ -63,13 +85,52 @@ pub fn topk_object_based_pruned(
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<Vec<RankedObject>> {
-    use std::collections::BTreeMap;
-    if k == 0 || db.is_empty() {
+    let indices: Vec<usize> = (0..db.len()).collect();
+    let mut pipeline = Propagator::new(config, stats);
+    topk_batched(&mut pipeline, db, &indices, window, k)
+}
+
+/// Inserts `entry` into the sorted top-k candidate list (probability
+/// descending, ties by ascending id), trimming beyond `k`.
+pub(crate) fn insert_ranked(best: &mut Vec<RankedObject>, entry: RankedObject, k: usize) {
+    let pos = best
+        .binary_search_by(|probe| {
+            probe
+                .probability
+                .total_cmp(&entry.probability)
+                .reverse()
+                .then(probe.object_id.cmp(&entry.object_id))
+        })
+        .unwrap_or_else(|p| p);
+    best.insert(pos, entry);
+    if best.len() > k {
+        best.pop();
+    }
+}
+
+/// The batched top-k driver over an explicit set of database object indices
+/// (one `ShardedExecutor` worker's share). Returns that share's top-k
+/// candidates — already the final answer for a single-worker run; shards
+/// merge their candidate lists with [`insert_ranked`].
+///
+/// Objects grouped by `(model, anchor time)` propagate in
+/// [`EngineConfig::batch_size`] batches: the ∃ rule accumulates per live
+/// group, and after every timestamp each group whose reachability-pruned
+/// upper bound can no longer beat the current k-th best lower bound drops
+/// out of the batch. The candidate list is updated per batch, so later
+/// batches prune against the tightened bound. Survivor probabilities are
+/// exact, making the final ranking identical at every batch size.
+pub(crate) fn topk_batched(
+    pipeline: &mut Propagator<'_>,
+    db: &TrajectoryDatabase,
+    indices: &[usize],
+    window: &QueryWindow,
+    k: usize,
+) -> Result<Vec<RankedObject>> {
+    if k == 0 || indices.is_empty() {
         return Ok(Vec::new());
     }
-    for object in db.objects() {
-        object_based::validate(db.model_of(object), object, window)?;
-    }
+    object_based::validate_indices(db, indices, window)?;
 
     // Current top-k lower bounds (min-heap behaviour via sorted Vec —
     // k is small in practice).
@@ -82,63 +143,65 @@ pub fn topk_object_based_pruned(
         }
     };
 
-    let mut pruners: BTreeMap<(usize, u32), ReachabilityPruner> = BTreeMap::new();
-    let mut pipeline = Propagator::new(config, stats);
-
-    for object in db.objects() {
-        let chain = db.model_of(object);
-        let key = (object.model(), object.anchor().time());
-        let pruner =
-            pruners.entry(key).or_insert_with(|| ReachabilityPruner::build(chain, window, key.1));
-
-        let anchor = object.anchor();
-        let t0 = anchor.time();
-        let mut rows = [pipeline.seed(anchor.distribution().clone())];
-        let mut hit = 0.0;
-
-        // The top-k driver: ∃ accumulation into ⊤, dismissing the object
-        // as soon as its reachability-pruned upper bound can no longer
-        // beat the current k-th best lower bound.
-        let dismissed_at =
-            pipeline.forward_until(chain.matrix(), &mut rows, t0, window, |event| match event {
-                ForwardEvent::Window { rows, .. } => {
-                    hit += rows[0].extract_masked(window.states());
-                    Ok(ControlFlow::Continue(()))
-                }
-                ForwardEvent::StepEnd { rows, t } => {
-                    let upper = match pruner.mask_at(t) {
-                        Some(mask) => (hit + rows[0].masked_sum(mask)).min(1.0),
-                        None => (hit + rows[0].sum()).min(1.0),
-                    };
-                    if upper <= kth_bound(&best) {
-                        Ok(ControlFlow::Break(()))
-                    } else {
-                        Ok(ControlFlow::Continue(()))
+    let batch_size = pipeline.config().effective_batch_size();
+    for ((model, t0), members) in group_batchable(db, indices) {
+        let chain = &db.models()[model];
+        let pruner = ReachabilityPruner::build(chain, window, t0);
+        for chunk in members.chunks(batch_size) {
+            let mut rows = object_based::seed_anchor_rows(pipeline, db, indices, chunk);
+            let mut batch = ObjectBatch::new(&mut rows, 1)?;
+            let mut hits = vec![0.0f64; chunk.len()];
+            let mut dismissed_at: Vec<Option<u32>> = vec![None; chunk.len()];
+            pipeline.forward_batch(chain.matrix(), &mut batch, t0, window, |phase, batch, t| {
+                match phase {
+                    BatchPhase::Window => {
+                        object_based::accumulate_exists_hits(batch, &mut hits, window);
+                    }
+                    BatchPhase::StepEnd => {
+                        for (g, dismissal) in dismissed_at.iter_mut().enumerate() {
+                            if !batch.is_active(g) {
+                                continue;
+                            }
+                            let upper = match pruner.mask_at(t) {
+                                Some(mask) => {
+                                    (hits[g] + batch.group(g)[0].masked_sum(mask)).min(1.0)
+                                }
+                                None => (hits[g] + batch.group(g)[0].sum()).min(1.0),
+                            };
+                            // Dismiss an object that can no longer
+                            // *strictly* beat the k-th candidate, or
+                            // that can never reach the window at all.
+                            // The strict comparison keeps boundary ties
+                            // alive in every batch size, so exact ties
+                            // are always resolved by the deterministic
+                            // id tie-break — the final ranking is
+                            // independent of batch composition.
+                            if upper == 0.0 || upper < kth_bound(&best) {
+                                *dismissal = Some(t);
+                                batch.deactivate(g);
+                            }
+                        }
                     }
                 }
+                Ok(ControlFlow::Continue(()))
             })?;
-
-        match dismissed_at {
-            // Screened out by the instant upper bound, before any step.
-            Some(t) if t == t0 => pipeline.stats().objects_pruned += 1,
-            // Dismissed mid-propagation: cannot beat the k-th candidate.
-            Some(_) => pipeline.stats().early_terminations += 1,
-            None => {}
-        }
-        if dismissed_at.is_none() {
-            let entry = RankedObject { object_id: object.id(), probability: hit.min(1.0) };
-            let pos = best
-                .binary_search_by(|probe| {
-                    probe
-                        .probability
-                        .total_cmp(&entry.probability)
-                        .reverse()
-                        .then(probe.object_id.cmp(&entry.object_id))
-                })
-                .unwrap_or_else(|p| p);
-            best.insert(pos, entry);
-            if best.len() > k {
-                best.pop();
+            for (g, &pos) in chunk.iter().enumerate() {
+                match dismissed_at[g] {
+                    // Screened out by the instant upper bound, before any
+                    // step.
+                    Some(t) if t == t0 => pipeline.stats().objects_pruned += 1,
+                    // Dismissed mid-propagation: cannot beat the k-th
+                    // candidate.
+                    Some(_) => pipeline.stats().early_terminations += 1,
+                    None => {
+                        let object = db.object(indices[pos]).expect("validated above");
+                        insert_ranked(
+                            &mut best,
+                            RankedObject { object_id: object.id(), probability: hits[g].min(1.0) },
+                            k,
+                        );
+                    }
+                }
             }
         }
     }

@@ -12,11 +12,25 @@
 //!
 //! For `t` past the last observation this degrades gracefully to prediction
 //! (`β ≡ 1`), matching Corollary 2 extrapolation.
+//!
+//! The α-recursion runs on the shared propagation pipeline: its schedule is
+//! **observation-driven** rather than window-driven, so it uses
+//! [`Propagator::forward_steps`] — the window-free sweep that fires only
+//! [`ForwardEvent::StepEnd`] — and fuses each observation's likelihood when
+//! the sweep reaches its timestamp. The β-recursion deliberately stays off
+//! the pipeline: it propagates a *likelihood* (not a probability mass), so
+//! the pipeline's ε-pruning, ⊤-accounting and early-termination invariants
+//! do not apply; it is a plain backward `M·β` product with evidence fusion.
 
-use ust_markov::{DenseVector, MarkovChain, PropagationVector, SpmvScratch};
+use std::ops::ControlFlow;
 
+use ust_markov::{DenseVector, MarkovChain};
+
+use crate::engine::pipeline::{ForwardEvent, Propagator};
+use crate::engine::EngineConfig;
 use crate::error::{QueryError, Result};
 use crate::object::UncertainObject;
+use crate::stats::EvalStats;
 
 /// Posterior location distribution `P(o(t) = s | observations)` of
 /// `object` at time `t`. Requires `t ≥` the anchor observation time.
@@ -24,6 +38,17 @@ pub fn smoothed_distribution(
     chain: &MarkovChain,
     object: &UncertainObject,
     t: u32,
+) -> Result<DenseVector> {
+    smoothed_distribution_with_stats(chain, object, t, &mut EvalStats::new())
+}
+
+/// As [`smoothed_distribution`], accumulating the forward pass's transition
+/// counters into `stats`.
+pub fn smoothed_distribution_with_stats(
+    chain: &MarkovChain,
+    object: &UncertainObject,
+    t: u32,
+    stats: &mut EvalStats,
 ) -> Result<DenseVector> {
     let anchor = object.anchor();
     if chain.num_states() != object.num_states() {
@@ -38,21 +63,36 @@ pub fn smoothed_distribution(
             observation: anchor.time(),
         });
     }
-    let mut scratch = SpmvScratch::new();
 
-    // Forward pass: anchor → t, fusing observations at times ≤ t.
-    let mut alpha = PropagationVector::from_sparse(anchor.distribution().clone());
-    for step_t in anchor.time()..t {
-        alpha.step(chain.matrix(), &mut scratch)?;
-        if let Some(obs) = object.observation_at(step_t + 1) {
-            alpha.hadamard_sparse(obs.distribution())?;
-            let total = alpha.sum();
-            if total <= 0.0 {
-                return Err(QueryError::ImpossibleEvidence);
+    // Forward pass: anchor → t on the pipeline's observation-driven
+    // schedule, fusing the likelihood of every observation at times ≤ t.
+    // Smoothing must stay exact (pruned mass would distort the posterior's
+    // normalization), so the pipeline runs the exact configuration.
+    let mut pipeline = Propagator::new(&EngineConfig::exact(), stats);
+    let mut rows = [pipeline.seed(anchor.distribution().clone())];
+    let mut impossible = false;
+    pipeline.forward_steps(chain.matrix(), &mut rows, anchor.time(), t, |event| {
+        let ForwardEvent::StepEnd { rows, t } = event else {
+            unreachable!("forward_steps has no window schedule");
+        };
+        if let Some(obs) = object.observation_at(t) {
+            // The anchor's own observation is already the start state.
+            if t > anchor.time() {
+                rows[0].hadamard_sparse(obs.distribution())?;
+                let total = rows[0].sum();
+                if total <= 0.0 {
+                    impossible = true;
+                    return Ok(ControlFlow::Break(()));
+                }
+                rows[0].scale(1.0 / total);
             }
-            alpha.scale(1.0 / total);
         }
+        Ok(ControlFlow::Continue(()))
+    })?;
+    if impossible {
+        return Err(QueryError::ImpossibleEvidence);
     }
+    let [alpha] = rows;
 
     // Backward pass: last observation → t (β ≡ 1 when t is at/after it).
     let horizon = object.last_observation().time();
@@ -186,6 +226,23 @@ mod tests {
             smoothed_distribution(&chain, &object, 2),
             Err(QueryError::WindowBeforeObservation { .. })
         ));
+    }
+
+    #[test]
+    fn forward_pass_counts_pipeline_transitions() {
+        // The α-recursion rides the shared pipeline, so its transitions are
+        // observable like any engine's.
+        let chain = paper_chain();
+        let object = UncertainObject::new(
+            7,
+            vec![Observation::exact(0, 3, 1).unwrap(), Observation::exact(3, 3, 0).unwrap()],
+        )
+        .unwrap();
+        let mut stats = EvalStats::new();
+        let posterior = smoothed_distribution_with_stats(&chain, &object, 3, &mut stats).unwrap();
+        assert!((posterior.get(0) - 1.0).abs() < 1e-12);
+        assert_eq!(stats.transitions, 3, "anchor → t forward steps");
+        assert_eq!(stats.objects_evaluated, 1);
     }
 
     #[test]

@@ -11,6 +11,11 @@
 pub struct EvalStats {
     /// Forward vector–matrix transitions performed.
     pub transitions: u64,
+    /// Transition-matrix rows streamed during forward propagation. The
+    /// batched kernel reads each touched row once per *batch* instead of
+    /// once per object, so this is the counter that makes the batching win
+    /// observable (cf. `ust_markov::BatchStepStats`).
+    pub rows_traversed: u64,
     /// Backward vector–matrix transitions performed (query-based passes).
     pub backward_steps: u64,
     /// Objects whose probability was computed.
@@ -19,6 +24,11 @@ pub struct EvalStats {
     pub objects_pruned: u64,
     /// Propagations cut short because all worlds were already decided.
     pub early_terminations: u64,
+    /// Backward-field cache lookups answered without a fresh sweep
+    /// (including suffix-extended partial hits).
+    pub cache_hits: u64,
+    /// Backward-field cache lookups that required a full backward sweep.
+    pub cache_misses: u64,
     /// Total probability mass dropped by ε-pruning (bounds the error).
     pub pruned_mass: f64,
 }
@@ -32,10 +42,13 @@ impl EvalStats {
     /// Accumulates another counter set into this one.
     pub fn merge(&mut self, other: &EvalStats) {
         self.transitions += other.transitions;
+        self.rows_traversed += other.rows_traversed;
         self.backward_steps += other.backward_steps;
         self.objects_evaluated += other.objects_evaluated;
         self.objects_pruned += other.objects_pruned;
         self.early_terminations += other.early_terminations;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
         self.pruned_mass += other.pruned_mass;
     }
 
@@ -54,18 +67,24 @@ mod tests {
         let mut a = EvalStats { transitions: 3, backward_steps: 1, ..Default::default() };
         let b = EvalStats {
             transitions: 2,
+            rows_traversed: 9,
             backward_steps: 4,
             objects_evaluated: 7,
             objects_pruned: 1,
             early_terminations: 2,
+            cache_hits: 3,
+            cache_misses: 2,
             pruned_mass: 0.5,
         };
         a.merge(&b);
         assert_eq!(a.transitions, 5);
+        assert_eq!(a.rows_traversed, 9);
         assert_eq!(a.backward_steps, 5);
         assert_eq!(a.objects_evaluated, 7);
         assert_eq!(a.objects_pruned, 1);
         assert_eq!(a.early_terminations, 2);
+        assert_eq!(a.cache_hits, 3);
+        assert_eq!(a.cache_misses, 2);
         assert_eq!(a.total_steps(), 10);
         assert!((a.pruned_mass - 0.5).abs() < 1e-12);
     }

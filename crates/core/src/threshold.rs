@@ -14,9 +14,9 @@ use std::ops::ControlFlow;
 use ust_markov::{MarkovChain, PropagationVector, StateMask};
 
 use crate::database::TrajectoryDatabase;
-use crate::engine::object_based::validate;
-use crate::engine::pipeline::{ForwardEvent, Propagator};
-use crate::engine::EngineConfig;
+use crate::engine::object_based::{self, validate};
+use crate::engine::pipeline::{BatchPhase, ForwardEvent, ObjectBatch, Propagator};
+use crate::engine::{group_batchable, EngineConfig};
 use crate::error::Result;
 use crate::object::UncertainObject;
 use crate::query::QueryWindow;
@@ -205,9 +205,131 @@ fn threshold_driver(
     }
 }
 
+/// The batched thresholded-∃ driver over an explicit set of database object
+/// indices (one `ShardedExecutor` worker's share). Returns one
+/// [`ThresholdOutcome`] per index, in order.
+///
+/// Objects grouped by `(model, anchor time)` propagate together through the
+/// batched kernel; after every timestamp each live object's bounds are
+/// compared against `τ`, and decided objects drop out of the batch —
+/// without stopping the sweep for the undecided rest. Decisions and bounds
+/// are bit-for-bit identical to [`exists_threshold_pruned`].
+pub(crate) fn threshold_batched(
+    pipeline: &mut Propagator<'_>,
+    db: &TrajectoryDatabase,
+    indices: &[usize],
+    window: &QueryWindow,
+    tau: f64,
+) -> Result<Vec<ThresholdOutcome>> {
+    object_based::validate_indices(db, indices, window)?;
+    let batch_size = pipeline.config().effective_batch_size();
+    let t_end = window.t_end();
+    let mut results: Vec<Option<ThresholdOutcome>> = vec![None; indices.len()];
+    for ((model, t0), members) in group_batchable(db, indices) {
+        let chain = &db.models()[model];
+        let pruner = ReachabilityPruner::build(chain, window, t0);
+        for chunk in members.chunks(batch_size) {
+            let mut rows = object_based::seed_anchor_rows(pipeline, db, indices, chunk);
+            let mut batch = ObjectBatch::new(&mut rows, 1)?;
+            let mut hits = vec![0.0f64; chunk.len()];
+            let mut outcomes: Vec<Option<ThresholdOutcome>> = vec![None; chunk.len()];
+            // The remaining-window count is shared: every member anchors at
+            // the same t0.
+            let mut remaining_query_times = window.times().iter().filter(|&t| t > t0).count();
+            pipeline.forward_batch(chain.matrix(), &mut batch, t0, window, |phase, batch, t| {
+                match phase {
+                    BatchPhase::Window => {
+                        object_based::accumulate_exists_hits(batch, &mut hits, window);
+                        if t > t0 {
+                            remaining_query_times -= 1;
+                        }
+                    }
+                    BatchPhase::StepEnd => {
+                        for (g, outcome) in outcomes.iter_mut().enumerate() {
+                            if !batch.is_active(g) {
+                                continue;
+                            }
+                            let hit = hits[g];
+                            // With no query timestamps left, no more
+                            // mass can reach ⊤.
+                            let upper = if remaining_query_times == 0 {
+                                hit
+                            } else {
+                                let alive = match pruner.mask_at(t) {
+                                    Some(mask) => batch.group(g)[0].masked_sum(mask),
+                                    None => batch.group(g)[0].sum(),
+                                };
+                                (hit + alive).min(1.0)
+                            };
+                            let decision = if hit >= tau {
+                                Some(true)
+                            } else if upper < tau {
+                                Some(false)
+                            } else {
+                                None
+                            };
+                            if let Some(qualifies) = decision {
+                                let early = t < t_end;
+                                *outcome =
+                                    Some(ThresholdOutcome { qualifies, lower: hit, upper, early });
+                                batch.deactivate(g);
+                            }
+                        }
+                    }
+                }
+                Ok(ControlFlow::Continue(()))
+            })?;
+            for (g, &pos) in chunk.iter().enumerate() {
+                results[pos] = Some(match outcomes[g].take() {
+                    Some(outcome) => {
+                        // The decision is the driver's outcome: account it
+                        // the way the single-object driver does.
+                        if outcome.early {
+                            pipeline.stats().early_terminations += 1;
+                        }
+                        pipeline.stats().objects_evaluated += 1;
+                        outcome
+                    }
+                    // Ran to t_end undecided (or its mass ran out): the
+                    // bounds have met at `hit`; the pipeline already counted
+                    // the evaluation.
+                    None => ThresholdOutcome {
+                        qualifies: hits[g] >= tau,
+                        lower: hits[g],
+                        upper: hits[g],
+                        early: false,
+                    },
+                });
+            }
+        }
+    }
+    Ok(results.into_iter().map(|r| r.expect("every position is covered")).collect())
+}
+
+/// Ids of all database objects with `P∃ ≥ τ`, answered from cached
+/// query-based backward fields: one dot product per object against the
+/// `(model, window)` field served by `cache`, so a repeated or overlapping
+/// window pays no backward sweep at all. Exact (the dot product yields the
+/// full probability), and shares its cache entries with
+/// [`crate::ranking::topk_query_based_with_cache`] and
+/// [`crate::engine::query_based::evaluate_with_cache`].
+pub fn threshold_query_cached(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    tau: f64,
+    config: &EngineConfig,
+    cache: &mut crate::engine::cache::BackwardFieldCache,
+    stats: &mut EvalStats,
+) -> Result<Vec<u64>> {
+    let all = crate::engine::query_based::evaluate_with_cache(db, window, config, cache, stats)?;
+    Ok(all.into_iter().filter(|r| r.probability >= tau).map(|r| r.object_id).collect())
+}
+
 /// Ids of all database objects with `P∃ ≥ τ`. Builds one
-/// [`ReachabilityPruner`] per (model, anchor time) and evaluates every
-/// object with tight bound-based early termination.
+/// [`ReachabilityPruner`] per (model, anchor time) and evaluates
+/// [`EngineConfig::batch_size`] objects per shared propagation batch, with
+/// tight bound-based early termination per object; shards across
+/// [`EngineConfig::num_threads`] workers.
 pub fn threshold_query(
     db: &TrajectoryDatabase,
     window: &QueryWindow,
@@ -215,20 +337,7 @@ pub fn threshold_query(
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<Vec<u64>> {
-    use std::collections::BTreeMap;
-    let mut accepted = Vec::new();
-    let mut pruners: BTreeMap<(usize, u32), ReachabilityPruner> = BTreeMap::new();
-    for object in db.objects() {
-        let chain = db.model_of(object);
-        let key = (object.model(), object.anchor().time());
-        let pruner =
-            pruners.entry(key).or_insert_with(|| ReachabilityPruner::build(chain, window, key.1));
-        let outcome = exists_threshold_pruned(chain, object, window, tau, config, pruner, stats)?;
-        if outcome.qualifies {
-            accepted.push(object.id());
-        }
-    }
-    Ok(accepted)
+    crate::parallel::threshold_query_parallel(db, window, tau, config, stats)
 }
 
 #[cfg(test)]

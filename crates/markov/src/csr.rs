@@ -36,6 +36,20 @@ pub struct CsrMatrix {
 pub struct SpmvScratch {
     acc: Vec<f64>,
     touched: Vec<u32>,
+    /// One `(accumulator, touched)` lane per member of a batched sparse
+    /// product (see `CsrMatrix::step_batch`); pooled so a long sweep
+    /// allocates them once.
+    lanes: Vec<(Vec<f64>, Vec<u32>)>,
+    /// Batched-kernel member lists and the `(row, member, value)` merge
+    /// buffer, pooled for the same reason (one batch sweep performs one
+    /// `step_batch` call per timestamp).
+    pub(crate) members_sparse: Vec<usize>,
+    pub(crate) members_dense: Vec<usize>,
+    pub(crate) batch_entries: Vec<(u32, u32, f64)>,
+    /// Recycled dense-vector storage for the batched dense kernel: each
+    /// step's inputs return their buffers here and the next step's outputs
+    /// take them back, so a steady-state sweep allocates nothing.
+    pub(crate) dense_pool: Vec<Vec<f64>>,
 }
 
 impl SpmvScratch {
@@ -48,6 +62,21 @@ impl SpmvScratch {
         if self.acc.len() < dim {
             self.acc.resize(dim, 0.0);
         }
+    }
+
+    /// `count` zeroed accumulator lanes of dimension `dim`, reused across
+    /// calls (the clear is proportional to the touched entries only).
+    pub(crate) fn lanes(&mut self, count: usize, dim: usize) -> &mut [(Vec<f64>, Vec<u32>)] {
+        if self.lanes.len() < count {
+            self.lanes.resize_with(count, Default::default);
+        }
+        for (acc, touched) in &mut self.lanes[..count] {
+            if acc.len() < dim {
+                acc.resize(dim, 0.0);
+            }
+            touched.clear();
+        }
+        &mut self.lanes[..count]
     }
 }
 

@@ -19,6 +19,242 @@ use crate::sparse_vec::SparseVector;
 /// Density above which the vector flips to the dense representation.
 pub const DEFAULT_DENSIFY_THRESHOLD: f64 = 0.25;
 
+/// Work counters reported by one [`CsrMatrix::step_batch`] call.
+///
+/// `rows_traversed` counts *matrix-row reads*: how many times a row's
+/// `(columns, values)` pair was streamed from memory. It is the unit the
+/// batched kernel amortizes — `B` densified vectors stepped together read
+/// each touched matrix row once instead of `B` times — and the quantity the
+/// `pr2_batching` benchmark compares against the per-object baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStepStats {
+    /// Matrix rows streamed during this batched transition.
+    pub rows_traversed: u64,
+    /// Vectors that performed a transition (rows with no mass are skipped).
+    pub vectors_stepped: u64,
+}
+
+impl BatchStepStats {
+    /// Accumulates another report into this one.
+    pub fn merge(&mut self, other: BatchStepStats) {
+        self.rows_traversed += other.rows_traversed;
+        self.vectors_stepped += other.vectors_stepped;
+    }
+}
+
+impl CsrMatrix {
+    /// Batched transition `v ← v · M` for many propagation vectors sharing
+    /// one matrix traversal.
+    ///
+    /// `active` enables per-row early exit: when non-empty it must have one
+    /// flag per row, and rows flagged `false` (decided objects) are left
+    /// untouched without stopping the sweep; an empty slice means all rows
+    /// are active. Rows with no mass are always skipped.
+    ///
+    /// Both representations share the traversal. Sparse rows are merged
+    /// over the sorted **union of their supports**: each matrix row in the
+    /// union is streamed once and feeds every member whose vector is
+    /// non-zero there (on locality workloads the reachable sets of nearby
+    /// objects overlap heavily, so the union is far smaller than the sum of
+    /// supports). Densified rows are stepped together, row-major over the
+    /// whole matrix. Per vector, the floating-point operations and their
+    /// order are **identical** to an individual [`PropagationVector::step`]
+    /// — batched evaluation is bit-for-bit equal to the per-object path
+    /// regardless of batch composition.
+    pub fn step_batch(
+        &self,
+        rows: &mut [PropagationVector],
+        active: &[bool],
+        scratch: &mut SpmvScratch,
+    ) -> Result<BatchStepStats> {
+        if !active.is_empty() && active.len() != rows.len() {
+            return Err(MarkovError::DimensionMismatch {
+                op: "step_batch activity mask",
+                expected: rows.len(),
+                found: active.len(),
+            });
+        }
+        let mut stats = BatchStepStats::default();
+        // The member lists live in the scratch pool — one allocation per
+        // sweep, not one per timestamp. Taken out for the duration of the
+        // call so the scratch stays borrowable by the kernels.
+        let mut sparse_members = std::mem::take(&mut scratch.members_sparse);
+        let mut dense_members = std::mem::take(&mut scratch.members_dense);
+        sparse_members.clear();
+        dense_members.clear();
+        for (r, row) in rows.iter().enumerate() {
+            if (!active.is_empty() && !active[r]) || row.nnz() == 0 {
+                continue;
+            }
+            if row.dim() != self.nrows() {
+                return Err(MarkovError::DimensionMismatch {
+                    op: "step_batch",
+                    expected: self.nrows(),
+                    found: row.dim(),
+                });
+            }
+            stats.vectors_stepped += 1;
+            match &row.repr {
+                Repr::Sparse(_) => sparse_members.push(r),
+                Repr::Dense(_) => dense_members.push(r),
+            }
+        }
+
+        let result = (|| {
+            if sparse_members.len() == 1 {
+                // Nothing to share: take the direct sparse product
+                // (identical operations, none of the batching bookkeeping).
+                let r = sparse_members[0];
+                stats.rows_traversed += rows[r].nnz() as u64;
+                rows[r].step(self, scratch)?;
+            } else if !sparse_members.is_empty() {
+                self.step_sparse_union(rows, &sparse_members, scratch, &mut stats)?;
+            }
+            if !dense_members.is_empty() {
+                self.step_dense_shared(rows, &dense_members, scratch, &mut stats);
+            }
+            Ok(stats)
+        })();
+        scratch.members_sparse = sparse_members;
+        scratch.members_dense = dense_members;
+        result
+    }
+
+    /// The sparse half of the batched kernel: a k-way merge over the
+    /// members' sorted supports streams each matrix row of the union once.
+    /// Each member accumulates into its own scratch lane in its own
+    /// ascending-support order — the exact operation sequence of
+    /// [`CsrMatrix::vecmat_sparse_with`].
+    fn step_sparse_union(
+        &self,
+        rows: &mut [PropagationVector],
+        members: &[usize],
+        scratch: &mut SpmvScratch,
+        stats: &mut BatchStepStats,
+    ) -> Result<()> {
+        let inputs: Vec<SparseVector> = members
+            .iter()
+            .map(|&r| {
+                let placeholder = Repr::Dense(DenseVector::zeros(0));
+                match std::mem::replace(&mut rows[r].repr, placeholder) {
+                    Repr::Sparse(v) => v,
+                    Repr::Dense(_) => unreachable!("membership established by step_batch"),
+                }
+            })
+            .collect();
+        // Flatten every member's (source row, member, value) triples and
+        // sort by row: runs of equal rows become one matrix-row read.
+        // The unstable sort is safe — a member holds each row at most
+        // once, so its triples stay in ascending row order regardless of
+        // how ties between *different* members are broken. The buffer is
+        // pooled in the scratch (one allocation per sweep).
+        let mut entries = std::mem::take(&mut scratch.batch_entries);
+        entries.clear();
+        entries.reserve(inputs.iter().map(|v| v.nnz()).sum());
+        for (b, v) in inputs.iter().enumerate() {
+            for (&i, &vi) in v.indices().iter().zip(v.values()) {
+                entries.push((i, b as u32, vi));
+            }
+        }
+        entries.sort_unstable_by_key(|&(i, _, _)| i);
+        let lanes = scratch.lanes(inputs.len(), self.ncols());
+
+        let mut run = 0;
+        while run < entries.len() {
+            let i = entries[run].0;
+            let (cols, vals) = self.row(i as usize);
+            stats.rows_traversed += 1;
+            while run < entries.len() && entries[run].0 == i {
+                let (_, b, vi) = entries[run];
+                run += 1;
+                let (acc, touched) = &mut lanes[b as usize];
+                for (&c, &m) in cols.iter().zip(vals) {
+                    let slot = &mut acc[c as usize];
+                    if *slot == 0.0 {
+                        touched.push(c);
+                    }
+                    *slot += vi * m;
+                }
+            }
+        }
+        for (b, &r) in members.iter().enumerate() {
+            let (acc, touched) = &mut lanes[b];
+            touched.sort_unstable();
+            let mut pairs = Vec::with_capacity(touched.len());
+            for &c in touched.iter() {
+                let val = acc[c as usize];
+                acc[c as usize] = 0.0;
+                if val != 0.0 {
+                    pairs.push((c as usize, val));
+                }
+            }
+            let next = SparseVector::from_pairs(self.ncols(), pairs)?;
+            rows[r].repr = if next.density() > rows[r].densify_at {
+                Repr::Dense(next.to_dense())
+            } else {
+                Repr::Sparse(next)
+            };
+        }
+        scratch.batch_entries = entries;
+        Ok(())
+    }
+
+    /// The dense half of the batched kernel: stream each matrix row once,
+    /// feeding every densified vector. The per-vector accumulation order
+    /// (ascending source state, ascending column within the row) matches
+    /// [`CsrMatrix::vecmat_dense`] exactly. Output storage comes from the
+    /// scratch's recycled buffer pool and the inputs' storage goes back
+    /// into it, so a steady-state sweep performs no allocations here.
+    fn step_dense_shared(
+        &self,
+        rows: &mut [PropagationVector],
+        members: &[usize],
+        scratch: &mut SpmvScratch,
+        stats: &mut BatchStepStats,
+    ) {
+        let mut inputs: Vec<DenseVector> = Vec::with_capacity(members.len());
+        for &r in members {
+            let placeholder = Repr::Sparse(SparseVector::zeros(self.nrows()));
+            match std::mem::replace(&mut rows[r].repr, placeholder) {
+                Repr::Dense(v) => inputs.push(v),
+                Repr::Sparse(_) => unreachable!("membership established by step_batch"),
+            }
+        }
+        let mut outs: Vec<DenseVector> = (0..members.len())
+            .map(|_| {
+                let mut buf = scratch.dense_pool.pop().unwrap_or_default();
+                buf.clear();
+                buf.resize(self.ncols(), 0.0);
+                DenseVector::from_vec(buf)
+            })
+            .collect();
+        for i in 0..self.nrows() {
+            let (cols, vals) = self.row(i);
+            let mut touched = false;
+            for (k, input) in inputs.iter().enumerate() {
+                let vi = input.as_slice()[i];
+                if vi == 0.0 {
+                    continue;
+                }
+                touched = true;
+                let out = outs[k].as_mut_slice();
+                for (&c, &m) in cols.iter().zip(vals) {
+                    out[c as usize] += vi * m;
+                }
+            }
+            if touched {
+                stats.rows_traversed += 1;
+            }
+        }
+        for (&r, out) in members.iter().zip(outs) {
+            rows[r].repr = Repr::Dense(out);
+        }
+        for input in inputs {
+            scratch.dense_pool.push(input.into_vec());
+        }
+    }
+}
+
 /// The two physical representations of a propagation vector.
 #[derive(Debug, Clone, PartialEq)]
 enum Repr {
@@ -365,6 +601,113 @@ mod tests {
         );
         v.scale(2.0);
         assert!((v.sum() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_batch_is_bit_identical_to_individual_steps() {
+        let m = paper_matrix();
+        let mut scratch = SpmvScratch::new();
+        // A mixed batch: one sparse-forever row, one densifying row, one
+        // already-dense row and one empty row.
+        let mut batch = vec![
+            PropagationVector::from_sparse(SparseVector::unit(3, 1).unwrap())
+                .with_densify_threshold(1.0),
+            PropagationVector::from_sparse(SparseVector::unit(3, 0).unwrap())
+                .with_densify_threshold(0.3),
+            PropagationVector::from_dense(DenseVector::from_vec(vec![0.25, 0.5, 0.25])),
+            PropagationVector::from_sparse(SparseVector::zeros(3)),
+        ];
+        let mut solo = batch.clone();
+        for _ in 0..6 {
+            let stats = m.step_batch(&mut batch, &[], &mut scratch).unwrap();
+            assert_eq!(stats.vectors_stepped, 3, "empty row skipped");
+            for row in solo.iter_mut() {
+                if row.nnz() > 0 {
+                    row.step(&m, &mut scratch).unwrap();
+                }
+            }
+            for (a, b) in batch.iter().zip(&solo) {
+                assert_eq!(a.is_sparse(), b.is_sparse());
+                let (da, db) = (a.to_dense(), b.to_dense());
+                for s in 0..3 {
+                    assert_eq!(da.get(s).to_bits(), db.get(s).to_bits(), "state {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_batch_shares_dense_row_traversals() {
+        let m = paper_matrix();
+        let mut scratch = SpmvScratch::new();
+        let mut batch = vec![
+            PropagationVector::from_dense(DenseVector::from_vec(vec![0.2, 0.3, 0.5])),
+            PropagationVector::from_dense(DenseVector::from_vec(vec![0.5, 0.3, 0.2])),
+        ];
+        let shared = m.step_batch(&mut batch, &[], &mut scratch).unwrap();
+        // Two full dense vectors over 3 matrix rows: the shared traversal
+        // reads each row once (3), the per-object path twice (6).
+        assert_eq!(shared.rows_traversed, 3);
+        let mut solo =
+            vec![PropagationVector::from_dense(DenseVector::from_vec(vec![0.2, 0.3, 0.5]))];
+        let alone = m.step_batch(&mut solo, &[], &mut scratch).unwrap();
+        assert_eq!(alone.rows_traversed, 3);
+    }
+
+    #[test]
+    fn step_batch_shares_overlapping_sparse_supports() {
+        let m = CsrMatrix::from_dense(&[
+            vec![0.5, 0.5, 0.0, 0.0],
+            vec![0.0, 0.5, 0.5, 0.0],
+            vec![0.0, 0.0, 0.5, 0.5],
+            vec![0.0, 0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let mut scratch = SpmvScratch::new();
+        // Supports {0, 1} and {1, 2}: the union {0, 1, 2} is 3 matrix-row
+        // reads, the per-object sum is 4.
+        let mut batch = vec![
+            PropagationVector::from_sparse(
+                SparseVector::from_pairs(4, [(0, 0.5), (1, 0.5)]).unwrap(),
+            )
+            .with_densify_threshold(1.0),
+            PropagationVector::from_sparse(
+                SparseVector::from_pairs(4, [(1, 0.5), (2, 0.5)]).unwrap(),
+            )
+            .with_densify_threshold(1.0),
+        ];
+        let mut solo = batch.clone();
+        let shared = m.step_batch(&mut batch, &[], &mut scratch).unwrap();
+        assert_eq!(shared.rows_traversed, 3, "union of supports, each row read once");
+        let mut individual = BatchStepStats::default();
+        for row in solo.iter_mut() {
+            let one = std::slice::from_mut(row);
+            individual.merge(m.step_batch(one, &[], &mut scratch).unwrap());
+        }
+        assert_eq!(individual.rows_traversed, 4, "per-object supports pay overlap twice");
+        for (a, b) in batch.iter().zip(&solo) {
+            let (da, db) = (a.to_dense(), b.to_dense());
+            for s in 0..4 {
+                assert_eq!(da.get(s).to_bits(), db.get(s).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn step_batch_honours_activity_mask() {
+        let m = paper_matrix();
+        let mut scratch = SpmvScratch::new();
+        let mut batch = vec![
+            PropagationVector::from_sparse(SparseVector::unit(3, 1).unwrap()),
+            PropagationVector::from_sparse(SparseVector::unit(3, 2).unwrap()),
+        ];
+        let before = batch[1].clone();
+        let stats = m.step_batch(&mut batch, &[true, false], &mut scratch).unwrap();
+        assert_eq!(stats.vectors_stepped, 1);
+        assert_eq!(batch[1], before, "inactive rows are untouched");
+        assert!(m.step_batch(&mut batch, &[true], &mut scratch).is_err(), "mask length");
+        let mut wrong = vec![PropagationVector::from_dense(DenseVector::from_vec(vec![1.0, 0.0]))];
+        assert!(m.step_batch(&mut wrong, &[], &mut scratch).is_err(), "dimension");
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use coo::CooBuilder;
 pub use csr::{CsrMatrix, SpmvScratch};
 pub use dense::DenseVector;
 pub use error::{MarkovError, Result};
-pub use hybrid::PropagationVector;
+pub use hybrid::{BatchStepStats, PropagationVector};
 pub use interval::IntervalMatrix;
 pub use mask::StateMask;
 pub use power::PowerCache;

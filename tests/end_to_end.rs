@@ -52,9 +52,13 @@ fn parallel_threshold_and_prefilter_consistency() {
     let sequential =
         ust_core::engine::object_based::evaluate(&data.db, &window, &config, &mut EvalStats::new())
             .unwrap();
-    let parallel =
-        parallel::evaluate_exists_parallel(&data.db, &window, &config, 4, &mut EvalStats::new())
-            .unwrap();
+    let parallel = parallel::evaluate_exists_parallel(
+        &data.db,
+        &window,
+        &config.with_num_threads(4),
+        &mut EvalStats::new(),
+    )
+    .unwrap();
     for (a, b) in sequential.iter().zip(&parallel) {
         assert!((a.probability - b.probability).abs() < 1e-12);
     }

@@ -4,18 +4,26 @@
 //! predicates (PST∃Q, PST∀Q, PSTkQ).
 //!
 //! Every evaluation below drives the shared `engine::pipeline` propagation
-//! core — OB through `Propagator::forward`, QB through
+//! core — OB through the batched forward sweep, QB through
 //! `Propagator::backward` — so this is an end-to-end consistency check of
 //! the pipeline from both directions, across all six `QueryProcessor`
-//! entry points.
+//! entry points. Two further structural properties of the batch-first
+//! core are pinned down exactly (to the bit, not a tolerance):
+//!
+//! * batched OB evaluation is **bit-identical** to the per-object path at
+//!   every batch size, for ∃/∀/k results, threshold decisions and top-k
+//!   rankings;
+//! * query-based results served through the `BackwardFieldCache` are
+//!   **bit-identical** to uncached evaluation across random overlapping
+//!   windows, including suffix-extended partial hits.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ust::prelude::*;
-use ust_core::engine::exhaustive;
-use ust_core::threshold;
+use ust_core::engine::{exhaustive, query_based};
+use ust_core::{ranking, threshold};
 use ust_markov::{testutil, StateMask};
 use ust_space::TimeSet;
 
@@ -148,6 +156,109 @@ proptest! {
             "pruned {} exact {} dropped {}",
             pruned[0].probability, exact[0].probability, stats.pruned_mass
         );
+    }
+
+    #[test]
+    fn batched_evaluation_is_bit_identical_to_per_object(
+        (seed, n, deg) in (0u64..10_000, 3usize..=8, 1usize..=3),
+        mask_seed in 0u64..1_000,
+        t_start in 1u32..=3,
+        t_len in 0u32..=2,
+        objects in 4usize..=20,
+        tau in 0.05f64..0.95,
+        k in 1usize..=5,
+    ) {
+        let window = match random_window(n, mask_seed, t_start, t_len) {
+            Some(w) => w,
+            None => { prop_assume!(false); unreachable!() }
+        };
+        let db = random_db(seed, n, deg, objects, t_start.min(1));
+        let per_object = EngineConfig::default().with_batch_size(1);
+
+        let exists_ref =
+            ust_core::engine::object_based::evaluate(&db, &window, &per_object, &mut EvalStats::new()).unwrap();
+        let forall_ref =
+            ust_core::engine::forall::evaluate_object_based(&db, &window, &per_object, &mut EvalStats::new()).unwrap();
+        let ktimes_ref =
+            ust_core::engine::ktimes::evaluate_object_based(&db, &window, &per_object, &mut EvalStats::new()).unwrap();
+        let accepted_ref =
+            threshold::threshold_query(&db, &window, tau, &per_object, &mut EvalStats::new()).unwrap();
+        let topk_ref =
+            ranking::topk_object_based_pruned(&db, &window, k, &per_object, &mut EvalStats::new()).unwrap();
+
+        for batch_size in [3usize, 16] {
+            let config = EngineConfig::default().with_batch_size(batch_size);
+            let exists =
+                ust_core::engine::object_based::evaluate(&db, &window, &config, &mut EvalStats::new()).unwrap();
+            for (a, b) in exists.iter().zip(&exists_ref) {
+                prop_assert_eq!(a.probability.to_bits(), b.probability.to_bits(),
+                    "∃ batch={} {} vs {}", batch_size, a.probability, b.probability);
+            }
+            let forall =
+                ust_core::engine::forall::evaluate_object_based(&db, &window, &config, &mut EvalStats::new()).unwrap();
+            for (a, b) in forall.iter().zip(&forall_ref) {
+                prop_assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+            }
+            let ktimes =
+                ust_core::engine::ktimes::evaluate_object_based(&db, &window, &config, &mut EvalStats::new()).unwrap();
+            for (a, b) in ktimes.iter().zip(&ktimes_ref) {
+                prop_assert_eq!(a.object_id, b.object_id);
+                for (x, y) in a.probabilities.iter().zip(&b.probabilities) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            let accepted =
+                threshold::threshold_query(&db, &window, tau, &config, &mut EvalStats::new()).unwrap();
+            prop_assert_eq!(&accepted, &accepted_ref, "threshold batch={}", batch_size);
+            let topk =
+                ranking::topk_object_based_pruned(&db, &window, k, &config, &mut EvalStats::new()).unwrap();
+            prop_assert_eq!(topk.len(), topk_ref.len());
+            for (a, b) in topk.iter().zip(&topk_ref) {
+                prop_assert_eq!(a.object_id, b.object_id, "top-k order batch={}", batch_size);
+                prop_assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cached_qb_results_are_bit_identical_across_overlapping_windows(
+        (seed, n, deg) in (0u64..10_000, 3usize..=8, 1usize..=3),
+        mask_seed in 0u64..1_000,
+        t_start in 1u32..=3,
+        t_len in 0u32..=2,
+        objects in 2usize..=8,
+        slide in 1u32..=2,
+    ) {
+        let window = match random_window(n, mask_seed, t_start, t_len) {
+            Some(w) => w,
+            None => { prop_assume!(false); unreachable!() }
+        };
+        // An overlapping sibling: same states, slid time interval.
+        let slid = QueryWindow::new(
+            window.states().clone(),
+            TimeSet::interval(window.t_start() + slide, window.t_end() + slide),
+        ).unwrap();
+        let db = random_db(seed, n, deg, objects, t_start.min(1));
+        let config = EngineConfig::default();
+        let mut cache = BackwardFieldCache::new(4);
+        let mut stats = EvalStats::new();
+
+        // Revisit each window twice so both fresh sweeps and pure hits are
+        // exercised; anchors alternate (0 / max_anchor), so the second
+        // population can extend a cached suffix downward.
+        for w in [&window, &slid, &window, &slid] {
+            let uncached =
+                query_based::evaluate(&db, w, &config, &mut EvalStats::new()).unwrap();
+            let cached =
+                query_based::evaluate_with_cache(&db, w, &config, &mut cache, &mut stats).unwrap();
+            for (a, b) in cached.iter().zip(&uncached) {
+                prop_assert_eq!(a.object_id, b.object_id);
+                prop_assert_eq!(a.probability.to_bits(), b.probability.to_bits(),
+                    "cached {} vs uncached {}", a.probability, b.probability);
+            }
+        }
+        prop_assert!(stats.cache_hits >= 2, "revisits must hit: {:?}", stats);
+        prop_assert!(stats.cache_misses <= 2, "only distinct windows sweep: {:?}", stats);
     }
 
     #[test]
