@@ -1,4 +1,4 @@
-//! Criterion benches for the design-choice ablations of DESIGN.md §5:
+//! Criterion benches for the design-choice ablations:
 //! virtual vs materialized augmented matrices, hybrid vector representation,
 //! ε-pruning, and threshold early termination.
 

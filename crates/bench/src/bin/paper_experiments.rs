@@ -5,10 +5,10 @@
 //!                   [--json FILE]
 //! ```
 //!
-//! Prints each experiment as a Markdown table (the format EXPERIMENTS.md
-//! archives); `--out` writes one CSV per experiment, `--json` writes every
-//! experiment's wall time, metrics and table into one machine-readable
-//! JSON file (the `BENCH_pr2.json` perf trajectory).
+//! Prints each experiment as a Markdown table; `--out` writes one CSV per
+//! experiment, `--json` writes every experiment's wall time, metrics and
+//! table into one machine-readable JSON file (the `BENCH_pr2.json` /
+//! `BENCH_pr3.json` perf trajectories committed at the repository root).
 
 use std::io::Write as _;
 use std::path::PathBuf;

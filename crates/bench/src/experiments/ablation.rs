@@ -1,4 +1,4 @@
-//! Ablations of the design choices called out in DESIGN.md §5.
+//! Ablations of the reproduction's own design choices.
 //!
 //! These go beyond the paper's figures: they quantify the impact of the
 //! implementation decisions this reproduction makes on top of the paper's

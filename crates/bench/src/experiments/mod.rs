@@ -6,6 +6,7 @@ pub mod fig11;
 pub mod fig8;
 pub mod fig9;
 pub mod pr2;
+pub mod pr3;
 
 use crate::{ExperimentOutput, Scale};
 
@@ -27,6 +28,7 @@ pub fn all(scale: Scale) -> Vec<ExperimentOutput> {
     out.extend(ablation::all(scale));
     out.push(pr2::pr2_batching(scale));
     out.push(pr2::pr2_cache(scale));
+    out.push(pr3::pr3_pool(scale));
     out
 }
 
@@ -49,6 +51,7 @@ pub fn by_id(id: &str, scale: Scale) -> Option<ExperimentOutput> {
         "ablation_threshold" => Some(ablation::ablation_threshold(scale)),
         "pr2_batching" => Some(pr2::pr2_batching(scale)),
         "pr2_cache" => Some(pr2::pr2_cache(scale)),
+        "pr3_pool" => Some(pr3::pr3_pool(scale)),
         _ => None,
     }
 }
@@ -72,6 +75,7 @@ pub fn known_ids() -> &'static [&'static str] {
         "ablation_threshold",
         "pr2_batching",
         "pr2_cache",
+        "pr3_pool",
     ]
 }
 
@@ -91,6 +95,6 @@ mod tests {
         assert!(!out.table.is_empty());
         assert_eq!(out.id, "ablation_augmented");
         assert!(by_id("nope", Scale::Ci).is_none());
-        assert_eq!(known_ids().len(), 16);
+        assert_eq!(known_ids().len(), 17);
     }
 }

@@ -4,8 +4,9 @@
 //! Table I is the generator configuration, encoded as
 //! [`ust_data::SyntheticConfig::default`]). Each experiment module produces
 //! [`ust_data::ResultTable`]s with the same axes as the corresponding
-//! figure; the `paper_experiments` binary renders them as Markdown/CSV and
-//! they are archived in EXPERIMENTS.md.
+//! figure; the `paper_experiments` binary renders them as Markdown/CSV, and
+//! `--json` writes the machine-readable trajectory files committed at the
+//! repository root (`BENCH_pr2.json`, `BENCH_pr3.json`).
 //!
 //! Two scales are supported: [`Scale::Ci`] shrinks `|D|`/`|S|` so the whole
 //! suite runs in a couple of minutes on a laptop, [`Scale::Paper`] uses the
@@ -13,7 +14,7 @@
 //! curves scale) is the reproduction target; absolute numbers differ from
 //! the 2012 MATLAB/Xeon-5160 testbed by construction.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod experiments;
 
@@ -79,6 +80,7 @@ impl ExperimentOutput {
         self.metrics.push((format!("{prefix}_backward_steps"), stats.backward_steps as f64));
         self.metrics.push((format!("{prefix}_cache_hits"), stats.cache_hits as f64));
         self.metrics.push((format!("{prefix}_cache_misses"), stats.cache_misses as f64));
+        self.metrics.push((format!("{prefix}_fields_shared"), stats.fields_shared as f64));
         self.metrics.push((format!("{prefix}_pruned_mass"), stats.pruned_mass));
         self
     }

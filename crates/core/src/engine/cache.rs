@@ -24,6 +24,7 @@
 //! accumulation order (property-tested in `tests/proptest_engines.rs`).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use ust_markov::MarkovChain;
 
@@ -67,7 +68,12 @@ impl CacheKey {
 
 #[derive(Debug)]
 struct CacheEntry {
-    field: BackwardField,
+    /// The field is held behind an [`Arc`] so
+    /// [`BackwardFieldCache::get_or_compute_shared`] can hand out
+    /// read-only views without cloning the snapshots; a suffix extension
+    /// on an entry whose `Arc` is still shared copies-on-write
+    /// ([`Arc::make_mut`]), leaving earlier views untouched.
+    field: Arc<BackwardField>,
     last_used: u64,
 }
 
@@ -153,6 +159,40 @@ impl BackwardFieldCache {
         config: &EngineConfig,
         stats: &mut EvalStats,
     ) -> Result<&'c BackwardField> {
+        self.get_or_compute_entry(model, chain, window, anchor_times, config, stats)
+            .map(|arc| arc.as_ref())
+    }
+
+    /// As [`BackwardFieldCache::get_or_compute`], returning a cheap shared
+    /// handle to the cached field.
+    ///
+    /// This is the lookup the [`crate::engine::query_based::SharedFieldPlan`]
+    /// stage performs behind a lock: the `Arc` lets the plan release the
+    /// cache immediately and hand the workers read-only views; a later
+    /// suffix extension of the entry copies-on-write, so outstanding views
+    /// are never mutated.
+    pub fn get_or_compute_shared(
+        &mut self,
+        model: usize,
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        anchor_times: &[u32],
+        config: &EngineConfig,
+        stats: &mut EvalStats,
+    ) -> Result<Arc<BackwardField>> {
+        self.get_or_compute_entry(model, chain, window, anchor_times, config, stats).map(Arc::clone)
+    }
+
+    /// The lookup/compute/extend state machine shared by both accessors.
+    fn get_or_compute_entry<'c>(
+        &'c mut self,
+        model: usize,
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        anchor_times: &[u32],
+        config: &EngineConfig,
+        stats: &mut EvalStats,
+    ) -> Result<&'c Arc<BackwardField>> {
         let key = CacheKey::of(model, chain, window);
         self.clock += 1;
         let clock = self.clock;
@@ -185,10 +225,12 @@ impl BackwardFieldCache {
             }
             Lookup::Extend(missing) => {
                 // A partial hit: the (min, t_end] suffix is reused, only
-                // the extension below it is swept.
+                // the extension below it is swept. `make_mut` clones first
+                // if a previous query still holds a shared view.
                 stats.cache_hits += 1;
                 let entry = self.entries.get_mut(&key).expect("looked up above");
-                entry.field.extend_down(chain, window, &missing, config, stats)?;
+                Arc::make_mut(&mut entry.field)
+                    .extend_down(chain, window, &missing, config, stats)?;
                 entry.last_used = clock;
             }
             Lookup::Compute(times) => {
@@ -198,7 +240,8 @@ impl BackwardFieldCache {
                 if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
                     self.evict_lru();
                 }
-                self.entries.insert(key.clone(), CacheEntry { field, last_used: clock });
+                self.entries
+                    .insert(key.clone(), CacheEntry { field: Arc::new(field), last_used: clock });
             }
         }
         Ok(&self.entries.get(&key).expect("present in every branch").field)

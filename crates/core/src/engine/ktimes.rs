@@ -22,6 +22,7 @@
 
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
 use ust_markov::augmented;
 use ust_markov::{DenseVector, MarkovChain, PropagationVector, SparseVector};
@@ -315,36 +316,53 @@ pub fn evaluate_object_based(
     ktimes_batched(&mut pipeline, db, &indices, window)
 }
 
-/// One backward level field per model, computed over all of that model's
-/// object anchors (validating every object first; `None` for models with
-/// no objects). Both the sequential [`evaluate_query_based`] and the
-/// sharded driver pay each model's sweep exactly once and then share the
-/// read-only fields.
-pub(crate) fn compute_model_fields(
-    db: &TrajectoryDatabase,
-    window: &QueryWindow,
-    stats: &mut EvalStats,
-) -> Result<Vec<Option<KTimesBackwardField>>> {
-    let mut fields: Vec<Option<KTimesBackwardField>> = Vec::with_capacity(db.models().len());
-    for (model_idx, members) in db.objects_by_model().into_iter().enumerate() {
-        if members.is_empty() {
-            fields.push(None);
-            continue;
+/// A PSTkQ query's backward level fields, swept exactly once per
+/// `(model, window)` and shared read-only across the evaluation fan-out —
+/// the k-times analogue of
+/// [`crate::engine::query_based::SharedFieldPlan`].
+///
+/// The plan-staged parallel driver counts each field it hands to the
+/// fan-out toward [`EvalStats::fields_shared`]. (Unlike the ∃ plan there
+/// is no cache-backed variant yet — a [`KTimesBackwardField`] cache is an
+/// open ROADMAP item.)
+#[derive(Debug, Clone)]
+pub struct KTimesFieldPlan {
+    fields: Vec<Option<Arc<KTimesBackwardField>>>,
+}
+
+impl KTimesFieldPlan {
+    /// Validates every object and sweeps one backward level field per
+    /// populated model (over all of that model's object anchors). `None`
+    /// entries are models without objects.
+    pub fn prepare(
+        db: &TrajectoryDatabase,
+        window: &QueryWindow,
+        stats: &mut EvalStats,
+    ) -> Result<KTimesFieldPlan> {
+        let mut fields: Vec<Option<Arc<KTimesBackwardField>>> =
+            (0..db.models().len()).map(|_| None).collect();
+        for group in crate::engine::query_based::validated_model_groups(db, window)? {
+            let chain = &db.models()[group.model];
+            fields[group.model] =
+                Some(Arc::new(KTimesBackwardField::compute(chain, window, &group.anchors, stats)?));
         }
-        let chain = &db.models()[model_idx];
-        let mut anchors = Vec::with_capacity(members.len());
-        for &idx in &members {
-            let object = db.object(idx).expect("index from enumeration");
-            validate(chain, object, window)?;
-            anchors.push(object.anchor().time());
-        }
-        fields.push(Some(KTimesBackwardField::compute(chain, window, &anchors, stats)?));
+        Ok(KTimesFieldPlan { fields })
     }
-    Ok(fields)
+
+    /// The shared level field of `model`, if the model has objects.
+    pub fn field(&self, model: usize) -> Option<&Arc<KTimesBackwardField>> {
+        self.fields.get(model).and_then(|f| f.as_ref())
+    }
+
+    /// Number of populated models (fields the plan shares).
+    pub fn num_fields(&self) -> usize {
+        self.fields.iter().filter(|f| f.is_some()).count()
+    }
 }
 
 /// PSTkQ for the whole database, query-based: one backward level sweep per
-/// model, one `(|T▫|+1)`-way dot product per object.
+/// model (the [`KTimesFieldPlan`] stage), one `(|T▫|+1)`-way dot product
+/// per object.
 pub fn evaluate_query_based(
     db: &TrajectoryDatabase,
     window: &QueryWindow,
@@ -352,10 +370,10 @@ pub fn evaluate_query_based(
     stats: &mut EvalStats,
 ) -> Result<Vec<ObjectKDistribution>> {
     let _ = config;
-    let fields = compute_model_fields(db, window, stats)?;
+    let plan = KTimesFieldPlan::prepare(db, window, stats)?;
     let mut results = Vec::with_capacity(db.len());
     for object in db.objects() {
-        let field = fields[object.model()].as_ref().expect("one field per populated model");
+        let field = plan.field(object.model()).expect("one field per populated model");
         let probabilities =
             field.object_distribution(object, window).expect("anchor snapshot was requested");
         stats.objects_evaluated += 1;

@@ -74,8 +74,17 @@ pub struct EngineConfig {
     /// across densified vectors.
     pub batch_size: usize,
     /// Worker threads the [`crate::parallel::ShardedExecutor`] shards
-    /// object batches across (clamped to at least 1; `1` runs inline).
+    /// object batches across (clamped to at least 1; `1` runs inline). A
+    /// [`QueryProcessor`] built with `num_threads > 1` owns a long-lived
+    /// [`crate::parallel::WorkerPool`] of this size; the free `*_parallel`
+    /// functions borrow the process-wide shared pool instead.
     pub num_threads: usize,
+    /// `(model, window)` entries retained by the [`QueryProcessor`]'s
+    /// backward-field cache (clamped to at least 1). Each entry holds one
+    /// dense snapshot per distinct anchor time, so memory scales with
+    /// `capacity × anchors × |S|`; repeated or overlapping windows served
+    /// from the cache skip their backward sweeps entirely.
+    pub cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +94,7 @@ impl Default for EngineConfig {
             densify_threshold: 0.25,
             batch_size: DEFAULT_BATCH_SIZE,
             num_threads: 1,
+            cache_capacity: cache::DEFAULT_CACHE_CAPACITY,
         }
     }
 }
@@ -119,6 +129,12 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the backward-field cache capacity (entries).
+    pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cache_capacity = cache_capacity;
+        self
+    }
+
     /// The effective batch size (at least 1).
     pub fn effective_batch_size(&self) -> usize {
         self.batch_size.max(1)
@@ -128,16 +144,27 @@ impl EngineConfig {
     pub fn effective_num_threads(&self) -> usize {
         self.num_threads.max(1)
     }
+
+    /// The effective cache capacity (at least 1).
+    pub fn effective_cache_capacity(&self) -> usize {
+        self.cache_capacity.max(1)
+    }
 }
 
-/// High-level façade tying a database to the engines.
+/// High-level façade tying a database to the engines — the long-lived
+/// service object of the crate.
 ///
 /// Every entry point routes through the batched propagation kernel and the
 /// [`crate::parallel::ShardedExecutor`]: with the default configuration
 /// (`num_threads == 1`) the single shard runs inline on the caller's
-/// thread; [`EngineConfig::with_num_threads`] shards object batches across
-/// scoped workers, each owning one propagation pipeline. Results are
-/// bit-for-bit independent of both the batch size and the worker count.
+/// thread; with [`EngineConfig::with_num_threads`] `> 1` the processor
+/// **owns a [`crate::parallel::WorkerPool`]** — the worker threads are
+/// spawned once at construction, reused by every query, and joined when
+/// the processor is dropped. The query-based entry points additionally
+/// share one [`cache::BackwardFieldCache`] (sized by
+/// [`EngineConfig::cache_capacity`], behind a lock), so repeated or
+/// overlapping windows skip their backward sweeps. Results are bit-for-bit
+/// independent of the batch size, the worker count and the cache.
 ///
 /// ```
 /// use ust_core::prelude::*;
@@ -162,21 +189,36 @@ impl EngineConfig {
 /// assert!((ob[0].probability - 0.864).abs() < 1e-12);
 /// assert!((qb[0].probability - 0.864).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct QueryProcessor<'a> {
     db: &'a TrajectoryDatabase,
     config: EngineConfig,
+    /// The processor's long-lived workers; `None` runs inline
+    /// (`num_threads <= 1`).
+    pool: Option<std::sync::Arc<crate::parallel::WorkerPool>>,
+    /// Backward fields shared by the query-based entry points, reused
+    /// across queries and windows.
+    cache: std::sync::Mutex<cache::BackwardFieldCache>,
 }
 
 impl<'a> QueryProcessor<'a> {
-    /// Creates a processor with the exact default configuration.
+    /// Creates a processor with the exact default configuration
+    /// (sequential, inline).
     pub fn new(db: &'a TrajectoryDatabase) -> Self {
-        QueryProcessor { db, config: EngineConfig::default() }
+        QueryProcessor::with_config(db, EngineConfig::default())
     }
 
-    /// Creates a processor with a custom configuration.
+    /// Creates a processor with a custom configuration. With
+    /// `config.num_threads > 1` this spawns the processor's worker pool —
+    /// construct once and reuse, rather than per query.
     pub fn with_config(db: &'a TrajectoryDatabase, config: EngineConfig) -> Self {
-        QueryProcessor { db, config }
+        let threads = config.effective_num_threads();
+        let pool =
+            (threads > 1).then(|| std::sync::Arc::new(crate::parallel::WorkerPool::new(threads)));
+        let cache = std::sync::Mutex::new(cache::BackwardFieldCache::new(
+            config.effective_cache_capacity(),
+        ));
+        QueryProcessor { db, config, pool, cache }
     }
 
     /// The active configuration.
@@ -184,9 +226,23 @@ impl<'a> QueryProcessor<'a> {
         &self.config
     }
 
+    /// The processor's worker pool (`None` when it evaluates inline).
+    pub fn pool(&self) -> Option<&std::sync::Arc<crate::parallel::WorkerPool>> {
+        self.pool.as_ref()
+    }
+
+    /// An executor over the processor's own pool (or inline).
+    fn executor(&self) -> crate::parallel::ShardedExecutor {
+        match &self.pool {
+            Some(pool) => crate::parallel::ShardedExecutor::on_pool(std::sync::Arc::clone(pool)),
+            None => crate::parallel::ShardedExecutor::sequential(),
+        }
+    }
+
     /// PST∃Q for every object, object-based (forward) evaluation.
     pub fn exists_object_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
-        crate::parallel::evaluate_exists_parallel(
+        crate::parallel::evaluate_exists_on(
+            &self.executor(),
             self.db,
             window,
             &self.config,
@@ -194,19 +250,25 @@ impl<'a> QueryProcessor<'a> {
         )
     }
 
-    /// PST∃Q for every object, query-based (backward) evaluation.
+    /// PST∃Q for every object, query-based (backward) evaluation. The
+    /// backward field is served through the processor's shared cache —
+    /// repeated or overlapping windows skip the sweep; results are
+    /// bit-for-bit identical to uncached evaluation.
     pub fn exists_query_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
-        crate::parallel::evaluate_exists_qb_parallel(
+        crate::parallel::evaluate_exists_qb_cached_on(
+            &self.executor(),
             self.db,
             window,
             &self.config,
+            &self.cache,
             &mut EvalStats::new(),
         )
     }
 
     /// PST∀Q for every object, object-based evaluation.
     pub fn forall_object_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
-        crate::parallel::evaluate_forall_parallel(
+        crate::parallel::evaluate_forall_on(
+            &self.executor(),
             self.db,
             window,
             &self.config,
@@ -214,19 +276,19 @@ impl<'a> QueryProcessor<'a> {
         )
     }
 
-    /// PST∀Q for every object, query-based evaluation.
+    /// PST∀Q for every object, query-based evaluation (complement windows
+    /// ride the shared cache like any other window).
     pub fn forall_query_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
-        crate::parallel::evaluate_forall_qb_parallel(
-            self.db,
-            window,
-            &self.config,
-            &mut EvalStats::new(),
-        )
+        let complement = window.complement_states()?;
+        let mut results = self.exists_query_based(&complement)?;
+        forall::complement_probabilities(&mut results);
+        Ok(results)
     }
 
     /// PSTkQ for every object, object-based (`C(t)` algorithm).
     pub fn ktimes_object_based(&self, window: &QueryWindow) -> Result<Vec<ObjectKDistribution>> {
-        crate::parallel::evaluate_ktimes_parallel(
+        crate::parallel::evaluate_ktimes_on(
+            &self.executor(),
             self.db,
             window,
             &self.config,
@@ -236,7 +298,8 @@ impl<'a> QueryProcessor<'a> {
 
     /// PSTkQ for every object, query-based evaluation.
     pub fn ktimes_query_based(&self, window: &QueryWindow) -> Result<Vec<ObjectKDistribution>> {
-        crate::parallel::evaluate_ktimes_qb_parallel(
+        crate::parallel::evaluate_ktimes_qb_on(
+            &self.executor(),
             self.db,
             window,
             &self.config,
@@ -245,9 +308,33 @@ impl<'a> QueryProcessor<'a> {
     }
 
     /// Ids of all objects whose PST∃Q probability is at least `tau`
-    /// (bound-based early termination, batched and sharded).
+    /// (object-based with bound-based early termination, batched and
+    /// sharded).
+    ///
+    /// ```
+    /// use ust_core::prelude::*;
+    /// use ust_markov::{CsrMatrix, MarkovChain};
+    /// use ust_space::TimeSet;
+    ///
+    /// let chain = MarkovChain::from_csr(CsrMatrix::from_dense(&[
+    ///     vec![0.0, 0.0, 1.0],
+    ///     vec![0.6, 0.0, 0.4],
+    ///     vec![0.0, 0.8, 0.2],
+    /// ]).unwrap()).unwrap();
+    /// let mut db = TrajectoryDatabase::new(chain);
+    /// for (id, s) in [(1u64, 0usize), (2, 1), (3, 2)] {
+    ///     db.insert(UncertainObject::with_single_observation(
+    ///         id, Observation::exact(0, 3, s).unwrap(),
+    ///     )).unwrap();
+    /// }
+    /// let window = QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap();
+    /// // Exact probabilities are (0.96, 0.864, 0.928): τ = 0.9 keeps 1 and 3.
+    /// let accepted = QueryProcessor::new(&db).threshold_query(&window, 0.9).unwrap();
+    /// assert_eq!(accepted, vec![1, 3]);
+    /// ```
     pub fn threshold_query(&self, window: &QueryWindow, tau: f64) -> Result<Vec<u64>> {
-        crate::parallel::threshold_query_parallel(
+        crate::parallel::threshold_query_on(
+            &self.executor(),
             self.db,
             window,
             tau,
@@ -256,18 +343,76 @@ impl<'a> QueryProcessor<'a> {
         )
     }
 
+    /// As [`QueryProcessor::threshold_query`], answered from the
+    /// query-based shared-field plan through the processor's cache — the
+    /// choice for repeated windows (a dashboard re-asking the same danger
+    /// zone pays no backward sweep at all). Exact, same ids.
+    pub fn threshold_query_cached(&self, window: &QueryWindow, tau: f64) -> Result<Vec<u64>> {
+        crate::parallel::threshold_query_cached_on(
+            &self.executor(),
+            self.db,
+            window,
+            tau,
+            &self.config,
+            &self.cache,
+            &mut EvalStats::new(),
+        )
+    }
+
     /// The `k` objects most likely to intersect the window (object-based
     /// with reachability pruning, batched and sharded).
+    ///
+    /// ```
+    /// use ust_core::prelude::*;
+    /// use ust_markov::{CsrMatrix, MarkovChain};
+    /// use ust_space::TimeSet;
+    ///
+    /// let chain = MarkovChain::from_csr(CsrMatrix::from_dense(&[
+    ///     vec![0.0, 0.0, 1.0],
+    ///     vec![0.6, 0.0, 0.4],
+    ///     vec![0.0, 0.8, 0.2],
+    /// ]).unwrap()).unwrap();
+    /// let mut db = TrajectoryDatabase::new(chain);
+    /// for (id, s) in [(1u64, 0usize), (2, 1), (3, 2)] {
+    ///     db.insert(UncertainObject::with_single_observation(
+    ///         id, Observation::exact(0, 3, s).unwrap(),
+    ///     )).unwrap();
+    /// }
+    /// let window = QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap();
+    /// let top2 = QueryProcessor::new(&db).topk(&window, 2).unwrap();
+    /// assert_eq!(top2[0].object_id, 1); // P = 0.96
+    /// assert_eq!(top2[1].object_id, 3); // P = 0.928
+    /// ```
     pub fn topk(
         &self,
         window: &QueryWindow,
         k: usize,
     ) -> Result<Vec<crate::ranking::RankedObject>> {
-        crate::parallel::topk_object_based_parallel(
+        crate::parallel::topk_object_based_on(
+            &self.executor(),
             self.db,
             window,
             k,
             &self.config,
+            &mut EvalStats::new(),
+        )
+    }
+
+    /// As [`QueryProcessor::topk`], via the query-based engine and the
+    /// processor's shared cache (one cached backward sweep per model, then
+    /// sharded dot products and selection). Same ranking, bit for bit.
+    pub fn topk_query_based(
+        &self,
+        window: &QueryWindow,
+        k: usize,
+    ) -> Result<Vec<crate::ranking::RankedObject>> {
+        crate::parallel::topk_query_based_cached_on(
+            &self.executor(),
+            self.db,
+            window,
+            k,
+            &self.config,
+            &self.cache,
             &mut EvalStats::new(),
         )
     }

@@ -23,8 +23,10 @@
 //!        └─ per-object accumulators updated by the driver's window rule
 //!        └─ per-group early-exit masks: a decided object drops out of the
 //!             batch (bound met, mass exhausted) without stopping the sweep
-//!   └─ shards: ShardedExecutor gives each worker thread its own
-//!        Propagator + scratch and a contiguous slice of the batches
+//!   └─ shards: ShardedExecutor hands each long-lived WorkerPool thread
+//!        its own Propagator + scratch and a contiguous slice of the
+//!        batches; query-based drivers precompute shared backward fields
+//!        (SharedFieldPlan) so no worker re-sweeps a field
 //! ```
 //!
 //! Per object, the floating-point operations and their order are identical
@@ -229,7 +231,7 @@ impl<'r> ObjectBatch<'r> {
 /// ε-pruning, the sparse↔dense policy and all [`EvalStats`] accounting.
 ///
 /// One `Propagator` is typically created per evaluation batch (or per
-/// [`crate::parallel::ShardedExecutor`] worker) so the sparse-product
+/// [`crate::parallel::WorkerPool`] shard job) so the sparse-product
 /// scratch space is allocated once and reused across objects.
 #[derive(Debug)]
 pub struct Propagator<'s> {

@@ -22,6 +22,7 @@
 //! states clamped to 1 when `t+1 ∈ T▫`.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 use ust_markov::{DenseVector, MarkovChain, PropagationVector, SparseVector};
 
@@ -267,24 +268,87 @@ fn answer_group(
     }
 }
 
-/// One backward field per model, computed over **all** of that model's
-/// object anchors (validating every object first; `None` for models with
-/// no objects). This is the sweep both the sequential [`evaluate`] and the
-/// sharded driver pay exactly once per model — workers then share the
-/// read-only fields and the per-object work reduces to dot products.
-pub(crate) fn compute_model_fields(
-    db: &TrajectoryDatabase,
-    window: &QueryWindow,
-    config: &EngineConfig,
-    stats: &mut EvalStats,
-) -> Result<Vec<Option<BackwardField>>> {
-    let mut fields: Vec<Option<BackwardField>> = (0..db.models().len()).map(|_| None).collect();
-    for group in validated_model_groups(db, window)? {
-        let chain = &db.models()[group.model];
-        fields[group.model] =
-            Some(BackwardField::compute_with_config(chain, window, &group.anchors, config, stats)?);
+/// A query's backward fields, swept **exactly once** per `(model, window)`
+/// and shared read-only across the evaluation fan-out.
+///
+/// This is the stage the pooled query-based drivers run *before* sharding:
+/// every populated model's [`BackwardField`] is computed up front (or
+/// fetched from a lock-guarded [`BackwardFieldCache`] via
+/// [`SharedFieldPlan::prepare_with_cache`]) and wrapped in an [`Arc`], so
+/// workers receive cheap read-only views instead of re-sweeping the field
+/// per shard. The deduplication is surfaced through
+/// [`EvalStats::fields_shared`]: one increment per field a plan serves,
+/// independent of how many workers consume it.
+#[derive(Debug, Clone)]
+pub struct SharedFieldPlan {
+    fields: Vec<Option<Arc<BackwardField>>>,
+}
+
+impl SharedFieldPlan {
+    /// Validates every object, groups the database by model and sweeps one
+    /// backward field per populated model (over all of that model's object
+    /// anchors). `None` entries are models without objects.
+    pub fn prepare(
+        db: &TrajectoryDatabase,
+        window: &QueryWindow,
+        config: &EngineConfig,
+        stats: &mut EvalStats,
+    ) -> Result<SharedFieldPlan> {
+        let mut fields: Vec<Option<Arc<BackwardField>>> =
+            (0..db.models().len()).map(|_| None).collect();
+        for group in validated_model_groups(db, window)? {
+            let chain = &db.models()[group.model];
+            fields[group.model] = Some(Arc::new(BackwardField::compute_with_config(
+                chain,
+                window,
+                &group.anchors,
+                config,
+                stats,
+            )?));
+        }
+        Ok(SharedFieldPlan { fields })
     }
-    Ok(fields)
+
+    /// As [`SharedFieldPlan::prepare`], serving each field through a
+    /// lock-guarded [`BackwardFieldCache`]: hits and suffix extensions pay
+    /// no (or less) backward work, fresh windows sweep once and stay
+    /// cached for the next query. The lock is held only for the prepare
+    /// stage — the fan-out works on the returned `Arc` views, so workers
+    /// never contend on the cache.
+    pub fn prepare_with_cache(
+        db: &TrajectoryDatabase,
+        window: &QueryWindow,
+        config: &EngineConfig,
+        cache: &Mutex<BackwardFieldCache>,
+        stats: &mut EvalStats,
+    ) -> Result<SharedFieldPlan> {
+        let mut fields: Vec<Option<Arc<BackwardField>>> =
+            (0..db.models().len()).map(|_| None).collect();
+        let groups = validated_model_groups(db, window)?;
+        let mut cache = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for group in groups {
+            let chain = &db.models()[group.model];
+            fields[group.model] = Some(cache.get_or_compute_shared(
+                group.model,
+                chain,
+                window,
+                &group.anchors,
+                config,
+                stats,
+            )?);
+        }
+        Ok(SharedFieldPlan { fields })
+    }
+
+    /// The shared field of `model`, if the model has objects.
+    pub fn field(&self, model: usize) -> Option<&Arc<BackwardField>> {
+        self.fields.get(model).and_then(|f| f.as_ref())
+    }
+
+    /// Number of populated models (fields the plan shares).
+    pub fn num_fields(&self) -> usize {
+        self.fields.iter().filter(|f| f.is_some()).count()
+    }
 }
 
 /// Evaluates the PST∃Q for every object in the database: one backward pass

@@ -49,7 +49,7 @@
 //! assert!((results[0].probability - 0.864).abs() < 1e-12);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cluster;
 pub mod database;

@@ -1,46 +1,344 @@
-//! Sharded parallel evaluation for every query driver.
+//! Long-lived worker-pool execution for every query driver.
 //!
 //! All of the paper's queries are embarrassingly parallel over objects —
-//! each propagation touches only the shared read-only chain. The
-//! [`ShardedExecutor`] shards the database's object indices into contiguous
-//! chunks across `std::thread::scope` workers, gives each worker **its own
-//! [`Propagator`]** (and thus its own scratch accumulator and batch
-//! buffers), and stitches the per-object outputs back in database order,
-//! merging the per-worker [`EvalStats`].
+//! each propagation touches only the shared read-only chain. Two layers
+//! turn that observation into a serving architecture rather than a
+//! per-query thread spawn:
+//!
+//! * [`WorkerPool`] — a fixed set of **long-lived worker threads**, one
+//!   per-shard work queue each, created once (typically owned by a
+//!   [`crate::engine::QueryProcessor`]) and reused by every query until the
+//!   pool is dropped, at which point the workers drain their queues and
+//!   shut down gracefully. This replaces the per-query
+//!   `std::thread::scope` fan-out of earlier revisions: a query enqueues
+//!   one job per shard and blocks until all shards report completion.
+//! * [`ShardedExecutor`] — the sharding logic: it splits the database's
+//!   object indices into contiguous chunks, gives each worker **its own
+//!   [`Propagator`]** (and thus its own scratch accumulator and batch
+//!   buffers), and stitches the per-object outputs back in database order,
+//!   merging the per-worker [`EvalStats`] deterministically in shard order.
+//!
+//! The query-based drivers add a third ingredient, the **shared-field
+//! plan** ([`SharedFieldPlan`] / [`ktimes::KTimesFieldPlan`]):
+//! each `(model, window)` backward field is swept **exactly once** before
+//! the fan-out — or fetched from a [`BackwardFieldCache`] behind a lock —
+//! and the workers receive read-only [`std::sync::Arc`] views, so no worker
+//! ever re-sweeps a field another worker (or a previous query) already
+//! paid for. The deduplication is observable through
+//! [`EvalStats::fields_shared`].
 //!
 //! Every [`crate::engine::QueryProcessor`] entry point routes through the
 //! executor: with [`crate::engine::EngineConfig::num_threads`] `== 1` the
-//! worker runs inline on the caller's thread (no spawn), at higher counts
-//! the shards run concurrently. Within each shard the drivers are the same
-//! batched ones the sequential path uses, so parallel results are
+//! worker runs inline on the caller's thread (no queue hop), at higher
+//! counts the shards run on the pool. Within each shard the drivers are
+//! the same batched ones the sequential path uses, so parallel results are
 //! **bit-for-bit identical** to sequential evaluation for ∃/∀/k, threshold
 //! decisions and top-k rankings (asserted by the tests below and the
 //! property suite).
 
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
 use crate::database::TrajectoryDatabase;
+use crate::engine::cache::BackwardFieldCache;
 use crate::engine::pipeline::Propagator;
-use crate::engine::{ktimes, object_based, query_based, EngineConfig};
+use crate::engine::query_based::SharedFieldPlan;
+use crate::engine::{ktimes, object_based, EngineConfig};
 use crate::error::Result;
 use crate::query::{ObjectKDistribution, ObjectProbability, QueryWindow};
 use crate::ranking::{self, RankedObject};
 use crate::stats::EvalStats;
 use crate::threshold;
 
-/// Shards object work across scoped worker threads.
-#[derive(Debug, Clone, Copy)]
+/// A unit of pool work. Jobs are type-erased to `'static`; soundness of the
+/// erasure is the contract of [`WorkerPool::run_scoped`], which never
+/// returns before every submitted job has finished.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One worker's work queue: jobs in FIFO order plus the shutdown flag the
+/// pool raises on drop.
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl std::fmt::Debug for QueueState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueueState")
+            .field("jobs", &self.jobs.len())
+            .field("shutdown", &self.shutdown)
+            .finish()
+    }
+}
+
+/// A per-shard queue: its mutex-guarded state and the condvar the owning
+/// worker parks on while the queue is empty.
+#[derive(Debug, Default)]
+struct ShardQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl ShardQueue {
+    // Every lock below recovers from poisoning instead of panicking: the
+    // queue and latch state stay consistent under unwinds (a panicking job
+    // never holds these locks), and `run_scoped`'s soundness argument
+    // requires the submit-to-wait window to be panic-free.
+    fn push(&self, job: Job) {
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.shutdown = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+}
+
+/// Completion tracking for one [`WorkerPool::run_scoped`] call: the caller
+/// blocks until `remaining` hits zero; jobs that unwound are counted so the
+/// panic can be re-raised on the submitting thread.
+#[derive(Debug)]
+struct Latch {
+    state: Mutex<(usize, usize)>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(jobs: usize) -> Latch {
+        Latch { state: Mutex::new((jobs, 0)), done: Condvar::new() }
+    }
+
+    fn complete(&self, panicked: bool) {
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.0 -= 1;
+        if panicked {
+            state.1 += 1;
+        }
+        if state.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every job has completed; returns how many panicked.
+    /// Must not panic before the last job has finished (`run_scoped`'s
+    /// borrows are only released afterwards), hence the poison recovery.
+    fn wait(&self) -> usize {
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while state.0 > 0 {
+            state = self.done.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        state.1
+    }
+}
+
+/// Decrements the latch when the job ends — by running to completion *or*
+/// by unwinding — so [`WorkerPool::run_scoped`] can never deadlock on a
+/// panicking job.
+struct CompletionGuard<'l> {
+    latch: &'l Latch,
+}
+
+impl Drop for CompletionGuard<'_> {
+    fn drop(&mut self) {
+        self.latch.complete(std::thread::panicking());
+    }
+}
+
+/// A fixed set of long-lived worker threads with one work queue per shard.
+///
+/// The pool is the process's reusable evaluation capacity: create it once
+/// (a [`crate::engine::QueryProcessor`] with
+/// [`EngineConfig::num_threads`] `> 1` owns one; ad-hoc callers share the
+/// process-wide pool of [`shared_pool`]) and submit every query's shard
+/// jobs to the same threads. Shard `i` of a run always lands on worker
+/// `i % num_threads`, so repeated queries over the same database keep each
+/// worker on the same contiguous object range — the precondition for the
+/// NUMA/affinity work ROADMAP.md names as the next step.
+///
+/// Dropping the pool shuts it down gracefully: the queues are closed,
+/// already-enqueued jobs run to completion, and the worker threads are
+/// joined. A job that panics is caught on the worker (the thread survives
+/// for the next query) and the panic is re-raised on the thread that
+/// submitted the batch.
+pub struct WorkerPool {
+    queues: Arc<Vec<ShardQueue>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("num_threads", &self.num_threads()).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `num_threads` workers (clamped to at least 1), each
+    /// owning one work queue.
+    pub fn new(num_threads: usize) -> WorkerPool {
+        let num_threads = num_threads.max(1);
+        let queues: Arc<Vec<ShardQueue>> =
+            Arc::new((0..num_threads).map(|_| ShardQueue::default()).collect());
+        let handles = (0..num_threads)
+            .map(|i| {
+                let queues = Arc::clone(&queues);
+                std::thread::Builder::new()
+                    .name(format!("ust-worker-{i}"))
+                    .spawn(move || worker_loop(&queues[i]))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool { queues, handles }
+    }
+
+    /// The number of worker threads (and shard queues).
+    pub fn num_threads(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Runs every job on the pool and blocks until all of them have
+    /// finished. Job `i` goes to shard queue `i % num_threads`.
+    ///
+    /// Jobs may borrow from the caller's stack (the `'env` lifetime): the
+    /// call does not return before every job has completed, which is what
+    /// makes the internal lifetime erasure sound. If any job panics, the
+    /// panic is re-raised here after the whole batch has settled.
+    pub fn run_scoped<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let latch = Latch::new(jobs.len());
+        let latch_ref: &Latch = &latch;
+        for (i, job) in jobs.into_iter().enumerate() {
+            let wrapped: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                // The guard decrements the latch even if `job` unwinds.
+                let _guard = CompletionGuard { latch: latch_ref };
+                job();
+            });
+            // SAFETY: `run_scoped` blocks on the latch below until every
+            // job (including this one) has run to completion or unwound,
+            // so no borrow captured by `wrapped` (the caller's `'env` data
+            // and the latch local) outlives this call.
+            let erased: Job = unsafe { erase_job_lifetime(wrapped) };
+            self.queues[i % self.queues.len()].push(erased);
+        }
+        let panicked = latch.wait();
+        assert!(panicked == 0, "{panicked} worker-pool job(s) panicked");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for queue in self.queues.iter() {
+            queue.close();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Erases a job's borrow lifetime so it can cross into the long-lived
+/// queues.
+///
+/// # Safety
+///
+/// The caller must not let the erased job outlive the borrows it captures —
+/// [`WorkerPool::run_scoped`] guarantees this by blocking until every
+/// submitted job has finished. The two trait-object types differ only in
+/// their lifetime bound, so the transmute does not change layout.
+unsafe fn erase_job_lifetime<'a>(job: Box<dyn FnOnce() + Send + 'a>) -> Job {
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Job>(job) }
+}
+
+/// The loop each worker thread runs: pop a job or park on the condvar;
+/// exit once the queue is closed *and* drained (graceful shutdown).
+fn worker_loop(queue: &ShardQueue) {
+    loop {
+        let job = {
+            let mut state = queue.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = queue.ready.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // A panicking job must not take the worker down with it — catch
+        // the unwind (the submitter re-raises it via the latch) and move
+        // on to the next job.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+/// The process-wide shared pool used by the free `*_parallel` functions.
+static SHARED_POOL: Mutex<Option<Arc<WorkerPool>>> = Mutex::new(None);
+
+/// A process-wide [`WorkerPool`] with at least `min_threads` workers.
+///
+/// The pool is created on first use and grown (by replacement; in-flight
+/// queries keep the previous pool alive until they finish) when a caller
+/// asks for more workers than it has. Callers that want an isolated pool —
+/// one per [`crate::engine::QueryProcessor`], differently sized pools side
+/// by side — construct [`WorkerPool::new`] directly instead.
+pub fn shared_pool(min_threads: usize) -> Arc<WorkerPool> {
+    let min_threads = min_threads.max(1);
+    let mut guard = SHARED_POOL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(pool) = guard.as_ref() {
+        if pool.num_threads() >= min_threads {
+            return Arc::clone(pool);
+        }
+    }
+    let pool = Arc::new(WorkerPool::new(min_threads));
+    *guard = Some(Arc::clone(&pool));
+    pool
+}
+
+/// Shards object work across the workers of a [`WorkerPool`].
+///
+/// The executor is a cheap handle (an `Arc` to the pool plus a thread
+/// count); construct one per query or keep one around — the threads behind
+/// it live in the pool either way.
+#[derive(Debug, Clone)]
 pub struct ShardedExecutor {
     num_threads: usize,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl ShardedExecutor {
-    /// An executor with `num_threads` workers (clamped to at least 1).
-    pub fn new(num_threads: usize) -> Self {
-        ShardedExecutor { num_threads: num_threads.max(1) }
+    /// An executor over `num_threads` workers of the process-wide
+    /// [`shared_pool`] (clamped to at least 1; `1` runs inline without
+    /// touching the pool).
+    pub fn new(num_threads: usize) -> ShardedExecutor {
+        let num_threads = num_threads.max(1);
+        let pool = (num_threads > 1).then(|| shared_pool(num_threads));
+        ShardedExecutor { num_threads, pool }
     }
 
-    /// An executor sized from [`EngineConfig::num_threads`].
-    pub fn from_config(config: &EngineConfig) -> Self {
+    /// An executor sized from [`EngineConfig::num_threads`], on the
+    /// process-wide shared pool.
+    pub fn from_config(config: &EngineConfig) -> ShardedExecutor {
         ShardedExecutor::new(config.effective_num_threads())
+    }
+
+    /// A strictly sequential executor (inline on the caller's thread).
+    pub fn sequential() -> ShardedExecutor {
+        ShardedExecutor { num_threads: 1, pool: None }
+    }
+
+    /// An executor over all workers of a specific pool — the constructor
+    /// [`crate::engine::QueryProcessor`] uses for the pool it owns.
+    pub fn on_pool(pool: Arc<WorkerPool>) -> ShardedExecutor {
+        ShardedExecutor { num_threads: pool.num_threads(), pool: Some(pool) }
     }
 
     /// The worker count.
@@ -73,38 +371,41 @@ impl ShardedExecutor {
             return Ok(Vec::new());
         }
         let threads = self.num_threads.min(n);
-        if threads == 1 {
-            let mut pipeline = Propagator::new(config, stats);
-            let indices: Vec<usize> = (0..n).collect();
-            return worker(&mut pipeline, &indices);
-        }
+        let pool = match (&self.pool, threads) {
+            (Some(pool), 2..) => pool,
+            _ => {
+                let mut pipeline = Propagator::new(config, stats);
+                let indices: Vec<usize> = (0..n).collect();
+                return worker(&mut pipeline, &indices);
+            }
+        };
 
         let chunk_size = n.div_ceil(threads);
         type WorkerOutput<T> = Result<(Vec<T>, EvalStats)>;
-        let worker_results: Vec<WorkerOutput<T>> = std::thread::scope(|scope| {
-            let worker = &worker;
-            let mut handles = Vec::with_capacity(threads);
-            for shard in 0..threads {
-                let lo = shard * chunk_size;
-                let hi = ((shard + 1) * chunk_size).min(n);
-                if lo >= hi {
-                    break;
-                }
-                handles.push(scope.spawn(move || -> WorkerOutput<T> {
+        let ranges: Vec<(usize, usize)> = (0..threads)
+            .map(|shard| (shard * chunk_size, ((shard + 1) * chunk_size).min(n)))
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let mut slots: Vec<Option<WorkerOutput<T>>> = (0..ranges.len()).map(|_| None).collect();
+        let worker = &worker;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+            .iter_mut()
+            .zip(ranges)
+            .map(|(slot, (lo, hi))| {
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                     let indices: Vec<usize> = (lo..hi).collect();
                     let mut local_stats = EvalStats::new();
                     let mut pipeline = Propagator::new(config, &mut local_stats);
-                    let out = worker(&mut pipeline, &indices)?;
-                    drop(pipeline);
-                    Ok((out, local_stats))
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
+                    *slot = Some(worker(&mut pipeline, &indices).map(|out| (out, local_stats)));
+                });
+                job
+            })
+            .collect();
+        pool.run_scoped(jobs);
 
         let mut out = Vec::with_capacity(n);
-        for result in worker_results {
-            let (shard_out, local_stats) = result?;
+        for slot in slots {
+            let (shard_out, local_stats) = slot.expect("run_scoped completes every job")?;
             stats.merge(&local_stats);
             out.extend(shard_out);
         }
@@ -112,38 +413,47 @@ impl ShardedExecutor {
     }
 }
 
-/// PST∃Q for every object, object-based, sharded over
-/// [`EngineConfig::num_threads`] workers. Identical to [`object_based::evaluate`] (same order, same
+/// PST∃Q for every object, object-based, sharded over the executor's
+/// workers. Identical to [`object_based::evaluate`] (same order, same
 /// bits); `stats` aggregates the per-worker counters.
+pub fn evaluate_exists_on(
+    executor: &ShardedExecutor,
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectProbability>> {
+    executor.run(db, config, stats, |pipeline, indices| {
+        object_based::exists_batched(pipeline, db, indices, window)
+    })
+}
+
+/// As [`evaluate_exists_on`], on the process-wide shared pool sized from
+/// [`EngineConfig::num_threads`].
 pub fn evaluate_exists_parallel(
     db: &TrajectoryDatabase,
     window: &QueryWindow,
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<Vec<ObjectProbability>> {
-    ShardedExecutor::from_config(config).run(db, config, stats, |pipeline, indices| {
-        object_based::exists_batched(pipeline, db, indices, window)
-    })
+    evaluate_exists_on(&ShardedExecutor::from_config(config), db, window, config, stats)
 }
 
-/// PST∃Q for every object, query-based, sharded. The backward sweep — the
-/// dominant, inherently sequential cost — runs **once per model** up
-/// front; the workers then share the read-only fields and shard only the
-/// per-object dot products. Results match [`query_based::evaluate`] bit
-/// for bit.
-pub fn evaluate_exists_qb_parallel(
+/// The shared answer fan-out of the query-based ∃ drivers: one dot product
+/// per object against the plan's read-only fields, sharded.
+fn answer_exists_plan_on(
+    executor: &ShardedExecutor,
     db: &TrajectoryDatabase,
     window: &QueryWindow,
     config: &EngineConfig,
     stats: &mut EvalStats,
+    plan: &SharedFieldPlan,
 ) -> Result<Vec<ObjectProbability>> {
-    let fields = query_based::compute_model_fields(db, window, config, stats)?;
-    let fields = &fields;
-    ShardedExecutor::from_config(config).run(db, config, stats, |pipeline, indices| {
+    executor.run(db, config, stats, |pipeline, indices| {
         let mut out = Vec::with_capacity(indices.len());
         for &idx in indices {
             let object = db.object(idx).expect("executor passes valid indices");
-            let field = fields[object.model()].as_ref().expect("one field per populated model");
+            let field = plan.field(object.model()).expect("one field per populated model");
             let probability =
                 field.object_probability(object, window).expect("anchor snapshot was requested");
             pipeline.stats().objects_evaluated += 1;
@@ -153,61 +463,142 @@ pub fn evaluate_exists_qb_parallel(
     })
 }
 
+/// PST∃Q for every object, query-based, sharded. The backward sweep — the
+/// dominant, inherently sequential cost — runs **once per model** in the
+/// [`SharedFieldPlan`] stage before the fan-out; the workers then share the
+/// read-only `Arc` fields and shard only the per-object dot products, so no
+/// field is swept more than once regardless of the worker count. Results
+/// match [`crate::engine::query_based::evaluate`] bit for bit.
+pub fn evaluate_exists_qb_on(
+    executor: &ShardedExecutor,
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectProbability>> {
+    let plan = SharedFieldPlan::prepare(db, window, config, stats)?;
+    stats.fields_shared += plan.num_fields() as u64;
+    answer_exists_plan_on(executor, db, window, config, stats, &plan)
+}
+
+/// As [`evaluate_exists_qb_on`], on the process-wide shared pool.
+pub fn evaluate_exists_qb_parallel(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectProbability>> {
+    evaluate_exists_qb_on(&ShardedExecutor::from_config(config), db, window, config, stats)
+}
+
+/// As [`evaluate_exists_qb_on`], preparing the shared-field plan through a
+/// lock-guarded [`BackwardFieldCache`]: a repeated or overlapping window
+/// reuses the cached suffix sweep, a fresh one is swept once and cached,
+/// and either way the workers receive read-only `Arc` views. Bit-for-bit
+/// identical to the uncached path.
+pub fn evaluate_exists_qb_cached_on(
+    executor: &ShardedExecutor,
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    cache: &Mutex<BackwardFieldCache>,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectProbability>> {
+    let plan = SharedFieldPlan::prepare_with_cache(db, window, config, cache, stats)?;
+    stats.fields_shared += plan.num_fields() as u64;
+    answer_exists_plan_on(executor, db, window, config, stats, &plan)
+}
+
 /// PST∀Q for every object, object-based, sharded (complement reduction on
 /// the sharded ∃ driver).
+pub fn evaluate_forall_on(
+    executor: &ShardedExecutor,
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectProbability>> {
+    let complement = window.complement_states()?;
+    let mut results = evaluate_exists_on(executor, db, &complement, config, stats)?;
+    crate::engine::forall::complement_probabilities(&mut results);
+    Ok(results)
+}
+
+/// As [`evaluate_forall_on`], on the process-wide shared pool.
 pub fn evaluate_forall_parallel(
     db: &TrajectoryDatabase,
     window: &QueryWindow,
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<Vec<ObjectProbability>> {
-    let complement = window.complement_states()?;
-    let mut results = evaluate_exists_parallel(db, &complement, config, stats)?;
-    crate::engine::forall::complement_probabilities(&mut results);
-    Ok(results)
+    evaluate_forall_on(&ShardedExecutor::from_config(config), db, window, config, stats)
 }
 
 /// PST∀Q for every object, query-based, sharded.
-pub fn evaluate_forall_qb_parallel(
+pub fn evaluate_forall_qb_on(
+    executor: &ShardedExecutor,
     db: &TrajectoryDatabase,
     window: &QueryWindow,
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<Vec<ObjectProbability>> {
     let complement = window.complement_states()?;
-    let mut results = evaluate_exists_qb_parallel(db, &complement, config, stats)?;
+    let mut results = evaluate_exists_qb_on(executor, db, &complement, config, stats)?;
     crate::engine::forall::complement_probabilities(&mut results);
     Ok(results)
 }
 
+/// As [`evaluate_forall_qb_on`], on the process-wide shared pool.
+pub fn evaluate_forall_qb_parallel(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectProbability>> {
+    evaluate_forall_qb_on(&ShardedExecutor::from_config(config), db, window, config, stats)
+}
+
 /// PSTkQ for every object, object-based (`C(t)` algorithm), sharded.
+pub fn evaluate_ktimes_on(
+    executor: &ShardedExecutor,
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectKDistribution>> {
+    executor.run(db, config, stats, |pipeline, indices| {
+        ktimes::ktimes_batched(pipeline, db, indices, window)
+    })
+}
+
+/// As [`evaluate_ktimes_on`], on the process-wide shared pool.
 pub fn evaluate_ktimes_parallel(
     db: &TrajectoryDatabase,
     window: &QueryWindow,
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<Vec<ObjectKDistribution>> {
-    ShardedExecutor::from_config(config).run(db, config, stats, |pipeline, indices| {
-        ktimes::ktimes_batched(pipeline, db, indices, window)
-    })
+    evaluate_ktimes_on(&ShardedExecutor::from_config(config), db, window, config, stats)
 }
 
 /// PSTkQ for every object, query-based, sharded. As with
-/// [`evaluate_exists_qb_parallel`], the per-model backward level sweeps run
-/// once up front and the workers shard the per-object dot products.
-pub fn evaluate_ktimes_qb_parallel(
+/// [`evaluate_exists_qb_on`], the per-model backward level sweeps run once
+/// in the [`ktimes::KTimesFieldPlan`] stage and the workers shard the
+/// per-object dot products against the shared read-only fields.
+pub fn evaluate_ktimes_qb_on(
+    executor: &ShardedExecutor,
     db: &TrajectoryDatabase,
     window: &QueryWindow,
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<Vec<ObjectKDistribution>> {
-    let fields = ktimes::compute_model_fields(db, window, stats)?;
-    let fields = &fields;
-    ShardedExecutor::from_config(config).run(db, config, stats, |pipeline, indices| {
+    let plan = ktimes::KTimesFieldPlan::prepare(db, window, stats)?;
+    stats.fields_shared += plan.num_fields() as u64;
+    executor.run(db, config, stats, |pipeline, indices| {
         let mut out = Vec::with_capacity(indices.len());
         for &idx in indices {
             let object = db.object(idx).expect("executor passes valid indices");
-            let field = fields[object.model()].as_ref().expect("one field per populated model");
+            let field = plan.field(object.model()).expect("one field per populated model");
             let probabilities =
                 field.object_distribution(object, window).expect("anchor snapshot was requested");
             pipeline.stats().objects_evaluated += 1;
@@ -217,21 +608,31 @@ pub fn evaluate_ktimes_qb_parallel(
     })
 }
 
+/// As [`evaluate_ktimes_qb_on`], on the process-wide shared pool.
+pub fn evaluate_ktimes_qb_parallel(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectKDistribution>> {
+    evaluate_ktimes_qb_on(&ShardedExecutor::from_config(config), db, window, config, stats)
+}
+
 /// Thresholded PST∃Q over the whole database, sharded: each worker runs the
 /// batched bound-based driver on its shard (building its own reachability
 /// pruners). The accepted id list matches [`threshold::threshold_query`]
 /// exactly.
-pub fn threshold_query_parallel(
+pub fn threshold_query_on(
+    executor: &ShardedExecutor,
     db: &TrajectoryDatabase,
     window: &QueryWindow,
     tau: f64,
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<Vec<u64>> {
-    let outcomes =
-        ShardedExecutor::from_config(config).run(db, config, stats, |pipeline, indices| {
-            threshold::threshold_batched(pipeline, db, indices, window, tau)
-        })?;
+    let outcomes = executor.run(db, config, stats, |pipeline, indices| {
+        threshold::threshold_batched(pipeline, db, indices, window, tau)
+    })?;
     Ok(outcomes
         .into_iter()
         .enumerate()
@@ -240,12 +641,41 @@ pub fn threshold_query_parallel(
         .collect())
 }
 
+/// As [`threshold_query_on`], on the process-wide shared pool.
+pub fn threshold_query_parallel(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    tau: f64,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<u64>> {
+    threshold_query_on(&ShardedExecutor::from_config(config), db, window, tau, config, stats)
+}
+
+/// Thresholded PST∃Q answered from the query-based shared-field plan: one
+/// locked cache lookup (or fresh sweep) per `(model, window)`, then sharded
+/// dot products and the `≥ τ` filter. Exact, and bit-for-bit identical to
+/// [`threshold::threshold_query_cached`] run sequentially.
+pub fn threshold_query_cached_on(
+    executor: &ShardedExecutor,
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    tau: f64,
+    config: &EngineConfig,
+    cache: &Mutex<BackwardFieldCache>,
+    stats: &mut EvalStats,
+) -> Result<Vec<u64>> {
+    let all = evaluate_exists_qb_cached_on(executor, db, window, config, cache, stats)?;
+    Ok(all.into_iter().filter(|r| r.probability >= tau).map(|r| r.object_id).collect())
+}
+
 /// Top-k most likely window intersectors, object-based with pruning,
 /// sharded: each worker ranks its shard (pruning against its local k-th
 /// bound — conservative, so no global candidate is lost) and the shard
 /// lists are merged. The final ranking matches
 /// [`ranking::topk_object_based_pruned`] exactly.
-pub fn topk_object_based_parallel(
+pub fn topk_object_based_on(
+    executor: &ShardedExecutor,
     db: &TrajectoryDatabase,
     window: &QueryWindow,
     k: usize,
@@ -255,10 +685,9 @@ pub fn topk_object_based_parallel(
     if k == 0 {
         return Ok(Vec::new());
     }
-    let candidates =
-        ShardedExecutor::from_config(config).run(db, config, stats, |pipeline, indices| {
-            ranking::topk_batched(pipeline, db, indices, window, k)
-        })?;
+    let candidates = executor.run(db, config, stats, |pipeline, indices| {
+        ranking::topk_batched(pipeline, db, indices, window, k)
+    })?;
     let mut best: Vec<RankedObject> = Vec::with_capacity(k + 1);
     for candidate in candidates {
         ranking::insert_ranked(&mut best, candidate, k);
@@ -266,8 +695,33 @@ pub fn topk_object_based_parallel(
     Ok(best)
 }
 
+/// As [`topk_object_based_on`], on the process-wide shared pool.
+pub fn topk_object_based_parallel(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    k: usize,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<RankedObject>> {
+    topk_object_based_on(&ShardedExecutor::from_config(config), db, window, k, config, stats)
+}
+
 /// Top-k via the query-based engine, sharded over the probability
-/// computation. Matches [`ranking::topk_query_based`] exactly.
+/// computation (one shared-field sweep per model up front). Matches
+/// [`ranking::topk_query_based`] exactly.
+pub fn topk_query_based_on(
+    executor: &ShardedExecutor,
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    k: usize,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<Vec<RankedObject>> {
+    let all = evaluate_exists_qb_on(executor, db, window, config, stats)?;
+    Ok(ranking::select_topk(all, k))
+}
+
+/// As [`topk_query_based_on`], on the process-wide shared pool.
 pub fn topk_query_based_parallel(
     db: &TrajectoryDatabase,
     window: &QueryWindow,
@@ -275,14 +729,29 @@ pub fn topk_query_based_parallel(
     config: &EngineConfig,
     stats: &mut EvalStats,
 ) -> Result<Vec<RankedObject>> {
-    let all = evaluate_exists_qb_parallel(db, window, config, stats)?;
+    topk_query_based_on(&ShardedExecutor::from_config(config), db, window, k, config, stats)
+}
+
+/// As [`topk_query_based_on`], preparing the shared-field plan through a
+/// lock-guarded [`BackwardFieldCache`]. Bit-for-bit identical to the
+/// uncached ranking.
+pub fn topk_query_based_cached_on(
+    executor: &ShardedExecutor,
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    k: usize,
+    config: &EngineConfig,
+    cache: &Mutex<BackwardFieldCache>,
+    stats: &mut EvalStats,
+) -> Result<Vec<RankedObject>> {
+    let all = evaluate_exists_qb_cached_on(executor, db, window, config, cache, stats)?;
     Ok(ranking::select_topk(all, k))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::forall;
+    use crate::engine::{forall, query_based};
     use crate::object::UncertainObject;
     use crate::observation::Observation;
     use ust_markov::testutil;
@@ -445,6 +914,148 @@ mod tests {
     }
 
     #[test]
+    fn pool_reuse_across_queries_and_graceful_shutdown() {
+        let db = random_db(29, 40, 23);
+        let window = window(40);
+        let config = EngineConfig::default().with_num_threads(4);
+        let pool = Arc::new(WorkerPool::new(4));
+        assert_eq!(pool.num_threads(), 4);
+        let executor = ShardedExecutor::on_pool(Arc::clone(&pool));
+        let sequential =
+            object_based::evaluate(&db, &window, &config, &mut EvalStats::new()).unwrap();
+        // Many queries over the same pool: no respawn, identical bits.
+        for _ in 0..3 {
+            let out = evaluate_exists_on(&executor, &db, &window, &config, &mut EvalStats::new())
+                .unwrap();
+            for (a, b) in out.iter().zip(&sequential) {
+                assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+            }
+        }
+        drop(executor);
+        // Dropping the last handle joins the workers without hanging.
+        drop(pool);
+    }
+
+    #[test]
+    fn pool_propagates_job_panics_and_survives_them() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_scoped(vec![
+                Box::new(|| panic!("boom")) as Box<dyn FnOnce() + Send + '_>,
+                Box::new(|| {}),
+            ]);
+        }));
+        assert!(caught.is_err(), "the job panic must surface on the submitter");
+        // The workers survived the panic and still run jobs.
+        let flag = std::sync::atomic::AtomicUsize::new(0);
+        pool.run_scoped(
+            (0..4)
+                .map(|_| {
+                    let flag = &flag;
+                    Box::new(move || {
+                        flag.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect(),
+        );
+        assert_eq!(flag.load(std::sync::atomic::Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn shared_pool_grows_monotonically() {
+        // Other tests in this binary grow the process-wide pool
+        // concurrently, so only monotonicity can be asserted exactly.
+        let small = shared_pool(2);
+        assert!(small.num_threads() >= 2);
+        let big = shared_pool(small.num_threads() + 1);
+        assert!(big.num_threads() > small.num_threads());
+        // A smaller request reuses a grown pool instead of shrinking it.
+        let again = shared_pool(1);
+        assert!(again.num_threads() >= big.num_threads());
+    }
+
+    #[test]
+    fn cached_drivers_match_uncached_bit_for_bit() {
+        let db = random_db(31, 50, 19);
+        let window = window(50);
+        let config = EngineConfig::default().with_num_threads(3);
+        let executor = ShardedExecutor::from_config(&config);
+        let cache = Mutex::new(BackwardFieldCache::new(8));
+        let uncached =
+            evaluate_exists_qb_on(&executor, &db, &window, &config, &mut EvalStats::new()).unwrap();
+        // Twice through the cache: a miss-then-sweep pass and a pure-hit
+        // pass must both reproduce the uncached bits.
+        for pass in 0..2 {
+            let mut stats = EvalStats::new();
+            let cached =
+                evaluate_exists_qb_cached_on(&executor, &db, &window, &config, &cache, &mut stats)
+                    .unwrap();
+            for (a, b) in cached.iter().zip(&uncached) {
+                assert_eq!(a.probability.to_bits(), b.probability.to_bits(), "pass={pass}");
+            }
+            if pass == 1 {
+                assert_eq!(stats.cache_misses, 0, "second pass must be a pure hit");
+                assert_eq!(stats.backward_steps, 0);
+            }
+            assert_eq!(stats.fields_shared, 1, "one model, one shared field");
+        }
+        let mut stats = EvalStats::new();
+        let accepted_cached =
+            threshold_query_cached_on(&executor, &db, &window, 0.4, &config, &cache, &mut stats)
+                .unwrap();
+        let accepted =
+            threshold_query_parallel(&db, &window, 0.4, &config, &mut EvalStats::new()).unwrap();
+        assert_eq!(accepted_cached, accepted);
+        assert_eq!(stats.backward_steps, 0, "the threshold run rides the cached field");
+        let topk_cached = topk_query_based_cached_on(
+            &executor,
+            &db,
+            &window,
+            5,
+            &config,
+            &cache,
+            &mut EvalStats::new(),
+        )
+        .unwrap();
+        let topk =
+            topk_query_based_parallel(&db, &window, 5, &config, &mut EvalStats::new()).unwrap();
+        for (a, b) in topk_cached.iter().zip(&topk) {
+            assert_eq!(a.object_id, b.object_id);
+            assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+        }
+    }
+
+    #[test]
+    fn qb_sweeps_each_field_once_regardless_of_threads() {
+        let db = random_db(37, 50, 24);
+        let window = window(50);
+        let mut baseline = EvalStats::new();
+        evaluate_exists_qb_parallel(
+            &db,
+            &window,
+            &EngineConfig::default().with_num_threads(1),
+            &mut baseline,
+        )
+        .unwrap();
+        assert!(baseline.backward_steps > 0);
+        for threads in [2usize, 4, 8] {
+            let mut stats = EvalStats::new();
+            evaluate_exists_qb_parallel(
+                &db,
+                &window,
+                &EngineConfig::default().with_num_threads(threads),
+                &mut stats,
+            )
+            .unwrap();
+            assert_eq!(
+                stats.backward_steps, baseline.backward_steps,
+                "threads={threads}: the shared-field plan must not re-sweep per worker"
+            );
+            assert_eq!(stats.fields_shared, baseline.fields_shared);
+        }
+    }
+
+    #[test]
     fn empty_database() {
         let db = random_db(5, 10, 0);
         let window = QueryWindow::from_states(10, [0usize], TimeSet::at(1)).unwrap();
@@ -492,6 +1103,8 @@ mod tests {
         .unwrap();
         assert_eq!(out.len(), 5);
         assert_eq!(ShardedExecutor::new(0).num_threads(), 1);
+        assert_eq!(ShardedExecutor::sequential().num_threads(), 1);
+        assert_eq!(WorkerPool::new(0).num_threads(), 1);
         let _ = MarkovChain::from_csr(ust_markov::CsrMatrix::identity(2)).unwrap();
     }
 }

@@ -17,10 +17,13 @@
 //! **observation-driven** rather than window-driven, so it uses
 //! [`Propagator::forward_steps`] — the window-free sweep that fires only
 //! [`ForwardEvent::StepEnd`] — and fuses each observation's likelihood when
-//! the sweep reaches its timestamp. The β-recursion deliberately stays off
-//! the pipeline: it propagates a *likelihood* (not a probability mass), so
-//! the pipeline's ε-pruning, ⊤-accounting and early-termination invariants
-//! do not apply; it is a plain backward `M·β` product with evidence fusion.
+//! the sweep reaches its timestamp. The β-recursion deliberately stays a
+//! plain backward `M·β` product with evidence fusion: the pipeline's
+//! backward sweep ([`Propagator::backward_from`]) is shaped by a query
+//! window — its masking schedule and snapshot times have no analogue here —
+//! and β propagates a *likelihood*, not probability mass, so none of the
+//! window machinery applies. Smoothing also always runs the exact
+//! configuration (ε-pruning would distort the posterior's normalization).
 
 use std::ops::ControlFlow;
 

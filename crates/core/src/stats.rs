@@ -29,6 +29,11 @@ pub struct EvalStats {
     pub cache_hits: u64,
     /// Backward-field cache lookups that required a full backward sweep.
     pub cache_misses: u64,
+    /// `(model, window)` backward fields computed (or fetched from the
+    /// cache) exactly once by a shared-field plan and handed to the worker
+    /// fan-out as read-only views — sweeps that a per-worker evaluation
+    /// would have repeated once per worker touching the model.
+    pub fields_shared: u64,
     /// Total probability mass dropped by ε-pruning (bounds the error).
     pub pruned_mass: f64,
 }
@@ -49,6 +54,7 @@ impl EvalStats {
         self.early_terminations += other.early_terminations;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.fields_shared += other.fields_shared;
         self.pruned_mass += other.pruned_mass;
     }
 
@@ -74,6 +80,7 @@ mod tests {
             early_terminations: 2,
             cache_hits: 3,
             cache_misses: 2,
+            fields_shared: 4,
             pruned_mass: 0.5,
         };
         a.merge(&b);
@@ -85,6 +92,7 @@ mod tests {
         assert_eq!(a.early_terminations, 2);
         assert_eq!(a.cache_hits, 3);
         assert_eq!(a.cache_misses, 2);
+        assert_eq!(a.fields_shared, 4);
         assert_eq!(a.total_steps(), 10);
         assert!((a.pruned_mass - 0.5).abs() < 1e-12);
     }

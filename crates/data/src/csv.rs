@@ -1,9 +1,9 @@
 //! Minimal result-table writer (CSV + Markdown).
 //!
 //! The benchmark harness records every regenerated figure as a small table;
-//! a hand-rolled writer keeps the dependency budget at zero (see DESIGN.md)
+//! a hand-rolled writer keeps the dependency budget at zero
 //! while covering the only formats we need: RFC-4180-style CSV and GitHub
-//! Markdown for EXPERIMENTS.md.
+//! Markdown for the `paper_experiments` report.
 
 use std::fmt::Write as _;
 use std::path::Path;

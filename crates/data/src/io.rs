@@ -1,7 +1,7 @@
 //! Plain-text persistence for chains and trajectory databases.
 //!
 //! A deliberately simple line-oriented format (no serialization crates
-//! needed — see the dependency policy in DESIGN.md) so that datasets can be
+//! needed — the workspace keeps external dependencies at zero) so that datasets can be
 //! generated once and reused across benchmark runs, or exchanged with other
 //! tools:
 //!

@@ -16,7 +16,7 @@
 //! * [`csv`] — the result-table writer used by the benchmark harness;
 //! * [`io`] — plain-text persistence for chains and databases.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod csv;
 pub mod iceberg;

@@ -24,7 +24,7 @@
 //!   cluster-level pruning sketched in Section V-C;
 //! * [`mask::StateMask`] — bitset state sets for query windows.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod augmented;
 pub mod chain;

@@ -16,10 +16,11 @@
 //!   time sets;
 //! * [`network_gen`] — generators for connected sparse road-like graphs
 //!   with the exact node/edge counts of the paper's North America and
-//!   Munich datasets (documented substitution — see DESIGN.md);
+//!   Munich datasets (a documented substitution for the paper's real
+//!   datasets — see the [`network_gen`] module docs);
 //! * [`rtree::RTree`] — STR bulk-loaded point R-tree.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod grid;
 pub mod line;

@@ -15,7 +15,12 @@
 //!   rankings;
 //! * query-based results served through the `BackwardFieldCache` are
 //!   **bit-identical** to uncached evaluation across random overlapping
-//!   windows, including suffix-extended partial hits.
+//!   windows, including suffix-extended partial hits;
+//! * evaluation on the long-lived `WorkerPool` — including the
+//!   shared-field plan of the query-based drivers and the processor's
+//!   lock-guarded cache — is **bit-identical** to sequential evaluation at
+//!   every worker count, and sweeps each `(model, window)` backward field
+//!   at most once per query regardless of the worker count.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -259,6 +264,88 @@ proptest! {
         }
         prop_assert!(stats.cache_hits >= 2, "revisits must hit: {:?}", stats);
         prop_assert!(stats.cache_misses <= 2, "only distinct windows sweep: {:?}", stats);
+    }
+
+    #[test]
+    fn pooled_evaluation_is_bit_identical_to_sequential(
+        (seed, n, deg) in (0u64..10_000, 3usize..=8, 1usize..=3),
+        mask_seed in 0u64..1_000,
+        t_start in 1u32..=3,
+        t_len in 0u32..=2,
+        objects in 4usize..=16,
+        tau in 0.05f64..0.95,
+        k in 1usize..=5,
+    ) {
+        let window = match random_window(n, mask_seed, t_start, t_len) {
+            Some(w) => w,
+            None => { prop_assume!(false); unreachable!() }
+        };
+        let db = random_db(seed, n, deg, objects, t_start.min(1));
+        let sequential = EngineConfig::default();
+
+        let exists_qb_ref =
+            query_based::evaluate(&db, &window, &sequential, &mut EvalStats::new()).unwrap();
+        let ktimes_ref = ust_core::engine::ktimes::evaluate_query_based(
+            &db, &window, &sequential, &mut EvalStats::new()).unwrap();
+        let accepted_ref =
+            threshold::threshold_query(&db, &window, tau, &sequential, &mut EvalStats::new())
+                .unwrap();
+        let topk_ref =
+            ranking::topk_object_based_pruned(&db, &window, k, &sequential, &mut EvalStats::new())
+                .unwrap();
+        let topk_qb_ref =
+            ranking::topk_query_based(&db, &window, k, &sequential, &mut EvalStats::new())
+                .unwrap();
+        let mut baseline = EvalStats::new();
+        ust_core::parallel::evaluate_exists_qb_parallel(
+            &db, &window, &sequential, &mut baseline).unwrap();
+
+        for threads in [2usize, 4] {
+            let config = EngineConfig::default().with_num_threads(threads);
+            // The processor owns a long-lived pool and a lock-guarded
+            // backward-field cache; run every entry point twice so both
+            // the fresh-sweep and the pure-cache-hit paths are pinned.
+            let processor = QueryProcessor::with_config(&db, config);
+            prop_assert!(processor.pool().is_some());
+            for round in 0..2 {
+                let exists_qb = processor.exists_query_based(&window).unwrap();
+                for (a, b) in exists_qb.iter().zip(&exists_qb_ref) {
+                    prop_assert_eq!(a.probability.to_bits(), b.probability.to_bits(),
+                        "∃ QB pooled threads={} round={}", threads, round);
+                }
+                let ktimes = processor.ktimes_query_based(&window).unwrap();
+                for (a, b) in ktimes.iter().zip(&ktimes_ref) {
+                    prop_assert_eq!(a.object_id, b.object_id);
+                    for (x, y) in a.probabilities.iter().zip(&b.probabilities) {
+                        prop_assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+                let accepted = processor.threshold_query(&window, tau).unwrap();
+                prop_assert_eq!(&accepted, &accepted_ref, "threshold threads={}", threads);
+                let accepted_cached = processor.threshold_query_cached(&window, tau).unwrap();
+                prop_assert_eq!(&accepted_cached, &accepted_ref,
+                    "cached threshold threads={}", threads);
+                let topk = processor.topk(&window, k).unwrap();
+                prop_assert_eq!(topk.len(), topk_ref.len());
+                for (a, b) in topk.iter().zip(&topk_ref) {
+                    prop_assert_eq!(a.object_id, b.object_id);
+                    prop_assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+                }
+                let topk_qb = processor.topk_query_based(&window, k).unwrap();
+                for (a, b) in topk_qb.iter().zip(&topk_qb_ref) {
+                    prop_assert_eq!(a.object_id, b.object_id, "top-k QB threads={}", threads);
+                    prop_assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+                }
+            }
+            // The shared-field plan sweeps each (model, window) field at
+            // most once per query, independent of the worker count.
+            let mut stats = EvalStats::new();
+            ust_core::parallel::evaluate_exists_qb_parallel(
+                &db, &window, &config, &mut stats).unwrap();
+            prop_assert_eq!(stats.backward_steps, baseline.backward_steps,
+                "threads={} must not re-sweep the shared field", threads);
+            prop_assert_eq!(stats.fields_shared, baseline.fields_shared);
+        }
     }
 
     #[test]
