@@ -7,6 +7,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod pr2;
 pub mod pr3;
+pub mod pr4;
 
 use crate::{ExperimentOutput, Scale};
 
@@ -29,6 +30,7 @@ pub fn all(scale: Scale) -> Vec<ExperimentOutput> {
     out.push(pr2::pr2_batching(scale));
     out.push(pr2::pr2_cache(scale));
     out.push(pr3::pr3_pool(scale));
+    out.push(pr4::pr4_planner(scale));
     out
 }
 
@@ -52,6 +54,7 @@ pub fn by_id(id: &str, scale: Scale) -> Option<ExperimentOutput> {
         "pr2_batching" => Some(pr2::pr2_batching(scale)),
         "pr2_cache" => Some(pr2::pr2_cache(scale)),
         "pr3_pool" => Some(pr3::pr3_pool(scale)),
+        "pr4_planner" => Some(pr4::pr4_planner(scale)),
         _ => None,
     }
 }
@@ -76,6 +79,7 @@ pub fn known_ids() -> &'static [&'static str] {
         "pr2_batching",
         "pr2_cache",
         "pr3_pool",
+        "pr4_planner",
     ]
 }
 
@@ -95,6 +99,6 @@ mod tests {
         assert!(!out.table.is_empty());
         assert_eq!(out.id, "ablation_augmented");
         assert!(by_id("nope", Scale::Ci).is_none());
-        assert_eq!(known_ids().len(), 17);
+        assert_eq!(known_ids().len(), 18);
     }
 }

@@ -1,0 +1,235 @@
+//! PR 4 trajectory experiment: the unified query spec + planner and the
+//! asynchronous submission front door, measured in operation counts
+//! (deterministic across machines) plus wall clock.
+//!
+//! Three claims are made observable:
+//!
+//! 1. **The planner tracks the cheaper strategy** — across database sizes
+//!    on the fig11 locality workload, `Strategy::Auto` resolves to
+//!    object-based for tiny object populations and to query-based once
+//!    the backward sweep amortizes, and the planned answer is
+//!    bit-identical to both forced strategies' values (the
+//!    `d*_auto_matches` metrics assert per-size identity with the chosen
+//!    strategy).
+//! 2. **The k-times level-field cache works** — a repeated PSTkQ window
+//!    pays its `(|T▫|+1)`-level backward sweep once: the second run is a
+//!    pure cache hit with zero backward steps (`ktimes_warm_*` metrics).
+//! 3. **Async submission frees the caller immediately** — submitting a
+//!    burst of query-based windows to a pooled processor costs
+//!    microseconds (`burst_submit_wall_secs`), while the blocking loop
+//!    holds the caller for every query's full evaluation
+//!    (`blocking_wall_secs`); total completion (`burst_wall_secs`) is
+//!    bit-identical work whose sweeps overlap across workers on
+//!    multi-core hosts (on a single-core CI host the completion walls are
+//!    comparable — the cache lock no longer serializes distinct-window
+//!    sweeps, but there is only one core to overlap them on).
+
+use ust_core::engine::EngineConfig;
+use ust_core::{EvalStats, Query, QueryAnswer, QueryProcessor, QuerySpec, Strategy};
+use ust_data::csv::fmt_secs;
+use ust_data::workload;
+use ust_data::{synthetic, ResultTable, SyntheticConfig};
+
+use crate::{time, ExperimentOutput, Scale};
+
+/// The fig11 locality workload — the same dataset the `pr2_*`/`pr3_*`
+/// experiments use, so the trajectory files stay comparable.
+fn locality_config(scale: Scale) -> SyntheticConfig {
+    super::fig11::base_config(scale)
+}
+
+/// Planner + async-front-door experiment on the fig11 locality workload.
+pub fn pr4_planner(scale: Scale) -> ExperimentOutput {
+    planner_experiment(&locality_config(scale))
+}
+
+fn probabilities(answer: &QueryAnswer) -> &[ust_core::ObjectProbability] {
+    answer.probabilities().expect("probabilities decorator")
+}
+
+fn planner_experiment(cfg: &SyntheticConfig) -> ExperimentOutput {
+    let window = workload::paper_default_window(cfg.num_states).expect("window fits");
+    let mut table = ResultTable::new([
+        "|D|",
+        "auto chose",
+        "OB est (ops)",
+        "QB est (ops)",
+        "OB wall",
+        "QB wall",
+        "auto wall",
+    ]);
+    let mut out = ExperimentOutput {
+        metrics: Vec::new(),
+        id: "pr4_planner".into(),
+        title: "PR 4 — query planner (Auto vs forced strategies) and async burst \
+                submission on the fig11 locality dataset"
+            .into(),
+        table: ResultTable::new([""]),
+        expectation: "Auto resolves to object-based for tiny object populations and to \
+                      query-based once the backward sweep amortizes over the database; \
+                      planned answers are bit-identical to the chosen forced strategy at \
+                      every size. The k-times level-field cache serves a repeated PSTkQ \
+                      window with zero backward steps. Submitting a query burst \
+                      asynchronously frees the caller after microseconds (vs the blocking \
+                      loop's full evaluation walls); completion work is identical and \
+                      overlaps across workers when cores allow."
+            .into(),
+    };
+
+    // --- 1. Auto vs forced strategies across database sizes --------------
+    for objects in [1usize, 32, cfg.num_objects] {
+        let data = synthetic::generate(&SyntheticConfig { num_objects: objects, ..*cfg });
+        let processor = QueryProcessor::new(&data.db);
+        let auto_spec = Query::exists().window(window.clone()).build().unwrap();
+        let plan = processor.explain(&auto_spec).unwrap();
+
+        let mut auto_stats = EvalStats::new();
+        let (auto_wall, auto_answer) =
+            time(|| processor.execute_with_stats(&auto_spec, &mut auto_stats).unwrap());
+
+        let mut walls = Vec::new();
+        for strategy in [Strategy::ObjectBased, Strategy::QueryBased] {
+            // A fresh processor per forced run: cold caches, fair walls.
+            let forced_processor = QueryProcessor::new(&data.db);
+            let forced = Query::exists().window(window.clone()).strategy(strategy).build().unwrap();
+            let mut stats = EvalStats::new();
+            let (wall, answer) =
+                time(|| forced_processor.execute_with_stats(&forced, &mut stats).unwrap());
+            if strategy == plan.strategy {
+                let same = probabilities(&auto_answer)
+                    .iter()
+                    .zip(probabilities(&answer))
+                    .all(|(a, b)| a.probability.to_bits() == b.probability.to_bits());
+                assert!(same, "Auto must be bit-identical to its chosen strategy");
+                out = out.with_metric(format!("d{objects}_auto_matches"), 1.0);
+            }
+            out = out
+                .with_metric(
+                    format!(
+                        "d{objects}_{}_wall_secs",
+                        if strategy == Strategy::ObjectBased { "ob" } else { "qb" }
+                    ),
+                    wall,
+                )
+                .with_stats_metrics(
+                    &format!(
+                        "d{objects}_{}",
+                        if strategy == Strategy::ObjectBased { "ob" } else { "qb" }
+                    ),
+                    &stats,
+                );
+            walls.push(wall);
+        }
+        table.push_row([
+            objects.to_string(),
+            format!("{:?}", plan.strategy),
+            format!("{:.0}", plan.object_based.total()),
+            format!("{:.0}", plan.query_based.total()),
+            fmt_secs(walls[0]),
+            fmt_secs(walls[1]),
+            fmt_secs(auto_wall),
+        ]);
+        out = out
+            .with_metric(
+                format!("d{objects}_auto_chose_qb"),
+                (plan.strategy == Strategy::QueryBased) as u64 as f64,
+            )
+            .with_metric(format!("d{objects}_ob_est_ops"), plan.object_based.total())
+            .with_metric(format!("d{objects}_qb_est_ops"), plan.query_based.total())
+            .with_metric(format!("d{objects}_auto_wall_secs"), auto_wall);
+    }
+
+    // --- 2. The k-times level-field cache ---------------------------------
+    let data = synthetic::generate(cfg);
+    let processor = QueryProcessor::new(&data.db);
+    let ktimes_spec =
+        Query::ktimes(1).window(window.clone()).strategy(Strategy::QueryBased).build().unwrap();
+    let mut cold = EvalStats::new();
+    let (cold_wall, cold_answer) =
+        time(|| processor.execute_with_stats(&ktimes_spec, &mut cold).unwrap());
+    let mut warm = EvalStats::new();
+    let (warm_wall, warm_answer) =
+        time(|| processor.execute_with_stats(&ktimes_spec, &mut warm).unwrap());
+    assert_eq!(warm.backward_steps, 0, "a repeated PSTkQ window must hit the level cache");
+    assert_eq!(cold_answer, warm_answer, "cached PSTkQ answers are identical");
+    out = out
+        .with_metric("ktimes_cold_backward_steps", cold.backward_steps as f64)
+        .with_metric("ktimes_cold_wall_secs", cold_wall)
+        .with_metric("ktimes_warm_backward_steps", warm.backward_steps as f64)
+        .with_metric("ktimes_warm_cache_hits", warm.cache_hits as f64)
+        .with_metric("ktimes_warm_wall_secs", warm_wall);
+
+    // --- 3. Async burst submit vs blocking loop ---------------------------
+    const BURST: usize = 8;
+    let pooled = EngineConfig::default().with_num_threads(4);
+    let specs: Vec<QuerySpec> = (0..BURST as u32)
+        .map(|i| {
+            let shifted = workload::with_start_time(&window, 18 + i).expect("window fits");
+            Query::exists().window(shifted).strategy(Strategy::QueryBased).build().unwrap()
+        })
+        .collect();
+
+    // Blocking loop: one query at a time, each paying its serial sweep.
+    let blocking_processor = QueryProcessor::with_config(&data.db, pooled);
+    let (blocking_wall, blocking_answers) = time(|| {
+        specs.iter().map(|spec| blocking_processor.execute(spec).unwrap()).collect::<Vec<_>>()
+    });
+    // Async burst: submit everything (the caller is free after this),
+    // then await the tickets.
+    let burst_processor = QueryProcessor::with_config(&data.db, pooled);
+    let (burst_wall, (submit_wall, burst_answers)) = time(|| {
+        let (submit_wall, tickets) =
+            time(|| specs.iter().map(|spec| burst_processor.submit(spec)).collect::<Vec<_>>());
+        let answers = tickets.into_iter().map(|t| t.wait().unwrap()).collect::<Vec<_>>();
+        (submit_wall, answers)
+    });
+    assert_eq!(blocking_answers, burst_answers, "async answers must equal blocking answers");
+    assert!(
+        submit_wall < blocking_wall,
+        "submitting the burst must be cheaper than evaluating it synchronously"
+    );
+
+    out.table = table;
+    out.with_metric("burst_queries", BURST as f64)
+        .with_metric("blocking_wall_secs", blocking_wall)
+        .with_metric("burst_submit_wall_secs", submit_wall)
+        .with_metric("burst_wall_secs", burst_wall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pr4_metrics_present_and_consistent() {
+        // Tiny instances so the test stays fast; the metric names are the
+        // contract BENCH_pr4.json consumers rely on.
+        let cfg = SyntheticConfig::small();
+        let out = planner_experiment(&cfg);
+        let get = |name: &str| {
+            out.metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+                .1
+        };
+        // The full-size database must plan query-based, and Auto must have
+        // matched its chosen strategy at every size.
+        assert_eq!(get(&format!("d{}_auto_chose_qb", cfg.num_objects)), 1.0);
+        for objects in [1usize, 32, cfg.num_objects] {
+            assert_eq!(get(&format!("d{objects}_auto_matches")), 1.0);
+        }
+        // The warm PSTkQ run must be a pure hit.
+        assert_eq!(get("ktimes_warm_backward_steps"), 0.0);
+        assert!(get("ktimes_warm_cache_hits") >= 1.0);
+        assert!(get("ktimes_cold_backward_steps") > 0.0);
+        assert_eq!(get("burst_queries"), 8.0);
+        assert!(get("blocking_wall_secs") > 0.0);
+        assert!(get("burst_wall_secs") > 0.0);
+        assert!(
+            get("burst_submit_wall_secs") < get("blocking_wall_secs"),
+            "submission must return before a blocking loop would"
+        );
+        assert!(!out.table.is_empty());
+    }
+}

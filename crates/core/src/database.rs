@@ -13,8 +13,23 @@ use crate::object::UncertainObject;
 
 /// A database of uncertain spatio-temporal objects over one or more
 /// transition models.
+///
+/// The storage lives behind a shared handle: [`Clone`] is a cheap
+/// reference-count bump, and a clone is a consistent **snapshot** — a later
+/// [`TrajectoryDatabase::insert`] through one handle copies the object
+/// store on write and leaves every other handle untouched. This is what
+/// lets [`crate::engine::QueryProcessor::submit`] hand an asynchronous
+/// query its own owned view of the database without copying the data or
+/// blocking the submitting thread. The transition models themselves are
+/// `Arc`-shared one level deeper, so snapshots keep serving the same cached
+/// backward fields (the field cache keys on the chain allocation).
 #[derive(Debug, Clone)]
 pub struct TrajectoryDatabase {
+    inner: Arc<DbInner>,
+}
+
+#[derive(Debug, Clone)]
+struct DbInner {
     models: Vec<Arc<MarkovChain>>,
     objects: Vec<UncertainObject>,
 }
@@ -23,7 +38,9 @@ impl TrajectoryDatabase {
     /// Creates a database with a single shared model (the paper's primary
     /// setting: "all objects follow the same model").
     pub fn new(chain: MarkovChain) -> Self {
-        TrajectoryDatabase { models: vec![Arc::new(chain)], objects: Vec::new() }
+        TrajectoryDatabase {
+            inner: Arc::new(DbInner { models: vec![Arc::new(chain)], objects: Vec::new() }),
+        }
     }
 
     /// Creates a database with several models (e.g. buses / trucks / cars).
@@ -41,22 +58,28 @@ impl TrajectoryDatabase {
             }
         }
         Ok(TrajectoryDatabase {
-            models: chains.into_iter().map(Arc::new).collect(),
-            objects: Vec::new(),
+            inner: Arc::new(DbInner {
+                models: chains.into_iter().map(Arc::new).collect(),
+                objects: Vec::new(),
+            }),
         })
     }
 
     /// Adds an object after validating its model reference and dimensions.
+    ///
+    /// If other handles (clones, in-flight asynchronous queries) still
+    /// share the storage, the object store is copied first — existing
+    /// snapshots never observe the insertion.
     pub fn insert(&mut self, object: UncertainObject) -> Result<()> {
         let model = object.model();
-        let chain = self.models.get(model).ok_or(QueryError::UnknownModel { model })?;
+        let chain = self.inner.models.get(model).ok_or(QueryError::UnknownModel { model })?;
         if object.num_states() != chain.num_states() {
             return Err(QueryError::ModelDimensionMismatch {
                 model_states: chain.num_states(),
                 object_states: object.num_states(),
             });
         }
-        self.objects.push(object);
+        Arc::make_mut(&mut self.inner).objects.push(object);
         Ok(())
     }
 
@@ -73,43 +96,43 @@ impl TrajectoryDatabase {
 
     /// Number of objects `|D|`.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.inner.objects.len()
     }
 
     /// True when no objects are stored.
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.inner.objects.is_empty()
     }
 
     /// Number of states of the (shared-dimension) state space.
     pub fn num_states(&self) -> usize {
-        self.models[0].num_states()
+        self.inner.models[0].num_states()
     }
 
     /// All objects.
     pub fn objects(&self) -> &[UncertainObject] {
-        &self.objects
+        &self.inner.objects
     }
 
     /// The object with database index `idx`.
     pub fn object(&self, idx: usize) -> Option<&UncertainObject> {
-        self.objects.get(idx)
+        self.inner.objects.get(idx)
     }
 
     /// All transition models.
     pub fn models(&self) -> &[Arc<MarkovChain>] {
-        &self.models
+        &self.inner.models
     }
 
     /// The model a given object follows.
     pub fn model_of(&self, object: &UncertainObject) -> &Arc<MarkovChain> {
-        &self.models[object.model()]
+        &self.inner.models[object.model()]
     }
 
     /// The shared model, when there is exactly one.
     pub fn shared_model(&self) -> Option<&Arc<MarkovChain>> {
-        if self.models.len() == 1 {
-            Some(&self.models[0])
+        if self.inner.models.len() == 1 {
+            Some(&self.inner.models[0])
         } else {
             None
         }
@@ -118,8 +141,8 @@ impl TrajectoryDatabase {
     /// Groups object indices by model index (used by the query-based engine
     /// to amortize one backward pass per model, per Section V-C).
     pub fn objects_by_model(&self) -> Vec<Vec<usize>> {
-        let mut groups = vec![Vec::new(); self.models.len()];
-        for (idx, o) in self.objects.iter().enumerate() {
+        let mut groups = vec![Vec::new(); self.inner.models.len()];
+        for (idx, o) in self.inner.objects.iter().enumerate() {
             groups[o.model()].push(idx);
         }
         groups
@@ -175,6 +198,20 @@ mod tests {
         let groups = db.objects_by_model();
         assert_eq!(groups, vec![vec![0, 2], vec![1]]);
         assert_eq!(db.model_of(db.object(1).unwrap()).num_states(), 3);
+    }
+
+    #[test]
+    fn clones_are_snapshots_with_shared_models() {
+        let mut db = TrajectoryDatabase::new(chain3());
+        db.insert(object(1, 0)).unwrap();
+        let snapshot = db.clone();
+        // The clone shares the model allocation (cache keys stay valid)...
+        assert!(Arc::ptr_eq(&db.models()[0], &snapshot.models()[0]));
+        // ...and an insert through one handle never reaches the other.
+        db.insert(object(2, 1)).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(snapshot.object(0).unwrap().id(), 1);
     }
 
     #[test]

@@ -1,23 +1,28 @@
-//! A keyed cache of query-based backward fields.
+//! Keyed caches of query-based backward fields.
 //!
 //! The query-based engines answer a whole database from one backward sweep
 //! per `(model, window)` — but every *query* used to pay that sweep again,
 //! even when consecutive queries share the window (a dashboard refreshing a
 //! danger-zone query, a threshold and a top-k run over the same window, a
-//! sliding workload revisiting recent windows). [`BackwardFieldCache`]
-//! memoizes [`BackwardField`]s under a `(model id, window)` key, with the
-//! anchor-time snapshots living inside each entry:
+//! sliding workload revisiting recent windows). [`FieldCache`] memoizes
+//! backward fields under a `(model id, window)` key, with the anchor-time
+//! snapshots living inside each entry:
 //!
 //! * a lookup whose anchor times are all snapshotted is a **hit** — no
 //!   backward work at all;
 //! * a lookup needing only *earlier* anchor times **extends** the cached
-//!   sweep downward from its earliest snapshot
-//!   ([`BackwardField::extend_down`]) — the `(min, t_end]` suffix is
-//!   shared, which is what makes overlapping anchor populations cheap;
+//!   sweep downward from its earliest snapshot — the `(min, t_end]` suffix
+//!   is shared, which is what makes overlapping anchor populations cheap;
 //! * anything else recomputes the union of known and requested times and
 //!   replaces the entry (a **miss**).
 //!
-//! Hits and misses are reported through [`EvalStats::cache_hits`] /
+//! Two instantiations serve the two field shapes of the paper's queries:
+//! [`BackwardFieldCache`] holds the PST∃Q satisfaction fields
+//! ([`BackwardField`], one vector per sweep) and [`KTimesFieldCache`] the
+//! PSTkQ level fields ([`KTimesBackwardField`], `|T▫| + 1` level vectors
+//! per sweep — the cache that stops repeated PSTkQ windows from paying
+//! `(|T▫|+1)` level sweeps every time). Hits and misses of either cache
+//! are reported through [`EvalStats::cache_hits`] /
 //! [`EvalStats::cache_misses`]. Eviction is least-recently-used at a fixed
 //! entry capacity. Cached answers are bit-for-bit identical to uncached
 //! evaluation — resumed sweeps replay the same per-slot floating-point
@@ -28,6 +33,7 @@ use std::sync::Arc;
 
 use ust_markov::MarkovChain;
 
+use crate::engine::ktimes::KTimesBackwardField;
 use crate::engine::query_based::BackwardField;
 use crate::engine::EngineConfig;
 use crate::error::Result;
@@ -36,6 +42,123 @@ use crate::stats::EvalStats;
 
 /// Default number of `(model, window)` entries a cache retains.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// A backward field shape a [`FieldCache`] can memoize: computable for a
+/// set of anchor times, extendable downward from its earliest snapshot,
+/// and introspectable about which snapshots it holds.
+///
+/// Implemented by [`BackwardField`] (PST∃Q satisfaction fields) and
+/// [`KTimesBackwardField`] (PSTkQ level fields). The contract behind the
+/// cache's bit-identity guarantee: extending a field down to earlier times
+/// must reproduce exactly the snapshots a from-scratch sweep over the
+/// union of times would produce.
+pub trait CacheableField: Clone + Sized {
+    /// Sweeps a fresh field for `window` with snapshots at `anchor_times`.
+    fn compute_field(
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        anchor_times: &[u32],
+        config: &EngineConfig,
+        stats: &mut EvalStats,
+    ) -> Result<Self>;
+
+    /// Resumes the sweep from the earliest snapshot down to every earlier
+    /// time in `anchor_times`.
+    fn extend_field_down(
+        &mut self,
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        anchor_times: &[u32],
+        config: &EngineConfig,
+        stats: &mut EvalStats,
+    ) -> Result<()>;
+
+    /// True when the field holds a snapshot at time `t`.
+    fn has_snapshot(&self, t: u32) -> bool;
+
+    /// The earliest snapshotted time — how far down the sweep has run.
+    fn min_snapshot_time(&self) -> Option<u32>;
+
+    /// All snapshotted times, ascending.
+    fn snapshot_times(&self) -> Vec<u32>;
+
+    /// True when every time in `anchor_times` has a snapshot.
+    fn covers_times(&self, anchor_times: &[u32]) -> bool {
+        anchor_times.iter().all(|&t| self.has_snapshot(t))
+    }
+}
+
+impl CacheableField for BackwardField {
+    fn compute_field(
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        anchor_times: &[u32],
+        config: &EngineConfig,
+        stats: &mut EvalStats,
+    ) -> Result<Self> {
+        BackwardField::compute_with_config(chain, window, anchor_times, config, stats)
+    }
+
+    fn extend_field_down(
+        &mut self,
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        anchor_times: &[u32],
+        config: &EngineConfig,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        self.extend_down(chain, window, anchor_times, config, stats)
+    }
+
+    fn has_snapshot(&self, t: u32) -> bool {
+        self.at(t).is_some()
+    }
+
+    fn min_snapshot_time(&self) -> Option<u32> {
+        self.min_time()
+    }
+
+    fn snapshot_times(&self) -> Vec<u32> {
+        self.times().collect()
+    }
+}
+
+impl CacheableField for KTimesBackwardField {
+    fn compute_field(
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        anchor_times: &[u32],
+        config: &EngineConfig,
+        stats: &mut EvalStats,
+    ) -> Result<Self> {
+        let _ = config;
+        KTimesBackwardField::compute(chain, window, anchor_times, stats)
+    }
+
+    fn extend_field_down(
+        &mut self,
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        anchor_times: &[u32],
+        config: &EngineConfig,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        let _ = config;
+        self.extend_down(chain, window, anchor_times, stats)
+    }
+
+    fn has_snapshot(&self, t: u32) -> bool {
+        self.at(t).is_some()
+    }
+
+    fn min_snapshot_time(&self) -> Option<u32> {
+        self.min_time()
+    }
+
+    fn snapshot_times(&self) -> Vec<u32> {
+        self.times().collect()
+    }
+}
 
 /// The identity of a backward field: which chain it was swept over and
 /// which query window shaped the sweep.
@@ -67,29 +190,40 @@ impl CacheKey {
 }
 
 #[derive(Debug)]
-struct CacheEntry {
+struct CacheEntry<F> {
     /// The field is held behind an [`Arc`] so
-    /// [`BackwardFieldCache::get_or_compute_shared`] can hand out
-    /// read-only views without cloning the snapshots; a suffix extension
-    /// on an entry whose `Arc` is still shared copies-on-write
-    /// ([`Arc::make_mut`]), leaving earlier views untouched.
-    field: Arc<BackwardField>,
+    /// [`FieldCache::get_or_compute_shared`] can hand out read-only views
+    /// without cloning the snapshots; a suffix extension on an entry whose
+    /// `Arc` is still shared copies-on-write ([`Arc::make_mut`]), leaving
+    /// earlier views untouched.
+    field: Arc<F>,
     last_used: u64,
 }
 
-/// An LRU cache of backward satisfaction fields, shared by the query-based
-/// PST∃Q driver, the query-based top-k driver and the cached threshold
-/// driver.
+/// An LRU cache of backward fields, generic over the field shape.
+///
+/// Use the [`BackwardFieldCache`] alias for PST∃Q satisfaction fields
+/// (shared by the query-based ∃/∀ drivers, the cached threshold driver and
+/// the query-based top-k driver) and [`KTimesFieldCache`] for PSTkQ level
+/// fields.
 #[derive(Debug)]
-pub struct BackwardFieldCache {
+pub struct FieldCache<F> {
     capacity: usize,
-    entries: HashMap<CacheKey, CacheEntry>,
+    entries: HashMap<CacheKey, CacheEntry<F>>,
     clock: u64,
 }
 
-impl Default for BackwardFieldCache {
+/// An LRU cache of PST∃Q backward satisfaction fields.
+pub type BackwardFieldCache = FieldCache<BackwardField>;
+
+/// An LRU cache of PSTkQ backward level fields — the
+/// [`KTimesBackwardField`] analogue of [`BackwardFieldCache`], so repeated
+/// PSTkQ windows stop paying `(|T▫|+1)` level sweeps every time.
+pub type KTimesFieldCache = FieldCache<KTimesBackwardField>;
+
+impl<F: CacheableField> Default for FieldCache<F> {
     fn default() -> Self {
-        BackwardFieldCache::new(DEFAULT_CACHE_CAPACITY)
+        FieldCache::new(DEFAULT_CACHE_CAPACITY)
     }
 }
 
@@ -102,11 +236,27 @@ enum Lookup {
     Compute(Vec<u32>),
 }
 
-impl BackwardFieldCache {
+/// Outcome of a lock-held [`FieldCache::probe`]: either a served field, or
+/// the backward work to perform *outside* the lock.
+enum Probe<F> {
+    /// All requested anchors are snapshotted — no backward work.
+    Ready(Arc<F>),
+    /// Clone `base`, extend it down to `missing`, then install.
+    Extend {
+        /// The cached field to resume from.
+        base: Arc<F>,
+        /// The times below its floor that must be swept.
+        missing: Vec<u32>,
+    },
+    /// Sweep a fresh field over these times, then install.
+    Compute(Vec<u32>),
+}
+
+impl<F: CacheableField> FieldCache<F> {
     /// A cache retaining at most `capacity` `(model, window)` entries
     /// (clamped to at least 1).
     pub fn new(capacity: usize) -> Self {
-        BackwardFieldCache { capacity: capacity.max(1), entries: HashMap::new(), clock: 0 }
+        FieldCache { capacity: capacity.max(1), entries: HashMap::new(), clock: 0 }
     }
 
     /// Number of cached fields.
@@ -141,7 +291,43 @@ impl BackwardFieldCache {
     ) -> bool {
         self.entries
             .get(&CacheKey::of(model, chain, window))
-            .is_some_and(|e| e.field.covers(anchor_times))
+            .is_some_and(|e| e.field.covers_times(anchor_times))
+    }
+
+    /// How much of a lookup the cache could serve without a fresh sweep:
+    /// `(hit, resumable_from)` — `hit` is true when every anchor time is
+    /// snapshotted, otherwise `resumable_from` is the cached floor the
+    /// sweep could extend down from (when all missing times lie below it).
+    /// The planner uses this to cost cache residency without mutating the
+    /// cache.
+    pub fn residency(
+        &self,
+        model: usize,
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        anchor_times: &[u32],
+    ) -> (bool, Option<u32>) {
+        match self.entries.get(&CacheKey::of(model, chain, window)) {
+            Some(entry) => {
+                let missing: Vec<u32> = anchor_times
+                    .iter()
+                    .copied()
+                    .filter(|&t| !entry.field.has_snapshot(t))
+                    .collect();
+                if missing.is_empty() {
+                    (true, entry.field.min_snapshot_time())
+                } else if entry
+                    .field
+                    .min_snapshot_time()
+                    .is_some_and(|min| missing.iter().all(|&t| t < min))
+                {
+                    (false, entry.field.min_snapshot_time())
+                } else {
+                    (false, None)
+                }
+            }
+            None => (false, None),
+        }
     }
 
     /// The backward field of `(model, window)` with snapshots at every time
@@ -158,19 +344,114 @@ impl BackwardFieldCache {
         anchor_times: &[u32],
         config: &EngineConfig,
         stats: &mut EvalStats,
-    ) -> Result<&'c BackwardField> {
+    ) -> Result<&'c F> {
         self.get_or_compute_entry(model, chain, window, anchor_times, config, stats)
             .map(|arc| arc.as_ref())
     }
 
-    /// As [`BackwardFieldCache::get_or_compute`], returning a cheap shared
-    /// handle to the cached field.
+    /// As [`FieldCache::get_or_compute_shared`], but designed for
+    /// **concurrent** callers sharing the cache behind a mutex: the lock
+    /// is held only to probe and to install — the backward sweep itself
+    /// (fresh or suffix extension of a cloned entry) runs **outside** the
+    /// lock, so a burst of asynchronously submitted queries over distinct
+    /// windows sweeps in parallel instead of convoying on the cache.
     ///
-    /// This is the lookup the [`crate::engine::query_based::SharedFieldPlan`]
-    /// stage performs behind a lock: the `Arc` lets the plan release the
-    /// cache immediately and hand the workers read-only views; a later
-    /// suffix extension of the entry copies-on-write, so outstanding views
-    /// are never mutated.
+    /// Two racing callers that miss on the same key may both sweep (the
+    /// later install wins; outstanding `Arc` views stay valid) — wasted
+    /// work, never a wrong answer, and sequentially the hit/miss
+    /// accounting is identical to [`FieldCache::get_or_compute_shared`].
+    pub fn get_or_compute_shared_concurrent(
+        cache: &std::sync::Mutex<Self>,
+        model: usize,
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        anchor_times: &[u32],
+        config: &EngineConfig,
+        stats: &mut EvalStats,
+    ) -> Result<Arc<F>> {
+        let key = CacheKey::of(model, chain, window);
+        let probe = {
+            let mut cache = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            cache.probe(&key, anchor_times, stats)
+        };
+        match probe {
+            Probe::Ready(field) => Ok(field),
+            Probe::Extend { base, missing } => {
+                let mut field = (*base).clone();
+                field.extend_field_down(chain, window, &missing, config, stats)?;
+                let mut cache = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                Ok(cache.install(key, field))
+            }
+            Probe::Compute(times) => {
+                let field = F::compute_field(chain, window, &times, config, stats)?;
+                let mut cache = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                Ok(cache.install(key, field))
+            }
+        }
+    }
+
+    /// The lock-held half of
+    /// [`FieldCache::get_or_compute_shared_concurrent`]: classifies the
+    /// lookup, counts it, and returns any work to do outside the lock.
+    fn probe(&mut self, key: &CacheKey, anchor_times: &[u32], stats: &mut EvalStats) -> Probe<F> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                let missing: Vec<u32> = anchor_times
+                    .iter()
+                    .copied()
+                    .filter(|&t| !entry.field.has_snapshot(t))
+                    .collect();
+                if missing.is_empty() {
+                    stats.cache_hits += 1;
+                    entry.last_used = clock;
+                    Probe::Ready(Arc::clone(&entry.field))
+                } else if entry
+                    .field
+                    .min_snapshot_time()
+                    .is_some_and(|min| missing.iter().all(|&t| t < min))
+                {
+                    // A partial hit: the suffix is reused, the extension
+                    // below it is swept by the caller (outside the lock).
+                    stats.cache_hits += 1;
+                    entry.last_used = clock;
+                    Probe::Extend { base: Arc::clone(&entry.field), missing }
+                } else {
+                    stats.cache_misses += 1;
+                    let mut union: Vec<u32> = entry.field.snapshot_times();
+                    union.extend_from_slice(anchor_times);
+                    Probe::Compute(union)
+                }
+            }
+            None => {
+                stats.cache_misses += 1;
+                Probe::Compute(anchor_times.to_vec())
+            }
+        }
+    }
+
+    /// The install half of
+    /// [`FieldCache::get_or_compute_shared_concurrent`]: (re)inserts the
+    /// swept field under `key` and returns the shared handle.
+    fn install(&mut self, key: CacheKey, field: F) -> Arc<F> {
+        self.clock += 1;
+        let clock = self.clock;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let field = Arc::new(field);
+        self.entries.insert(key, CacheEntry { field: Arc::clone(&field), last_used: clock });
+        field
+    }
+
+    /// As [`FieldCache::get_or_compute`], returning a cheap shared handle
+    /// to the cached field.
+    ///
+    /// This is the lookup the shared-field plans perform behind a lock:
+    /// the `Arc` lets the plan release the cache immediately and hand the
+    /// workers read-only views; a later suffix extension of the entry
+    /// copies-on-write, so outstanding views are never mutated.
     pub fn get_or_compute_shared(
         &mut self,
         model: usize,
@@ -179,7 +460,7 @@ impl BackwardFieldCache {
         anchor_times: &[u32],
         config: &EngineConfig,
         stats: &mut EvalStats,
-    ) -> Result<Arc<BackwardField>> {
+    ) -> Result<Arc<F>> {
         self.get_or_compute_entry(model, chain, window, anchor_times, config, stats).map(Arc::clone)
     }
 
@@ -192,24 +473,30 @@ impl BackwardFieldCache {
         anchor_times: &[u32],
         config: &EngineConfig,
         stats: &mut EvalStats,
-    ) -> Result<&'c Arc<BackwardField>> {
+    ) -> Result<&'c Arc<F>> {
         let key = CacheKey::of(model, chain, window);
         self.clock += 1;
         let clock = self.clock;
 
         let lookup = match self.entries.get(&key) {
             Some(entry) => {
-                let missing: Vec<u32> =
-                    anchor_times.iter().copied().filter(|&t| entry.field.at(t).is_none()).collect();
+                let missing: Vec<u32> = anchor_times
+                    .iter()
+                    .copied()
+                    .filter(|&t| !entry.field.has_snapshot(t))
+                    .collect();
                 if missing.is_empty() {
                     Lookup::Hit
-                } else if entry.field.min_time().is_some_and(|min| missing.iter().all(|&t| t < min))
+                } else if entry
+                    .field
+                    .min_snapshot_time()
+                    .is_some_and(|min| missing.iter().all(|&t| t < min))
                 {
                     Lookup::Extend(missing)
                 } else {
                     // Times above the sweep's floor were never snapshotted;
                     // recompute the union so nothing already served is lost.
-                    let mut union: Vec<u32> = entry.field.times().collect();
+                    let mut union: Vec<u32> = entry.field.snapshot_times();
                     union.extend_from_slice(anchor_times);
                     Lookup::Compute(union)
                 }
@@ -230,13 +517,12 @@ impl BackwardFieldCache {
                 stats.cache_hits += 1;
                 let entry = self.entries.get_mut(&key).expect("looked up above");
                 Arc::make_mut(&mut entry.field)
-                    .extend_down(chain, window, &missing, config, stats)?;
+                    .extend_field_down(chain, window, &missing, config, stats)?;
                 entry.last_used = clock;
             }
             Lookup::Compute(times) => {
                 stats.cache_misses += 1;
-                let field =
-                    BackwardField::compute_with_config(chain, window, &times, config, stats)?;
+                let field = F::compute_field(chain, window, &times, config, stats)?;
                 if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
                     self.evict_lru();
                 }
@@ -397,5 +683,62 @@ mod tests {
         // Both anchors now hit.
         cache.get_or_compute(0, &chain, &w, &[0, 1], &config, &mut stats).unwrap();
         assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn residency_probe_does_not_mutate() {
+        let chain = paper_chain();
+        let mut cache = BackwardFieldCache::new(4);
+        let mut stats = EvalStats::new();
+        let config = EngineConfig::default();
+        let w = window(3);
+        assert_eq!(cache.residency(0, &chain, &w, &[0]), (false, None));
+        cache.get_or_compute(0, &chain, &w, &[2], &config, &mut stats).unwrap();
+        // Full hit at the snapshotted time, extendable below it, dead
+        // between floor and t_end.
+        assert_eq!(cache.residency(0, &chain, &w, &[2]), (true, Some(2)));
+        assert_eq!(cache.residency(0, &chain, &w, &[0]), (false, Some(2)));
+        assert_eq!(cache.residency(0, &chain, &w, &[3]), (false, None));
+        // Probing changed no counters and swept nothing.
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 1));
+    }
+
+    #[test]
+    fn ktimes_cache_hits_extends_and_matches_fresh_sweeps() {
+        let chain = paper_chain();
+        let w = window(3);
+        let mut cache = KTimesFieldCache::new(4);
+        let mut stats = EvalStats::new();
+        let config = EngineConfig::default();
+
+        // Miss, then pure hit: no further backward level steps.
+        cache.get_or_compute(0, &chain, &w, &[2], &config, &mut stats).unwrap();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 1));
+        let after_miss = stats.backward_steps;
+        assert!(after_miss > 0);
+        cache.get_or_compute(0, &chain, &w, &[2], &config, &mut stats).unwrap();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+        assert_eq!(stats.backward_steps, after_miss, "a hit performs no level sweep");
+
+        // Extension down to t=0 must be bit-identical to a fresh sweep
+        // over both anchor times.
+        let extended = cache
+            .get_or_compute(0, &chain, &w, &[0], &config, &mut stats)
+            .unwrap()
+            .at(0)
+            .unwrap()
+            .clone();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (2, 1));
+        let fresh = KTimesBackwardField::compute(&chain, &w, &[0, 2], &mut EvalStats::new())
+            .unwrap()
+            .at(0)
+            .unwrap()
+            .clone();
+        assert_eq!(extended.len(), fresh.len());
+        for (a, b) in extended.iter().zip(&fresh) {
+            for s in 0..3 {
+                assert_eq!(a.get(s).to_bits(), b.get(s).to_bits());
+            }
+        }
     }
 }

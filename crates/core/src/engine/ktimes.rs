@@ -125,10 +125,57 @@ impl KTimesBackwardField {
             levels.push(DenseVector::zeros(n));
         }
 
+        let mut field = KTimesBackwardField { snapshots: BTreeMap::new() };
+        field.sweep_down(chain, window, levels, window.t_end(), anchor_times, stats)?;
+        Ok(field)
+    }
+
+    /// Extends an already-computed field downward to earlier anchor times,
+    /// resuming the level sweep from its earliest snapshot instead of
+    /// recomputing the `(min, t_end]` suffix. Every time in `anchor_times`
+    /// must lie at or below [`Self::min_time`]; times already snapshotted
+    /// are free. Resumed sweeps are bit-for-bit identical to a
+    /// from-scratch sweep — the level family at the resume snapshot is the
+    /// complete sweep state.
+    ///
+    /// This is the suffix sharing behind
+    /// [`crate::engine::cache::KTimesFieldCache`].
+    pub fn extend_down(
+        &mut self,
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        anchor_times: &[u32],
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        let Some(resume) = self.min_time() else {
+            return Ok(());
+        };
+        let wanted: Vec<u32> = anchor_times.iter().copied().filter(|&t| t < resume).collect();
+        if wanted.is_empty() {
+            return Ok(());
+        }
+        let levels = self.snapshots.get(&resume).expect("min_time comes from snapshots").clone();
+        self.sweep_down(chain, window, levels, resume, &wanted, stats)
+    }
+
+    /// The shared backward level sweep: from `levels` = the family at
+    /// `resume` down to the earliest requested time, recording snapshots
+    /// along the way.
+    fn sweep_down(
+        &mut self,
+        chain: &MarkovChain,
+        window: &QueryWindow,
+        mut levels: Vec<DenseVector>,
+        resume: u32,
+        anchor_times: &[u32],
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        let k_max = levels.len() - 1;
         let mut pipeline = Propagator::new(&EngineConfig::default(), stats);
-        let mut snapshots = BTreeMap::new();
-        pipeline.backward(
+        let snapshots = &mut self.snapshots;
+        pipeline.backward_from(
             &mut levels,
+            resume,
             window,
             anchor_times,
             // Entering a window state consumes one visit level: processed
@@ -161,8 +208,29 @@ impl KTimesBackwardField {
             |levels, t| {
                 snapshots.insert(t, levels.clone());
             },
-        )?;
-        Ok(KTimesBackwardField { snapshots })
+        )
+    }
+
+    /// The level-vector family snapshotted at anchor time `t`, if it was
+    /// requested (`levels[j]` = probability of exactly `j` further window
+    /// visits in `(t, t_end]`, per state).
+    pub fn at(&self, t: u32) -> Option<&Vec<DenseVector>> {
+        self.snapshots.get(&t)
+    }
+
+    /// The earliest snapshotted time — how far down the sweep has run.
+    pub fn min_time(&self) -> Option<u32> {
+        self.snapshots.keys().next().copied()
+    }
+
+    /// Iterates the snapshotted anchor times in ascending order.
+    pub fn times(&self) -> impl Iterator<Item = u32> + '_ {
+        self.snapshots.keys().copied()
+    }
+
+    /// True when every time in `anchor_times` has a snapshot.
+    pub fn covers(&self, anchor_times: &[u32]) -> bool {
+        anchor_times.iter().all(|t| self.snapshots.contains_key(t))
     }
 
     /// Answers one object from the field.
@@ -322,9 +390,11 @@ pub fn evaluate_object_based(
 /// [`crate::engine::query_based::SharedFieldPlan`].
 ///
 /// The plan-staged parallel driver counts each field it hands to the
-/// fan-out toward [`EvalStats::fields_shared`]. (Unlike the ∃ plan there
-/// is no cache-backed variant yet — a [`KTimesBackwardField`] cache is an
-/// open ROADMAP item.)
+/// fan-out toward [`EvalStats::fields_shared`]. Like the ∃ plan, the
+/// fields can be served through a lock-guarded
+/// [`crate::engine::cache::KTimesFieldCache`]
+/// ([`KTimesFieldPlan::prepare_with_cache_on`]), so repeated PSTkQ windows
+/// stop paying their `(|T▫|+1)` level sweeps.
 #[derive(Debug, Clone)]
 pub struct KTimesFieldPlan {
     fields: Vec<Option<Arc<KTimesBackwardField>>>,
@@ -339,12 +409,57 @@ impl KTimesFieldPlan {
         window: &QueryWindow,
         stats: &mut EvalStats,
     ) -> Result<KTimesFieldPlan> {
+        let indices: Vec<usize> = (0..db.len()).collect();
+        KTimesFieldPlan::prepare_on(db, &indices, window, stats)
+    }
+
+    /// As [`KTimesFieldPlan::prepare`], restricted to an explicit subset
+    /// of database object indices.
+    pub fn prepare_on(
+        db: &TrajectoryDatabase,
+        indices: &[usize],
+        window: &QueryWindow,
+        stats: &mut EvalStats,
+    ) -> Result<KTimesFieldPlan> {
         let mut fields: Vec<Option<Arc<KTimesBackwardField>>> =
             (0..db.models().len()).map(|_| None).collect();
-        for group in crate::engine::query_based::validated_model_groups(db, window)? {
+        for group in crate::engine::query_based::validated_model_groups_on(db, indices, window)? {
             let chain = &db.models()[group.model];
             fields[group.model] =
                 Some(Arc::new(KTimesBackwardField::compute(chain, window, &group.anchors, stats)?));
+        }
+        Ok(KTimesFieldPlan { fields })
+    }
+
+    /// As [`KTimesFieldPlan::prepare_on`], serving each level field
+    /// through a lock-guarded [`crate::engine::cache::KTimesFieldCache`]:
+    /// hits and suffix extensions pay no (or less) backward level work,
+    /// fresh windows sweep once and stay cached for the next query. The
+    /// lock is held only for the prepare stage — the fan-out works on the
+    /// returned `Arc` views, so workers never contend on the cache.
+    /// Bit-for-bit identical to the uncached plan.
+    pub fn prepare_with_cache_on(
+        db: &TrajectoryDatabase,
+        indices: &[usize],
+        window: &QueryWindow,
+        config: &crate::engine::EngineConfig,
+        cache: &std::sync::Mutex<crate::engine::cache::KTimesFieldCache>,
+        stats: &mut EvalStats,
+    ) -> Result<KTimesFieldPlan> {
+        let mut fields: Vec<Option<Arc<KTimesBackwardField>>> =
+            (0..db.models().len()).map(|_| None).collect();
+        for group in crate::engine::query_based::validated_model_groups_on(db, indices, window)? {
+            let chain = &db.models()[group.model];
+            fields[group.model] =
+                Some(crate::engine::cache::KTimesFieldCache::get_or_compute_shared_concurrent(
+                    cache,
+                    group.model,
+                    chain,
+                    window,
+                    &group.anchors,
+                    config,
+                    stats,
+                )?);
         }
         Ok(KTimesFieldPlan { fields })
     }

@@ -29,12 +29,20 @@ pub mod ktimes;
 pub mod monte_carlo;
 pub mod object_based;
 pub mod pipeline;
+pub mod plan;
 pub mod query_based;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
 use crate::database::TrajectoryDatabase;
-use crate::error::Result;
-use crate::query::{ObjectKDistribution, ObjectProbability, QueryWindow};
+use crate::error::{QueryError, Result};
+use crate::query::{
+    ObjectKDistribution, ObjectProbability, Query, QueryAnswer, QuerySpec, QueryWindow, Strategy,
+};
 use crate::stats::EvalStats;
+
+pub use plan::{CostEstimate, QueryPlan};
 
 /// Groups a worker's object indices by `(model, anchor time)` — the two
 /// properties every member of an [`pipeline::ObjectBatch`] must share (one
@@ -151,20 +159,86 @@ impl EngineConfig {
     }
 }
 
+/// A pending asynchronously submitted query: the completion latch behind
+/// [`QueryProcessor::submit`].
+///
+/// The ticket is a cheap handle to shared completion state. The submitting
+/// thread is never blocked by `submit` itself; it blocks only when (and
+/// if) it calls [`QueryTicket::wait`]. Dropping a ticket without awaiting
+/// it is safe — the query still runs to completion on its worker (it owns
+/// a snapshot of everything it touches) and the answer is discarded.
+#[derive(Debug)]
+pub struct QueryTicket {
+    state: Arc<TicketState>,
+}
+
+#[derive(Debug)]
+struct TicketState {
+    slot: Mutex<Option<Result<QueryAnswer>>>,
+    done: Condvar,
+}
+
+impl TicketState {
+    fn new() -> TicketState {
+        TicketState { slot: Mutex::new(None), done: Condvar::new() }
+    }
+
+    fn complete(&self, outcome: Result<QueryAnswer>) {
+        let mut slot = self.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *slot = Some(outcome);
+        drop(slot);
+        self.done.notify_all();
+    }
+}
+
+impl QueryTicket {
+    /// True once the answer is available ([`QueryTicket::wait`] would
+    /// return without blocking).
+    pub fn is_ready(&self) -> bool {
+        self.state.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).is_some()
+    }
+
+    /// Blocks until the submitted query has finished and returns its
+    /// answer (or its error; a query that panicked on its worker yields
+    /// [`QueryError::AsyncQueryPanicked`]).
+    pub fn wait(self) -> Result<QueryAnswer> {
+        let mut slot = self.state.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.state.done.wait(slot).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
 /// High-level façade tying a database to the engines — the long-lived
 /// service object of the crate.
 ///
-/// Every entry point routes through the batched propagation kernel and the
+/// The query surface is **spec-driven**: build a [`QuerySpec`] with
+/// [`Query`] (predicate × decorator × window × strategy × optional object
+/// subset) and hand it to one entry point —
+///
+/// * [`QueryProcessor::execute`] evaluates synchronously and returns the
+///   [`QueryAnswer`];
+/// * [`QueryProcessor::explain`] returns the planner's [`QueryPlan`]
+///   (chosen strategy + cost estimates) without evaluating;
+/// * [`QueryProcessor::submit`] enqueues the query on the worker pool and
+///   returns a [`QueryTicket`] immediately — the async front door for
+///   bursts.
+///
+/// Every execution routes through the batched propagation kernel and the
 /// [`crate::parallel::ShardedExecutor`]: with the default configuration
 /// (`num_threads == 1`) the single shard runs inline on the caller's
 /// thread; with [`EngineConfig::with_num_threads`] `> 1` the processor
 /// **owns a [`crate::parallel::WorkerPool`]** — the worker threads are
 /// spawned once at construction, reused by every query, and joined when
-/// the processor is dropped. The query-based entry points additionally
-/// share one [`cache::BackwardFieldCache`] (sized by
-/// [`EngineConfig::cache_capacity`], behind a lock), so repeated or
+/// the processor is dropped. Query-based evaluations share a
+/// [`cache::BackwardFieldCache`] and a [`cache::KTimesFieldCache`] (sized
+/// by [`EngineConfig::cache_capacity`], behind locks), so repeated or
 /// overlapping windows skip their backward sweeps. Results are bit-for-bit
-/// independent of the batch size, the worker count and the cache.
+/// independent of the strategy dispatch, the batch size, the worker count
+/// and the caches.
 ///
 /// ```
 /// use ust_core::prelude::*;
@@ -184,10 +258,18 @@ impl EngineConfig {
 ///
 /// let window = QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap();
 /// let processor = QueryProcessor::new(&db);
-/// let ob = processor.exists_object_based(&window).unwrap();
-/// let qb = processor.exists_query_based(&window).unwrap();
-/// assert!((ob[0].probability - 0.864).abs() < 1e-12);
-/// assert!((qb[0].probability - 0.864).abs() < 1e-12);
+///
+/// // Planned execution: the planner picks the strategy...
+/// let spec = Query::exists().window(window.clone()).build().unwrap();
+/// let answer = processor.execute(&spec).unwrap();
+/// assert!((answer.probabilities().unwrap()[0].probability - 0.864).abs() < 1e-12);
+///
+/// // ...and both explicit strategies agree with it.
+/// for strategy in [Strategy::ObjectBased, Strategy::QueryBased] {
+///     let forced = Query::exists().window(window.clone()).strategy(strategy).build().unwrap();
+///     let p = processor.execute(&forced).unwrap();
+///     assert!((p.probabilities().unwrap()[0].probability - 0.864).abs() < 1e-12);
+/// }
 /// ```
 #[derive(Debug)]
 pub struct QueryProcessor<'a> {
@@ -195,10 +277,14 @@ pub struct QueryProcessor<'a> {
     config: EngineConfig,
     /// The processor's long-lived workers; `None` runs inline
     /// (`num_threads <= 1`).
-    pool: Option<std::sync::Arc<crate::parallel::WorkerPool>>,
-    /// Backward fields shared by the query-based entry points, reused
-    /// across queries and windows.
-    cache: std::sync::Mutex<cache::BackwardFieldCache>,
+    pool: Option<Arc<crate::parallel::WorkerPool>>,
+    /// PST∃Q backward fields shared by the query-based evaluations (and
+    /// by asynchronous submissions), reused across queries and windows.
+    cache: Arc<Mutex<cache::BackwardFieldCache>>,
+    /// PSTkQ backward level fields, ditto.
+    ktimes_cache: Arc<Mutex<cache::KTimesFieldCache>>,
+    /// Round-robin shard assignment for submitted queries.
+    submit_seq: AtomicUsize,
 }
 
 impl<'a> QueryProcessor<'a> {
@@ -213,12 +299,16 @@ impl<'a> QueryProcessor<'a> {
     /// construct once and reuse, rather than per query.
     pub fn with_config(db: &'a TrajectoryDatabase, config: EngineConfig) -> Self {
         let threads = config.effective_num_threads();
-        let pool =
-            (threads > 1).then(|| std::sync::Arc::new(crate::parallel::WorkerPool::new(threads)));
-        let cache = std::sync::Mutex::new(cache::BackwardFieldCache::new(
-            config.effective_cache_capacity(),
-        ));
-        QueryProcessor { db, config, pool, cache }
+        let pool = (threads > 1).then(|| Arc::new(crate::parallel::WorkerPool::new(threads)));
+        let capacity = config.effective_cache_capacity();
+        QueryProcessor {
+            db,
+            config,
+            pool,
+            cache: Arc::new(Mutex::new(cache::BackwardFieldCache::new(capacity))),
+            ktimes_cache: Arc::new(Mutex::new(cache::KTimesFieldCache::new(capacity))),
+            submit_seq: AtomicUsize::new(0),
+        }
     }
 
     /// The active configuration.
@@ -227,193 +317,245 @@ impl<'a> QueryProcessor<'a> {
     }
 
     /// The processor's worker pool (`None` when it evaluates inline).
-    pub fn pool(&self) -> Option<&std::sync::Arc<crate::parallel::WorkerPool>> {
+    pub fn pool(&self) -> Option<&Arc<crate::parallel::WorkerPool>> {
         self.pool.as_ref()
     }
 
     /// An executor over the processor's own pool (or inline).
     fn executor(&self) -> crate::parallel::ShardedExecutor {
         match &self.pool {
-            Some(pool) => crate::parallel::ShardedExecutor::on_pool(std::sync::Arc::clone(pool)),
+            Some(pool) => crate::parallel::ShardedExecutor::on_pool(Arc::clone(pool)),
             None => crate::parallel::ShardedExecutor::sequential(),
         }
     }
 
-    /// PST∃Q for every object, object-based (forward) evaluation.
-    pub fn exists_object_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
-        crate::parallel::evaluate_exists_on(
-            &self.executor(),
-            self.db,
-            window,
-            &self.config,
-            &mut EvalStats::new(),
-        )
+    /// The execution context synchronous entry points borrow from `self`.
+    fn exec_context(&self) -> plan::ExecContext<'_> {
+        plan::ExecContext {
+            db: self.db,
+            config: &self.config,
+            executor: self.executor(),
+            cache: &self.cache,
+            ktimes_cache: &self.ktimes_cache,
+        }
     }
 
-    /// PST∃Q for every object, query-based (backward) evaluation. The
-    /// backward field is served through the processor's shared cache —
-    /// repeated or overlapping windows skip the sweep; results are
-    /// bit-for-bit identical to uncached evaluation.
+    /// Executes a declarative query spec — **the** synchronous entry
+    /// point, covering every predicate × decorator × strategy combination
+    /// (the legacy per-predicate methods are thin shims over it).
+    ///
+    /// [`Strategy::Auto`] specs are planned first (see
+    /// [`QueryProcessor::explain`]); explicit strategies dispatch
+    /// directly. Answers are bit-for-bit independent of worker count,
+    /// batch size and cache state.
+    pub fn execute(&self, spec: &QuerySpec) -> Result<QueryAnswer> {
+        self.execute_with_stats(spec, &mut EvalStats::new())
+    }
+
+    /// As [`QueryProcessor::execute`], accumulating evaluation counters
+    /// (cache hits, shared fields, propagation steps, …) into `stats`.
+    pub fn execute_with_stats(
+        &self,
+        spec: &QuerySpec,
+        stats: &mut EvalStats,
+    ) -> Result<QueryAnswer> {
+        plan::execute(&self.exec_context(), spec, stats)
+    }
+
+    /// Returns the planner's decision for a spec without executing it:
+    /// the resolved strategy, per-strategy cost estimates and cache
+    /// residency. The subsequent [`QueryProcessor::execute`] of the same
+    /// spec follows this plan (cache state permitting — a plan is a
+    /// snapshot, not a reservation).
+    pub fn explain(&self, spec: &QuerySpec) -> Result<QueryPlan> {
+        plan::plan(&self.exec_context(), spec)
+    }
+
+    /// Submits a query for asynchronous evaluation and returns a
+    /// [`QueryTicket`] **immediately** — the async front door.
+    ///
+    /// The query runs as one job on the processor's worker pool (or the
+    /// process-wide shared pool when the processor evaluates inline),
+    /// capturing an owned snapshot of the database handle, the
+    /// configuration and the shared field caches — so the ticket outlives
+    /// the borrow rules: callers can submit a burst, keep inserting into
+    /// their own database handle, and await the answers later.
+    /// Within the job the evaluation is sequential (pool workers do not
+    /// re-shard onto the pool); a burst of submissions parallelizes
+    /// **across** queries instead, round-robin over the shard queues.
+    /// Submitted queries share the processor's caches, so a burst over
+    /// the same window sweeps its backward field once.
+    pub fn submit(&self, spec: &QuerySpec) -> QueryTicket {
+        let state = Arc::new(TicketState::new());
+        let job_state = Arc::clone(&state);
+        let db = self.db.clone();
+        let config = self.config;
+        let cache = Arc::clone(&self.cache);
+        let ktimes_cache = Arc::clone(&self.ktimes_cache);
+        let spec = spec.clone();
+        let pool = match &self.pool {
+            Some(pool) => Arc::clone(pool),
+            None => crate::parallel::shared_pool(1),
+        };
+        let shard = self.submit_seq.fetch_add(1, Ordering::Relaxed);
+        pool.spawn(
+            shard,
+            Box::new(move || {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let ctx = plan::ExecContext {
+                        db: &db,
+                        config: &config,
+                        executor: crate::parallel::ShardedExecutor::sequential(),
+                        cache: &cache,
+                        ktimes_cache: &ktimes_cache,
+                    };
+                    plan::execute(&ctx, &spec, &mut EvalStats::new())
+                }));
+                job_state.complete(outcome.unwrap_or(Err(QueryError::AsyncQueryPanicked)));
+            }),
+        );
+        QueryTicket { state }
+    }
+
+    /// PST∃Q for every object, object-based (forward) evaluation.
+    #[deprecated(note = "use Query::exists().window(…).strategy(Strategy::ObjectBased) + execute")]
+    pub fn exists_object_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
+        let spec =
+            Query::exists().window(window.clone()).strategy(Strategy::ObjectBased).build()?;
+        match self.execute(&spec)? {
+            QueryAnswer::Probabilities(p) => Ok(p),
+            _ => unreachable!("probabilities decorator yields probabilities"),
+        }
+    }
+
+    /// PST∃Q for every object, query-based (backward) evaluation through
+    /// the processor's shared field cache.
+    #[deprecated(note = "use Query::exists().window(…).strategy(Strategy::QueryBased) + execute")]
     pub fn exists_query_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
-        crate::parallel::evaluate_exists_qb_cached_on(
-            &self.executor(),
-            self.db,
-            window,
-            &self.config,
-            &self.cache,
-            &mut EvalStats::new(),
-        )
+        let spec = Query::exists().window(window.clone()).strategy(Strategy::QueryBased).build()?;
+        match self.execute(&spec)? {
+            QueryAnswer::Probabilities(p) => Ok(p),
+            _ => unreachable!("probabilities decorator yields probabilities"),
+        }
     }
 
     /// PST∀Q for every object, object-based evaluation.
+    #[deprecated(note = "use Query::forall().window(…).strategy(Strategy::ObjectBased) + execute")]
     pub fn forall_object_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
-        crate::parallel::evaluate_forall_on(
-            &self.executor(),
-            self.db,
-            window,
-            &self.config,
-            &mut EvalStats::new(),
-        )
+        let spec =
+            Query::forall().window(window.clone()).strategy(Strategy::ObjectBased).build()?;
+        match self.execute(&spec)? {
+            QueryAnswer::Probabilities(p) => Ok(p),
+            _ => unreachable!("probabilities decorator yields probabilities"),
+        }
     }
 
     /// PST∀Q for every object, query-based evaluation (complement windows
     /// ride the shared cache like any other window).
+    #[deprecated(note = "use Query::forall().window(…).strategy(Strategy::QueryBased) + execute")]
     pub fn forall_query_based(&self, window: &QueryWindow) -> Result<Vec<ObjectProbability>> {
-        let complement = window.complement_states()?;
-        let mut results = self.exists_query_based(&complement)?;
-        forall::complement_probabilities(&mut results);
-        Ok(results)
+        let spec = Query::forall().window(window.clone()).strategy(Strategy::QueryBased).build()?;
+        match self.execute(&spec)? {
+            QueryAnswer::Probabilities(p) => Ok(p),
+            _ => unreachable!("probabilities decorator yields probabilities"),
+        }
     }
 
     /// PSTkQ for every object, object-based (`C(t)` algorithm).
+    #[deprecated(note = "use Query::ktimes(k).window(…).strategy(Strategy::ObjectBased) + execute")]
     pub fn ktimes_object_based(&self, window: &QueryWindow) -> Result<Vec<ObjectKDistribution>> {
-        crate::parallel::evaluate_ktimes_on(
-            &self.executor(),
-            self.db,
-            window,
-            &self.config,
-            &mut EvalStats::new(),
-        )
+        let spec =
+            Query::ktimes(1).window(window.clone()).strategy(Strategy::ObjectBased).build()?;
+        match self.execute(&spec)? {
+            QueryAnswer::Distributions(d) => Ok(d),
+            _ => unreachable!("k-times probabilities yield distributions"),
+        }
     }
 
-    /// PSTkQ for every object, query-based evaluation.
+    /// PSTkQ for every object, query-based evaluation through the
+    /// processor's level-field cache.
+    #[deprecated(note = "use Query::ktimes(k).window(…).strategy(Strategy::QueryBased) + execute")]
     pub fn ktimes_query_based(&self, window: &QueryWindow) -> Result<Vec<ObjectKDistribution>> {
-        crate::parallel::evaluate_ktimes_qb_on(
-            &self.executor(),
-            self.db,
-            window,
-            &self.config,
-            &mut EvalStats::new(),
-        )
+        let spec =
+            Query::ktimes(1).window(window.clone()).strategy(Strategy::QueryBased).build()?;
+        match self.execute(&spec)? {
+            QueryAnswer::Distributions(d) => Ok(d),
+            _ => unreachable!("k-times probabilities yield distributions"),
+        }
     }
 
     /// Ids of all objects whose PST∃Q probability is at least `tau`
-    /// (object-based with bound-based early termination, batched and
-    /// sharded).
-    ///
-    /// ```
-    /// use ust_core::prelude::*;
-    /// use ust_markov::{CsrMatrix, MarkovChain};
-    /// use ust_space::TimeSet;
-    ///
-    /// let chain = MarkovChain::from_csr(CsrMatrix::from_dense(&[
-    ///     vec![0.0, 0.0, 1.0],
-    ///     vec![0.6, 0.0, 0.4],
-    ///     vec![0.0, 0.8, 0.2],
-    /// ]).unwrap()).unwrap();
-    /// let mut db = TrajectoryDatabase::new(chain);
-    /// for (id, s) in [(1u64, 0usize), (2, 1), (3, 2)] {
-    ///     db.insert(UncertainObject::with_single_observation(
-    ///         id, Observation::exact(0, 3, s).unwrap(),
-    ///     )).unwrap();
-    /// }
-    /// let window = QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap();
-    /// // Exact probabilities are (0.96, 0.864, 0.928): τ = 0.9 keeps 1 and 3.
-    /// let accepted = QueryProcessor::new(&db).threshold_query(&window, 0.9).unwrap();
-    /// assert_eq!(accepted, vec![1, 3]);
-    /// ```
+    /// (object-based with bound-based early termination). Note the spec
+    /// builder rejects `tau` outside `[0, 1]`, which the legacy signature
+    /// silently accepted.
+    #[deprecated(note = "use Query::exists().window(…).threshold(τ) + execute")]
     pub fn threshold_query(&self, window: &QueryWindow, tau: f64) -> Result<Vec<u64>> {
-        crate::parallel::threshold_query_on(
-            &self.executor(),
-            self.db,
-            window,
-            tau,
-            &self.config,
-            &mut EvalStats::new(),
-        )
+        let spec = Query::exists()
+            .window(window.clone())
+            .threshold(tau)
+            .strategy(Strategy::ObjectBased)
+            .build()?;
+        match self.execute(&spec)? {
+            QueryAnswer::ObjectIds(ids) => Ok(ids),
+            _ => unreachable!("threshold decorator yields ids"),
+        }
     }
 
     /// As [`QueryProcessor::threshold_query`], answered from the
-    /// query-based shared-field plan through the processor's cache — the
-    /// choice for repeated windows (a dashboard re-asking the same danger
-    /// zone pays no backward sweep at all). Exact, same ids.
+    /// query-based shared-field plan through the processor's cache.
+    #[deprecated(
+        note = "use Query::exists().window(…).threshold(τ).strategy(Strategy::QueryBased) + \
+                execute"
+    )]
     pub fn threshold_query_cached(&self, window: &QueryWindow, tau: f64) -> Result<Vec<u64>> {
-        crate::parallel::threshold_query_cached_on(
-            &self.executor(),
-            self.db,
-            window,
-            tau,
-            &self.config,
-            &self.cache,
-            &mut EvalStats::new(),
-        )
+        let spec = Query::exists()
+            .window(window.clone())
+            .threshold(tau)
+            .strategy(Strategy::QueryBased)
+            .build()?;
+        match self.execute(&spec)? {
+            QueryAnswer::ObjectIds(ids) => Ok(ids),
+            _ => unreachable!("threshold decorator yields ids"),
+        }
     }
 
     /// The `k` objects most likely to intersect the window (object-based
-    /// with reachability pruning, batched and sharded).
-    ///
-    /// ```
-    /// use ust_core::prelude::*;
-    /// use ust_markov::{CsrMatrix, MarkovChain};
-    /// use ust_space::TimeSet;
-    ///
-    /// let chain = MarkovChain::from_csr(CsrMatrix::from_dense(&[
-    ///     vec![0.0, 0.0, 1.0],
-    ///     vec![0.6, 0.0, 0.4],
-    ///     vec![0.0, 0.8, 0.2],
-    /// ]).unwrap()).unwrap();
-    /// let mut db = TrajectoryDatabase::new(chain);
-    /// for (id, s) in [(1u64, 0usize), (2, 1), (3, 2)] {
-    ///     db.insert(UncertainObject::with_single_observation(
-    ///         id, Observation::exact(0, 3, s).unwrap(),
-    ///     )).unwrap();
-    /// }
-    /// let window = QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap();
-    /// let top2 = QueryProcessor::new(&db).topk(&window, 2).unwrap();
-    /// assert_eq!(top2[0].object_id, 1); // P = 0.96
-    /// assert_eq!(top2[1].object_id, 3); // P = 0.928
-    /// ```
+    /// with reachability pruning).
+    #[deprecated(note = "use Query::exists().window(…).top_k(k) + execute")]
     pub fn topk(
         &self,
         window: &QueryWindow,
         k: usize,
     ) -> Result<Vec<crate::ranking::RankedObject>> {
-        crate::parallel::topk_object_based_on(
-            &self.executor(),
-            self.db,
-            window,
-            k,
-            &self.config,
-            &mut EvalStats::new(),
-        )
+        let spec = Query::exists()
+            .window(window.clone())
+            .top_k(k)
+            .strategy(Strategy::ObjectBased)
+            .build()?;
+        match self.execute(&spec)? {
+            QueryAnswer::Ranked(r) => Ok(r),
+            _ => unreachable!("top-k decorator yields a ranking"),
+        }
     }
 
     /// As [`QueryProcessor::topk`], via the query-based engine and the
-    /// processor's shared cache (one cached backward sweep per model, then
-    /// sharded dot products and selection). Same ranking, bit for bit.
+    /// processor's shared cache. Same ranking, bit for bit.
+    #[deprecated(
+        note = "use Query::exists().window(…).top_k(k).strategy(Strategy::QueryBased) + execute"
+    )]
     pub fn topk_query_based(
         &self,
         window: &QueryWindow,
         k: usize,
     ) -> Result<Vec<crate::ranking::RankedObject>> {
-        crate::parallel::topk_query_based_cached_on(
-            &self.executor(),
-            self.db,
-            window,
-            k,
-            &self.config,
-            &self.cache,
-            &mut EvalStats::new(),
-        )
+        let spec = Query::exists()
+            .window(window.clone())
+            .top_k(k)
+            .strategy(Strategy::QueryBased)
+            .build()?;
+        match self.execute(&spec)? {
+            QueryAnswer::Ranked(r) => Ok(r),
+            _ => unreachable!("top-k decorator yields a ranking"),
+        }
     }
 }

@@ -1,0 +1,547 @@
+//! The query planner: from a declarative [`QuerySpec`] to an executed
+//! [`QueryAnswer`].
+//!
+//! The paper's central observation is that the query model (predicate ×
+//! decorator × window) and the evaluation technique (object-based forward
+//! vs. query-based backward) are **orthogonal axes**: any predicate can be
+//! answered by either strategy, with identical results and very different
+//! costs. This module owns that choice. [`QueryPlan`] is the planner's
+//! decision record: per-strategy cost estimates derived from database and
+//! window statistics (object count, propagation horizon, matrix density,
+//! backward-field cache residency), the chosen [`Strategy`], and a
+//! human-readable rationale. [`crate::engine::QueryProcessor::explain`]
+//! returns the plan without executing;
+//! [`crate::engine::QueryProcessor::execute`] plans and then dispatches to
+//! the same batched, sharded drivers the legacy per-predicate entry points
+//! used — so planned answers are bit-for-bit identical to the
+//! pre-planner API (pinned by `tests/query_planner.rs`).
+//!
+//! ## Cost model
+//!
+//! Costs are counted in *matrix-entry touches*, the unit of the paper's
+//! complexity claims (`O(|D|·|S_reach|²·δt)` for OB vs
+//! `O(|D| + |S_reach|²·δt)` for QB):
+//!
+//! * **Object-based**: every object propagates from its anchor to
+//!   `t_end`, so the step work is `Σ_o (t_end − t_o) × L × nnz(M)`, where
+//!   `L` is the number of rows per object (1 for ∃/∀, `|T▫|+1` count
+//!   levels for PSTkQ). Threshold and top-k decorators terminate early on
+//!   bound decisions, modelled as a constant discount.
+//! * **Query-based**: one backward sweep per populated model —
+//!   `(t_end − min_o t_o) × L × nnz(M)` — plus one sparse dot product per
+//!   object. A sweep whose `(model, window)` field is **cache-resident**
+//!   costs nothing; a field extendable downward pays only the missing
+//!   suffix. This is what makes repeated dashboards and bursts plan to QB.
+//! * **Monte Carlo**: never chosen by [`Strategy::Auto`] (it is
+//!   approximate); its sampling cost is still estimated for `explain`.
+//!
+//! The estimates are deliberately coarse — they rank strategies, they do
+//! not predict wall clock.
+
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::database::TrajectoryDatabase;
+use crate::engine::cache::{BackwardFieldCache, KTimesFieldCache};
+use crate::engine::query_based::{validated_model_groups_on, SharedFieldPlan};
+use crate::engine::{forall, ktimes, object_based, EngineConfig};
+use crate::error::{QueryError, Result};
+use crate::parallel::ShardedExecutor;
+use crate::query::{
+    Decorator, ObjectKDistribution, ObjectProbability, Predicate, QueryAnswer, QuerySpec,
+    QueryWindow, Strategy,
+};
+use crate::ranking::{self, RankedObject};
+use crate::stats::EvalStats;
+use crate::threshold;
+
+/// Discount applied to the object-based step estimate when a threshold or
+/// top-k decorator lets the forward sweep terminate on bound decisions.
+const OB_EARLY_TERMINATION_DISCOUNT: f64 = 0.5;
+
+/// A strategy's estimated evaluation cost, in matrix-entry touches.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostEstimate {
+    /// Propagation work: forward steps (OB), backward sweep steps (QB) or
+    /// sampled walk transitions (MC), scaled by the matrix density.
+    pub step_ops: f64,
+    /// Per-object finishing work: result assembly (OB) or anchor dot
+    /// products (QB).
+    pub object_ops: f64,
+}
+
+impl CostEstimate {
+    /// The total estimated cost.
+    pub fn total(&self) -> f64 {
+        self.step_ops + self.object_ops
+    }
+}
+
+/// The planner's decision record for one [`QuerySpec`]: inputs, per-
+/// strategy estimates, the chosen strategy and the rationale.
+///
+/// Obtained from [`crate::engine::QueryProcessor::explain`]; the
+/// [`fmt::Display`] implementation renders a compact report.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The strategy the query will run under (never [`Strategy::Auto`]:
+    /// an `Auto` spec is resolved, an explicit override is echoed).
+    pub strategy: Strategy,
+    /// Estimated cost of object-based evaluation.
+    pub object_based: CostEstimate,
+    /// Estimated cost of query-based evaluation (cache-aware).
+    pub query_based: CostEstimate,
+    /// Estimated cost of Monte-Carlo sampling (for comparison only; never
+    /// chosen automatically).
+    pub monte_carlo: CostEstimate,
+    /// Objects the query touches (after any subset restriction).
+    pub num_objects: usize,
+    /// Populated transition models among those objects (= backward fields
+    /// a query-based run needs).
+    pub num_models: usize,
+    /// Models whose backward field is fully cache-resident for this
+    /// window and anchor population (a QB run would sweep nothing).
+    pub cached_fields: usize,
+    /// Models whose cached field covers a suffix and can be extended
+    /// downward instead of recomputed.
+    pub extendable_fields: usize,
+    /// `|S▫|` of the window.
+    pub window_states: usize,
+    /// `|T▫|` of the window.
+    pub window_times: usize,
+    /// The propagation horizon `t_end = max(T▫)`.
+    pub horizon: u32,
+    /// One-line human-readable rationale for the choice.
+    pub reason: String,
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "plan: {:?} — {} (|D∩| = {}, models = {}, window {}×{} to t = {})",
+            self.strategy,
+            self.reason,
+            self.num_objects,
+            self.num_models,
+            self.window_states,
+            self.window_times,
+            self.horizon,
+        )?;
+        writeln!(
+            f,
+            "  object-based : {:>12.0} step ops + {:>10.0} object ops = {:>12.0}",
+            self.object_based.step_ops,
+            self.object_based.object_ops,
+            self.object_based.total()
+        )?;
+        writeln!(
+            f,
+            "  query-based  : {:>12.0} step ops + {:>10.0} object ops = {:>12.0} \
+             ({} cached, {} extendable of {} fields)",
+            self.query_based.step_ops,
+            self.query_based.object_ops,
+            self.query_based.total(),
+            self.cached_fields,
+            self.extendable_fields,
+            self.num_models,
+        )?;
+        write!(
+            f,
+            "  monte-carlo  : {:>12.0} walk transitions (approximate; explicit override only)",
+            self.monte_carlo.step_ops
+        )
+    }
+}
+
+/// Everything an execution needs besides the spec — borrowed from the
+/// [`crate::engine::QueryProcessor`] for synchronous calls, owned (via
+/// `Arc`s and a database snapshot) by asynchronous submissions.
+pub(crate) struct ExecContext<'a> {
+    /// The database (or an owned snapshot of it).
+    pub db: &'a TrajectoryDatabase,
+    /// Engine tuning knobs.
+    pub config: &'a EngineConfig,
+    /// The fan-out executor (inline or pooled).
+    pub executor: ShardedExecutor,
+    /// The PST∃Q backward-field cache shared across queries.
+    pub cache: &'a Mutex<BackwardFieldCache>,
+    /// The PSTkQ level-field cache shared across queries.
+    pub ktimes_cache: &'a Mutex<KTimesFieldCache>,
+}
+
+/// Maps a spec's optional object-id subset to ascending database indices;
+/// `None` means the whole database. Fails with
+/// [`QueryError::UnknownObject`] when an id does not exist.
+pub(crate) fn resolve_indices(db: &TrajectoryDatabase, spec: &QuerySpec) -> Result<Vec<usize>> {
+    match spec.objects() {
+        None => Ok((0..db.len()).collect()),
+        Some(ids) => {
+            let mut out = Vec::with_capacity(ids.len());
+            let mut matched = vec![false; ids.len()];
+            for (idx, object) in db.objects().iter().enumerate() {
+                if let Ok(pos) = ids.binary_search(&object.id()) {
+                    matched[pos] = true;
+                    out.push(idx);
+                }
+            }
+            if let Some(pos) = matched.iter().position(|m| !m) {
+                return Err(QueryError::UnknownObject { id: ids[pos] });
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Builds the [`QueryPlan`] for a spec: estimates every strategy's cost
+/// from database/window statistics and cache residency, then resolves
+/// [`Strategy::Auto`] to the cheaper exact strategy (explicit overrides
+/// are echoed with the same estimates attached).
+pub(crate) fn plan(ctx: &ExecContext<'_>, spec: &QuerySpec) -> Result<QueryPlan> {
+    let indices = resolve_indices(ctx.db, spec)?;
+    plan_on(ctx, spec, &indices)
+}
+
+/// The planning body over already-resolved indices, so [`execute`] pays
+/// the subset resolution once, not per phase.
+fn plan_on(ctx: &ExecContext<'_>, spec: &QuerySpec, indices: &[usize]) -> Result<QueryPlan> {
+    let window = spec.window();
+    let groups = validated_model_groups_on(ctx.db, indices, window)?;
+
+    let levels = match spec.predicate() {
+        Predicate::KTimes(_) => (window.num_times() + 1) as f64,
+        _ => 1.0,
+    };
+    // The QB sweep (and its cache entries) run over the complement window
+    // for PST∀Q — the Section VII reduction — so residency is probed there.
+    let probe_window = match spec.predicate() {
+        Predicate::ForAll => Some(window.complement_states()?),
+        _ => None,
+    };
+    let probe_window = probe_window.as_ref().unwrap_or(window);
+    let t_end = window.t_end();
+
+    let mut ob = CostEstimate::default();
+    let mut qb = CostEstimate::default();
+    let mut mc = CostEstimate::default();
+    let mut cached_fields = 0usize;
+    let mut extendable_fields = 0usize;
+
+    for group in &groups {
+        let chain = &ctx.db.models()[group.model];
+        let nnz = chain.matrix().nnz() as f64;
+        let spans: f64 = group.anchors.iter().map(|&a| (t_end - a.min(t_end)) as f64).sum::<f64>();
+        ob.step_ops += spans * levels * nnz;
+        ob.object_ops += group.members.len() as f64;
+
+        let min_anchor = group.anchors.iter().copied().min().unwrap_or(t_end);
+        let full_sweep = (t_end - min_anchor.min(t_end)) as f64;
+        let residency = match spec.predicate() {
+            Predicate::KTimes(_) => {
+                let cache =
+                    ctx.ktimes_cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                cache.residency(group.model, chain, probe_window, &group.anchors)
+            }
+            _ => {
+                let cache = ctx.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                cache.residency(group.model, chain, probe_window, &group.anchors)
+            }
+        };
+        let sweep = match residency {
+            (true, _) => {
+                cached_fields += 1;
+                0.0
+            }
+            (false, Some(floor)) => {
+                extendable_fields += 1;
+                (floor.max(min_anchor) - min_anchor) as f64
+            }
+            (false, None) => full_sweep,
+        };
+        qb.step_ops += sweep * levels * nnz;
+        qb.object_ops += group
+            .members
+            .iter()
+            .map(|&idx| {
+                ctx.db.object(idx).expect("validated above").anchor().distribution().nnz() as f64
+            })
+            .sum::<f64>();
+
+        mc.step_ops += spans * spec.sampling().samples as f64;
+    }
+
+    if matches!(spec.decorator(), Decorator::Threshold(_) | Decorator::TopK(_)) {
+        ob.step_ops *= OB_EARLY_TERMINATION_DISCOUNT;
+    }
+
+    let (strategy, reason) = match spec.strategy() {
+        Strategy::Auto => {
+            if qb.total() <= ob.total() {
+                (
+                    Strategy::QueryBased,
+                    format!(
+                        "auto: backward sweep amortizes over {} object(s){}",
+                        indices.len(),
+                        if cached_fields > 0 {
+                            format!(", {cached_fields} field(s) cache-resident")
+                        } else {
+                            String::new()
+                        }
+                    ),
+                )
+            } else {
+                (
+                    Strategy::ObjectBased,
+                    format!(
+                        "auto: {} forward pass(es) estimated cheaper than the backward sweep",
+                        indices.len()
+                    ),
+                )
+            }
+        }
+        explicit => (explicit, "explicit strategy override".to_string()),
+    };
+
+    Ok(QueryPlan {
+        strategy,
+        object_based: ob,
+        query_based: qb,
+        monte_carlo: mc,
+        num_objects: indices.len(),
+        num_models: groups.len(),
+        cached_fields,
+        extendable_fields,
+        window_states: window.states().count(),
+        window_times: window.num_times(),
+        horizon: t_end,
+        reason,
+    })
+}
+
+/// Plans and executes a spec: the engine behind
+/// [`crate::engine::QueryProcessor::execute`] and the body of every
+/// asynchronously submitted query.
+pub(crate) fn execute(
+    ctx: &ExecContext<'_>,
+    spec: &QuerySpec,
+    stats: &mut EvalStats,
+) -> Result<QueryAnswer> {
+    let indices = resolve_indices(ctx.db, spec)?;
+    let strategy = match spec.strategy() {
+        Strategy::Auto => plan_on(ctx, spec, &indices)?.strategy,
+        explicit => explicit,
+    };
+    let window = spec.window();
+
+    let sampling = spec.sampling();
+    match spec.predicate() {
+        Predicate::Exists => match spec.decorator() {
+            Decorator::Probabilities => Ok(QueryAnswer::Probabilities(exists_probs(
+                ctx, strategy, &indices, window, sampling, stats,
+            )?)),
+            Decorator::Threshold(tau) => {
+                let ids = if strategy == Strategy::ObjectBased {
+                    // The bound-based driver: early termination per object,
+                    // exactly the legacy `threshold_query` path.
+                    let outcomes =
+                        ctx.executor.run_on(&indices, ctx.config, stats, |pipeline, idxs| {
+                            threshold::threshold_batched(pipeline, ctx.db, idxs, window, tau)
+                        })?;
+                    indices
+                        .iter()
+                        .zip(outcomes)
+                        .filter(|(_, o)| o.qualifies)
+                        .map(|(&idx, _)| ctx.db.object(idx).expect("resolved above").id())
+                        .collect()
+                } else {
+                    accepted_ids(
+                        exists_probs(ctx, strategy, &indices, window, sampling, stats)?,
+                        tau,
+                    )
+                };
+                Ok(QueryAnswer::ObjectIds(ids))
+            }
+            Decorator::TopK(k) => {
+                let ranked = if strategy == Strategy::ObjectBased {
+                    // Reachability-pruned ranking, the legacy `topk` path.
+                    if k == 0 {
+                        Vec::new()
+                    } else {
+                        let candidates = ctx.executor.run_on(
+                            &indices,
+                            ctx.config,
+                            stats,
+                            |pipeline, idxs| {
+                                ranking::topk_batched(pipeline, ctx.db, idxs, window, k)
+                            },
+                        )?;
+                        let mut best: Vec<RankedObject> = Vec::with_capacity(k + 1);
+                        for candidate in candidates {
+                            ranking::insert_ranked(&mut best, candidate, k);
+                        }
+                        best
+                    }
+                } else {
+                    ranking::select_topk(
+                        exists_probs(ctx, strategy, &indices, window, sampling, stats)?,
+                        k,
+                    )
+                };
+                Ok(QueryAnswer::Ranked(ranked))
+            }
+        },
+        Predicate::ForAll => {
+            let probs = forall_probs(ctx, strategy, &indices, window, sampling, stats)?;
+            Ok(decorate(probs, spec.decorator()))
+        }
+        Predicate::KTimes(k) => {
+            let dists = ktimes_dists(ctx, strategy, &indices, window, sampling, stats)?;
+            match spec.decorator() {
+                Decorator::Probabilities => Ok(QueryAnswer::Distributions(dists)),
+                decorator => Ok(decorate(at_least(dists, k), decorator)),
+            }
+        }
+    }
+}
+
+/// Applies a threshold/top-k decorator to computed probabilities (the
+/// paths without a specialized bound-based driver).
+fn decorate(probs: Vec<ObjectProbability>, decorator: Decorator) -> QueryAnswer {
+    match decorator {
+        Decorator::Probabilities => QueryAnswer::Probabilities(probs),
+        Decorator::Threshold(tau) => QueryAnswer::ObjectIds(accepted_ids(probs, tau)),
+        Decorator::TopK(k) => QueryAnswer::Ranked(ranking::select_topk(probs, k)),
+    }
+}
+
+fn accepted_ids(probs: Vec<ObjectProbability>, tau: f64) -> Vec<u64> {
+    probs.into_iter().filter(|r| r.probability >= tau).map(|r| r.object_id).collect()
+}
+
+/// Reduces visit-count distributions to `P(visits ≥ k)` probabilities.
+fn at_least(dists: Vec<ObjectKDistribution>, k: usize) -> Vec<ObjectProbability> {
+    dists
+        .into_iter()
+        .map(|d| ObjectProbability { object_id: d.object_id, probability: d.prob_at_least(k) })
+        .collect()
+}
+
+/// PST∃Q probabilities over `indices` under the resolved strategy.
+fn exists_probs(
+    ctx: &ExecContext<'_>,
+    strategy: Strategy,
+    indices: &[usize],
+    window: &QueryWindow,
+    sampling: crate::engine::monte_carlo::MonteCarlo,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectProbability>> {
+    match strategy {
+        Strategy::ObjectBased => {
+            ctx.executor.run_on(indices, ctx.config, stats, |pipeline, idxs| {
+                object_based::exists_batched(pipeline, ctx.db, idxs, window)
+            })
+        }
+        Strategy::QueryBased => {
+            let plan = SharedFieldPlan::prepare_with_cache_on(
+                ctx.db, indices, window, ctx.config, ctx.cache, stats,
+            )?;
+            stats.fields_shared += plan.num_fields() as u64;
+            crate::parallel::answer_exists_plan_on(
+                &ctx.executor,
+                ctx.db,
+                indices,
+                window,
+                ctx.config,
+                stats,
+                &plan,
+            )
+        }
+        Strategy::MonteCarlo => Ok(at_least(mc_counts(ctx, sampling, indices, window, stats)?, 1)),
+        Strategy::Auto => unreachable!("execute resolves Auto before dispatch"),
+    }
+}
+
+/// PST∀Q probabilities over `indices`: the Section VII complement
+/// reduction for the exact strategies, the direct all-visits tail for the
+/// sampling baseline.
+fn forall_probs(
+    ctx: &ExecContext<'_>,
+    strategy: Strategy,
+    indices: &[usize],
+    window: &QueryWindow,
+    sampling: crate::engine::monte_carlo::MonteCarlo,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectProbability>> {
+    if strategy == Strategy::MonteCarlo {
+        let k_max = window.num_times();
+        return Ok(at_least(mc_counts(ctx, sampling, indices, window, stats)?, k_max));
+    }
+    let complement = window.complement_states()?;
+    let mut results = exists_probs(ctx, strategy, indices, &complement, sampling, stats)?;
+    forall::complement_probabilities(&mut results);
+    Ok(results)
+}
+
+/// PSTkQ visit-count distributions over `indices` under the resolved
+/// strategy.
+fn ktimes_dists(
+    ctx: &ExecContext<'_>,
+    strategy: Strategy,
+    indices: &[usize],
+    window: &QueryWindow,
+    sampling: crate::engine::monte_carlo::MonteCarlo,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectKDistribution>> {
+    match strategy {
+        Strategy::ObjectBased => {
+            ctx.executor.run_on(indices, ctx.config, stats, |pipeline, idxs| {
+                ktimes::ktimes_batched(pipeline, ctx.db, idxs, window)
+            })
+        }
+        Strategy::QueryBased => {
+            let plan = ktimes::KTimesFieldPlan::prepare_with_cache_on(
+                ctx.db,
+                indices,
+                window,
+                ctx.config,
+                ctx.ktimes_cache,
+                stats,
+            )?;
+            stats.fields_shared += plan.num_fields() as u64;
+            crate::parallel::answer_ktimes_plan_on(
+                &ctx.executor,
+                ctx.db,
+                indices,
+                window,
+                ctx.config,
+                stats,
+                &plan,
+            )
+        }
+        Strategy::MonteCarlo => mc_counts(ctx, sampling, indices, window, stats),
+        Strategy::Auto => unreachable!("execute resolves Auto before dispatch"),
+    }
+}
+
+/// The sampling baseline over `indices`: one visit-count distribution per
+/// object, sharded (per-object RNG streams are seeded by object id, so the
+/// estimates are independent of the shard layout).
+fn mc_counts(
+    ctx: &ExecContext<'_>,
+    sampling: crate::engine::monte_carlo::MonteCarlo,
+    indices: &[usize],
+    window: &QueryWindow,
+    stats: &mut EvalStats,
+) -> Result<Vec<ObjectKDistribution>> {
+    ctx.executor.run_on(indices, ctx.config, stats, move |pipeline, idxs| {
+        let mut out = Vec::with_capacity(idxs.len());
+        for &idx in idxs {
+            let object = ctx.db.object(idx).expect("executor passes valid indices");
+            let chain = ctx.db.model_of(object);
+            let probabilities = sampling.visit_counts_with(pipeline, chain, object, window)?;
+            pipeline.stats().objects_evaluated += 1;
+            out.push(ObjectKDistribution { object_id: object.id(), probabilities });
+        }
+        Ok(out)
+    })
+}

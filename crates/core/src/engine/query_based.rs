@@ -231,8 +231,26 @@ pub(crate) fn validated_model_groups(
     db: &TrajectoryDatabase,
     window: &QueryWindow,
 ) -> Result<Vec<ModelGroup>> {
+    let indices: Vec<usize> = (0..db.len()).collect();
+    validated_model_groups_on(db, &indices, window)
+}
+
+/// As [`validated_model_groups`], over an explicit subset of database
+/// object indices (ascending) — the grouping stage of subset-restricted
+/// query specs. Validation runs model-major in member order, matching the
+/// whole-database grouping when `indices` covers everything.
+pub(crate) fn validated_model_groups_on(
+    db: &TrajectoryDatabase,
+    indices: &[usize],
+    window: &QueryWindow,
+) -> Result<Vec<ModelGroup>> {
+    let mut members_by_model: Vec<Vec<usize>> = vec![Vec::new(); db.models().len()];
+    for &idx in indices {
+        let object = db.object(idx).expect("caller passes valid indices");
+        members_by_model[object.model()].push(idx);
+    }
     let mut groups = Vec::new();
-    for (model_idx, members) in db.objects_by_model().into_iter().enumerate() {
+    for (model_idx, members) in members_by_model.into_iter().enumerate() {
         if members.is_empty() {
             continue;
         }
@@ -294,9 +312,23 @@ impl SharedFieldPlan {
         config: &EngineConfig,
         stats: &mut EvalStats,
     ) -> Result<SharedFieldPlan> {
+        let indices: Vec<usize> = (0..db.len()).collect();
+        SharedFieldPlan::prepare_on(db, &indices, window, config, stats)
+    }
+
+    /// As [`SharedFieldPlan::prepare`], restricted to an explicit subset
+    /// of database object indices: only the subset's models are swept, and
+    /// only the subset's anchor times are snapshotted.
+    pub fn prepare_on(
+        db: &TrajectoryDatabase,
+        indices: &[usize],
+        window: &QueryWindow,
+        config: &EngineConfig,
+        stats: &mut EvalStats,
+    ) -> Result<SharedFieldPlan> {
         let mut fields: Vec<Option<Arc<BackwardField>>> =
             (0..db.models().len()).map(|_| None).collect();
-        for group in validated_model_groups(db, window)? {
+        for group in validated_model_groups_on(db, indices, window)? {
             let chain = &db.models()[group.model];
             fields[group.model] = Some(Arc::new(BackwardField::compute_with_config(
                 chain,
@@ -322,13 +354,32 @@ impl SharedFieldPlan {
         cache: &Mutex<BackwardFieldCache>,
         stats: &mut EvalStats,
     ) -> Result<SharedFieldPlan> {
+        let indices: Vec<usize> = (0..db.len()).collect();
+        SharedFieldPlan::prepare_with_cache_on(db, &indices, window, config, cache, stats)
+    }
+
+    /// As [`SharedFieldPlan::prepare_with_cache`], restricted to an
+    /// explicit subset of database object indices.
+    ///
+    /// The cache lock is held only to probe and install — the backward
+    /// sweeps themselves run outside it
+    /// ([`BackwardFieldCache::get_or_compute_shared_concurrent`]), so
+    /// concurrent queries over distinct windows (an async submission
+    /// burst) sweep in parallel instead of convoying on the cache.
+    pub fn prepare_with_cache_on(
+        db: &TrajectoryDatabase,
+        indices: &[usize],
+        window: &QueryWindow,
+        config: &EngineConfig,
+        cache: &Mutex<BackwardFieldCache>,
+        stats: &mut EvalStats,
+    ) -> Result<SharedFieldPlan> {
         let mut fields: Vec<Option<Arc<BackwardField>>> =
             (0..db.models().len()).map(|_| None).collect();
-        let groups = validated_model_groups(db, window)?;
-        let mut cache = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        for group in groups {
+        for group in validated_model_groups_on(db, indices, window)? {
             let chain = &db.models()[group.model];
-            fields[group.model] = Some(cache.get_or_compute_shared(
+            fields[group.model] = Some(BackwardFieldCache::get_or_compute_shared_concurrent(
+                cache,
                 group.model,
                 chain,
                 window,

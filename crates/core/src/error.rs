@@ -58,6 +58,23 @@ pub enum QueryError {
         /// Rows per object group.
         group_size: usize,
     },
+    /// A query spec was built without a window (`QueryBuilder::window` was
+    /// never called).
+    MissingWindow,
+    /// A threshold decorator's τ is not a probability in `[0, 1]`.
+    InvalidThreshold {
+        /// The offending threshold.
+        tau: f64,
+    },
+    /// A query restricted to an explicit object subset names an id the
+    /// database does not contain.
+    UnknownObject {
+        /// The missing object id.
+        id: u64,
+    },
+    /// An asynchronously submitted query panicked on its worker; the panic
+    /// was converted into this error instead of poisoning the pool.
+    AsyncQueryPanicked,
 }
 
 impl fmt::Display for QueryError {
@@ -87,6 +104,18 @@ impl fmt::Display for QueryError {
             }
             QueryError::MalformedBatch { rows, group_size } => {
                 write!(f, "batch of {rows} rows is not divisible into groups of {group_size}")
+            }
+            QueryError::MissingWindow => {
+                write!(f, "query spec has no window (call QueryBuilder::window)")
+            }
+            QueryError::InvalidThreshold { tau } => {
+                write!(f, "threshold τ = {tau} is not a probability in [0, 1]")
+            }
+            QueryError::UnknownObject { id } => {
+                write!(f, "query names object id {id}, which the database does not contain")
+            }
+            QueryError::AsyncQueryPanicked => {
+                write!(f, "asynchronously submitted query panicked on its worker")
             }
         }
     }

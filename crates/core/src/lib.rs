@@ -43,10 +43,12 @@
 //!     1, Observation::exact(0, 3, 1).unwrap(),
 //! )).unwrap();
 //!
-//! // P(object in {s1, s2} at some t ∈ [2, 3]) = 0.864.
+//! // P(object in {s1, s2} at some t ∈ [2, 3]) = 0.864: declare the query,
+//! // let the planner pick the strategy, execute.
 //! let window = QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap();
-//! let results = QueryProcessor::new(&db).exists_query_based(&window).unwrap();
-//! assert!((results[0].probability - 0.864).abs() < 1e-12);
+//! let spec = Query::exists().window(window).build().unwrap();
+//! let answer = QueryProcessor::new(&db).execute(&spec).unwrap();
+//! assert!((answer.probabilities().unwrap()[0].probability - 0.864).abs() < 1e-12);
 //! ```
 
 #![deny(missing_docs)]
@@ -68,22 +70,30 @@ pub mod streaming;
 pub mod threshold;
 
 pub use database::TrajectoryDatabase;
-pub use engine::cache::BackwardFieldCache;
-pub use engine::{EngineConfig, QueryProcessor};
+pub use engine::cache::{BackwardFieldCache, KTimesFieldCache};
+pub use engine::{CostEstimate, EngineConfig, QueryPlan, QueryProcessor, QueryTicket};
 pub use error::{QueryError, Result};
 pub use object::UncertainObject;
 pub use observation::Observation;
-pub use query::{ObjectKDistribution, ObjectProbability, QueryWindow};
+pub use query::{
+    Decorator, ObjectKDistribution, ObjectProbability, Predicate, Query, QueryAnswer, QueryBuilder,
+    QuerySpec, QueryWindow, Strategy,
+};
+pub use ranking::RankedObject;
 pub use stats::EvalStats;
 
 /// Convenience prelude re-exporting the types most applications need.
 pub mod prelude {
     pub use crate::database::TrajectoryDatabase;
-    pub use crate::engine::cache::BackwardFieldCache;
-    pub use crate::engine::{EngineConfig, QueryProcessor};
+    pub use crate::engine::cache::{BackwardFieldCache, KTimesFieldCache};
+    pub use crate::engine::{CostEstimate, EngineConfig, QueryPlan, QueryProcessor, QueryTicket};
     pub use crate::error::{QueryError, Result};
     pub use crate::object::UncertainObject;
     pub use crate::observation::Observation;
-    pub use crate::query::{ObjectKDistribution, ObjectProbability, QueryWindow};
+    pub use crate::query::{
+        Decorator, ObjectKDistribution, ObjectProbability, Predicate, Query, QueryAnswer,
+        QueryBuilder, QuerySpec, QueryWindow, Strategy,
+    };
+    pub use crate::ranking::RankedObject;
     pub use crate::stats::EvalStats;
 }

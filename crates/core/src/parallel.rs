@@ -231,6 +231,21 @@ impl WorkerPool {
         let panicked = latch.wait();
         assert!(panicked == 0, "{panicked} worker-pool job(s) panicked");
     }
+
+    /// Enqueues one detached `'static` job on shard queue
+    /// `shard % num_threads` and returns immediately — the submission
+    /// primitive behind [`crate::engine::QueryProcessor::submit`].
+    ///
+    /// Unlike [`WorkerPool::run_scoped`] nothing blocks: the job must own
+    /// everything it touches (completion is typically signalled through a
+    /// shared `Arc` latch). Jobs already enqueued when the pool is dropped
+    /// still run to completion during the graceful drain. A panicking job
+    /// is caught on the worker; detached submitters that need to observe
+    /// it should catch it inside the job (the pool has no caller to
+    /// re-raise it on).
+    pub fn spawn(&self, shard: usize, job: Box<dyn FnOnce() + Send + 'static>) {
+        self.queues[shard % self.queues.len()].push(job);
+    }
 }
 
 impl Drop for WorkerPool {
@@ -366,7 +381,26 @@ impl ShardedExecutor {
         T: Send,
         F: Fn(&mut Propagator<'_>, &[usize]) -> Result<Vec<T>> + Sync,
     {
-        let n = db.len();
+        let indices: Vec<usize> = (0..db.len()).collect();
+        self.run_on(&indices, config, stats, worker)
+    }
+
+    /// As [`ShardedExecutor::run`], over an explicit set of database
+    /// object indices — the fan-out of subset-restricted query specs.
+    /// Shards are contiguous chunks of `indices`; outputs come back
+    /// concatenated in `indices` order.
+    pub fn run_on<T, F>(
+        &self,
+        indices: &[usize],
+        config: &EngineConfig,
+        stats: &mut EvalStats,
+        worker: F,
+    ) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&mut Propagator<'_>, &[usize]) -> Result<Vec<T>> + Sync,
+    {
+        let n = indices.len();
         if n == 0 {
             return Ok(Vec::new());
         }
@@ -375,28 +409,23 @@ impl ShardedExecutor {
             (Some(pool), 2..) => pool,
             _ => {
                 let mut pipeline = Propagator::new(config, stats);
-                let indices: Vec<usize> = (0..n).collect();
-                return worker(&mut pipeline, &indices);
+                return worker(&mut pipeline, indices);
             }
         };
 
         let chunk_size = n.div_ceil(threads);
         type WorkerOutput<T> = Result<(Vec<T>, EvalStats)>;
-        let ranges: Vec<(usize, usize)> = (0..threads)
-            .map(|shard| (shard * chunk_size, ((shard + 1) * chunk_size).min(n)))
-            .filter(|(lo, hi)| lo < hi)
-            .collect();
-        let mut slots: Vec<Option<WorkerOutput<T>>> = (0..ranges.len()).map(|_| None).collect();
+        let shards: Vec<&[usize]> = indices.chunks(chunk_size).collect();
+        let mut slots: Vec<Option<WorkerOutput<T>>> = (0..shards.len()).map(|_| None).collect();
         let worker = &worker;
         let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = slots
             .iter_mut()
-            .zip(ranges)
-            .map(|(slot, (lo, hi))| {
+            .zip(shards)
+            .map(|(slot, shard)| {
                 let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                    let indices: Vec<usize> = (lo..hi).collect();
                     let mut local_stats = EvalStats::new();
                     let mut pipeline = Propagator::new(config, &mut local_stats);
-                    *slot = Some(worker(&mut pipeline, &indices).map(|out| (out, local_stats)));
+                    *slot = Some(worker(&mut pipeline, shard).map(|out| (out, local_stats)));
                 });
                 job
             })
@@ -439,25 +468,55 @@ pub fn evaluate_exists_parallel(
     evaluate_exists_on(&ShardedExecutor::from_config(config), db, window, config, stats)
 }
 
-/// The shared answer fan-out of the query-based ∃ drivers: one dot product
-/// per object against the plan's read-only fields, sharded.
-fn answer_exists_plan_on(
+/// The shared answer fan-out of the query-based ∃ drivers — including the
+/// planner's dispatch over explicit index subsets: one dot product per
+/// object against the plan's read-only fields, sharded. This is the one
+/// copy of the bit-identity-critical loop (object lookup, field lookup,
+/// `object_probability`, evaluation accounting) every QB ∃ path runs.
+pub(crate) fn answer_exists_plan_on(
     executor: &ShardedExecutor,
     db: &TrajectoryDatabase,
+    indices: &[usize],
     window: &QueryWindow,
     config: &EngineConfig,
     stats: &mut EvalStats,
     plan: &SharedFieldPlan,
 ) -> Result<Vec<ObjectProbability>> {
-    executor.run(db, config, stats, |pipeline, indices| {
-        let mut out = Vec::with_capacity(indices.len());
-        for &idx in indices {
+    executor.run_on(indices, config, stats, |pipeline, idxs| {
+        let mut out = Vec::with_capacity(idxs.len());
+        for &idx in idxs {
             let object = db.object(idx).expect("executor passes valid indices");
             let field = plan.field(object.model()).expect("one field per populated model");
             let probability =
                 field.object_probability(object, window).expect("anchor snapshot was requested");
             pipeline.stats().objects_evaluated += 1;
             out.push(ObjectProbability { object_id: object.id(), probability });
+        }
+        Ok(out)
+    })
+}
+
+/// The k-times analogue of [`answer_exists_plan_on`]: one
+/// `(|T▫|+1)`-level dot product per object against the plan's read-only
+/// level fields, sharded over an explicit index set.
+pub(crate) fn answer_ktimes_plan_on(
+    executor: &ShardedExecutor,
+    db: &TrajectoryDatabase,
+    indices: &[usize],
+    window: &QueryWindow,
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+    plan: &ktimes::KTimesFieldPlan,
+) -> Result<Vec<ObjectKDistribution>> {
+    executor.run_on(indices, config, stats, |pipeline, idxs| {
+        let mut out = Vec::with_capacity(idxs.len());
+        for &idx in idxs {
+            let object = db.object(idx).expect("executor passes valid indices");
+            let field = plan.field(object.model()).expect("one field per populated model");
+            let probabilities =
+                field.object_distribution(object, window).expect("anchor snapshot was requested");
+            pipeline.stats().objects_evaluated += 1;
+            out.push(ObjectKDistribution { object_id: object.id(), probabilities });
         }
         Ok(out)
     })
@@ -478,7 +537,8 @@ pub fn evaluate_exists_qb_on(
 ) -> Result<Vec<ObjectProbability>> {
     let plan = SharedFieldPlan::prepare(db, window, config, stats)?;
     stats.fields_shared += plan.num_fields() as u64;
-    answer_exists_plan_on(executor, db, window, config, stats, &plan)
+    let indices: Vec<usize> = (0..db.len()).collect();
+    answer_exists_plan_on(executor, db, &indices, window, config, stats, &plan)
 }
 
 /// As [`evaluate_exists_qb_on`], on the process-wide shared pool.
@@ -506,7 +566,8 @@ pub fn evaluate_exists_qb_cached_on(
 ) -> Result<Vec<ObjectProbability>> {
     let plan = SharedFieldPlan::prepare_with_cache(db, window, config, cache, stats)?;
     stats.fields_shared += plan.num_fields() as u64;
-    answer_exists_plan_on(executor, db, window, config, stats, &plan)
+    let indices: Vec<usize> = (0..db.len()).collect();
+    answer_exists_plan_on(executor, db, &indices, window, config, stats, &plan)
 }
 
 /// PST∀Q for every object, object-based, sharded (complement reduction on
@@ -594,18 +655,8 @@ pub fn evaluate_ktimes_qb_on(
 ) -> Result<Vec<ObjectKDistribution>> {
     let plan = ktimes::KTimesFieldPlan::prepare(db, window, stats)?;
     stats.fields_shared += plan.num_fields() as u64;
-    executor.run(db, config, stats, |pipeline, indices| {
-        let mut out = Vec::with_capacity(indices.len());
-        for &idx in indices {
-            let object = db.object(idx).expect("executor passes valid indices");
-            let field = plan.field(object.model()).expect("one field per populated model");
-            let probabilities =
-                field.object_distribution(object, window).expect("anchor snapshot was requested");
-            pipeline.stats().objects_evaluated += 1;
-            out.push(ObjectKDistribution { object_id: object.id(), probabilities });
-        }
-        Ok(out)
-    })
+    let indices: Vec<usize> = (0..db.len()).collect();
+    answer_ktimes_plan_on(executor, db, &indices, window, config, stats, &plan)
 }
 
 /// As [`evaluate_ktimes_qb_on`], on the process-wide shared pool.

@@ -1,8 +1,35 @@
-//! Query windows and result types (Definitions 2–4 of the paper).
+//! Query windows, declarative query specs and result types
+//! (Definitions 2–4 of the paper).
+//!
+//! The paper defines **one** query model: a predicate (PST∃Q, PST∀Q,
+//! PSTkQ) over a window `Q▫ = S▫ × T▫`, optionally decorated with a
+//! probability threshold or a top-k selection, and answerable by either
+//! the object-based or the query-based evaluation technique. [`QuerySpec`]
+//! is that model as data: the predicate, the decorator and the window are
+//! *what* is asked, while the [`Strategy`] (defaulting to
+//! [`Strategy::Auto`]) is *how* it is answered — chosen by the planner in
+//! [`crate::engine::plan`] from database and window statistics unless
+//! explicitly overridden. Specs are built fluently:
+//!
+//! ```
+//! use ust_core::prelude::*;
+//! use ust_space::TimeSet;
+//!
+//! let window = QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3))?;
+//! let spec = Query::exists().window(window).threshold(0.5).build()?;
+//! assert_eq!(spec.strategy(), Strategy::Auto);
+//! # Ok::<(), ust_core::QueryError>(())
+//! ```
+//!
+//! and executed through [`crate::engine::QueryProcessor::execute`] (or
+//! submitted asynchronously through
+//! [`crate::engine::QueryProcessor::submit`]), which returns a
+//! [`QueryAnswer`] variant matching the decorator.
 
 use ust_markov::StateMask;
 use ust_space::{Region, StateSpace, TimeSet};
 
+use crate::engine::monte_carlo::MonteCarlo;
 use crate::error::{QueryError, Result};
 
 /// A resolved spatio-temporal query window `Q▫ = S▫ × T▫`: a set of states
@@ -117,6 +144,333 @@ impl ObjectKDistribution {
     pub fn expected_visits(&self) -> f64 {
         self.probabilities.iter().enumerate().map(|(k, p)| k as f64 * p).sum()
     }
+
+    /// `P(visits ≥ k)` — the tail mass of the distribution, the quantity
+    /// the [`Predicate::KTimes`] threshold and top-k decorators filter and
+    /// rank by. `k = 0` is trivially 1, `k > |T▫|` trivially 0.
+    pub fn prob_at_least(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        self.probabilities.iter().skip(k).sum()
+    }
+}
+
+/// The query predicate: *what* is asked of each object over the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Predicate {
+    /// PST∃Q (Definition 2): inside `S▫` at *some* `t ∈ T▫`.
+    Exists,
+    /// PST∀Q (Definition 3): inside `S▫` at *all* `t ∈ T▫`.
+    ForAll,
+    /// PSTkQ (Section VII): inside `S▫` at **at least** `k` timestamps of
+    /// `T▫`. With the [`Decorator::Probabilities`] decorator the answer is
+    /// the full distribution over visit counts
+    /// ([`QueryAnswer::Distributions`]), from which `P(≥ k)` and every
+    /// other tail is derivable; the threshold and top-k decorators filter
+    /// and rank by [`ObjectKDistribution::prob_at_least`]`(k)`.
+    KTimes(usize),
+}
+
+/// The result decorator: *how much* of the per-object probability the
+/// caller wants back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decorator {
+    /// Every object's probability (or visit-count distribution for
+    /// [`Predicate::KTimes`]).
+    Probabilities,
+    /// Only the ids of objects whose predicate probability is `≥ τ` —
+    /// the probabilistic threshold query. Enables bound-based early
+    /// termination under the object-based strategy.
+    Threshold(f64),
+    /// The `k` objects with the highest predicate probability, ranked
+    /// descending (ties broken by ascending id).
+    ///
+    /// The ranking is value-identical across strategies, with one
+    /// documented asymmetry inherited from the drivers: the object-based
+    /// strategy's reachability pruning *omits* objects that provably
+    /// cannot intersect the window, while the query-based strategy lists
+    /// them with probability `0.0` — so answers may differ in their
+    /// zero-probability tail when fewer than `k` objects can reach the
+    /// window at all.
+    TopK(usize),
+}
+
+/// The evaluation strategy: *how* the engines answer the spec.
+///
+/// The predicate/decorator axes of [`QuerySpec`] are orthogonal to the
+/// evaluation technique (the object-based forward pass of Section V-A vs.
+/// the query-based backward pass of Section V-B); `Strategy` makes that
+/// orthogonality explicit. [`Strategy::Auto`] defers the choice to the
+/// planner, which estimates both costs from database and window statistics
+/// (plus backward-field cache residency) — inspect the decision with
+/// [`crate::engine::QueryProcessor::explain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Let the planner choose between the exact strategies (never picks
+    /// the sampling baseline).
+    Auto,
+    /// Force the object-based forward engine (Section V-A).
+    ObjectBased,
+    /// Force the query-based backward engine (Section V-B), served through
+    /// the processor's backward-field caches.
+    QueryBased,
+    /// Force the Monte-Carlo sampling baseline (approximate; configure via
+    /// [`QueryBuilder::sampling`]).
+    MonteCarlo,
+}
+
+/// A declarative, executable query: predicate × decorator × window ×
+/// strategy, plus an optional restriction to explicit object ids.
+///
+/// Build with [`Query`], execute with
+/// [`crate::engine::QueryProcessor::execute`] (synchronous) or
+/// [`crate::engine::QueryProcessor::submit`] (asynchronous ticket).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    predicate: Predicate,
+    decorator: Decorator,
+    window: QueryWindow,
+    strategy: Strategy,
+    objects: Option<Vec<u64>>,
+    sampling: MonteCarlo,
+}
+
+impl QuerySpec {
+    /// The query predicate.
+    pub fn predicate(&self) -> Predicate {
+        self.predicate
+    }
+
+    /// The result decorator.
+    pub fn decorator(&self) -> Decorator {
+        self.decorator
+    }
+
+    /// The query window `S▫ × T▫`.
+    pub fn window(&self) -> &QueryWindow {
+        &self.window
+    }
+
+    /// The requested evaluation strategy ([`Strategy::Auto`] unless
+    /// overridden).
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The explicit object-id subset, if the query is restricted
+    /// (sorted, deduplicated). `None` means the whole database.
+    pub fn objects(&self) -> Option<&[u64]> {
+        self.objects.as_deref()
+    }
+
+    /// The sampling parameters used under [`Strategy::MonteCarlo`].
+    pub fn sampling(&self) -> MonteCarlo {
+        self.sampling
+    }
+}
+
+/// Entry point of the query-builder API: pick the predicate, then chain
+/// the window, decorator, strategy and subset.
+///
+/// ```
+/// use ust_core::prelude::*;
+/// use ust_space::TimeSet;
+///
+/// let window = QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3))?;
+/// // "The 5 objects most likely to visit the window at least twice,
+/// //  evaluated query-based."
+/// let spec = Query::ktimes(2)
+///     .window(window)
+///     .top_k(5)
+///     .strategy(Strategy::QueryBased)
+///     .build()?;
+/// assert_eq!(spec.predicate(), Predicate::KTimes(2));
+/// # Ok::<(), ust_core::QueryError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Query;
+
+impl Query {
+    /// A PST∃Q spec builder.
+    pub fn exists() -> QueryBuilder {
+        QueryBuilder::new(Predicate::Exists)
+    }
+
+    /// A PST∀Q spec builder.
+    pub fn forall() -> QueryBuilder {
+        QueryBuilder::new(Predicate::ForAll)
+    }
+
+    /// A PSTkQ spec builder (see [`Predicate::KTimes`] for how `k`
+    /// interacts with the decorators).
+    pub fn ktimes(k: usize) -> QueryBuilder {
+        QueryBuilder::new(Predicate::KTimes(k))
+    }
+}
+
+/// Fluent builder for a [`QuerySpec`]; obtained from [`Query`].
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    predicate: Predicate,
+    decorator: Decorator,
+    window: Option<QueryWindow>,
+    strategy: Strategy,
+    objects: Option<Vec<u64>>,
+    sampling: MonteCarlo,
+}
+
+impl QueryBuilder {
+    fn new(predicate: Predicate) -> QueryBuilder {
+        QueryBuilder {
+            predicate,
+            decorator: Decorator::Probabilities,
+            window: None,
+            strategy: Strategy::Auto,
+            objects: None,
+            sampling: MonteCarlo::default(),
+        }
+    }
+
+    /// Sets the query window (required).
+    pub fn window(mut self, window: QueryWindow) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Asks for every object's probability / distribution (the default
+    /// decorator).
+    pub fn probabilities(mut self) -> Self {
+        self.decorator = Decorator::Probabilities;
+        self
+    }
+
+    /// Asks only for the ids of objects with predicate probability `≥ tau`.
+    pub fn threshold(mut self, tau: f64) -> Self {
+        self.decorator = Decorator::Threshold(tau);
+        self
+    }
+
+    /// Asks for the `k` objects with the highest predicate probability.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.decorator = Decorator::TopK(k);
+        self
+    }
+
+    /// Overrides the planner's strategy choice.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Restricts the query to an explicit set of object ids (any order,
+    /// duplicates ignored). Every id must exist in the database at
+    /// execution time.
+    pub fn objects<I: IntoIterator<Item = u64>>(mut self, ids: I) -> Self {
+        self.objects = Some(ids.into_iter().collect());
+        self
+    }
+
+    /// Sets the sampling parameters for [`Strategy::MonteCarlo`].
+    pub fn sampling(mut self, sampling: MonteCarlo) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    /// Validates and freezes the spec.
+    ///
+    /// Fails with [`QueryError::MissingWindow`] when no window was set and
+    /// [`QueryError::InvalidThreshold`] when a threshold decorator's τ is
+    /// not a probability.
+    pub fn build(self) -> Result<QuerySpec> {
+        let window = self.window.ok_or(QueryError::MissingWindow)?;
+        if let Decorator::Threshold(tau) = self.decorator {
+            if !(0.0..=1.0).contains(&tau) {
+                return Err(QueryError::InvalidThreshold { tau });
+            }
+        }
+        let objects = self.objects.map(|mut ids| {
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        });
+        Ok(QuerySpec {
+            predicate: self.predicate,
+            decorator: self.decorator,
+            window,
+            strategy: self.strategy,
+            objects,
+            sampling: self.sampling,
+        })
+    }
+}
+
+/// The answer of an executed [`QuerySpec`]; the variant follows the
+/// decorator (and, for PSTkQ probabilities, the predicate).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryAnswer {
+    /// Per-object probabilities ([`Decorator::Probabilities`] under
+    /// [`Predicate::Exists`] / [`Predicate::ForAll`]).
+    Probabilities(Vec<ObjectProbability>),
+    /// Per-object visit-count distributions
+    /// ([`Decorator::Probabilities`] under [`Predicate::KTimes`]).
+    Distributions(Vec<ObjectKDistribution>),
+    /// Accepted object ids in database order
+    /// ([`Decorator::Threshold`]).
+    ObjectIds(Vec<u64>),
+    /// The ranked top-k ([`Decorator::TopK`]).
+    Ranked(Vec<crate::ranking::RankedObject>),
+}
+
+impl QueryAnswer {
+    /// The per-object probabilities, if this is a
+    /// [`QueryAnswer::Probabilities`] answer.
+    pub fn probabilities(&self) -> Option<&[ObjectProbability]> {
+        match self {
+            QueryAnswer::Probabilities(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The visit-count distributions, if this is a
+    /// [`QueryAnswer::Distributions`] answer.
+    pub fn distributions(&self) -> Option<&[ObjectKDistribution]> {
+        match self {
+            QueryAnswer::Distributions(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The accepted ids, if this is a [`QueryAnswer::ObjectIds`] answer.
+    pub fn ids(&self) -> Option<&[u64]> {
+        match self {
+            QueryAnswer::ObjectIds(ids) => Some(ids),
+            _ => None,
+        }
+    }
+
+    /// The ranking, if this is a [`QueryAnswer::Ranked`] answer.
+    pub fn ranked(&self) -> Option<&[crate::ranking::RankedObject]> {
+        match self {
+            QueryAnswer::Ranked(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Number of entries in the answer, whatever its variant.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryAnswer::Probabilities(p) => p.len(),
+            QueryAnswer::Distributions(d) => d.len(),
+            QueryAnswer::ObjectIds(ids) => ids.len(),
+            QueryAnswer::Ranked(r) => r.len(),
+        }
+    }
+
+    /// True when the answer holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 #[cfg(test)]
@@ -173,5 +527,63 @@ mod tests {
         assert!((d.prob_at_least_once() - 0.864).abs() < 1e-12);
         assert!((d.prob_always() - 0.192).abs() < 1e-12);
         assert!((d.expected_visits() - (0.672 + 2.0 * 0.192)).abs() < 1e-12);
+        assert_eq!(d.prob_at_least(0), 1.0);
+        assert!((d.prob_at_least(1) - 0.864).abs() < 1e-12);
+        assert!((d.prob_at_least(2) - 0.192).abs() < 1e-12);
+        assert_eq!(d.prob_at_least(3), 0.0);
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let w = QueryWindow::from_states(4, [1usize, 2], TimeSet::interval(1, 3)).unwrap();
+        let spec = Query::exists().window(w.clone()).build().unwrap();
+        assert_eq!(spec.predicate(), Predicate::Exists);
+        assert_eq!(spec.decorator(), Decorator::Probabilities);
+        assert_eq!(spec.strategy(), Strategy::Auto);
+        assert_eq!(spec.objects(), None);
+        assert_eq!(spec.window(), &w);
+
+        let spec = Query::forall()
+            .window(w.clone())
+            .threshold(0.25)
+            .strategy(Strategy::ObjectBased)
+            .objects([9u64, 3, 9, 1])
+            .build()
+            .unwrap();
+        assert_eq!(spec.predicate(), Predicate::ForAll);
+        assert_eq!(spec.decorator(), Decorator::Threshold(0.25));
+        assert_eq!(spec.strategy(), Strategy::ObjectBased);
+        assert_eq!(spec.objects(), Some(&[1u64, 3, 9][..]), "ids sorted and deduplicated");
+
+        let spec = Query::ktimes(2).window(w).top_k(5).probabilities().build().unwrap();
+        assert_eq!(spec.predicate(), Predicate::KTimes(2));
+        assert_eq!(spec.decorator(), Decorator::Probabilities, "last decorator wins");
+    }
+
+    #[test]
+    fn builder_validation() {
+        let w = QueryWindow::from_states(4, [1usize], TimeSet::at(2)).unwrap();
+        assert_eq!(Query::exists().build(), Err(QueryError::MissingWindow));
+        assert_eq!(
+            Query::exists().window(w.clone()).threshold(1.5).build(),
+            Err(QueryError::InvalidThreshold { tau: 1.5 })
+        );
+        assert!(Query::exists().window(w.clone()).threshold(f64::NAN).build().is_err());
+        assert!(Query::exists().window(w).threshold(0.0).build().is_ok());
+    }
+
+    #[test]
+    fn answer_accessors_match_variants() {
+        let probs =
+            QueryAnswer::Probabilities(vec![ObjectProbability { object_id: 1, probability: 0.5 }]);
+        assert_eq!(probs.probabilities().unwrap().len(), 1);
+        assert!(probs.ids().is_none());
+        assert!(probs.ranked().is_none());
+        assert!(probs.distributions().is_none());
+        assert_eq!(probs.len(), 1);
+        assert!(!probs.is_empty());
+        let ids = QueryAnswer::ObjectIds(vec![]);
+        assert!(ids.is_empty());
+        assert_eq!(ids.ids().unwrap().len(), 0);
     }
 }

@@ -63,7 +63,9 @@ fn main() -> Result<()> {
     let survey = Region::circle(Point2::new(20.0, 20.0), 6.0);
     let survey_window = QueryWindow::from_region(grid, &survey, TimeSet::interval(2, 5))?;
     let processor = QueryProcessor::new(db);
-    let stay = processor.forall_query_based(&survey_window)?;
+    let stay = processor
+        .execute(&Query::forall().window(survey_window).strategy(Strategy::QueryBased).build()?)?;
+    let stay = stay.probabilities().expect("probabilities decorator");
     let loiterers: Vec<_> = stay.iter().filter(|r| r.probability > 0.01).collect();
     println!(
         "\nIcebergs with >1% probability of staying inside the survey circle for t ∈ [2, 5]: {}",

@@ -74,8 +74,13 @@ fn main() -> Result<()> {
 
     // --- Stage 3: who never leaves? ----------------------------------------
     let processor = QueryProcessor::new(&data.db);
-    let stayers = processor.forall_query_based(&mall)?;
-    let committed: Vec<_> = stayers.iter().filter(|r| r.probability > 0.5).collect();
+    let stayers = processor.execute(&Query::forall().window(mall).build()?)?;
+    let committed: Vec<_> = stayers
+        .probabilities()
+        .expect("probabilities decorator")
+        .iter()
+        .filter(|r| r.probability > 0.5)
+        .collect();
     println!(
         "\nStage 3 — PST∀Q: {} customers stay inside the mall for the whole \
          campaign with P > 50%.",

@@ -1,10 +1,12 @@
-//! Quickstart: the paper's running example, end to end.
+//! Quickstart: the paper's running example through the unified query API.
 //!
 //! Builds the 3-state Markov chain of Section V, registers one uncertain
 //! object observed at state s2 at time 0, and answers all three query
-//! predicates over the window S▫ = {s1, s2}, T▫ = [2, 3] with both
-//! evaluation strategies — reproducing the numbers derived by hand in the
-//! paper (P∃ = 0.864, k-distribution (0.136, 0.672, 0.192)).
+//! predicates over the window S▫ = {s1, s2}, T▫ = [2, 3] — reproducing
+//! the numbers derived by hand in the paper (P∃ = 0.864, k-distribution
+//! (0.136, 0.672, 0.192)). Queries are *declared* with the `Query`
+//! builder; the planner picks the evaluation strategy (inspect it with
+//! `explain`), and `submit` shows the asynchronous front door.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -31,34 +33,70 @@ fn main() -> Result<()> {
 
     let processor = QueryProcessor::new(&db);
 
-    // PST∃Q — both strategies give the paper's 0.864.
-    let ob = processor.exists_object_based(&window)?;
-    let qb = processor.exists_query_based(&window)?;
-    println!("PST∃Q  object-based : P = {:.4}", ob[0].probability);
-    println!("PST∃Q  query-based  : P = {:.4}", qb[0].probability);
+    // PST∃Q — declare the query, let the planner choose the strategy.
+    let exists = Query::exists().window(window.clone()).build()?;
+    println!("{}", processor.explain(&exists)?);
+    let planned = processor.execute(&exists)?;
+    println!(
+        "PST∃Q  planned      : P = {:.4}",
+        planned.probabilities().expect("probabilities decorator")[0].probability
+    );
+
+    // Both explicit strategies give the paper's 0.864.
+    for (name, strategy) in
+        [("object-based", Strategy::ObjectBased), ("query-based", Strategy::QueryBased)]
+    {
+        let forced = Query::exists().window(window.clone()).strategy(strategy).build()?;
+        let p = processor.execute(&forced)?.probabilities().expect("probabilities decorator")[0]
+            .probability;
+        println!("PST∃Q  {name:<13}: P = {p:.4}");
+    }
 
     // PST∀Q — probability of being inside the window at *all* query times.
-    let forall = processor.forall_query_based(&window)?;
-    println!("PST∀Q  query-based  : P = {:.4}", forall[0].probability);
+    let forall = processor.execute(&Query::forall().window(window.clone()).build()?)?;
+    println!(
+        "PST∀Q  planned      : P = {:.4}",
+        forall.probabilities().expect("probabilities decorator")[0].probability
+    );
 
     // PSTkQ — the full distribution over visit counts (Section VII's
     // worked example: 0.136 / 0.672 / 0.192).
-    let k = processor.ktimes_object_based(&window)?;
-    for (count, p) in k[0].probabilities.iter().enumerate() {
+    let ktimes = processor.execute(&Query::ktimes(1).window(window.clone()).build()?)?;
+    let dist = &ktimes.distributions().expect("k-times probabilities")[0];
+    for (count, p) in dist.probabilities.iter().enumerate() {
         println!("PSTkQ  P(visits = {count}) = {p:.4}");
     }
-    println!("PSTkQ  expected visits = {:.4}", k[0].expected_visits());
+    println!("PSTkQ  expected visits = {:.4}", dist.expected_visits());
+
+    // Decorators compose with any predicate: thresholds and top-k.
+    let hot = processor.execute(&Query::exists().window(window.clone()).threshold(0.5).build()?)?;
+    println!("τ=0.5 accepts object ids: {:?}", hot.ids().expect("threshold decorator"));
+
+    // The async front door: submit a burst without blocking, await later.
+    let taus = [0.25, 0.5, 0.75];
+    let tickets: Vec<QueryTicket> = taus
+        .iter()
+        .map(|&tau| {
+            let spec = Query::exists().window(window.clone()).threshold(tau).build()?;
+            Ok(processor.submit(&spec))
+        })
+        .collect::<Result<_>>()?;
+    for (tau, ticket) in taus.into_iter().zip(tickets) {
+        let ids = ticket.wait()?;
+        println!("async τ={tau}: {} object(s) qualify", ids.len());
+    }
 
     // The Monte-Carlo competitor only approximates these numbers.
-    let mc = MonteCarlo::new(100, 42);
-    let estimate = mc.exists_probability(
-        db.models()[0].as_ref(),
-        db.object(0).expect("inserted above"),
-        &window,
-    )?;
+    let mc = Query::exists()
+        .window(window)
+        .strategy(Strategy::MonteCarlo)
+        .sampling(MonteCarlo::new(100, 42))
+        .build()?;
+    let estimate =
+        processor.execute(&mc)?.probabilities().expect("probabilities decorator")[0].probability;
     println!(
         "Monte-Carlo (100 samples): P ≈ {estimate:.3} (σ ≈ {:.3})",
-        MonteCarlo::standard_error(qb[0].probability, 100)
+        MonteCarlo::standard_error(0.864, 100)
     );
     Ok(())
 }

@@ -17,7 +17,9 @@ use ust_core::engine::{
 use ust_markov::testutil;
 
 /// Strategy: a random banded stochastic chain with 3..=7 states.
-fn chain_strategy() -> impl Strategy<Value = (u64, usize)> {
+/// (`proptest::Strategy` spelled out — `ust::prelude` now also exports a
+/// `Strategy`, the query-planner override enum.)
+fn chain_strategy() -> impl proptest::prelude::Strategy<Value = (u64, usize)> {
     (0u64..5_000, 3usize..=7)
 }
 
