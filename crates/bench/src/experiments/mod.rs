@@ -8,6 +8,7 @@ pub mod fig9;
 pub mod pr2;
 pub mod pr3;
 pub mod pr4;
+pub mod pr5;
 
 use crate::{ExperimentOutput, Scale};
 
@@ -31,6 +32,7 @@ pub fn all(scale: Scale) -> Vec<ExperimentOutput> {
     out.push(pr2::pr2_cache(scale));
     out.push(pr3::pr3_pool(scale));
     out.push(pr4::pr4_planner(scale));
+    out.push(pr5::pr5_admission(scale));
     out
 }
 
@@ -55,6 +57,7 @@ pub fn by_id(id: &str, scale: Scale) -> Option<ExperimentOutput> {
         "pr2_cache" => Some(pr2::pr2_cache(scale)),
         "pr3_pool" => Some(pr3::pr3_pool(scale)),
         "pr4_planner" => Some(pr4::pr4_planner(scale)),
+        "pr5_admission" => Some(pr5::pr5_admission(scale)),
         _ => None,
     }
 }
@@ -80,6 +83,7 @@ pub fn known_ids() -> &'static [&'static str] {
         "pr2_cache",
         "pr3_pool",
         "pr4_planner",
+        "pr5_admission",
     ]
 }
 
@@ -99,6 +103,6 @@ mod tests {
         assert!(!out.table.is_empty());
         assert_eq!(out.id, "ablation_augmented");
         assert!(by_id("nope", Scale::Ci).is_none());
-        assert_eq!(known_ids().len(), 18);
+        assert_eq!(known_ids().len(), 19);
     }
 }

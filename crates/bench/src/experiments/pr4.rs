@@ -178,8 +178,12 @@ fn planner_experiment(cfg: &SyntheticConfig) -> ExperimentOutput {
     // then await the tickets.
     let burst_processor = QueryProcessor::with_config(&data.db, pooled);
     let (burst_wall, (submit_wall, burst_answers)) = time(|| {
-        let (submit_wall, tickets) =
-            time(|| specs.iter().map(|spec| burst_processor.submit(spec)).collect::<Vec<_>>());
+        let (submit_wall, tickets) = time(|| {
+            specs
+                .iter()
+                .map(|spec| burst_processor.submit(spec).expect("unbounded processor admits all"))
+                .collect::<Vec<_>>()
+        });
         let answers = tickets.into_iter().map(|t| t.wait().unwrap()).collect::<Vec<_>>();
         (submit_wall, answers)
     });

@@ -1,0 +1,238 @@
+//! PR 5 trajectory experiment: admission-controlled async serving.
+//!
+//! Three claims are made observable:
+//!
+//! 1. **Depth bounds shed overload without blocking** — an unbounded
+//!    processor accepts a whole burst; a depth-bounded one admits at most
+//!    `max_queue_depth` pending queries and rejects the overflow with
+//!    `QueueFull` while the submit loop still returns in microseconds
+//!    (`bounded_submit_wall_secs` vs `blocking_wall_secs`). The serving
+//!    metrics account for every submission
+//!    (`submitted == accepted + rejected`).
+//! 2. **Deadlines shed stale work** — with a zero deadline every admitted
+//!    job is shed before execution (`deadline_shed` equals the accepted
+//!    count) instead of burning worker time on abandoned requests.
+//! 3. **The calibration loop closes** — running a bound-decorated
+//!    workload under `calibrate_planner` replaces the flat ×0.5 discount
+//!    with the measured step ratio (`learned_ob_discount`), and the
+//!    calibrated plan stays the argmin of its own estimates
+//!    (`calibrated_consistent`); `calibrated_flipped` records whether the
+//!    learned ratio changed the strategy choice on this workload.
+
+use ust_core::engine::EngineConfig;
+use ust_core::{Query, QueryError, QueryProcessor, QuerySpec, Strategy};
+use ust_data::workload;
+use ust_data::{synthetic, ResultTable, SyntheticConfig};
+
+use crate::{time, ExperimentOutput, Scale};
+
+/// The fig11 locality workload — the same dataset the `pr2..pr4`
+/// experiments use, so the trajectory files stay comparable.
+fn locality_config(scale: Scale) -> SyntheticConfig {
+    super::fig11::base_config(scale)
+}
+
+/// Admission-control + serving-metrics experiment.
+pub fn pr5_admission(scale: Scale) -> ExperimentOutput {
+    admission_experiment(&locality_config(scale))
+}
+
+fn admission_experiment(cfg: &SyntheticConfig) -> ExperimentOutput {
+    const BURST: usize = 16;
+    const DEPTH: usize = 4;
+    let window = workload::paper_default_window(cfg.num_states).expect("window fits");
+    let data = synthetic::generate(cfg);
+    let specs: Vec<QuerySpec> = (0..BURST as u32)
+        .map(|i| {
+            let shifted = workload::with_start_time(&window, 18 + i).expect("window fits");
+            Query::exists().window(shifted).strategy(Strategy::QueryBased).build().unwrap()
+        })
+        .collect();
+
+    let mut out = ExperimentOutput {
+        metrics: Vec::new(),
+        id: "pr5_admission".into(),
+        title: "PR 5 — admission-controlled async serving: depth-bounded bursts, deadline \
+                shedding, and the EWMA-calibrated planner on the fig11 locality dataset"
+            .into(),
+        table: ResultTable::new([""]),
+        expectation: "A depth-bounded processor admits at most max_queue_depth pending \
+                      submissions and rejects the rest with QueueFull while the submit loop \
+                      returns in microseconds (vs the blocking loop's full evaluation wall); \
+                      the serving metrics account for every submission. A zero deadline sheds \
+                      every admitted job before execution. Training a bound-decorated \
+                      workload under calibrate_planner replaces the flat ×0.5 discount with \
+                      the measured step ratio, and the calibrated plan remains the argmin of \
+                      its own estimates."
+            .into(),
+    };
+    let mut table =
+        ResultTable::new(["mode", "accepted", "rejected", "submit wall", "complete wall"]);
+
+    // --- 1a. Blocking baseline ------------------------------------------
+    let blocking =
+        QueryProcessor::with_config(&data.db, EngineConfig::default().with_num_threads(4));
+    let (blocking_wall, blocking_answers) =
+        time(|| specs.iter().map(|s| blocking.execute(s).unwrap()).collect::<Vec<_>>());
+    out = out
+        .with_metric("burst_queries", BURST as f64)
+        .with_metric("blocking_wall_secs", blocking_wall);
+
+    // --- 1b. Unbounded burst --------------------------------------------
+    let unbounded =
+        QueryProcessor::with_config(&data.db, EngineConfig::default().with_num_threads(4));
+    let (unbounded_wall, (unbounded_submit, unbounded_answers)) = time(|| {
+        let (submit_wall, tickets) = time(|| {
+            specs.iter().map(|s| unbounded.submit(s).expect("unbounded")).collect::<Vec<_>>()
+        });
+        (submit_wall, tickets.into_iter().map(|t| t.wait().unwrap()).collect::<Vec<_>>())
+    });
+    assert_eq!(unbounded_answers, blocking_answers, "async ≡ blocking, bit for bit");
+    let m = unbounded.metrics();
+    assert_eq!(m.submitted, BURST as u64);
+    assert_eq!(m.rejected, 0, "no bound, no rejections");
+    table.push_row([
+        "unbounded".into(),
+        m.accepted.to_string(),
+        m.rejected.to_string(),
+        ust_data::csv::fmt_secs(unbounded_submit),
+        ust_data::csv::fmt_secs(unbounded_wall),
+    ]);
+    out = out
+        .with_metric("unbounded_submit_wall_secs", unbounded_submit)
+        .with_metric("unbounded_wall_secs", unbounded_wall)
+        .with_metric("unbounded_accepted", m.accepted as f64);
+
+    // --- 1c. Depth-bounded burst ----------------------------------------
+    let bounded = QueryProcessor::with_config(
+        &data.db,
+        EngineConfig::default().with_num_threads(4).with_max_queue_depth(DEPTH),
+    );
+    // Pair each admitted ticket with its own spec at admission time:
+    // workers may drain slots mid-burst, so the admitted set need not be
+    // a prefix of the burst.
+    let mut admitted: Vec<(&QuerySpec, _)> = Vec::new();
+    let mut rejected = 0u64;
+    let (bounded_submit, ()) = time(|| {
+        for spec in &specs {
+            match bounded.submit(spec) {
+                Ok(t) => admitted.push((spec, t)),
+                Err(QueryError::QueueFull { .. }) => rejected += 1,
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+    });
+    let (bounded_wall, ()) = time(|| {
+        for (spec, ticket) in admitted.drain(..) {
+            let answer = ticket.wait().unwrap();
+            let reference = blocking.execute(spec).unwrap();
+            assert_eq!(answer, reference, "admitted tickets ≡ execute");
+        }
+    });
+    let m = bounded.metrics();
+    assert_eq!(m.submitted, BURST as u64);
+    assert_eq!(m.accepted + m.rejected, m.submitted, "every submission is accounted");
+    assert_eq!(m.rejected, rejected);
+    assert!(rejected > 0, "a {BURST}-burst must overflow a depth-{DEPTH} bound");
+    assert!(
+        bounded_submit < blocking_wall,
+        "rejection is backpressure, not blocking: the bounded submit loop must return \
+         before a blocking loop would"
+    );
+    table.push_row([
+        format!("depth={DEPTH}"),
+        m.accepted.to_string(),
+        m.rejected.to_string(),
+        ust_data::csv::fmt_secs(bounded_submit),
+        ust_data::csv::fmt_secs(bounded_wall),
+    ]);
+    out = out
+        .with_metric("bounded_depth", DEPTH as f64)
+        .with_metric("bounded_submit_wall_secs", bounded_submit)
+        .with_metric("bounded_wall_secs", bounded_wall)
+        .with_metric("bounded_accepted", m.accepted as f64)
+        .with_metric("bounded_rejected", m.rejected as f64);
+
+    // --- 2. Deadline shedding -------------------------------------------
+    let impatient = QueryProcessor::with_config(
+        &data.db,
+        EngineConfig::default()
+            .with_num_threads(2)
+            .with_default_deadline(std::time::Duration::ZERO),
+    );
+    let shed_tickets: Vec<_> =
+        specs.iter().take(4).map(|s| impatient.submit(s).expect("unbounded")).collect();
+    let mut shed = 0u64;
+    for ticket in shed_tickets {
+        match ticket.wait() {
+            Err(QueryError::DeadlineExceeded) => shed += 1,
+            other => panic!("zero deadline must shed, got {other:?}"),
+        }
+    }
+    let m = impatient.metrics();
+    assert_eq!(m.deadline_expired, shed);
+    out = out.with_metric("deadline_shed", shed as f64);
+
+    // --- 3. EWMA calibration --------------------------------------------
+    let bounded_spec = Query::exists().window(window.clone()).top_k(4).build().unwrap();
+    let flat = QueryProcessor::new(&data.db);
+    let flat_plan = flat.explain(&bounded_spec).unwrap();
+    let trained = QueryProcessor::with_config(
+        &data.db,
+        EngineConfig::default().with_planner_calibration(true),
+    );
+    for _ in 0..3 {
+        trained.execute(&bounded_spec).unwrap();
+    }
+    let calibrated_plan = trained.explain(&bounded_spec).unwrap();
+    assert!(calibrated_plan.calibrated, "bounded runs must feed the EWMA");
+    let consistent = match calibrated_plan.strategy {
+        Strategy::QueryBased => {
+            calibrated_plan.query_based.total() <= calibrated_plan.object_based.total()
+        }
+        _ => calibrated_plan.object_based.total() < calibrated_plan.query_based.total(),
+    };
+    assert!(consistent, "the calibrated choice must be the argmin of its own estimates");
+    out.table = table;
+    out.with_metric("flat_ob_discount", flat_plan.ob_discount)
+        .with_metric("learned_ob_discount", calibrated_plan.ob_discount)
+        .with_metric("learned_qb_discount", calibrated_plan.qb_discount)
+        .with_metric("calibrated_consistent", 1.0)
+        .with_metric(
+            "calibrated_flipped",
+            (calibrated_plan.strategy != flat_plan.strategy) as u64 as f64,
+        )
+        .with_metric(
+            "calibrated_chose_qb",
+            (calibrated_plan.strategy == Strategy::QueryBased) as u64 as f64,
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pr5_metrics_present_and_consistent() {
+        let cfg = SyntheticConfig::small();
+        let out = admission_experiment(&cfg);
+        let get = |name: &str| {
+            out.metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+                .1
+        };
+        assert_eq!(get("burst_queries"), 16.0);
+        assert_eq!(get("bounded_depth"), 4.0);
+        assert_eq!(get("bounded_accepted") + get("bounded_rejected"), 16.0);
+        assert!(get("bounded_rejected") > 0.0);
+        assert!(get("bounded_submit_wall_secs") < get("blocking_wall_secs"));
+        assert_eq!(get("deadline_shed"), 4.0);
+        assert_eq!(get("flat_ob_discount"), 0.5);
+        assert!(get("learned_ob_discount") > 0.0);
+        assert!(get("learned_qb_discount") > 0.0);
+        assert_eq!(get("calibrated_consistent"), 1.0);
+        assert!(!out.table.is_empty());
+    }
+}

@@ -93,6 +93,28 @@ pub struct EngineConfig {
     /// `capacity × anchors × |S|`; repeated or overlapping windows served
     /// from the cache skip their backward sweeps entirely.
     pub cache_capacity: usize,
+    /// Admission bound on **pending asynchronous submissions** per
+    /// processor (`0` = unbounded, the default). Once this many
+    /// [`QueryProcessor::submit`] tickets are queued or running,
+    /// further submissions return
+    /// [`crate::error::QueryError::QueueFull`] immediately instead of
+    /// growing the backlog; the bound is also installed as the per-shard
+    /// depth limit of the processor's own worker pool.
+    pub max_queue_depth: usize,
+    /// Deadline applied to every submitted query (`None` = no deadline,
+    /// the default): a job whose queue wait already exceeds it is shed
+    /// with [`crate::error::QueryError::DeadlineExceeded`] instead of
+    /// executing — stale work a bursty caller has likely abandoned. The
+    /// deadline is checked when the job starts and again between planning
+    /// and execution, never mid-propagation.
+    pub default_deadline: Option<std::time::Duration>,
+    /// Lets the planner consult the serving EWMAs (observed/estimated
+    /// step ratios per strategy, see [`crate::serving::Metrics`]) in
+    /// place of its flat ×0.5 early-termination discount. Off by default:
+    /// calibration can legitimately flip a borderline plan between two
+    /// executions of the same spec, and the exact strategies agree only
+    /// to rounding — the default keeps a session's plans bit-stable.
+    pub calibrate_planner: bool,
 }
 
 impl Default for EngineConfig {
@@ -103,6 +125,9 @@ impl Default for EngineConfig {
             batch_size: DEFAULT_BATCH_SIZE,
             num_threads: 1,
             cache_capacity: cache::DEFAULT_CACHE_CAPACITY,
+            max_queue_depth: 0,
+            default_deadline: None,
+            calibrate_planner: false,
         }
     }
 }
@@ -143,6 +168,25 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the pending-submission admission bound (`0` = unbounded).
+    pub fn with_max_queue_depth(mut self, max_queue_depth: usize) -> Self {
+        self.max_queue_depth = max_queue_depth;
+        self
+    }
+
+    /// Sets the deadline submitted queries are shed at.
+    pub fn with_default_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Enables (or disables) EWMA calibration of the planner's cost
+    /// model.
+    pub fn with_planner_calibration(mut self, calibrate: bool) -> Self {
+        self.calibrate_planner = calibrate;
+        self
+    }
+
     /// The effective batch size (at least 1).
     pub fn effective_batch_size(&self) -> usize {
         self.batch_size.max(1)
@@ -164,43 +208,85 @@ impl EngineConfig {
 ///
 /// The ticket is a cheap handle to shared completion state. The submitting
 /// thread is never blocked by `submit` itself; it blocks only when (and
-/// if) it calls [`QueryTicket::wait`]. Dropping a ticket without awaiting
-/// it is safe — the query still runs to completion on its worker (it owns
-/// a snapshot of everything it touches) and the answer is discarded.
+/// if) it calls [`QueryTicket::wait`] or [`QueryTicket::wait_timeout`].
+/// Dropping a ticket without awaiting it is safe — the query still runs to
+/// completion on its worker (it owns a snapshot of everything it touches)
+/// and the answer is discarded. The ticket can never block forever: a job
+/// that is discarded without running (its pool shut down mid-burst)
+/// completes the ticket with [`QueryError::AsyncQueryDropped`] from the
+/// job's drop guard.
 #[derive(Debug)]
 pub struct QueryTicket {
     state: Arc<TicketState>,
+    /// The pool the job was queued on, for best-effort dequeue on
+    /// [`QueryTicket::cancel`]. Weak: a ticket must not keep a shut-down
+    /// pool's threads alive.
+    pool: std::sync::Weak<crate::parallel::WorkerPool>,
+    handle: crate::parallel::JobHandle,
 }
 
 #[derive(Debug)]
 struct TicketState {
     slot: Mutex<Option<Result<QueryAnswer>>>,
     done: Condvar,
+    /// Set by the completion path that wins the first-completion race,
+    /// *before* any bookkeeping — the gate that makes the serving
+    /// accounting run exactly once per ticket.
+    claimed: std::sync::atomic::AtomicBool,
+    /// Cheap completion flag so `is_done` never touches the mutex. Set
+    /// strictly after the winner's bookkeeping, so a caller that observes
+    /// the outcome also observes consistent metrics.
+    finished: std::sync::atomic::AtomicBool,
+    /// Cooperative cancellation flag the job checks at start and between
+    /// planning and execution.
+    cancelled: std::sync::atomic::AtomicBool,
 }
 
 impl TicketState {
     fn new() -> TicketState {
-        TicketState { slot: Mutex::new(None), done: Condvar::new() }
+        TicketState {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+            claimed: std::sync::atomic::AtomicBool::new(false),
+            finished: std::sync::atomic::AtomicBool::new(false),
+            cancelled: std::sync::atomic::AtomicBool::new(false),
+        }
     }
 
+    /// Installs the outcome and wakes the waiters. Only the completion
+    /// winner (see [`TicketState::claimed`]) may call this.
     fn complete(&self, outcome: Result<QueryAnswer>) {
         let mut slot = self.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        debug_assert!(slot.is_none(), "complete is gated by `claimed`");
         *slot = Some(outcome);
+        self.finished.store(true, Ordering::Release);
         drop(slot);
         self.done.notify_all();
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
     }
 }
 
 impl QueryTicket {
-    /// True once the answer is available ([`QueryTicket::wait`] would
-    /// return without blocking).
+    /// True once the outcome is available ([`QueryTicket::wait`] would
+    /// return without blocking). A cheap atomic load — poll freely.
+    pub fn is_done(&self) -> bool {
+        self.state.finished.load(Ordering::Acquire)
+    }
+
+    /// Alias of [`QueryTicket::is_done`], kept from the PR 4 surface.
     pub fn is_ready(&self) -> bool {
-        self.state.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).is_some()
+        self.is_done()
     }
 
     /// Blocks until the submitted query has finished and returns its
-    /// answer (or its error; a query that panicked on its worker yields
-    /// [`QueryError::AsyncQueryPanicked`]).
+    /// answer — or its error: a query that panicked on its worker yields
+    /// [`QueryError::AsyncQueryPanicked`], a cancelled one
+    /// [`QueryError::Cancelled`], one shed at its deadline
+    /// [`QueryError::DeadlineExceeded`], and one whose job was discarded
+    /// without running [`QueryError::AsyncQueryDropped`].
     pub fn wait(self) -> Result<QueryAnswer> {
         let mut slot = self.state.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
@@ -209,6 +295,111 @@ impl QueryTicket {
             }
             slot = self.state.done.wait(slot).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
+    }
+
+    /// As [`QueryTicket::wait`], but gives up after `timeout`: `None`
+    /// means the query is still pending and the ticket remains usable —
+    /// retry, [`QueryTicket::cancel`] it, or fall back to
+    /// [`QueryTicket::wait`]. The outcome is left in place (cloned out),
+    /// so expiry and completion can race freely: whichever wins, a later
+    /// wait sees the same answer.
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> Option<Result<QueryAnswer>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.state.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return Some(outcome.clone());
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (guard, timed_out) = self
+                .state
+                .done
+                .wait_timeout(slot, remaining)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            slot = guard;
+            if timed_out.timed_out() && slot.is_none() {
+                return None;
+            }
+        }
+    }
+
+    /// Requests best-effort cancellation: if the job is still queued it is
+    /// dequeued and never runs; if it is already running, the flag is
+    /// checked between planning and execution; a query deep in its
+    /// propagation runs to completion (the answer is then discarded in
+    /// favour of the earlier [`QueryError::Cancelled`] outcome only if the
+    /// cancellation completed the ticket first — first completion wins).
+    /// Returns `false` when the ticket had already finished, `true` when
+    /// the request was registered in time (the definitive outcome is
+    /// whatever [`QueryTicket::wait`] returns).
+    pub fn cancel(&self) -> bool {
+        if self.is_done() {
+            return false;
+        }
+        self.state.cancelled.store(true, Ordering::Release);
+        if let Some(pool) = self.pool.upgrade() {
+            // Dequeue if not started: dropping the removed job box fires
+            // its guard, which observes the flag and completes the ticket
+            // with `Cancelled`.
+            pool.cancel_queued(self.handle);
+        }
+        true
+    }
+}
+
+/// Completes a submitted query's ticket on **every** exit path and
+/// performs the serving bookkeeping exactly once. Owned by the job
+/// closure: if the job runs, the body completes the ticket explicitly;
+/// if the job box is dropped without running — pool shut down mid-burst,
+/// cancellation dequeue, or an unwind discarding the queue — the guard's
+/// `Drop` completes it with [`QueryError::Cancelled`] or
+/// [`QueryError::AsyncQueryDropped`], so `wait` can never block forever.
+struct TicketGuard {
+    state: Arc<TicketState>,
+    pending: Arc<AtomicUsize>,
+    metrics: Arc<crate::serving::Metrics>,
+}
+
+impl TicketGuard {
+    /// Completes the ticket (first completion wins), releasing the
+    /// processor's admission slot and tallying the async outcome
+    /// **before** the waiters are woken, so metrics observed after `wait`
+    /// returns always include this query.
+    fn finish(&self, outcome: Result<QueryAnswer>) {
+        use crate::serving::AsyncOutcome;
+        if self.state.claimed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let kind = match &outcome {
+            Ok(_) => AsyncOutcome::Completed,
+            Err(QueryError::Cancelled) => AsyncOutcome::Cancelled,
+            Err(QueryError::AsyncQueryDropped) => AsyncOutcome::Dropped,
+            Err(QueryError::DeadlineExceeded) => AsyncOutcome::DeadlineExpired,
+            Err(QueryError::AsyncQueryPanicked) => AsyncOutcome::Panicked,
+            Err(_) => AsyncOutcome::Failed,
+        };
+        self.pending.fetch_sub(1, Ordering::AcqRel);
+        self.metrics.record_async_finished(kind);
+        self.state.complete(outcome);
+    }
+}
+
+impl Drop for TicketGuard {
+    fn drop(&mut self) {
+        if self.state.claimed.load(Ordering::Acquire) {
+            return;
+        }
+        let error = if self.state.is_cancelled() {
+            QueryError::Cancelled
+        } else if std::thread::panicking() {
+            QueryError::AsyncQueryPanicked
+        } else {
+            QueryError::AsyncQueryDropped
+        };
+        self.finish(Err(error));
     }
 }
 
@@ -285,6 +476,12 @@ pub struct QueryProcessor<'a> {
     ktimes_cache: Arc<Mutex<cache::KTimesFieldCache>>,
     /// Round-robin shard assignment for submitted queries.
     submit_seq: AtomicUsize,
+    /// Serving registry: admission outcomes, per-plan latencies, the
+    /// planner-calibration EWMAs. Shared with every submitted job.
+    metrics: Arc<crate::serving::Metrics>,
+    /// Asynchronous submissions accepted but not yet finished — the
+    /// counter [`EngineConfig::max_queue_depth`] bounds.
+    pending: Arc<AtomicUsize>,
 }
 
 impl<'a> QueryProcessor<'a> {
@@ -299,7 +496,13 @@ impl<'a> QueryProcessor<'a> {
     /// construct once and reuse, rather than per query.
     pub fn with_config(db: &'a TrajectoryDatabase, config: EngineConfig) -> Self {
         let threads = config.effective_num_threads();
-        let pool = (threads > 1).then(|| Arc::new(crate::parallel::WorkerPool::new(threads)));
+        // The owned pool is a serving pool: per-shard queues bounded by
+        // the admission depth, and a backlog that is shed (tickets
+        // completed with `AsyncQueryDropped`) rather than drained if the
+        // processor is dropped mid-burst.
+        let pool = (threads > 1).then(|| {
+            Arc::new(crate::parallel::WorkerPool::with_queue_depth(threads, config.max_queue_depth))
+        });
         let capacity = config.effective_cache_capacity();
         QueryProcessor {
             db,
@@ -308,6 +511,8 @@ impl<'a> QueryProcessor<'a> {
             cache: Arc::new(Mutex::new(cache::BackwardFieldCache::new(capacity))),
             ktimes_cache: Arc::new(Mutex::new(cache::KTimesFieldCache::new(capacity))),
             submit_seq: AtomicUsize::new(0),
+            metrics: Arc::new(crate::serving::Metrics::new()),
+            pending: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -337,7 +542,17 @@ impl<'a> QueryProcessor<'a> {
             executor: self.executor(),
             cache: &self.cache,
             ktimes_cache: &self.ktimes_cache,
+            metrics: &self.metrics,
         }
+    }
+
+    /// A snapshot of the processor's serving counters: submissions
+    /// accepted / rejected / cancelled / dropped / shed, per-plan queue
+    /// wait, plan and execute latencies, cache traffic and the
+    /// planner-calibration EWMAs. Every [`QueryProcessor::submit`] and
+    /// every execution (synchronous or asynchronous) is accounted here.
+    pub fn metrics(&self) -> crate::serving::MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Executes a declarative query spec — **the** synchronous entry
@@ -372,49 +587,159 @@ impl<'a> QueryProcessor<'a> {
     }
 
     /// Submits a query for asynchronous evaluation and returns a
-    /// [`QueryTicket`] **immediately** — the async front door.
+    /// [`QueryTicket`] **immediately** — the async front door, now behind
+    /// admission control.
     ///
     /// The query runs as one job on the processor's worker pool (or the
-    /// process-wide shared pool when the processor evaluates inline),
-    /// capturing an owned snapshot of the database handle, the
-    /// configuration and the shared field caches — so the ticket outlives
-    /// the borrow rules: callers can submit a burst, keep inserting into
-    /// their own database handle, and await the answers later.
-    /// Within the job the evaluation is sequential (pool workers do not
-    /// re-shard onto the pool); a burst of submissions parallelizes
-    /// **across** queries instead, round-robin over the shard queues.
-    /// Submitted queries share the processor's caches, so a burst over
-    /// the same window sweeps its backward field once.
-    pub fn submit(&self, spec: &QuerySpec) -> QueryTicket {
+    /// process-wide shared pool — sized from the host's available
+    /// parallelism — when the processor evaluates inline), capturing an
+    /// owned snapshot of the database handle, the configuration and the
+    /// shared field caches — so the ticket outlives the borrow rules:
+    /// callers can submit a burst, keep inserting into their own database
+    /// handle, and await the answers later. Within the job the evaluation
+    /// is sequential (pool workers do not re-shard onto the pool); a
+    /// burst of submissions parallelizes **across** queries instead,
+    /// round-robin over the shard queues. Submitted queries share the
+    /// processor's caches, so a burst over the same window sweeps its
+    /// backward field once.
+    ///
+    /// With [`EngineConfig::max_queue_depth`] set, a submission beyond
+    /// the pending bound is rejected with [`QueryError::QueueFull`]
+    /// without blocking; with [`EngineConfig::default_deadline`] set,
+    /// accepted jobs whose queue wait exceeds the deadline are shed with
+    /// [`QueryError::DeadlineExceeded`]. Every outcome is tallied in
+    /// [`QueryProcessor::metrics`].
+    ///
+    /// ```
+    /// use ust_core::prelude::*;
+    /// use ust_markov::{CsrMatrix, MarkovChain};
+    /// use ust_space::TimeSet;
+    ///
+    /// let chain = MarkovChain::from_csr(CsrMatrix::from_dense(&[
+    ///     vec![0.0, 0.0, 1.0],
+    ///     vec![0.6, 0.0, 0.4],
+    ///     vec![0.0, 0.8, 0.2],
+    /// ]).unwrap()).unwrap();
+    /// let mut db = TrajectoryDatabase::new(chain);
+    /// db.insert(UncertainObject::with_single_observation(
+    ///     7, Observation::exact(0, 3, 1).unwrap(),
+    /// )).unwrap();
+    /// let window = QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3)).unwrap();
+    /// let spec = Query::exists().window(window).build().unwrap();
+    ///
+    /// // `submit` is fallible: a full queue rejects instead of blocking.
+    /// let processor = QueryProcessor::with_config(
+    ///     &db,
+    ///     EngineConfig::default().with_num_threads(2).with_max_queue_depth(1),
+    /// );
+    /// let ticket = processor.submit(&spec)?; // admitted (bound is 1)
+    /// match processor.submit(&spec) {
+    ///     Ok(second) => { second.wait()?; }                 // first one already finished
+    ///     Err(QueryError::QueueFull { limit }) => assert_eq!(limit, 1),
+    ///     Err(e) => return Err(e),
+    /// }
+    /// assert!((ticket.wait()?.probabilities().unwrap()[0].probability - 0.864).abs() < 1e-12);
+    /// # Ok::<(), ust_core::QueryError>(())
+    /// ```
+    pub fn submit(&self, spec: &QuerySpec) -> Result<QueryTicket> {
+        let limit = self.config.max_queue_depth;
+        if limit > 0 {
+            // Reserve an admission slot, or reject without blocking.
+            let mut current = self.pending.load(Ordering::Relaxed);
+            loop {
+                if current >= limit {
+                    self.metrics.record_rejected(spec.predicate(), spec.strategy());
+                    return Err(QueryError::QueueFull { limit });
+                }
+                match self.pending.compare_exchange_weak(
+                    current,
+                    current + 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(observed) => current = observed,
+                }
+            }
+        } else {
+            self.pending.fetch_add(1, Ordering::AcqRel);
+        }
+        self.metrics.record_accepted();
+
         let state = Arc::new(TicketState::new());
-        let job_state = Arc::clone(&state);
+        let guard = TicketGuard {
+            state: Arc::clone(&state),
+            pending: Arc::clone(&self.pending),
+            metrics: Arc::clone(&self.metrics),
+        };
         let db = self.db.clone();
         let config = self.config;
         let cache = Arc::clone(&self.cache);
         let ktimes_cache = Arc::clone(&self.ktimes_cache);
+        let metrics = Arc::clone(&self.metrics);
         let spec = spec.clone();
         let pool = match &self.pool {
             Some(pool) => Arc::clone(pool),
-            None => crate::parallel::shared_pool(1),
+            // Inline processors fall back to the process-wide pool, sized
+            // from the host rather than a single funnel worker (a 1-wide
+            // shared pool would serialize every inline submitter in the
+            // process behind one queue).
+            None => crate::parallel::shared_pool(
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            ),
         };
         let shard = self.submit_seq.fetch_add(1, Ordering::Relaxed);
-        pool.spawn(
-            shard,
-            Box::new(move || {
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let ctx = plan::ExecContext {
-                        db: &db,
-                        config: &config,
-                        executor: crate::parallel::ShardedExecutor::sequential(),
-                        cache: &cache,
-                        ktimes_cache: &ktimes_cache,
-                    };
-                    plan::execute(&ctx, &spec, &mut EvalStats::new())
-                }));
-                job_state.complete(outcome.unwrap_or(Err(QueryError::AsyncQueryPanicked)));
-            }),
-        );
-        QueryTicket { state }
+        let submitted_at = std::time::Instant::now();
+        let deadline = self.config.default_deadline;
+        let job: Box<dyn FnOnce() + Send + 'static> = Box::new(move || {
+            let queue_wait = submitted_at.elapsed();
+            if guard.state.is_cancelled() {
+                guard.finish(Err(QueryError::Cancelled));
+                return;
+            }
+            if deadline.is_some_and(|d| queue_wait > d) {
+                guard.finish(Err(QueryError::DeadlineExceeded));
+                return;
+            }
+            let ticket_state = Arc::clone(&guard.state);
+            let interrupt = move || {
+                if ticket_state.is_cancelled() {
+                    return Some(QueryError::Cancelled);
+                }
+                if deadline.is_some_and(|d| submitted_at.elapsed() > d) {
+                    return Some(QueryError::DeadlineExceeded);
+                }
+                None
+            };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let ctx = plan::ExecContext {
+                    db: &db,
+                    config: &config,
+                    executor: crate::parallel::ShardedExecutor::sequential(),
+                    cache: &cache,
+                    ktimes_cache: &ktimes_cache,
+                    metrics: &metrics,
+                };
+                plan::execute_monitored(
+                    &ctx,
+                    &spec,
+                    &mut EvalStats::new(),
+                    Some(&interrupt),
+                    Some(queue_wait),
+                )
+            }));
+            guard.finish(outcome.unwrap_or(Err(QueryError::AsyncQueryPanicked)));
+        });
+        // The pending counter above *is* the admission decision, so the
+        // enqueue itself is unconditional: `try_spawn`'s per-shard bound
+        // protects direct pool users, but a submission that already holds
+        // an admission slot must never be refused for a reason the
+        // caller would misread as `QueueFull` (e.g. a caller filling a
+        // shard through the public `pool()` handle, or a pool shutting
+        // down mid-burst — the latter completes the ticket with
+        // `AsyncQueryDropped` through the job's drop guard either way).
+        let handle = pool.spawn(shard, job);
+        Ok(QueryTicket { state, pool: Arc::downgrade(&pool), handle })
     }
 
     /// PST∃Q for every object, object-based (forward) evaluation.
@@ -557,5 +882,234 @@ impl<'a> QueryProcessor<'a> {
             QueryAnswer::Ranked(r) => Ok(r),
             _ => unreachable!("top-k decorator yields a ranking"),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::UncertainObject;
+    use crate::observation::Observation;
+    use ust_markov::testutil;
+    use ust_space::TimeSet;
+
+    fn small_db(seed: u64, n_states: usize, n_objects: usize) -> TrajectoryDatabase {
+        let chain = testutil::random_chain(seed, n_states, 3);
+        let mut rng = testutil::rng(seed + 1);
+        let mut db = TrajectoryDatabase::new(chain);
+        for i in 0..n_objects {
+            let dist = testutil::random_distribution(&mut rng, n_states, 2);
+            db.insert(UncertainObject::with_single_observation(
+                i as u64,
+                Observation::uncertain(0, dist).unwrap(),
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    fn exists_spec(db: &TrajectoryDatabase) -> QuerySpec {
+        let window =
+            QueryWindow::from_states(db.num_states(), [1usize, 2], TimeSet::interval(2, 4))
+                .unwrap();
+        Query::exists().window(window).build().unwrap()
+    }
+
+    /// Satellite bugfix: a panicking job leaves the shared field-cache
+    /// mutex poisoned; every lock site must recover via
+    /// `PoisonError::into_inner` so the processor keeps serving.
+    #[test]
+    fn poisoned_cache_mutex_recovers_after_panicking_job() {
+        let db = small_db(41, 12, 6);
+        let processor =
+            QueryProcessor::with_config(&db, EngineConfig::default().with_num_threads(2));
+        let spec = exists_spec(&db);
+        // Baseline through the cache so a QB sweep is resident.
+        let forced = Query::exists()
+            .window(spec.window().clone())
+            .strategy(Strategy::QueryBased)
+            .build()
+            .unwrap();
+        let baseline = processor.execute(&forced).unwrap();
+
+        // Poison the cache mutex: a scoped job panics while holding it.
+        let cache = Arc::clone(&processor.cache);
+        let pool = Arc::clone(processor.pool().unwrap());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_scoped(vec![Box::new(move || {
+                let _guard = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                panic!("poison the cache lock");
+            }) as Box<dyn FnOnce() + Send + '_>]);
+        }));
+        assert!(caught.is_err(), "the panic re-raises on the submitter");
+        assert!(processor.cache.is_poisoned(), "the mutex really is poisoned");
+
+        // Both the synchronous and the asynchronous paths must still
+        // serve — and bit-identically to the pre-poison answer.
+        let again = processor.execute(&forced).unwrap();
+        assert_eq!(again, baseline);
+        let ticket = processor.submit(&forced).unwrap();
+        assert_eq!(ticket.wait().unwrap(), baseline);
+    }
+
+    /// Satellite bugfix: an inline processor's submit must not funnel the
+    /// whole process through a single shared worker — the fallback pool is
+    /// sized from the host's available parallelism.
+    #[test]
+    fn inline_submit_fallback_pool_is_sized_from_available_parallelism() {
+        let db = small_db(43, 10, 4);
+        let processor = QueryProcessor::new(&db);
+        assert!(processor.pool().is_none(), "inline processors own no pool");
+        let ticket = processor.submit(&exists_spec(&db)).unwrap();
+        ticket.wait().unwrap();
+        let expected = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert!(
+            crate::parallel::shared_pool(1).num_threads() >= expected,
+            "the shared fallback pool must hold at least the host parallelism"
+        );
+    }
+
+    /// Satellite bugfix: a job discarded without running must still
+    /// complete its ticket (with `AsyncQueryDropped`), not strand `wait`.
+    #[test]
+    fn dropped_job_completes_its_ticket() {
+        let db = small_db(47, 10, 4);
+        let spec = exists_spec(&db);
+        let processor = QueryProcessor::with_config(
+            &db,
+            EngineConfig::default().with_num_threads(2).with_max_queue_depth(8),
+        );
+        let pool = processor.pool().unwrap();
+        // Gate both workers so the submitted job stays queued.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        for shard in 0..2 {
+            let gate = Arc::clone(&gate);
+            pool.spawn(
+                shard,
+                Box::new(move || {
+                    let (lock, cv) = &*gate;
+                    let mut open = lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    while !*open {
+                        open = cv.wait(open).unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                }),
+            );
+        }
+        while pool.stats().queued_jobs > 0 {
+            std::thread::yield_now();
+        }
+        let ticket = processor.submit(&spec).unwrap();
+        assert!(!ticket.is_done());
+        assert_eq!(processor.metrics().in_flight, 1);
+        // Begin shutdown while the job is still queued, then release the
+        // gates: the discard-mode workers shed the backlog instead of
+        // running it — pool shut down mid-burst.
+        pool.close_queues();
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        cv.notify_all();
+        assert_eq!(ticket.wait(), Err(QueryError::AsyncQueryDropped));
+        let metrics = processor.metrics();
+        assert_eq!(metrics.dropped, 1);
+        assert_eq!(metrics.in_flight, 0);
+    }
+
+    /// Deadline admission: a job that starts after its deadline is shed
+    /// with `DeadlineExceeded` instead of executing stale work.
+    #[test]
+    fn expired_deadline_sheds_the_query() {
+        let db = small_db(53, 10, 4);
+        let spec = exists_spec(&db);
+        let processor = QueryProcessor::with_config(
+            &db,
+            EngineConfig::default()
+                .with_num_threads(2)
+                .with_default_deadline(std::time::Duration::ZERO),
+        );
+        // A zero deadline has always expired by the time the job starts.
+        let ticket = processor.submit(&spec).unwrap();
+        assert_eq!(ticket.wait(), Err(QueryError::DeadlineExceeded));
+        let metrics = processor.metrics();
+        assert_eq!(metrics.deadline_expired, 1);
+        assert_eq!(metrics.in_flight, 0);
+    }
+
+    /// The serving registry accounts for every submission and execution.
+    #[test]
+    fn metrics_account_for_sync_and_async_queries() {
+        let db = small_db(59, 12, 5);
+        let spec = exists_spec(&db);
+        let processor =
+            QueryProcessor::with_config(&db, EngineConfig::default().with_num_threads(2));
+        processor.execute(&spec).unwrap();
+        let tickets: Vec<_> = (0..3).map(|_| processor.submit(&spec).unwrap()).collect();
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+        let metrics = processor.metrics();
+        assert_eq!(metrics.submitted, 3);
+        assert_eq!(metrics.accepted, 3);
+        assert_eq!(metrics.rejected, 0);
+        assert_eq!(metrics.completed, 3);
+        assert_eq!(metrics.in_flight, 0);
+        assert_eq!(metrics.finished() + metrics.in_flight, metrics.accepted);
+        assert_eq!(metrics.executions, 4, "one sync + three async executions");
+        let total_plan_execs: u64 = metrics.plans.iter().map(|p| p.executions).sum();
+        assert_eq!(total_plan_execs, 4);
+        let entry = metrics
+            .plans
+            .iter()
+            .find(|p| p.predicate == crate::query::Predicate::Exists)
+            .expect("the exists plan shape was recorded");
+        assert!(entry.execute_secs > 0.0);
+        assert!(entry.queue_wait_secs >= 0.0);
+        assert!(!metrics.to_string().is_empty());
+    }
+
+    /// `explain` renders the calibration state and the planner only
+    /// consults the EWMA when the knob is on.
+    #[test]
+    fn explain_renders_calibration_state() {
+        let db = small_db(61, 12, 6);
+        let window =
+            QueryWindow::from_states(db.num_states(), [1usize, 2], TimeSet::interval(2, 4))
+                .unwrap();
+        let bounded = Query::exists().window(window).threshold(0.4).build().unwrap();
+        let processor = QueryProcessor::new(&db);
+        let plan = processor.explain(&bounded).unwrap();
+        assert!(!plan.calibrated, "cold registry: flat prior");
+        assert_eq!(plan.ob_discount, 0.5);
+        assert!(plan.to_string().contains("ob ×0.500 (prior)"));
+        assert!(!plan.to_string().contains("ewma"));
+        // Execute once: the EWMA gets a sample, but with calibration off
+        // the planner keeps the flat prior.
+        processor.execute(&bounded).unwrap();
+        let plan = processor.explain(&bounded).unwrap();
+        assert!(!plan.calibrated);
+        assert_eq!(plan.ob_discount, 0.5);
+
+        // Same workload with calibration on: after one bounded run the
+        // learned ratio replaces the prior.
+        let calibrated = QueryProcessor::with_config(
+            &db,
+            EngineConfig::default().with_planner_calibration(true),
+        );
+        calibrated.execute(&bounded).unwrap();
+        let plan = calibrated.explain(&bounded).unwrap();
+        assert!(plan.calibrated, "one bounded sample calibrates the next plan");
+        assert!(plan.to_string().contains("(ewma)"));
+        assert!(
+            plan.ob_discount_learned || plan.qb_discount_learned,
+            "the executed strategy's discount is marked learned"
+        );
+        // An untrained strategy's discount is still honestly a prior.
+        if !plan.ob_discount_learned {
+            assert!(plan.to_string().contains("ob ×0.500 (prior)"));
+        }
+        let discounts = calibrated.metrics();
+        assert!(
+            discounts.ob_discount.is_some() || discounts.qb_discount.is_some(),
+            "the executed strategy recorded its step ratio"
+        );
     }
 }

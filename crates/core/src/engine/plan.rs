@@ -37,9 +37,26 @@
 //!
 //! The estimates are deliberately coarse — they rank strategies, they do
 //! not predict wall clock.
+//!
+//! ## Calibration
+//!
+//! Every execution reports its *observed* propagation-step count back to
+//! the processor's [`crate::serving::Metrics`] registry, which keeps a
+//! per-strategy EWMA of `observed / estimated` steps for bound-decorated
+//! (threshold / top-k) queries. With
+//! [`EngineConfig::calibrate_planner`] enabled, that learned ratio
+//! replaces the flat `×0.5` early-termination prior — the
+//! planner's discount then reflects how much early termination the
+//! workload actually exhibits instead of assuming half. Calibration is
+//! **off by default** because a learned discount can legitimately flip a
+//! borderline plan between two executions of the same spec, and the two
+//! exact strategies agree only to rounding, not to the bit; the default
+//! keeps plans bit-stable across a session. The EWMA state is recorded
+//! and rendered by [`crate::engine::QueryProcessor::explain`] either way.
 
 use std::fmt;
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use crate::database::TrajectoryDatabase;
 use crate::engine::cache::{BackwardFieldCache, KTimesFieldCache};
@@ -55,8 +72,10 @@ use crate::ranking::{self, RankedObject};
 use crate::stats::EvalStats;
 use crate::threshold;
 
-/// Discount applied to the object-based step estimate when a threshold or
-/// top-k decorator lets the forward sweep terminate on bound decisions.
+/// Cold-start discount applied to the object-based step estimate when a
+/// threshold or top-k decorator lets the forward sweep terminate on bound
+/// decisions — superseded by the measured per-strategy EWMA once
+/// [`EngineConfig::calibrate_planner`] is on and samples exist.
 const OB_EARLY_TERMINATION_DISCOUNT: f64 = 0.5;
 
 /// A strategy's estimated evaluation cost, in matrix-entry touches.
@@ -111,8 +130,32 @@ pub struct QueryPlan {
     pub window_times: usize,
     /// The propagation horizon `t_end = max(T▫)`.
     pub horizon: u32,
+    /// The step discount applied to the object-based estimate: `1.0` for
+    /// unbounded decorators, the flat prior or the learned EWMA under a
+    /// threshold/top-k decorator.
+    pub ob_discount: f64,
+    /// True when [`QueryPlan::ob_discount`] is the EWMA-learned ratio
+    /// rather than a prior (requires
+    /// [`EngineConfig::calibrate_planner`] plus at least one observed
+    /// bound-decorated object-based run).
+    pub ob_discount_learned: bool,
+    /// The step discount applied to the query-based estimate (learned;
+    /// `1.0` cold — the backward sweep has no early termination, so this
+    /// mostly absorbs estimator slack).
+    pub qb_discount: f64,
+    /// True when [`QueryPlan::qb_discount`] is EWMA-learned (see
+    /// [`QueryPlan::ob_discount_learned`]).
+    pub qb_discount_learned: bool,
+    /// True when at least one discount is EWMA-learned — each discount's
+    /// own `*_learned` flag says which; a strategy without samples still
+    /// falls back to its prior.
+    pub calibrated: bool,
     /// One-line human-readable rationale for the choice.
     pub reason: String,
+    /// Undiscounted propagation-step estimates `(object-based,
+    /// query-based)` in vector steps — the denominators of the
+    /// calibration ratios fed back to [`crate::serving::Metrics`].
+    pub(crate) raw_steps: (f64, f64),
 }
 
 impl fmt::Display for QueryPlan {
@@ -146,10 +189,18 @@ impl fmt::Display for QueryPlan {
             self.extendable_fields,
             self.num_models,
         )?;
-        write!(
+        writeln!(
             f,
             "  monte-carlo  : {:>12.0} walk transitions (approximate; explicit override only)",
             self.monte_carlo.step_ops
+        )?;
+        write!(
+            f,
+            "  calibration  : ob ×{:.3} ({}), qb ×{:.3} ({})",
+            self.ob_discount,
+            if self.ob_discount_learned { "ewma" } else { "prior" },
+            self.qb_discount,
+            if self.qb_discount_learned { "ewma" } else { "prior" },
         )
     }
 }
@@ -168,6 +219,9 @@ pub(crate) struct ExecContext<'a> {
     pub cache: &'a Mutex<BackwardFieldCache>,
     /// The PSTkQ level-field cache shared across queries.
     pub ktimes_cache: &'a Mutex<KTimesFieldCache>,
+    /// The processor's serving registry: every execution is recorded
+    /// here, and the planner reads its calibration EWMAs.
+    pub metrics: &'a crate::serving::Metrics,
 }
 
 /// Maps a spec's optional object-id subset to ascending database indices;
@@ -226,6 +280,11 @@ fn plan_on(ctx: &ExecContext<'_>, spec: &QuerySpec, indices: &[usize]) -> Result
     let mut mc = CostEstimate::default();
     let mut cached_fields = 0usize;
     let mut extendable_fields = 0usize;
+    // Undiscounted vector-step totals (no nnz scaling) — the unit the
+    // EvalStats counters report in, so observed/estimated ratios are
+    // dimensionless.
+    let mut ob_raw_steps = 0.0f64;
+    let mut qb_raw_steps = 0.0f64;
 
     for group in &groups {
         let chain = &ctx.db.models()[group.model];
@@ -233,6 +292,7 @@ fn plan_on(ctx: &ExecContext<'_>, spec: &QuerySpec, indices: &[usize]) -> Result
         let spans: f64 = group.anchors.iter().map(|&a| (t_end - a.min(t_end)) as f64).sum::<f64>();
         ob.step_ops += spans * levels * nnz;
         ob.object_ops += group.members.len() as f64;
+        ob_raw_steps += spans * levels;
 
         let min_anchor = group.anchors.iter().copied().min().unwrap_or(t_end);
         let full_sweep = (t_end - min_anchor.min(t_end)) as f64;
@@ -259,6 +319,7 @@ fn plan_on(ctx: &ExecContext<'_>, spec: &QuerySpec, indices: &[usize]) -> Result
             (false, None) => full_sweep,
         };
         qb.step_ops += sweep * levels * nnz;
+        qb_raw_steps += sweep * levels;
         qb.object_ops += group
             .members
             .iter()
@@ -270,17 +331,32 @@ fn plan_on(ctx: &ExecContext<'_>, spec: &QuerySpec, indices: &[usize]) -> Result
         mc.step_ops += spans * spec.sampling().samples as f64;
     }
 
-    if matches!(spec.decorator(), Decorator::Threshold(_) | Decorator::TopK(_)) {
-        ob.step_ops *= OB_EARLY_TERMINATION_DISCOUNT;
-    }
+    let bounded = matches!(spec.decorator(), Decorator::Threshold(_) | Decorator::TopK(_));
+    let (learned_ob, learned_qb) = ctx.metrics.discounts();
+    let calibrate = ctx.config.calibrate_planner;
+    let ob_discount_learned = bounded && calibrate && learned_ob.is_some();
+    let qb_discount_learned = bounded && calibrate && learned_qb.is_some();
+    let calibrated = ob_discount_learned || qb_discount_learned;
+    let (ob_discount, qb_discount) = if bounded {
+        if calibrate {
+            (learned_ob.unwrap_or(OB_EARLY_TERMINATION_DISCOUNT), learned_qb.unwrap_or(1.0))
+        } else {
+            (OB_EARLY_TERMINATION_DISCOUNT, 1.0)
+        }
+    } else {
+        (1.0, 1.0)
+    };
+    ob.step_ops *= ob_discount;
+    qb.step_ops *= qb_discount;
 
     let (strategy, reason) = match spec.strategy() {
         Strategy::Auto => {
+            let how = if calibrated { "auto (ewma-calibrated)" } else { "auto" };
             if qb.total() <= ob.total() {
                 (
                     Strategy::QueryBased,
                     format!(
-                        "auto: backward sweep amortizes over {} object(s){}",
+                        "{how}: backward sweep amortizes over {} object(s){}",
                         indices.len(),
                         if cached_fields > 0 {
                             format!(", {cached_fields} field(s) cache-resident")
@@ -293,7 +369,7 @@ fn plan_on(ctx: &ExecContext<'_>, spec: &QuerySpec, indices: &[usize]) -> Result
                 (
                     Strategy::ObjectBased,
                     format!(
-                        "auto: {} forward pass(es) estimated cheaper than the backward sweep",
+                        "{how}: {} forward pass(es) estimated cheaper than the backward sweep",
                         indices.len()
                     ),
                 )
@@ -314,7 +390,13 @@ fn plan_on(ctx: &ExecContext<'_>, spec: &QuerySpec, indices: &[usize]) -> Result
         window_states: window.states().count(),
         window_times: window.num_times(),
         horizon: t_end,
+        ob_discount,
+        ob_discount_learned,
+        qb_discount,
+        qb_discount_learned,
+        calibrated,
         reason,
+        raw_steps: (ob_raw_steps, qb_raw_steps),
     })
 }
 
@@ -326,25 +408,110 @@ pub(crate) fn execute(
     spec: &QuerySpec,
     stats: &mut EvalStats,
 ) -> Result<QueryAnswer> {
-    let indices = resolve_indices(ctx.db, spec)?;
-    let strategy = match spec.strategy() {
-        Strategy::Auto => plan_on(ctx, spec, &indices)?.strategy,
-        explicit => explicit,
+    execute_monitored(ctx, spec, stats, None, None)
+}
+
+/// [`execute`] with the serving hooks attached: `interrupt` is polled
+/// once **between planning and execution** (how a submitted query's
+/// cancellation flag or deadline sheds the expensive phase), and
+/// `queue_wait` is the submission-to-start latency attributed to the
+/// execution's metrics record. Every call — synchronous or asynchronous —
+/// reports plan time, execute time and cache counters to
+/// [`crate::serving::Metrics`]. The cost model itself runs when it has a
+/// consumer: always for [`Strategy::Auto`] (it decides the strategy),
+/// and for explicit strategies only under
+/// [`EngineConfig::calibrate_planner`] (where its estimates feed the
+/// EWMA) — an explicit strategy with calibration off skips the
+/// cost-model and residency probes entirely, exactly like the pre-metrics
+/// execute path, and records `estimated_steps = 0`.
+/// An execution shed by `interrupt` is *not* recorded as an execution;
+/// the async lifecycle counters account for it instead.
+pub(crate) fn execute_monitored(
+    ctx: &ExecContext<'_>,
+    spec: &QuerySpec,
+    stats: &mut EvalStats,
+    interrupt: Option<&(dyn Fn() -> Option<QueryError> + '_)>,
+    queue_wait: Option<Duration>,
+) -> Result<QueryAnswer> {
+    let bounded = matches!(spec.decorator(), Decorator::Threshold(_) | Decorator::TopK(_));
+    let need_plan = spec.strategy() == Strategy::Auto || ctx.config.calibrate_planner;
+    let plan_start = Instant::now();
+    let planned = resolve_indices(ctx.db, spec).and_then(|indices| {
+        if need_plan {
+            plan_on(ctx, spec, &indices).map(|plan| (indices, Some(plan)))
+        } else {
+            Ok((indices, None))
+        }
+    });
+    let (indices, plan) = match planned {
+        Ok(v) => v,
+        Err(e) => {
+            ctx.metrics.record_execution(&crate::serving::ExecutionRecord {
+                predicate: spec.predicate(),
+                strategy: spec.strategy(),
+                bounded,
+                estimated_steps: 0.0,
+                plan_time: plan_start.elapsed(),
+                execute_time: Duration::ZERO,
+                queue_wait,
+                delta: EvalStats::new(),
+                ok: false,
+            });
+            return Err(e);
+        }
     };
+    let plan_time = plan_start.elapsed();
+    let strategy = plan.as_ref().map_or(spec.strategy(), |p| p.strategy);
+    debug_assert!(strategy != Strategy::Auto, "Auto always plans");
+    if let Some(check) = interrupt {
+        if let Some(err) = check() {
+            return Err(err);
+        }
+    }
+    let before = stats.clone();
+    let exec_start = Instant::now();
+    let result = dispatch(ctx, spec, strategy, &indices, stats);
+    ctx.metrics.record_execution(&crate::serving::ExecutionRecord {
+        predicate: spec.predicate(),
+        strategy,
+        bounded,
+        estimated_steps: plan.as_ref().map_or(0.0, |p| match strategy {
+            Strategy::ObjectBased => p.raw_steps.0,
+            Strategy::QueryBased => p.raw_steps.1,
+            _ => 0.0,
+        }),
+        plan_time,
+        execute_time: exec_start.elapsed(),
+        queue_wait,
+        delta: stats.delta_since(&before),
+        ok: result.is_ok(),
+    });
+    result
+}
+
+/// Runs a spec under an already-resolved strategy — the strategy ×
+/// predicate × decorator dispatch onto the batched, sharded drivers.
+fn dispatch(
+    ctx: &ExecContext<'_>,
+    spec: &QuerySpec,
+    strategy: Strategy,
+    indices: &[usize],
+    stats: &mut EvalStats,
+) -> Result<QueryAnswer> {
     let window = spec.window();
 
     let sampling = spec.sampling();
     match spec.predicate() {
         Predicate::Exists => match spec.decorator() {
             Decorator::Probabilities => Ok(QueryAnswer::Probabilities(exists_probs(
-                ctx, strategy, &indices, window, sampling, stats,
+                ctx, strategy, indices, window, sampling, stats,
             )?)),
             Decorator::Threshold(tau) => {
                 let ids = if strategy == Strategy::ObjectBased {
                     // The bound-based driver: early termination per object,
                     // exactly the legacy `threshold_query` path.
                     let outcomes =
-                        ctx.executor.run_on(&indices, ctx.config, stats, |pipeline, idxs| {
+                        ctx.executor.run_on(indices, ctx.config, stats, |pipeline, idxs| {
                             threshold::threshold_batched(pipeline, ctx.db, idxs, window, tau)
                         })?;
                     indices
@@ -355,7 +522,7 @@ pub(crate) fn execute(
                         .collect()
                 } else {
                     accepted_ids(
-                        exists_probs(ctx, strategy, &indices, window, sampling, stats)?,
+                        exists_probs(ctx, strategy, indices, window, sampling, stats)?,
                         tau,
                     )
                 };
@@ -367,14 +534,10 @@ pub(crate) fn execute(
                     if k == 0 {
                         Vec::new()
                     } else {
-                        let candidates = ctx.executor.run_on(
-                            &indices,
-                            ctx.config,
-                            stats,
-                            |pipeline, idxs| {
+                        let candidates =
+                            ctx.executor.run_on(indices, ctx.config, stats, |pipeline, idxs| {
                                 ranking::topk_batched(pipeline, ctx.db, idxs, window, k)
-                            },
-                        )?;
+                            })?;
                         let mut best: Vec<RankedObject> = Vec::with_capacity(k + 1);
                         for candidate in candidates {
                             ranking::insert_ranked(&mut best, candidate, k);
@@ -383,7 +546,7 @@ pub(crate) fn execute(
                     }
                 } else {
                     ranking::select_topk(
-                        exists_probs(ctx, strategy, &indices, window, sampling, stats)?,
+                        exists_probs(ctx, strategy, indices, window, sampling, stats)?,
                         k,
                     )
                 };
@@ -391,11 +554,11 @@ pub(crate) fn execute(
             }
         },
         Predicate::ForAll => {
-            let probs = forall_probs(ctx, strategy, &indices, window, sampling, stats)?;
+            let probs = forall_probs(ctx, strategy, indices, window, sampling, stats)?;
             Ok(decorate(probs, spec.decorator()))
         }
         Predicate::KTimes(k) => {
-            let dists = ktimes_dists(ctx, strategy, &indices, window, sampling, stats)?;
+            let dists = ktimes_dists(ctx, strategy, indices, window, sampling, stats)?;
             match spec.decorator() {
                 Decorator::Probabilities => Ok(QueryAnswer::Distributions(dists)),
                 decorator => Ok(decorate(at_least(dists, k), decorator)),

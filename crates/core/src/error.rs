@@ -75,6 +75,26 @@ pub enum QueryError {
     /// An asynchronously submitted query panicked on its worker; the panic
     /// was converted into this error instead of poisoning the pool.
     AsyncQueryPanicked,
+    /// An asynchronously submitted query's job was dropped without ever
+    /// running (its pool shut down mid-burst, or the job was discarded
+    /// during an unwind); the ticket is completed with this error so
+    /// `wait` can never block forever on abandoned work.
+    AsyncQueryDropped,
+    /// The processor's admission bound rejected a submission: the number
+    /// of pending asynchronous queries already equals
+    /// `EngineConfig::max_queue_depth`. The caller is never blocked —
+    /// retry later, shed the request, or raise the bound.
+    QueueFull {
+        /// The configured pending-submission bound that was hit.
+        limit: usize,
+    },
+    /// The query was cancelled via `QueryTicket::cancel` before it
+    /// produced an answer.
+    Cancelled,
+    /// The query spent longer than `EngineConfig::default_deadline`
+    /// between submission and execution, so the worker shed it instead of
+    /// evaluating a request the caller has likely abandoned.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for QueryError {
@@ -116,6 +136,16 @@ impl fmt::Display for QueryError {
             }
             QueryError::AsyncQueryPanicked => {
                 write!(f, "asynchronously submitted query panicked on its worker")
+            }
+            QueryError::AsyncQueryDropped => {
+                write!(f, "asynchronously submitted query was dropped before it ran")
+            }
+            QueryError::QueueFull { limit } => {
+                write!(f, "submission rejected: {limit} asynchronous queries already pending")
+            }
+            QueryError::Cancelled => write!(f, "query was cancelled before completion"),
+            QueryError::DeadlineExceeded => {
+                write!(f, "query exceeded its deadline before execution started")
             }
         }
     }
@@ -160,5 +190,9 @@ mod tests {
         assert!(!QueryError::ImpossibleEvidence.to_string().is_empty());
         assert!(!QueryError::NoObservations.to_string().is_empty());
         assert!(!QueryError::EmptyTemporalWindow.to_string().is_empty());
+        assert!(QueryError::QueueFull { limit: 16 }.to_string().contains("16"));
+        assert!(!QueryError::AsyncQueryDropped.to_string().is_empty());
+        assert!(!QueryError::Cancelled.to_string().is_empty());
+        assert!(!QueryError::DeadlineExceeded.to_string().is_empty());
     }
 }

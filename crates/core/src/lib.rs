@@ -64,6 +64,7 @@ pub mod parallel;
 pub mod prefilter;
 pub mod query;
 pub mod ranking;
+pub mod serving;
 pub mod smoothing;
 pub mod stats;
 pub mod streaming;
@@ -75,11 +76,13 @@ pub use engine::{CostEstimate, EngineConfig, QueryPlan, QueryProcessor, QueryTic
 pub use error::{QueryError, Result};
 pub use object::UncertainObject;
 pub use observation::Observation;
+pub use parallel::PoolStats;
 pub use query::{
     Decorator, ObjectKDistribution, ObjectProbability, Predicate, Query, QueryAnswer, QueryBuilder,
     QuerySpec, QueryWindow, Strategy,
 };
 pub use ranking::RankedObject;
+pub use serving::{MetricsSnapshot, PlanMetrics};
 pub use stats::EvalStats;
 
 /// Convenience prelude re-exporting the types most applications need.
@@ -90,10 +93,12 @@ pub mod prelude {
     pub use crate::error::{QueryError, Result};
     pub use crate::object::UncertainObject;
     pub use crate::observation::Observation;
+    pub use crate::parallel::PoolStats;
     pub use crate::query::{
         Decorator, ObjectKDistribution, ObjectProbability, Predicate, Query, QueryAnswer,
         QueryBuilder, QuerySpec, QueryWindow, Strategy,
     };
     pub use crate::ranking::RankedObject;
+    pub use crate::serving::{MetricsSnapshot, PlanMetrics};
     pub use crate::stats::EvalStats;
 }

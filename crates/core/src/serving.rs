@@ -1,0 +1,515 @@
+//! Serving-side accounting: per-plan latency counters, admission
+//! outcomes, and the planner-calibration feedback loop.
+//!
+//! A [`crate::engine::QueryProcessor`] that serves traffic needs more than
+//! per-query [`EvalStats`]: it needs to know, *across* queries, how many
+//! submissions were accepted, rejected at the admission bound, cancelled
+//! or shed at their deadline, and how long each `(predicate, strategy)`
+//! plan shape actually spends waiting in the queue, planning and
+//! executing. [`Metrics`] is that registry — one per processor, shared
+//! with every asynchronously submitted job, inspected through
+//! [`crate::engine::QueryProcessor::metrics`] which returns an owned
+//! [`MetricsSnapshot`].
+//!
+//! ## The calibration loop
+//!
+//! The registry also closes the loop PR 4's planner left open: every
+//! executed query reports how many propagation steps it *actually*
+//! performed against the step count the cost model *estimated*, and the
+//! per-strategy EWMA of that ratio replaces the planner's flat `×0.5`
+//! early-termination discount once samples exist (see
+//! [`crate::engine::plan`]). The feedback is deliberately fed by the
+//! deterministic [`EvalStats`] counters, **not** by wall-clock time:
+//! counter-based calibration makes a given query sequence plan
+//! reproducibly (the property suite depends on it), whereas wall-clock
+//! feedback would make strategy choice — and therefore result bits, since
+//! the two exact strategies agree only to rounding — depend on machine
+//! noise. Because even deterministic calibration can legitimately flip a
+//! borderline plan between two executions of the same spec, the planner
+//! only *consults* the EWMA when
+//! [`crate::engine::EngineConfig::calibrate_planner`] is enabled; the
+//! registry records a sample whenever a cost model was computed for the
+//! executed query (always under [`Strategy::Auto`]; for explicit
+//! strategies only when calibration is on, since the estimates are
+//! otherwise skipped), and
+//! [`crate::engine::QueryProcessor::explain`] renders the state either
+//! way.
+//!
+//! Wall-clock latencies (queue wait, plan time, execute time) are still
+//! recorded per plan shape — they are what a serving dashboard watches —
+//! they just never influence planning.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::query::{Predicate, Strategy};
+use crate::stats::EvalStats;
+
+/// Smoothing factor of the calibration EWMAs: a new observation
+/// contributes 30%, so roughly the last ~7 queries dominate the estimate.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Floor applied to observed step ratios so a fully-pruned query cannot
+/// teach the planner that a strategy is free.
+const MIN_STEP_RATIO: f64 = 0.01;
+
+/// An exponentially weighted moving average over `f64` observations.
+#[derive(Debug, Clone, Copy, Default)]
+struct Ewma {
+    value: f64,
+    samples: u64,
+}
+
+impl Ewma {
+    fn observe(&mut self, x: f64) {
+        self.value =
+            if self.samples == 0 { x } else { EWMA_ALPHA * x + (1.0 - EWMA_ALPHA) * self.value };
+        self.samples += 1;
+    }
+
+    fn get(&self) -> Option<f64> {
+        (self.samples > 0).then_some(self.value)
+    }
+}
+
+/// How an asynchronously submitted query left the system — the
+/// classification [`Metrics::record_async_finished`] tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AsyncOutcome {
+    /// The job ran to completion with an answer.
+    Completed,
+    /// The job ran and returned a query error.
+    Failed,
+    /// Cancelled via `QueryTicket::cancel` before producing an answer.
+    Cancelled,
+    /// Dropped without running (pool shut down, job discarded).
+    Dropped,
+    /// Shed because its queue wait exceeded the configured deadline.
+    DeadlineExpired,
+    /// Panicked on its worker.
+    Panicked,
+}
+
+/// One execution's worth of accounting handed to
+/// [`Metrics::record_execution`] by the execution engine.
+#[derive(Debug, Clone)]
+pub(crate) struct ExecutionRecord {
+    /// The query predicate.
+    pub predicate: Predicate,
+    /// The strategy that actually ran — or, for a query that failed
+    /// before its plan was resolved (index resolution / planning error),
+    /// the *requested* strategy, which may still be [`Strategy::Auto`].
+    pub strategy: Strategy,
+    /// True when a threshold/top-k decorator allowed early termination —
+    /// the runs the discount EWMA learns from.
+    pub bounded: bool,
+    /// The cost model's *undiscounted* estimate of propagation steps for
+    /// the strategy that ran (vector steps, not matrix-entry touches).
+    pub estimated_steps: f64,
+    /// Time spent resolving indices and planning.
+    pub plan_time: Duration,
+    /// Time spent executing the resolved plan.
+    pub execute_time: Duration,
+    /// Queue wait between submission and job start (async runs only).
+    pub queue_wait: Option<Duration>,
+    /// The evaluation counters this execution accumulated.
+    pub delta: EvalStats,
+    /// Whether the execution succeeded.
+    pub ok: bool,
+}
+
+/// Aggregated counters for one `(predicate, strategy)` plan shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanMetrics {
+    /// The query predicate of this plan shape.
+    pub predicate: Predicate,
+    /// The evaluation strategy of this plan shape. Executions are keyed
+    /// by the strategy that *ran*; rejections — and executions that
+    /// failed before their plan was resolved — by the one *requested*,
+    /// which may be [`Strategy::Auto`] (such queries never reached a
+    /// concrete strategy).
+    pub strategy: Strategy,
+    /// Executions recorded (synchronous calls and asynchronous jobs).
+    pub executions: u64,
+    /// Executions that returned an error.
+    pub failures: u64,
+    /// Submissions rejected at the admission bound.
+    pub rejections: u64,
+    /// Total seconds submitted jobs of this shape waited in the queue.
+    pub queue_wait_secs: f64,
+    /// Total seconds spent planning (index resolution + cost model).
+    pub plan_secs: f64,
+    /// Total seconds spent executing resolved plans.
+    pub execute_secs: f64,
+    /// Backward-field cache hits accumulated by these executions.
+    pub cache_hits: u64,
+    /// Backward-field cache misses accumulated by these executions.
+    pub cache_misses: u64,
+    /// Forward transitions accumulated by these executions.
+    pub transitions: u64,
+    /// Backward steps accumulated by these executions.
+    pub backward_steps: u64,
+}
+
+impl PlanMetrics {
+    fn new(predicate: Predicate, strategy: Strategy) -> PlanMetrics {
+        PlanMetrics {
+            predicate,
+            strategy,
+            executions: 0,
+            failures: 0,
+            rejections: 0,
+            queue_wait_secs: 0.0,
+            plan_secs: 0.0,
+            execute_secs: 0.0,
+            cache_hits: 0,
+            cache_misses: 0,
+            transitions: 0,
+            backward_steps: 0,
+        }
+    }
+
+    /// Mean execute wall per execution, if any were recorded.
+    pub fn mean_execute_secs(&self) -> Option<f64> {
+        (self.executions > 0).then(|| self.execute_secs / self.executions as f64)
+    }
+}
+
+/// An owned, consistent copy of a processor's serving counters at one
+/// instant, returned by [`crate::engine::QueryProcessor::metrics`].
+///
+/// The lifecycle totals obey two identities the test suite pins:
+/// `submitted == accepted + rejected`, and `accepted` equals the sum of
+/// the terminal outcomes (`completed + failed + cancelled + dropped +
+/// deadline_expired + panicked`) plus [`MetricsSnapshot::in_flight`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Asynchronous submissions attempted (accepted or rejected).
+    pub submitted: u64,
+    /// Submissions admitted to a queue.
+    pub accepted: u64,
+    /// Submissions rejected with `QueryError::QueueFull`.
+    pub rejected: u64,
+    /// Accepted queries that completed with an answer.
+    pub completed: u64,
+    /// Accepted queries that completed with a query error.
+    pub failed: u64,
+    /// Accepted queries cancelled before completion.
+    pub cancelled: u64,
+    /// Accepted queries dropped without running.
+    pub dropped: u64,
+    /// Accepted queries shed at their deadline.
+    pub deadline_expired: u64,
+    /// Accepted queries that panicked on their worker.
+    pub panicked: u64,
+    /// Accepted queries still queued or running.
+    pub in_flight: u64,
+    /// Executions recorded in total — synchronous `execute` calls plus
+    /// asynchronous job bodies.
+    pub executions: u64,
+    /// Learned object-based step discount (actual / estimated forward
+    /// steps under bound decorators), once observed.
+    pub ob_discount: Option<f64>,
+    /// Learned query-based step discount, once observed.
+    pub qb_discount: Option<f64>,
+    /// Per-`(predicate, strategy)` counters, in first-seen order.
+    pub plans: Vec<PlanMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// The counters for one plan shape, if it was ever recorded.
+    pub fn plan(&self, predicate: Predicate, strategy: Strategy) -> Option<&PlanMetrics> {
+        self.plans.iter().find(|p| p.predicate == predicate && p.strategy == strategy)
+    }
+
+    /// Sum of the terminal async outcomes — equals
+    /// `accepted - in_flight`.
+    pub fn finished(&self) -> u64 {
+        self.completed
+            + self.failed
+            + self.cancelled
+            + self.dropped
+            + self.deadline_expired
+            + self.panicked
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "serving: {} submitted = {} accepted + {} rejected; {} completed, {} failed, \
+             {} cancelled, {} dropped, {} deadline-expired, {} panicked, {} in flight",
+            self.submitted,
+            self.accepted,
+            self.rejected,
+            self.completed,
+            self.failed,
+            self.cancelled,
+            self.dropped,
+            self.deadline_expired,
+            self.panicked,
+            self.in_flight,
+        )?;
+        write!(
+            f,
+            "calibration: ob discount {}, qb discount {}",
+            self.ob_discount.map_or("—".into(), |d| format!("{d:.3}")),
+            self.qb_discount.map_or("—".into(), |d| format!("{d:.3}")),
+        )?;
+        for p in &self.plans {
+            write!(
+                f,
+                "\n  {:?}/{:?}: {} exec ({} failed, {} rejected), wait {:.3}s, plan {:.3}s, \
+                 run {:.3}s, cache {}/{}",
+                p.predicate,
+                p.strategy,
+                p.executions,
+                p.failures,
+                p.rejections,
+                p.queue_wait_secs,
+                p.plan_secs,
+                p.execute_secs,
+                p.cache_hits,
+                p.cache_misses,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    submitted: u64,
+    accepted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    dropped: u64,
+    deadline_expired: u64,
+    panicked: u64,
+    in_flight: u64,
+    executions: u64,
+    ob_discount: Ewma,
+    qb_discount: Ewma,
+    plans: Vec<PlanMetrics>,
+}
+
+impl Inner {
+    fn plan_entry(&mut self, predicate: Predicate, strategy: Strategy) -> &mut PlanMetrics {
+        if let Some(pos) =
+            self.plans.iter().position(|p| p.predicate == predicate && p.strategy == strategy)
+        {
+            return &mut self.plans[pos];
+        }
+        self.plans.push(PlanMetrics::new(predicate, strategy));
+        self.plans.last_mut().expect("just pushed")
+    }
+}
+
+/// The per-processor serving registry. Interior-mutable and shared (via
+/// `Arc`) with every asynchronous job; all locking recovers from poison,
+/// so a panicking job can never wedge the accounting.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+impl Metrics {
+    /// A fresh, zeroed registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Tallies a rejected submission. `submitted` is bumped under the
+    /// same lock acquisition as the rejection so the
+    /// `submitted == accepted + rejected` identity holds in **every**
+    /// snapshot, including one taken concurrently with a submit.
+    pub(crate) fn record_rejected(&self, predicate: Predicate, requested: Strategy) {
+        let mut inner = self.lock();
+        inner.submitted += 1;
+        inner.rejected += 1;
+        inner.plan_entry(predicate, requested).rejections += 1;
+    }
+
+    /// Tallies an admitted submission (see [`Metrics::record_rejected`]
+    /// for why `submitted` is bumped here rather than separately).
+    pub(crate) fn record_accepted(&self) {
+        let mut inner = self.lock();
+        inner.submitted += 1;
+        inner.accepted += 1;
+        inner.in_flight += 1;
+    }
+
+    pub(crate) fn record_async_finished(&self, outcome: AsyncOutcome) {
+        let mut inner = self.lock();
+        inner.in_flight = inner.in_flight.saturating_sub(1);
+        match outcome {
+            AsyncOutcome::Completed => inner.completed += 1,
+            AsyncOutcome::Failed => inner.failed += 1,
+            AsyncOutcome::Cancelled => inner.cancelled += 1,
+            AsyncOutcome::Dropped => inner.dropped += 1,
+            AsyncOutcome::DeadlineExpired => inner.deadline_expired += 1,
+            AsyncOutcome::Panicked => inner.panicked += 1,
+        }
+    }
+
+    pub(crate) fn record_execution(&self, record: &ExecutionRecord) {
+        let mut inner = self.lock();
+        inner.executions += 1;
+        if record.ok && record.bounded && record.estimated_steps > 0.0 {
+            let actual = match record.strategy {
+                Strategy::ObjectBased => Some(record.delta.transitions),
+                Strategy::QueryBased => Some(record.delta.backward_steps),
+                _ => None,
+            };
+            if let Some(actual) = actual {
+                let ratio = (actual as f64 / record.estimated_steps).clamp(MIN_STEP_RATIO, 1.0);
+                match record.strategy {
+                    Strategy::ObjectBased => inner.ob_discount.observe(ratio),
+                    Strategy::QueryBased => inner.qb_discount.observe(ratio),
+                    _ => unreachable!("filtered above"),
+                }
+            }
+        }
+        let entry = inner.plan_entry(record.predicate, record.strategy);
+        entry.executions += 1;
+        if !record.ok {
+            entry.failures += 1;
+        }
+        if let Some(wait) = record.queue_wait {
+            entry.queue_wait_secs += wait.as_secs_f64();
+        }
+        entry.plan_secs += record.plan_time.as_secs_f64();
+        entry.execute_secs += record.execute_time.as_secs_f64();
+        entry.cache_hits += record.delta.cache_hits;
+        entry.cache_misses += record.delta.cache_misses;
+        entry.transitions += record.delta.transitions;
+        entry.backward_steps += record.delta.backward_steps;
+    }
+
+    /// The learned `(object-based, query-based)` step discounts the
+    /// planner substitutes for its flat `×0.5` prior when calibration is
+    /// enabled; `None` until the respective strategy has served a
+    /// bound-decorated query.
+    pub fn discounts(&self) -> (Option<f64>, Option<f64>) {
+        let inner = self.lock();
+        (inner.ob_discount.get(), inner.qb_discount.get())
+    }
+
+    /// An owned, consistent snapshot of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            submitted: inner.submitted,
+            accepted: inner.accepted,
+            rejected: inner.rejected,
+            completed: inner.completed,
+            failed: inner.failed,
+            cancelled: inner.cancelled,
+            dropped: inner.dropped,
+            deadline_expired: inner.deadline_expired,
+            panicked: inner.panicked,
+            in_flight: inner.in_flight,
+            executions: inner.executions,
+            ob_discount: inner.ob_discount.get(),
+            qb_discount: inner.qb_discount.get(),
+            plans: inner.plans.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(
+        strategy: Strategy,
+        bounded: bool,
+        est: f64,
+        actual: u64,
+        ok: bool,
+    ) -> ExecutionRecord {
+        ExecutionRecord {
+            predicate: Predicate::Exists,
+            strategy,
+            bounded,
+            estimated_steps: est,
+            plan_time: Duration::from_micros(5),
+            execute_time: Duration::from_micros(50),
+            queue_wait: Some(Duration::from_micros(10)),
+            delta: EvalStats {
+                transitions: actual,
+                backward_steps: actual,
+                cache_hits: 1,
+                ..Default::default()
+            },
+            ok,
+        }
+    }
+
+    #[test]
+    fn lifecycle_identities_hold() {
+        let m = Metrics::new();
+        for _ in 0..3 {
+            m.record_accepted();
+        }
+        m.record_rejected(Predicate::Exists, Strategy::Auto);
+        m.record_rejected(Predicate::ForAll, Strategy::Auto);
+        m.record_async_finished(AsyncOutcome::Completed);
+        m.record_async_finished(AsyncOutcome::Cancelled);
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 5);
+        assert_eq!(s.accepted + s.rejected, 5);
+        assert_eq!(s.finished() + s.in_flight, s.accepted);
+        assert_eq!(s.in_flight, 1);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.plan(Predicate::Exists, Strategy::Auto).unwrap().rejections, 1);
+        assert!(s.to_string().contains("5 submitted"));
+    }
+
+    #[test]
+    fn execution_records_accumulate_per_plan() {
+        let m = Metrics::new();
+        m.record_execution(&record(Strategy::ObjectBased, false, 100.0, 40, true));
+        m.record_execution(&record(Strategy::ObjectBased, false, 100.0, 40, false));
+        m.record_execution(&record(Strategy::QueryBased, false, 100.0, 70, true));
+        let s = m.snapshot();
+        assert_eq!(s.executions, 3);
+        let ob = s.plan(Predicate::Exists, Strategy::ObjectBased).unwrap();
+        assert_eq!(ob.executions, 2);
+        assert_eq!(ob.failures, 1);
+        assert_eq!(ob.cache_hits, 2);
+        assert!(ob.queue_wait_secs > 0.0);
+        assert!(ob.mean_execute_secs().unwrap() > 0.0);
+        // Unbounded executions never touch the discount EWMAs.
+        assert_eq!(s.ob_discount, None);
+        assert_eq!(s.qb_discount, None);
+    }
+
+    #[test]
+    fn discount_ewma_learns_from_bounded_runs_only() {
+        let m = Metrics::new();
+        m.record_execution(&record(Strategy::ObjectBased, true, 100.0, 40, true));
+        let (ob, qb) = m.discounts();
+        assert!((ob.unwrap() - 0.4).abs() < 1e-12, "first sample seeds the EWMA");
+        assert_eq!(qb, None);
+        m.record_execution(&record(Strategy::ObjectBased, true, 100.0, 80, true));
+        let (ob, _) = m.discounts();
+        assert!((ob.unwrap() - (0.3 * 0.8 + 0.7 * 0.4)).abs() < 1e-12);
+        // Failures and zero estimates are ignored; ratios are clamped.
+        m.record_execution(&record(Strategy::QueryBased, true, 0.0, 10, true));
+        m.record_execution(&record(Strategy::QueryBased, true, 100.0, 10, false));
+        assert_eq!(m.discounts().1, None);
+        m.record_execution(&record(Strategy::QueryBased, true, 10.0, 500, true));
+        assert!((m.discounts().1.unwrap() - 1.0).abs() < 1e-12, "ratio clamps at 1");
+        m.record_execution(&record(Strategy::MonteCarlo, true, 10.0, 5, true));
+        assert!((m.discounts().1.unwrap() - 1.0).abs() < 1e-12, "MC never calibrates");
+    }
+}

@@ -62,6 +62,26 @@ impl EvalStats {
     pub fn total_steps(&self) -> u64 {
         self.transitions + self.backward_steps
     }
+
+    /// The counters accumulated since `before` was snapshotted — the
+    /// per-query delta [`crate::serving::Metrics`] attributes to one
+    /// execution when the caller reuses a long-lived `EvalStats`.
+    /// Saturating, so a mismatched snapshot cannot panic in release or
+    /// debug builds.
+    pub fn delta_since(&self, before: &EvalStats) -> EvalStats {
+        EvalStats {
+            transitions: self.transitions.saturating_sub(before.transitions),
+            rows_traversed: self.rows_traversed.saturating_sub(before.rows_traversed),
+            backward_steps: self.backward_steps.saturating_sub(before.backward_steps),
+            objects_evaluated: self.objects_evaluated.saturating_sub(before.objects_evaluated),
+            objects_pruned: self.objects_pruned.saturating_sub(before.objects_pruned),
+            early_terminations: self.early_terminations.saturating_sub(before.early_terminations),
+            cache_hits: self.cache_hits.saturating_sub(before.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(before.cache_misses),
+            fields_shared: self.fields_shared.saturating_sub(before.fields_shared),
+            pruned_mass: (self.pruned_mass - before.pruned_mass).max(0.0),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -101,5 +121,22 @@ mod tests {
     fn default_is_zero() {
         assert_eq!(EvalStats::new(), EvalStats::default());
         assert_eq!(EvalStats::new().total_steps(), 0);
+    }
+
+    #[test]
+    fn delta_since_subtracts_a_snapshot() {
+        let before = EvalStats { transitions: 3, cache_hits: 1, ..Default::default() };
+        let mut after = before.clone();
+        after.transitions += 4;
+        after.backward_steps += 2;
+        after.cache_hits += 1;
+        after.pruned_mass += 0.25;
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.transitions, 4);
+        assert_eq!(delta.backward_steps, 2);
+        assert_eq!(delta.cache_hits, 1);
+        assert!((delta.pruned_mass - 0.25).abs() < 1e-12);
+        // A mismatched (newer) snapshot saturates instead of wrapping.
+        assert_eq!(before.delta_since(&after).transitions, 0);
     }
 }

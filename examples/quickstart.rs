@@ -78,7 +78,7 @@ fn main() -> Result<()> {
         .iter()
         .map(|&tau| {
             let spec = Query::exists().window(window.clone()).threshold(tau).build()?;
-            Ok(processor.submit(&spec))
+            processor.submit(&spec)
         })
         .collect::<Result<_>>()?;
     for (tau, ticket) in taus.into_iter().zip(tickets) {

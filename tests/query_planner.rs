@@ -253,7 +253,7 @@ proptest! {
             ];
             // Submit the whole burst first, then await: the answers must be
             // the synchronous ones, bit for bit.
-            let tickets: Vec<_> = specs.iter().map(|s| processor.submit(s)).collect();
+            let tickets: Vec<_> = specs.iter().map(|s| processor.submit(s).unwrap()).collect();
             for (spec, ticket) in specs.iter().zip(tickets) {
                 let sync = processor.execute(spec).unwrap();
                 let awaited = ticket.wait().unwrap();
@@ -463,7 +463,7 @@ fn submitted_queries_run_on_a_database_snapshot() {
     let window = QueryWindow::from_states(10, [1usize, 2], TimeSet::interval(2, 4)).unwrap();
     let processor = QueryProcessor::with_config(&db, EngineConfig::default().with_num_threads(2));
     let spec = Query::exists().window(window).build().unwrap();
-    let ticket = processor.submit(&spec);
+    let ticket = processor.submit(&spec).unwrap();
     let answer = ticket.wait().unwrap();
     assert_eq!(answer.len(), 6, "the submission snapshotted six objects");
     drop(processor);
@@ -490,13 +490,13 @@ fn tickets_surface_errors_and_readiness() {
     let late = QueryProcessor::new(&late_db);
     let window = QueryWindow::from_states(10, [1usize], TimeSet::at(3)).unwrap();
     let spec = Query::exists().window(window.clone()).build().unwrap();
-    let ticket = late.submit(&spec);
+    let ticket = late.submit(&spec).unwrap();
     assert!(ticket.wait().is_err(), "validation errors surface through the ticket");
 
-    let ticket = processor.submit(&spec);
+    let ticket = processor.submit(&spec).unwrap();
     let answer = ticket.wait().unwrap();
     assert_eq!(answer.len(), 3);
-    let ticket = processor.submit(&spec);
+    let ticket = processor.submit(&spec).unwrap();
     while !ticket.is_ready() {
         std::thread::yield_now();
     }

@@ -1,0 +1,360 @@
+//! Serving-layer tests: admission control (`QueueFull` backpressure),
+//! ticket liveness (`wait_timeout`, `cancel`, dropped jobs), and the
+//! metrics registry's accounting identities.
+//!
+//! The pinned invariants:
+//!
+//! * **Bounded bursts reject exactly the overflow** — with
+//!   `max_queue_depth = D` and the workers gated, a burst of `2·D`
+//!   submissions accepts `D` tickets and returns `QueryError::QueueFull`
+//!   for the other `D`, without ever blocking the submitter; the accepted
+//!   tickets then resolve bit-identically to `execute`.
+//! * **Tickets stay live** — `wait_timeout` expiry leaves the ticket
+//!   usable and races completion safely; `cancel` either dequeues the job
+//!   or interrupts it between plan and execute; every path completes the
+//!   ticket, so `wait` can never block forever.
+//! * **Accounting identities** — `submitted == accepted + rejected` and
+//!   `accepted == finished + in_flight`, with every rejected and
+//!   cancelled submission leaving the processor's caches bit-for-bit
+//!   consistent with a fresh processor.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use ust::prelude::*;
+use ust_core::engine::monte_carlo::MonteCarlo;
+use ust_core::Strategy;
+use ust_markov::testutil;
+use ust_space::TimeSet;
+
+fn random_db(seed: u64, n: usize, objects: usize) -> TrajectoryDatabase {
+    let chain = MarkovChain::from_csr({
+        let mut rng = testutil::rng(seed);
+        testutil::random_stochastic(&mut rng, n, 3)
+    })
+    .unwrap();
+    let mut rng = testutil::rng(seed ^ 0xA11CE);
+    let mut db = TrajectoryDatabase::new(chain);
+    for i in 0..objects {
+        let dist = testutil::random_distribution(&mut rng, n, 2);
+        db.insert(UncertainObject::with_single_observation(
+            i as u64,
+            Observation::uncertain(0, dist).unwrap(),
+        ))
+        .unwrap();
+    }
+    db
+}
+
+fn window(n: usize) -> QueryWindow {
+    QueryWindow::from_states(n, [1usize, 2], TimeSet::interval(3, 5)).unwrap()
+}
+
+/// Blocks every pool worker until the returned closure is called, so
+/// submitted jobs stay deterministically queued.
+fn gate_workers(processor: &QueryProcessor<'_>) -> impl FnOnce() + 'static {
+    let pool = processor.pool().expect("gated tests need an owned pool");
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    for shard in 0..pool.num_threads() {
+        let gate = Arc::clone(&gate);
+        pool.spawn(
+            shard,
+            Box::new(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                while !*open {
+                    open = cv.wait(open).unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            }),
+        );
+    }
+    // Wait until every gate job has been popped: the queues are now empty
+    // and every worker is parked inside its gate.
+    while pool.stats().queued_jobs > 0 {
+        std::thread::yield_now();
+    }
+    move || {
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        cv.notify_all();
+    }
+}
+
+fn assert_bit_eq(a: &QueryAnswer, b: &QueryAnswer, what: &str) {
+    match (a, b) {
+        (QueryAnswer::Probabilities(x), QueryAnswer::Probabilities(y)) => {
+            assert_eq!(x.len(), y.len(), "{what}");
+            for (p, q) in x.iter().zip(y) {
+                assert_eq!(p.object_id, q.object_id, "{what}");
+                assert_eq!(p.probability.to_bits(), q.probability.to_bits(), "{what}");
+            }
+        }
+        (QueryAnswer::ObjectIds(x), QueryAnswer::ObjectIds(y)) => assert_eq!(x, y, "{what}"),
+        (QueryAnswer::Ranked(x), QueryAnswer::Ranked(y)) => {
+            assert_eq!(x.len(), y.len(), "{what}");
+            for (p, q) in x.iter().zip(y) {
+                assert_eq!(p.object_id, q.object_id, "{what}");
+                assert_eq!(p.probability.to_bits(), q.probability.to_bits(), "{what}");
+            }
+        }
+        (QueryAnswer::Distributions(x), QueryAnswer::Distributions(y)) => {
+            assert_eq!(x.len(), y.len(), "{what}");
+            for (p, q) in x.iter().zip(y) {
+                for (u, v) in p.probabilities.iter().zip(&q.probabilities) {
+                    assert_eq!(u.to_bits(), v.to_bits(), "{what}");
+                }
+            }
+        }
+        _ => panic!("{what}: different answer variants"),
+    }
+}
+
+/// The acceptance scenario: a burst of `2 × max_queue_depth` submissions
+/// rejects exactly the overflow without blocking, and every accepted
+/// ticket resolves bit-identically to `execute`.
+#[test]
+fn burst_rejects_exactly_the_overflow() {
+    const DEPTH: usize = 4;
+    let db = random_db(71, 12, 9);
+    let w = window(12);
+    let processor = QueryProcessor::with_config(
+        &db,
+        EngineConfig::default().with_num_threads(2).with_max_queue_depth(DEPTH),
+    );
+    let spec = Query::exists().window(w.clone()).strategy(Strategy::QueryBased).build().unwrap();
+
+    let release = gate_workers(&processor);
+    let mut tickets = Vec::new();
+    let mut rejected = 0usize;
+    for _ in 0..2 * DEPTH {
+        match processor.submit(&spec) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(QueryError::QueueFull { limit }) => {
+                assert_eq!(limit, DEPTH);
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert_eq!(tickets.len(), DEPTH, "exactly the depth bound is admitted");
+    assert_eq!(rejected, DEPTH, "exactly the overflow is rejected");
+
+    release();
+    let reference = processor.execute(&spec).unwrap();
+    for ticket in tickets {
+        assert_bit_eq(&ticket.wait().unwrap(), &reference, "accepted ticket vs execute");
+    }
+    let metrics = processor.metrics();
+    assert_eq!(metrics.submitted, 2 * DEPTH as u64);
+    assert_eq!(metrics.accepted, DEPTH as u64);
+    assert_eq!(metrics.rejected, DEPTH as u64);
+    assert_eq!(metrics.completed, DEPTH as u64);
+    assert_eq!(metrics.in_flight, 0);
+    assert_eq!(metrics.finished(), metrics.accepted);
+    let rejections: u64 = metrics.plans.iter().map(|p| p.rejections).sum();
+    assert_eq!(rejections, DEPTH as u64, "rejections are attributed per plan shape");
+    // Backpressure clears with the backlog: the next submission is
+    // admitted again.
+    processor.submit(&spec).unwrap().wait().unwrap();
+}
+
+/// `wait_timeout` expiry leaves the ticket usable; completion and expiry
+/// can race freely and a later wait sees the same outcome.
+#[test]
+fn wait_timeout_expiry_races_completion_safely() {
+    let db = random_db(73, 10, 5);
+    let w = window(10);
+    let processor = QueryProcessor::with_config(&db, EngineConfig::default().with_num_threads(2));
+    let spec = Query::exists().window(w).strategy(Strategy::QueryBased).build().unwrap();
+
+    let release = gate_workers(&processor);
+    let ticket = processor.submit(&spec).unwrap();
+    // The workers are gated, so the job cannot have run yet: a short
+    // timeout must expire and leave the ticket pending.
+    assert_eq!(ticket.wait_timeout(Duration::from_millis(5)), None);
+    assert!(!ticket.is_done());
+    release();
+    // Now the completion side wins (eventually). The outcome stays in
+    // place, so repeated timed waits and the final consuming wait all see
+    // the same answer.
+    let timed = loop {
+        if let Some(outcome) = ticket.wait_timeout(Duration::from_millis(50)) {
+            break outcome;
+        }
+    };
+    let timed = timed.unwrap();
+    let again = ticket.wait_timeout(Duration::ZERO).unwrap().unwrap();
+    assert_bit_eq(&timed, &again, "repeated timed waits");
+    assert_bit_eq(&ticket.wait().unwrap(), &timed, "consuming wait");
+}
+
+/// `cancel` dequeues a not-yet-started job; completed tickets refuse.
+#[test]
+fn cancel_dequeues_queued_jobs_and_reports_finished_ones() {
+    let db = random_db(79, 10, 5);
+    let w = window(10);
+    let processor = QueryProcessor::with_config(&db, EngineConfig::default().with_num_threads(2));
+    let spec = Query::exists().window(w).build().unwrap();
+
+    let release = gate_workers(&processor);
+    let doomed = processor.submit(&spec).unwrap();
+    assert!(doomed.cancel(), "registered before completion");
+    release();
+    assert_eq!(doomed.wait(), Err(QueryError::Cancelled));
+
+    let survivor = processor.submit(&spec).unwrap();
+    while !survivor.is_done() {
+        std::thread::yield_now();
+    }
+    assert!(!survivor.cancel(), "already finished — nothing to cancel");
+    assert!(survivor.wait().is_ok());
+
+    let metrics = processor.metrics();
+    assert_eq!(metrics.cancelled, 1);
+    assert_eq!(metrics.completed, 1);
+    assert_eq!(metrics.in_flight, 0);
+}
+
+/// A slow query really exercises the timeout path end to end (the gated
+/// tests above pin the semantics; this one pins them against a genuinely
+/// running job).
+#[test]
+fn wait_timeout_on_a_running_query() {
+    let db = random_db(83, 14, 6);
+    let w = window(14);
+    let processor = QueryProcessor::with_config(&db, EngineConfig::default().with_num_threads(2));
+    let slow = Query::exists()
+        .window(w)
+        .strategy(Strategy::MonteCarlo)
+        .sampling(MonteCarlo::new(400_000, 7))
+        .build()
+        .unwrap();
+    let ticket = processor.submit(&slow).unwrap();
+    // Whichever way the race goes, the ticket must stay coherent.
+    match ticket.wait_timeout(Duration::from_micros(50)) {
+        None => assert!(ticket.wait().is_ok(), "late wait still completes"),
+        Some(outcome) => {
+            let answer = outcome.unwrap();
+            assert_bit_eq(&ticket.wait().unwrap(), &answer, "timed then consuming wait");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Rejected and cancelled submissions leave both the metrics
+    /// accounting and the shared field caches consistent: the identities
+    /// hold exactly, and subsequent executions are bit-identical to a
+    /// fresh processor's.
+    #[test]
+    fn rejected_and_cancelled_submissions_leave_state_consistent(
+        seed in 0u64..10_000,
+        n in 6usize..=10,
+        objects in 3usize..=8,
+        depth in 1usize..=3,
+    ) {
+        let db = random_db(seed, n, objects);
+        let w = window(n);
+        let processor = QueryProcessor::with_config(
+            &db,
+            EngineConfig::default().with_num_threads(2).with_max_queue_depth(depth),
+        );
+        let specs = [
+            Query::exists().window(w.clone()).strategy(Strategy::QueryBased).build().unwrap(),
+            Query::forall().window(w.clone()).strategy(Strategy::ObjectBased).build().unwrap(),
+            Query::ktimes(1).window(w.clone()).strategy(Strategy::QueryBased).build().unwrap(),
+            Query::exists().window(w.clone()).threshold(0.4).build().unwrap(),
+            Query::exists().window(w.clone()).top_k(3).build().unwrap(),
+        ];
+
+        let release = gate_workers(&processor);
+        let mut tickets = Vec::new();
+        let mut rejected = 0u64;
+        for spec in &specs {
+            match processor.submit(spec) {
+                Ok(t) => tickets.push(t),
+                Err(QueryError::QueueFull { .. }) => rejected += 1,
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        prop_assert_eq!(tickets.len(), depth.min(specs.len()));
+        // Cancel the first accepted submission while it is still queued.
+        let cancelled = tickets.remove(0);
+        prop_assert!(cancelled.cancel());
+        release();
+        prop_assert_eq!(cancelled.wait(), Err(QueryError::Cancelled));
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+
+        let metrics = processor.metrics();
+        prop_assert_eq!(metrics.submitted, specs.len() as u64);
+        prop_assert_eq!(metrics.accepted + metrics.rejected, metrics.submitted);
+        prop_assert_eq!(metrics.rejected, rejected);
+        prop_assert_eq!(metrics.cancelled, 1);
+        prop_assert_eq!(metrics.in_flight, 0);
+        prop_assert_eq!(metrics.finished(), metrics.accepted);
+
+        // Caches and pool survived the churn: every spec still answers
+        // bit-identically to a fresh, never-bursted processor.
+        let fresh = QueryProcessor::new(&db);
+        for spec in &specs {
+            let warm = processor.execute(spec).unwrap();
+            let cold = fresh.execute(spec).unwrap();
+            assert_bit_eq(&warm, &cold, "post-burst execution vs fresh processor");
+        }
+    }
+}
+
+/// With `calibrate_planner` on, the learned discount really drives the
+/// choice: whatever strategy `explain` picks for an `Auto` spec must be
+/// the argmin of its own (calibrated) estimates, the calibration must be
+/// marked, and plans stay internally consistent before and after
+/// training. With the knob off (default), the flat prior stays in force.
+#[test]
+fn calibrated_plans_are_internally_consistent() {
+    let db = random_db(89, 12, 2);
+    let w = window(12);
+    let bounded = Query::exists().window(w.clone()).top_k(2).build().unwrap();
+
+    let flat = QueryProcessor::new(&db);
+    let flat_plan = flat.explain(&bounded).unwrap();
+    assert!(!flat_plan.calibrated);
+    assert_eq!(flat_plan.ob_discount, 0.5, "cold prior");
+
+    let calibrated =
+        QueryProcessor::with_config(&db, EngineConfig::default().with_planner_calibration(true));
+    // Train on the bounded workload, then replan.
+    for _ in 0..3 {
+        calibrated.execute(&bounded).unwrap();
+    }
+    let plan = calibrated.explain(&bounded).unwrap();
+    assert!(plan.calibrated, "bounded runs feed the EWMA");
+    assert_ne!(plan.ob_discount, 0.5, "the learned ratio replaced the flat prior");
+    assert!(plan.ob_discount_learned, "this 2-object workload trains the OB side");
+    match plan.strategy {
+        Strategy::QueryBased => {
+            assert!(plan.query_based.total() <= plan.object_based.total(), "{plan}")
+        }
+        Strategy::ObjectBased => {
+            assert!(plan.object_based.total() < plan.query_based.total(), "{plan}")
+        }
+        other => panic!("Auto resolved to {other:?}"),
+    }
+    // Whatever the calibrated planner picks, answers agree with the flat
+    // planner's to value level (strategy-independence of the engines).
+    let a = calibrated.execute(&bounded).unwrap();
+    let b = flat.execute(&bounded).unwrap();
+    match (&a, &b) {
+        (QueryAnswer::Ranked(x), QueryAnswer::Ranked(y)) => {
+            for (p, q) in x.iter().zip(y) {
+                assert_eq!(p.object_id, q.object_id);
+                assert!((p.probability - q.probability).abs() < 1e-9);
+            }
+        }
+        _ => panic!("top-k answers expected"),
+    }
+}
