@@ -9,6 +9,7 @@ pub mod pr2;
 pub mod pr3;
 pub mod pr4;
 pub mod pr5;
+pub mod pr6;
 
 use crate::{ExperimentOutput, Scale};
 
@@ -33,6 +34,7 @@ pub fn all(scale: Scale) -> Vec<ExperimentOutput> {
     out.push(pr3::pr3_pool(scale));
     out.push(pr4::pr4_planner(scale));
     out.push(pr5::pr5_admission(scale));
+    out.push(pr6::pr6_kernels(scale));
     out
 }
 
@@ -58,6 +60,7 @@ pub fn by_id(id: &str, scale: Scale) -> Option<ExperimentOutput> {
         "pr3_pool" => Some(pr3::pr3_pool(scale)),
         "pr4_planner" => Some(pr4::pr4_planner(scale)),
         "pr5_admission" => Some(pr5::pr5_admission(scale)),
+        "pr6_kernels" => Some(pr6::pr6_kernels(scale)),
         _ => None,
     }
 }
@@ -84,6 +87,7 @@ pub fn known_ids() -> &'static [&'static str] {
         "pr3_pool",
         "pr4_planner",
         "pr5_admission",
+        "pr6_kernels",
     ]
 }
 
@@ -103,6 +107,6 @@ mod tests {
         assert!(!out.table.is_empty());
         assert_eq!(out.id, "ablation_augmented");
         assert!(by_id("nope", Scale::Ci).is_none());
-        assert_eq!(known_ids().len(), 19);
+        assert_eq!(known_ids().len(), 20);
     }
 }

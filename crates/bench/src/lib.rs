@@ -77,6 +77,7 @@ impl ExperimentOutput {
     pub fn with_stats_metrics(mut self, prefix: &str, stats: &ust_core::EvalStats) -> Self {
         self.metrics.push((format!("{prefix}_transitions"), stats.transitions as f64));
         self.metrics.push((format!("{prefix}_rows_traversed"), stats.rows_traversed as f64));
+        self.metrics.push((format!("{prefix}_entries_touched"), stats.entries_touched as f64));
         self.metrics.push((format!("{prefix}_backward_steps"), stats.backward_steps as f64));
         self.metrics.push((format!("{prefix}_cache_hits"), stats.cache_hits as f64));
         self.metrics.push((format!("{prefix}_cache_misses"), stats.cache_misses as f64));

@@ -43,6 +43,7 @@ use crate::query::{
 use crate::stats::EvalStats;
 
 pub use plan::{CostEstimate, QueryPlan};
+pub use ust_markov::KernelMode;
 
 /// Groups a worker's object indices by `(model, anchor time)` — the two
 /// properties every member of an [`pipeline::ObjectBatch`] must share (one
@@ -115,6 +116,14 @@ pub struct EngineConfig {
     /// executions of the same spec, and the exact strategies agree only
     /// to rounding — the default keeps a session's plans bit-stable.
     pub calibrate_planner: bool,
+    /// Kernel selection policy for batched forward propagation (see
+    /// [`ust_markov::KernelMode`]). [`KernelMode::Auto`], the default,
+    /// chooses per batch between the shared-union sparse kernel, the
+    /// per-object kernels and the dense panel kernel from the members'
+    /// support overlap; the explicit modes pin the choice for
+    /// benchmarking. Every mode yields bit-identical results — only
+    /// traversal order and memory traffic differ.
+    pub batching: KernelMode,
 }
 
 impl Default for EngineConfig {
@@ -128,6 +137,7 @@ impl Default for EngineConfig {
             max_queue_depth: 0,
             default_deadline: None,
             calibrate_planner: false,
+            batching: KernelMode::Auto,
         }
     }
 }
@@ -184,6 +194,12 @@ impl EngineConfig {
     /// model.
     pub fn with_planner_calibration(mut self, calibrate: bool) -> Self {
         self.calibrate_planner = calibrate;
+        self
+    }
+
+    /// Sets the batched-propagation kernel selection policy.
+    pub fn with_batching(mut self, mode: KernelMode) -> Self {
+        self.batching = mode;
         self
     }
 
@@ -1110,6 +1126,15 @@ mod tests {
         assert!(
             discounts.ob_discount.is_some() || discounts.qb_discount.is_some(),
             "the executed strategy recorded its step ratio"
+        );
+        // The matrix-entry throughput EWMA follows the same opt-in: the
+        // uncalibrated processor's plan never exposes it, the calibrated
+        // one reports whatever the executed strategy measured.
+        assert_eq!(processor.explain(&bounded).unwrap().ob_entry_throughput, None);
+        assert_eq!(
+            plan.ob_entry_throughput.is_some(),
+            discounts.ob_entry_throughput.is_some(),
+            "the calibrated plan mirrors the registry's observed rate"
         );
     }
 }

@@ -150,6 +150,15 @@ pub struct QueryPlan {
     /// own `*_learned` flag says which; a strategy without samples still
     /// falls back to its prior.
     pub calibrated: bool,
+    /// Observed object-based matrix-entry throughput (entries per second,
+    /// see [`crate::serving::Metrics::entry_throughputs`]). Populated only
+    /// under [`EngineConfig::calibrate_planner`]; when both strategies
+    /// have a measured rate, [`Strategy::Auto`] ranks them by *predicted
+    /// seconds* (`estimated entries / observed rate`) instead of raw entry
+    /// counts.
+    pub ob_entry_throughput: Option<f64>,
+    /// Observed query-based matrix-entry throughput, ditto.
+    pub qb_entry_throughput: Option<f64>,
     /// One-line human-readable rationale for the choice.
     pub reason: String,
     /// Undiscounted propagation-step estimates `(object-based,
@@ -201,7 +210,16 @@ impl fmt::Display for QueryPlan {
             if self.ob_discount_learned { "ewma" } else { "prior" },
             self.qb_discount,
             if self.qb_discount_learned { "ewma" } else { "prior" },
-        )
+        )?;
+        if self.ob_entry_throughput.is_some() || self.qb_entry_throughput.is_some() {
+            write!(
+                f,
+                "\n  throughput   : ob {} entries/s, qb {} entries/s (ewma)",
+                self.ob_entry_throughput.map_or("—".into(), |r| format!("{r:.0}")),
+                self.qb_entry_throughput.map_or("—".into(), |r| format!("{r:.0}")),
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -349,10 +367,24 @@ fn plan_on(ctx: &ExecContext<'_>, spec: &QuerySpec, indices: &[usize]) -> Result
     ob.step_ops *= ob_discount;
     qb.step_ops *= qb_discount;
 
+    // Throughput calibration: with measured matrix-entry rates for both
+    // strategies, Auto ranks by predicted seconds instead of raw entry
+    // counts — a QB sweep that streams entries 3× faster than the OB
+    // kernels deserves a 3× handicap. Gated exactly like the discounts:
+    // wall-clock-derived feedback is opt-in.
+    let (ob_entry_throughput, qb_entry_throughput) =
+        if calibrate { ctx.metrics.entry_throughputs() } else { (None, None) };
+    let (ob_cost, qb_cost) = match (ob_entry_throughput, qb_entry_throughput) {
+        (Some(ob_rate), Some(qb_rate)) if ob_rate > 0.0 && qb_rate > 0.0 => {
+            (ob.total() / ob_rate, qb.total() / qb_rate)
+        }
+        _ => (ob.total(), qb.total()),
+    };
+
     let (strategy, reason) = match spec.strategy() {
         Strategy::Auto => {
             let how = if calibrated { "auto (ewma-calibrated)" } else { "auto" };
-            if qb.total() <= ob.total() {
+            if qb_cost <= ob_cost {
                 (
                     Strategy::QueryBased,
                     format!(
@@ -395,6 +427,8 @@ fn plan_on(ctx: &ExecContext<'_>, spec: &QuerySpec, indices: &[usize]) -> Result
         qb_discount,
         qb_discount_learned,
         calibrated,
+        ob_entry_throughput,
+        qb_entry_throughput,
         reason,
         raw_steps: (ob_raw_steps, qb_raw_steps),
     })

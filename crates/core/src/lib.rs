@@ -72,7 +72,7 @@ pub mod threshold;
 
 pub use database::TrajectoryDatabase;
 pub use engine::cache::{BackwardFieldCache, KTimesFieldCache};
-pub use engine::{CostEstimate, EngineConfig, QueryPlan, QueryProcessor, QueryTicket};
+pub use engine::{CostEstimate, EngineConfig, KernelMode, QueryPlan, QueryProcessor, QueryTicket};
 pub use error::{QueryError, Result};
 pub use object::UncertainObject;
 pub use observation::Observation;
@@ -89,7 +89,9 @@ pub use stats::EvalStats;
 pub mod prelude {
     pub use crate::database::TrajectoryDatabase;
     pub use crate::engine::cache::{BackwardFieldCache, KTimesFieldCache};
-    pub use crate::engine::{CostEstimate, EngineConfig, QueryPlan, QueryProcessor, QueryTicket};
+    pub use crate::engine::{
+        CostEstimate, EngineConfig, KernelMode, QueryPlan, QueryProcessor, QueryTicket,
+    };
     pub use crate::error::{QueryError, Result};
     pub use crate::object::UncertainObject;
     pub use crate::observation::Observation;

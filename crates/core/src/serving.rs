@@ -37,7 +37,16 @@
 //!
 //! Wall-clock latencies (queue wait, plan time, execute time) are still
 //! recorded per plan shape — they are what a serving dashboard watches —
-//! they just never influence planning.
+//! and by default they never influence planning. The one deliberate
+//! exception is the per-strategy **matrix-entry throughput** EWMA
+//! (`entries_touched / execute_time`, entries per second): because
+//! [`EvalStats::entries_touched`] is invariant across the batched kernel
+//! modes, the rate is a clean measure of how fast each strategy actually
+//! chews through matrix entries on this machine, and the planner divides
+//! its entry-count estimates by it to rank strategies in predicted
+//! seconds — but **only** when
+//! [`crate::engine::EngineConfig::calibrate_planner`] is enabled, the
+//! same opt-in that accepts plan drift for the step-ratio EWMA.
 
 use std::fmt;
 use std::sync::Mutex;
@@ -150,6 +159,9 @@ pub struct PlanMetrics {
     pub transitions: u64,
     /// Backward steps accumulated by these executions.
     pub backward_steps: u64,
+    /// Matrix entries multiplied by these executions (forward batched
+    /// kernels; see [`EvalStats::entries_touched`]).
+    pub entries_touched: u64,
 }
 
 impl PlanMetrics {
@@ -167,6 +179,7 @@ impl PlanMetrics {
             cache_misses: 0,
             transitions: 0,
             backward_steps: 0,
+            entries_touched: 0,
         }
     }
 
@@ -213,6 +226,11 @@ pub struct MetricsSnapshot {
     pub ob_discount: Option<f64>,
     /// Learned query-based step discount, once observed.
     pub qb_discount: Option<f64>,
+    /// Observed object-based matrix-entry throughput (entries per second
+    /// of execute wall), once a forward execution touched entries.
+    pub ob_entry_throughput: Option<f64>,
+    /// Observed query-based matrix-entry throughput, ditto.
+    pub qb_entry_throughput: Option<f64>,
     /// Per-`(predicate, strategy)` counters, in first-seen order.
     pub plans: Vec<PlanMetrics>,
 }
@@ -254,9 +272,11 @@ impl fmt::Display for MetricsSnapshot {
         )?;
         write!(
             f,
-            "calibration: ob discount {}, qb discount {}",
+            "calibration: ob discount {}, qb discount {}, ob {} entries/s, qb {} entries/s",
             self.ob_discount.map_or("—".into(), |d| format!("{d:.3}")),
             self.qb_discount.map_or("—".into(), |d| format!("{d:.3}")),
+            self.ob_entry_throughput.map_or("—".into(), |r| format!("{r:.0}")),
+            self.qb_entry_throughput.map_or("—".into(), |r| format!("{r:.0}")),
         )?;
         for p in &self.plans {
             write!(
@@ -294,6 +314,8 @@ struct Inner {
     executions: u64,
     ob_discount: Ewma,
     qb_discount: Ewma,
+    ob_entry_rate: Ewma,
+    qb_entry_rate: Ewma,
     plans: Vec<PlanMetrics>,
 }
 
@@ -378,6 +400,17 @@ impl Metrics {
                 }
             }
         }
+        if record.ok && record.delta.entries_touched > 0 {
+            let secs = record.execute_time.as_secs_f64();
+            if secs > 0.0 {
+                let rate = record.delta.entries_touched as f64 / secs;
+                match record.strategy {
+                    Strategy::ObjectBased => inner.ob_entry_rate.observe(rate),
+                    Strategy::QueryBased => inner.qb_entry_rate.observe(rate),
+                    _ => {}
+                }
+            }
+        }
         let entry = inner.plan_entry(record.predicate, record.strategy);
         entry.executions += 1;
         if !record.ok {
@@ -392,6 +425,17 @@ impl Metrics {
         entry.cache_misses += record.delta.cache_misses;
         entry.transitions += record.delta.transitions;
         entry.backward_steps += record.delta.backward_steps;
+        entry.entries_touched += record.delta.entries_touched;
+    }
+
+    /// The learned `(object-based, query-based)` matrix-entry throughputs
+    /// (entries per second of execute wall); `None` until the respective
+    /// strategy has executed a query that touched entries. Wall-clock
+    /// derived — the planner consults them only under
+    /// [`crate::engine::EngineConfig::calibrate_planner`].
+    pub fn entry_throughputs(&self) -> (Option<f64>, Option<f64>) {
+        let inner = self.lock();
+        (inner.ob_entry_rate.get(), inner.qb_entry_rate.get())
     }
 
     /// The learned `(object-based, query-based)` step discounts the
@@ -420,6 +464,8 @@ impl Metrics {
             executions: inner.executions,
             ob_discount: inner.ob_discount.get(),
             qb_discount: inner.qb_discount.get(),
+            ob_entry_throughput: inner.ob_entry_rate.get(),
+            qb_entry_throughput: inner.qb_entry_rate.get(),
             plans: inner.plans.clone(),
         }
     }
@@ -511,5 +557,31 @@ mod tests {
         assert!((m.discounts().1.unwrap() - 1.0).abs() < 1e-12, "ratio clamps at 1");
         m.record_execution(&record(Strategy::MonteCarlo, true, 10.0, 5, true));
         assert!((m.discounts().1.unwrap() - 1.0).abs() < 1e-12, "MC never calibrates");
+    }
+
+    #[test]
+    fn entry_throughput_ewma_tracks_entries_per_second() {
+        let m = Metrics::new();
+        assert_eq!(m.entry_throughputs(), (None, None));
+        // 1000 entries in 1 ms → 1e6 entries/s seeds the OB EWMA.
+        let mut r = record(Strategy::ObjectBased, false, 0.0, 40, true);
+        r.delta.entries_touched = 1_000;
+        r.execute_time = Duration::from_millis(1);
+        m.record_execution(&r);
+        let (ob, qb) = m.entry_throughputs();
+        assert!((ob.unwrap() - 1.0e6).abs() < 1.0);
+        assert_eq!(qb, None);
+        // Failed executions and zero-entry executions never contribute.
+        let mut bad = record(Strategy::QueryBased, false, 0.0, 40, false);
+        bad.delta.entries_touched = 1_000;
+        m.record_execution(&bad);
+        m.record_execution(&record(Strategy::QueryBased, false, 0.0, 40, true));
+        assert_eq!(m.entry_throughputs().1, None);
+        // The per-plan totals accumulate the raw entry counts.
+        let s = m.snapshot();
+        assert_eq!(s.ob_entry_throughput, m.entry_throughputs().0);
+        let ob_plan = s.plan(Predicate::Exists, Strategy::ObjectBased).unwrap();
+        assert_eq!(ob_plan.entries_touched, 1_000);
+        assert!(s.to_string().contains("entries/s"));
     }
 }

@@ -16,6 +16,13 @@ pub struct EvalStats {
     /// once per object, so this is the counter that makes the batching win
     /// observable (cf. `ust_markov::BatchStepStats`).
     pub rows_traversed: u64,
+    /// Transition-matrix entries multiplied into an accumulator during
+    /// forward propagation. Unlike `rows_traversed` this is invariant
+    /// across kernel choices (every batching mode performs the same
+    /// floating-point work), so `entries_touched / execute_time` is the
+    /// matrix-entry *throughput* the serving calibration and the plan cost
+    /// model reason about.
+    pub entries_touched: u64,
     /// Backward vector–matrix transitions performed (query-based passes).
     pub backward_steps: u64,
     /// Objects whose probability was computed.
@@ -48,6 +55,7 @@ impl EvalStats {
     pub fn merge(&mut self, other: &EvalStats) {
         self.transitions += other.transitions;
         self.rows_traversed += other.rows_traversed;
+        self.entries_touched += other.entries_touched;
         self.backward_steps += other.backward_steps;
         self.objects_evaluated += other.objects_evaluated;
         self.objects_pruned += other.objects_pruned;
@@ -72,6 +80,7 @@ impl EvalStats {
         EvalStats {
             transitions: self.transitions.saturating_sub(before.transitions),
             rows_traversed: self.rows_traversed.saturating_sub(before.rows_traversed),
+            entries_touched: self.entries_touched.saturating_sub(before.entries_touched),
             backward_steps: self.backward_steps.saturating_sub(before.backward_steps),
             objects_evaluated: self.objects_evaluated.saturating_sub(before.objects_evaluated),
             objects_pruned: self.objects_pruned.saturating_sub(before.objects_pruned),
@@ -94,6 +103,7 @@ mod tests {
         let b = EvalStats {
             transitions: 2,
             rows_traversed: 9,
+            entries_touched: 21,
             backward_steps: 4,
             objects_evaluated: 7,
             objects_pruned: 1,
@@ -106,6 +116,7 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.transitions, 5);
         assert_eq!(a.rows_traversed, 9);
+        assert_eq!(a.entries_touched, 21);
         assert_eq!(a.backward_steps, 5);
         assert_eq!(a.objects_evaluated, 7);
         assert_eq!(a.objects_pruned, 1);

@@ -36,20 +36,64 @@ pub struct CsrMatrix {
 pub struct SpmvScratch {
     acc: Vec<f64>,
     touched: Vec<u32>,
-    /// One `(accumulator, touched)` lane per member of a batched sparse
+    /// One epoch-tracked accumulator lane per member of a batched sparse
     /// product (see `CsrMatrix::step_batch`); pooled so a long sweep
     /// allocates them once.
-    lanes: Vec<(Vec<f64>, Vec<u32>)>,
-    /// Batched-kernel member lists and the `(row, member, value)` merge
-    /// buffer, pooled for the same reason (one batch sweep performs one
-    /// `step_batch` call per timestamp).
+    lanes: Vec<BatchLane>,
+    /// The stamp the current sweep's live lane entries carry in their
+    /// epoch arrays; bumped by [`SpmvScratch::lanes_epoch`] so lanes never
+    /// need clearing between steps.
+    lane_stamp: u32,
+    /// Batched-kernel member lists, pooled for the same reason (one batch
+    /// sweep performs one `step_batch` call per timestamp).
     pub(crate) members_sparse: Vec<usize>,
     pub(crate) members_dense: Vec<usize>,
-    pub(crate) batch_entries: Vec<(u32, u32, f64)>,
+    /// Shared-union merge state of the sparse batched kernel: an
+    /// epoch-marked row set (`merge_marks` is live where it equals
+    /// `merge_stamp`), the union row list sorted once per step, per-row
+    /// bucket cursors, the scattered per-row contribution events (lane ids
+    /// only — each lane's values are replayed in order through
+    /// `merge_cursor` during the sweep) — a counting-sort layout that
+    /// costs O(1) per contribution where a cursor heap would pay
+    /// O(log batch).
+    pub(crate) merge_rows: Vec<u32>,
+    pub(crate) merge_marks: Vec<u32>,
+    pub(crate) merge_stamp: u32,
+    pub(crate) merge_bucket: Vec<u32>,
+    pub(crate) merge_events: Vec<u32>,
+    pub(crate) merge_cursor: Vec<u32>,
     /// Recycled dense-vector storage for the batched dense kernel: each
     /// step's inputs return their buffers here and the next step's outputs
     /// take them back, so a steady-state sweep allocates nothing.
     pub(crate) dense_pool: Vec<Vec<f64>>,
+    /// Recycled sparse `(indices, values)` storage for the batched sparse
+    /// kernel, mirroring `dense_pool`.
+    pub(crate) sparse_pool: Vec<(Vec<u32>, Vec<f64>)>,
+    /// Interleaved input/output panels of the dense panel kernel
+    /// (`panel[i * width + k]` = vector `k`'s value at state `i`).
+    pub(crate) panel_in: Vec<f64>,
+    pub(crate) panel_out: Vec<f64>,
+}
+
+/// One member's accumulator lane in the batched sparse kernel. A slot
+/// `acc[c]` is live iff `epoch[c]` equals the sweep's stamp — first-touch
+/// detection without a float probe and without clearing between steps.
+/// `lo`/`hi` bound the touched columns so the gather pass can recognize
+/// (near-)contiguous touched sets and scan the span in order instead of
+/// sorting the touched list.
+#[derive(Debug, Clone)]
+pub(crate) struct BatchLane {
+    pub(crate) acc: Vec<f64>,
+    pub(crate) touched: Vec<u32>,
+    pub(crate) epoch: Vec<u32>,
+    pub(crate) lo: u32,
+    pub(crate) hi: u32,
+}
+
+impl Default for BatchLane {
+    fn default() -> Self {
+        BatchLane { acc: Vec::new(), touched: Vec::new(), epoch: Vec::new(), lo: u32::MAX, hi: 0 }
+    }
 }
 
 impl SpmvScratch {
@@ -64,19 +108,54 @@ impl SpmvScratch {
         }
     }
 
-    /// `count` zeroed accumulator lanes of dimension `dim`, reused across
-    /// calls (the clear is proportional to the touched entries only).
-    pub(crate) fn lanes(&mut self, count: usize, dim: usize) -> &mut [(Vec<f64>, Vec<u32>)] {
+    /// `count` accumulator lanes of dimension `dim` plus the fresh epoch
+    /// stamp that marks this sweep's live entries. No accumulator data is
+    /// cleared — stale values are simply never read because their epoch
+    /// differs from the returned stamp.
+    pub(crate) fn lanes_epoch(&mut self, count: usize, dim: usize) -> (&mut [BatchLane], u32) {
+        self.lane_stamp = self.lane_stamp.wrapping_add(1);
+        if self.lane_stamp == 0 {
+            // One-in-2³² wrap: reset every epoch array so stale stamps
+            // from the previous cycle cannot collide.
+            for lane in &mut self.lanes {
+                lane.epoch.iter_mut().for_each(|e| *e = 0);
+            }
+            self.lane_stamp = 1;
+        }
         if self.lanes.len() < count {
             self.lanes.resize_with(count, Default::default);
         }
-        for (acc, touched) in &mut self.lanes[..count] {
-            if acc.len() < dim {
-                acc.resize(dim, 0.0);
+        for lane in &mut self.lanes[..count] {
+            if lane.acc.len() < dim {
+                lane.acc.resize(dim, 0.0);
             }
-            touched.clear();
+            if lane.epoch.len() < dim {
+                lane.epoch.resize(dim, 0);
+            }
+            lane.touched.clear();
+            lane.lo = u32::MAX;
+            lane.hi = 0;
         }
-        &mut self.lanes[..count]
+        (&mut self.lanes[..count], self.lane_stamp)
+    }
+
+    /// A fresh stamp for the shared-union merge's row set, with
+    /// `merge_marks` and `merge_bucket` grown to `nrows`. Like
+    /// [`SpmvScratch::lanes_epoch`], nothing is cleared between steps —
+    /// a row is in the current union iff its mark equals the stamp.
+    pub(crate) fn merge_epoch(&mut self, nrows: usize) -> u32 {
+        self.merge_stamp = self.merge_stamp.wrapping_add(1);
+        if self.merge_stamp == 0 {
+            self.merge_marks.iter_mut().for_each(|m| *m = 0);
+            self.merge_stamp = 1;
+        }
+        if self.merge_marks.len() < nrows {
+            self.merge_marks.resize(nrows, 0);
+        }
+        if self.merge_bucket.len() < nrows {
+            self.merge_bucket.resize(nrows, 0);
+        }
+        self.merge_stamp
     }
 }
 
@@ -85,7 +164,14 @@ impl CsrMatrix {
     ///
     /// Intended for use by [`crate::coo::CooBuilder`] and tests; the caller
     /// must guarantee CSR invariants (monotone `indptr`, sorted column
-    /// indices within each row, indices < `ncols`).
+    /// indices within each row).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a column index is `≥ ncols` — every stored index being
+    /// in range is the invariant the unchecked accumulation of the batched
+    /// kernels relies on, so it is enforced at construction rather than
+    /// merely documented.
     pub fn from_raw_parts(
         nrows: usize,
         ncols: usize,
@@ -96,6 +182,10 @@ impl CsrMatrix {
         debug_assert_eq!(indptr.len(), nrows + 1);
         debug_assert_eq!(indices.len(), data.len());
         debug_assert_eq!(*indptr.last().unwrap_or(&0), indices.len());
+        assert!(
+            indices.iter().all(|&c| (c as usize) < ncols),
+            "CSR column index out of range (ncols = {ncols})"
+        );
         CsrMatrix { nrows, ncols, indptr, indices, data }
     }
 

@@ -170,11 +170,23 @@ impl DenseVector {
     /// This is the "redirect to the ⊤ state" step of the paper's `M+`
     /// matrix, applied virtually after an ordinary transition.
     pub fn extract_masked(&mut self, mask: &StateMask) -> f64 {
+        self.extract_masked_counting(mask).0
+    }
+
+    /// As [`Self::extract_masked`], also reporting how many previously
+    /// non-zero entries were zeroed — the feed that lets
+    /// [`crate::hybrid::PropagationVector`] keep its non-zero count exact
+    /// without rescanning the vector.
+    pub(crate) fn extract_masked_counting(&mut self, mask: &StateMask) -> (f64, usize) {
         let mut moved = 0.0;
+        let mut zeroed = 0usize;
         if mask.count() * 4 < self.dim() {
             for i in mask.iter() {
                 if let Some(v) = self.values.get_mut(i) {
                     moved += *v;
+                    if *v != 0.0 {
+                        zeroed += 1;
+                    }
                     *v = 0.0;
                 }
             }
@@ -182,11 +194,14 @@ impl DenseVector {
             for (i, v) in self.values.iter_mut().enumerate() {
                 if mask.contains(i) {
                     moved += *v;
+                    if *v != 0.0 {
+                        zeroed += 1;
+                    }
                     *v = 0.0;
                 }
             }
         }
-        moved
+        (moved, zeroed)
     }
 
     /// Removes the entries of states in `mask`, returning them as a sparse

@@ -9,10 +9,14 @@
 //! representation automatically at a configurable density threshold.
 //!
 //! This is the "hybrid" design choice ablated in `bench/ablation_hybrid`.
+//! The batched entry points ([`CsrMatrix::step_batch`] and
+//! [`CsrMatrix::step_batch_with_mode`]) classify a batch and dispatch to
+//! the cache-blocked kernels in [`crate::kernels`].
 
 use crate::csr::{CsrMatrix, SpmvScratch};
 use crate::dense::DenseVector;
 use crate::error::{MarkovError, Result};
+use crate::kernels::{self, KernelMode};
 use crate::mask::StateMask;
 use crate::sparse_vec::SparseVector;
 
@@ -23,13 +27,20 @@ pub const DEFAULT_DENSIFY_THRESHOLD: f64 = 0.25;
 ///
 /// `rows_traversed` counts *matrix-row reads*: how many times a row's
 /// `(columns, values)` pair was streamed from memory. It is the unit the
-/// batched kernel amortizes — `B` densified vectors stepped together read
-/// each touched matrix row once instead of `B` times — and the quantity the
-/// `pr2_batching` benchmark compares against the per-object baseline.
+/// batched kernels amortize — a panel of densified vectors stepped together
+/// reads each touched matrix row once per panel instead of once per vector —
+/// and the quantity the `pr2_batching` benchmark compares against the
+/// per-object baseline. `entries_touched` counts the matrix entries actually
+/// multiplied into some vector; it is invariant across kernel choices (every
+/// mode performs the same floating-point work), so dividing it by wall time
+/// gives the matrix-entry *throughput* the `pr6_kernels` benchmark and the
+/// plan cost model consume.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BatchStepStats {
     /// Matrix rows streamed during this batched transition.
     pub rows_traversed: u64,
+    /// Matrix entries multiplied into an accumulator (per vector fed).
+    pub entries_touched: u64,
     /// Vectors that performed a transition (rows with no mass are skipped).
     pub vectors_stepped: u64,
 }
@@ -38,33 +49,47 @@ impl BatchStepStats {
     /// Accumulates another report into this one.
     pub fn merge(&mut self, other: BatchStepStats) {
         self.rows_traversed += other.rows_traversed;
+        self.entries_touched += other.entries_touched;
         self.vectors_stepped += other.vectors_stepped;
     }
 }
 
 impl CsrMatrix {
     /// Batched transition `v ← v · M` for many propagation vectors sharing
-    /// one matrix traversal.
+    /// one matrix traversal, under the default [`KernelMode::Auto`] policy.
+    ///
+    /// See [`CsrMatrix::step_batch_with_mode`] for the semantics.
+    pub fn step_batch(
+        &self,
+        rows: &mut [PropagationVector],
+        active: &[bool],
+        scratch: &mut SpmvScratch,
+    ) -> Result<BatchStepStats> {
+        self.step_batch_with_mode(rows, active, KernelMode::default(), scratch)
+    }
+
+    /// Batched transition `v ← v · M` with an explicit kernel policy.
     ///
     /// `active` enables per-row early exit: when non-empty it must have one
     /// flag per row, and rows flagged `false` (decided objects) are left
     /// untouched without stopping the sweep; an empty slice means all rows
     /// are active. Rows with no mass are always skipped.
     ///
-    /// Both representations share the traversal. Sparse rows are merged
-    /// over the sorted **union of their supports**: each matrix row in the
-    /// union is streamed once and feeds every member whose vector is
-    /// non-zero there (on locality workloads the reachable sets of nearby
-    /// objects overlap heavily, so the union is far smaller than the sum of
-    /// supports). Densified rows are stepped together, row-major over the
-    /// whole matrix. Per vector, the floating-point operations and their
-    /// order are **identical** to an individual [`PropagationVector::step`]
-    /// — batched evaluation is bit-for-bit equal to the per-object path
-    /// regardless of batch composition.
-    pub fn step_batch(
+    /// Sparse members either merge over the sorted **union of their
+    /// supports** (each matrix row in the union streamed once, feeding every
+    /// member holding it) or step individually; `mode` picks the policy,
+    /// with [`KernelMode::Auto`] estimating the support overlap per batch.
+    /// Densified members step through the interleaved panel kernel
+    /// (`kernels::step_dense_panels`), streaming the matrix once
+    /// per panel. Per vector, the floating-point operations and their order
+    /// are **identical** to an individual [`PropagationVector::step`] in
+    /// every mode — batched evaluation is bit-for-bit equal to the
+    /// per-object path regardless of batch composition or kernel choice.
+    pub fn step_batch_with_mode(
         &self,
         rows: &mut [PropagationVector],
         active: &[bool],
+        mode: KernelMode,
         scratch: &mut SpmvScratch,
     ) -> Result<BatchStepStats> {
         if !active.is_empty() && active.len() != rows.len() {
@@ -101,18 +126,8 @@ impl CsrMatrix {
         }
 
         let result = (|| {
-            if sparse_members.len() == 1 {
-                // Nothing to share: take the direct sparse product
-                // (identical operations, none of the batching bookkeeping).
-                let r = sparse_members[0];
-                stats.rows_traversed += rows[r].nnz() as u64;
-                rows[r].step(self, scratch)?;
-            } else if !sparse_members.is_empty() {
-                self.step_sparse_union(rows, &sparse_members, scratch, &mut stats)?;
-            }
-            if !dense_members.is_empty() {
-                self.step_dense_shared(rows, &dense_members, scratch, &mut stats);
-            }
+            self.step_sparse_members(rows, &sparse_members, mode, scratch, &mut stats)?;
+            self.step_dense_members(rows, &dense_members, mode, scratch, &mut stats);
             Ok(stats)
         })();
         scratch.members_sparse = sparse_members;
@@ -120,134 +135,123 @@ impl CsrMatrix {
         result
     }
 
-    /// The sparse half of the batched kernel: a k-way merge over the
-    /// members' sorted supports streams each matrix row of the union once.
-    /// Each member accumulates into its own scratch lane in its own
-    /// ascending-support order — the exact operation sequence of
-    /// [`CsrMatrix::vecmat_sparse_with`].
-    fn step_sparse_union(
+    /// Dispatches the sparse half of a batch: the shared-union k-way merge
+    /// ([`crate::kernels::step_sparse_union`]) when the mode (or the
+    /// [`KernelMode::Auto`] overlap estimate) calls for it, individual
+    /// steps otherwise. Either way the work counters record the same
+    /// `entries_touched`.
+    fn step_sparse_members(
         &self,
         rows: &mut [PropagationVector],
         members: &[usize],
+        mode: KernelMode,
         scratch: &mut SpmvScratch,
         stats: &mut BatchStepStats,
     ) -> Result<()> {
+        if members.is_empty() {
+            return Ok(());
+        }
+        let use_union = members.len() >= 2
+            && match mode {
+                KernelMode::PerObject => false,
+                KernelMode::SharedUnion => true,
+                KernelMode::Auto => {
+                    kernels::choose_shared_union(members.iter().map(|&r| match &rows[r].repr {
+                        Repr::Sparse(v) => {
+                            let idx = v.indices();
+                            (idx[0], idx[idx.len() - 1], v.nnz())
+                        }
+                        Repr::Dense(_) => unreachable!("membership established by the classifier"),
+                    }))
+                }
+            };
+        if !use_union {
+            // Per-object baseline (also the single-member fast path):
+            // identical operations, none of the merge bookkeeping.
+            for &r in members {
+                if let Repr::Sparse(v) = &rows[r].repr {
+                    stats.rows_traversed += v.nnz() as u64;
+                    stats.entries_touched +=
+                        v.indices().iter().map(|&i| self.row_nnz(i as usize) as u64).sum::<u64>();
+                }
+                rows[r].step(self, scratch)?;
+            }
+            return Ok(());
+        }
         let inputs: Vec<SparseVector> = members
             .iter()
             .map(|&r| {
                 let placeholder = Repr::Dense(DenseVector::zeros(0));
                 match std::mem::replace(&mut rows[r].repr, placeholder) {
                     Repr::Sparse(v) => v,
-                    Repr::Dense(_) => unreachable!("membership established by step_batch"),
+                    Repr::Dense(_) => unreachable!("membership established by the classifier"),
                 }
             })
             .collect();
-        // Flatten every member's (source row, member, value) triples and
-        // sort by row: runs of equal rows become one matrix-row read.
-        // The unstable sort is safe — a member holds each row at most
-        // once, so its triples stay in ascending row order regardless of
-        // how ties between *different* members are broken. The buffer is
-        // pooled in the scratch (one allocation per sweep).
-        let mut entries = std::mem::take(&mut scratch.batch_entries);
-        entries.clear();
-        entries.reserve(inputs.iter().map(|v| v.nnz()).sum());
-        for (b, v) in inputs.iter().enumerate() {
-            for (&i, &vi) in v.indices().iter().zip(v.values()) {
-                entries.push((i, b as u32, vi));
-            }
-        }
-        entries.sort_unstable_by_key(|&(i, _, _)| i);
-        let lanes = scratch.lanes(inputs.len(), self.ncols());
-
-        let mut run = 0;
-        while run < entries.len() {
-            let i = entries[run].0;
-            let (cols, vals) = self.row(i as usize);
-            stats.rows_traversed += 1;
-            while run < entries.len() && entries[run].0 == i {
-                let (_, b, vi) = entries[run];
-                run += 1;
-                let (acc, touched) = &mut lanes[b as usize];
-                for (&c, &m) in cols.iter().zip(vals) {
-                    let slot = &mut acc[c as usize];
-                    if *slot == 0.0 {
-                        touched.push(c);
-                    }
-                    *slot += vi * m;
-                }
-            }
-        }
-        for (b, &r) in members.iter().enumerate() {
-            let (acc, touched) = &mut lanes[b];
-            touched.sort_unstable();
-            let mut pairs = Vec::with_capacity(touched.len());
-            for &c in touched.iter() {
-                let val = acc[c as usize];
-                acc[c as usize] = 0.0;
-                if val != 0.0 {
-                    pairs.push((c as usize, val));
-                }
-            }
-            let next = SparseVector::from_pairs(self.ncols(), pairs)?;
-            rows[r].repr = if next.density() > rows[r].densify_at {
-                Repr::Dense(next.to_dense())
+        let out = kernels::step_sparse_union(self, &inputs, scratch);
+        stats.rows_traversed += out.rows_traversed;
+        stats.entries_touched += out.entries_touched;
+        for (&r, next) in members.iter().zip(out.outs) {
+            let row = &mut rows[r];
+            if next.density() > row.densify_at {
+                // The kernel's gather pass skips zeros, so the stored-entry
+                // count is the exact dense non-zero count.
+                row.dense_nnz = next.nnz();
+                row.repr = Repr::Dense(next.to_dense());
+                scratch.sparse_pool.push(next.into_parts());
             } else {
-                Repr::Sparse(next)
-            };
+                row.dense_nnz = 0;
+                row.repr = Repr::Sparse(next);
+            }
         }
-        scratch.batch_entries = entries;
+        for input in inputs {
+            scratch.sparse_pool.push(input.into_parts());
+        }
         Ok(())
     }
 
-    /// The dense half of the batched kernel: stream each matrix row once,
-    /// feeding every densified vector. The per-vector accumulation order
-    /// (ascending source state, ascending column within the row) matches
-    /// [`CsrMatrix::vecmat_dense`] exactly. Output storage comes from the
-    /// scratch's recycled buffer pool and the inputs' storage goes back
-    /// into it, so a steady-state sweep performs no allocations here.
-    fn step_dense_shared(
+    /// Dispatches the dense half of a batch to the panel kernel — one call
+    /// over all members (shared traversal), or one call per member under
+    /// [`KernelMode::PerObject`] (the baseline traversal the benchmarks
+    /// compare against).
+    fn step_dense_members(
         &self,
         rows: &mut [PropagationVector],
         members: &[usize],
+        mode: KernelMode,
         scratch: &mut SpmvScratch,
         stats: &mut BatchStepStats,
     ) {
+        if members.is_empty() {
+            return;
+        }
         let mut inputs: Vec<DenseVector> = Vec::with_capacity(members.len());
         for &r in members {
             let placeholder = Repr::Sparse(SparseVector::zeros(self.nrows()));
             match std::mem::replace(&mut rows[r].repr, placeholder) {
                 Repr::Dense(v) => inputs.push(v),
-                Repr::Sparse(_) => unreachable!("membership established by step_batch"),
+                Repr::Sparse(_) => unreachable!("membership established by the classifier"),
             }
         }
-        let mut outs: Vec<DenseVector> = (0..members.len())
-            .map(|_| {
-                let mut buf = scratch.dense_pool.pop().unwrap_or_default();
-                buf.clear();
-                buf.resize(self.ncols(), 0.0);
-                DenseVector::from_vec(buf)
-            })
-            .collect();
-        for i in 0..self.nrows() {
-            let (cols, vals) = self.row(i);
-            let mut touched = false;
-            for (k, input) in inputs.iter().enumerate() {
-                let vi = input.as_slice()[i];
-                if vi == 0.0 {
-                    continue;
-                }
-                touched = true;
-                let out = outs[k].as_mut_slice();
-                for (&c, &m) in cols.iter().zip(vals) {
-                    out[c as usize] += vi * m;
-                }
+        let (mut outs, mut counts) = (Vec::new(), Vec::new());
+        if mode == KernelMode::PerObject {
+            for input in &inputs {
+                let out = kernels::step_dense_panels(self, std::slice::from_ref(input), scratch);
+                stats.rows_traversed += out.rows_traversed;
+                stats.entries_touched += out.entries_touched;
+                outs.extend(out.outs);
+                counts.extend(out.nnz);
             }
-            if touched {
-                stats.rows_traversed += 1;
-            }
+        } else {
+            let out = kernels::step_dense_panels(self, &inputs, scratch);
+            stats.rows_traversed += out.rows_traversed;
+            stats.entries_touched += out.entries_touched;
+            outs = out.outs;
+            counts = out.nnz;
         }
-        for (&r, out) in members.iter().zip(outs) {
+        for ((&r, out), count) in members.iter().zip(outs).zip(counts) {
             rows[r].repr = Repr::Dense(out);
+            rows[r].dense_nnz = count;
         }
         for input in inputs {
             scratch.dense_pool.push(input.into_vec());
@@ -268,17 +272,28 @@ enum Repr {
 pub struct PropagationVector {
     repr: Repr,
     densify_at: f64,
+    /// Exact non-zero count of the dense representation, maintained
+    /// incrementally by every mutating method so the hot `nnz() == 0`
+    /// probes of the batch classifier and the pipeline's retirement check
+    /// never rescan a densified vector. Invariant: `0` while sparse (the
+    /// sparse count is already O(1)).
+    dense_nnz: usize,
 }
 
 impl PropagationVector {
     /// Starts from a sparse distribution with the default threshold.
     pub fn from_sparse(v: SparseVector) -> Self {
-        PropagationVector { repr: Repr::Sparse(v), densify_at: DEFAULT_DENSIFY_THRESHOLD }
+        PropagationVector {
+            repr: Repr::Sparse(v),
+            densify_at: DEFAULT_DENSIFY_THRESHOLD,
+            dense_nnz: 0,
+        }
     }
 
     /// Starts from a dense distribution (never converts back to sparse).
     pub fn from_dense(v: DenseVector) -> Self {
-        PropagationVector { repr: Repr::Dense(v), densify_at: DEFAULT_DENSIFY_THRESHOLD }
+        let dense_nnz = v.nnz();
+        PropagationVector { repr: Repr::Dense(v), densify_at: DEFAULT_DENSIFY_THRESHOLD, dense_nnz }
     }
 
     /// Overrides the densification threshold.
@@ -290,6 +305,20 @@ impl PropagationVector {
         self
     }
 
+    /// Adopts the sparse result of a transition-like operation, densifying
+    /// (and seeding the tracked non-zero count) past the threshold.
+    fn adopt_sparse_result(&mut self, next: SparseVector) {
+        if next.density() > self.densify_at {
+            // Stored entries can include explicit zeros (e.g. after a
+            // `scale(0.0)`), so count the true non-zeros for the dense side.
+            self.dense_nnz = next.values().iter().filter(|v| **v != 0.0).count();
+            self.repr = Repr::Dense(next.to_dense());
+        } else {
+            self.dense_nnz = 0;
+            self.repr = Repr::Sparse(next);
+        }
+    }
+
     /// Vector dimension.
     pub fn dim(&self) -> usize {
         match &self.repr {
@@ -298,11 +327,12 @@ impl PropagationVector {
         }
     }
 
-    /// Number of non-zero entries.
+    /// Number of non-zero entries — O(1) in both representations (stored
+    /// entries while sparse, the incrementally tracked count once dense).
     pub fn nnz(&self) -> usize {
         match &self.repr {
             Repr::Sparse(v) => v.nnz(),
-            Repr::Dense(v) => v.nnz(),
+            Repr::Dense(_) => self.dense_nnz,
         }
     }
 
@@ -333,14 +363,12 @@ impl PropagationVector {
         match &self.repr {
             Repr::Sparse(v) => {
                 let next = matrix.vecmat_sparse_with(v, scratch)?;
-                if next.density() > self.densify_at {
-                    self.repr = Repr::Dense(next.to_dense());
-                } else {
-                    self.repr = Repr::Sparse(next);
-                }
+                self.adopt_sparse_result(next);
             }
             Repr::Dense(v) => {
-                self.repr = Repr::Dense(matrix.vecmat_dense(v)?);
+                let next = matrix.vecmat_dense(v)?;
+                self.dense_nnz = next.nnz();
+                self.repr = Repr::Dense(next);
             }
         }
         Ok(())
@@ -359,7 +387,11 @@ impl PropagationVector {
     pub fn extract_masked(&mut self, mask: &StateMask) -> f64 {
         match &mut self.repr {
             Repr::Sparse(v) => v.extract_masked(mask),
-            Repr::Dense(v) => v.extract_masked(mask),
+            Repr::Dense(v) => {
+                let (moved, zeroed) = v.extract_masked_counting(mask);
+                self.dense_nnz -= zeroed;
+                moved
+            }
         }
     }
 
@@ -368,7 +400,13 @@ impl PropagationVector {
     pub fn split_masked(&mut self, mask: &StateMask) -> SparseVector {
         match &mut self.repr {
             Repr::Sparse(v) => v.split_masked(mask),
-            Repr::Dense(v) => v.split_masked(mask),
+            Repr::Dense(v) => {
+                let split = v.split_masked(mask);
+                // The split keeps only previously non-zero entries, so its
+                // stored count is exactly how many slots were zeroed.
+                self.dense_nnz -= split.nnz();
+                split
+            }
         }
     }
 
@@ -384,16 +422,19 @@ impl PropagationVector {
         match &mut self.repr {
             Repr::Sparse(v) => {
                 let merged = v.add(other)?;
-                if merged.density() > self.densify_at {
-                    self.repr = Repr::Dense(merged.to_dense());
-                } else {
-                    self.repr = Repr::Sparse(merged);
-                }
+                self.adopt_sparse_result(merged);
             }
             Repr::Dense(v) => {
                 let slice = v.as_mut_slice();
                 for (i, val) in other.iter() {
-                    slice[i] += val;
+                    let before = slice[i];
+                    let after = before + val;
+                    if before == 0.0 && after != 0.0 {
+                        self.dense_nnz += 1;
+                    } else if before != 0.0 && after == 0.0 {
+                        self.dense_nnz -= 1;
+                    }
+                    slice[i] = after;
                 }
             }
         }
@@ -423,11 +464,7 @@ impl PropagationVector {
                     .filter(|(_, p)| *p != 0.0)
                     .collect();
                 let sparse = SparseVector::from_pairs(v.dim(), pairs)?;
-                if sparse.density() > self.densify_at {
-                    self.repr = Repr::Dense(sparse.to_dense());
-                } else {
-                    self.repr = Repr::Sparse(sparse);
-                }
+                self.adopt_sparse_result(sparse);
             }
         }
         Ok(())
@@ -438,7 +475,18 @@ impl PropagationVector {
     pub fn scale(&mut self, factor: f64) {
         match &mut self.repr {
             Repr::Sparse(v) => v.scale(factor),
-            Repr::Dense(v) => v.scale(factor),
+            Repr::Dense(v) => {
+                // Recount while multiplying: scaling can zero entries
+                // (factor 0, underflow) without shrinking the storage.
+                let mut count = 0usize;
+                for x in v.as_mut_slice() {
+                    *x *= factor;
+                    if *x != 0.0 {
+                        count += 1;
+                    }
+                }
+                self.dense_nnz = count;
+            }
         }
     }
 
@@ -587,9 +635,11 @@ mod tests {
             assert!((split.sum() - 0.5).abs() < 1e-12);
             assert!((v.sum() - 0.5).abs() < 1e-12);
             assert_eq!(v.get(1), 0.0);
+            assert_eq!(v.nnz(), 2);
             v.add_sparse(&split).unwrap();
             assert!((v.sum() - 1.0).abs() < 1e-12);
             assert!((v.get(2) - 0.3).abs() < 1e-12);
+            assert_eq!(v.nnz(), 4);
             assert!(v.add_sparse(&SparseVector::zeros(9)).is_err());
         }
     }
@@ -601,6 +651,31 @@ mod tests {
         );
         v.scale(2.0);
         assert!((v.sum() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_nnz_stays_exact_across_mutations() {
+        let m = paper_matrix();
+        let mut scratch = SpmvScratch::new();
+        let mut v = PropagationVector::from_dense(DenseVector::from_vec(vec![0.0, 1.0, 0.0]));
+        let check = |v: &PropagationVector| {
+            assert_eq!(v.nnz(), v.to_dense().nnz(), "tracked count matches a rescan");
+        };
+        check(&v);
+        for _ in 0..4 {
+            v.step(&m, &mut scratch).unwrap();
+            check(&v);
+        }
+        let mask = StateMask::from_indices(3, [0usize]).unwrap();
+        v.extract_masked(&mask);
+        check(&v);
+        let split = v.split_masked(&StateMask::from_indices(3, [2usize]).unwrap());
+        check(&v);
+        v.add_sparse(&split).unwrap();
+        check(&v);
+        v.scale(0.0);
+        check(&v);
+        assert_eq!(v.nnz(), 0, "scaling by zero empties the vector");
     }
 
     #[test]
@@ -628,12 +703,77 @@ mod tests {
             }
             for (a, b) in batch.iter().zip(&solo) {
                 assert_eq!(a.is_sparse(), b.is_sparse());
+                assert_eq!(a.nnz(), b.nnz());
                 let (da, db) = (a.to_dense(), b.to_dense());
                 for s in 0..3 {
                     assert_eq!(da.get(s).to_bits(), db.get(s).to_bits(), "state {s}");
                 }
             }
         }
+    }
+
+    #[test]
+    fn step_batch_modes_agree_bitwise() {
+        let m = paper_matrix();
+        let mut scratch = SpmvScratch::new();
+        let template = vec![
+            PropagationVector::from_sparse(SparseVector::unit(3, 1).unwrap())
+                .with_densify_threshold(1.0),
+            PropagationVector::from_sparse(SparseVector::unit(3, 2).unwrap())
+                .with_densify_threshold(1.0),
+            PropagationVector::from_dense(DenseVector::from_vec(vec![0.25, 0.5, 0.25])),
+            PropagationVector::from_dense(DenseVector::from_vec(vec![0.5, 0.25, 0.25])),
+        ];
+        let mut per_mode: Vec<Vec<PropagationVector>> = Vec::new();
+        for mode in [KernelMode::Auto, KernelMode::SharedUnion, KernelMode::PerObject] {
+            let mut batch = template.clone();
+            let mut totals = BatchStepStats::default();
+            for _ in 0..5 {
+                totals.merge(m.step_batch_with_mode(&mut batch, &[], mode, &mut scratch).unwrap());
+            }
+            per_mode.push(batch);
+            assert!(totals.entries_touched > 0, "{mode:?} reports entry work");
+        }
+        for batch in &per_mode[1..] {
+            for (a, b) in per_mode[0].iter().zip(batch) {
+                let (da, db) = (a.to_dense(), b.to_dense());
+                for s in 0..3 {
+                    assert_eq!(da.get(s).to_bits(), db.get(s).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_object_mode_skips_sharing_but_counts_same_entries() {
+        let m = CsrMatrix::from_dense(&[
+            vec![0.5, 0.5, 0.0, 0.0],
+            vec![0.0, 0.5, 0.5, 0.0],
+            vec![0.0, 0.0, 0.5, 0.5],
+            vec![0.0, 0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let mut scratch = SpmvScratch::new();
+        let template = vec![
+            PropagationVector::from_sparse(
+                SparseVector::from_pairs(4, [(0, 0.5), (1, 0.5)]).unwrap(),
+            )
+            .with_densify_threshold(1.0),
+            PropagationVector::from_sparse(
+                SparseVector::from_pairs(4, [(1, 0.5), (2, 0.5)]).unwrap(),
+            )
+            .with_densify_threshold(1.0),
+        ];
+        let mut shared = template.clone();
+        let s = m
+            .step_batch_with_mode(&mut shared, &[], KernelMode::SharedUnion, &mut scratch)
+            .unwrap();
+        let mut solo = template.clone();
+        let p =
+            m.step_batch_with_mode(&mut solo, &[], KernelMode::PerObject, &mut scratch).unwrap();
+        assert_eq!(s.rows_traversed, 3, "union reads each support row once");
+        assert_eq!(p.rows_traversed, 4, "per-object pays the overlap twice");
+        assert_eq!(s.entries_touched, p.entries_touched, "identical multiply work");
     }
 
     #[test]
@@ -665,7 +805,8 @@ mod tests {
         .unwrap();
         let mut scratch = SpmvScratch::new();
         // Supports {0, 1} and {1, 2}: the union {0, 1, 2} is 3 matrix-row
-        // reads, the per-object sum is 4.
+        // reads, the per-object sum is 4 — enough overlap that the Auto
+        // heuristic picks the shared-union merge.
         let mut batch = vec![
             PropagationVector::from_sparse(
                 SparseVector::from_pairs(4, [(0, 0.5), (1, 0.5)]).unwrap(),
@@ -685,6 +826,7 @@ mod tests {
             individual.merge(m.step_batch(one, &[], &mut scratch).unwrap());
         }
         assert_eq!(individual.rows_traversed, 4, "per-object supports pay overlap twice");
+        assert_eq!(shared.entries_touched, individual.entries_touched);
         for (a, b) in batch.iter().zip(&solo) {
             let (da, db) = (a.to_dense(), b.to_dense());
             for s in 0..4 {

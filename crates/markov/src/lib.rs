@@ -20,6 +20,9 @@
 //!   ⊤ state (Section V), the doubled state space for multiple observations
 //!   (Section VI) and the k-times blow-up (Section VII), kept as executable
 //!   specifications the fast engines are cross-checked against;
+//! * [`kernels`] — the cache-blocked, SIMD-friendly batched propagation
+//!   kernels (dense panels, sparse k-way merge) and the [`KernelMode`]
+//!   selection policy behind `CsrMatrix::step_batch`;
 //! * [`interval::IntervalMatrix`] — interval Markov chains for the
 //!   cluster-level pruning sketched in Section V-C;
 //! * [`mask::StateMask`] — bitset state sets for query windows.
@@ -34,6 +37,7 @@ pub mod dense;
 pub mod error;
 pub mod hybrid;
 pub mod interval;
+pub mod kernels;
 pub mod mask;
 pub mod power;
 pub mod sparse_vec;
@@ -47,6 +51,7 @@ pub use dense::DenseVector;
 pub use error::{MarkovError, Result};
 pub use hybrid::{BatchStepStats, PropagationVector};
 pub use interval::IntervalMatrix;
+pub use kernels::KernelMode;
 pub use mask::StateMask;
 pub use power::PowerCache;
 pub use sparse_vec::SparseVector;

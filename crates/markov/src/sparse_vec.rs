@@ -63,6 +63,24 @@ impl SparseVector {
         Ok(out)
     }
 
+    /// Assembles a vector from parts the caller guarantees are already
+    /// strictly ascending, in range and free of explicit zeros — the
+    /// allocation-free construction used by the batched kernels, whose
+    /// gather pass establishes exactly these invariants.
+    pub(crate) fn from_sorted_parts(dim: usize, indices: Vec<u32>, values: Vec<f64>) -> Self {
+        debug_assert_eq!(indices.len(), values.len());
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]), "indices strictly ascending");
+        debug_assert!(indices.last().is_none_or(|&i| (i as usize) < dim), "indices in range");
+        debug_assert!(values.iter().all(|v| *v != 0.0), "no explicit zeros");
+        SparseVector { dim, indices, values }
+    }
+
+    /// Consumes the vector, returning its `(indices, values)` storage so
+    /// the batched kernels can recycle the buffers through their pools.
+    pub(crate) fn into_parts(self) -> (Vec<u32>, Vec<f64>) {
+        (self.indices, self.values)
+    }
+
     /// Converts a dense vector, keeping entries with `|v| > threshold`.
     pub fn from_dense(dense: &DenseVector, threshold: f64) -> Self {
         let mut indices = Vec::new();

@@ -6,9 +6,26 @@ use proptest::prelude::*;
 use ust_markov::augmented;
 use ust_markov::testutil;
 use ust_markov::{
-    CsrMatrix, DenseVector, MarkovChain, PropagationVector, SparseVector, SpmvScratch, StateMask,
-    StochasticMatrix,
+    CsrMatrix, DenseVector, KernelMode, MarkovChain, PropagationVector, SparseVector, SpmvScratch,
+    StateMask, StochasticMatrix,
 };
+
+/// A batch of propagation vectors with mixed representations and densify
+/// policies — the compositions the batched kernels must keep bit-identical
+/// to solo stepping.
+fn mixed_batch(rng: &mut rand::rngs::StdRng, n: usize, members: usize) -> Vec<PropagationVector> {
+    (0..members)
+        .map(|k| {
+            let start = testutil::random_distribution(rng, n, 1 + k % 4);
+            let threshold = [0.0, 0.25, 1.0][k % 3];
+            if k % 2 == 0 {
+                PropagationVector::from_sparse(start).with_densify_threshold(threshold)
+            } else {
+                PropagationVector::from_dense(start.to_dense()).with_densify_threshold(threshold)
+            }
+        })
+        .collect()
+}
 
 fn chain_params() -> impl Strategy<Value = (u64, usize, usize)> {
     (0u64..10_000, 2usize..=24, 1usize..=5)
@@ -134,6 +151,84 @@ proptest! {
             reference.step(&m, &mut scratch).unwrap();
         }
         prop_assert!(hybrid.to_dense().approx_eq(&reference.to_dense(), 1e-12));
+    }
+
+    #[test]
+    fn batched_step_is_bit_identical_to_solo_steps(
+        (seed, n, deg) in chain_params(),
+        members in 1usize..=6,
+        steps in 0u32..6,
+        mode_sel in 0u8..3,
+        mask_seed in 0u64..1_000,
+    ) {
+        // The PR 6 contract: every kernel the batched path can choose —
+        // shared-union sparse merge, dense panels (any panel width the
+        // dimension induces), per-object fallback, and the Auto heuristic
+        // mixing them — produces the *same bits* as stepping each member
+        // alone, for any batch composition and activity mask.
+        let mode = match mode_sel {
+            0 => KernelMode::Auto,
+            1 => KernelMode::SharedUnion,
+            _ => KernelMode::PerObject,
+        };
+        let mut rng = testutil::rng(seed);
+        let m = testutil::random_stochastic(&mut rng, n, deg);
+        let mut batch = mixed_batch(&mut rng, n, members);
+        use rand::Rng as _;
+        let mut mask_rng = testutil::rng(mask_seed);
+        let active: Vec<bool> = (0..members).map(|_| mask_rng.random::<f64>() < 0.8).collect();
+        let mut solo = batch.clone();
+        let mut batch_scratch = SpmvScratch::new();
+        let mut solo_scratch = SpmvScratch::new();
+        for _ in 0..steps {
+            m.step_batch_with_mode(&mut batch, &active, mode, &mut batch_scratch).unwrap();
+            for (k, row) in solo.iter_mut().enumerate() {
+                if active[k] && row.nnz() > 0 {
+                    row.step(&m, &mut solo_scratch).unwrap();
+                }
+            }
+        }
+        for (a, b) in batch.iter().zip(solo.iter()) {
+            // Derived equality covers representation, values *and* the
+            // tracked non-zero count, all bit-for-bit.
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(a.nnz(), a.to_dense().nnz(), "tracked nnz matches a rescan");
+        }
+    }
+
+    #[test]
+    fn kernel_modes_agree_and_touch_the_same_entries(
+        (seed, n, deg) in chain_params(),
+        members in 2usize..=5,
+        steps in 1u32..5,
+    ) {
+        // entries_touched counts multiplies per vector fed, so it is
+        // invariant across kernel choices — the property that makes
+        // entries/second comparable across modes in the benchmarks.
+        let mut rng = testutil::rng(seed);
+        let m = testutil::random_stochastic(&mut rng, n, deg);
+        let batch = mixed_batch(&mut rng, n, members);
+        let active = vec![true; members];
+        let mut outcomes = Vec::new();
+        for mode in [KernelMode::Auto, KernelMode::SharedUnion, KernelMode::PerObject] {
+            let mut rows = batch.clone();
+            let mut scratch = SpmvScratch::new();
+            let mut entries = 0u64;
+            for _ in 0..steps {
+                let report =
+                    m.step_batch_with_mode(&mut rows, &active, mode, &mut scratch).unwrap();
+                entries += report.entries_touched;
+            }
+            outcomes.push((rows, entries));
+        }
+        let (reference, ref_entries) = &outcomes[0];
+        prop_assert!(*ref_entries > 0);
+        for (rows, entries) in &outcomes[1..] {
+            prop_assert_eq!(entries, ref_entries);
+            for (a, b) in rows.iter().zip(reference.iter()) {
+                prop_assert_eq!(a, b);
+            }
+        }
     }
 
     #[test]
