@@ -10,6 +10,7 @@ pub mod pr3;
 pub mod pr4;
 pub mod pr5;
 pub mod pr6;
+pub mod pr7;
 
 use crate::{ExperimentOutput, Scale};
 
@@ -35,6 +36,7 @@ pub fn all(scale: Scale) -> Vec<ExperimentOutput> {
     out.push(pr4::pr4_planner(scale));
     out.push(pr5::pr5_admission(scale));
     out.push(pr6::pr6_kernels(scale));
+    out.push(pr7::pr7_index(scale));
     out
 }
 
@@ -61,6 +63,7 @@ pub fn by_id(id: &str, scale: Scale) -> Option<ExperimentOutput> {
         "pr4_planner" => Some(pr4::pr4_planner(scale)),
         "pr5_admission" => Some(pr5::pr5_admission(scale)),
         "pr6_kernels" => Some(pr6::pr6_kernels(scale)),
+        "pr7_index" => Some(pr7::pr7_index(scale)),
         _ => None,
     }
 }
@@ -88,6 +91,7 @@ pub fn known_ids() -> &'static [&'static str] {
         "pr4_planner",
         "pr5_admission",
         "pr6_kernels",
+        "pr7_index",
     ]
 }
 
@@ -107,6 +111,6 @@ mod tests {
         assert!(!out.table.is_empty());
         assert_eq!(out.id, "ablation_augmented");
         assert!(by_id("nope", Scale::Ci).is_none());
-        assert_eq!(known_ids().len(), 20);
+        assert_eq!(known_ids().len(), 21);
     }
 }

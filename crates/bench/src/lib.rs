@@ -83,6 +83,9 @@ impl ExperimentOutput {
         self.metrics.push((format!("{prefix}_cache_misses"), stats.cache_misses as f64));
         self.metrics.push((format!("{prefix}_fields_shared"), stats.fields_shared as f64));
         self.metrics.push((format!("{prefix}_pruned_mass"), stats.pruned_mass));
+        self.metrics
+            .push((format!("{prefix}_candidates_examined"), stats.candidates_examined as f64));
+        self.metrics.push((format!("{prefix}_candidates_pruned"), stats.candidates_pruned as f64));
         self
     }
 }

@@ -98,26 +98,28 @@ pub struct ClusteredThresholdResult {
     pub individually_evaluated: usize,
 }
 
-/// Thresholded PST∃Q using cluster-level interval bounds, falling back to
-/// exact per-object evaluation only for undecided objects.
-pub fn clustered_threshold_query(
+/// Per-object envelope-bound decisions over `indices` (database indices,
+/// evaluated in the given order): `Some(true)` — the cluster's lower bound
+/// already certifies `P∃ ≥ τ`; `Some(false)` — the upper bound rules it
+/// out; `None` — the interval straddles `τ` and the object needs exact
+/// evaluation. Decided objects count into [`EvalStats::objects_pruned`];
+/// each object is validated against `window` exactly like the exact
+/// drivers do, so a query that would fail without bounds fails here with
+/// the same first error.
+pub fn decide_by_bounds(
     db: &TrajectoryDatabase,
+    indices: &[usize],
     window: &QueryWindow,
     tau: f64,
     clusters: &[ModelCluster],
-    config: &EngineConfig,
     stats: &mut EvalStats,
-) -> Result<ClusteredThresholdResult> {
+) -> Result<Vec<Option<bool>>> {
     let mut cluster_of_model: BTreeMap<usize, usize> = BTreeMap::new();
     for (ci, cluster) in clusters.iter().enumerate() {
         for &m in &cluster.models {
             cluster_of_model.insert(m, ci);
         }
     }
-
-    let mut accepted = Vec::new();
-    let mut decided = 0usize;
-    let mut individual = 0usize;
 
     // Bounds are anchored per (cluster, anchor time): homogeneity lets us
     // shift the window instead of re-anchoring the chain.
@@ -126,7 +128,10 @@ pub fn clustered_threshold_query(
         (ust_markov::DenseVector, ust_markov::DenseVector),
     > = BTreeMap::new();
 
-    for object in db.objects() {
+    let mut decisions = Vec::with_capacity(indices.len());
+    for &idx in indices {
+        let object =
+            db.object(idx).ok_or(crate::error::QueryError::UnknownObject { id: idx as u64 })?;
         let model = object.model();
         let ci = match cluster_of_model.get(&model) {
             Some(&ci) => ci,
@@ -164,19 +169,67 @@ pub fn clustered_threshold_query(
             }
         }
         if lb >= tau {
-            accepted.push(object.id());
-            decided += 1;
             stats.objects_pruned += 1;
+            decisions.push(Some(true));
         } else if ub < tau {
-            decided += 1;
             stats.objects_pruned += 1;
+            decisions.push(Some(false));
         } else {
-            // Undecided: exact QB evaluation with the object's own chain.
-            individual += 1;
-            let p = query_based::exists_probability(db.model_of(object), object, window, config)?;
-            stats.objects_evaluated += 1;
-            if p >= tau {
+            decisions.push(None);
+        }
+    }
+    Ok(decisions)
+}
+
+/// Thresholded PST∃Q using cluster-level interval bounds, falling back to
+/// exact per-object evaluation only for undecided objects.
+pub fn clustered_threshold_query(
+    db: &TrajectoryDatabase,
+    window: &QueryWindow,
+    tau: f64,
+    clusters: &[ModelCluster],
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<ClusteredThresholdResult> {
+    let indices: Vec<usize> = (0..db.len()).collect();
+    clustered_threshold_query_on(db, &indices, window, tau, clusters, config, stats)
+}
+
+/// [`clustered_threshold_query`] over an explicit candidate subset
+/// (database indices, processed in the given order) — the entry point the
+/// planner dispatches through after index pruning.
+pub fn clustered_threshold_query_on(
+    db: &TrajectoryDatabase,
+    indices: &[usize],
+    window: &QueryWindow,
+    tau: f64,
+    clusters: &[ModelCluster],
+    config: &EngineConfig,
+    stats: &mut EvalStats,
+) -> Result<ClusteredThresholdResult> {
+    let decisions = decide_by_bounds(db, indices, window, tau, clusters, stats)?;
+
+    let mut accepted = Vec::new();
+    let mut decided = 0usize;
+    let mut individual = 0usize;
+    for (&idx, decision) in indices.iter().zip(&decisions) {
+        let object = db.object(idx).expect("validated by decide_by_bounds");
+        match decision {
+            Some(true) => {
                 accepted.push(object.id());
+                decided += 1;
+            }
+            Some(false) => decided += 1,
+            None => {
+                // Undecided: exact QB evaluation with the object's own
+                // chain.
+                individual += 1;
+                let p =
+                    query_based::exists_probability(db.model_of(object), object, window, config)?;
+                stats.objects_evaluated += 1;
+                if p >= tau {
+                    accepted.push(object.id());
+                }
             }
         }
     }
@@ -300,6 +353,74 @@ mod tests {
         .unwrap();
         assert_eq!(result.individually_evaluated, 0);
         assert_eq!(result.decided_by_bounds, db.len());
+        // "Without touching members": no object was exactly evaluated and
+        // every one was pruned by the envelope.
+        assert_eq!(stats.objects_evaluated, 0);
+        assert_eq!(stats.objects_pruned, db.len() as u64);
+    }
+
+    #[test]
+    fn subset_variant_matches_full_query_on_subset() {
+        let db = make_db();
+        let clusters = greedy_clusters(&db, 0.5).unwrap();
+        let config = EngineConfig::default();
+        let subset = [0usize, 2, 4];
+        for tau in [0.05, 0.5, 0.9] {
+            let on = clustered_threshold_query_on(
+                &db,
+                &subset,
+                &window(),
+                tau,
+                &clusters,
+                &config,
+                &mut EvalStats::new(),
+            )
+            .unwrap();
+            // The subset answer is the full answer restricted to the subset
+            // — per-object decisions do not depend on who else was asked.
+            let full = clustered_threshold_query(
+                &db,
+                &window(),
+                tau,
+                &clusters,
+                &config,
+                &mut EvalStats::new(),
+            )
+            .unwrap();
+            let subset_ids: Vec<u64> = subset.iter().map(|&i| db.object(i).unwrap().id()).collect();
+            let expect: Vec<u64> =
+                full.accepted.iter().copied().filter(|id| subset_ids.contains(id)).collect();
+            assert_eq!(on.accepted, expect, "τ = {tau}");
+            assert_eq!(on.decided_by_bounds + on.individually_evaluated, subset.len());
+        }
+    }
+
+    #[test]
+    fn decide_by_bounds_is_conservative() {
+        // Whenever the envelope decides an object, the exact probability
+        // must agree with the decision.
+        let db = make_db();
+        let clusters = greedy_clusters(&db, 0.5).unwrap();
+        let config = EngineConfig::default();
+        let indices: Vec<usize> = (0..db.len()).collect();
+        for tau in [0.05, 0.3, 0.5, 0.85, 0.9, 0.99] {
+            let decisions =
+                decide_by_bounds(&db, &indices, &window(), tau, &clusters, &mut EvalStats::new())
+                    .unwrap();
+            for (&idx, decision) in indices.iter().zip(&decisions) {
+                let object = db.object(idx).unwrap();
+                let p = query_based::exists_probability(
+                    db.model_of(object),
+                    object,
+                    &window(),
+                    &config,
+                )
+                .unwrap();
+                if let Some(accept) = decision {
+                    assert_eq!(*accept, p >= tau, "object {idx}, τ = {tau}, p = {p}");
+                }
+            }
+        }
     }
 
     #[test]

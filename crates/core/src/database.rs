@@ -4,11 +4,14 @@
 //! paper optimizes for, or several per-class chains as discussed in
 //! Section V-C) and the uncertain objects referencing them.
 
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use ust_markov::MarkovChain;
+use ust_space::StateSpace;
 
 use crate::error::{QueryError, Result};
+use crate::index::SpatioTemporalIndex;
 use crate::object::UncertainObject;
 
 /// A database of uncertain spatio-temporal objects over one or more
@@ -28,10 +31,41 @@ pub struct TrajectoryDatabase {
     inner: Arc<DbInner>,
 }
 
-#[derive(Debug, Clone)]
 struct DbInner {
     models: Vec<Arc<MarkovChain>>,
     objects: Vec<UncertainObject>,
+    /// Spatial embedding of the state space, when one has been attached;
+    /// required for the planner's spatio-temporal prefilter.
+    space: Option<Arc<dyn StateSpace + Send + Sync>>,
+    /// Lazily built candidate index over this exact object store. Cleared
+    /// on every mutation (see [`TrajectoryDatabase::insert`]), so a
+    /// populated slot always describes the snapshot it lives in.
+    index: OnceLock<Arc<SpatioTemporalIndex>>,
+}
+
+impl Clone for DbInner {
+    fn clone(&self) -> Self {
+        // Copy-on-write invalidation: the freshly copied store starts with
+        // an empty index slot and rebuilds lazily on first use, while the
+        // source snapshot keeps its index.
+        DbInner {
+            models: self.models.clone(),
+            objects: self.objects.clone(),
+            space: self.space.clone(),
+            index: OnceLock::new(),
+        }
+    }
+}
+
+impl fmt::Debug for DbInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DbInner")
+            .field("models", &self.models)
+            .field("objects", &self.objects)
+            .field("space", &self.space.as_ref().map(|s| s.num_states()))
+            .field("index", &self.index.get().is_some())
+            .finish()
+    }
 }
 
 impl TrajectoryDatabase {
@@ -39,7 +73,12 @@ impl TrajectoryDatabase {
     /// setting: "all objects follow the same model").
     pub fn new(chain: MarkovChain) -> Self {
         TrajectoryDatabase {
-            inner: Arc::new(DbInner { models: vec![Arc::new(chain)], objects: Vec::new() }),
+            inner: Arc::new(DbInner {
+                models: vec![Arc::new(chain)],
+                objects: Vec::new(),
+                space: None,
+                index: OnceLock::new(),
+            }),
         }
     }
 
@@ -61,8 +100,47 @@ impl TrajectoryDatabase {
             inner: Arc::new(DbInner {
                 models: chains.into_iter().map(Arc::new).collect(),
                 objects: Vec::new(),
+                space: None,
+                index: OnceLock::new(),
             }),
         })
+    }
+
+    /// Attaches a spatial embedding of the state space, enabling the
+    /// planner's index-accelerated candidate pruning
+    /// ([`TrajectoryDatabase::spatial_index`]). The embedding must cover
+    /// exactly the model dimension.
+    pub fn attach_space(&mut self, space: Arc<dyn StateSpace + Send + Sync>) -> Result<()> {
+        if space.num_states() != self.num_states() {
+            return Err(QueryError::ModelDimensionMismatch {
+                model_states: self.num_states(),
+                object_states: space.num_states(),
+            });
+        }
+        let inner = Arc::make_mut(&mut self.inner);
+        inner.space = Some(space);
+        inner.index.take();
+        Ok(())
+    }
+
+    /// The attached spatial embedding, if any.
+    pub fn space(&self) -> Option<&Arc<dyn StateSpace + Send + Sync>> {
+        self.inner.space.as_ref()
+    }
+
+    /// The spatio-temporal candidate index for this snapshot, building it
+    /// on first use. `None` until a space is attached
+    /// ([`TrajectoryDatabase::attach_space`]). The index is shared with
+    /// clones taken *after* it was built and dropped from handles that
+    /// mutate (insert / attach), so it always describes the snapshot that
+    /// returns it.
+    pub fn spatial_index(&self) -> Option<Arc<SpatioTemporalIndex>> {
+        let space = self.inner.space.as_ref()?;
+        let index = self
+            .inner
+            .index
+            .get_or_init(|| Arc::new(SpatioTemporalIndex::build(self, Arc::clone(space))));
+        Some(Arc::clone(index))
     }
 
     /// Adds an object after validating its model reference and dimensions.
@@ -79,7 +157,11 @@ impl TrajectoryDatabase {
                 object_states: object.num_states(),
             });
         }
-        Arc::make_mut(&mut self.inner).objects.push(object);
+        let inner = Arc::make_mut(&mut self.inner);
+        inner.objects.push(object);
+        // When this handle was the sole owner, make_mut mutated in place —
+        // drop the index explicitly so it can never describe a stale store.
+        inner.index.take();
         Ok(())
     }
 
@@ -212,6 +294,63 @@ mod tests {
         assert_eq!(db.len(), 2);
         assert_eq!(snapshot.len(), 1);
         assert_eq!(snapshot.object(0).unwrap().id(), 1);
+    }
+
+    #[test]
+    fn spatial_index_is_lazy_and_invalidated_on_write() {
+        use ust_space::LineSpace;
+
+        let mut db = TrajectoryDatabase::new(chain3());
+        db.insert(object(1, 0)).unwrap();
+        assert!(db.spatial_index().is_none(), "no index before a space is attached");
+
+        db.attach_space(Arc::new(LineSpace::new(3))).unwrap();
+        let first = db.spatial_index().expect("index builds lazily");
+        assert_eq!(first.num_objects(), 1);
+        // Repeated reads return the same build.
+        assert!(Arc::ptr_eq(&first, &db.spatial_index().unwrap()));
+
+        // A snapshot taken now shares the built index...
+        let snapshot = db.clone();
+        assert!(Arc::ptr_eq(&first, &snapshot.spatial_index().unwrap()));
+
+        // ...while an insert invalidates the writer's copy but not the
+        // snapshot's.
+        db.insert(object(2, 1)).unwrap();
+        let rebuilt = db.spatial_index().unwrap();
+        assert!(!Arc::ptr_eq(&first, &rebuilt));
+        assert_eq!(rebuilt.num_objects(), 2);
+        assert_eq!(snapshot.spatial_index().unwrap().num_objects(), 1);
+    }
+
+    #[test]
+    fn sole_owner_insert_still_invalidates_index() {
+        use ust_space::LineSpace;
+
+        let mut db = TrajectoryDatabase::new(chain3());
+        db.attach_space(Arc::new(LineSpace::new(3))).unwrap();
+        db.insert(object(1, 0)).unwrap();
+        let before = db.spatial_index().unwrap();
+        // No other handle exists: make_mut mutates in place, so the
+        // explicit invalidation is what protects the index here.
+        db.insert(object(2, 1)).unwrap();
+        let after = db.spatial_index().unwrap();
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert_eq!(after.num_objects(), 2);
+    }
+
+    #[test]
+    fn attach_space_validates_dimension() {
+        use ust_space::LineSpace;
+
+        let mut db = TrajectoryDatabase::new(chain3());
+        assert!(matches!(
+            db.attach_space(Arc::new(LineSpace::new(7))),
+            Err(QueryError::ModelDimensionMismatch { .. })
+        ));
+        assert!(db.space().is_none());
+        db.attach_space(Arc::new(LineSpace::new(3))).unwrap();
+        assert_eq!(db.space().unwrap().num_states(), 3);
     }
 
     #[test]

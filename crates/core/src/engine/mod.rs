@@ -45,6 +45,28 @@ use crate::stats::EvalStats;
 pub use plan::{CostEstimate, QueryPlan};
 pub use ust_markov::KernelMode;
 
+/// When the planner consults the [`crate::index::SpatioTemporalIndex`] to
+/// prune candidate objects before costing and execution.
+///
+/// Pruning applies only where the pruned answer is provably bit-identical
+/// to the unpruned one: `∃` queries with the probability or threshold
+/// decorator (a geometrically unreachable object has `P∃ = 0` exactly, in
+/// both exact engines). Other predicates, top-k ranking, and databases
+/// without an attached space always take the unpruned path, whatever the
+/// mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefilterMode {
+    /// Prune when an index is available and the database is large enough
+    /// for the candidate pass to pay for itself (the default).
+    #[default]
+    Auto,
+    /// Prune whenever an index is available, regardless of database size.
+    On,
+    /// Never prune: plans and answers are bit-for-bit those of a build
+    /// without the index layer.
+    Off,
+}
+
 /// Groups a worker's object indices by `(model, anchor time)` — the two
 /// properties every member of an [`pipeline::ObjectBatch`] must share (one
 /// transition matrix, one sweep start). Returns, per key, the *positions*
@@ -124,6 +146,12 @@ pub struct EngineConfig {
     /// benchmarking. Every mode yields bit-identical results — only
     /// traversal order and memory traffic differ.
     pub batching: KernelMode,
+    /// Index-accelerated candidate pruning policy (see [`PrefilterMode`]).
+    /// [`PrefilterMode::Auto`], the default, prunes eligible queries
+    /// through [`crate::database::TrajectoryDatabase::spatial_index`] once
+    /// the database is large enough; [`PrefilterMode::Off`] preserves the
+    /// pre-index plans bit-for-bit.
+    pub prefilter: PrefilterMode,
 }
 
 impl Default for EngineConfig {
@@ -138,6 +166,7 @@ impl Default for EngineConfig {
             default_deadline: None,
             calibrate_planner: false,
             batching: KernelMode::Auto,
+            prefilter: PrefilterMode::Auto,
         }
     }
 }
@@ -200,6 +229,12 @@ impl EngineConfig {
     /// Sets the batched-propagation kernel selection policy.
     pub fn with_batching(mut self, mode: KernelMode) -> Self {
         self.batching = mode;
+        self
+    }
+
+    /// Sets the index-accelerated candidate pruning policy.
+    pub fn with_prefilter(mut self, mode: PrefilterMode) -> Self {
+        self.prefilter = mode;
         self
     }
 

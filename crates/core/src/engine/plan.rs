@@ -55,14 +55,16 @@
 //! and rendered by [`crate::engine::QueryProcessor::explain`] either way.
 
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::cluster;
 use crate::database::TrajectoryDatabase;
 use crate::engine::cache::{BackwardFieldCache, KTimesFieldCache};
 use crate::engine::query_based::{validated_model_groups_on, SharedFieldPlan};
-use crate::engine::{forall, ktimes, object_based, EngineConfig};
+use crate::engine::{forall, ktimes, object_based, EngineConfig, PrefilterMode};
 use crate::error::{QueryError, Result};
+use crate::index::{intersect_sorted, SpatioTemporalIndex};
 use crate::parallel::ShardedExecutor;
 use crate::query::{
     Decorator, ObjectKDistribution, ObjectProbability, Predicate, QueryAnswer, QuerySpec,
@@ -77,6 +79,11 @@ use crate::threshold;
 /// decisions — superseded by the measured per-strategy EWMA once
 /// [`EngineConfig::calibrate_planner`] is on and samples exist.
 const OB_EARLY_TERMINATION_DISCOUNT: f64 = 0.5;
+
+/// Under [`PrefilterMode::Auto`], candidate sets smaller than this skip the
+/// index pass: the O(|D∩|) bookkeeping of a pruned dispatch is unlikely to
+/// beat just evaluating everyone. [`PrefilterMode::On`] ignores the floor.
+const PREFILTER_AUTO_MIN_OBJECTS: usize = 256;
 
 /// A strategy's estimated evaluation cost, in matrix-entry touches.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -159,6 +166,13 @@ pub struct QueryPlan {
     pub ob_entry_throughput: Option<f64>,
     /// Observed query-based matrix-entry throughput, ditto.
     pub qb_entry_throughput: Option<f64>,
+    /// Candidate objects handed to the engines after the index prefilter —
+    /// the `|D∩|` the cost estimates above were computed over. Equals
+    /// [`QueryPlan::num_objects`] when no pruning ran.
+    pub candidates_examined: usize,
+    /// Candidate objects discarded by the spatio-temporal index before
+    /// costing (provably `P∃ = 0`; zero when no pruning ran).
+    pub candidates_pruned: usize,
     /// One-line human-readable rationale for the choice.
     pub reason: String,
     /// Undiscounted propagation-step estimates `(object-based,
@@ -219,6 +233,14 @@ impl fmt::Display for QueryPlan {
                 self.qb_entry_throughput.map_or("—".into(), |r| format!("{r:.0}")),
             )?;
         }
+        if self.candidates_pruned > 0 {
+            write!(
+                f,
+                "\n  prefilter    : {} of {} candidate(s) examined, {} pruned by the \
+                 spatio-temporal index",
+                self.candidates_examined, self.num_objects, self.candidates_pruned,
+            )?;
+        }
         Ok(())
     }
 }
@@ -265,18 +287,133 @@ pub(crate) fn resolve_indices(db: &TrajectoryDatabase, spec: &QuerySpec) -> Resu
     }
 }
 
-/// Builds the [`QueryPlan`] for a spec: estimates every strategy's cost
-/// from database/window statistics and cache residency, then resolves
-/// [`Strategy::Auto`] to the cheaper exact strategy (explicit overrides
-/// are echoed with the same estimates attached).
-pub(crate) fn plan(ctx: &ExecContext<'_>, spec: &QuerySpec) -> Result<QueryPlan> {
-    let indices = resolve_indices(ctx.db, spec)?;
-    plan_on(ctx, spec, &indices)
+/// The outcome of an index prefilter pass: the candidates that survive and
+/// the complement that was pruned, both as ascending database indices
+/// partitioning the resolved set.
+pub(crate) struct Prefiltered {
+    /// Candidates the engines will actually evaluate.
+    pub survivors: Vec<usize>,
+    /// Candidates with provably `P∃ = 0`, answered without evaluation.
+    pub pruned: Vec<usize>,
 }
 
-/// The planning body over already-resolved indices, so [`execute`] pays
-/// the subset resolution once, not per phase.
-fn plan_on(ctx: &ExecContext<'_>, spec: &QuerySpec, indices: &[usize]) -> Result<QueryPlan> {
+/// Runs the spatio-temporal index over the resolved candidate set, when
+/// that is both enabled and *provably answer-preserving*. Returns `None`
+/// whenever the unpruned path must run instead — which is the common case:
+///
+/// * [`PrefilterMode::Off`], or [`PrefilterMode::Auto`] on a database
+///   below the size floor, or no index (no attached space);
+/// * a predicate other than `∃`, or the top-k decorator: pruned objects
+///   would have to be re-synthesized into the answer, and only the `∃`
+///   probability/threshold shapes make that bit-exact (a pruned object's
+///   `P∃` is `0.0` exactly in every engine, whereas `∀`/PSTkQ answers
+///   carry float residue and OB top-k has its own pruner with a different
+///   omission contract);
+/// * a window whose mask dimension differs from the database's, or one
+///   starting before the latest first observation over the candidates —
+///   in both cases the exact drivers are entitled to fail validation, and
+///   pruning must never mask that error.
+fn prefilter_candidates(
+    ctx: &ExecContext<'_>,
+    spec: &QuerySpec,
+    indices: &[usize],
+) -> Option<Prefiltered> {
+    match ctx.config.prefilter {
+        PrefilterMode::Off => return None,
+        PrefilterMode::Auto if indices.len() < PREFILTER_AUTO_MIN_OBJECTS => return None,
+        PrefilterMode::Auto | PrefilterMode::On => {}
+    }
+    if spec.predicate() != Predicate::Exists || matches!(spec.decorator(), Decorator::TopK(_)) {
+        return None;
+    }
+    let index = ctx.db.spatial_index()?;
+    let window = spec.window();
+    if window.states().dim() != ctx.db.num_states() {
+        return None;
+    }
+    // Validation guard: answering for a pruned object without touching it
+    // is only sound when per-object validation could not have rejected the
+    // window. All dimensions already match, so the only per-object check
+    // left is `t_start ≥ anchor time` — over the whole database that is
+    // the index's O(1) max; over an explicit subset, an O(k) fold.
+    let max_anchor = if indices.len() == ctx.db.len() {
+        index.max_anchor_time()
+    } else {
+        indices
+            .iter()
+            .filter_map(|&idx| ctx.db.object(idx).map(|o| o.anchor().time()))
+            .max()
+            .unwrap_or(0)
+    };
+    if window.t_start() < max_anchor {
+        return None;
+    }
+    let candidates = index.candidates(window);
+    let survivors = if indices.len() == ctx.db.len() {
+        candidates
+    } else {
+        intersect_sorted(indices, &candidates)
+    };
+    if survivors.len() == indices.len() {
+        // Nothing pruned: the plain path avoids the merge bookkeeping.
+        return None;
+    }
+    let mut pruned = Vec::with_capacity(indices.len() - survivors.len());
+    let mut s = 0usize;
+    for &idx in indices {
+        if s < survivors.len() && survivors[s] == idx {
+            s += 1;
+        } else {
+            pruned.push(idx);
+        }
+    }
+    Some(Prefiltered { survivors, pruned })
+}
+
+/// The interval-envelope clusters to decide threshold candidates with, when
+/// the clustered protocol applies: pruning enabled, an exact strategy, a
+/// heterogeneous model population, and an index carrying non-trivial
+/// clusters. Bounds-decided objects skip exact evaluation entirely;
+/// undecided ones fall through to the same batched drivers the unclustered
+/// path uses, so answers stay identical.
+fn envelope_clusters(
+    ctx: &ExecContext<'_>,
+    strategy: Strategy,
+) -> Option<Arc<SpatioTemporalIndex>> {
+    if ctx.config.prefilter == PrefilterMode::Off
+        || strategy == Strategy::MonteCarlo
+        || ctx.db.models().len() < 2
+    {
+        return None;
+    }
+    let index = ctx.db.spatial_index()?;
+    (!index.clusters().is_empty()).then_some(index)
+}
+
+/// Builds the [`QueryPlan`] for a spec: resolves the candidate set, runs
+/// the index prefilter, estimates every strategy's cost from the surviving
+/// candidates and cache residency, then resolves [`Strategy::Auto`] to the
+/// cheaper exact strategy (explicit overrides are echoed with the same
+/// estimates attached).
+pub(crate) fn plan(ctx: &ExecContext<'_>, spec: &QuerySpec) -> Result<QueryPlan> {
+    let indices = resolve_indices(ctx.db, spec)?;
+    match prefilter_candidates(ctx, spec, &indices) {
+        Some(pre) => plan_on(ctx, spec, &pre.survivors, pre.pruned.len()),
+        None => plan_on(ctx, spec, &indices, 0),
+    }
+}
+
+/// The planning body over already-prefiltered indices (`pruned` counts the
+/// candidates the index discarded), so [`execute`] pays the subset
+/// resolution and the index pass once, not per phase. The cost estimates
+/// see only the surviving candidates — this is where pruning shrinks the
+/// planner's `|D|`.
+fn plan_on(
+    ctx: &ExecContext<'_>,
+    spec: &QuerySpec,
+    indices: &[usize],
+    pruned: usize,
+) -> Result<QueryPlan> {
     let window = spec.window();
     let groups = validated_model_groups_on(ctx.db, indices, window)?;
 
@@ -415,7 +552,7 @@ fn plan_on(ctx: &ExecContext<'_>, spec: &QuerySpec, indices: &[usize]) -> Result
         object_based: ob,
         query_based: qb,
         monte_carlo: mc,
-        num_objects: indices.len(),
+        num_objects: indices.len() + pruned,
         num_models: groups.len(),
         cached_fields,
         extendable_fields,
@@ -429,6 +566,8 @@ fn plan_on(ctx: &ExecContext<'_>, spec: &QuerySpec, indices: &[usize]) -> Result
         calibrated,
         ob_entry_throughput,
         qb_entry_throughput,
+        candidates_examined: indices.len(),
+        candidates_pruned: pruned,
         reason,
         raw_steps: (ob_raw_steps, qb_raw_steps),
     })
@@ -471,13 +610,17 @@ pub(crate) fn execute_monitored(
     let need_plan = spec.strategy() == Strategy::Auto || ctx.config.calibrate_planner;
     let plan_start = Instant::now();
     let planned = resolve_indices(ctx.db, spec).and_then(|indices| {
+        let (indices, pruned) = match prefilter_candidates(ctx, spec, &indices) {
+            Some(pre) => (pre.survivors, pre.pruned),
+            None => (indices, Vec::new()),
+        };
         if need_plan {
-            plan_on(ctx, spec, &indices).map(|plan| (indices, Some(plan)))
+            plan_on(ctx, spec, &indices, pruned.len()).map(|plan| (indices, pruned, Some(plan)))
         } else {
-            Ok((indices, None))
+            Ok((indices, pruned, None))
         }
     });
-    let (indices, plan) = match planned {
+    let (indices, pruned, plan) = match planned {
         Ok(v) => v,
         Err(e) => {
             ctx.metrics.record_execution(&crate::serving::ExecutionRecord {
@@ -504,7 +647,9 @@ pub(crate) fn execute_monitored(
     }
     let before = stats.clone();
     let exec_start = Instant::now();
-    let result = dispatch(ctx, spec, strategy, &indices, stats);
+    stats.candidates_examined += indices.len() as u64;
+    stats.candidates_pruned += pruned.len() as u64;
+    let result = dispatch(ctx, spec, strategy, &indices, &pruned, stats);
     ctx.metrics.record_execution(&crate::serving::ExecutionRecord {
         predicate: spec.predicate(),
         strategy,
@@ -525,11 +670,15 @@ pub(crate) fn execute_monitored(
 
 /// Runs a spec under an already-resolved strategy — the strategy ×
 /// predicate × decorator dispatch onto the batched, sharded drivers.
+/// `pruned` holds the index-pruned complement of `indices` (empty when no
+/// prefilter ran); pruned objects are answered as exact `P∃ = 0` without
+/// being evaluated.
 fn dispatch(
     ctx: &ExecContext<'_>,
     spec: &QuerySpec,
     strategy: Strategy,
     indices: &[usize],
+    pruned: &[usize],
     stats: &mut EvalStats,
 ) -> Result<QueryAnswer> {
     let window = spec.window();
@@ -537,29 +686,13 @@ fn dispatch(
     let sampling = spec.sampling();
     match spec.predicate() {
         Predicate::Exists => match spec.decorator() {
-            Decorator::Probabilities => Ok(QueryAnswer::Probabilities(exists_probs(
-                ctx, strategy, indices, window, sampling, stats,
-            )?)),
+            Decorator::Probabilities => {
+                let probs = exists_probs(ctx, strategy, indices, window, sampling, stats)?;
+                Ok(QueryAnswer::Probabilities(merge_pruned_zeros(ctx.db, indices, probs, pruned)))
+            }
             Decorator::Threshold(tau) => {
-                let ids = if strategy == Strategy::ObjectBased {
-                    // The bound-based driver: early termination per object,
-                    // exactly the legacy `threshold_query` path.
-                    let outcomes =
-                        ctx.executor.run_on(indices, ctx.config, stats, |pipeline, idxs| {
-                            threshold::threshold_batched(pipeline, ctx.db, idxs, window, tau)
-                        })?;
-                    indices
-                        .iter()
-                        .zip(outcomes)
-                        .filter(|(_, o)| o.qualifies)
-                        .map(|(&idx, _)| ctx.db.object(idx).expect("resolved above").id())
-                        .collect()
-                } else {
-                    accepted_ids(
-                        exists_probs(ctx, strategy, indices, window, sampling, stats)?,
-                        tau,
-                    )
-                };
+                let ids =
+                    threshold_ids(ctx, strategy, indices, pruned, window, tau, sampling, stats)?;
                 Ok(QueryAnswer::ObjectIds(ids))
             }
             Decorator::TopK(k) => {
@@ -613,6 +746,126 @@ fn decorate(probs: Vec<ObjectProbability>, decorator: Decorator) -> QueryAnswer 
 
 fn accepted_ids(probs: Vec<ObjectProbability>, tau: f64) -> Vec<u64> {
     probs.into_iter().filter(|r| r.probability >= tau).map(|r| r.object_id).collect()
+}
+
+/// Re-interleaves index-pruned candidates into a probability answer as
+/// exact `0.0` entries, restoring database-index order — the order the
+/// unpruned path produces. Both inputs are ascending and disjoint, so the
+/// merge is a linear zip.
+fn merge_pruned_zeros(
+    db: &TrajectoryDatabase,
+    survivors: &[usize],
+    probs: Vec<ObjectProbability>,
+    pruned: &[usize],
+) -> Vec<ObjectProbability> {
+    if pruned.is_empty() {
+        return probs;
+    }
+    debug_assert_eq!(survivors.len(), probs.len());
+    let mut out = Vec::with_capacity(survivors.len() + pruned.len());
+    let mut probs = probs.into_iter();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < survivors.len() || j < pruned.len() {
+        let take_survivor = j >= pruned.len() || (i < survivors.len() && survivors[i] < pruned[j]);
+        if take_survivor {
+            out.push(probs.next().expect("one probability per survivor"));
+            i += 1;
+        } else {
+            let id = db.object(pruned[j]).expect("pruned from resolved indices").id();
+            out.push(ObjectProbability { object_id: id, probability: 0.0 });
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Thresholded-`∃` accepted ids over a prefiltered candidate set: cluster
+/// envelope bounds decide what they can (heterogeneous models only), the
+/// exact drivers evaluate the rest, and — only at `τ = 0`, where `P∃ = 0`
+/// still qualifies — the index-pruned complement is merged back in
+/// database-index order.
+#[allow(clippy::too_many_arguments)]
+fn threshold_ids(
+    ctx: &ExecContext<'_>,
+    strategy: Strategy,
+    indices: &[usize],
+    pruned: &[usize],
+    window: &QueryWindow,
+    tau: f64,
+    sampling: crate::engine::monte_carlo::MonteCarlo,
+    stats: &mut EvalStats,
+) -> Result<Vec<u64>> {
+    let mut decisions: Vec<Option<bool>> = match envelope_clusters(ctx, strategy) {
+        Some(index) => {
+            cluster::decide_by_bounds(ctx.db, indices, window, tau, index.clusters(), stats)?
+        }
+        None => vec![None; indices.len()],
+    };
+    let undecided: Vec<usize> =
+        indices.iter().zip(&decisions).filter(|(_, d)| d.is_none()).map(|(&idx, _)| idx).collect();
+    if !undecided.is_empty() {
+        let qualifies =
+            threshold_qualifies(ctx, strategy, &undecided, window, tau, sampling, stats)?;
+        let mut q = qualifies.into_iter();
+        for d in decisions.iter_mut().filter(|d| d.is_none()) {
+            *d = Some(q.next().expect("one outcome per undecided candidate"));
+        }
+    }
+    let id_of = |idx: usize| ctx.db.object(idx).expect("resolved above").id();
+    if pruned.is_empty() || tau > 0.0 {
+        // Pruned objects have P∃ = 0 < τ: they cannot qualify.
+        return Ok(indices
+            .iter()
+            .zip(&decisions)
+            .filter(|(_, d)| **d == Some(true))
+            .map(|(&idx, _)| id_of(idx))
+            .collect());
+    }
+    // τ = 0 accepts everything, including the pruned complement; restore
+    // database-index order (every survivor qualifies here too: P∃ ≥ 0).
+    let mut out = Vec::with_capacity(indices.len() + pruned.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < indices.len() || j < pruned.len() {
+        let take_survivor = j >= pruned.len() || (i < indices.len() && indices[i] < pruned[j]);
+        if take_survivor {
+            if decisions[i] == Some(true) {
+                out.push(id_of(indices[i]));
+            }
+            i += 1;
+        } else {
+            out.push(id_of(pruned[j]));
+            j += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Per-candidate threshold outcomes (`P∃ ≥ τ`), aligned with `indices`,
+/// via the strategy's own driver: the early-terminating bound-based OB
+/// driver, or probabilities compared against `τ` for QB / Monte Carlo —
+/// exactly the pre-prefilter dispatch paths.
+fn threshold_qualifies(
+    ctx: &ExecContext<'_>,
+    strategy: Strategy,
+    indices: &[usize],
+    window: &QueryWindow,
+    tau: f64,
+    sampling: crate::engine::monte_carlo::MonteCarlo,
+    stats: &mut EvalStats,
+) -> Result<Vec<bool>> {
+    if strategy == Strategy::ObjectBased {
+        // The bound-based driver: early termination per object, exactly
+        // the legacy `threshold_query` path.
+        let outcomes = ctx.executor.run_on(indices, ctx.config, stats, |pipeline, idxs| {
+            threshold::threshold_batched(pipeline, ctx.db, idxs, window, tau)
+        })?;
+        Ok(outcomes.into_iter().map(|o| o.qualifies).collect())
+    } else {
+        Ok(exists_probs(ctx, strategy, indices, window, sampling, stats)?
+            .into_iter()
+            .map(|r| r.probability >= tau)
+            .collect())
+    }
 }
 
 /// Reduces visit-count distributions to `P(visits ≥ k)` probabilities.

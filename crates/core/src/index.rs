@@ -1,0 +1,228 @@
+//! The spatio-temporal candidate index behind the planner's prefilter.
+//!
+//! Combines three pruning structures over one database snapshot:
+//!
+//! 1. the [`ConePrefilter`]'s R-tree over object reachability cones
+//!    (geometry: which objects can possibly reach the query region by
+//!    `t_end`),
+//! 2. an [`IntervalIndex`] over object observation spans (time: which
+//!    objects are alive during the query window — spans are right-extended
+//!    to `u32::MAX` because the motion model extrapolates indefinitely past
+//!    the last observation, so the temporal test reduces to "has the object
+//!    been observed by `t_end`"), and
+//! 3. the interval-envelope [`ModelCluster`]s used by the clustered
+//!    threshold protocol when the database hosts heterogeneous models.
+//!
+//! The index is built lazily per snapshot via
+//! [`TrajectoryDatabase::spatial_index`] and invalidated copy-on-write:
+//! snapshots taken by async `submit` keep the index they were built with,
+//! while any mutation of the source database drops it.
+//!
+//! [`TrajectoryDatabase::spatial_index`]: crate::database::TrajectoryDatabase::spatial_index
+
+use std::fmt;
+use std::sync::Arc;
+
+use ust_space::{IntervalIndex, Rect, StateSpace};
+
+use crate::cluster::{greedy_clusters, ModelCluster};
+use crate::database::TrajectoryDatabase;
+use crate::prefilter::ConePrefilter;
+use crate::query::QueryWindow;
+
+/// Greedy model-clustering budget, expressed as total envelope width per
+/// state (row). Clusters only form between near-identical models; anything
+/// wider stays a singleton and is always decided exactly.
+const CLUSTER_WIDTH_PER_STATE: f64 = 0.1;
+
+/// The combined cone + interval + cluster index over one database snapshot.
+pub struct SpatioTemporalIndex {
+    cones: ConePrefilter,
+    spans: IntervalIndex,
+    space: Arc<dyn StateSpace + Send + Sync>,
+    clusters: Vec<ModelCluster>,
+    num_objects: usize,
+}
+
+impl fmt::Debug for SpatioTemporalIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpatioTemporalIndex")
+            .field("num_objects", &self.num_objects)
+            .field("max_anchor_time", &self.max_anchor_time())
+            .field("clusters", &self.clusters.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SpatioTemporalIndex {
+    /// Builds the index for all objects of `db` embedded in `space`.
+    pub fn build(db: &TrajectoryDatabase, space: Arc<dyn StateSpace + Send + Sync>) -> Self {
+        let cones = ConePrefilter::build(db, space.as_ref());
+        let spans =
+            IntervalIndex::build(db.objects().iter().map(|o| (o.anchor().time(), u32::MAX)));
+        // Envelope clusters only pay off with heterogeneous models; the
+        // models are valid by construction, so a build error (impossible
+        // for database-resident model indices) just disables the protocol.
+        let clusters = if db.models().len() > 1 {
+            let width = CLUSTER_WIDTH_PER_STATE * db.num_states() as f64;
+            greedy_clusters(db, width).unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        SpatioTemporalIndex { cones, spans, space, clusters, num_objects: db.len() }
+    }
+
+    /// Number of objects the index was built over.
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// Latest first-observation time over all indexed objects (0 when the
+    /// database is empty). Windows starting at or after this instant are
+    /// guaranteed to pass per-object window validation, which is what
+    /// licenses answering from pruned candidate sets without touching the
+    /// pruned objects.
+    pub fn max_anchor_time(&self) -> u32 {
+        self.spans.max_start().unwrap_or(0)
+    }
+
+    /// The embedding the index was built against.
+    pub fn space(&self) -> &Arc<dyn StateSpace + Send + Sync> {
+        &self.space
+    }
+
+    /// Interval-envelope clusters for the clustered threshold protocol
+    /// (empty for single-model databases).
+    pub fn clusters(&self) -> &[ModelCluster] {
+        &self.clusters
+    }
+
+    /// Bounding rectangle of the window's state set under the embedding.
+    pub fn window_rect(&self, window: &QueryWindow) -> Rect {
+        let mut rect = Rect::empty();
+        for s in window.states().to_indices() {
+            rect = rect.union(&Rect::point(self.space.location(s)));
+        }
+        rect
+    }
+
+    /// Database indices of objects that *may* satisfy `window` (sorted):
+    /// alive during the window's time span and whose reachability cone
+    /// touches the window's bounding rectangle. Everything else is
+    /// guaranteed to have `P∃ = 0`. Conservative by construction — never
+    /// discards an object with non-zero probability.
+    pub fn candidates(&self, window: &QueryWindow) -> Vec<usize> {
+        // Temporal pass first (cheapest): objects observed only after the
+        // window ends cannot be in it. The common case — every span has
+        // begun by t_end — is detected in O(1) and skips materialisation.
+        let alive = match self.spans.max_start() {
+            None => return Vec::new(),
+            Some(s) if s <= window.t_end() => None,
+            Some(_) => Some(self.spans.overlapping(window.t_start(), window.t_end())),
+        };
+        let geometric = self.cones.candidates(&self.window_rect(window), window);
+        match alive {
+            None => geometric,
+            Some(alive) => intersect_sorted(&geometric, &alive),
+        }
+    }
+}
+
+/// Intersection of two ascending-sorted index sets.
+pub(crate) fn intersect_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::UncertainObject;
+    use crate::observation::Observation;
+    use ust_markov::{CooBuilder, MarkovChain};
+    use ust_space::{LineSpace, TimeSet};
+
+    fn line_chain(n: usize) -> MarkovChain {
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            let left = i.saturating_sub(1);
+            let right = (i + 1).min(n - 1);
+            if left == right {
+                b.push(i, i, 1.0).unwrap();
+            } else {
+                b.push(i, left, 0.5).unwrap();
+                b.push(i, right, 0.5).unwrap();
+            }
+        }
+        MarkovChain::from_weights(b.build()).unwrap()
+    }
+
+    fn db_with_anchors(n: usize, anchors: &[(u32, usize)]) -> TrajectoryDatabase {
+        let mut db = TrajectoryDatabase::new(line_chain(n));
+        for (i, &(t, s)) in anchors.iter().enumerate() {
+            db.insert(UncertainObject::with_single_observation(
+                i as u64,
+                Observation::exact(t, n, s).unwrap(),
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn candidates_combine_time_and_geometry() {
+        let n = 50;
+        let db = db_with_anchors(n, &[(0, 10), (0, 25), (8, 21), (0, 49)]);
+        let index = SpatioTemporalIndex::build(&db, Arc::new(LineSpace::new(n)));
+        let window = QueryWindow::from_states(n, 20usize..=22, TimeSet::interval(3, 5)).unwrap();
+        // Object 0 (too far), object 3 (too far) are pruned geometrically;
+        // object 2 is pruned temporally (first observed at t = 8 > t_end).
+        assert_eq!(index.candidates(&window), vec![1]);
+        assert_eq!(index.max_anchor_time(), 8);
+        assert_eq!(index.num_objects(), 4);
+    }
+
+    #[test]
+    fn empty_database_has_no_candidates() {
+        let db = TrajectoryDatabase::new(line_chain(10));
+        let index = SpatioTemporalIndex::build(&db, Arc::new(LineSpace::new(10)));
+        let window = QueryWindow::from_states(10, [5usize], TimeSet::at(1)).unwrap();
+        assert!(index.candidates(&window).is_empty());
+        assert_eq!(index.max_anchor_time(), 0);
+    }
+
+    #[test]
+    fn single_model_builds_no_clusters() {
+        let db = db_with_anchors(20, &[(0, 5)]);
+        let index = SpatioTemporalIndex::build(&db, Arc::new(LineSpace::new(20)));
+        assert!(index.clusters().is_empty());
+    }
+
+    #[test]
+    fn intersect_sorted_is_set_intersection() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 9], &[0, 3, 4, 5, 10]), vec![3, 5]);
+        assert!(intersect_sorted(&[], &[1, 2]).is_empty());
+        assert!(intersect_sorted(&[1, 2], &[]).is_empty());
+    }
+
+    #[test]
+    fn window_rect_covers_window_states() {
+        let db = db_with_anchors(50, &[(0, 10)]);
+        let index = SpatioTemporalIndex::build(&db, Arc::new(LineSpace::new(50)));
+        let window = QueryWindow::from_states(50, 20usize..=22, TimeSet::at(1)).unwrap();
+        let rect = index.window_rect(&window);
+        assert_eq!((rect.min.x, rect.max.x), (20.0, 22.0));
+    }
+}

@@ -57,6 +57,7 @@ pub mod cluster;
 pub mod database;
 pub mod engine;
 pub mod error;
+pub mod index;
 pub mod multi_obs;
 pub mod object;
 pub mod observation;
@@ -72,8 +73,11 @@ pub mod threshold;
 
 pub use database::TrajectoryDatabase;
 pub use engine::cache::{BackwardFieldCache, KTimesFieldCache};
-pub use engine::{CostEstimate, EngineConfig, KernelMode, QueryPlan, QueryProcessor, QueryTicket};
+pub use engine::{
+    CostEstimate, EngineConfig, KernelMode, PrefilterMode, QueryPlan, QueryProcessor, QueryTicket,
+};
 pub use error::{QueryError, Result};
+pub use index::SpatioTemporalIndex;
 pub use object::UncertainObject;
 pub use observation::Observation;
 pub use parallel::PoolStats;
@@ -90,9 +94,11 @@ pub mod prelude {
     pub use crate::database::TrajectoryDatabase;
     pub use crate::engine::cache::{BackwardFieldCache, KTimesFieldCache};
     pub use crate::engine::{
-        CostEstimate, EngineConfig, KernelMode, QueryPlan, QueryProcessor, QueryTicket,
+        CostEstimate, EngineConfig, KernelMode, PrefilterMode, QueryPlan, QueryProcessor,
+        QueryTicket,
     };
     pub use crate::error::{QueryError, Result};
+    pub use crate::index::SpatioTemporalIndex;
     pub use crate::object::UncertainObject;
     pub use crate::observation::Observation;
     pub use crate::parallel::PoolStats;

@@ -36,15 +36,37 @@ pub fn max_step_distance<S: StateSpace + ?Sized>(chain: &MarkovChain, space: &S)
     max_d2.sqrt()
 }
 
+/// Per-object cone geometry: where the anchor support sits and how far the
+/// object can have strayed from it by any given time.
+#[derive(Debug, Clone, Copy)]
+struct ConeAnchor {
+    centroid: Point2,
+    anchor_time: u32,
+    /// Radius of the anchor support around its centroid.
+    radius: f64,
+}
+
 /// A prefilter over a database: object anchor geometry indexed in an
 /// R-tree, plus the chain's per-step displacement bound.
 #[derive(Debug)]
 pub struct ConePrefilter {
     tree: RTree,
-    /// Per-object: (anchor time, radius of the anchor support around its
-    /// centroid).
-    anchors: Vec<(u32, f64)>,
+    anchors: Vec<ConeAnchor>,
     max_step: f64,
+    /// `max_a (radius_a − anchor_time_a · max_step)`: the t_end-independent
+    /// part of the widest cone, so the coarse expansion radius is O(1) per
+    /// query instead of a fold over every anchor.
+    max_slack: f64,
+    /// `max_a radius_a`: lower bound on the expansion for anchors after
+    /// `t_end`, whose cone is clamped to zero rather than negative.
+    max_anchor_radius: f64,
+    /// `min_a (radius_a − anchor_time_a · max_step)`: the t_end-independent
+    /// part of the *narrowest* cone, for batch-accepting whole R-tree
+    /// leaves that sit within even the smallest reach.
+    min_slack: f64,
+    /// `min_a radius_a`: the narrowest reach an anchor after `t_end` can
+    /// have (its cone is clamped to zero).
+    min_anchor_radius: f64,
 }
 
 impl ConePrefilter {
@@ -57,12 +79,30 @@ impl ConePrefilter {
             .fold(0.0f64, f64::max);
         let mut entries = Vec::with_capacity(db.len());
         let mut anchors = Vec::with_capacity(db.len());
+        let mut max_slack = f64::NEG_INFINITY;
+        let mut max_anchor_radius: f64 = 0.0;
+        let mut min_slack = f64::INFINITY;
+        let mut min_anchor_radius = f64::INFINITY;
         for (idx, object) in db.objects().iter().enumerate() {
             let (centroid, radius) = anchor_geometry(object, space);
             entries.push(RTreeEntry { point: centroid, id: idx });
-            anchors.push((object.anchor().time(), radius));
+            let anchor_time = object.anchor().time();
+            let slack = radius - f64::from(anchor_time) * max_step;
+            max_slack = max_slack.max(slack);
+            min_slack = min_slack.min(slack);
+            max_anchor_radius = max_anchor_radius.max(radius);
+            min_anchor_radius = min_anchor_radius.min(radius);
+            anchors.push(ConeAnchor { centroid, anchor_time, radius });
         }
-        ConePrefilter { tree: RTree::bulk_load(entries), anchors, max_step }
+        ConePrefilter {
+            tree: RTree::bulk_load(entries),
+            anchors,
+            max_step,
+            max_slack,
+            max_anchor_radius,
+            min_slack,
+            min_anchor_radius,
+        }
     }
 
     /// The chain displacement bound used by the cone test.
@@ -70,32 +110,60 @@ impl ConePrefilter {
         self.max_step
     }
 
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// True when no object is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.anchors.is_empty()
+    }
+
     /// Indices of objects that *may* intersect `query_rect` during the
     /// window (sorted). Everything outside is guaranteed to have `P∃ = 0`.
     pub fn candidates(&self, query_rect: &Rect, window: &QueryWindow) -> Vec<usize> {
         let t_end = window.t_end();
         // The cone radius depends on each object's anchor time; expand the
-        // query rectangle by the *maximum* possible cone and confirm per
-        // object. (Anchors after t_end cannot reach backwards: radius 0.)
-        let max_radius = self
-            .anchors
-            .iter()
-            .map(|&(t_a, r)| cone_radius(t_a, t_end, self.max_step) + r)
-            .fold(0.0f64, f64::max);
-        let coarse = self.tree.query_rect(&query_rect.expand(max_radius));
-        let mut out: Vec<usize> = coarse
-            .into_iter()
-            .filter(|&idx| {
-                let (t_a, r) = self.anchors[idx];
-                let reach = cone_radius(t_a, t_end, self.max_step) + r;
-                // Re-test with the object's own radius.
-                let entry_rect = query_rect.expand(reach);
-                self.tree.query_rect(&entry_rect).contains(&idx)
-            })
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+        // query rectangle by the *maximum* possible cone for the coarse
+        // R-tree pass, then confirm each candidate with its own cone. The
+        // exact test is Euclidean distance from the anchor centroid to the
+        // (closed) query rectangle: after k steps the object has moved at
+        // most k · max_step from its anchor support, so anything further
+        // than cone + support radius cannot intersect the window. (Anchors
+        // after t_end cannot reach backwards: radius 0.)
+        // `max_slack` linearizes `cone + radius` in t_end for anchors at or
+        // before t_end; anchors after t_end have their cone clamped to
+        // zero, which `max_anchor_radius` covers. Both are upper-bounded by
+        // the exact per-anchor fold, so the coarse pass stays conservative.
+        let max_radius = (f64::from(t_end) * self.max_step + self.max_slack)
+            .max(self.max_anchor_radius)
+            .max(0.0);
+        // Every anchor reaches at least `min_reach`: a leaf whose box sits
+        // entirely within that distance of the query rectangle passes
+        // wholesale, without per-entry cone tests. Boundary leaves fall
+        // back to the exact per-anchor test (which also rejects entries
+        // the coarse rectangle over-collected).
+        let min_reach = (f64::from(t_end) * self.max_step + self.min_slack)
+            .min(self.min_anchor_radius)
+            .max(0.0);
+        let mut hit = vec![false; self.anchors.len()];
+        self.tree.visit_leaves(&query_rect.expand(max_radius), &mut |bbox, entries| {
+            if query_rect.max_distance_to_rect(bbox) <= min_reach {
+                for entry in entries {
+                    hit[entry.id] = true;
+                }
+            } else {
+                for entry in entries {
+                    let a = &self.anchors[entry.id];
+                    let reach = cone_radius(a.anchor_time, t_end, self.max_step) + a.radius;
+                    if query_rect.distance_to_point(&a.centroid) <= reach {
+                        hit[entry.id] = true;
+                    }
+                }
+            }
+        });
+        hit.iter().enumerate().filter(|(_, &h)| h).map(|(id, _)| id).collect()
     }
 }
 

@@ -162,6 +162,11 @@ pub struct PlanMetrics {
     /// Matrix entries multiplied by these executions (forward batched
     /// kernels; see [`EvalStats::entries_touched`]).
     pub entries_touched: u64,
+    /// Candidates that survived the spatio-temporal index prefilter and
+    /// were handed to the exact engines.
+    pub candidates_examined: u64,
+    /// Candidates discarded by the prefilter without being evaluated.
+    pub candidates_pruned: u64,
 }
 
 impl PlanMetrics {
@@ -180,6 +185,8 @@ impl PlanMetrics {
             transitions: 0,
             backward_steps: 0,
             entries_touched: 0,
+            candidates_examined: 0,
+            candidates_pruned: 0,
         }
     }
 
@@ -294,6 +301,14 @@ impl fmt::Display for MetricsSnapshot {
                 p.cache_hits,
                 p.cache_misses,
             )?;
+            if p.candidates_pruned > 0 {
+                write!(
+                    f,
+                    ", prefilter {}/{} examined",
+                    p.candidates_examined,
+                    p.candidates_examined + p.candidates_pruned,
+                )?;
+            }
         }
         Ok(())
     }
@@ -426,6 +441,8 @@ impl Metrics {
         entry.transitions += record.delta.transitions;
         entry.backward_steps += record.delta.backward_steps;
         entry.entries_touched += record.delta.entries_touched;
+        entry.candidates_examined += record.delta.candidates_examined;
+        entry.candidates_pruned += record.delta.candidates_pruned;
     }
 
     /// The learned `(object-based, query-based)` matrix-entry throughputs
@@ -494,6 +511,8 @@ mod tests {
                 transitions: actual,
                 backward_steps: actual,
                 cache_hits: 1,
+                candidates_examined: 8,
+                candidates_pruned: 2,
                 ..Default::default()
             },
             ok,
@@ -532,6 +551,9 @@ mod tests {
         assert_eq!(ob.executions, 2);
         assert_eq!(ob.failures, 1);
         assert_eq!(ob.cache_hits, 2);
+        assert_eq!(ob.candidates_examined, 16);
+        assert_eq!(ob.candidates_pruned, 4);
+        assert!(s.to_string().contains("prefilter 16/20 examined"));
         assert!(ob.queue_wait_secs > 0.0);
         assert!(ob.mean_execute_secs().unwrap() > 0.0);
         // Unbounded executions never touch the discount EWMAs.

@@ -29,6 +29,13 @@ pub struct EvalStats {
     pub objects_evaluated: u64,
     /// Objects skipped by a prefilter or cluster bound.
     pub objects_pruned: u64,
+    /// Candidate objects the spatio-temporal index handed to the engines —
+    /// the post-pruning `|D∩|` a query actually dispatched on. Without an
+    /// index pass this equals the resolved candidate set size.
+    pub candidates_examined: u64,
+    /// Candidate objects discarded by the spatio-temporal index before any
+    /// matrix work (provably `P∃ = 0`).
+    pub candidates_pruned: u64,
     /// Propagations cut short because all worlds were already decided.
     pub early_terminations: u64,
     /// Backward-field cache lookups answered without a fresh sweep
@@ -59,6 +66,8 @@ impl EvalStats {
         self.backward_steps += other.backward_steps;
         self.objects_evaluated += other.objects_evaluated;
         self.objects_pruned += other.objects_pruned;
+        self.candidates_examined += other.candidates_examined;
+        self.candidates_pruned += other.candidates_pruned;
         self.early_terminations += other.early_terminations;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
@@ -84,6 +93,10 @@ impl EvalStats {
             backward_steps: self.backward_steps.saturating_sub(before.backward_steps),
             objects_evaluated: self.objects_evaluated.saturating_sub(before.objects_evaluated),
             objects_pruned: self.objects_pruned.saturating_sub(before.objects_pruned),
+            candidates_examined: self
+                .candidates_examined
+                .saturating_sub(before.candidates_examined),
+            candidates_pruned: self.candidates_pruned.saturating_sub(before.candidates_pruned),
             early_terminations: self.early_terminations.saturating_sub(before.early_terminations),
             cache_hits: self.cache_hits.saturating_sub(before.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(before.cache_misses),
@@ -107,6 +120,8 @@ mod tests {
             backward_steps: 4,
             objects_evaluated: 7,
             objects_pruned: 1,
+            candidates_examined: 6,
+            candidates_pruned: 5,
             early_terminations: 2,
             cache_hits: 3,
             cache_misses: 2,
@@ -120,6 +135,8 @@ mod tests {
         assert_eq!(a.backward_steps, 5);
         assert_eq!(a.objects_evaluated, 7);
         assert_eq!(a.objects_pruned, 1);
+        assert_eq!(a.candidates_examined, 6);
+        assert_eq!(a.candidates_pruned, 5);
         assert_eq!(a.early_terminations, 2);
         assert_eq!(a.cache_hits, 3);
         assert_eq!(a.cache_misses, 2);
@@ -140,11 +157,13 @@ mod tests {
         let mut after = before.clone();
         after.transitions += 4;
         after.backward_steps += 2;
+        after.candidates_pruned += 3;
         after.cache_hits += 1;
         after.pruned_mass += 0.25;
         let delta = after.delta_since(&before);
         assert_eq!(delta.transitions, 4);
         assert_eq!(delta.backward_steps, 2);
+        assert_eq!(delta.candidates_pruned, 3);
         assert_eq!(delta.cache_hits, 1);
         assert!((delta.pruned_mass - 0.25).abs() < 1e-12);
         // A mismatched (newer) snapshot saturates instead of wrapping.

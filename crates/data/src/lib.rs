@@ -20,6 +20,7 @@
 
 pub mod csv;
 pub mod iceberg;
+pub mod index_workload;
 pub mod io;
 pub mod network_data;
 pub mod synthetic;
@@ -27,4 +28,5 @@ pub mod traffic;
 pub mod workload;
 
 pub use csv::ResultTable;
+pub use index_workload::{generate_index_workload, IndexWorkload, IndexWorkloadConfig};
 pub use synthetic::{SyntheticConfig, SyntheticDataset};

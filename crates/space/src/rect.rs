@@ -112,6 +112,17 @@ impl Rect {
         let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
         (dx * dx + dy * dy).sqrt()
     }
+
+    /// Upper bound on [`Rect::distance_to_point`] over every point of
+    /// `other`: no point inside `other` is farther than this from the
+    /// rectangle. (The per-axis gaps maximize at `other`'s corners; taking
+    /// both maxima jointly may name a corner `other` doesn't have, so the
+    /// bound is conservative, not tight.)
+    pub fn max_distance_to_rect(&self, other: &Rect) -> f64 {
+        let dx = (self.min.x - other.min.x).max(0.0).max(other.max.x - self.max.x);
+        let dy = (self.min.y - other.min.y).max(0.0).max(other.max.y - self.max.y);
+        (dx * dx + dy * dy).sqrt()
+    }
 }
 
 #[cfg(test)]

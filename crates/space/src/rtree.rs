@@ -152,6 +152,35 @@ impl RTree {
         }
     }
 
+    /// Calls `f` once per leaf whose bounding box intersects `rect`, with
+    /// the leaf's box and its *complete* entry slice — including entries
+    /// outside `rect`. Callers that batch-accept whole leaves (e.g. when
+    /// the leaf box is provably inside the match region) avoid the
+    /// per-entry containment tests [`RTree::visit_rect`] performs; callers
+    /// that need exact semantics must filter the slice themselves.
+    pub fn visit_leaves(&self, rect: &Rect, f: &mut impl FnMut(&Rect, &[RTreeEntry])) {
+        let Some(root) = &self.root else {
+            return;
+        };
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            match node {
+                Node::Leaf { bbox, entries } => {
+                    if rect.intersects(bbox) {
+                        f(bbox, entries);
+                    }
+                }
+                Node::Internal { bbox, children } => {
+                    if rect.intersects(bbox) {
+                        for c in children {
+                            stack.push(c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Ids of all entries within Euclidean `radius` of `center` (unsorted).
     pub fn query_radius(&self, center: &Point2, radius: f64) -> Vec<usize> {
         let bbox = Rect::point(*center).expand(radius);

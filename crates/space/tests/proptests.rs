@@ -62,6 +62,90 @@ proptest! {
     }
 
     #[test]
+    fn rtree_bulk_build_visits_every_entry_exactly_once(
+        seed in 0u64..5_000,
+        n in 0usize..500,
+    ) {
+        let points = random_points(seed, n, 100.0);
+        let tree = RTree::bulk_load(
+            points.iter().enumerate().map(|(id, &point)| RTreeEntry { point, id }).collect(),
+        );
+        prop_assert_eq!(tree.len(), n);
+        prop_assert_eq!(tree.is_empty(), n == 0);
+        // A universe rectangle visits each bulk-loaded entry exactly once.
+        let mut ids = Vec::new();
+        tree.visit_rect(&Rect::from_bounds(-1e9, -1e9, 1e9, 1e9), &mut |e| ids.push(e.id));
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rtree_duplicates_and_zero_area_rects_match_scan(
+        seed in 0u64..5_000,
+        n in 1usize..300,
+        (qx, qy) in (0u8..5, 0u8..5),
+    ) {
+        // A 5×5 lattice forces heavy point duplication; the query is a
+        // zero-area rectangle pinned to one lattice site.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<Point2> = (0..n)
+            .map(|_| {
+                Point2::new(rng.random_range(0..5) as f64, rng.random_range(0..5) as f64)
+            })
+            .collect();
+        let tree = RTree::bulk_load(
+            points.iter().enumerate().map(|(id, &point)| RTreeEntry { point, id }).collect(),
+        );
+        let q = Point2::new(qx as f64, qy as f64);
+        let mut got = tree.query_rect(&Rect::point(q));
+        got.sort_unstable();
+        let expected: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.x == q.x && p.y == q.y)
+            .map(|(id, _)| id)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rtree_visit_leaves_covers_visit_rect(
+        seed in 0u64..5_000,
+        n in 0usize..400,
+        (x0, y0) in (0.0f64..90.0, 0.0f64..90.0),
+        (w, h) in (0.0f64..50.0, 0.0f64..50.0),
+    ) {
+        let points = random_points(seed, n, 100.0);
+        let tree = RTree::bulk_load(
+            points.iter().enumerate().map(|(id, &point)| RTreeEntry { point, id }).collect(),
+        );
+        let rect = Rect::from_bounds(x0, y0, x0 + w, y0 + h);
+        // Leaf-granular visiting hands over boxes that intersect the rect
+        // and entries that (after filtering) reproduce visit_rect exactly.
+        let mut leaves: Vec<(Rect, Vec<RTreeEntry>)> = Vec::new();
+        tree.visit_leaves(&rect, &mut |bbox, entries| leaves.push((*bbox, entries.to_vec())));
+        let mut filtered = Vec::new();
+        for (bbox, entries) in &leaves {
+            prop_assert!(rect.intersects(bbox));
+            for e in entries {
+                // Every leaf entry lies in its own box, and the box bounds
+                // the distance of all its entries to any rectangle.
+                prop_assert!(bbox.contains(&e.point));
+                prop_assert!(
+                    rect.distance_to_point(&e.point) <= rect.max_distance_to_rect(bbox) + 1e-9
+                );
+                if rect.contains(&e.point) {
+                    filtered.push(e.id);
+                }
+            }
+        }
+        filtered.sort_unstable();
+        let mut direct = tree.query_rect(&rect);
+        direct.sort_unstable();
+        prop_assert_eq!(filtered, direct);
+    }
+
+    #[test]
     fn grid_cell_id_roundtrip(rows in 1usize..40, cols in 1usize..40) {
         let g = GridSpace::new(rows, cols);
         for id in 0..g.num_states() {
@@ -192,4 +276,26 @@ fn network_state_space_queries_match_scan() {
         .min_by(|&a, &b| g.location(a).distance_sq(&q).total_cmp(&g.location(b).distance_sq(&q)))
         .unwrap();
     assert!((g.location(nearest).distance(&q) - g.location(best).distance(&q)).abs() < 1e-9);
+}
+
+#[test]
+fn rtree_degenerate_inputs() {
+    // Empty tree: every query answers empty, nothing panics.
+    let empty = RTree::bulk_load(Vec::new());
+    assert!(empty.is_empty());
+    assert_eq!(empty.height(), 0);
+    assert!(empty.query_rect(&Rect::from_bounds(0.0, 0.0, 10.0, 10.0)).is_empty());
+    assert!(empty.query_radius(&Point2::new(0.0, 0.0), 5.0).is_empty());
+    assert!(empty.nearest(&Point2::new(0.0, 0.0)).is_none());
+
+    // 100 identical points: all land in one leaf pile, all are found by a
+    // zero-area rectangle on the point, none by one a hair away.
+    let p = Point2::new(5.0, 5.0);
+    let dupes = RTree::bulk_load((0..100).map(|id| RTreeEntry { point: p, id }).collect());
+    assert_eq!(dupes.len(), 100);
+    let mut got = dupes.query_rect(&Rect::point(p));
+    got.sort_unstable();
+    assert_eq!(got, (0..100).collect::<Vec<_>>());
+    assert!(dupes.query_rect(&Rect::point(Point2::new(5.0 + 1e-9, 5.0))).is_empty());
+    assert_eq!(dupes.nearest(&Point2::new(7.0, 5.0)).unwrap().point, p);
 }

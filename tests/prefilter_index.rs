@@ -1,0 +1,203 @@
+//! Conservativeness of the spatio-temporal index prefilter.
+//!
+//! The planner may consult the reachability-cone × interval index to skip
+//! objects, but pruning must be *invisible* in the answers: every
+//! predicate × decorator × strategy combination must return bit-for-bit
+//! identical results under [`PrefilterMode::Off`], [`PrefilterMode::On`]
+//! and [`PrefilterMode::Auto`] — including identical errors, so pruning
+//! can never mask window validation. A pruned object by definition has
+//! `P∃ = 0`; if the index ever discarded an object with non-zero
+//! probability, the bitwise comparison against the unpruned run would
+//! catch it.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ust::prelude::*;
+// Explicit import wins over the globs: `Strategy` here is always the
+// planner-override enum, not the shadowing `proptest::Strategy` trait.
+use ust_core::{QuerySpec, Strategy};
+use ust_data::{generate_index_workload, IndexWorkloadConfig};
+use ust_markov::testutil;
+
+/// A random banded database with a 1-D embedding attached, so the
+/// prefilter is armed (`PrefilterMode::On` ignores the Auto size floor).
+fn build_db(seed: u64, n: usize, m: usize) -> TrajectoryDatabase {
+    let mut rng = testutil::rng(seed);
+    let chain =
+        MarkovChain::from_csr(testutil::random_banded_stochastic(&mut rng, n, 3, 4)).unwrap();
+    let mut db = TrajectoryDatabase::new(chain);
+    for id in 0..m {
+        let dist = testutil::random_distribution(&mut rng, n, 2);
+        db.insert(UncertainObject::with_single_observation(
+            id as u64,
+            Observation::uncertain(id as u32 % 3, dist).unwrap(),
+        ))
+        .unwrap();
+    }
+    db.attach_space(Arc::new(LineSpace::new(n))).unwrap();
+    db
+}
+
+fn run(db: &TrajectoryDatabase, mode: PrefilterMode, spec: &QuerySpec) -> String {
+    let processor = QueryProcessor::with_config(db, EngineConfig::default().with_prefilter(mode));
+    canon(&processor.execute(spec))
+}
+
+/// A canonical, bit-exact rendering of an outcome: probabilities render as
+/// raw IEEE bits (so `0.0` vs `-0.0` or any last-ulp drift would differ),
+/// errors render as their debug form (so masked validation would differ).
+fn canon(result: &ust_core::Result<QueryAnswer>) -> String {
+    let answer = match result {
+        Err(e) => return format!("err:{e:?}"),
+        Ok(a) => a,
+    };
+    if let Some(ps) = answer.probabilities() {
+        let bits: Vec<(u64, u64)> =
+            ps.iter().map(|p| (p.object_id, p.probability.to_bits())).collect();
+        format!("probs:{bits:?}")
+    } else if let Some(ids) = answer.ids() {
+        format!("ids:{ids:?}")
+    } else if let Some(ds) = answer.distributions() {
+        let bits: Vec<(u64, Vec<u64>)> = ds
+            .iter()
+            .map(|d| (d.object_id, d.probabilities.iter().map(|p| p.to_bits()).collect()))
+            .collect();
+        format!("kdist:{bits:?}")
+    } else {
+        format!("other:{answer:?}")
+    }
+}
+
+/// Every spec the suite compares across prefilter modes: the pruned
+/// decorators (∃ probabilities / threshold, including the `τ = 0` merge
+/// path) and the pass-through predicates (∀, k-times).
+fn specs(window: &QueryWindow, strategy: Strategy) -> Vec<QuerySpec> {
+    vec![
+        Query::exists().window(window.clone()).strategy(strategy).probabilities().build().unwrap(),
+        Query::exists().window(window.clone()).strategy(strategy).threshold(0.0).build().unwrap(),
+        Query::exists().window(window.clone()).strategy(strategy).threshold(0.3).build().unwrap(),
+        Query::forall().window(window.clone()).strategy(strategy).probabilities().build().unwrap(),
+        Query::ktimes(2).window(window.clone()).strategy(strategy).build().unwrap(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn answers_are_bit_identical_across_prefilter_modes(
+        seed in 0u64..5_000,
+        n in 4usize..9,
+        m in 2usize..7,
+        state_bits in 1u8..255,
+        t_start in 0u32..5,
+        t_len in 0u32..3,
+    ) {
+        let db = build_db(seed, n, m);
+        let states: Vec<usize> = (0..n).filter(|s| state_bits & (1 << (s % 8)) != 0).collect();
+        prop_assume!(!states.is_empty());
+        let window = QueryWindow::from_states(
+            n, states, TimeSet::interval(t_start, t_start + t_len)).unwrap();
+        for strategy in [Strategy::ObjectBased, Strategy::QueryBased] {
+            for spec in specs(&window, strategy) {
+                let off = run(&db, PrefilterMode::Off, &spec);
+                let on = run(&db, PrefilterMode::On, &spec);
+                let auto = run(&db, PrefilterMode::Auto, &spec);
+                prop_assert_eq!(&off, &on, "{:?}/{:?} Off vs On", spec.predicate(), strategy);
+                prop_assert_eq!(&off, &auto, "{:?}/{:?} Off vs Auto", spec.predicate(), strategy);
+            }
+        }
+    }
+
+    #[test]
+    fn subset_queries_are_bit_identical_across_prefilter_modes(
+        seed in 0u64..5_000,
+        n in 4usize..9,
+        m in 3usize..7,
+        subset_bits in 1u8..127,
+        t_start in 0u32..4,
+    ) {
+        let db = build_db(seed, n, m);
+        let ids: Vec<u64> = (0..m as u64).filter(|id| subset_bits & (1 << (id % 7)) != 0).collect();
+        prop_assume!(!ids.is_empty());
+        let window =
+            QueryWindow::from_states(n, 0..n / 2, TimeSet::interval(t_start, t_start + 1)).unwrap();
+        for strategy in [Strategy::ObjectBased, Strategy::QueryBased] {
+            let spec = Query::exists()
+                .window(window.clone())
+                .strategy(strategy)
+                .objects(ids.clone())
+                .probabilities()
+                .build()
+                .unwrap();
+            let off = run(&db, PrefilterMode::Off, &spec);
+            let on = run(&db, PrefilterMode::On, &spec);
+            prop_assert_eq!(&off, &on, "subset {:?} under {:?}", &ids, strategy);
+        }
+    }
+}
+
+/// On the clustered workload the selective window *must* prune (this is
+/// the effectiveness half of the contract; the proptests above are the
+/// safety half) — and still answer identically to the unpruned run.
+#[test]
+fn selective_window_prunes_and_preserves_answers() {
+    let mut data = generate_index_workload(&IndexWorkloadConfig::small());
+    let space = data.space;
+    data.db.attach_space(Arc::new(space)).unwrap();
+    let window = data.selective_window().unwrap();
+    for tau in [0.0, 0.5] {
+        let spec = Query::exists()
+            .window(window.clone())
+            .strategy(Strategy::QueryBased)
+            .threshold(tau)
+            .build()
+            .unwrap();
+        let off = QueryProcessor::with_config(
+            &data.db,
+            EngineConfig::default().with_prefilter(PrefilterMode::Off),
+        );
+        let on = QueryProcessor::with_config(
+            &data.db,
+            EngineConfig::default().with_prefilter(PrefilterMode::On),
+        );
+        let mut off_stats = EvalStats::new();
+        let mut on_stats = EvalStats::new();
+        let off_answer = off.execute_with_stats(&spec, &mut off_stats).unwrap();
+        let on_answer = on.execute_with_stats(&spec, &mut on_stats).unwrap();
+        assert_eq!(canon(&Ok(off_answer)), canon(&Ok(on_answer)), "τ = {tau}");
+        assert_eq!(off_stats.candidates_pruned, 0);
+        assert!(on_stats.candidates_pruned > 0, "selective window must prune");
+        assert_eq!(on_stats.candidates_examined + on_stats.candidates_pruned, data.db.len() as u64);
+    }
+}
+
+/// The prefilter-armed processor reports its pruning in the plan and the
+/// serving metrics (the observability half of the PR 6 counter plumbing).
+#[test]
+fn pruning_shows_up_in_explain_and_metrics() {
+    let mut data = generate_index_workload(&IndexWorkloadConfig::small());
+    let space = data.space;
+    data.db.attach_space(Arc::new(space)).unwrap();
+    let spec = Query::exists()
+        .window(data.selective_window().unwrap())
+        .strategy(Strategy::QueryBased)
+        .probabilities()
+        .build()
+        .unwrap();
+    let processor = QueryProcessor::with_config(
+        &data.db,
+        EngineConfig::default().with_prefilter(PrefilterMode::On),
+    );
+    let plan = processor.explain(&spec).unwrap();
+    assert!(plan.candidates_pruned > 0);
+    assert_eq!(plan.candidates_examined + plan.candidates_pruned, data.db.len());
+    assert!(plan.to_string().contains("prefilter"));
+    processor.execute(&spec).unwrap();
+    let snapshot = processor.metrics();
+    let entry = snapshot.plan(Predicate::Exists, Strategy::QueryBased).unwrap();
+    assert_eq!(entry.candidates_pruned, plan.candidates_pruned as u64);
+    assert_eq!(entry.candidates_examined, plan.candidates_examined as u64);
+}
