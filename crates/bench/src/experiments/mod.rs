@@ -11,6 +11,7 @@ pub mod pr4;
 pub mod pr5;
 pub mod pr6;
 pub mod pr7;
+pub mod pr8;
 
 use crate::{ExperimentOutput, Scale};
 
@@ -37,6 +38,7 @@ pub fn all(scale: Scale) -> Vec<ExperimentOutput> {
     out.push(pr5::pr5_admission(scale));
     out.push(pr6::pr6_kernels(scale));
     out.push(pr7::pr7_index(scale));
+    out.push(pr8::pr8_streaming(scale));
     out
 }
 
@@ -64,6 +66,7 @@ pub fn by_id(id: &str, scale: Scale) -> Option<ExperimentOutput> {
         "pr5_admission" => Some(pr5::pr5_admission(scale)),
         "pr6_kernels" => Some(pr6::pr6_kernels(scale)),
         "pr7_index" => Some(pr7::pr7_index(scale)),
+        "pr8_streaming" => Some(pr8::pr8_streaming(scale)),
         _ => None,
     }
 }
@@ -92,6 +95,7 @@ pub fn known_ids() -> &'static [&'static str] {
         "pr5_admission",
         "pr6_kernels",
         "pr7_index",
+        "pr8_streaming",
     ]
 }
 
@@ -111,6 +115,6 @@ mod tests {
         assert!(!out.table.is_empty());
         assert_eq!(out.id, "ablation_augmented");
         assert!(by_id("nope", Scale::Ci).is_none());
-        assert_eq!(known_ids().len(), 21);
+        assert_eq!(known_ids().len(), 22);
     }
 }

@@ -13,6 +13,18 @@ use ust_space::StateSpace;
 use crate::error::{QueryError, Result};
 use crate::index::SpatioTemporalIndex;
 use crate::object::UncertainObject;
+use crate::observation::Observation;
+
+/// Outcome of feeding one observation into the database via
+/// [`TrajectoryDatabase::ingest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The fix is at or after the object's stored fix and replaced it.
+    Applied,
+    /// The fix predates the stored one (out-of-order arrival) and was
+    /// ignored; the database is unchanged.
+    IgnoredStale,
+}
 
 /// A database of uncertain spatio-temporal objects over one or more
 /// transition models.
@@ -157,12 +169,86 @@ impl TrajectoryDatabase {
                 object_states: object.num_states(),
             });
         }
-        let inner = Arc::make_mut(&mut self.inner);
-        inner.objects.push(object);
-        // When this handle was the sole owner, make_mut mutated in place —
-        // drop the index explicitly so it can never describe a stale store.
-        inner.index.take();
+        // A built index survives the insertion incrementally (overlay
+        // entry) unless it is due for compaction, in which case the slot
+        // stays empty and the next read rebuilds in bulk.
+        let prev_index = self.inner.index.get().cloned();
+        let idx = {
+            let inner = Arc::make_mut(&mut self.inner);
+            let idx = inner.objects.len();
+            inner.objects.push(object);
+            // When this handle was the sole owner, make_mut mutated in
+            // place — drop the index explicitly so it can never describe a
+            // stale store.
+            inner.index.take();
+            idx
+        };
+        self.refresh_index(prev_index, idx);
         Ok(())
+    }
+
+    /// Feeds one new observation for the object with id `object_id` — the
+    /// streaming ingest path.
+    ///
+    /// The database keeps each object's **latest fix** (the paper's engines
+    /// anchor at the most recent observation and extrapolate forward, so a
+    /// newer sighting supersedes the stored one): a fix at or after the
+    /// stored fix replaces it ([`IngestOutcome::Applied`]), an older
+    /// out-of-order fix is ignored ([`IngestOutcome::IgnoredStale`]). Per
+    /// object, anchors are therefore monotone non-decreasing and the
+    /// database state is a pure function of the applied feed prefix —
+    /// replaying the same feed always reproduces the same snapshot.
+    ///
+    /// Copy-on-write semantics match [`TrajectoryDatabase::insert`]:
+    /// existing clones never observe the mutation, and a built
+    /// [`SpatioTemporalIndex`] is updated incrementally instead of being
+    /// rebuilt from scratch.
+    pub fn ingest(&mut self, object_id: u64, observation: Observation) -> Result<IngestOutcome> {
+        let idx = self
+            .inner
+            .objects
+            .iter()
+            .position(|o| o.id() == object_id)
+            .ok_or(QueryError::UnknownObject { id: object_id })?;
+        let current = &self.inner.objects[idx];
+        let model = current.model();
+        let chain = &self.inner.models[model];
+        if observation.num_states() != chain.num_states() {
+            return Err(QueryError::ModelDimensionMismatch {
+                model_states: chain.num_states(),
+                object_states: observation.num_states(),
+            });
+        }
+        if observation.time() < current.anchor().time() {
+            return Ok(IngestOutcome::IgnoredStale);
+        }
+        let prev_index = self.inner.index.get().cloned();
+        {
+            let inner = Arc::make_mut(&mut self.inner);
+            inner.objects[idx] =
+                UncertainObject::with_single_observation(object_id, observation).with_model(model);
+            inner.index.take();
+        }
+        self.refresh_index(prev_index, idx);
+        Ok(IngestOutcome::Applied)
+    }
+
+    /// The database index of the object with the given id, if present.
+    pub fn index_of(&self, object_id: u64) -> Option<usize> {
+        self.inner.objects.iter().position(|o| o.id() == object_id)
+    }
+
+    /// Installs the incrementally updated successor of `prev` (if any) into
+    /// this handle's empty index slot, covering the mutated object at
+    /// `idx`. Past the compaction threshold the slot is left empty — the
+    /// next [`TrajectoryDatabase::spatial_index`] read rebuilds in bulk.
+    fn refresh_index(&self, prev: Option<Arc<SpatioTemporalIndex>>, idx: usize) {
+        if let Some(prev) = prev {
+            if !prev.wants_compaction() {
+                let updated = prev.with_updated(idx, &self.inner.objects[idx]);
+                let _ = self.inner.index.set(Arc::new(updated));
+            }
+        }
     }
 
     /// Bulk insert.
@@ -337,6 +423,68 @@ mod tests {
         let after = db.spatial_index().unwrap();
         assert!(!Arc::ptr_eq(&before, &after));
         assert_eq!(after.num_objects(), 2);
+    }
+
+    #[test]
+    fn ingest_keeps_the_latest_fix_and_ignores_stale_ones() {
+        let mut db = TrajectoryDatabase::new(chain3());
+        db.insert(object(1, 0)).unwrap();
+        let snapshot = db.clone();
+
+        // A newer fix replaces the stored one.
+        assert_eq!(db.ingest(1, Observation::exact(4, 3, 2).unwrap()), Ok(IngestOutcome::Applied));
+        assert_eq!(db.object(0).unwrap().anchor().time(), 4);
+        // An equal-time fix also applies (replacement, e.g. a corrected
+        // reading for the same instant).
+        assert_eq!(db.ingest(1, Observation::exact(4, 3, 1).unwrap()), Ok(IngestOutcome::Applied));
+        let support: Vec<usize> =
+            db.object(0).unwrap().anchor().distribution().iter().map(|(s, _)| s).collect();
+        assert_eq!(support, vec![1]);
+        // An out-of-order fix is ignored without touching the store.
+        assert_eq!(
+            db.ingest(1, Observation::exact(2, 3, 0).unwrap()),
+            Ok(IngestOutcome::IgnoredStale)
+        );
+        assert_eq!(db.object(0).unwrap().anchor().time(), 4);
+        // The pre-ingest snapshot never observed any of it.
+        assert_eq!(snapshot.object(0).unwrap().anchor().time(), 0);
+    }
+
+    #[test]
+    fn ingest_validates_id_and_dimension() {
+        let mut db = TrajectoryDatabase::new(chain3());
+        db.insert(object(1, 0)).unwrap();
+        assert_eq!(
+            db.ingest(9, Observation::exact(1, 3, 0).unwrap()),
+            Err(QueryError::UnknownObject { id: 9 })
+        );
+        assert!(matches!(
+            db.ingest(1, Observation::exact(1, 5, 0).unwrap()),
+            Err(QueryError::ModelDimensionMismatch { .. })
+        ));
+        assert_eq!(db.index_of(1), Some(0));
+        assert_eq!(db.index_of(9), None);
+    }
+
+    #[test]
+    fn ingest_updates_the_spatial_index_incrementally() {
+        use ust_space::LineSpace;
+
+        let mut db = TrajectoryDatabase::new(chain3());
+        db.attach_space(Arc::new(LineSpace::new(3))).unwrap();
+        db.insert(object(1, 0)).unwrap();
+        db.insert(object(2, 1)).unwrap();
+        let before = db.spatial_index().unwrap();
+        assert_eq!(before.overlay_len(), 0);
+
+        db.ingest(2, Observation::exact(3, 3, 2).unwrap()).unwrap();
+        let after = db.spatial_index().unwrap();
+        assert!(!Arc::ptr_eq(&before, &after));
+        // Incremental: one overlay entry instead of a rebuild, and the
+        // anchor max reflects the new fix.
+        assert_eq!(after.overlay_len(), 1);
+        assert_eq!(after.max_anchor_time(), 3);
+        assert_eq!(before.max_anchor_time(), 0, "snapshot index untouched");
     }
 
     #[test]

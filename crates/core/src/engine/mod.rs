@@ -32,15 +32,19 @@ pub mod pipeline;
 pub mod plan;
 pub mod query_based;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
-use crate::database::TrajectoryDatabase;
+use crate::database::{IngestOutcome, TrajectoryDatabase};
 use crate::error::{QueryError, Result};
+use crate::object::UncertainObject;
+use crate::observation::Observation;
 use crate::query::{
-    ObjectKDistribution, ObjectProbability, Query, QueryAnswer, QuerySpec, QueryWindow, Strategy,
+    Decorator, ObjectKDistribution, ObjectProbability, Predicate, Query, QueryAnswer, QuerySpec,
+    QueryWindow, Strategy,
 };
 use crate::stats::EvalStats;
+use crate::streaming::{self, RawAnswer, Subscription, SubscriptionState};
 
 pub use plan::{CostEstimate, QueryPlan};
 pub use ust_markov::KernelMode;
@@ -482,6 +486,17 @@ impl Drop for TicketGuard {
 /// independent of the strategy dispatch, the batch size, the worker count
 /// and the caches.
 ///
+/// The processor **owns its database state**: construction clones the
+/// caller's [`TrajectoryDatabase`] handle (a cheap copy-on-write share),
+/// and the streaming entry points mutate the owned copy —
+/// [`QueryProcessor::ingest`] applies latest-fix observations,
+/// [`QueryProcessor::insert`] adds objects, and every query evaluates
+/// against an immutable snapshot taken at its start, so a concurrent
+/// ingest can never tear an in-flight answer. Standing queries are
+/// registered with [`QueryProcessor::watch`], which returns a
+/// [`Subscription`] whose answer is incrementally maintained on every
+/// applied arrival.
+///
 /// ```
 /// use ust_core::prelude::*;
 /// use ust_markov::{CsrMatrix, MarkovChain};
@@ -514,8 +529,12 @@ impl Drop for TicketGuard {
 /// }
 /// ```
 #[derive(Debug)]
-pub struct QueryProcessor<'a> {
-    db: &'a TrajectoryDatabase,
+pub struct QueryProcessor {
+    /// The owned database state. Queries clone a snapshot out (cheap:
+    /// copy-on-write inner) and evaluate against it; the streaming entry
+    /// points take the write half briefly to apply an arrival, then
+    /// evaluate refreshes against a fresh snapshot outside the lock.
+    db: RwLock<TrajectoryDatabase>,
     config: EngineConfig,
     /// The processor's long-lived workers; `None` runs inline
     /// (`num_threads <= 1`).
@@ -531,21 +550,34 @@ pub struct QueryProcessor<'a> {
     /// planner-calibration EWMAs. Shared with every submitted job.
     metrics: Arc<crate::serving::Metrics>,
     /// Asynchronous submissions accepted but not yet finished — the
-    /// counter [`EngineConfig::max_queue_depth`] bounds.
+    /// counter [`EngineConfig::max_queue_depth`] bounds. Standing-query
+    /// refreshes hold a slot while they run, so re-evaluation load and
+    /// submitted queries share one admission budget.
     pending: Arc<AtomicUsize>,
+    /// Registered standing queries; cancelled entries are pruned on the
+    /// next arrival.
+    subscriptions: Mutex<Vec<Arc<SubscriptionState>>>,
+    /// Serializes the snapshot-and-refresh phase of concurrent ingests so
+    /// subscriptions observe arrivals in a single global order.
+    notify_lock: Mutex<()>,
+    /// Monotonic subscription ids.
+    watch_seq: AtomicU64,
 }
 
-impl<'a> QueryProcessor<'a> {
+impl QueryProcessor {
     /// Creates a processor with the exact default configuration
-    /// (sequential, inline).
-    pub fn new(db: &'a TrajectoryDatabase) -> Self {
+    /// (sequential, inline). The database handle is cloned in (cheap
+    /// copy-on-write share); later mutations of the *caller's* handle are
+    /// not seen — feed the processor through
+    /// [`QueryProcessor::ingest`] / [`QueryProcessor::insert`] instead.
+    pub fn new(db: &TrajectoryDatabase) -> Self {
         QueryProcessor::with_config(db, EngineConfig::default())
     }
 
     /// Creates a processor with a custom configuration. With
     /// `config.num_threads > 1` this spawns the processor's worker pool —
     /// construct once and reuse, rather than per query.
-    pub fn with_config(db: &'a TrajectoryDatabase, config: EngineConfig) -> Self {
+    pub fn with_config(db: &TrajectoryDatabase, config: EngineConfig) -> Self {
         let threads = config.effective_num_threads();
         // The owned pool is a serving pool: per-shard queues bounded by
         // the admission depth, and a backlog that is shed (tickets
@@ -556,7 +588,7 @@ impl<'a> QueryProcessor<'a> {
         });
         let capacity = config.effective_cache_capacity();
         QueryProcessor {
-            db,
+            db: RwLock::new(db.clone()),
             config,
             pool,
             cache: Arc::new(Mutex::new(cache::BackwardFieldCache::new(capacity))),
@@ -564,7 +596,28 @@ impl<'a> QueryProcessor<'a> {
             submit_seq: AtomicUsize::new(0),
             metrics: Arc::new(crate::serving::Metrics::new()),
             pending: Arc::new(AtomicUsize::new(0)),
+            subscriptions: Mutex::new(Vec::new()),
+            notify_lock: Mutex::new(()),
+            watch_seq: AtomicU64::new(0),
         }
+    }
+
+    /// An owned, immutable snapshot of the processor's current database —
+    /// a cheap copy-on-write clone sharing objects, models and the built
+    /// spatial index. Every query and refresh evaluates against one
+    /// snapshot end to end, so concurrent ingests never tear an answer.
+    pub fn snapshot(&self) -> TrajectoryDatabase {
+        self.db.read().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// Number of objects currently in the processor's database.
+    pub fn len(&self) -> usize {
+        self.db.read().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// True when the processor's database holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// The active configuration.
@@ -585,10 +638,10 @@ impl<'a> QueryProcessor<'a> {
         }
     }
 
-    /// The execution context synchronous entry points borrow from `self`.
-    fn exec_context(&self) -> plan::ExecContext<'_> {
+    /// The execution context over a caller-held database snapshot.
+    fn context_on<'s>(&'s self, db: &'s TrajectoryDatabase) -> plan::ExecContext<'s> {
         plan::ExecContext {
-            db: self.db,
+            db,
             config: &self.config,
             executor: self.executor(),
             cache: &self.cache,
@@ -625,7 +678,8 @@ impl<'a> QueryProcessor<'a> {
         spec: &QuerySpec,
         stats: &mut EvalStats,
     ) -> Result<QueryAnswer> {
-        plan::execute(&self.exec_context(), spec, stats)
+        let snapshot = self.snapshot();
+        plan::execute(&self.context_on(&snapshot), spec, stats)
     }
 
     /// Returns the planner's decision for a spec without executing it:
@@ -634,7 +688,8 @@ impl<'a> QueryProcessor<'a> {
     /// spec follows this plan (cache state permitting — a plan is a
     /// snapshot, not a reservation).
     pub fn explain(&self, spec: &QuerySpec) -> Result<QueryPlan> {
-        plan::plan(&self.exec_context(), spec)
+        let snapshot = self.snapshot();
+        plan::plan(&self.context_on(&snapshot), spec)
     }
 
     /// Submits a query for asynchronous evaluation and returns a
@@ -723,7 +778,7 @@ impl<'a> QueryProcessor<'a> {
             pending: Arc::clone(&self.pending),
             metrics: Arc::clone(&self.metrics),
         };
-        let db = self.db.clone();
+        let db = self.snapshot();
         let config = self.config;
         let cache = Arc::clone(&self.cache);
         let ktimes_cache = Arc::clone(&self.ktimes_cache);
@@ -791,6 +846,308 @@ impl<'a> QueryProcessor<'a> {
         // `AsyncQueryDropped` through the job's drop guard either way).
         let handle = pool.spawn(shard, job);
         Ok(QueryTicket { state, pool: Arc::downgrade(&pool), handle })
+    }
+
+    /// Registers a standing query: evaluates `spec` once against the
+    /// current database and returns a [`Subscription`] whose answer is
+    /// then maintained incrementally — every applied
+    /// [`QueryProcessor::ingest`] / [`QueryProcessor::insert`] re-evaluates
+    /// exactly the affected object (through the planner, so prefilter,
+    /// batching, caches and metrics all apply) and splices the result into
+    /// the maintained state. [`Subscription::answer`] is bit-for-bit what
+    /// a from-scratch [`QueryProcessor::execute`] of
+    /// [`Subscription::spec`] returns on a database holding the same
+    /// applied observations — including errors, which are maintained with
+    /// the same fidelity (`tests/streaming.rs` pins the equivalence).
+    ///
+    /// Two stabilizing choices happen at registration:
+    ///
+    /// * [`Strategy::Auto`] is resolved **once** against the current
+    ///   database and pinned (re-planning per arrival could flip the
+    ///   strategy between refreshes, and the exact strategies agree only
+    ///   to rounding). If planning itself fails, the subscription pins
+    ///   [`Strategy::QueryBased`] — the canonical streaming strategy —
+    ///   and holds the evaluation error until arrivals repair it.
+    /// * `∃` top-k specs pinned object-based are re-pinned query-based:
+    ///   the OB ranking's reachability pruning *omits* provably
+    ///   unreachable objects from its zero-probability tail, an omission
+    ///   contract that cannot be reproduced incrementally (ranked values
+    ///   are identical either way).
+    ///
+    /// Query-based subscriptions also pre-sweep their backward fields
+    /// densely over every anchor time in `[0, t_end]`, so subsequent
+    /// refreshes are pure cache hits: one sparse dot product per arrival,
+    /// zero backward steps — the saving `BENCH_pr8.json` measures.
+    pub fn watch(&self, spec: &QuerySpec) -> Result<Subscription> {
+        let snapshot = self.snapshot();
+        let pinned_strategy = match spec.strategy() {
+            Strategy::Auto => plan::plan(&self.context_on(&snapshot), spec)
+                .map(|p| p.strategy)
+                .unwrap_or(Strategy::QueryBased),
+            explicit => explicit,
+        };
+        let pinned_strategy = match (spec.predicate(), spec.decorator(), pinned_strategy) {
+            (Predicate::Exists, Decorator::TopK(_), Strategy::ObjectBased) => Strategy::QueryBased,
+            (_, _, resolved) => resolved,
+        };
+        let pinned = streaming::pin_strategy(spec, pinned_strategy)?;
+        let mut stats = EvalStats::new();
+        if pinned.strategy() == Strategy::QueryBased {
+            self.warm_backward_fields(&snapshot, &pinned, &mut stats);
+        }
+        let raw = streaming::probe_spec(&pinned, None)
+            .and_then(|probe| plan::execute(&self.context_on(&snapshot), &probe, &mut stats))
+            .map(RawAnswer::from_answer);
+        let id = self.watch_seq.fetch_add(1, Ordering::Relaxed);
+        self.metrics.record_stream_watch(id, stats.total_steps());
+        let state = Arc::new(SubscriptionState::new(id, pinned, raw));
+        self.subscriptions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(Arc::clone(&state));
+        Ok(Subscription::from_state(state))
+    }
+
+    /// Applies a latest-fix observation to the processor's database (see
+    /// [`TrajectoryDatabase::ingest`]: a fix at or after the stored
+    /// anchor's time supersedes it, an older one is ignored as stale) and,
+    /// when applied, refreshes every registered subscription whose scope
+    /// contains `object_id` — synchronously, under the same admission
+    /// bound and deadline as [`QueryProcessor::submit`]ted queries.
+    ///
+    /// The write lock is held only for the (copy-on-write) database
+    /// mutation; refreshes evaluate against an immutable snapshot taken
+    /// after it, so queries racing the ingest see either the old or the
+    /// new database, never a torn state. A refresh shed by the admission
+    /// bound ([`QueryError::QueueFull`]) or the deadline
+    /// ([`QueryError::DeadlineExceeded`]) marks its subscription stale
+    /// (see [`Subscription::is_stale`]); the next admitted refresh
+    /// resynchronizes with a full re-evaluation.
+    pub fn ingest(&self, object_id: u64, observation: Observation) -> Result<IngestOutcome> {
+        let arrived = std::time::Instant::now();
+        let outcome = {
+            let mut db = self.db.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+            db.ingest(object_id, observation)?
+        };
+        if outcome == IngestOutcome::Applied {
+            self.refresh_subscriptions(object_id, arrived);
+        }
+        Ok(outcome)
+    }
+
+    /// Inserts a new object into the processor's database and refreshes
+    /// every subscription whose scope contains it (whole-database
+    /// subscriptions list the newcomer exactly where a full re-evaluation
+    /// would: at the end, in database order).
+    pub fn insert(&self, object: UncertainObject) -> Result<()> {
+        let arrived = std::time::Instant::now();
+        let object_id = object.id();
+        {
+            let mut db = self.db.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+            db.insert(object)?;
+        }
+        self.refresh_subscriptions(object_id, arrived);
+        Ok(())
+    }
+
+    /// Pre-sweeps the shared backward-field caches densely over every
+    /// anchor time in `[0, t_end]` for the models a query-based
+    /// subscription can touch: single-object refreshes then hit whatever
+    /// anchor time an arrival lands on without any backward work. PST∀Q
+    /// sweeps ride the complement window (the Section VII reduction),
+    /// PSTkQ the level-field cache. A failed warm sweep is deliberately
+    /// swallowed — the evaluation path reports the error with its proper
+    /// payload.
+    fn warm_backward_fields(
+        &self,
+        db: &TrajectoryDatabase,
+        spec: &QuerySpec,
+        stats: &mut EvalStats,
+    ) {
+        let probe_window = match spec.predicate() {
+            Predicate::ForAll => match spec.window().complement_states() {
+                Ok(window) => window,
+                Err(_) => return,
+            },
+            _ => spec.window().clone(),
+        };
+        let anchors: Vec<u32> = (0..=spec.window().t_end()).collect();
+        let models: std::collections::BTreeSet<usize> = match spec.objects() {
+            Some(ids) => ids
+                .iter()
+                .filter_map(|&id| db.index_of(id))
+                .filter_map(|idx| db.object(idx))
+                .map(|o| o.model())
+                .collect(),
+            None => db.objects().iter().map(|o| o.model()).collect(),
+        };
+        for model in models {
+            let Some(chain) = db.models().get(model) else { continue };
+            let _ = match spec.predicate() {
+                Predicate::KTimes(_) => cache::FieldCache::get_or_compute_shared_concurrent(
+                    &self.ktimes_cache,
+                    model,
+                    chain,
+                    &probe_window,
+                    &anchors,
+                    &self.config,
+                    stats,
+                )
+                .map(|_| ()),
+                _ => cache::FieldCache::get_or_compute_shared_concurrent(
+                    &self.cache,
+                    model,
+                    chain,
+                    &probe_window,
+                    &anchors,
+                    &self.config,
+                    stats,
+                )
+                .map(|_| ()),
+            };
+        }
+    }
+
+    /// The notification phase of an applied arrival: prunes cancelled
+    /// subscriptions, snapshots the database once, and refreshes every
+    /// subscription in scope. Serialized by `notify_lock` so concurrent
+    /// ingests commit their refreshes in a single global order.
+    fn refresh_subscriptions(&self, object_id: u64, arrived: std::time::Instant) {
+        let _serialized =
+            self.notify_lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let subs: Vec<Arc<SubscriptionState>> = {
+            let mut registry =
+                self.subscriptions.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            registry.retain(|s| !s.is_cancelled());
+            registry.clone()
+        };
+        if subs.is_empty() {
+            return;
+        }
+        let snapshot = self.snapshot();
+        for sub in subs {
+            if sub.is_cancelled() {
+                continue;
+            }
+            if let Some(ids) = sub.spec.objects() {
+                if !ids.contains(&object_id) {
+                    // Out of scope: the maintained answer provably cannot
+                    // change, so nothing is invalidated or re-evaluated.
+                    continue;
+                }
+            }
+            self.refresh_one(&sub, &snapshot, object_id, arrived);
+        }
+    }
+
+    /// Refreshes one subscription against `snapshot`. The refresh is a
+    /// first-class serving job: it reserves an admission slot (or is shed
+    /// with [`QueryError::QueueFull`]), honours the configured deadline
+    /// against the arrival time, and tallies its outcome in the async
+    /// lifecycle counters — so streaming load is visible to (and bounded
+    /// by) the same backpressure as submitted queries.
+    fn refresh_one(
+        &self,
+        sub: &SubscriptionState,
+        snapshot: &TrajectoryDatabase,
+        object_id: u64,
+        arrived: std::time::Instant,
+    ) {
+        let limit = self.config.max_queue_depth;
+        if limit > 0 {
+            let mut current = self.pending.load(Ordering::Relaxed);
+            loop {
+                if current >= limit {
+                    self.metrics.record_rejected(sub.spec.predicate(), sub.spec.strategy());
+                    self.shed_refresh(sub, QueryError::QueueFull { limit });
+                    return;
+                }
+                match self.pending.compare_exchange_weak(
+                    current,
+                    current + 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(observed) => current = observed,
+                }
+            }
+        } else {
+            self.pending.fetch_add(1, Ordering::AcqRel);
+        }
+        self.metrics.record_accepted();
+        if self.config.default_deadline.is_some_and(|d| arrived.elapsed() > d) {
+            self.pending.fetch_sub(1, Ordering::AcqRel);
+            self.metrics.record_async_finished(crate::serving::AsyncOutcome::DeadlineExpired);
+            self.shed_refresh(sub, QueryError::DeadlineExceeded);
+            return;
+        }
+
+        let ctx = self.context_on(snapshot);
+        let mut inner = sub.lock();
+        let mut stats = EvalStats::new();
+        // A stale or errored subscription resynchronizes with a full
+        // re-evaluation; so does a Monte-Carlo one, whose per-object
+        // sampling is only reproducible as a whole run.
+        let needs_full =
+            inner.stale || inner.raw.is_err() || sub.spec.strategy() == Strategy::MonteCarlo;
+        let committed_ok;
+        if needs_full {
+            let outcome = streaming::probe_spec(&sub.spec, None)
+                .and_then(|probe| plan::execute(&ctx, &probe, &mut stats))
+                .map(RawAnswer::from_answer);
+            committed_ok = outcome.is_ok();
+            inner.raw = outcome;
+            inner.stale = false;
+            self.metrics.record_stream_resync(sub.id, stats.total_steps());
+        } else {
+            // Suffix-scoped invalidation: exactly one maintained entry —
+            // the ingested object's — is invalidated and recomputed; the
+            // backward-field caches stay valid (their keys are
+            // observation-independent), so the refresh reuses them.
+            match streaming::probe_spec(&sub.spec, Some(object_id))
+                .and_then(|probe| plan::execute(&ctx, &probe, &mut stats))
+            {
+                Ok(answer) => {
+                    if let Ok(raw) = inner.raw.as_mut() {
+                        raw.splice(RawAnswer::from_answer(answer));
+                    }
+                    committed_ok = true;
+                }
+                Err(_) => {
+                    // The narrowed refresh failed validation: re-run the
+                    // full batch evaluation so the stored error carries
+                    // exactly the payload a from-scratch execution
+                    // reports (e.g. which object a window-validation
+                    // error names).
+                    let mut full_stats = EvalStats::new();
+                    let outcome = streaming::probe_spec(&sub.spec, None)
+                        .and_then(|probe| plan::execute(&ctx, &probe, &mut full_stats))
+                        .map(RawAnswer::from_answer);
+                    stats.merge(&full_stats);
+                    committed_ok = outcome.is_ok();
+                    inner.raw = outcome;
+                }
+            }
+            self.metrics.record_stream_refresh(sub.id, stats.total_steps());
+        }
+        inner.notifications += 1;
+        drop(inner);
+        self.pending.fetch_sub(1, Ordering::AcqRel);
+        self.metrics.record_async_finished(if committed_ok {
+            crate::serving::AsyncOutcome::Completed
+        } else {
+            crate::serving::AsyncOutcome::Failed
+        });
+    }
+
+    /// Marks a shed refresh: the subscription is stale until its next
+    /// admitted refresh, and the shed error is kept for inspection.
+    fn shed_refresh(&self, sub: &SubscriptionState, error: QueryError) {
+        self.metrics.record_stream_shed(sub.id);
+        let mut inner = sub.lock();
+        inner.stale = true;
+        inner.last_shed = Some(error);
     }
 
     /// PST∃Q for every object, object-based (forward) evaluation.
@@ -1171,5 +1528,149 @@ mod tests {
             discounts.ob_entry_throughput.is_some(),
             "the calibrated plan mirrors the registry's observed rate"
         );
+    }
+
+    fn fresh_answer(processor: &QueryProcessor, spec: &QuerySpec) -> Result<QueryAnswer> {
+        QueryProcessor::new(&processor.snapshot()).execute(spec)
+    }
+
+    /// The tentpole contract in miniature: after ingests, a stale
+    /// rejection and an insert, the maintained answer is bit-for-bit what
+    /// a from-scratch execution over the current snapshot returns.
+    #[test]
+    fn watch_maintains_batch_identical_answers() {
+        let db = small_db(67, 12, 6);
+        let processor = QueryProcessor::new(&db);
+        let sub = processor.watch(&exists_spec(&db)).unwrap();
+        assert_ne!(sub.spec().strategy(), Strategy::Auto, "Auto resolves at registration");
+        assert_eq!(sub.answer(), fresh_answer(&processor, sub.spec()));
+
+        let mut rng = testutil::rng(97);
+        let dist = testutil::random_distribution(&mut rng, 12, 3);
+        let applied = processor.ingest(2, Observation::uncertain(1, dist).unwrap()).unwrap();
+        assert_eq!(applied, IngestOutcome::Applied);
+        assert_eq!(sub.notifications(), 1);
+        assert_eq!(sub.answer(), fresh_answer(&processor, sub.spec()));
+
+        // An out-of-order fix is ignored and triggers no notification.
+        let stale_dist = testutil::random_distribution(&mut rng, 12, 2);
+        let stale = processor.ingest(2, Observation::uncertain(0, stale_dist).unwrap()).unwrap();
+        assert_eq!(stale, IngestOutcome::IgnoredStale);
+        assert_eq!(sub.notifications(), 1);
+
+        // A newly inserted object joins the maintained answer exactly
+        // where a full re-evaluation lists it: last, in database order.
+        let new_dist = testutil::random_distribution(&mut rng, 12, 2);
+        processor
+            .insert(UncertainObject::with_single_observation(
+                99,
+                Observation::uncertain(0, new_dist).unwrap(),
+            ))
+            .unwrap();
+        assert_eq!(sub.notifications(), 2);
+        let answer = sub.answer().unwrap();
+        assert_eq!(answer.probabilities().unwrap().last().unwrap().object_id, 99);
+        assert_eq!(Ok(answer), fresh_answer(&processor, sub.spec()));
+    }
+
+    /// The streaming economics: a query-based subscription pre-sweeps its
+    /// backward fields at registration, so an in-scope arrival costs zero
+    /// propagation steps — the maintained entry is invalidated and
+    /// recomputed as a cached-field dot product.
+    #[test]
+    fn warm_query_based_refresh_costs_zero_propagation_steps() {
+        let db = small_db(71, 12, 6);
+        let processor = QueryProcessor::new(&db);
+        let spec = Query::exists()
+            .window(exists_spec(&db).window().clone())
+            .strategy(Strategy::QueryBased)
+            .build()
+            .unwrap();
+        let sub = processor.watch(&spec).unwrap();
+
+        let mut rng = testutil::rng(101);
+        let dist = testutil::random_distribution(&mut rng, 12, 3);
+        processor.ingest(0, Observation::uncertain(2, dist).unwrap()).unwrap();
+
+        let metrics = processor.metrics();
+        let stream = metrics.stream(sub.id()).expect("watch registered the stream");
+        assert!(stream.recompute_steps > 0, "registration paid the dense sweep");
+        assert_eq!(stream.reevaluations, 1);
+        assert_eq!(stream.suffix_invalidations, 1, "exactly one maintained entry invalidated");
+        assert_eq!(stream.incremental_steps, 0, "the refresh was pure cache hits");
+        assert_eq!(sub.answer(), fresh_answer(&processor, sub.spec()));
+    }
+
+    /// Scoped subscriptions ignore out-of-scope arrivals entirely — no
+    /// invalidation, no re-evaluation, no notification.
+    #[test]
+    fn out_of_scope_arrivals_do_not_touch_scoped_subscriptions() {
+        let db = small_db(73, 12, 6);
+        let processor = QueryProcessor::new(&db);
+        let spec = Query::exists()
+            .window(exists_spec(&db).window().clone())
+            .objects([1u64, 3])
+            .build()
+            .unwrap();
+        let sub = processor.watch(&spec).unwrap();
+        let before = sub.answer();
+
+        let mut rng = testutil::rng(103);
+        let dist = testutil::random_distribution(&mut rng, 12, 3);
+        processor.ingest(0, Observation::uncertain(1, dist).unwrap()).unwrap();
+        assert_eq!(sub.notifications(), 0);
+        assert_eq!(sub.answer(), before);
+        let metrics = processor.metrics();
+        assert_eq!(metrics.stream(sub.id()).unwrap().reevaluations, 0);
+
+        let dist = testutil::random_distribution(&mut rng, 12, 3);
+        processor.ingest(3, Observation::uncertain(1, dist).unwrap()).unwrap();
+        assert_eq!(sub.notifications(), 1);
+        assert_eq!(sub.answer(), fresh_answer(&processor, sub.spec()));
+    }
+
+    /// Cancelling (or dropping) a subscription unregisters it: the next
+    /// arrival prunes it from the registry without refreshing it.
+    #[test]
+    fn cancelled_subscriptions_are_pruned_on_the_next_arrival() {
+        let db = small_db(79, 12, 5);
+        let processor = QueryProcessor::new(&db);
+        let sub = processor.watch(&exists_spec(&db)).unwrap();
+        drop(processor.watch(&exists_spec(&db)).unwrap());
+        sub.cancel();
+        assert!(sub.is_cancelled());
+
+        let mut rng = testutil::rng(107);
+        let dist = testutil::random_distribution(&mut rng, 12, 3);
+        processor.ingest(1, Observation::uncertain(1, dist).unwrap()).unwrap();
+        assert_eq!(sub.notifications(), 0, "cancelled subscriptions never refresh");
+        let registry =
+            processor.subscriptions.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert!(registry.is_empty(), "the arrival pruned both dead subscriptions");
+        // The cancelled subscription still answers from its last state.
+        assert!(sub.answer().is_ok());
+    }
+
+    /// `∃` top-k pinned object-based would inherit the OB ranking's
+    /// omission contract (provably unreachable objects are left off the
+    /// zero tail), which cannot be maintained incrementally — watch
+    /// re-pins it query-based, where ranked values are identical.
+    #[test]
+    fn exists_topk_subscriptions_pin_query_based() {
+        let db = small_db(83, 12, 6);
+        let processor = QueryProcessor::new(&db);
+        let spec = Query::exists()
+            .window(exists_spec(&db).window().clone())
+            .top_k(3)
+            .strategy(Strategy::ObjectBased)
+            .build()
+            .unwrap();
+        let sub = processor.watch(&spec).unwrap();
+        assert_eq!(sub.spec().strategy(), Strategy::QueryBased);
+        assert_eq!(sub.answer(), fresh_answer(&processor, sub.spec()));
+        let mut rng = testutil::rng(109);
+        let dist = testutil::random_distribution(&mut rng, 12, 3);
+        processor.ingest(4, Observation::uncertain(2, dist).unwrap()).unwrap();
+        assert_eq!(sub.answer(), fresh_answer(&processor, sub.spec()));
     }
 }

@@ -735,8 +735,11 @@ fn dispatch(
 }
 
 /// Applies a threshold/top-k decorator to computed probabilities (the
-/// paths without a specialized bound-based driver).
-fn decorate(probs: Vec<ObjectProbability>, decorator: Decorator) -> QueryAnswer {
+/// paths without a specialized bound-based driver). Also reused by the
+/// streaming layer to derive a subscription's decorated answer from its
+/// maintained per-object probabilities through the *same* code path, so
+/// incremental and batch answers cannot drift.
+pub(crate) fn decorate(probs: Vec<ObjectProbability>, decorator: Decorator) -> QueryAnswer {
     match decorator {
         Decorator::Probabilities => QueryAnswer::Probabilities(probs),
         Decorator::Threshold(tau) => QueryAnswer::ObjectIds(accepted_ids(probs, tau)),
@@ -744,7 +747,7 @@ fn decorate(probs: Vec<ObjectProbability>, decorator: Decorator) -> QueryAnswer 
     }
 }
 
-fn accepted_ids(probs: Vec<ObjectProbability>, tau: f64) -> Vec<u64> {
+pub(crate) fn accepted_ids(probs: Vec<ObjectProbability>, tau: f64) -> Vec<u64> {
     probs.into_iter().filter(|r| r.probability >= tau).map(|r| r.object_id).collect()
 }
 
@@ -869,7 +872,8 @@ fn threshold_qualifies(
 }
 
 /// Reduces visit-count distributions to `P(visits ≥ k)` probabilities.
-fn at_least(dists: Vec<ObjectKDistribution>, k: usize) -> Vec<ObjectProbability> {
+/// Shared with the streaming layer (see [`decorate`]).
+pub(crate) fn at_least(dists: Vec<ObjectKDistribution>, k: usize) -> Vec<ObjectProbability> {
     dists
         .into_iter()
         .map(|d| ObjectProbability { object_id: d.object_id, probability: d.prob_at_least(k) })

@@ -14,20 +14,28 @@
 //!    threshold protocol when the database hosts heterogeneous models.
 //!
 //! The index is built lazily per snapshot via
-//! [`TrajectoryDatabase::spatial_index`] and invalidated copy-on-write:
+//! [`TrajectoryDatabase::spatial_index`] and maintained copy-on-write:
 //! snapshots taken by async `submit` keep the index they were built with,
-//! while any mutation of the source database drops it.
+//! while mutations of the source database update it **incrementally** — the
+//! bulk-built structures stay immutable behind a shared `Arc` and mutated
+//! or inserted objects live in a small sorted *overlay* tested with exactly
+//! the same cone and liveness predicates ([`SpatioTemporalIndex::with_updated`]).
+//! Once the overlay outgrows [`SpatioTemporalIndex::wants_compaction`]'s
+//! threshold the writer drops the index and the next read rebuilds it in
+//! bulk (compaction).
 //!
 //! [`TrajectoryDatabase::spatial_index`]: crate::database::TrajectoryDatabase::spatial_index
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use ust_space::{IntervalIndex, Rect, StateSpace};
+use ust_space::{IntervalIndex, Point2, Rect, StateSpace};
 
 use crate::cluster::{greedy_clusters, ModelCluster};
 use crate::database::TrajectoryDatabase;
-use crate::prefilter::ConePrefilter;
+use crate::object::UncertainObject;
+use crate::prefilter::{anchor_geometry, cone_radius, ConePrefilter};
 use crate::query::QueryWindow;
 
 /// Greedy model-clustering budget, expressed as total envelope width per
@@ -35,12 +43,42 @@ use crate::query::QueryWindow;
 /// wider stays a singleton and is always decided exactly.
 const CLUSTER_WIDTH_PER_STATE: f64 = 0.1;
 
-/// The combined cone + interval + cluster index over one database snapshot.
-pub struct SpatioTemporalIndex {
+/// Overlay entries per base object below which incremental updates keep
+/// extending the overlay; above it the writer compacts (full rebuild).
+const OVERLAY_COMPACTION_FRACTION: usize = 8;
+
+/// Overlay size the compaction threshold never drops below, so small
+/// databases still amortize a handful of updates before rebuilding.
+const OVERLAY_COMPACTION_MIN: usize = 16;
+
+/// The immutable bulk-built portion of the index, `Arc`-shared between an
+/// index and its incrementally updated successors.
+struct IndexBase {
     cones: ConePrefilter,
     spans: IntervalIndex,
     space: Arc<dyn StateSpace + Send + Sync>,
     clusters: Vec<ModelCluster>,
+    /// Number of objects covered by the bulk structures; overlay keys at or
+    /// beyond this are insertions, keys below it shadow stale base entries.
+    len: usize,
+}
+
+/// Cone geometry of one object mutated or inserted after the bulk build.
+#[derive(Debug, Clone, Copy)]
+struct OverlayEntry {
+    centroid: Point2,
+    radius: f64,
+    anchor_time: u32,
+}
+
+/// The combined cone + interval + cluster index over one database snapshot.
+pub struct SpatioTemporalIndex {
+    base: Arc<IndexBase>,
+    /// Database indices whose geometry differs from the bulk build, sorted
+    /// by index. Base results for these indices are stale and discarded;
+    /// the overlay entry is tested with the exact cone + liveness
+    /// predicates instead.
+    overlay: BTreeMap<usize, OverlayEntry>,
     num_objects: usize,
 }
 
@@ -48,8 +86,9 @@ impl fmt::Debug for SpatioTemporalIndex {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SpatioTemporalIndex")
             .field("num_objects", &self.num_objects)
+            .field("overlay_len", &self.overlay.len())
             .field("max_anchor_time", &self.max_anchor_time())
-            .field("clusters", &self.clusters.len())
+            .field("clusters", &self.base.clusters.len())
             .finish_non_exhaustive()
     }
 }
@@ -69,10 +108,43 @@ impl SpatioTemporalIndex {
         } else {
             Vec::new()
         };
-        SpatioTemporalIndex { cones, spans, space, clusters, num_objects: db.len() }
+        SpatioTemporalIndex {
+            base: Arc::new(IndexBase { cones, spans, space, clusters, len: db.len() }),
+            overlay: BTreeMap::new(),
+            num_objects: db.len(),
+        }
     }
 
-    /// Number of objects the index was built over.
+    /// A successor index in which the object at database index `idx` has
+    /// the given (possibly new) geometry. The bulk structures are shared,
+    /// only the overlay is copied, so an update costs O(overlay) instead of
+    /// a rebuild. Handles both mutation (`idx` already covered) and
+    /// insertion (`idx == num_objects()`).
+    pub fn with_updated(&self, idx: usize, object: &UncertainObject) -> SpatioTemporalIndex {
+        let (centroid, radius) = anchor_geometry(object, self.base.space.as_ref());
+        let mut overlay = self.overlay.clone();
+        overlay.insert(idx, OverlayEntry { centroid, radius, anchor_time: object.anchor().time() });
+        SpatioTemporalIndex {
+            base: Arc::clone(&self.base),
+            overlay,
+            num_objects: self.num_objects.max(idx + 1),
+        }
+    }
+
+    /// True once the overlay has outgrown the point where linear overlay
+    /// scans stop being cheaper than a bulk rebuild; the writer should drop
+    /// the index and let the next read rebuild it.
+    pub fn wants_compaction(&self) -> bool {
+        self.overlay.len()
+            >= OVERLAY_COMPACTION_MIN.max(self.base.len / OVERLAY_COMPACTION_FRACTION)
+    }
+
+    /// Number of objects mutated or inserted since the bulk build.
+    pub fn overlay_len(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// Number of objects the index covers (bulk build plus insertions).
     pub fn num_objects(&self) -> usize {
         self.num_objects
     }
@@ -81,27 +153,32 @@ impl SpatioTemporalIndex {
     /// database is empty). Windows starting at or after this instant are
     /// guaranteed to pass per-object window validation, which is what
     /// licenses answering from pruned candidate sets without touching the
-    /// pruned objects.
+    /// pruned objects. Overlay anchors are monotone over the base entries
+    /// they shadow (ingest never moves an anchor backwards), so the max of
+    /// both sides is exact.
     pub fn max_anchor_time(&self) -> u32 {
-        self.spans.max_start().unwrap_or(0)
+        let base = self.base.spans.max_start().unwrap_or(0);
+        let overlay = self.overlay.values().map(|e| e.anchor_time).max().unwrap_or(0);
+        base.max(overlay)
     }
 
     /// The embedding the index was built against.
     pub fn space(&self) -> &Arc<dyn StateSpace + Send + Sync> {
-        &self.space
+        &self.base.space
     }
 
     /// Interval-envelope clusters for the clustered threshold protocol
-    /// (empty for single-model databases).
+    /// (empty for single-model databases). Clusters group *models*, not
+    /// objects, so they survive object mutation unchanged.
     pub fn clusters(&self) -> &[ModelCluster] {
-        &self.clusters
+        &self.base.clusters
     }
 
     /// Bounding rectangle of the window's state set under the embedding.
     pub fn window_rect(&self, window: &QueryWindow) -> Rect {
         let mut rect = Rect::empty();
         for s in window.states().to_indices() {
-            rect = rect.union(&Rect::point(self.space.location(s)));
+            rect = rect.union(&Rect::point(self.base.space.location(s)));
         }
         rect
     }
@@ -112,20 +189,48 @@ impl SpatioTemporalIndex {
     /// guaranteed to have `P∃ = 0`. Conservative by construction — never
     /// discards an object with non-zero probability.
     pub fn candidates(&self, window: &QueryWindow) -> Vec<usize> {
+        let base = self.base_candidates(window);
+        if self.overlay.is_empty() {
+            return base;
+        }
+        // Base hits for overlaid indices describe stale geometry — discard
+        // them and re-test those objects from the overlay with the same
+        // exact predicates the bulk path applies per anchor.
+        let rect = self.window_rect(window);
+        let t_end = window.t_end();
+        let max_step = self.base.cones.max_step();
+        let overlay_hits = self.overlay.iter().filter_map(|(&idx, e)| {
+            let alive = e.anchor_time <= t_end;
+            let reach = cone_radius(e.anchor_time, t_end, max_step) + e.radius;
+            (alive && rect.distance_to_point(&e.centroid) <= reach).then_some(idx)
+        });
+        merge_sorted(base.into_iter().filter(|idx| !self.overlay.contains_key(idx)), overlay_hits)
+    }
+
+    /// Candidate pass over the immutable bulk structures only; indices
+    /// shadowed by the overlay may appear and are filtered by the caller.
+    fn base_candidates(&self, window: &QueryWindow) -> Vec<usize> {
         // Temporal pass first (cheapest): objects observed only after the
         // window ends cannot be in it. The common case — every span has
         // begun by t_end — is detected in O(1) and skips materialisation.
-        let alive = match self.spans.max_start() {
+        let alive = match self.base.spans.max_start() {
             None => return Vec::new(),
             Some(s) if s <= window.t_end() => None,
-            Some(_) => Some(self.spans.overlapping(window.t_start(), window.t_end())),
+            Some(_) => Some(self.base.spans.overlapping(window.t_start(), window.t_end())),
         };
-        let geometric = self.cones.candidates(&self.window_rect(window), window);
+        let geometric = self.base.cones.candidates(&self.window_rect(window), window);
         match alive {
             None => geometric,
             Some(alive) => intersect_sorted(&geometric, &alive),
         }
     }
+}
+
+/// Union of two ascending-sorted, mutually disjoint index streams.
+fn merge_sorted(a: impl Iterator<Item = usize>, b: impl Iterator<Item = usize>) -> Vec<usize> {
+    let mut out: Vec<usize> = a.chain(b).collect();
+    out.sort_unstable();
+    out
 }
 
 /// Intersection of two ascending-sorted index sets.
@@ -224,5 +329,60 @@ mod tests {
         let window = QueryWindow::from_states(50, 20usize..=22, TimeSet::at(1)).unwrap();
         let rect = index.window_rect(&window);
         assert_eq!((rect.min.x, rect.max.x), (20.0, 22.0));
+    }
+
+    #[test]
+    fn overlay_update_matches_a_fresh_build() {
+        let n = 50;
+        let db = db_with_anchors(n, &[(0, 10), (0, 25), (8, 21), (0, 49)]);
+        let space: Arc<LineSpace> = Arc::new(LineSpace::new(n));
+        let index = SpatioTemporalIndex::build(&db, Arc::new(LineSpace::new(n)));
+        // Object 0 moves next to the window and re-anchors at t = 2; object
+        // 4 is inserted right inside the window's state band.
+        let moved =
+            UncertainObject::with_single_observation(0, Observation::exact(2, n, 21).unwrap());
+        let added =
+            UncertainObject::with_single_observation(4, Observation::exact(0, n, 20).unwrap());
+        let updated = index.with_updated(0, &moved).with_updated(4, &added);
+        assert_eq!(updated.overlay_len(), 2);
+        assert_eq!(updated.num_objects(), 5);
+
+        // The same mutations applied to the database, then bulk-rebuilt.
+        let mut objects: Vec<UncertainObject> = db.objects().to_vec();
+        objects[0] = moved;
+        objects.push(added);
+        let mut fresh_db = TrajectoryDatabase::new(line_chain(n));
+        fresh_db.insert_all(objects).unwrap();
+        let fresh = SpatioTemporalIndex::build(&fresh_db, Arc::clone(&space) as _);
+
+        for (t0, t1) in [(3u32, 5u32), (0, 1), (0, 25), (9, 12)] {
+            let window =
+                QueryWindow::from_states(n, 20usize..=22, TimeSet::interval(t0, t1)).unwrap();
+            assert_eq!(
+                updated.candidates(&window),
+                fresh.candidates(&window),
+                "window [{t0}, {t1}]"
+            );
+        }
+        assert_eq!(updated.max_anchor_time(), fresh.max_anchor_time());
+    }
+
+    #[test]
+    fn compaction_threshold_scales_with_base_size() {
+        let n = 50;
+        let db = db_with_anchors(n, &[(0, 10), (0, 25)]);
+        let index = SpatioTemporalIndex::build(&db, Arc::new(LineSpace::new(n)));
+        assert!(!index.wants_compaction());
+        let mut grown = index.with_updated(0, db.object(0).unwrap());
+        for _ in 0..OVERLAY_COMPACTION_MIN {
+            grown = grown.with_updated(0, db.object(0).unwrap());
+        }
+        // Repeated updates of one object keep a single overlay entry...
+        assert_eq!(grown.overlay_len(), 1);
+        // ...while distinct indices grow it to the threshold.
+        for idx in 0..OVERLAY_COMPACTION_MIN {
+            grown = grown.with_updated(idx, db.object(0).unwrap());
+        }
+        assert!(grown.wants_compaction());
     }
 }

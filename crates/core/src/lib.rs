@@ -71,7 +71,7 @@ pub mod stats;
 pub mod streaming;
 pub mod threshold;
 
-pub use database::TrajectoryDatabase;
+pub use database::{IngestOutcome, TrajectoryDatabase};
 pub use engine::cache::{BackwardFieldCache, KTimesFieldCache};
 pub use engine::{
     CostEstimate, EngineConfig, KernelMode, PrefilterMode, QueryPlan, QueryProcessor, QueryTicket,
@@ -86,12 +86,13 @@ pub use query::{
     QuerySpec, QueryWindow, Strategy,
 };
 pub use ranking::RankedObject;
-pub use serving::{MetricsSnapshot, PlanMetrics};
+pub use serving::{MetricsSnapshot, PlanMetrics, StreamMetrics};
 pub use stats::EvalStats;
+pub use streaming::Subscription;
 
 /// Convenience prelude re-exporting the types most applications need.
 pub mod prelude {
-    pub use crate::database::TrajectoryDatabase;
+    pub use crate::database::{IngestOutcome, TrajectoryDatabase};
     pub use crate::engine::cache::{BackwardFieldCache, KTimesFieldCache};
     pub use crate::engine::{
         CostEstimate, EngineConfig, KernelMode, PrefilterMode, QueryPlan, QueryProcessor,
@@ -107,6 +108,7 @@ pub mod prelude {
         QueryBuilder, QuerySpec, QueryWindow, Strategy,
     };
     pub use crate::ranking::RankedObject;
-    pub use crate::serving::{MetricsSnapshot, PlanMetrics};
+    pub use crate::serving::{MetricsSnapshot, PlanMetrics, StreamMetrics};
     pub use crate::stats::EvalStats;
+    pub use crate::streaming::Subscription;
 }

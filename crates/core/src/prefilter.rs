@@ -167,13 +167,21 @@ impl ConePrefilter {
     }
 }
 
-fn cone_radius(anchor_time: u32, t_end: u32, max_step: f64) -> f64 {
+/// How far an object anchored at `anchor_time` can have strayed from its
+/// anchor support by `t_end` (zero for anchors after `t_end`: the chain
+/// cannot reach backwards). Shared with the index overlay so entries added
+/// after the bulk build are tested with exactly the same cone.
+pub(crate) fn cone_radius(anchor_time: u32, t_end: u32, max_step: f64) -> f64 {
     f64::from(t_end.saturating_sub(anchor_time)) * max_step
 }
 
 /// Weighted centroid of the anchor support and the largest distance from
-/// the centroid to any support state.
-fn anchor_geometry<S: StateSpace + ?Sized>(object: &UncertainObject, space: &S) -> (Point2, f64) {
+/// the centroid to any support state. `pub(crate)` so the index overlay can
+/// derive geometry for objects mutated or inserted after the bulk build.
+pub(crate) fn anchor_geometry<S: StateSpace + ?Sized>(
+    object: &UncertainObject,
+    space: &S,
+) -> (Point2, f64) {
     let dist = object.initial_distribution();
     let mut cx = 0.0;
     let mut cy = 0.0;

@@ -128,6 +128,57 @@ pub(crate) struct ExecutionRecord {
     pub ok: bool,
 }
 
+/// Per-subscription counters for one standing query registered through
+/// [`crate::engine::QueryProcessor::watch`], keyed by
+/// [`crate::streaming::Subscription::id`].
+///
+/// The step split is the streaming story in numbers: `recompute_steps`
+/// is what full evaluations (the registration probe plus any stale
+/// resynchronizations) cost, `incremental_steps` what the per-arrival
+/// single-object refreshes cost. On a warmed query-based subscription
+/// the latter stays at zero backward steps per arrival — the ratio
+/// `BENCH_pr8.json` reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamMetrics {
+    /// The subscription this row accounts for.
+    pub subscription_id: u64,
+    /// Notifications committed into the maintained answer (incremental
+    /// refreshes plus full resynchronizations; the registration probe is
+    /// not a notification).
+    pub notifications: u64,
+    /// Incremental single-object re-evaluations.
+    pub reevaluations: u64,
+    /// Full evaluations: the registration probe plus stale resyncs.
+    pub full_recomputes: u64,
+    /// Maintained result entries invalidated by arrivals — the scoped
+    /// inverse of a whole-cache flush: one entry per in-scope arrival,
+    /// never the backward-field caches (their keys are
+    /// observation-independent).
+    pub suffix_invalidations: u64,
+    /// Refreshes shed at the admission bound or deadline.
+    pub sheds: u64,
+    /// Propagation steps (forward transitions + backward steps) spent on
+    /// incremental refreshes.
+    pub incremental_steps: u64,
+    /// Propagation steps spent on full evaluations.
+    pub recompute_steps: u64,
+}
+
+impl StreamMetrics {
+    fn new(subscription_id: u64) -> StreamMetrics {
+        StreamMetrics {
+            subscription_id,
+            notifications: 0,
+            reevaluations: 0,
+            full_recomputes: 0,
+            suffix_invalidations: 0,
+            sheds: 0,
+            incremental_steps: 0,
+            recompute_steps: 0,
+        }
+    }
+}
+
 /// Aggregated counters for one `(predicate, strategy)` plan shape.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanMetrics {
@@ -240,12 +291,19 @@ pub struct MetricsSnapshot {
     pub qb_entry_throughput: Option<f64>,
     /// Per-`(predicate, strategy)` counters, in first-seen order.
     pub plans: Vec<PlanMetrics>,
+    /// Per-subscription streaming counters, in registration order.
+    pub streams: Vec<StreamMetrics>,
 }
 
 impl MetricsSnapshot {
     /// The counters for one plan shape, if it was ever recorded.
     pub fn plan(&self, predicate: Predicate, strategy: Strategy) -> Option<&PlanMetrics> {
         self.plans.iter().find(|p| p.predicate == predicate && p.strategy == strategy)
+    }
+
+    /// The counters for one subscription, if it was ever registered.
+    pub fn stream(&self, subscription_id: u64) -> Option<&StreamMetrics> {
+        self.streams.iter().find(|s| s.subscription_id == subscription_id)
     }
 
     /// Sum of the terminal async outcomes — equals
@@ -310,6 +368,21 @@ impl fmt::Display for MetricsSnapshot {
                 )?;
             }
         }
+        for s in &self.streams {
+            write!(
+                f,
+                "\n  stream #{}: {} notified ({} incremental / {} full, {} shed), \
+                 {} entries invalidated, steps {} incr / {} full",
+                s.subscription_id,
+                s.notifications,
+                s.reevaluations,
+                s.full_recomputes,
+                s.sheds,
+                s.suffix_invalidations,
+                s.incremental_steps,
+                s.recompute_steps,
+            )?;
+        }
         Ok(())
     }
 }
@@ -332,6 +405,7 @@ struct Inner {
     ob_entry_rate: Ewma,
     qb_entry_rate: Ewma,
     plans: Vec<PlanMetrics>,
+    streams: Vec<StreamMetrics>,
 }
 
 impl Inner {
@@ -343,6 +417,14 @@ impl Inner {
         }
         self.plans.push(PlanMetrics::new(predicate, strategy));
         self.plans.last_mut().expect("just pushed")
+    }
+
+    fn stream_entry(&mut self, subscription_id: u64) -> &mut StreamMetrics {
+        if let Some(pos) = self.streams.iter().position(|s| s.subscription_id == subscription_id) {
+            return &mut self.streams[pos];
+        }
+        self.streams.push(StreamMetrics::new(subscription_id));
+        self.streams.last_mut().expect("just pushed")
     }
 }
 
@@ -445,6 +527,42 @@ impl Metrics {
         entry.candidates_pruned += record.delta.candidates_pruned;
     }
 
+    /// Tallies a subscription's registration: the initial full evaluation
+    /// [`crate::engine::QueryProcessor::watch`] performs to seed the
+    /// maintained answer.
+    pub(crate) fn record_stream_watch(&self, subscription_id: u64, steps: u64) {
+        let mut inner = self.lock();
+        let entry = inner.stream_entry(subscription_id);
+        entry.full_recomputes += 1;
+        entry.recompute_steps += steps;
+    }
+
+    /// Tallies a committed incremental refresh: one arrival invalidated
+    /// exactly one maintained entry and re-evaluated it.
+    pub(crate) fn record_stream_refresh(&self, subscription_id: u64, steps: u64) {
+        let mut inner = self.lock();
+        let entry = inner.stream_entry(subscription_id);
+        entry.notifications += 1;
+        entry.reevaluations += 1;
+        entry.suffix_invalidations += 1;
+        entry.incremental_steps += steps;
+    }
+
+    /// Tallies a full resynchronization of a stale (or errored, or
+    /// Monte-Carlo) subscription.
+    pub(crate) fn record_stream_resync(&self, subscription_id: u64, steps: u64) {
+        let mut inner = self.lock();
+        let entry = inner.stream_entry(subscription_id);
+        entry.notifications += 1;
+        entry.full_recomputes += 1;
+        entry.recompute_steps += steps;
+    }
+
+    /// Tallies a refresh shed at the admission bound or deadline.
+    pub(crate) fn record_stream_shed(&self, subscription_id: u64) {
+        self.lock().stream_entry(subscription_id).sheds += 1;
+    }
+
     /// The learned `(object-based, query-based)` matrix-entry throughputs
     /// (entries per second of execute wall); `None` until the respective
     /// strategy has executed a query that touched entries. Wall-clock
@@ -484,6 +602,7 @@ impl Metrics {
             ob_entry_throughput: inner.ob_entry_rate.get(),
             qb_entry_throughput: inner.qb_entry_rate.get(),
             plans: inner.plans.clone(),
+            streams: inner.streams.clone(),
         }
     }
 }
@@ -579,6 +698,30 @@ mod tests {
         assert!((m.discounts().1.unwrap() - 1.0).abs() < 1e-12, "ratio clamps at 1");
         m.record_execution(&record(Strategy::MonteCarlo, true, 10.0, 5, true));
         assert!((m.discounts().1.unwrap() - 1.0).abs() < 1e-12, "MC never calibrates");
+    }
+
+    #[test]
+    fn stream_counters_split_incremental_from_full_work() {
+        let m = Metrics::new();
+        m.record_stream_watch(3, 100);
+        m.record_stream_refresh(3, 4);
+        m.record_stream_refresh(3, 6);
+        m.record_stream_shed(3);
+        m.record_stream_resync(3, 90);
+        m.record_stream_watch(7, 50);
+        let s = m.snapshot();
+        assert_eq!(s.streams.len(), 2);
+        let three = s.stream(3).unwrap();
+        assert_eq!(three.notifications, 3, "watch is not a notification");
+        assert_eq!(three.reevaluations, 2);
+        assert_eq!(three.full_recomputes, 2, "watch + resync");
+        assert_eq!(three.suffix_invalidations, 2);
+        assert_eq!(three.sheds, 1);
+        assert_eq!(three.incremental_steps, 10);
+        assert_eq!(three.recompute_steps, 190);
+        assert_eq!(s.stream(7).unwrap().recompute_steps, 50);
+        assert_eq!(s.stream(42), None);
+        assert!(s.to_string().contains("stream #3: 3 notified"));
     }
 
     #[test]

@@ -12,17 +12,34 @@
 //! observations arrive (latest-fix semantics: each new fix supersedes the
 //! previous one, which is the standard dashboard behaviour; full Bayesian
 //! fusion of *all* fixes is [`crate::multi_obs`]).
+//!
+//! Both are self-contained, single-chain tools. The engine-integrated
+//! layer lives on [`crate::engine::QueryProcessor`]: `watch` registers a
+//! full [`QuerySpec`] as a [`Subscription`], `ingest` applies latest-fix
+//! observations to the processor's database, and every applied arrival
+//! re-evaluates exactly the affected object of each registered
+//! subscription through the planner (prefilter, batching, caches and
+//! serving metrics all apply). The subscription's decorated answer is
+//! *derived* from its maintained per-object state through the same
+//! `engine::plan` helpers the batch dispatcher uses, so incremental and
+//! from-scratch answers are bit-for-bit identical — the property
+//! `tests/streaming.rs` pins.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 use ust_markov::MarkovChain;
 
+use crate::engine::plan;
 use crate::engine::query_based::BackwardField;
 use crate::error::{QueryError, Result};
 use crate::object::UncertainObject;
 use crate::observation::Observation;
-use crate::query::QueryWindow;
+use crate::query::{
+    Decorator, ObjectKDistribution, ObjectProbability, Predicate, Query, QueryAnswer, QuerySpec,
+    QueryWindow,
+};
 use crate::stats::EvalStats;
 
 /// A precomputed PST∃Q whose backward field covers every anchor time in
@@ -141,6 +158,283 @@ impl StreamingMonitor {
     }
 }
 
+/// The undecorated per-object state a [`Subscription`] maintains between
+/// arrivals: exact probabilities for ∃/∀ specs, visit-count distributions
+/// for PSTkQ specs, in the order a full probe execution lists them
+/// (database order for whole-database subscriptions). Decorated answers
+/// (threshold ids, top-k rankings) are derived from this state through
+/// the same `engine::plan` helpers the batch dispatcher uses, so a
+/// derived answer cannot drift from what a from-scratch execution
+/// returns.
+#[derive(Debug, Clone)]
+pub(crate) enum RawAnswer {
+    /// ∃/∀ per-object probabilities.
+    Probs(Vec<ObjectProbability>),
+    /// PSTkQ per-object visit-count distributions.
+    Dists(Vec<ObjectKDistribution>),
+}
+
+impl RawAnswer {
+    /// Converts an executed probabilities-probe answer into maintained
+    /// state.
+    pub(crate) fn from_answer(answer: QueryAnswer) -> RawAnswer {
+        match answer {
+            QueryAnswer::Probabilities(v) => RawAnswer::Probs(v),
+            QueryAnswer::Distributions(v) => RawAnswer::Dists(v),
+            _ => unreachable!("the probe spec always uses the probabilities decorator"),
+        }
+    }
+
+    /// Splices a single-object probe result into the maintained state:
+    /// replaces the entry with the same object id, or appends one that was
+    /// not listed before (a freshly inserted object lands at the end of
+    /// the database, which is exactly where a full re-evaluation would
+    /// list it).
+    pub(crate) fn splice(&mut self, update: RawAnswer) {
+        fn merge<T>(into: &mut Vec<T>, from: Vec<T>, id: impl Fn(&T) -> u64) {
+            for entry in from {
+                match into.iter_mut().find(|e| id(e) == id(&entry)) {
+                    Some(slot) => *slot = entry,
+                    None => into.push(entry),
+                }
+            }
+        }
+        match (self, update) {
+            (RawAnswer::Probs(v), RawAnswer::Probs(u)) => merge(v, u, |e| e.object_id),
+            (RawAnswer::Dists(v), RawAnswer::Dists(u)) => merge(v, u, |e| e.object_id),
+            _ => unreachable!("a subscription's probe shape never changes"),
+        }
+    }
+}
+
+/// The mutable half of a subscription, behind its lock.
+#[derive(Debug)]
+pub(crate) struct SubscriptionInner {
+    /// The maintained undecorated state — or the error the equivalent
+    /// batch execution returns. Error states are maintained with the same
+    /// fidelity as answers: the equivalence harness compares both.
+    pub(crate) raw: Result<RawAnswer>,
+    /// Set when a re-evaluation was shed (admission bound or deadline):
+    /// the maintained state no longer reflects the database, and the next
+    /// admitted refresh resynchronizes with a full re-evaluation.
+    pub(crate) stale: bool,
+    /// The most recent shed error, for dashboards.
+    pub(crate) last_shed: Option<QueryError>,
+    /// Committed refreshes since `watch` (incremental or full).
+    pub(crate) notifications: u64,
+}
+
+/// Shared state behind a [`Subscription`] handle; the registering
+/// [`crate::engine::QueryProcessor`] holds the other `Arc`.
+#[derive(Debug)]
+pub(crate) struct SubscriptionState {
+    /// Processor-unique subscription id.
+    pub(crate) id: u64,
+    /// The pinned spec: [`crate::query::Strategy::Auto`] is resolved once
+    /// at `watch` time — re-planning on every arrival could flip the
+    /// strategy between two refreshes, and the exact strategies agree
+    /// only to rounding, so a pinned strategy is what keeps the
+    /// maintained bits stable.
+    pub(crate) spec: QuerySpec,
+    pub(crate) inner: Mutex<SubscriptionInner>,
+    /// Set by [`Subscription::cancel`] (and its `Drop`); the processor
+    /// skips and prunes cancelled entries.
+    pub(crate) cancelled: AtomicBool,
+}
+
+impl SubscriptionState {
+    pub(crate) fn new(id: u64, spec: QuerySpec, raw: Result<RawAnswer>) -> SubscriptionState {
+        SubscriptionState {
+            id,
+            spec,
+            inner: Mutex::new(SubscriptionInner {
+                raw,
+                stale: false,
+                last_shed: None,
+                notifications: 0,
+            }),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, SubscriptionInner> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Derives the decorated answer from maintained state — through the
+    /// same helpers `engine::plan`'s dispatcher applies to freshly
+    /// computed probabilities.
+    pub(crate) fn derive(&self, raw: &RawAnswer) -> QueryAnswer {
+        match raw {
+            RawAnswer::Probs(v) => plan::decorate(v.clone(), self.spec.decorator()),
+            RawAnswer::Dists(v) => match (self.spec.predicate(), self.spec.decorator()) {
+                (_, Decorator::Probabilities) => QueryAnswer::Distributions(v.clone()),
+                (Predicate::KTimes(k), decorator) => {
+                    plan::decorate(plan::at_least(v.clone(), k), decorator)
+                }
+                _ => unreachable!("distributions are maintained only for PSTkQ specs"),
+            },
+        }
+    }
+}
+
+/// Rebuilds `spec` with an explicit strategy — how `watch` pins a
+/// [`crate::query::Strategy::Auto`] spec to the planner's choice once,
+/// instead of re-planning (and possibly flipping bits) on every arrival.
+pub(crate) fn pin_strategy(
+    spec: &QuerySpec,
+    strategy: crate::query::Strategy,
+) -> Result<QuerySpec> {
+    let builder = match spec.predicate() {
+        Predicate::Exists => Query::exists(),
+        Predicate::ForAll => Query::forall(),
+        Predicate::KTimes(k) => Query::ktimes(k),
+    };
+    let builder =
+        builder.window(spec.window().clone()).strategy(strategy).sampling(spec.sampling());
+    let builder = match spec.decorator() {
+        Decorator::Probabilities => builder.probabilities(),
+        Decorator::Threshold(tau) => builder.threshold(tau),
+        Decorator::TopK(k) => builder.top_k(k),
+    };
+    let builder = match spec.objects() {
+        Some(ids) => builder.objects(ids.iter().copied()),
+        None => builder,
+    };
+    builder.build()
+}
+
+/// The probabilities-decorated probe of `spec` the maintained state is
+/// computed with — same predicate, window, strategy, sampling and subset,
+/// optionally narrowed to a single object for incremental refreshes.
+pub(crate) fn probe_spec(spec: &QuerySpec, object: Option<u64>) -> Result<QuerySpec> {
+    let builder = match spec.predicate() {
+        Predicate::Exists => Query::exists(),
+        Predicate::ForAll => Query::forall(),
+        Predicate::KTimes(k) => Query::ktimes(k),
+    };
+    let builder = builder
+        .window(spec.window().clone())
+        .probabilities()
+        .strategy(spec.strategy())
+        .sampling(spec.sampling());
+    let builder = match (object, spec.objects()) {
+        (Some(id), _) => builder.objects([id]),
+        (None, Some(ids)) => builder.objects(ids.iter().copied()),
+        (None, None) => builder,
+    };
+    builder.build()
+}
+
+/// A continuously maintained standing query, registered with
+/// [`crate::engine::QueryProcessor::watch`] and refreshed by every
+/// applied [`crate::engine::QueryProcessor::ingest`] /
+/// [`crate::engine::QueryProcessor::insert`] that affects an object in
+/// its scope.
+///
+/// The handle is read-only and lock-cheap: [`Subscription::answer`]
+/// derives the decorated answer from the maintained per-object state
+/// without touching the engines. Dropping (or [`Subscription::cancel`]ing)
+/// the handle detaches it — never blocking, even mid-refresh — and the
+/// processor prunes the registry entry on the next arrival.
+#[derive(Debug)]
+pub struct Subscription {
+    state: Arc<SubscriptionState>,
+}
+
+impl Subscription {
+    pub(crate) fn from_state(state: Arc<SubscriptionState>) -> Subscription {
+        Subscription { state }
+    }
+
+    /// The processor-unique subscription id (also the key of the
+    /// per-subscription serving counters in
+    /// [`crate::serving::MetricsSnapshot::streams`]).
+    pub fn id(&self) -> u64 {
+        self.state.id
+    }
+
+    /// The pinned spec the subscription is maintained under (with
+    /// [`crate::query::Strategy::Auto`] resolved at watch time).
+    pub fn spec(&self) -> &QuerySpec {
+        &self.state.spec
+    }
+
+    /// The current decorated answer — bit-for-bit what executing
+    /// [`Subscription::spec`] from scratch against a database holding the
+    /// same applied observations returns, including the error when that
+    /// execution fails.
+    pub fn answer(&self) -> Result<QueryAnswer> {
+        let inner = self.state.lock();
+        match &inner.raw {
+            Ok(raw) => Ok(self.state.derive(raw)),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// The maintained predicate probability of one object: `P∃` / `P∀`,
+    /// or `P(visits ≥ k)` for PSTkQ specs. `None` when the object is not
+    /// in scope or the subscription is in an error state.
+    pub fn probability(&self, object_id: u64) -> Option<f64> {
+        let inner = self.state.lock();
+        match inner.raw.as_ref().ok()? {
+            RawAnswer::Probs(v) => {
+                v.iter().find(|e| e.object_id == object_id).map(|e| e.probability)
+            }
+            RawAnswer::Dists(v) => {
+                let k = match self.state.spec.predicate() {
+                    Predicate::KTimes(k) => k,
+                    _ => unreachable!("distributions are maintained only for PSTkQ specs"),
+                };
+                v.iter().find(|e| e.object_id == object_id).map(|e| e.prob_at_least(k))
+            }
+        }
+    }
+
+    /// Committed refreshes since `watch` (incremental splices and full
+    /// resynchronizations; shed refreshes do not count).
+    pub fn notifications(&self) -> u64 {
+        self.state.lock().notifications
+    }
+
+    /// True when a shed re-evaluation left the answer behind the
+    /// database; the subscription resynchronizes (with a full
+    /// re-evaluation) on its next admitted refresh.
+    pub fn is_stale(&self) -> bool {
+        self.state.lock().stale
+    }
+
+    /// The most recent shed error
+    /// ([`QueryError::QueueFull`] / [`QueryError::DeadlineExceeded`]),
+    /// if any refresh was ever shed.
+    pub fn last_shed(&self) -> Option<QueryError> {
+        self.state.lock().last_shed.clone()
+    }
+
+    /// Detaches the subscription: no further refreshes or notifications.
+    /// Never blocks (a refresh in flight commits or sheds, then the
+    /// registry entry is pruned on the next arrival).
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once cancelled (or after the handle's `Drop` ran, which
+    /// cancels implicitly).
+    pub fn is_cancelled(&self) -> bool {
+        self.state.is_cancelled()
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.cancel();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +538,80 @@ mod tests {
         let query = StandingQuery::new(paper_chain(), paper_window()).unwrap();
         let bad = Observation::exact(0, 5, 0).unwrap();
         assert!(matches!(query.score(&bad), Err(QueryError::ModelDimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn splice_replaces_in_place_and_appends_new_objects() {
+        let p = |id: u64, probability: f64| ObjectProbability { object_id: id, probability };
+        let mut raw = RawAnswer::Probs(vec![p(3, 0.1), p(1, 0.2), p(7, 0.3)]);
+        raw.splice(RawAnswer::Probs(vec![p(1, 0.9)]));
+        raw.splice(RawAnswer::Probs(vec![p(9, 0.4)]));
+        match &raw {
+            RawAnswer::Probs(v) => {
+                let ids: Vec<u64> = v.iter().map(|e| e.object_id).collect();
+                assert_eq!(ids, vec![3, 1, 7, 9], "in-place replace keeps database order");
+                assert_eq!(v[1].probability, 0.9);
+                assert_eq!(v[3].probability, 0.4);
+            }
+            RawAnswer::Dists(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn derived_answers_ride_the_batch_decorators() {
+        use crate::query::Strategy;
+        let window = paper_window();
+        let p = |id: u64, probability: f64| ObjectProbability { object_id: id, probability };
+        let probs = vec![p(1, 0.9), p(2, 0.3), p(3, 0.7)];
+
+        let threshold = Query::exists().window(window.clone()).threshold(0.5).build().unwrap();
+        let state = SubscriptionState::new(0, threshold, Ok(RawAnswer::Probs(probs.clone())));
+        assert_eq!(
+            state.derive(&RawAnswer::Probs(probs.clone())),
+            QueryAnswer::ObjectIds(vec![1, 3]),
+            "threshold keeps database order"
+        );
+
+        let topk = Query::exists().window(window.clone()).top_k(2).build().unwrap();
+        let state = SubscriptionState::new(1, topk, Ok(RawAnswer::Probs(probs.clone())));
+        match state.derive(&RawAnswer::Probs(probs)) {
+            QueryAnswer::Ranked(r) => {
+                assert_eq!(r.len(), 2);
+                assert_eq!((r[0].object_id, r[1].object_id), (1, 3));
+            }
+            other => panic!("top-k derives a ranking, got {other:?}"),
+        }
+
+        // PSTkQ distributions reduce through `P(visits ≥ k)`.
+        let d =
+            |id: u64, probabilities: Vec<f64>| ObjectKDistribution { object_id: id, probabilities };
+        let dists = vec![d(1, vec![0.1, 0.3, 0.6]), d(2, vec![0.8, 0.15, 0.05])];
+        let ktimes = Query::ktimes(2)
+            .window(window)
+            .threshold(0.5)
+            .strategy(Strategy::QueryBased)
+            .build()
+            .unwrap();
+        let state = SubscriptionState::new(2, ktimes, Ok(RawAnswer::Dists(dists.clone())));
+        assert_eq!(state.derive(&RawAnswer::Dists(dists)), QueryAnswer::ObjectIds(vec![1]));
+    }
+
+    #[test]
+    fn probe_spec_keeps_shape_and_narrows_scope() {
+        use crate::query::Strategy;
+        let spec = Query::ktimes(2)
+            .window(paper_window())
+            .top_k(3)
+            .strategy(Strategy::QueryBased)
+            .objects([5u64, 2])
+            .build()
+            .unwrap();
+        let full = probe_spec(&spec, None).unwrap();
+        assert_eq!(full.predicate(), spec.predicate());
+        assert_eq!(full.decorator(), Decorator::Probabilities);
+        assert_eq!(full.strategy(), Strategy::QueryBased);
+        assert_eq!(full.objects(), Some(&[2u64, 5][..]));
+        let narrowed = probe_spec(&spec, Some(5)).unwrap();
+        assert_eq!(narrowed.objects(), Some(&[5u64][..]));
     }
 }

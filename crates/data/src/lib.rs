@@ -23,10 +23,12 @@ pub mod iceberg;
 pub mod index_workload;
 pub mod io;
 pub mod network_data;
+pub mod streaming_feed;
 pub mod synthetic;
 pub mod traffic;
 pub mod workload;
 
 pub use csv::ResultTable;
 pub use index_workload::{generate_index_workload, IndexWorkload, IndexWorkloadConfig};
+pub use streaming_feed::{generate_streaming_feed, FeedConfig, FeedEvent, StreamingFeed};
 pub use synthetic::{SyntheticConfig, SyntheticDataset};

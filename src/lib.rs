@@ -99,9 +99,45 @@
 //! # Ok::<(), ust_core::QueryError>(())
 //! ```
 //!
+//! Streaming is the third entry point:
+//! [`ust_core::QueryProcessor::watch`] registers a **standing query**
+//! maintained across [`ust_core::QueryProcessor::ingest`] arrivals
+//! (latest-fix policy: out-of-order fixes are ignored, not errors). The
+//! maintained answer is bit-for-bit what a from-scratch `execute` on the
+//! updated database would return — `tests/streaming.rs` pins that by
+//! property:
+//!
+//! ```
+//! use ust::prelude::*;
+//!
+//! let chain = MarkovChain::from_csr(CsrMatrix::from_dense(&[
+//!     vec![0.0, 0.0, 1.0],
+//!     vec![0.6, 0.0, 0.4],
+//!     vec![0.0, 0.8, 0.2],
+//! ])?)?;
+//! let mut db = TrajectoryDatabase::new(chain);
+//! db.insert(UncertainObject::with_single_observation(
+//!     1, Observation::exact(0, 3, 1)?,
+//! ))?;
+//! let processor = QueryProcessor::new(&db);
+//!
+//! let window = QueryWindow::from_states(3, [0usize, 1], TimeSet::interval(2, 3))?;
+//! let sub = processor.watch(&Query::exists().window(window).build()?)?;
+//! assert!((sub.answer()?.probabilities().unwrap()[0].probability - 0.864).abs() < 1e-12);
+//!
+//! // A fresh fix arrives: the anchor advances (latest-fix) and the
+//! // standing query refreshes — only its one answer entry is
+//! // invalidated; the backward-field caches survive ingest untouched.
+//! assert_eq!(processor.ingest(1, Observation::exact(1, 3, 0)?)?, IngestOutcome::Applied);
+//! assert_eq!(sub.notifications(), 1);
+//! let refreshed = sub.answer()?.probabilities().unwrap()[0].probability;
+//! assert!((refreshed - 0.8).abs() < 1e-12);
+//! # Ok::<(), ust_core::QueryError>(())
+//! ```
+//!
 //! See the repository README for a guided tour, ARCHITECTURE.md for the
 //! crate and dataflow map, `examples/` for runnable programs, and
-//! `BENCH_pr2.json` / `BENCH_pr3.json` for the machine-readable perf
+//! `BENCH_pr2.json` … `BENCH_pr8.json` for the machine-readable perf
 //! trajectory regenerated by the `paper_experiments` binary.
 
 #![deny(missing_docs)]

@@ -159,3 +159,146 @@ fn degenerate_chain_sizes() {
     let q = query_based::exists_probability(&chain, &object, &window, &config).unwrap();
     assert_eq!(q, 1.0);
 }
+
+// --- Streaming ingest failure modes -------------------------------------
+
+fn streaming_db() -> TrajectoryDatabase {
+    let mut db = TrajectoryDatabase::new(paper_chain());
+    for id in 0..4u64 {
+        db.insert(UncertainObject::with_single_observation(
+            id,
+            Observation::exact(0, 3, (id % 3) as usize).unwrap(),
+        ))
+        .unwrap();
+    }
+    db
+}
+
+fn streaming_spec(db: &TrajectoryDatabase) -> QuerySpec {
+    let window =
+        QueryWindow::from_states(db.num_states(), [1usize, 2], TimeSet::interval(2, 4)).unwrap();
+    Query::exists().window(window).build().unwrap()
+}
+
+/// Blocks every pool worker until the returned closure is called.
+fn gate_pool(processor: &QueryProcessor) -> impl FnOnce() + 'static {
+    use std::sync::{Arc, Condvar, Mutex};
+    let pool = processor.pool().expect("gated tests need an owned pool");
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    for shard in 0..pool.num_threads() {
+        let gate = Arc::clone(&gate);
+        pool.spawn(
+            shard,
+            Box::new(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                while !*open {
+                    open = cv.wait(open).unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            }),
+        );
+    }
+    while pool.stats().queued_jobs > 0 {
+        std::thread::yield_now();
+    }
+    move || {
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        cv.notify_all();
+    }
+}
+
+#[test]
+fn ingest_validation_errors_are_typed() {
+    let db = streaming_db();
+    let processor = QueryProcessor::new(&db);
+    // Unknown object: nothing to supersede.
+    assert_eq!(
+        processor.ingest(99, Observation::exact(1, 3, 0).unwrap()),
+        Err(QueryError::UnknownObject { id: 99 })
+    );
+    // Dimension mismatch: a 4-state fix against a 3-state model.
+    assert_eq!(
+        processor.ingest(0, Observation::exact(1, 4, 0).unwrap()),
+        Err(QueryError::ModelDimensionMismatch { model_states: 3, object_states: 4 })
+    );
+    // Neither failed ingest mutated the database.
+    assert_eq!(processor.snapshot().object(0).unwrap().anchor().time(), 0);
+}
+
+/// A refresh rides the same admission bound as submitted queries: with the
+/// only slot held by a gated in-flight submit, an arrival's refresh is
+/// shed with `QueueFull`, the subscription goes stale (still answering its
+/// last committed state), and the next admitted arrival resynchronizes.
+#[test]
+fn refresh_sheds_queue_full_then_resynchronizes() {
+    let db = streaming_db();
+    let spec = streaming_spec(&db);
+    let processor = QueryProcessor::with_config(
+        &db,
+        EngineConfig::default().with_num_threads(2).with_max_queue_depth(1),
+    );
+    let sub = processor.watch(&spec).unwrap();
+    let before = sub.answer();
+
+    let release = gate_pool(&processor);
+    let ticket = processor.submit(&spec).unwrap();
+    // The submit holds the only admission slot, so the refresh is shed.
+    assert_eq!(
+        processor.ingest(1, Observation::exact(1, 3, 2).unwrap()),
+        Ok(IngestOutcome::Applied)
+    );
+    assert!(sub.is_stale(), "the shed refresh marked the subscription stale");
+    assert_eq!(sub.last_shed(), Some(QueryError::QueueFull { limit: 1 }));
+    assert_eq!(sub.notifications(), 0, "a shed refresh never commits");
+    assert_eq!(sub.answer(), before, "the stale answer is the last committed one");
+
+    release();
+    ticket.wait().unwrap();
+    // The next admitted arrival heals with a full resynchronization that
+    // also folds in the arrival missed while stale.
+    assert_eq!(
+        processor.ingest(2, Observation::exact(1, 3, 1).unwrap()),
+        Ok(IngestOutcome::Applied)
+    );
+    assert!(!sub.is_stale());
+    assert_eq!(sub.notifications(), 1);
+    let expected = QueryProcessor::new(&processor.snapshot()).execute(sub.spec());
+    assert_eq!(sub.answer(), expected);
+    let metrics = processor.metrics();
+    let stream = metrics.stream(sub.id()).unwrap();
+    assert_eq!(stream.sheds, 1);
+    assert_eq!(stream.full_recomputes, 2, "registration + resync");
+    assert_eq!(stream.reevaluations, 0, "no incremental refresh ever committed");
+    assert_eq!(metrics.in_flight, 0, "shed refreshes never leak admission slots");
+}
+
+/// Deadline shedding applies to refreshes too: under a zero deadline
+/// every arrival's refresh is shed with `DeadlineExceeded` and accounted
+/// as a deadline expiry, and the subscription keeps serving its
+/// registration-time answer.
+#[test]
+fn refresh_sheds_on_expired_deadline() {
+    let db = streaming_db();
+    let spec = streaming_spec(&db);
+    let processor = QueryProcessor::with_config(
+        &db,
+        EngineConfig::default().with_default_deadline(std::time::Duration::ZERO),
+    );
+    let sub = processor.watch(&spec).unwrap();
+    let before = sub.answer();
+    for t in 1..=3u32 {
+        assert_eq!(
+            processor.ingest(0, Observation::exact(t, 3, 0).unwrap()),
+            Ok(IngestOutcome::Applied)
+        );
+    }
+    assert!(sub.is_stale());
+    assert_eq!(sub.last_shed(), Some(QueryError::DeadlineExceeded));
+    assert_eq!(sub.notifications(), 0);
+    assert_eq!(sub.answer(), before);
+    let metrics = processor.metrics();
+    assert_eq!(metrics.stream(sub.id()).unwrap().sheds, 3);
+    assert_eq!(metrics.deadline_expired, 3);
+    assert_eq!(metrics.in_flight, 0);
+}

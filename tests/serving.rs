@@ -54,7 +54,7 @@ fn window(n: usize) -> QueryWindow {
 
 /// Blocks every pool worker until the returned closure is called, so
 /// submitted jobs stay deterministically queued.
-fn gate_workers(processor: &QueryProcessor<'_>) -> impl FnOnce() + 'static {
+fn gate_workers(processor: &QueryProcessor) -> impl FnOnce() + 'static {
     let pool = processor.pool().expect("gated tests need an owned pool");
     let gate = Arc::new((Mutex::new(false), Condvar::new()));
     for shard in 0..pool.num_threads() {
@@ -357,4 +357,123 @@ fn calibrated_plans_are_internally_consistent() {
         }
         _ => panic!("top-k answers expected"),
     }
+}
+
+// --- Streaming interleavings --------------------------------------------
+
+/// Snapshot isolation: a submitted query captures its database view at
+/// submission. An ingest applied while the job is still queued must not
+/// leak into it — the ticket resolves bit-identically to an execution
+/// over the pre-ingest snapshot, while new executions see the new state.
+#[test]
+fn ingest_during_inflight_submit_sees_consistent_snapshot() {
+    let db = random_db(0x51A9, 8, 6);
+    let spec = Query::exists().window(window(8)).build().unwrap();
+    let processor = QueryProcessor::with_config(&db, EngineConfig::default().with_num_threads(2));
+    let release = gate_workers(&processor);
+    let ticket = processor.submit(&spec).unwrap();
+    let before = processor.snapshot();
+
+    // Applied while the job is queued behind the gate.
+    let mut rng = testutil::rng(0x51AA);
+    let dist = testutil::random_distribution(&mut rng, 8, 2);
+    assert_eq!(
+        processor.ingest(2, Observation::uncertain(1, dist).unwrap()),
+        Ok(IngestOutcome::Applied)
+    );
+
+    release();
+    let stale_view = ticket.wait().unwrap();
+    assert_bit_eq(
+        &stale_view,
+        &QueryProcessor::new(&before).execute(&spec).unwrap(),
+        "queued job answers over its submission-time snapshot",
+    );
+    let fresh_view = processor.execute(&spec).unwrap();
+    assert_bit_eq(
+        &fresh_view,
+        &QueryProcessor::new(&processor.snapshot()).execute(&spec).unwrap(),
+        "post-ingest executions see the new state",
+    );
+    assert!(
+        format!("{stale_view:?}") != format!("{fresh_view:?}"),
+        "the ingest really changed the answer"
+    );
+}
+
+/// Cancelling — or dropping — a subscription between notifications never
+/// hangs an ingest and never leaks an admission slot: the arrival prunes
+/// the dead registration and `in_flight` returns to zero.
+#[test]
+fn cancel_and_drop_between_notifications_leak_nothing() {
+    let db = random_db(0x51AB, 8, 6);
+    let spec = Query::exists().window(window(8)).build().unwrap();
+    let processor = QueryProcessor::with_config(
+        &db,
+        EngineConfig::default().with_num_threads(2).with_max_queue_depth(4),
+    );
+    let kept = processor.watch(&spec).unwrap();
+    let cancelled = processor.watch(&spec).unwrap();
+    let dropped = processor.watch(&spec).unwrap();
+    let dropped_id = dropped.id();
+
+    let mut rng = testutil::rng(0x51AC);
+    let dist = testutil::random_distribution(&mut rng, 8, 2);
+    processor.ingest(1, Observation::uncertain(1, dist).unwrap()).unwrap();
+    assert_eq!(cancelled.notifications(), 1, "live subscriptions refresh");
+
+    cancelled.cancel();
+    drop(dropped);
+    let dist = testutil::random_distribution(&mut rng, 8, 2);
+    processor.ingest(2, Observation::uncertain(1, dist).unwrap()).unwrap();
+
+    assert_eq!(kept.notifications(), 2);
+    assert_eq!(cancelled.notifications(), 1, "cancelled mid-stream: no further refreshes");
+    assert!(cancelled.answer().is_ok(), "the last committed answer stays readable");
+    let metrics = processor.metrics();
+    assert_eq!(metrics.in_flight, 0, "no admission slot leaked");
+    assert_eq!(metrics.finished() + metrics.in_flight, metrics.accepted);
+    // The dropped subscription refreshed once (before the drop), then
+    // disappeared from the registry.
+    assert_eq!(metrics.stream(dropped_id).unwrap().reevaluations, 1);
+    assert_bit_eq(
+        &kept.answer().unwrap(),
+        &QueryProcessor::new(&processor.snapshot()).execute(kept.spec()).unwrap(),
+        "the surviving subscription still matches batch",
+    );
+}
+
+/// Refreshes and submits drain the same admission budget, and the
+/// lifecycle identities hold across a mixed stream of both.
+#[test]
+fn mixed_submits_and_ingests_keep_accounting_identities() {
+    let db = random_db(0x51AD, 8, 6);
+    let spec = Query::exists().window(window(8)).build().unwrap();
+    let processor = QueryProcessor::with_config(
+        &db,
+        EngineConfig::default().with_num_threads(2).with_max_queue_depth(8),
+    );
+    let sub = processor.watch(&spec).unwrap();
+    let mut rng = testutil::rng(0x51AE);
+    for round in 0..4u32 {
+        let ticket = processor.submit(&spec).unwrap();
+        let dist = testutil::random_distribution(&mut rng, 8, 2);
+        // Per-object monotone fix times that stay at or before the window
+        // start, so every prefix remains answerable.
+        processor
+            .ingest(round as u64 % 3, Observation::uncertain(1 + round / 3, dist).unwrap())
+            .unwrap();
+        ticket.wait().unwrap();
+    }
+    let metrics = processor.metrics();
+    assert_eq!(metrics.submitted, metrics.accepted + metrics.rejected);
+    assert_eq!(metrics.finished() + metrics.in_flight, metrics.accepted);
+    assert_eq!(metrics.in_flight, 0);
+    assert_eq!(metrics.accepted, 8, "4 submits + 4 admitted refreshes share the ledger");
+    assert_eq!(sub.notifications(), 4);
+    assert_bit_eq(
+        &sub.answer().unwrap(),
+        &QueryProcessor::new(&processor.snapshot()).execute(sub.spec()).unwrap(),
+        "the subscription tracks the mixed stream",
+    );
 }

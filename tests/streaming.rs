@@ -1,0 +1,269 @@
+//! Streaming-ingest tests: the incremental-≡-batch equivalence harness.
+//!
+//! The pinned contract: a [`ust_core::Subscription`] registered with
+//! `watch` and fed through `QueryProcessor::ingest` answers **bit-for-bit**
+//! what a from-scratch `execute` of the same spec returns on a fresh
+//! database holding the same applied feed prefix — across worker counts,
+//! all three prefilter modes, every predicate/decorator shape, and
+//! including *errors*: when an arrival pushes an object's anchor past the
+//! window start, both sides must report the same `QueryError` with the
+//! same payload (the first violating object in database order).
+//!
+//! The harness replays deterministic feeds from
+//! [`ust_data::generate_streaming_feed`] — hot-set-skewed, mostly
+//! monotone, with a stale out-of-order fraction the latest-fix policy
+//! must ignore on both sides.
+//!
+//! Alongside equivalence, the suite pins the *economics*: ingest never
+//! flushes the backward-field caches (their keys are
+//! observation-independent), so a warmed query-based subscription refreshes
+//! at zero propagation steps per arrival while the from-scratch side pays
+//! its full sweep every time — the invalidation is scoped to the one
+//! maintained answer entry the arrival touched.
+
+use proptest::prelude::*;
+
+use ust::prelude::*;
+use ust_core::Strategy;
+use ust_data::streaming_feed::{generate_streaming_feed, FeedConfig, StreamingFeed};
+use ust_data::IndexWorkloadConfig;
+use ust_space::TimeSet;
+
+/// A compact population so a proptest case replays in milliseconds.
+fn feed(seed: u64, num_events: usize) -> StreamingFeed {
+    generate_streaming_feed(&FeedConfig {
+        workload: IndexWorkloadConfig {
+            num_objects: 16,
+            num_states: 48,
+            object_spread: 3,
+            state_spread: 3,
+            max_step: 6,
+            seed: seed ^ 0x0B5E,
+            ..IndexWorkloadConfig::small()
+        },
+        num_events,
+        hot_objects: 4,
+        stale_fraction: 0.2,
+        max_time_step: 2,
+        seed,
+    })
+}
+
+/// The query shapes the harness maintains: every predicate, every
+/// decorator, plus an object-scoped subset.
+fn spec(shape: usize, n: usize, t_start: u32, t_len: u32) -> QuerySpec {
+    let window =
+        QueryWindow::from_states(n, 4usize..14, TimeSet::interval(t_start, t_start + t_len))
+            .unwrap();
+    match shape {
+        0 => Query::exists().window(window).build(),
+        1 => Query::exists().window(window).threshold(0.3).build(),
+        2 => Query::exists().window(window).top_k(3).build(),
+        3 => Query::forall().window(window).build(),
+        4 => Query::ktimes(2).window(window).build(),
+        _ => Query::exists().window(window).objects([1u64, 3, 6]).build(),
+    }
+    .unwrap()
+}
+
+/// A canonical, bit-exact rendering of an outcome: probabilities render
+/// as raw IEEE bits (so `0.0` vs `-0.0` or any last-ulp drift would
+/// differ), errors as their debug form (so a mismatched payload — e.g. a
+/// different first-violating object — would differ).
+fn canon(result: &ust_core::Result<QueryAnswer>) -> String {
+    let answer = match result {
+        Err(e) => return format!("err:{e:?}"),
+        Ok(a) => a,
+    };
+    if let Some(ps) = answer.probabilities() {
+        let bits: Vec<(u64, u64)> =
+            ps.iter().map(|p| (p.object_id, p.probability.to_bits())).collect();
+        format!("probs:{bits:?}")
+    } else if let Some(ids) = answer.ids() {
+        format!("ids:{ids:?}")
+    } else if let Some(ds) = answer.distributions() {
+        let bits: Vec<(u64, Vec<u64>)> = ds
+            .iter()
+            .map(|d| (d.object_id, d.probabilities.iter().map(|p| p.to_bits()).collect()))
+            .collect();
+        format!("kdist:{bits:?}")
+    } else if let Some(rs) = answer.ranked() {
+        let bits: Vec<(u64, u64)> =
+            rs.iter().map(|r| (r.object_id, r.probability.to_bits())).collect();
+        format!("ranked:{bits:?}")
+    } else {
+        format!("other:{answer:?}")
+    }
+}
+
+/// The batch side of the equivalence: a fresh processor over the replayed
+/// prefix, executing the subscription's *pinned* spec under the same
+/// engine configuration.
+fn batch(feed: &StreamingFeed, prefix: usize, spec: &QuerySpec, config: &EngineConfig) -> String {
+    let db = feed.replay_prefix(prefix);
+    canon(&QueryProcessor::with_config(&db, *config).execute(spec))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The tentpole property. For every feed prefix — not just the final
+    /// state — the maintained answer equals the from-scratch execution,
+    /// through value answers, decorator answers, and error answers alike.
+    #[test]
+    fn subscription_equals_batch_execution_on_every_prefix(
+        seed in 0u64..5_000,
+        shape in 0usize..6,
+        t_start in 2u32..7,
+        t_len in 0u32..3,
+        threaded in 0u8..2,
+        mode_idx in 0usize..3,
+    ) {
+        let feed = feed(seed, 10);
+        let threads = if threaded == 0 { 1 } else { 4 };
+        let mode = [PrefilterMode::Auto, PrefilterMode::On, PrefilterMode::Off][mode_idx];
+        let config = EngineConfig::default().with_num_threads(threads).with_prefilter(mode);
+        let spec = spec(shape, feed.config.workload.num_states, t_start, t_len);
+        let processor = QueryProcessor::with_config(&feed.db, config);
+        let sub = processor.watch(&spec).unwrap();
+        prop_assert!(sub.spec().strategy() != Strategy::Auto, "Auto resolves at registration");
+
+        prop_assert_eq!(canon(&sub.answer()), batch(&feed, 0, sub.spec(), &config));
+        for (i, event) in feed.events.iter().enumerate() {
+            processor.ingest(event.object_id, event.observation.clone()).unwrap();
+            prop_assert_eq!(
+                canon(&sub.answer()),
+                batch(&feed, i + 1, sub.spec(), &config),
+                "prefix {} of seed {} diverged (shape {}, {:?})", i + 1, seed, shape, mode
+            );
+        }
+    }
+
+    /// Explicit strategies hold the same equivalence — including
+    /// Monte Carlo, whose subscriptions resynchronize with a full run per
+    /// arrival because per-object subset sampling is not reproducible.
+    #[test]
+    fn explicit_strategies_equal_batch_execution(
+        seed in 0u64..2_000,
+        t_start in 4u32..7,
+        strategy_idx in 0usize..3,
+    ) {
+        let strategy =
+            [Strategy::ObjectBased, Strategy::QueryBased, Strategy::MonteCarlo][strategy_idx];
+        let feed = feed(seed, 6);
+        let n = feed.config.workload.num_states;
+        let window =
+            QueryWindow::from_states(n, 4usize..14, TimeSet::interval(t_start, t_start + 2))
+                .unwrap();
+        let spec = Query::exists().window(window).strategy(strategy).build().unwrap();
+        let config = EngineConfig::default();
+        let processor = QueryProcessor::with_config(&feed.db, config);
+        let sub = processor.watch(&spec).unwrap();
+        prop_assert_eq!(sub.spec().strategy(), strategy, "explicit strategies stay pinned");
+        for (i, event) in feed.events.iter().enumerate() {
+            processor.ingest(event.object_id, event.observation.clone()).unwrap();
+            prop_assert_eq!(
+                canon(&sub.answer()),
+                batch(&feed, i + 1, sub.spec(), &config),
+                "prefix {} of seed {} diverged under {:?}", i + 1, seed, strategy
+            );
+        }
+    }
+}
+
+/// Suffix-scoped invalidation, part 1: the cache side. Ingest never
+/// invalidates backward-field cache entries — a warmed query-based
+/// subscription's refreshes run at zero propagation steps, while the
+/// from-scratch side pays a fresh backward sweep for every prefix.
+#[test]
+fn ingest_preserves_field_caches_and_invalidates_one_entry_per_arrival() {
+    let feed = feed(0xCAFE, 12);
+    let n = feed.config.workload.num_states;
+    let window = QueryWindow::from_states(n, 4usize..14, TimeSet::interval(20, 22)).unwrap();
+    let spec = Query::exists().window(window).strategy(Strategy::QueryBased).build().unwrap();
+    let processor = QueryProcessor::new(&feed.db);
+    let sub = processor.watch(&spec).unwrap();
+
+    let mut applied = 0u64;
+    for event in &feed.events {
+        if processor.ingest(event.object_id, event.observation.clone()).unwrap()
+            == IngestOutcome::Applied
+        {
+            applied += 1;
+        }
+    }
+    assert!(applied >= 8, "the feed applies most events ({applied}/12)");
+    assert_eq!(sub.notifications(), applied, "stale arrivals never notify");
+
+    let stream = processor.metrics().stream(sub.id()).unwrap().clone();
+    assert_eq!(stream.reevaluations, applied);
+    assert_eq!(
+        stream.suffix_invalidations, applied,
+        "exactly one maintained entry invalidated per applied arrival — never a cache flush"
+    );
+    assert_eq!(stream.incremental_steps, 0, "warm refreshes are pure cache hits");
+    assert!(stream.recompute_steps > 0, "the registration sweep did the backward work once");
+
+    // The from-scratch side pays backward steps for the same answer.
+    let fresh = QueryProcessor::new(&feed.replay_prefix(feed.events.len()));
+    let mut stats = EvalStats::new();
+    let batch_answer = fresh.execute_with_stats(sub.spec(), &mut stats).unwrap();
+    assert!(stats.backward_steps > 0, "a cold processor sweeps the field");
+    assert_eq!(sub.answer().unwrap(), batch_answer);
+}
+
+/// Suffix-scoped invalidation, part 2: the shared-cache reuse is visible
+/// in `EvalStats` deltas. After the subscription's warm sweep, a
+/// *submitted* query over the same window on the same processor is served
+/// entirely from cache (hits, no misses, no backward steps); a fresh
+/// processor pays misses for the identical spec.
+#[test]
+fn warm_subscription_caches_serve_subsequent_queries() {
+    let feed = feed(0xBEEF, 4);
+    let n = feed.config.workload.num_states;
+    let window = QueryWindow::from_states(n, 4usize..14, TimeSet::interval(20, 23)).unwrap();
+    let spec = Query::exists().window(window).strategy(Strategy::QueryBased).build().unwrap();
+    let processor = QueryProcessor::new(&feed.db);
+    let _sub = processor.watch(&spec).unwrap();
+
+    let mut warm_stats = EvalStats::new();
+    let warm_answer = processor.execute_with_stats(&spec, &mut warm_stats).unwrap();
+    assert_eq!(warm_stats.backward_steps, 0, "the subscription pre-swept this window");
+    assert_eq!(warm_stats.cache_misses, 0);
+    assert!(warm_stats.cache_hits > 0);
+
+    let mut cold_stats = EvalStats::new();
+    let cold_answer =
+        QueryProcessor::new(&feed.db).execute_with_stats(&spec, &mut cold_stats).unwrap();
+    assert!(cold_stats.cache_misses > 0, "a fresh processor misses and sweeps");
+    assert!(cold_stats.backward_steps > 0);
+    assert_eq!(warm_answer, cold_answer, "cache reuse never changes bits");
+}
+
+/// Errors are maintained state too: once an arrival pushes an anchor past
+/// the window start, the subscription reports exactly the batch error —
+/// same variant, same first-violating-object payload — and keeps matching
+/// on later prefixes.
+#[test]
+fn error_answers_match_batch_bit_for_bit() {
+    let feed = feed(0xE11, 14);
+    let n = feed.config.workload.num_states;
+    // A window starting at 1: the first applied fix at time ≥ 2 makes its
+    // object unanswerable and the whole query errors.
+    let window = QueryWindow::from_states(n, 4usize..14, TimeSet::interval(1, 3)).unwrap();
+    let spec = Query::exists().window(window).build().unwrap();
+    let config = EngineConfig::default();
+    let processor = QueryProcessor::with_config(&feed.db, config);
+    let sub = processor.watch(&spec).unwrap();
+    assert!(sub.answer().is_ok(), "every object anchors at 0 before the feed");
+
+    let mut saw_error = false;
+    for (i, event) in feed.events.iter().enumerate() {
+        processor.ingest(event.object_id, event.observation.clone()).unwrap();
+        let expected = batch(&feed, i + 1, sub.spec(), &config);
+        assert_eq!(canon(&sub.answer()), expected, "prefix {} diverged", i + 1);
+        saw_error |= expected.starts_with("err:");
+    }
+    assert!(saw_error, "the feed reached the error regime");
+    assert!(matches!(sub.answer(), Err(QueryError::WindowBeforeObservation { .. })));
+}
