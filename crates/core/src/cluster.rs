@@ -213,7 +213,9 @@ pub fn clustered_threshold_query_on(
     let mut decided = 0usize;
     let mut individual = 0usize;
     for (&idx, decision) in indices.iter().zip(&decisions) {
-        let object = db.object(idx).expect("validated by decide_by_bounds");
+        let object = db.object(idx).ok_or(crate::error::QueryError::internal(
+            "bound-decided indices resolve to database objects",
+        ))?;
         match decision {
             Some(true) => {
                 accepted.push(object.id());

@@ -28,6 +28,11 @@
 //! evaluation — resumed sweeps replay the same per-slot floating-point
 //! accumulation order (property-tested in `tests/proptest_engines.rs`).
 
+// lint: allow-file(unordered-iteration-on-answer-path) — entries are only
+// read by exact `(model, window)` key lookup; the one iteration (LRU
+// eviction) takes `min_by_key(last_used)` over strictly increasing clock
+// values, so the minimum is unique and map order cannot change which entry
+// is evicted, let alone a cached field's contents.
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -36,7 +41,7 @@ use ust_markov::MarkovChain;
 use crate::engine::ktimes::KTimesBackwardField;
 use crate::engine::query_based::BackwardField;
 use crate::engine::EngineConfig;
-use crate::error::Result;
+use crate::error::{QueryError, Result};
 use crate::query::QueryWindow;
 use crate::stats::EvalStats;
 
@@ -507,7 +512,10 @@ impl<F: CacheableField> FieldCache<F> {
         match lookup {
             Lookup::Hit => {
                 stats.cache_hits += 1;
-                let entry = self.entries.get_mut(&key).expect("looked up above");
+                let entry = self
+                    .entries
+                    .get_mut(&key)
+                    .ok_or(QueryError::internal("a cache hit means the entry exists"))?;
                 entry.last_used = clock;
             }
             Lookup::Extend(missing) => {
@@ -515,7 +523,10 @@ impl<F: CacheableField> FieldCache<F> {
                 // the extension below it is swept. `make_mut` clones first
                 // if a previous query still holds a shared view.
                 stats.cache_hits += 1;
-                let entry = self.entries.get_mut(&key).expect("looked up above");
+                let entry = self
+                    .entries
+                    .get_mut(&key)
+                    .ok_or(QueryError::internal("a cache hit means the entry exists"))?;
                 Arc::make_mut(&mut entry.field)
                     .extend_field_down(chain, window, &missing, config, stats)?;
                 entry.last_used = clock;
@@ -530,7 +541,10 @@ impl<F: CacheableField> FieldCache<F> {
                     .insert(key.clone(), CacheEntry { field: Arc::new(field), last_used: clock });
             }
         }
-        Ok(&self.entries.get(&key).expect("present in every branch").field)
+        self.entries
+            .get(&key)
+            .map(|entry| &entry.field)
+            .ok_or(QueryError::internal("every probe branch installs the entry"))
     }
 
     fn evict_lru(&mut self) {

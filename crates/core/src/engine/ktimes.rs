@@ -31,7 +31,7 @@ use crate::database::TrajectoryDatabase;
 use crate::engine::object_based::validate;
 use crate::engine::pipeline::{BatchPhase, ObjectBatch, Propagator};
 use crate::engine::{group_batchable, EngineConfig};
-use crate::error::Result;
+use crate::error::{QueryError, Result};
 use crate::object::UncertainObject;
 use crate::query::{ObjectKDistribution, QueryWindow};
 use crate::stats::EvalStats;
@@ -154,7 +154,11 @@ impl KTimesBackwardField {
         if wanted.is_empty() {
             return Ok(());
         }
-        let levels = self.snapshots.get(&resume).expect("min_time comes from snapshots").clone();
+        let levels = self
+            .snapshots
+            .get(&resume)
+            .ok_or(QueryError::internal("a level field's floor is always snapshotted"))?
+            .clone();
         self.sweep_down(chain, window, levels, resume, &wanted, stats)
     }
 
@@ -278,7 +282,9 @@ pub fn ktimes_distribution_qb(
         &[object.anchor().time()],
         &mut EvalStats::new(),
     )?;
-    Ok(field.object_distribution(object, window).expect("anchor snapshot was requested"))
+    field
+        .object_distribution(object, window)
+        .ok_or(QueryError::internal("anchor snapshot was requested from the level field"))
 }
 
 /// Reference implementation over the explicit blown-up matrices of
@@ -330,13 +336,15 @@ pub(crate) fn ktimes_batched(
     let group_size = k_max + 1;
     let batch_size = pipeline.config().effective_batch_size();
     let mut results: Vec<Option<ObjectKDistribution>> = vec![None; indices.len()];
-    for ((model, anchor_time), members) in group_batchable(db, indices) {
+    for ((model, anchor_time), members) in group_batchable(db, indices)? {
         let chain = &db.models()[model];
         let n = chain.num_states();
         for chunk in members.chunks(batch_size) {
             let mut rows: Vec<PropagationVector> = Vec::with_capacity(chunk.len() * group_size);
             for &pos in chunk {
-                let object = db.object(indices[pos]).expect("validated above");
+                let object = db.object(indices[pos]).ok_or(QueryError::internal(
+                    "batched position resolves to a database object",
+                ))?;
                 rows.push(pipeline.seed(object.anchor().distribution().clone()));
                 for _ in 0..k_max {
                     rows.push(pipeline.seed(SparseVector::zeros(n)));
@@ -360,7 +368,9 @@ pub(crate) fn ktimes_batched(
                 },
             )?;
             for (g, &pos) in chunk.iter().enumerate() {
-                let object = db.object(indices[pos]).expect("validated above");
+                let object = db.object(indices[pos]).ok_or(QueryError::internal(
+                    "batched position resolves to a database object",
+                ))?;
                 results[pos] = Some(ObjectKDistribution {
                     object_id: object.id(),
                     probabilities: batch.group(g).iter().map(|r| r.sum()).collect(),
@@ -368,7 +378,10 @@ pub(crate) fn ktimes_batched(
             }
         }
     }
-    Ok(results.into_iter().map(|r| r.expect("every position is covered")).collect())
+    results
+        .into_iter()
+        .map(|r| r.ok_or(QueryError::internal("the batch loop covers every position")))
+        .collect()
 }
 
 /// PSTkQ for the whole database, object-based `C(t)` algorithm, through the
@@ -488,9 +501,12 @@ pub fn evaluate_query_based(
     let plan = KTimesFieldPlan::prepare(db, window, stats)?;
     let mut results = Vec::with_capacity(db.len());
     for object in db.objects() {
-        let field = plan.field(object.model()).expect("one field per populated model");
-        let probabilities =
-            field.object_distribution(object, window).expect("anchor snapshot was requested");
+        let field = plan
+            .field(object.model())
+            .ok_or(QueryError::internal("the shared plan holds one field per populated model"))?;
+        let probabilities = field
+            .object_distribution(object, window)
+            .ok_or(QueryError::internal("anchor snapshot was requested from the level field"))?;
         stats.objects_evaluated += 1;
         results.push(ObjectKDistribution { object_id: object.id(), probabilities });
     }

@@ -79,14 +79,16 @@ pub enum PrefilterMode {
 pub(crate) fn group_batchable(
     db: &TrajectoryDatabase,
     indices: &[usize],
-) -> std::collections::BTreeMap<(usize, u32), Vec<usize>> {
+) -> Result<std::collections::BTreeMap<(usize, u32), Vec<usize>>> {
     let mut groups: std::collections::BTreeMap<(usize, u32), Vec<usize>> =
         std::collections::BTreeMap::new();
     for (pos, &idx) in indices.iter().enumerate() {
-        let object = db.object(idx).expect("caller passes valid indices");
+        let object = db
+            .object(idx)
+            .ok_or(QueryError::internal("batch grouping received an unresolved object index"))?;
         groups.entry((object.model(), object.anchor().time())).or_default().push(pos);
     }
-    groups
+    Ok(groups)
 }
 
 /// Default number of objects propagated per [`pipeline::ObjectBatch`].
@@ -1157,7 +1159,7 @@ impl QueryProcessor {
             Query::exists().window(window.clone()).strategy(Strategy::ObjectBased).build()?;
         match self.execute(&spec)? {
             QueryAnswer::Probabilities(p) => Ok(p),
-            _ => unreachable!("probabilities decorator yields probabilities"),
+            _ => Err(QueryError::internal("probabilities decorator must yield probabilities")),
         }
     }
 
@@ -1168,7 +1170,7 @@ impl QueryProcessor {
         let spec = Query::exists().window(window.clone()).strategy(Strategy::QueryBased).build()?;
         match self.execute(&spec)? {
             QueryAnswer::Probabilities(p) => Ok(p),
-            _ => unreachable!("probabilities decorator yields probabilities"),
+            _ => Err(QueryError::internal("probabilities decorator must yield probabilities")),
         }
     }
 
@@ -1179,7 +1181,7 @@ impl QueryProcessor {
             Query::forall().window(window.clone()).strategy(Strategy::ObjectBased).build()?;
         match self.execute(&spec)? {
             QueryAnswer::Probabilities(p) => Ok(p),
-            _ => unreachable!("probabilities decorator yields probabilities"),
+            _ => Err(QueryError::internal("probabilities decorator must yield probabilities")),
         }
     }
 
@@ -1190,7 +1192,7 @@ impl QueryProcessor {
         let spec = Query::forall().window(window.clone()).strategy(Strategy::QueryBased).build()?;
         match self.execute(&spec)? {
             QueryAnswer::Probabilities(p) => Ok(p),
-            _ => unreachable!("probabilities decorator yields probabilities"),
+            _ => Err(QueryError::internal("probabilities decorator must yield probabilities")),
         }
     }
 
@@ -1201,7 +1203,7 @@ impl QueryProcessor {
             Query::ktimes(1).window(window.clone()).strategy(Strategy::ObjectBased).build()?;
         match self.execute(&spec)? {
             QueryAnswer::Distributions(d) => Ok(d),
-            _ => unreachable!("k-times probabilities yield distributions"),
+            _ => Err(QueryError::internal("k-times probabilities must yield distributions")),
         }
     }
 
@@ -1213,7 +1215,7 @@ impl QueryProcessor {
             Query::ktimes(1).window(window.clone()).strategy(Strategy::QueryBased).build()?;
         match self.execute(&spec)? {
             QueryAnswer::Distributions(d) => Ok(d),
-            _ => unreachable!("k-times probabilities yield distributions"),
+            _ => Err(QueryError::internal("k-times probabilities must yield distributions")),
         }
     }
 
@@ -1230,7 +1232,7 @@ impl QueryProcessor {
             .build()?;
         match self.execute(&spec)? {
             QueryAnswer::ObjectIds(ids) => Ok(ids),
-            _ => unreachable!("threshold decorator yields ids"),
+            _ => Err(QueryError::internal("threshold decorator must yield ids")),
         }
     }
 
@@ -1248,7 +1250,7 @@ impl QueryProcessor {
             .build()?;
         match self.execute(&spec)? {
             QueryAnswer::ObjectIds(ids) => Ok(ids),
-            _ => unreachable!("threshold decorator yields ids"),
+            _ => Err(QueryError::internal("threshold decorator must yield ids")),
         }
     }
 
@@ -1267,7 +1269,7 @@ impl QueryProcessor {
             .build()?;
         match self.execute(&spec)? {
             QueryAnswer::Ranked(r) => Ok(r),
-            _ => unreachable!("top-k decorator yields a ranking"),
+            _ => Err(QueryError::internal("top-k decorator must yield a ranking")),
         }
     }
 
@@ -1288,7 +1290,7 @@ impl QueryProcessor {
             .build()?;
         match self.execute(&spec)? {
             QueryAnswer::Ranked(r) => Ok(r),
-            _ => unreachable!("top-k decorator yields a ranking"),
+            _ => Err(QueryError::internal("top-k decorator must yield a ranking")),
         }
     }
 }

@@ -134,7 +134,9 @@ impl MonteCarlo {
         window: &QueryWindow,
     ) -> Result<f64> {
         let counts = self.visit_counts(chain, object, window)?;
-        Ok(*counts.last().expect("k distribution has |T▫|+1 entries"))
+        counts.last().copied().ok_or(crate::error::QueryError::internal(
+            "the visit-count distribution has |T|+1 entries",
+        ))
     }
 
     /// PSTkQ estimate.

@@ -84,7 +84,9 @@ pub(crate) fn validate_indices(
     window: &QueryWindow,
 ) -> Result<()> {
     for &idx in indices {
-        let object = db.object(idx).expect("caller passes valid indices");
+        let object = db
+            .object(idx)
+            .ok_or(QueryError::internal("index validation received an unresolved object index"))?;
         validate(db.model_of(object), object, window)?;
     }
     Ok(())
@@ -98,12 +100,14 @@ pub(crate) fn seed_anchor_rows(
     db: &TrajectoryDatabase,
     indices: &[usize],
     chunk: &[usize],
-) -> Vec<PropagationVector> {
+) -> Result<Vec<PropagationVector>> {
     chunk
         .iter()
         .map(|&pos| {
-            let object = db.object(indices[pos]).expect("validated by the driver");
-            pipeline.seed(object.anchor().distribution().clone())
+            let object = db
+                .object(indices[pos])
+                .ok_or(QueryError::internal("batched position resolves to a database object"))?;
+            Ok(pipeline.seed(object.anchor().distribution().clone()))
         })
         .collect()
 }
@@ -143,10 +147,10 @@ pub(crate) fn exists_batched(
     validate_indices(db, indices, window)?;
     let batch_size = pipeline.config().effective_batch_size();
     let mut results: Vec<Option<ObjectProbability>> = vec![None; indices.len()];
-    for ((model, anchor_time), members) in group_batchable(db, indices) {
+    for ((model, anchor_time), members) in group_batchable(db, indices)? {
         let chain = &db.models()[model];
         for chunk in members.chunks(batch_size) {
-            let mut rows = seed_anchor_rows(pipeline, db, indices, chunk);
+            let mut rows = seed_anchor_rows(pipeline, db, indices, chunk)?;
             let mut batch = ObjectBatch::new(&mut rows, 1)?;
             let mut hits = vec![0.0f64; chunk.len()];
             pipeline.forward_batch(
@@ -162,13 +166,18 @@ pub(crate) fn exists_batched(
                 },
             )?;
             for (&pos, hit) in chunk.iter().zip(hits) {
-                let object = db.object(indices[pos]).expect("validated above");
+                let object = db.object(indices[pos]).ok_or(QueryError::internal(
+                    "batched position resolves to a database object",
+                ))?;
                 results[pos] =
                     Some(ObjectProbability { object_id: object.id(), probability: hit.min(1.0) });
             }
         }
     }
-    Ok(results.into_iter().map(|r| r.expect("every position is covered")).collect())
+    results
+        .into_iter()
+        .map(|r| r.ok_or(QueryError::internal("the batch loop covers every position")))
+        .collect()
 }
 
 /// Evaluates the PST∃Q for every object in the database through the batched

@@ -478,9 +478,7 @@ fn plan_on(
         qb.object_ops += group
             .members
             .iter()
-            .map(|&idx| {
-                ctx.db.object(idx).expect("validated above").anchor().distribution().nnz() as f64
-            })
+            .map(|&idx| ctx.db.object(idx).map_or(0.0, |o| o.anchor().distribution().nnz() as f64))
             .sum::<f64>();
 
         mc.step_ops += spans * spec.sampling().samples as f64;
@@ -608,6 +606,9 @@ pub(crate) fn execute_monitored(
 ) -> Result<QueryAnswer> {
     let bounded = matches!(spec.decorator(), Decorator::Threshold(_) | Decorator::TopK(_));
     let need_plan = spec.strategy() == Strategy::Auto || ctx.config.calibrate_planner;
+    // lint: allow(wall-clock-in-deterministic-path) — metrics capture only:
+    // plan_time is recorded into the serving EWMA after the fact and never
+    // feeds this query's own strategy choice.
     let plan_start = Instant::now();
     let planned = resolve_indices(ctx.db, spec).and_then(|indices| {
         let (indices, pruned) = match prefilter_candidates(ctx, spec, &indices) {
@@ -646,6 +647,9 @@ pub(crate) fn execute_monitored(
         }
     }
     let before = stats.clone();
+    // lint: allow(wall-clock-in-deterministic-path) — metrics capture only:
+    // execute_time is an observability record; the dispatch below is
+    // already committed to `strategy`.
     let exec_start = Instant::now();
     stats.candidates_examined += indices.len() as u64;
     stats.candidates_pruned += pruned.len() as u64;
@@ -688,7 +692,7 @@ fn dispatch(
         Predicate::Exists => match spec.decorator() {
             Decorator::Probabilities => {
                 let probs = exists_probs(ctx, strategy, indices, window, sampling, stats)?;
-                Ok(QueryAnswer::Probabilities(merge_pruned_zeros(ctx.db, indices, probs, pruned)))
+                Ok(QueryAnswer::Probabilities(merge_pruned_zeros(ctx.db, indices, probs, pruned)?))
             }
             Decorator::Threshold(tau) => {
                 let ids =
@@ -760,9 +764,9 @@ fn merge_pruned_zeros(
     survivors: &[usize],
     probs: Vec<ObjectProbability>,
     pruned: &[usize],
-) -> Vec<ObjectProbability> {
+) -> Result<Vec<ObjectProbability>> {
     if pruned.is_empty() {
-        return probs;
+        return Ok(probs);
     }
     debug_assert_eq!(survivors.len(), probs.len());
     let mut out = Vec::with_capacity(survivors.len() + pruned.len());
@@ -771,15 +775,21 @@ fn merge_pruned_zeros(
     while i < survivors.len() || j < pruned.len() {
         let take_survivor = j >= pruned.len() || (i < survivors.len() && survivors[i] < pruned[j]);
         if take_survivor {
-            out.push(probs.next().expect("one probability per survivor"));
+            let p = probs
+                .next()
+                .ok_or(QueryError::internal("the survivor list carries one probability each"))?;
+            out.push(p);
             i += 1;
         } else {
-            let id = db.object(pruned[j]).expect("pruned from resolved indices").id();
+            let id = db
+                .object(pruned[j])
+                .ok_or(QueryError::internal("pruned indices resolve to database objects"))?
+                .id();
             out.push(ObjectProbability { object_id: id, probability: 0.0 });
             j += 1;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Thresholded-`∃` accepted ids over a prefiltered candidate set: cluster
@@ -811,18 +821,26 @@ fn threshold_ids(
             threshold_qualifies(ctx, strategy, &undecided, window, tau, sampling, stats)?;
         let mut q = qualifies.into_iter();
         for d in decisions.iter_mut().filter(|d| d.is_none()) {
-            *d = Some(q.next().expect("one outcome per undecided candidate"));
+            let outcome = q
+                .next()
+                .ok_or(QueryError::internal("the driver yields one outcome per candidate"))?;
+            *d = Some(outcome);
         }
     }
-    let id_of = |idx: usize| ctx.db.object(idx).expect("resolved above").id();
+    let id_of = |idx: usize| {
+        ctx.db
+            .object(idx)
+            .map(|o| o.id())
+            .ok_or(QueryError::internal("threshold candidates resolve to database objects"))
+    };
     if pruned.is_empty() || tau > 0.0 {
         // Pruned objects have P∃ = 0 < τ: they cannot qualify.
-        return Ok(indices
+        return indices
             .iter()
             .zip(&decisions)
             .filter(|(_, d)| **d == Some(true))
             .map(|(&idx, _)| id_of(idx))
-            .collect());
+            .collect();
     }
     // τ = 0 accepts everything, including the pruned complement; restore
     // database-index order (every survivor qualifies here too: P∃ ≥ 0).
@@ -832,11 +850,11 @@ fn threshold_ids(
         let take_survivor = j >= pruned.len() || (i < indices.len() && indices[i] < pruned[j]);
         if take_survivor {
             if decisions[i] == Some(true) {
-                out.push(id_of(indices[i]));
+                out.push(id_of(indices[i])?);
             }
             i += 1;
         } else {
-            out.push(id_of(pruned[j]));
+            out.push(id_of(pruned[j])?);
             j += 1;
         }
     }
@@ -911,7 +929,7 @@ fn exists_probs(
             )
         }
         Strategy::MonteCarlo => Ok(at_least(mc_counts(ctx, sampling, indices, window, stats)?, 1)),
-        Strategy::Auto => unreachable!("execute resolves Auto before dispatch"),
+        Strategy::Auto => Err(QueryError::internal("execute resolves Auto before dispatch")),
     }
 }
 
@@ -973,7 +991,7 @@ fn ktimes_dists(
             )
         }
         Strategy::MonteCarlo => mc_counts(ctx, sampling, indices, window, stats),
-        Strategy::Auto => unreachable!("execute resolves Auto before dispatch"),
+        Strategy::Auto => Err(QueryError::internal("execute resolves Auto before dispatch")),
     }
 }
 
@@ -990,7 +1008,10 @@ fn mc_counts(
     ctx.executor.run_on(indices, ctx.config, stats, move |pipeline, idxs| {
         let mut out = Vec::with_capacity(idxs.len());
         for &idx in idxs {
-            let object = ctx.db.object(idx).expect("executor passes valid indices");
+            let object = ctx
+                .db
+                .object(idx)
+                .ok_or(QueryError::internal("the executor shards validated indices"))?;
             let chain = ctx.db.model_of(object);
             let probabilities = sampling.visit_counts_with(pipeline, chain, object, window)?;
             pipeline.stats().objects_evaluated += 1;

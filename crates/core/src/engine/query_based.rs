@@ -31,7 +31,7 @@ use crate::engine::cache::BackwardFieldCache;
 use crate::engine::object_based::validate;
 use crate::engine::pipeline::Propagator;
 use crate::engine::EngineConfig;
-use crate::error::Result;
+use crate::error::{QueryError, Result};
 use crate::object::UncertainObject;
 use crate::query::{ObjectProbability, QueryWindow};
 use crate::stats::EvalStats;
@@ -103,7 +103,10 @@ impl BackwardField {
         if wanted.is_empty() {
             return Ok(());
         }
-        let snapshot = self.snapshots.get(&resume).expect("min_time comes from snapshots");
+        let snapshot = self
+            .snapshots
+            .get(&resume)
+            .ok_or(QueryError::internal("a backward field's floor is always snapshotted"))?;
         let mut h = PropagationVector::from_dense(snapshot.clone())
             .with_densify_threshold(config.densify_threshold);
         self.sweep_down(chain, window, &mut h, resume, &wanted, config, stats)
@@ -210,7 +213,9 @@ pub fn exists_probability(
         config,
         &mut stats,
     )?;
-    Ok(field.object_probability(object, window).expect("anchor snapshot was requested"))
+    field
+        .object_probability(object, window)
+        .ok_or(QueryError::internal("anchor snapshot was requested from the backward field"))
 }
 
 /// A model's populated object group: database indices in insertion order
@@ -246,7 +251,9 @@ pub(crate) fn validated_model_groups_on(
 ) -> Result<Vec<ModelGroup>> {
     let mut members_by_model: Vec<Vec<usize>> = vec![Vec::new(); db.models().len()];
     for &idx in indices {
-        let object = db.object(idx).expect("caller passes valid indices");
+        let object = db
+            .object(idx)
+            .ok_or(QueryError::internal("model grouping received an unresolved object index"))?;
         members_by_model[object.model()].push(idx);
     }
     let mut groups = Vec::new();
@@ -257,7 +264,9 @@ pub(crate) fn validated_model_groups_on(
         let chain = &db.models()[model_idx];
         let mut anchors = Vec::with_capacity(members.len());
         for &idx in &members {
-            let object = db.object(idx).expect("index from enumeration");
+            let object = db
+                .object(idx)
+                .ok_or(QueryError::internal("group membership indices resolve to objects"))?;
             validate(chain, object, window)?;
             anchors.push(object.anchor().time());
         }
@@ -276,14 +285,18 @@ fn answer_group(
     window: &QueryWindow,
     stats: &mut EvalStats,
     results: &mut [Option<ObjectProbability>],
-) {
+) -> Result<()> {
     for &idx in &group.members {
-        let object = db.object(idx).expect("index from enumeration");
-        let probability =
-            field.object_probability(object, window).expect("anchor snapshot was requested");
+        let object = db
+            .object(idx)
+            .ok_or(QueryError::internal("group membership indices resolve to objects"))?;
+        let probability = field
+            .object_probability(object, window)
+            .ok_or(QueryError::internal("anchor snapshot was requested from the backward field"))?;
         stats.objects_evaluated += 1;
         results[idx] = Some(ObjectProbability { object_id: object.id(), probability });
     }
+    Ok(())
 }
 
 /// A query's backward fields, swept **exactly once** per `(model, window)`
@@ -415,9 +428,12 @@ pub fn evaluate(
         let chain = &db.models()[group.model];
         let field =
             BackwardField::compute_with_config(chain, window, &group.anchors, config, stats)?;
-        answer_group(db, &group, &field, window, stats, &mut results);
+        answer_group(db, &group, &field, window, stats, &mut results)?;
     }
-    Ok(results.into_iter().map(|r| r.expect("every object belongs to a model")).collect())
+    results
+        .into_iter()
+        .map(|r| r.ok_or(QueryError::internal("every object belongs to exactly one model group")))
+        .collect()
 }
 
 /// As [`evaluate`], answering each model's backward field through a
@@ -437,9 +453,12 @@ pub fn evaluate_with_cache(
         let chain = &db.models()[group.model];
         let field =
             cache.get_or_compute(group.model, chain, window, &group.anchors, config, stats)?;
-        answer_group(db, &group, field, window, stats, &mut results);
+        answer_group(db, &group, field, window, stats, &mut results)?;
     }
-    Ok(results.into_iter().map(|r| r.expect("every object belongs to a model")).collect())
+    results
+        .into_iter()
+        .map(|r| r.ok_or(QueryError::internal("every object belongs to exactly one model group")))
+        .collect()
 }
 
 #[cfg(test)]

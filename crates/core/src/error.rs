@@ -95,6 +95,22 @@ pub enum QueryError {
     /// between submission and execution, so the worker shed it instead of
     /// evaluating a request the caller has likely abandoned.
     DeadlineExceeded,
+    /// An engine-internal invariant did not hold — always a bug in the
+    /// engine, never in the caller's input. Surfaced as an error instead
+    /// of a panic so one corrupted query cannot take down a serving
+    /// worker; the message names the violated invariant for the bug
+    /// report.
+    Internal {
+        /// The invariant that was violated.
+        invariant: &'static str,
+    },
+}
+
+impl QueryError {
+    /// An [`QueryError::Internal`] naming the violated invariant.
+    pub(crate) fn internal(invariant: &'static str) -> QueryError {
+        QueryError::Internal { invariant }
+    }
 }
 
 impl fmt::Display for QueryError {
@@ -146,6 +162,9 @@ impl fmt::Display for QueryError {
             QueryError::Cancelled => write!(f, "query was cancelled before completion"),
             QueryError::DeadlineExceeded => {
                 write!(f, "query exceeded its deadline before execution started")
+            }
+            QueryError::Internal { invariant } => {
+                write!(f, "engine invariant violated (this is a bug): {invariant}")
             }
         }
     }

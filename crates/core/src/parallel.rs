@@ -64,7 +64,7 @@ use crate::engine::cache::BackwardFieldCache;
 use crate::engine::pipeline::Propagator;
 use crate::engine::query_based::SharedFieldPlan;
 use crate::engine::{ktimes, object_based, EngineConfig};
-use crate::error::Result;
+use crate::error::{QueryError, Result};
 use crate::query::{ObjectKDistribution, ObjectProbability, QueryWindow};
 use crate::ranking::{self, RankedObject};
 use crate::stats::EvalStats;
@@ -307,6 +307,10 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("ust-worker-{i}"))
                     .spawn(move || worker_loop(&queues[i], discard_on_shutdown))
+                    // lint: allow(panicking-call-in-lib) — OS thread spawn at pool
+                    // construction: without workers the pool cannot exist, and a
+                    // spawn failure means the process is already resource-starved;
+                    // there is no degraded mode for a caller to fall back to.
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -457,6 +461,10 @@ impl Drop for WorkerPool {
 /// submitted job has finished. The two trait-object types differ only in
 /// their lifetime bound, so the transmute does not change layout.
 unsafe fn erase_job_lifetime<'a>(job: Box<dyn FnOnce() + Send + 'a>) -> Job {
+    // SAFETY: the lifetime contract is deferred to the caller (see
+    // `# Safety` above); the transmute itself only widens the lifetime
+    // bound between two otherwise identical trait-object types, so the
+    // layout is unchanged.
     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Job>(job) }
 }
 
@@ -632,7 +640,8 @@ impl ShardedExecutor {
 
         let mut out = Vec::with_capacity(n);
         for slot in slots {
-            let (shard_out, local_stats) = slot.expect("run_scoped completes every job")?;
+            let (shard_out, local_stats) =
+                slot.ok_or(QueryError::internal("run_scoped completes every job"))??;
             stats.merge(&local_stats);
             out.extend(shard_out);
         }
@@ -683,10 +692,15 @@ pub(crate) fn answer_exists_plan_on(
     executor.run_on(indices, config, stats, |pipeline, idxs| {
         let mut out = Vec::with_capacity(idxs.len());
         for &idx in idxs {
-            let object = db.object(idx).expect("executor passes valid indices");
-            let field = plan.field(object.model()).expect("one field per populated model");
-            let probability =
-                field.object_probability(object, window).expect("anchor snapshot was requested");
+            let object = db
+                .object(idx)
+                .ok_or(QueryError::internal("the executor shards validated indices"))?;
+            let field = plan.field(object.model()).ok_or(QueryError::internal(
+                "the shared plan holds one field per populated model",
+            ))?;
+            let probability = field
+                .object_probability(object, window)
+                .ok_or(QueryError::internal("the shared plan requested anchor snapshots"))?;
             pipeline.stats().objects_evaluated += 1;
             out.push(ObjectProbability { object_id: object.id(), probability });
         }
@@ -709,10 +723,15 @@ pub(crate) fn answer_ktimes_plan_on(
     executor.run_on(indices, config, stats, |pipeline, idxs| {
         let mut out = Vec::with_capacity(idxs.len());
         for &idx in idxs {
-            let object = db.object(idx).expect("executor passes valid indices");
-            let field = plan.field(object.model()).expect("one field per populated model");
-            let probabilities =
-                field.object_distribution(object, window).expect("anchor snapshot was requested");
+            let object = db
+                .object(idx)
+                .ok_or(QueryError::internal("the executor shards validated indices"))?;
+            let field = plan.field(object.model()).ok_or(QueryError::internal(
+                "the shared plan holds one field per populated model",
+            ))?;
+            let probabilities = field
+                .object_distribution(object, window)
+                .ok_or(QueryError::internal("the shared plan requested anchor snapshots"))?;
             pipeline.stats().objects_evaluated += 1;
             out.push(ObjectKDistribution { object_id: object.id(), probabilities });
         }
@@ -882,12 +901,16 @@ pub fn threshold_query_on(
     let outcomes = executor.run(db, config, stats, |pipeline, indices| {
         threshold::threshold_batched(pipeline, db, indices, window, tau)
     })?;
-    Ok(outcomes
+    outcomes
         .into_iter()
         .enumerate()
         .filter(|(_, o)| o.qualifies)
-        .map(|(idx, _)| db.object(idx).expect("one outcome per object").id())
-        .collect())
+        .map(|(idx, _)| {
+            db.object(idx)
+                .map(|o| o.id())
+                .ok_or(QueryError::internal("each outcome aligns with a database object"))
+        })
+        .collect()
 }
 
 /// As [`threshold_query_on`], on the process-wide shared pool.

@@ -19,7 +19,7 @@ use std::ops::ControlFlow;
 use crate::database::TrajectoryDatabase;
 use crate::engine::pipeline::{BatchPhase, ObjectBatch, Propagator};
 use crate::engine::{group_batchable, object_based, query_based, EngineConfig};
-use crate::error::Result;
+use crate::error::{QueryError, Result};
 use crate::query::QueryWindow;
 use crate::stats::EvalStats;
 use crate::threshold::ReachabilityPruner;
@@ -144,11 +144,11 @@ pub(crate) fn topk_batched(
     };
 
     let batch_size = pipeline.config().effective_batch_size();
-    for ((model, t0), members) in group_batchable(db, indices) {
+    for ((model, t0), members) in group_batchable(db, indices)? {
         let chain = &db.models()[model];
-        let pruner = ReachabilityPruner::build(chain, window, t0);
+        let pruner = ReachabilityPruner::build(chain, window, t0)?;
         for chunk in members.chunks(batch_size) {
-            let mut rows = object_based::seed_anchor_rows(pipeline, db, indices, chunk);
+            let mut rows = object_based::seed_anchor_rows(pipeline, db, indices, chunk)?;
             let mut batch = ObjectBatch::new(&mut rows, 1)?;
             let mut hits = vec![0.0f64; chunk.len()];
             let mut dismissed_at: Vec<Option<u32>> = vec![None; chunk.len()];
@@ -194,7 +194,9 @@ pub(crate) fn topk_batched(
                     // candidate.
                     Some(_) => pipeline.stats().early_terminations += 1,
                     None => {
-                        let object = db.object(indices[pos]).expect("validated above");
+                        let object = db.object(indices[pos]).ok_or(QueryError::internal(
+                            "ranked positions resolve to database objects",
+                        ))?;
                         insert_ranked(
                             &mut best,
                             RankedObject { object_id: object.id(), probability: hits[g].min(1.0) },

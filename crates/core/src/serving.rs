@@ -416,6 +416,8 @@ impl Inner {
             return &mut self.plans[pos];
         }
         self.plans.push(PlanMetrics::new(predicate, strategy));
+        // lint: allow(panicking-call-in-lib) — `last_mut` on the vector the
+        // previous line pushed to; it cannot be empty here.
         self.plans.last_mut().expect("just pushed")
     }
 
@@ -424,6 +426,8 @@ impl Inner {
             return &mut self.streams[pos];
         }
         self.streams.push(StreamMetrics::new(subscription_id));
+        // lint: allow(panicking-call-in-lib) — `last_mut` on the vector the
+        // previous line pushed to; it cannot be empty here.
         self.streams.last_mut().expect("just pushed")
     }
 }
@@ -493,6 +497,8 @@ impl Metrics {
                 match record.strategy {
                     Strategy::ObjectBased => inner.ob_discount.observe(ratio),
                     Strategy::QueryBased => inner.qb_discount.observe(ratio),
+                    // lint: allow(panicking-call-in-lib) — the surrounding
+                    // `if` admits only the two exact strategies matched above.
                     _ => unreachable!("filtered above"),
                 }
             }

@@ -76,6 +76,9 @@ pub fn smoothed_distribution_with_stats(
     let mut impossible = false;
     pipeline.forward_steps(chain.matrix(), &mut rows, anchor.time(), t, |event| {
         let ForwardEvent::StepEnd { rows, t } = event else {
+            // lint: allow(panicking-call-in-lib) — `forward_steps` is the
+            // schedule-free propagation entry point: it emits only `StepEnd`
+            // events, never the windowed variants.
             unreachable!("forward_steps has no window schedule");
         };
         if let Some(obs) = object.observation_at(t) {

@@ -25,6 +25,10 @@
 //! from-scratch answers are bit-for-bit identical — the property
 //! `tests/streaming.rs` pins.
 
+// lint: allow-file(unordered-iteration-on-answer-path) — `latest` is keyed
+// by object id and read by point lookup; the one iterating reader,
+// `StreamingMonitor::above`, re-sorts by (probability desc, id asc) with a
+// total tiebreak before returning, so map order never reaches an answer.
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -181,6 +185,9 @@ impl RawAnswer {
         match answer {
             QueryAnswer::Probabilities(v) => RawAnswer::Probs(v),
             QueryAnswer::Distributions(v) => RawAnswer::Dists(v),
+            // lint: allow(panicking-call-in-lib) — `probe_spec` pins the
+            // decorator to Probabilities (or Distributions for PSTkQ); no other
+            // answer shape can come back from the engine.
             _ => unreachable!("the probe spec always uses the probabilities decorator"),
         }
     }
@@ -202,6 +209,8 @@ impl RawAnswer {
         match (self, update) {
             (RawAnswer::Probs(v), RawAnswer::Probs(u)) => merge(v, u, |e| e.object_id),
             (RawAnswer::Dists(v), RawAnswer::Dists(u)) => merge(v, u, |e| e.object_id),
+            // lint: allow(panicking-call-in-lib) — both operands come from the
+            // same subscription's probe spec, which is immutable after install.
             _ => unreachable!("a subscription's probe shape never changes"),
         }
     }
@@ -276,6 +285,8 @@ impl SubscriptionState {
                 (Predicate::KTimes(k), decorator) => {
                     plan::decorate(plan::at_least(v.clone(), k), decorator)
                 }
+                // lint: allow(panicking-call-in-lib) — the Dists arm is only
+                // populated by PSTkQ probes, whose predicate is KTimes.
                 _ => unreachable!("distributions are maintained only for PSTkQ specs"),
             },
         }
@@ -388,6 +399,8 @@ impl Subscription {
             RawAnswer::Dists(v) => {
                 let k = match self.state.spec.predicate() {
                     Predicate::KTimes(k) => k,
+                    // lint: allow(panicking-call-in-lib) — same shape invariant:
+                    // Dists state exists only under a KTimes predicate.
                     _ => unreachable!("distributions are maintained only for PSTkQ specs"),
                 };
                 v.iter().find(|e| e.object_id == object_id).map(|e| e.prob_at_least(k))

@@ -17,7 +17,7 @@ use crate::database::TrajectoryDatabase;
 use crate::engine::object_based::{self, validate};
 use crate::engine::pipeline::{BatchPhase, ForwardEvent, ObjectBatch, Propagator};
 use crate::engine::{group_batchable, EngineConfig};
-use crate::error::Result;
+use crate::error::{QueryError, Result};
 use crate::object::UncertainObject;
 use crate::query::QueryWindow;
 use crate::stats::EvalStats;
@@ -39,7 +39,7 @@ pub struct ReachabilityPruner {
 impl ReachabilityPruner {
     /// Builds the masks for times `t0..=t_end` (one backward sweep over the
     /// transposed chain).
-    pub fn build(chain: &MarkovChain, window: &QueryWindow, t0: u32) -> ReachabilityPruner {
+    pub fn build(chain: &MarkovChain, window: &QueryWindow, t0: u32) -> Result<ReachabilityPruner> {
         let n = chain.num_states();
         let t_end = window.t_end();
         let steps = (t_end - t0.min(t_end)) as usize;
@@ -53,7 +53,7 @@ impl ReachabilityPruner {
             // Target of a transition out of time t-1: remaining-window
             // reachable states at t, plus the window itself when t ∈ T▫.
             let target = if window.time_in_window(t) {
-                current.union(window.states()).expect("same dimension")
+                current.union(window.states())?
             } else {
                 current.clone()
             };
@@ -73,7 +73,7 @@ impl ReachabilityPruner {
             t -= 1;
         }
         masks.reverse();
-        ReachabilityPruner { t0: t0.min(t_end), masks }
+        Ok(ReachabilityPruner { t0: t0.min(t_end), masks })
     }
 
     /// The reachability mask at time `t` (None when `t` is out of range).
@@ -195,7 +195,8 @@ fn threshold_driver(
                 pipeline.stats().early_terminations += 1;
             }
             pipeline.stats().objects_evaluated += 1;
-            let (qualifies, lower, upper) = decision.expect("break always records a decision");
+            let (qualifies, lower, upper) =
+                decision.ok_or(QueryError::internal("an early break always records a decision"))?;
             Ok(ThresholdOutcome { qualifies, lower, upper, early })
         }
         None => {
@@ -225,11 +226,11 @@ pub(crate) fn threshold_batched(
     let batch_size = pipeline.config().effective_batch_size();
     let t_end = window.t_end();
     let mut results: Vec<Option<ThresholdOutcome>> = vec![None; indices.len()];
-    for ((model, t0), members) in group_batchable(db, indices) {
+    for ((model, t0), members) in group_batchable(db, indices)? {
         let chain = &db.models()[model];
-        let pruner = ReachabilityPruner::build(chain, window, t0);
+        let pruner = ReachabilityPruner::build(chain, window, t0)?;
         for chunk in members.chunks(batch_size) {
-            let mut rows = object_based::seed_anchor_rows(pipeline, db, indices, chunk);
+            let mut rows = object_based::seed_anchor_rows(pipeline, db, indices, chunk)?;
             let mut batch = ObjectBatch::new(&mut rows, 1)?;
             let mut hits = vec![0.0f64; chunk.len()];
             let mut outcomes: Vec<Option<ThresholdOutcome>> = vec![None; chunk.len()];
@@ -303,7 +304,10 @@ pub(crate) fn threshold_batched(
             }
         }
     }
-    Ok(results.into_iter().map(|r| r.expect("every position is covered")).collect())
+    results
+        .into_iter()
+        .map(|r| r.ok_or(QueryError::internal("the batch loop covers every position")))
+        .collect()
 }
 
 /// Ids of all database objects with `P∃ ≥ τ`, answered from cached
@@ -439,7 +443,7 @@ mod tests {
     fn reachability_pruner_masks_shrink_near_t_end() {
         let chain = paper_chain();
         let window = paper_window();
-        let pruner = ReachabilityPruner::build(&chain, &window, 0);
+        let pruner = ReachabilityPruner::build(&chain, &window, 0).unwrap();
         // At t_end nothing remains ahead.
         assert_eq!(pruner.mask_at(3).unwrap().count(), 0);
         // At t=2: states that can enter {s1, s2} at t=3 → predecessors of
@@ -456,7 +460,7 @@ mod tests {
         let o = object_at_s2();
         let w = paper_window();
         let config = EngineConfig::default();
-        let pruner = ReachabilityPruner::build(&chain, &w, 0);
+        let pruner = ReachabilityPruner::build(&chain, &w, 0).unwrap();
         for tau in [0.05, 0.3, 0.5, 0.8, 0.9] {
             let plain = exists_threshold(&chain, &o, &w, tau, &config).unwrap();
             let pruned = exists_threshold_pruned(
@@ -491,7 +495,7 @@ mod tests {
         .unwrap();
         let o = UncertainObject::with_single_observation(1, Observation::exact(0, 5, 4).unwrap());
         let w = QueryWindow::from_states(5, [0usize], TimeSet::interval(3, 8)).unwrap();
-        let pruner = ReachabilityPruner::build(&chain, &w, 0);
+        let pruner = ReachabilityPruner::build(&chain, &w, 0).unwrap();
         let mut stats = EvalStats::new();
         let outcome = exists_threshold_pruned(
             &chain,

@@ -1,0 +1,106 @@
+//! # ust-lint — static conformance analyzer for the ust workspace
+//!
+//! The engines' exactness guarantees (bit-for-bit identity across batch
+//! sizes, thread counts, kernels, prefilter modes and streaming prefixes)
+//! rest on project conventions that nothing enforced mechanically: SAFETY
+//! comments on every `unsafe`, lock-poison recovery, no wall-clock reads in
+//! plan decisions, order-stable iteration on answer paths, no panics in
+//! library code. This crate is the enforcement: a zero-dependency binary
+//! (`cargo run -p ust-lint -- --deny`) built from a hand-written Rust
+//! [`lexer`] feeding a rule engine ([`analyze`]) with `#[cfg(test)]` region
+//! tracking and an inline waiver syntax ([`waiver`]).
+//!
+//! The rules and their rationale live in [`rules`]; ARCHITECTURE.md's
+//! "Enforced invariants" section is the prose version. The analyzer is
+//! self-hosting — `crates/lint/src` is scanned like every other crate.
+
+pub mod analyze;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+pub mod waiver;
+pub mod walk;
+
+use std::path::Path;
+
+use analyze::{analyze_source, FileReport, Finding};
+
+/// The aggregated result of analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings across all files, in (file, line, col) order.
+    pub findings: Vec<Finding>,
+    /// Number of files analyzed.
+    pub files_scanned: usize,
+    /// Number of waivers that suppressed at least one finding.
+    pub waivers_used: usize,
+    /// `(file, line)` of every SAFETY marker outside test code.
+    pub safety_markers: Vec<(String, u32)>,
+    /// `(file, line)` of every parsed waiver directive.
+    pub waivers: Vec<(String, u32)>,
+}
+
+impl Report {
+    /// Folds one file's report into the aggregate.
+    fn absorb(&mut self, path: &str, file: FileReport) {
+        self.files_scanned += 1;
+        self.waivers_used += file.waivers_used;
+        self.findings.extend(file.findings);
+        self.safety_markers.extend(file.safety_marker_lines.iter().map(|&l| (path.to_string(), l)));
+        self.waivers.extend(file.waiver_lines.iter().map(|&l| (path.to_string(), l)));
+    }
+
+    /// Serializes the report as a stable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i + 1 == self.findings.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{{}, \"line\": {}, \"col\": {}, {}, {}}}{}\n",
+                json::str_field("file", &f.file),
+                f.line,
+                f.col,
+                json::str_field("rule", f.rule.name()),
+                json::str_field("message", &f.message),
+                sep,
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"finding_count\": {},\n", self.findings.len()));
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"waivers_used\": {}\n", self.waivers_used));
+        out.push('}');
+        out
+    }
+}
+
+/// Analyzes one source string as the file at workspace-relative `path`.
+///
+/// This is the in-memory entry point the tests (and the mutation harness
+/// pinning "deleting any SAFETY comment or waiver fails the build") drive.
+pub fn analyze_str(path: &str, src: &str) -> Report {
+    let mut report = Report::default();
+    report.absorb(path, analyze_source(path, src));
+    sort_findings(&mut report);
+    report
+}
+
+/// Analyzes every in-scope file under the workspace `root`.
+pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
+    let files = walk::workspace_files(root)?;
+    let mut report = Report::default();
+    for rel in &files {
+        let full = root.join(rel);
+        let src = std::fs::read_to_string(&full)
+            .map_err(|e| format!("cannot read {}: {e}", full.display()))?;
+        report.absorb(rel, analyze_source(rel, &src));
+    }
+    sort_findings(&mut report);
+    Ok(report)
+}
+
+fn sort_findings(report: &mut Report) {
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+}

@@ -1,0 +1,127 @@
+//! `ust-lint` — the CLI over [`ust_lint`].
+//!
+//! ```text
+//! ust-lint [--root DIR] [--format text|json] [--deny] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean (or findings in warn mode), `1` findings under
+//! `--deny`, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ust_lint::rules::ALL_RULES;
+
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    deny: bool,
+    list_rules: bool,
+}
+
+const USAGE: &str = "usage: ust-lint [--root DIR] [--format text|json] [--deny] [--list-rules]
+
+Statically checks the workspace against the engine's safety and
+determinism invariants. `--deny` exits nonzero on any finding (the CI
+mode); `--format json` emits a machine-readable report on stdout.";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { root: None, json: false, deny: false, list_rules: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = args.next().ok_or("--root needs a directory argument")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                other => {
+                    return Err(format!(
+                        "--format expects `text` or `json`, got {}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            "--deny" => opts.deny = true,
+            "--list-rules" => opts.list_rules = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("ust-lint: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in ALL_RULES {
+            println!("{:<36} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match opts.root {
+        Some(root) => root,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(e) => {
+                    eprintln!("ust-lint: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match ust_lint::walk::find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!(
+                        "ust-lint: no workspace root (Cargo.toml with [workspace]) found \
+                         above {} — pass --root",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match ust_lint::analyze_workspace(&root) {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("ust-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        println!("{}", report.to_json());
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        println!(
+            "ust-lint: {} finding(s) across {} file(s); {} waiver(s) in effect",
+            report.findings.len(),
+            report.files_scanned,
+            report.waivers_used
+        );
+    }
+
+    if opts.deny && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

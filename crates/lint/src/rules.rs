@@ -1,0 +1,170 @@
+//! The rule registry: identifiers, descriptions and path scoping.
+//!
+//! Each rule encodes one project invariant the test pyramid relies on but
+//! nothing previously checked mechanically. Scoping is by workspace-relative
+//! path (forward slashes): determinism rules only bite on the modules whose
+//! determinism the equivalence tests pin, while safety rules apply
+//! everywhere the analyzer looks.
+
+/// Identifies one conformance rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `unsafe` must be preceded by a `// SAFETY:` comment or a `# Safety`
+    /// doc section.
+    UndocumentedUnsafe,
+    /// `.lock()` must recover from poisoning via
+    /// `PoisonError::into_inner`, never `.unwrap()` / `.expect()`.
+    LockPoisonIdiom,
+    /// `Instant::now` / `SystemTime::now` are forbidden in deterministic
+    /// planning and kernel code.
+    WallClockInDeterministicPath,
+    /// `unwrap()` / `expect()` / `panic!` / `unreachable!` / `todo!` /
+    /// `unimplemented!` in non-test library code need a waiver.
+    PanickingCallInLib,
+    /// `HashMap` / `HashSet` on answer-producing paths need a waiver
+    /// documenting order-independence.
+    UnorderedIterationOnAnswerPath,
+    /// A waiver that suppressed nothing (stale after a fix, or misplaced).
+    UnusedWaiver,
+    /// A `lint:` directive that failed to parse (typo, unknown rule id,
+    /// missing reason).
+    MalformedWaiver,
+}
+
+/// Every rule the analyzer knows, in reporting order.
+pub const ALL_RULES: [RuleId; 7] = [
+    RuleId::UndocumentedUnsafe,
+    RuleId::LockPoisonIdiom,
+    RuleId::WallClockInDeterministicPath,
+    RuleId::PanickingCallInLib,
+    RuleId::UnorderedIterationOnAnswerPath,
+    RuleId::UnusedWaiver,
+    RuleId::MalformedWaiver,
+];
+
+impl RuleId {
+    /// The stable kebab-case identifier used in diagnostics and waivers.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::UndocumentedUnsafe => "undocumented-unsafe",
+            RuleId::LockPoisonIdiom => "lock-poison-idiom",
+            RuleId::WallClockInDeterministicPath => "wall-clock-in-deterministic-path",
+            RuleId::PanickingCallInLib => "panicking-call-in-lib",
+            RuleId::UnorderedIterationOnAnswerPath => "unordered-iteration-on-answer-path",
+            RuleId::UnusedWaiver => "unused-waiver",
+            RuleId::MalformedWaiver => "malformed-waiver",
+        }
+    }
+
+    /// Parses a kebab-case rule name back to its id.
+    pub fn from_name(name: &str) -> Option<RuleId> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// One-line rationale shown by `--list-rules` and in ARCHITECTURE.md.
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleId::UndocumentedUnsafe => {
+                "every `unsafe` block/fn/impl must be justified by a preceding \
+                 `// SAFETY:` comment or `# Safety` doc section"
+            }
+            RuleId::LockPoisonIdiom => {
+                "`.lock()` must recover from poisoning via \
+                 `unwrap_or_else(PoisonError::into_inner)`; `.unwrap()`/`.expect()` \
+                 would let one panicked worker wedge the whole serving tier"
+            }
+            RuleId::WallClockInDeterministicPath => {
+                "`Instant::now`/`SystemTime::now` are forbidden where plans and \
+                 kernels must be a pure function of their inputs; metrics-capture \
+                 sites carry explicit waivers"
+            }
+            RuleId::PanickingCallInLib => {
+                "`unwrap()`/`expect()`/`panic!`/`unreachable!` in non-test library \
+                 code either becomes error propagation or carries a waiver stating \
+                 why the panic is unreachable or is the documented contract"
+            }
+            RuleId::UnorderedIterationOnAnswerPath => {
+                "`HashMap`/`HashSet` in answer-producing modules need a waiver \
+                 documenting why iteration order cannot reach an answer"
+            }
+            RuleId::UnusedWaiver => {
+                "a waiver that no longer suppresses any finding must be deleted \
+                 so waivers stay a trustworthy audit trail"
+            }
+            RuleId::MalformedWaiver => {
+                "a `lint:` directive that does not parse (unknown rule, missing \
+                 reason) is an error, not a silent no-op"
+            }
+        }
+    }
+
+    /// Whether a waiver may suppress this rule. The two waiver-hygiene
+    /// rules are themselves unwaivable.
+    pub fn waivable(self) -> bool {
+        !matches!(self, RuleId::UnusedWaiver | RuleId::MalformedWaiver)
+    }
+
+    /// Whether this rule inspects the file at `path` (workspace-relative,
+    /// forward slashes). Test code is additionally excluded token-by-token
+    /// via `#[cfg(test)]` region tracking, not here.
+    pub fn applies_to(self, path: &str) -> bool {
+        match self {
+            // Safety and waiver-hygiene rules run on everything scanned.
+            RuleId::UndocumentedUnsafe
+            | RuleId::LockPoisonIdiom
+            | RuleId::UnusedWaiver
+            | RuleId::MalformedWaiver => true,
+            // Plan decisions and propagation kernels must be pure functions
+            // of their inputs: these are the modules whose bit-for-bit
+            // equivalence the tier-1 tests pin across strategies and
+            // batch/thread configurations.
+            RuleId::WallClockInDeterministicPath => {
+                path == "crates/core/src/engine/pipeline.rs"
+                    || path == "crates/core/src/engine/plan.rs"
+                    || path.starts_with("crates/markov/src/")
+            }
+            // Library code only: the bench harness is an experiment driver
+            // where a panic on a bad configuration is the desired behavior.
+            RuleId::PanickingCallInLib => !path.starts_with("crates/bench/"),
+            // Modules that produce or maintain query answers; everything
+            // downstream of these is pinned bit-for-bit by the equivalence
+            // tests, so iteration order must never reach a result.
+            RuleId::UnorderedIterationOnAnswerPath => {
+                path.starts_with("crates/core/src/engine/")
+                    || path == "crates/core/src/ranking.rs"
+                    || path == "crates/core/src/threshold.rs"
+                    || path == "crates/core/src/streaming.rs"
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for rule in ALL_RULES {
+            assert_eq!(RuleId::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(RuleId::from_name("no-such-rule"), None);
+    }
+
+    #[test]
+    fn scoping_matches_the_issue() {
+        let wall = RuleId::WallClockInDeterministicPath;
+        assert!(wall.applies_to("crates/core/src/engine/plan.rs"));
+        assert!(wall.applies_to("crates/markov/src/kernels.rs"));
+        assert!(!wall.applies_to("crates/core/src/serving.rs"));
+        assert!(!wall.applies_to("crates/bench/src/lib.rs"));
+
+        let panic = RuleId::PanickingCallInLib;
+        assert!(panic.applies_to("crates/core/src/database.rs"));
+        assert!(!panic.applies_to("crates/bench/src/experiments/fig8.rs"));
+
+        let unordered = RuleId::UnorderedIterationOnAnswerPath;
+        assert!(unordered.applies_to("crates/core/src/engine/cache.rs"));
+        assert!(!unordered.applies_to("crates/data/src/csv.rs"));
+    }
+}

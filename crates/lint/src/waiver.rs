@@ -1,0 +1,203 @@
+//! Waiver directives: the inline escape hatch, with a required reason.
+//!
+//! A waiver is written in a **plain** (non-doc) comment:
+//!
+//! ```text
+//! // lint: allow(panicking-call-in-lib) — length is validated two lines up
+//! // lint: allow-file(unordered-iteration-on-answer-path) — keyed lookups only
+//! ```
+//!
+//! `allow(...)` covers the comment's own line when it trails code, else the
+//! next line that holds code; `allow-file(...)` covers the whole file.
+//! Several rules may be waived at once (`allow(a, b)`), the separator may
+//! be an em dash, `--`, `-` or `:`, and the reason is mandatory — a waiver
+//! without a justification is a [`RuleId::MalformedWaiver`] finding, and a
+//! waiver that suppresses nothing is [`RuleId::UnusedWaiver`]. Doc comments
+//! never carry waivers, so documentation may quote the syntax freely.
+
+use crate::rules::RuleId;
+
+/// A parsed waiver directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// The rules this waiver suppresses.
+    pub rules: Vec<RuleId>,
+    /// The mandatory human justification.
+    pub reason: String,
+    /// `allow-file` (whole file) vs `allow` (one line).
+    pub file_scope: bool,
+}
+
+/// Why a `lint:` directive failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaiverError {
+    /// The directive verb was not `allow` / `allow-file`.
+    UnknownDirective(String),
+    /// The parenthesized rule list was missing or unbalanced.
+    BadRuleList,
+    /// A rule name that the registry does not know.
+    UnknownRule(String),
+    /// The named rule exists but may not be waived.
+    Unwaivable(RuleId),
+    /// Missing separator or empty reason after the rule list.
+    MissingReason,
+}
+
+impl std::fmt::Display for WaiverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaiverError::UnknownDirective(d) => {
+                write!(f, "unknown lint directive `{d}` (expected `allow` or `allow-file`)")
+            }
+            WaiverError::BadRuleList => {
+                write!(f, "expected a parenthesized rule list after `allow`")
+            }
+            WaiverError::UnknownRule(r) => write!(f, "unknown rule id `{r}`"),
+            WaiverError::Unwaivable(r) => write!(f, "rule `{}` cannot be waived", r.name()),
+            WaiverError::MissingReason => {
+                write!(f, "waiver needs a reason: `lint: allow(<rule>) — <why>`")
+            }
+        }
+    }
+}
+
+/// Extracts the directive body from a comment, if the comment is a
+/// non-doc comment starting with `lint:`. Returns `None` for ordinary
+/// comments and all doc comments.
+pub fn directive_body(comment_text: &str, is_doc: bool) -> Option<&str> {
+    if is_doc {
+        return None;
+    }
+    let body = comment_text
+        .strip_prefix("//")
+        .or_else(|| comment_text.strip_prefix("/*").map(|b| b.strip_suffix("*/").unwrap_or(b)))?;
+    let body = body.trim_start();
+    body.strip_prefix("lint:").map(str::trim)
+}
+
+/// Parses the body of a `lint:` directive (everything after `lint:`).
+pub fn parse_directive(body: &str) -> Result<Waiver, WaiverError> {
+    let body = body.trim();
+    let (file_scope, rest) = if let Some(rest) = body.strip_prefix("allow-file") {
+        (true, rest)
+    } else if let Some(rest) = body.strip_prefix("allow") {
+        (false, rest)
+    } else {
+        let verb: String = body.chars().take_while(|c| !c.is_whitespace() && *c != '(').collect();
+        return Err(WaiverError::UnknownDirective(verb));
+    };
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('(').ok_or(WaiverError::BadRuleList)?;
+    let close = rest.find(')').ok_or(WaiverError::BadRuleList)?;
+    let (list, tail) = rest.split_at(close);
+    let tail = &tail[1..]; // drop ')'
+
+    let mut rules = Vec::new();
+    for name in list.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(WaiverError::BadRuleList);
+        }
+        let rule =
+            RuleId::from_name(name).ok_or_else(|| WaiverError::UnknownRule(name.to_string()))?;
+        if !rule.waivable() {
+            return Err(WaiverError::Unwaivable(rule));
+        }
+        rules.push(rule);
+    }
+    if rules.is_empty() {
+        return Err(WaiverError::BadRuleList);
+    }
+
+    let reason = strip_separator(tail).ok_or(WaiverError::MissingReason)?;
+    if reason.is_empty() {
+        return Err(WaiverError::MissingReason);
+    }
+    Ok(Waiver { rules, reason: reason.to_string(), file_scope })
+}
+
+/// Strips one reason separator (`—`, `–`, `--`, `-`, `:`) and surrounding
+/// whitespace; `None` if no separator is present.
+fn strip_separator(tail: &str) -> Option<&str> {
+    let tail = tail.trim_start();
+    for sep in ["—", "–", "--", "-", ":"] {
+        if let Some(reason) = tail.strip_prefix(sep) {
+            return Some(reason.trim());
+        }
+    }
+    None
+}
+
+/// Formats a waiver back into directive-body form (the inverse of
+/// [`parse_directive`], used by the round-trip tests).
+pub fn format_directive(waiver: &Waiver) -> String {
+    let verb = if waiver.file_scope { "allow-file" } else { "allow" };
+    let rules: Vec<&str> = waiver.rules.iter().map(|r| r.name()).collect();
+    format!("{verb}({}) — {}", rules.join(", "), waiver.reason)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_canonical_form() {
+        let w = parse_directive("allow(panicking-call-in-lib) — index bounded by len")
+            .expect("canonical waiver parses");
+        assert_eq!(w.rules, vec![RuleId::PanickingCallInLib]);
+        assert_eq!(w.reason, "index bounded by len");
+        assert!(!w.file_scope);
+    }
+
+    #[test]
+    fn parses_multi_rule_and_ascii_separators() {
+        for sep in ["—", "--", "-", ":"] {
+            let body = format!(
+                "allow-file(unordered-iteration-on-answer-path, panicking-call-in-lib) {sep} keyed lookups only"
+            );
+            let w = parse_directive(&body).expect("waiver with every separator parses");
+            assert_eq!(w.rules.len(), 2);
+            assert!(w.file_scope);
+            assert_eq!(w.reason, "keyed lookups only");
+        }
+    }
+
+    #[test]
+    fn rejects_missing_reason_unknown_rule_and_unwaivable() {
+        assert_eq!(
+            parse_directive("allow(panicking-call-in-lib)"),
+            Err(WaiverError::MissingReason)
+        );
+        assert_eq!(
+            parse_directive("allow(panicking-call-in-lib) — "),
+            Err(WaiverError::MissingReason)
+        );
+        assert!(matches!(parse_directive("allow(no-such) — x"), Err(WaiverError::UnknownRule(_))));
+        assert_eq!(
+            parse_directive("allow(unused-waiver) — x"),
+            Err(WaiverError::Unwaivable(RuleId::UnusedWaiver))
+        );
+        assert!(matches!(
+            parse_directive("alow(panicking-call-in-lib) — typo"),
+            Err(WaiverError::UnknownDirective(_))
+        ));
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        assert_eq!(directive_body("/// lint: allow(panicking-call-in-lib) — quoted", true), None);
+        assert!(directive_body("// lint: allow(x) — y", false).is_some());
+        assert!(directive_body("/* lint: allow(x) — y */", false).is_some());
+        assert_eq!(directive_body("// plain comment", false), None);
+    }
+
+    #[test]
+    fn format_parse_round_trips() {
+        let w = Waiver {
+            rules: vec![RuleId::PanickingCallInLib, RuleId::LockPoisonIdiom],
+            reason: "proved unreachable by the guard above".to_string(),
+            file_scope: false,
+        };
+        assert_eq!(parse_directive(&format_directive(&w)), Ok(w));
+    }
+}

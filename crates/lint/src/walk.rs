@@ -1,0 +1,85 @@
+//! Workspace discovery: which `.rs` files the analyzer inspects.
+//!
+//! Scanned: the facade crate's `src/` and every `crates/*/src/` tree,
+//! including `ust-lint` itself (the analyzer is self-hosting).
+//!
+//! Excluded by design:
+//! * `crates/compat/` — vendored API stand-ins for third-party crates
+//!   (`rand`, `proptest`, `criterion`); project conventions do not govern
+//!   foreign API surfaces, and the stand-ins are swapped for the real
+//!   crates once the build environment has network access;
+//! * `tests/`, `benches/`, `examples/` trees — integration tests and
+//!   examples are test code for every rule, and fixture files under
+//!   `crates/lint/tests/fixtures/` contain deliberate violations;
+//! * `target/` and anything outside the workspace.
+
+use std::path::{Path, PathBuf};
+
+/// Collects the workspace-relative paths of every source file to analyze,
+/// sorted for deterministic reports. I/O errors name the path they hit.
+pub fn workspace_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut files = Vec::new();
+    let facade = root.join("src");
+    if facade.is_dir() {
+        collect_rs(&facade, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in read_dir_sorted(&crates)? {
+            if entry.file_name().and_then(|n| n.to_str()) == Some("compat") {
+                continue;
+            }
+            let src = entry.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let mut rel: Vec<String> = files
+        .iter()
+        .filter_map(|f| f.strip_prefix(root).ok())
+        .map(|p| p.to_string_lossy().replace('\\', "/"))
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in read_dir_sorted(dir)? {
+        if entry.is_dir() {
+            collect_rs(&entry, out)?;
+        } else if entry.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let iter = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?;
+    let mut entries = Vec::new();
+    for entry in iter {
+        let entry = entry.map_err(|e| format!("cannot read entry in {}: {e}", dir.display()))?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]` — the analyzer's default root.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,9 @@
+//! Negative fixture: the project's lock-poison idiom — recover the guard
+//! with `PoisonError::into_inner` instead of panicking.
+
+use std::sync::{Mutex, PoisonError};
+
+pub fn drain(m: &Mutex<Vec<u64>>) -> usize {
+    let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+    guard.len()
+}

@@ -1,0 +1,13 @@
+//! Positive fixture: `.lock().unwrap()` propagates a poisoned mutex as a
+//! panic, wedging every later caller of the lock.
+
+use std::sync::Mutex;
+
+pub fn drain(m: &Mutex<Vec<u64>>) -> usize {
+    let guard = m.lock().unwrap();
+    guard.len()
+}
+
+pub fn peek(m: &Mutex<Vec<u64>>) -> usize {
+    m.lock().expect("not poisoned").len()
+}

@@ -1,0 +1,21 @@
+//! Negative fixture: error propagation, a justified waiver, and test code
+//! — none of which should fire `panicking-call-in-lib`.
+
+pub fn lookup(v: &[u64], i: usize) -> Option<u64> {
+    v.get(i).copied()
+}
+
+pub fn head(v: &[u64]) -> u64 {
+    // lint: allow(panicking-call-in-lib) — fixture invariant: callers pass
+    // a non-empty slice, checked at the call site.
+    v.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::lookup(&[7], 0).unwrap(), 7);
+        assert!(std::panic::catch_unwind(|| panic!("test code may panic")).is_err());
+    }
+}

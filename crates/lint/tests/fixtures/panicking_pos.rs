@@ -1,0 +1,19 @@
+//! Positive fixture: every way library code can panic on a bad state.
+
+pub fn lookup(v: &[u64], i: usize) -> u64 {
+    *v.get(i).unwrap()
+}
+
+pub fn named(v: &[u64]) -> u64 {
+    *v.first().expect("non-empty")
+}
+
+pub fn dispatch(mode: u8) -> u64 {
+    match mode {
+        0 => 1,
+        1 => panic!("mode one is not wired up"),
+        2 => todo!(),
+        3 => unimplemented!(),
+        _ => unreachable!("callers pass 0..=3"),
+    }
+}

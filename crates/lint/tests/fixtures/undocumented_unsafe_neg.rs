@@ -1,0 +1,12 @@
+//! Negative fixture: every `unsafe` site is justified — the `unsafe fn` by
+//! its safety doc section, the inner block by a safety comment.
+
+/// Reads the first byte without a bounds check.
+///
+/// # Safety
+///
+/// The caller guarantees `v` is non-empty.
+pub unsafe fn first(v: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees `v` is non-empty (see `# Safety`).
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,5 @@
+//! Positive fixture: an `unsafe` block with no SAFETY comment in reach.
+
+pub fn peel(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

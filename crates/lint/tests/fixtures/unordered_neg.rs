@@ -1,0 +1,19 @@
+//! Negative fixture: ordered containers produce deterministic answers
+//! without any waiver.
+
+use std::collections::BTreeMap;
+
+pub fn tally(ids: &[u64]) -> Vec<(u64, usize)> {
+    let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+    for &id in ids {
+        *counts.entry(id).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+pub fn distinct(ids: &[u64]) -> usize {
+    let mut sorted = ids.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}

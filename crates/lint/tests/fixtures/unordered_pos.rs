@@ -1,0 +1,15 @@
+//! Positive fixture: hash containers on an answer-producing path.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(ids: &[u64]) -> Vec<(u64, usize)> {
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for &id in ids {
+        *counts.entry(id).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+pub fn distinct(ids: &[u64]) -> usize {
+    ids.iter().collect::<HashSet<_>>().len()
+}

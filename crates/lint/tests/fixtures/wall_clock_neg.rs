@@ -1,0 +1,12 @@
+//! Negative fixture: the only wall-clock mentions are inert — inside doc
+//! text (`Instant::now()`), a string literal, and this comment.
+
+/// Explains the ban on `Instant::now()` and `SystemTime::now()` here.
+pub fn describe() -> &'static str {
+    // Instant::now() in a comment must not fire either.
+    "call Instant::now() outside the planner and pass the timestamp in"
+}
+
+pub fn elapsed_steps(t_start: u32, t_end: u32) -> u32 {
+    t_end.saturating_sub(t_start)
+}

@@ -1,0 +1,11 @@
+//! Positive fixture: a wall-clock read inside deterministic planning code.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn epoch() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,150 @@
+//! Waiver hygiene and robustness: stale and malformed waivers are findings
+//! themselves, doc comments never carry waivers, and property tests pin
+//! that trigger text hidden in comments or string literals can never fire
+//! a rule — the lexer, not a regex, decides what is code.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ust_lint::analyze_str;
+use ust_lint::rules::RuleId;
+use ust_lint::waiver::{format_directive, parse_directive, Waiver, WaiverError};
+
+const PATH: &str = "crates/core/src/engine/plan.rs";
+
+#[test]
+fn unused_waiver_is_a_finding() {
+    let src = "// lint: allow(panicking-call-in-lib) — nothing to suppress here\n\
+               pub fn fine() -> u64 { 7 }\n";
+    let report = analyze_str(PATH, src);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(report.findings[0].rule, RuleId::UnusedWaiver);
+}
+
+#[test]
+fn malformed_waivers_are_findings() {
+    for bad in [
+        "// lint: allow(panicking-call-in-lib)\n", // missing reason
+        "// lint: allow(no-such-rule) — why\n",    // unknown rule
+        "// lint: forbid(panicking-call-in-lib) — why\n", // unknown verb
+        "// lint: allow(unused-waiver) — why\n",   // unwaivable rule
+        "// lint: allow() — why\n",                // empty rule list
+    ] {
+        let report = analyze_str(PATH, bad);
+        assert_eq!(report.findings.len(), 1, "source: {bad}");
+        assert_eq!(report.findings[0].rule, RuleId::MalformedWaiver, "source: {bad}");
+    }
+}
+
+#[test]
+fn doc_comments_never_carry_waivers() {
+    // A doc comment quoting the waiver syntax is documentation, not a
+    // directive: it must neither suppress nor count as unused/malformed.
+    let src = "/// Write `lint: allow(panicking-call-in-lib) — reason` to waive.\n\
+               pub fn documented(v: &[u64]) -> u64 { v[0] }\n";
+    let report = analyze_str(PATH, src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(report.waivers.is_empty());
+}
+
+#[test]
+fn trailing_waiver_covers_its_own_line() {
+    let src = "pub fn head(v: &[u64]) -> u64 {\n\
+                   v[0] + v.first().copied().unwrap() // lint: allow(panicking-call-in-lib) — fixture\n\
+               }\n";
+    let report = analyze_str(PATH, src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.waivers_used, 1);
+}
+
+#[test]
+fn file_scope_waiver_covers_every_site() {
+    let src = "// lint: allow-file(panicking-call-in-lib) — fixture: all sites justified\n\
+               pub fn a(v: &[u64]) -> u64 { v.first().copied().unwrap() }\n\
+               pub fn b(v: &[u64]) -> u64 { v.last().copied().unwrap() }\n";
+    let report = analyze_str(PATH, src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn parse_rejects_with_precise_errors() {
+    assert!(matches!(
+        parse_directive("allow(panicking-call-in-lib)"),
+        Err(WaiverError::MissingReason)
+    ));
+    assert!(matches!(parse_directive("allow(nope) — r"), Err(WaiverError::UnknownRule(_))));
+    assert!(matches!(
+        parse_directive("allow(malformed-waiver) — r"),
+        Err(WaiverError::Unwaivable(RuleId::MalformedWaiver))
+    ));
+    assert!(matches!(parse_directive("deny(x) — r"), Err(WaiverError::UnknownDirective(_))));
+}
+
+/// The waivable rules, indexable by a proptest-chosen seed.
+const WAIVABLE: [RuleId; 5] = [
+    RuleId::UndocumentedUnsafe,
+    RuleId::LockPoisonIdiom,
+    RuleId::WallClockInDeterministicPath,
+    RuleId::PanickingCallInLib,
+    RuleId::UnorderedIterationOnAnswerPath,
+];
+
+/// Trigger snippets for rules that fire anywhere in `plan.rs` scope.
+const TRIGGERS: [&str; 6] = [
+    "x.unwrap()",
+    "y.expect(\"reason\")",
+    "panic!(\"boom\")",
+    "Instant::now()",
+    "HashMap::new()",
+    "m.lock().unwrap()",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// format → parse is the identity on syntactically valid waivers.
+    #[test]
+    fn waiver_round_trips(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = rng.random_range(1usize..=3);
+        let mut rules: Vec<RuleId> =
+            (0..count).map(|_| WAIVABLE[rng.random_range(0usize..WAIVABLE.len())]).collect();
+        rules.dedup();
+        // Reasons may contain anything but a newline; exercise dashes and
+        // colons, which double as separator characters.
+        let reasons = ["bounded by len", "a - b: c -- d", "§ünïcode — reason", "x"];
+        let reason = reasons[rng.random_range(0usize..reasons.len())].to_string();
+        let waiver = Waiver { rules, reason, file_scope: rng.random_range(0u8..2) == 0 };
+        let parsed = parse_directive(&format_directive(&waiver));
+        prop_assert_eq!(parsed.as_ref(), Ok(&waiver));
+    }
+
+    /// A trigger smuggled into a comment, doc comment, string, or raw
+    /// string never fires any rule: the lexer sees trivia, not code.
+    #[test]
+    fn triggers_in_trivia_never_fire(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trigger = TRIGGERS[rng.random_range(0usize..TRIGGERS.len())];
+        let src = match rng.random_range(0u8..5) {
+            0 => format!("// {trigger}\npub fn f() -> u64 {{ 7 }}\n"),
+            1 => format!("/// {trigger}\npub fn f() -> u64 {{ 7 }}\n"),
+            2 => format!("/* outer /* {trigger} */ nested */\npub fn f() -> u64 {{ 7 }}\n"),
+            3 => format!("pub fn f() -> &'static str {{ \"{trigger}\" }}\n"),
+            _ => format!("pub fn f() -> &'static str {{ r#\"{trigger}\"# }}\n"),
+        };
+        let report = analyze_str(PATH, &src);
+        prop_assert!(report.findings.is_empty(), "src: {src}  findings: {:?}", report.findings);
+    }
+
+    /// The same trigger as real code always fires — the complement of the
+    /// immunity property, so both directions are pinned.
+    #[test]
+    fn triggers_in_code_always_fire(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trigger = TRIGGERS[rng.random_range(0usize..TRIGGERS.len())];
+        let src = format!("pub fn f() {{ let _ = {trigger}; }}\n");
+        let report = analyze_str(PATH, &src);
+        prop_assert!(!report.findings.is_empty(), "src: {src}");
+    }
+}

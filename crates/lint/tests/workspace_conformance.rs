@@ -1,0 +1,109 @@
+//! The acceptance gates: the workspace itself is clean under `--deny`, and
+//! every SAFETY comment and waiver in the tree is load-bearing — deleting
+//! any single one of them makes the analyzer report at least one finding.
+//! The second property is what keeps the audit trail honest: a marker that
+//! can be deleted without consequence is a marker nobody needed.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use ust_lint::{analyze_str, analyze_workspace};
+
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    ust_lint::walk::find_workspace_root(&manifest).expect("tests run inside the workspace")
+}
+
+#[test]
+fn workspace_is_clean() {
+    let report = analyze_workspace(&workspace_root()).expect("workspace scan succeeds");
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must lint clean; found:\n{}",
+        report.findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+    assert!(report.files_scanned > 50, "suspiciously few files: {}", report.files_scanned);
+    assert!(report.waivers_used > 0, "the tree is known to carry waivers");
+}
+
+/// Re-analyzes `rel` with line `line` (1-based) deleted and returns the
+/// finding count.
+fn findings_without_line(root: &Path, rel: &str, line: u32) -> usize {
+    let src = std::fs::read_to_string(root.join(rel)).expect("tracked file reads");
+    let mutated: String = src
+        .lines()
+        .enumerate()
+        .filter(|(i, _)| *i as u32 + 1 != line)
+        .map(|(_, l)| format!("{l}\n"))
+        .collect();
+    analyze_str(rel, &mutated).findings.len()
+}
+
+#[test]
+fn every_safety_comment_is_load_bearing() {
+    let root = workspace_root();
+    let report = analyze_workspace(&root).expect("workspace scan succeeds");
+    assert!(!report.safety_markers.is_empty(), "the tree is known to contain unsafe code");
+    for (rel, line) in &report.safety_markers {
+        assert!(
+            findings_without_line(&root, rel, *line) > 0,
+            "deleting the SAFETY comment at {rel}:{line} went unnoticed"
+        );
+    }
+}
+
+#[test]
+fn every_waiver_is_load_bearing() {
+    let root = workspace_root();
+    let report = analyze_workspace(&root).expect("workspace scan succeeds");
+    assert!(!report.waivers.is_empty(), "the tree is known to carry waivers");
+    for (rel, line) in &report.waivers {
+        assert!(
+            findings_without_line(&root, rel, *line) > 0,
+            "deleting the waiver at {rel}:{line} went unnoticed"
+        );
+    }
+}
+
+#[test]
+fn cli_exits_zero_on_the_clean_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ust-lint"))
+        .args(["--root".as_ref(), workspace_root().as_os_str(), "--deny".as_ref()])
+        .output()
+        .expect("ust-lint binary runs");
+    assert!(out.status.success(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+
+    let json = Command::new(env!("CARGO_BIN_EXE_ust-lint"))
+        .args(["--root".as_ref(), workspace_root().as_os_str()])
+        .args(["--format", "json"])
+        .output()
+        .expect("ust-lint binary runs");
+    let body = String::from_utf8_lossy(&json.stdout);
+    assert!(body.contains("\"finding_count\": 0"), "{body}");
+}
+
+#[test]
+fn cli_deny_fails_on_a_dirty_tree() {
+    // A throwaway one-crate workspace with a single deliberate violation.
+    let dir = std::env::temp_dir().join(format!("ust-lint-deny-{}", std::process::id()));
+    let src = dir.join("src");
+    std::fs::create_dir_all(&src).expect("temp workspace dirs");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("temp manifest");
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn f(v: &[u64]) -> u64 { v.first().copied().unwrap() }\n",
+    )
+    .expect("temp source");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ust-lint"))
+        .args(["--root".as_ref(), dir.as_os_str(), "--deny".as_ref()])
+        .output()
+        .expect("ust-lint binary runs");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("panicking-call-in-lib"),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

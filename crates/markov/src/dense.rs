@@ -218,6 +218,8 @@ impl DenseVector {
             }
         }
         crate::sparse_vec::SparseVector::from_pairs(self.dim(), pairs)
+            // lint: allow(panicking-call-in-lib) — `StateMask::iter` yields only
+            // indices below the mask's dimension, which equals `self.dim()`.
             .expect("mask indices are within the vector dimension")
     }
 

@@ -161,6 +161,8 @@ impl CsrMatrix {
                             let idx = v.indices();
                             (idx[0], idx[idx.len() - 1], v.nnz())
                         }
+                        // lint: allow(panicking-call-in-lib) — `r` was placed in
+                        // the sparse partition by the classifier just above.
                         Repr::Dense(_) => unreachable!("membership established by the classifier"),
                     }))
                 }
@@ -184,6 +186,8 @@ impl CsrMatrix {
                 let placeholder = Repr::Dense(DenseVector::zeros(0));
                 match std::mem::replace(&mut rows[r].repr, placeholder) {
                     Repr::Sparse(v) => v,
+                    // lint: allow(panicking-call-in-lib) — the sparse partition
+                    // only holds rows the classifier tagged `Repr::Sparse`.
                     Repr::Dense(_) => unreachable!("membership established by the classifier"),
                 }
             })
@@ -230,6 +234,8 @@ impl CsrMatrix {
             let placeholder = Repr::Sparse(SparseVector::zeros(self.nrows()));
             match std::mem::replace(&mut rows[r].repr, placeholder) {
                 Repr::Dense(v) => inputs.push(v),
+                // lint: allow(panicking-call-in-lib) — the dense partition only
+                // holds rows the classifier tagged `Repr::Dense`.
                 Repr::Sparse(_) => unreachable!("membership established by the classifier"),
             }
         }

@@ -28,7 +28,10 @@
 //! * [`mask::StateMask`] — bitset state sets for query windows.
 
 #![deny(missing_docs)]
-
+// The workspace denies `unsafe_code`; this crate opts back in for the
+// fixed-width SIMD propagation kernels (`kernels`), where every block
+// carries a clippy-enforced safety comment.
+#![allow(unsafe_code)]
 pub mod augmented;
 pub mod chain;
 pub mod coo;

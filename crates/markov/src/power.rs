@@ -43,6 +43,8 @@ impl PowerCache {
         }
         let needed = (32 - m.leading_zeros()) as usize; // bits in m
         while self.powers.len() < needed {
+            // lint: allow(panicking-call-in-lib) — `powers` is seeded with the
+            // base matrix at construction and only ever grows.
             let last = self.powers.last().expect("non-empty by construction");
             let next = last.matmul(last)?;
             self.powers.push(next);
