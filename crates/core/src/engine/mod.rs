@@ -1038,6 +1038,11 @@ impl QueryProcessor {
                     continue;
                 }
             }
+            // lint: allow(lock-held-across-blocking) — notify_lock is the
+            // root of the lock hierarchy and exists precisely to hold
+            // across refresh execution: concurrent ingests must commit
+            // their refreshes in one global order, and nothing ever
+            // acquires notify_lock while holding another lock.
             self.refresh_one(&sub, &snapshot, object_id, arrived);
         }
     }
@@ -1086,21 +1091,32 @@ impl QueryProcessor {
         }
 
         let ctx = self.context_on(snapshot);
-        let mut inner = sub.lock();
         let mut stats = EvalStats::new();
+        // Decide the refresh shape under a short guard, then evaluate with
+        // the guard released: plan execution fans out to the worker pool,
+        // and a guard held across it would order `SubscriptionState.inner`
+        // above the whole execution stack. `notify_lock` serializes
+        // refreshes, so nothing else commits into this subscription
+        // between the probe below and the commit relock.
+        //
         // A stale or errored subscription resynchronizes with a full
         // re-evaluation; so does a Monte-Carlo one, whose per-object
         // sampling is only reproducible as a whole run.
-        let needs_full =
-            inner.stale || inner.raw.is_err() || sub.spec.strategy() == Strategy::MonteCarlo;
+        let needs_full = {
+            let inner = sub.lock();
+            inner.stale || inner.raw.is_err() || sub.spec.strategy() == Strategy::MonteCarlo
+        };
         let committed_ok;
         if needs_full {
             let outcome = streaming::probe_spec(&sub.spec, None)
                 .and_then(|probe| plan::execute(&ctx, &probe, &mut stats))
                 .map(RawAnswer::from_answer);
             committed_ok = outcome.is_ok();
+            let mut inner = sub.lock();
             inner.raw = outcome;
             inner.stale = false;
+            inner.notifications += 1;
+            drop(inner);
             self.metrics.record_stream_resync(sub.id, stats.total_steps());
         } else {
             // Suffix-scoped invalidation: exactly one maintained entry —
@@ -1111,9 +1127,11 @@ impl QueryProcessor {
                 .and_then(|probe| plan::execute(&ctx, &probe, &mut stats))
             {
                 Ok(answer) => {
+                    let mut inner = sub.lock();
                     if let Ok(raw) = inner.raw.as_mut() {
                         raw.splice(RawAnswer::from_answer(answer));
                     }
+                    inner.notifications += 1;
                     committed_ok = true;
                 }
                 Err(_) => {
@@ -1128,13 +1146,13 @@ impl QueryProcessor {
                         .map(RawAnswer::from_answer);
                     stats.merge(&full_stats);
                     committed_ok = outcome.is_ok();
+                    let mut inner = sub.lock();
                     inner.raw = outcome;
+                    inner.notifications += 1;
                 }
             }
             self.metrics.record_stream_refresh(sub.id, stats.total_steps());
         }
-        inner.notifications += 1;
-        drop(inner);
         self.pending.fetch_sub(1, Ordering::AcqRel);
         self.metrics.record_async_finished(if committed_ok {
             crate::serving::AsyncOutcome::Completed

@@ -519,6 +519,11 @@ pub fn shared_pool(min_threads: usize) -> Arc<WorkerPool> {
             return Arc::clone(pool);
         }
     }
+    // lint: allow(lock-held-across-blocking) — the registry guard must be
+    // held across pool construction for exactly-once initialization; the
+    // blocking inside is `thread::spawn` of workers that never touch
+    // SHARED_POOL, so no thread can wait on this guard while it waits on
+    // them.
     let pool = Arc::new(WorkerPool::new(min_threads));
     *guard = Some(Arc::clone(&pool));
     pool

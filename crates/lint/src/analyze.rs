@@ -1,8 +1,20 @@
-//! The rule engine: test-region tracking, waiver resolution and the five
-//! conformance rules, applied to one lexed source file at a time.
+//! The rule engine: test-region tracking, waiver resolution, the five
+//! token-level conformance rules, and the driver for the semantic pass.
+//!
+//! Analysis is two-phase. [`file_pass`] lexes, parses and runs the token
+//! rules on one file, collecting raw findings and placed waivers.
+//! [`finish`] then builds the workspace symbol table over every parsed
+//! file, runs the interprocedural guard-liveness pass ([`crate::dataflow`])
+//! whose findings join each file's raw list, and only then applies waiver
+//! suppression and hygiene — so a waiver can suppress a semantic finding
+//! whose root cause lives in another file.
 
+use crate::callgraph::summarize;
+use crate::dataflow::{analyze_semantic, LockEdge};
 use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
+use crate::parse::{parse_file, ParsedFile};
 use crate::rules::RuleId;
+use crate::symbols::Workspace;
 use crate::waiver::{directive_body, parse_directive, Waiver};
 
 /// One diagnostic produced by the analyzer.
@@ -55,8 +67,24 @@ pub struct FileReport {
 /// several explanatory lines, small enough to keep justifications local.
 const SAFETY_LOOKBACK_LINES: u32 = 20;
 
-/// Analyzes `src` as the file at workspace-relative `path`.
-pub fn analyze_source(path: &str, src: &str) -> FileReport {
+/// One file's state between the per-file pass and the workspace finish.
+pub struct FilePass {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Token-rule findings awaiting waiver suppression.
+    raw: Vec<Finding>,
+    /// The report under construction (malformed-waiver findings land here
+    /// directly; they are unwaivable).
+    report: FileReport,
+    /// Waivers placed in this file, with their target lines.
+    waivers: Vec<PlacedWaiver>,
+    /// The item-level parse, input to the workspace symbol table.
+    pub parsed: ParsedFile,
+}
+
+/// Phase 1: lexes, parses and token-checks `src` as the file at
+/// workspace-relative `path`.
+pub fn file_pass(path: &str, src: &str) -> FilePass {
     let lexed = lex(src);
     let test_regions = test_token_regions(&lexed.tokens);
     let in_test = |idx: usize| test_regions.iter().any(|&(s, e)| idx >= s && idx <= e);
@@ -64,7 +92,7 @@ pub fn analyze_source(path: &str, src: &str) -> FileReport {
     let mut report = FileReport::default();
     let mut waivers: Vec<PlacedWaiver> = Vec::new();
 
-    // Pass 1: comments — waiver directives and SAFETY markers.
+    // Comments: waiver directives and SAFETY markers.
     for comment in &lexed.comments {
         if let Some(body) = directive_body(&comment.text, comment.is_doc()) {
             match parse_directive(body) {
@@ -84,7 +112,7 @@ pub fn analyze_source(path: &str, src: &str) -> FileReport {
         }
     }
 
-    // Pass 2: token rules.
+    // Token rules.
     let mut raw: Vec<Finding> = Vec::new();
     check_undocumented_unsafe(path, &lexed, &in_test, &mut raw, &mut report.safety_marker_lines);
     check_lock_poison(path, &lexed.tokens, &in_test, &mut raw);
@@ -92,44 +120,78 @@ pub fn analyze_source(path: &str, src: &str) -> FileReport {
     check_panicking_calls(path, &lexed.tokens, &in_test, &mut raw);
     check_unordered_iteration(path, &lexed.tokens, &in_test, &mut raw);
 
-    // Pass 3: waiver suppression. Line-scoped waivers get first claim so a
-    // coexisting file-scope waiver is not spuriously reported unused.
-    waivers.sort_by_key(|w| w.waiver.file_scope);
-    for finding in raw {
-        let suppressed = waivers.iter_mut().any(|w| {
-            w.waiver.rules.contains(&finding.rule)
-                && (w.waiver.file_scope || w.target == Some(finding.line))
-                && {
-                    w.used = true;
-                    true
-                }
-        });
-        if !suppressed {
-            report.findings.push(finding);
+    let parsed = parse_file(&lexed);
+    FilePass { path: path.to_string(), raw, report, waivers, parsed }
+}
+
+/// Phase 2: runs the semantic pass over all files, then waiver
+/// suppression and hygiene per file. Returns the per-file reports and the
+/// deduplicated lock-order edge list.
+pub fn finish(mut passes: Vec<FilePass>) -> (Vec<(String, FileReport)>, Vec<LockEdge>) {
+    let semantic = {
+        let files: Vec<(String, &ParsedFile)> =
+            passes.iter().map(|p| (p.path.clone(), &p.parsed)).collect();
+        let ws = Workspace::build(&files);
+        let summaries = summarize(&ws);
+        analyze_semantic(&ws, &summaries)
+    };
+    for finding in semantic.findings {
+        if let Some(pass) = passes.iter_mut().find(|p| p.path == finding.file) {
+            pass.raw.push(finding);
         }
     }
 
-    // Pass 4: waiver hygiene.
-    report.waivers_used = waivers.iter().filter(|w| w.used).count();
-    for w in &waivers {
-        if !w.used {
-            let rules: Vec<&str> = w.waiver.rules.iter().map(|r| r.name()).collect();
-            report.findings.push(Finding {
-                rule: RuleId::UnusedWaiver,
-                file: path.to_string(),
-                line: w.line,
-                col: 1,
-                message: format!(
-                    "waiver for `{}` suppresses nothing — delete it or move it next to \
-                     the code it justifies",
-                    rules.join(", ")
-                ),
+    let mut out = Vec::with_capacity(passes.len());
+    for mut pass in passes {
+        let path = pass.path;
+        let mut report = pass.report;
+        // Waiver suppression. Line-scoped waivers get first claim so a
+        // coexisting file-scope waiver is not spuriously reported unused.
+        pass.waivers.sort_by_key(|w| w.waiver.file_scope);
+        for finding in pass.raw {
+            let suppressed = pass.waivers.iter_mut().any(|w| {
+                w.waiver.rules.contains(&finding.rule)
+                    && (w.waiver.file_scope || w.target == Some(finding.line))
+                    && {
+                        w.used = true;
+                        true
+                    }
             });
+            if !suppressed {
+                report.findings.push(finding);
+            }
         }
-    }
 
-    report.findings.sort_by_key(|a| (a.line, a.col, a.rule));
-    report
+        // Waiver hygiene.
+        report.waivers_used = pass.waivers.iter().filter(|w| w.used).count();
+        for w in &pass.waivers {
+            if !w.used {
+                let rules: Vec<&str> = w.waiver.rules.iter().map(|r| r.name()).collect();
+                report.findings.push(Finding {
+                    rule: RuleId::UnusedWaiver,
+                    file: path.clone(),
+                    line: w.line,
+                    col: 1,
+                    message: format!(
+                        "waiver for `{}` suppresses nothing — delete it or move it next to \
+                         the code it justifies",
+                        rules.join(", ")
+                    ),
+                });
+            }
+        }
+
+        report.findings.sort_by_key(|a| (a.line, a.col, a.rule));
+        out.push((path, report));
+    }
+    (out, semantic.edges)
+}
+
+/// Analyzes `src` alone as the file at workspace-relative `path` (the
+/// semantic pass sees a one-file workspace).
+pub fn analyze_source(path: &str, src: &str) -> FileReport {
+    let (mut reports, _) = finish(vec![file_pass(path, src)]);
+    reports.pop().map(|(_, r)| r).unwrap_or_default()
 }
 
 struct PlacedWaiver {
@@ -170,7 +232,7 @@ fn safety_marker_line(comment: &Comment) -> Option<u32> {
 /// bare identifier `test` gates the next braced body (or is discharged by
 /// a `;` at the attribute's nesting depth — a gated declaration without a
 /// body).
-fn test_token_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn test_token_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let mut nest: i64 = 0;
     let mut pending: Option<i64> = None;
@@ -219,7 +281,7 @@ fn test_token_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
 
 /// Scans the attribute starting at the `[` token index; returns the index
 /// of the matching `]` and whether the attribute mentions `test`.
-fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+pub(crate) fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
     let mut depth = 0i64;
     let mut is_test = false;
     let mut j = open;
@@ -241,7 +303,7 @@ fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
 }
 
 /// Index of the `}` matching the `{` at `open` (last token on imbalance).
-fn matching_brace(tokens: &[Token], open: usize) -> usize {
+pub(crate) fn matching_brace(tokens: &[Token], open: usize) -> usize {
     let mut depth = 0i64;
     for (j, t) in tokens.iter().enumerate().skip(open) {
         if t.kind == TokenKind::Punct {

@@ -15,15 +15,20 @@
 //! self-hosting — `crates/lint/src` is scanned like every other crate.
 
 pub mod analyze;
+pub mod callgraph;
+pub mod dataflow;
 pub mod json;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod symbols;
 pub mod waiver;
 pub mod walk;
 
 use std::path::Path;
 
-use analyze::{analyze_source, FileReport, Finding};
+use analyze::{file_pass, finish, FileReport, Finding};
+use dataflow::LockEdge;
 
 /// The aggregated result of analyzing a set of files.
 #[derive(Debug, Default)]
@@ -38,6 +43,9 @@ pub struct Report {
     pub safety_markers: Vec<(String, u32)>,
     /// `(file, line)` of every parsed waiver directive.
     pub waivers: Vec<(String, u32)>,
+    /// The discovered lock-order graph: one witness edge per ordered pair
+    /// of locks ever held nested.
+    pub lock_edges: Vec<LockEdge>,
 }
 
 impl Report {
@@ -68,35 +76,66 @@ impl Report {
         out.push_str("  ],\n");
         out.push_str(&format!("  \"finding_count\": {},\n", self.findings.len()));
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
-        out.push_str(&format!("  \"waivers_used\": {}\n", self.waivers_used));
-        out.push('}');
+        out.push_str(&format!("  \"waivers_used\": {},\n", self.waivers_used));
+        out.push_str("  \"lock_edges\": [\n");
+        for (i, e) in self.lock_edges.iter().enumerate() {
+            let sep = if i + 1 == self.lock_edges.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{{}, {}, {}, \"line\": {}}}{}\n",
+                json::str_field("from", &e.from),
+                json::str_field("to", &e.to),
+                json::str_field("file", &e.file),
+                e.line,
+                sep,
+            ));
+        }
+        out.push_str("  ]\n}");
         out
     }
+
+    /// Renders the lock-order graph as deterministic Graphviz DOT.
+    pub fn to_dot(&self) -> String {
+        dataflow::to_dot(&self.lock_edges)
+    }
+}
+
+/// Analyzes a set of in-memory `(path, source)` files as one workspace.
+///
+/// This is the entry point for workspace-aware tests: cross-file findings
+/// (a lock-order edge witnessed in one file, rooted in another's symbol
+/// table) only reproduce when every involved file is in the set.
+pub fn analyze_files(files: &[(String, String)]) -> Report {
+    let passes = files.iter().map(|(p, s)| file_pass(p, s)).collect();
+    let (reports, edges) = finish(passes);
+    let mut report = Report::default();
+    for (path, file) in reports {
+        report.absorb(&path, file);
+    }
+    report.lock_edges = edges;
+    sort_findings(&mut report);
+    report
 }
 
 /// Analyzes one source string as the file at workspace-relative `path`.
 ///
 /// This is the in-memory entry point the tests (and the mutation harness
 /// pinning "deleting any SAFETY comment or waiver fails the build") drive.
+/// The semantic pass sees a one-file workspace.
 pub fn analyze_str(path: &str, src: &str) -> Report {
-    let mut report = Report::default();
-    report.absorb(path, analyze_source(path, src));
-    sort_findings(&mut report);
-    report
+    analyze_files(&[(path.to_string(), src.to_string())])
 }
 
 /// Analyzes every in-scope file under the workspace `root`.
 pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
     let files = walk::workspace_files(root)?;
-    let mut report = Report::default();
-    for rel in &files {
-        let full = root.join(rel);
+    let mut sources = Vec::with_capacity(files.len());
+    for rel in files {
+        let full = root.join(&rel);
         let src = std::fs::read_to_string(&full)
             .map_err(|e| format!("cannot read {}: {e}", full.display()))?;
-        report.absorb(rel, analyze_source(rel, &src));
+        sources.push((rel, src));
     }
-    sort_findings(&mut report);
-    Ok(report)
+    Ok(analyze_files(&sources))
 }
 
 fn sort_findings(report: &mut Report) {

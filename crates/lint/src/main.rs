@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! ust-lint [--root DIR] [--format text|json] [--deny] [--list-rules]
+//!          [--emit DOT_PATH] [--check-hierarchy DOC_PATH]
 //! ```
 //!
 //! Exit codes: `0` clean (or findings in warn mode), `1` findings under
-//! `--deny`, `2` usage or I/O error.
+//! `--deny` or an undocumented lock-order edge under `--check-hierarchy`,
+//! `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -17,22 +19,43 @@ struct Options {
     json: bool,
     deny: bool,
     list_rules: bool,
+    emit: Option<PathBuf>,
+    check_hierarchy: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: ust-lint [--root DIR] [--format text|json] [--deny] [--list-rules]
+                [--emit DOT_PATH] [--check-hierarchy DOC_PATH]
 
 Statically checks the workspace against the engine's safety and
 determinism invariants. `--deny` exits nonzero on any finding (the CI
-mode); `--format json` emits a machine-readable report on stdout.";
+mode); `--format json` emits a machine-readable report on stdout;
+`--emit` writes the discovered lock-order graph as Graphviz DOT;
+`--check-hierarchy` fails if that graph has an edge absent from the
+documented hierarchy (the `lock-hierarchy` block of the given file).";
 
 fn parse_args() -> Result<Options, String> {
-    let mut opts = Options { root: None, json: false, deny: false, list_rules: false };
+    let mut opts = Options {
+        root: None,
+        json: false,
+        deny: false,
+        list_rules: false,
+        emit: None,
+        check_hierarchy: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => {
                 let dir = args.next().ok_or("--root needs a directory argument")?;
                 opts.root = Some(PathBuf::from(dir));
+            }
+            "--emit" => {
+                let path = args.next().ok_or("--emit needs a file argument")?;
+                opts.emit = Some(PathBuf::from(path));
+            }
+            "--check-hierarchy" => {
+                let path = args.next().ok_or("--check-hierarchy needs a file argument")?;
+                opts.check_hierarchy = Some(PathBuf::from(path));
             }
             "--format" => match args.next().as_deref() {
                 Some("json") => opts.json = true,
@@ -105,21 +128,61 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = &opts.emit {
+        if let Err(e) = std::fs::write(path, report.to_dot()) {
+            eprintln!("ust-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut undocumented = Vec::new();
+    if let Some(doc_path) = &opts.check_hierarchy {
+        let doc = match std::fs::read_to_string(doc_path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("ust-lint: cannot read {}: {e}", doc_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let Some(documented) = ust_lint::dataflow::documented_edges(&doc) else {
+            eprintln!(
+                "ust-lint: {} has no `<!-- lock-hierarchy:begin/end -->` block",
+                doc_path.display()
+            );
+            return ExitCode::from(2);
+        };
+        for e in &report.lock_edges {
+            if !documented.contains(&(e.from.clone(), e.to.clone())) {
+                undocumented.push(e);
+            }
+        }
+    }
+
     if opts.json {
         println!("{}", report.to_json());
     } else {
         for finding in &report.findings {
             println!("{finding}");
         }
+        for e in &undocumented {
+            println!(
+                "{}:{}:{}: lock-order edge `{}` -> `{}` (in `{}`) is not in the \
+                 documented hierarchy",
+                e.file, e.line, e.col, e.from, e.to, e.func
+            );
+        }
         println!(
-            "ust-lint: {} finding(s) across {} file(s); {} waiver(s) in effect",
+            "ust-lint: {} finding(s) across {} file(s); {} waiver(s) in effect; \
+             {} lock-order edge(s)",
             report.findings.len(),
             report.files_scanned,
-            report.waivers_used
+            report.waivers_used,
+            report.lock_edges.len(),
         );
     }
 
-    if opts.deny && !report.findings.is_empty() {
+    let hierarchy_broken = !undocumented.is_empty();
+    if (opts.deny && !report.findings.is_empty()) || hierarchy_broken {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -24,6 +24,15 @@ pub enum RuleId {
     /// `HashMap` / `HashSet` on answer-producing paths need a waiver
     /// documenting order-independence.
     UnorderedIterationOnAnswerPath,
+    /// Two lock acquisition orders form a cycle in the workspace
+    /// lock-order graph (a deadlock waiting for the right interleaving).
+    LockOrderInversion,
+    /// A live lock guard is held across a blocking call (`Condvar::wait`,
+    /// pool `run_scoped`/`spawn`, ticket `wait*`, channel `recv*`).
+    LockHeldAcrossBlocking,
+    /// Heap allocation inside a propagation-kernel hot loop; kernels must
+    /// recycle `SpmvScratch` buffers.
+    AllocInKernelHotLoop,
     /// A waiver that suppressed nothing (stale after a fix, or misplaced).
     UnusedWaiver,
     /// A `lint:` directive that failed to parse (typo, unknown rule id,
@@ -32,12 +41,15 @@ pub enum RuleId {
 }
 
 /// Every rule the analyzer knows, in reporting order.
-pub const ALL_RULES: [RuleId; 7] = [
+pub const ALL_RULES: [RuleId; 10] = [
     RuleId::UndocumentedUnsafe,
     RuleId::LockPoisonIdiom,
     RuleId::WallClockInDeterministicPath,
     RuleId::PanickingCallInLib,
     RuleId::UnorderedIterationOnAnswerPath,
+    RuleId::LockOrderInversion,
+    RuleId::LockHeldAcrossBlocking,
+    RuleId::AllocInKernelHotLoop,
     RuleId::UnusedWaiver,
     RuleId::MalformedWaiver,
 ];
@@ -51,6 +63,9 @@ impl RuleId {
             RuleId::WallClockInDeterministicPath => "wall-clock-in-deterministic-path",
             RuleId::PanickingCallInLib => "panicking-call-in-lib",
             RuleId::UnorderedIterationOnAnswerPath => "unordered-iteration-on-answer-path",
+            RuleId::LockOrderInversion => "lock-order-inversion",
+            RuleId::LockHeldAcrossBlocking => "lock-held-across-blocking",
+            RuleId::AllocInKernelHotLoop => "alloc-in-kernel-hot-loop",
             RuleId::UnusedWaiver => "unused-waiver",
             RuleId::MalformedWaiver => "malformed-waiver",
         }
@@ -86,6 +101,22 @@ impl RuleId {
             RuleId::UnorderedIterationOnAnswerPath => {
                 "`HashMap`/`HashSet` in answer-producing modules need a waiver \
                  documenting why iteration order cannot reach an answer"
+            }
+            RuleId::LockOrderInversion => {
+                "the workspace lock-order graph (guard-liveness dataflow over \
+                 the conservative call graph) must stay acyclic; a cycle is a \
+                 deadlock waiting for the right thread interleaving"
+            }
+            RuleId::LockHeldAcrossBlocking => {
+                "a lock guard held across `Condvar::wait`, pool \
+                 `run_scoped`/`spawn`, ticket `wait*` or channel `recv*` stalls \
+                 every thread contending on that lock; drop the guard first or \
+                 waive with the protocol that makes it safe"
+            }
+            RuleId::AllocInKernelHotLoop => {
+                "`Vec::new`/`vec!`/`.push`/`.to_vec`/`.collect` inside a \
+                 propagation-kernel loop reintroduces the allocator into the \
+                 hot path; kernels recycle `SpmvScratch` buffers instead"
             }
             RuleId::UnusedWaiver => {
                 "a waiver that no longer suppresses any finding must be deleted \
@@ -126,6 +157,11 @@ impl RuleId {
             // Library code only: the bench harness is an experiment driver
             // where a panic on a bad configuration is the desired behavior.
             RuleId::PanickingCallInLib => !path.starts_with("crates/bench/"),
+            // The semantic lock rules run wherever the symbol table does.
+            RuleId::LockOrderInversion | RuleId::LockHeldAcrossBlocking => true,
+            // The propagation kernels are the only code with a measured
+            // allocation budget (the `SpmvScratch` recycling contract).
+            RuleId::AllocInKernelHotLoop => path == "crates/markov/src/kernels.rs",
             // Modules that produce or maintain query answers; everything
             // downstream of these is pinned bit-for-bit by the equivalence
             // tests, so iteration order must never reach a result.

@@ -44,10 +44,22 @@ pub fn workspace_files(root: &Path) -> Result<Vec<String>, String> {
     Ok(rel)
 }
 
-/// Recursively collects `.rs` files under `dir`.
+/// Recursively collects `.rs` files under `dir`. Build output (`target/`)
+/// and symlinked directories are skipped: `target/` holds generated and
+/// vendored sources that are not workspace code, and following directory
+/// symlinks risks duplicate reports or cycles (`a/link -> a`).
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     for entry in read_dir_sorted(dir)? {
         if entry.is_dir() {
+            if entry.file_name().and_then(|n| n.to_str()) == Some("target") {
+                continue;
+            }
+            let is_symlink = std::fs::symlink_metadata(&entry)
+                .map(|m| m.file_type().is_symlink())
+                .unwrap_or(false);
+            if is_symlink {
+                continue;
+            }
             collect_rs(&entry, out)?;
         } else if entry.extension().and_then(|e| e.to_str()) == Some("rs") {
             out.push(entry);
@@ -82,4 +94,39 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
         dir = d.parent().map(Path::to_path_buf);
     }
     None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a scratch workspace with a nested `target/` directory and (on
+    /// unix) a directory symlink, and pins that `collect_rs` skips both.
+    #[test]
+    fn collect_skips_target_and_symlinked_dirs() {
+        let scratch = std::env::temp_dir().join(format!("ust-lint-walk-{}", std::process::id()));
+        let src = scratch.join("src");
+        let _ = std::fs::remove_dir_all(&scratch);
+        std::fs::create_dir_all(src.join("inner")).unwrap();
+        std::fs::create_dir_all(src.join("target").join("debug")).unwrap();
+        std::fs::write(src.join("lib.rs"), "pub fn a() {}\n").unwrap();
+        std::fs::write(src.join("inner").join("mod.rs"), "pub fn b() {}\n").unwrap();
+        std::fs::write(
+            src.join("target").join("debug").join("generated.rs"),
+            "pub fn generated() {}\n",
+        )
+        .unwrap();
+        #[cfg(unix)]
+        std::os::unix::fs::symlink(&src, src.join("inner").join("loop")).unwrap();
+
+        let mut files = Vec::new();
+        collect_rs(&src, &mut files).unwrap();
+        let names: Vec<String> = files
+            .iter()
+            .map(|p| p.strip_prefix(&src).unwrap().to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert_eq!(names, ["inner/mod.rs", "lib.rs"]);
+
+        std::fs::remove_dir_all(&scratch).unwrap();
+    }
 }

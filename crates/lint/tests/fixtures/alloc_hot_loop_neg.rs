@@ -1,0 +1,11 @@
+//! Negative fixture: the hot loop writes through pre-sized scratch slices
+//! — no allocation inside any loop body.
+
+pub fn scatter_into(rows: &[u32], scratch: &mut [u32]) -> usize {
+    let mut n = 0usize;
+    for &r in rows {
+        scratch[n] = r;
+        n += 1;
+    }
+    n
+}

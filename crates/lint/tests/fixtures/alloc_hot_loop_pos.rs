@@ -1,0 +1,15 @@
+//! Positive fixture: three allocation sites inside loop bodies of kernel
+//! code (`.push`, `vec!`, `.to_vec`). The loop-free `Vec::new` at the top
+//! is deliberately *not* a finding — the rule bites inside loops only.
+
+pub fn scatter(rows: &[u32], out: &mut Vec<u32>, sink: &mut Vec<u32>) {
+    let mut staging = Vec::new();
+    staging.extend_from_slice(rows);
+    for &r in rows {
+        out.push(r);
+    }
+    for &r in &staging {
+        let doubled = vec![r; 2];
+        sink.extend_from_slice(&doubled.to_vec());
+    }
+}

@@ -1,0 +1,26 @@
+//! A seeded lock-order inversion, kept as a standalone mini-workspace:
+//! CI runs `ust-lint --root` on this directory and asserts the analyzer
+//! rejects it — the end-to-end proof that a reversed acquisition cannot
+//! land silently.
+
+use std::sync::Mutex;
+
+pub struct Router {
+    pub table: Mutex<u32>,
+}
+
+pub struct Spool {
+    pub queue: Mutex<u64>,
+}
+
+pub fn route(router: &Router, spool: &Spool) -> u64 {
+    let table = router.table.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let queue = spool.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    u64::from(*table) + *queue
+}
+
+pub fn flush(router: &Router, spool: &Spool) -> u64 {
+    let queue = spool.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let table = router.table.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *queue + u64::from(*table)
+}

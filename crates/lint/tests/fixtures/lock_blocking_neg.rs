@@ -1,0 +1,28 @@
+//! Negative fixture: the unrelated guard is scoped to end before the
+//! wait, and the guard the wait consumes (and re-acquires) is the condvar
+//! protocol itself — no guard is held *across* the blocking call.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Gate {
+    pub slots: Mutex<usize>,
+    pub ready: Condvar,
+}
+
+pub struct Stats {
+    pub totals: Mutex<u64>,
+}
+
+impl Gate {
+    pub fn drain(&self, stats: &Stats) {
+        {
+            let mut totals =
+                stats.totals.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            *totals += 1;
+        }
+        let mut slots = self.slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *slots > 0 {
+            slots = self.ready.wait(slots).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}

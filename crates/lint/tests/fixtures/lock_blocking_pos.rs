@@ -1,0 +1,26 @@
+//! Positive fixture: a guard of one lock stays live across a condvar wait
+//! on a *different* lock — every thread contending on `Stats.totals`
+//! convoys behind the wait. The guard actually passed to the wait is the
+//! condvar protocol and is exempt.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Gate {
+    pub slots: Mutex<usize>,
+    pub ready: Condvar,
+}
+
+pub struct Stats {
+    pub totals: Mutex<u64>,
+}
+
+impl Gate {
+    pub fn drain(&self, stats: &Stats) {
+        let mut totals = stats.totals.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut slots = self.slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *slots > 0 {
+            slots = self.ready.wait(slots).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        *totals += 1;
+    }
+}

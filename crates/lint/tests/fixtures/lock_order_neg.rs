@@ -1,0 +1,25 @@
+//! Negative fixture: both functions respect the same acquisition order
+//! (`Ledger.accounts` before `Journal.entries`), so the lock-order graph
+//! has one edge and no cycle.
+
+use std::sync::Mutex;
+
+pub struct Ledger {
+    pub accounts: Mutex<u32>,
+}
+
+pub struct Journal {
+    pub entries: Mutex<u64>,
+}
+
+pub fn forward(ledger: &Ledger, journal: &Journal) -> u64 {
+    let accounts = ledger.accounts.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let entries = journal.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    u64::from(*accounts) + *entries
+}
+
+pub fn audit(ledger: &Ledger, journal: &Journal) -> u64 {
+    let accounts = ledger.accounts.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let entries = journal.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *entries - u64::from(*accounts)
+}

@@ -1,0 +1,24 @@
+//! Positive fixture: two functions acquire the same two locks in opposite
+//! orders — a deadlock waiting for the right interleaving.
+
+use std::sync::Mutex;
+
+pub struct Ledger {
+    pub accounts: Mutex<u32>,
+}
+
+pub struct Journal {
+    pub entries: Mutex<u64>,
+}
+
+pub fn forward(ledger: &Ledger, journal: &Journal) -> u64 {
+    let accounts = ledger.accounts.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let entries = journal.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    u64::from(*accounts) + *entries
+}
+
+pub fn backward(ledger: &Ledger, journal: &Journal) -> u64 {
+    let entries = journal.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let accounts = ledger.accounts.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *entries + u64::from(*accounts)
+}

@@ -4,14 +4,29 @@
 //! The second property is what keeps the audit trail honest: a marker that
 //! can be deleted without consequence is a marker nobody needed.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::Command;
 
-use ust_lint::{analyze_str, analyze_workspace};
+use ust_lint::analyze_workspace;
 
 fn workspace_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     ust_lint::walk::find_workspace_root(&manifest).expect("tests run inside the workspace")
+}
+
+/// Every in-scope `(path, source)` pair, loaded once — the mutation sweeps
+/// re-analyze the whole set so cross-file semantic findings (whose witness
+/// and root cause may live in different files) stay reproducible.
+fn workspace_sources() -> Vec<(String, String)> {
+    let root = workspace_root();
+    ust_lint::walk::workspace_files(&root)
+        .expect("workspace scan succeeds")
+        .into_iter()
+        .map(|rel| {
+            let src = std::fs::read_to_string(root.join(&rel)).expect("tracked file reads");
+            (rel, src)
+        })
+        .collect()
 }
 
 #[test]
@@ -26,27 +41,36 @@ fn workspace_is_clean() {
     assert!(report.waivers_used > 0, "the tree is known to carry waivers");
 }
 
-/// Re-analyzes `rel` with line `line` (1-based) deleted and returns the
-/// finding count.
-fn findings_without_line(root: &Path, rel: &str, line: u32) -> usize {
-    let src = std::fs::read_to_string(root.join(rel)).expect("tracked file reads");
-    let mutated: String = src
-        .lines()
-        .enumerate()
-        .filter(|(i, _)| *i as u32 + 1 != line)
-        .map(|(_, l)| format!("{l}\n"))
+/// Re-analyzes the whole workspace with line `line` (1-based) of `rel`
+/// deleted and returns the finding count.
+fn findings_without_line(sources: &[(String, String)], rel: &str, line: u32) -> usize {
+    let mutated: Vec<(String, String)> = sources
+        .iter()
+        .map(|(p, s)| {
+            if p == rel {
+                let m: String = s
+                    .lines()
+                    .enumerate()
+                    .filter(|(i, _)| *i as u32 + 1 != line)
+                    .map(|(_, l)| format!("{l}\n"))
+                    .collect();
+                (p.clone(), m)
+            } else {
+                (p.clone(), s.clone())
+            }
+        })
         .collect();
-    analyze_str(rel, &mutated).findings.len()
+    ust_lint::analyze_files(&mutated).findings.len()
 }
 
 #[test]
 fn every_safety_comment_is_load_bearing() {
-    let root = workspace_root();
-    let report = analyze_workspace(&root).expect("workspace scan succeeds");
+    let sources = workspace_sources();
+    let report = ust_lint::analyze_files(&sources);
     assert!(!report.safety_markers.is_empty(), "the tree is known to contain unsafe code");
     for (rel, line) in &report.safety_markers {
         assert!(
-            findings_without_line(&root, rel, *line) > 0,
+            findings_without_line(&sources, rel, *line) > 0,
             "deleting the SAFETY comment at {rel}:{line} went unnoticed"
         );
     }
@@ -54,13 +78,39 @@ fn every_safety_comment_is_load_bearing() {
 
 #[test]
 fn every_waiver_is_load_bearing() {
-    let root = workspace_root();
-    let report = analyze_workspace(&root).expect("workspace scan succeeds");
+    let sources = workspace_sources();
+    let report = ust_lint::analyze_files(&sources);
     assert!(!report.waivers.is_empty(), "the tree is known to carry waivers");
     for (rel, line) in &report.waivers {
         assert!(
-            findings_without_line(&root, rel, *line) > 0,
+            findings_without_line(&sources, rel, *line) > 0,
             "deleting the waiver at {rel}:{line} went unnoticed"
+        );
+    }
+}
+
+#[test]
+fn lock_graph_is_acyclic_and_matches_the_documented_hierarchy() {
+    let root = workspace_root();
+    let report = analyze_workspace(&root).expect("workspace scan succeeds");
+    assert!(!report.lock_edges.is_empty(), "the tree is known to nest lock acquisitions");
+    assert!(
+        ust_lint::dataflow::cycle_findings(&report.lock_edges).is_empty(),
+        "the workspace lock-order graph has a cycle"
+    );
+    let doc = std::fs::read_to_string(root.join("ARCHITECTURE.md")).expect("ARCHITECTURE.md reads");
+    let documented = ust_lint::dataflow::documented_edges(&doc)
+        .expect("ARCHITECTURE.md carries the lock-hierarchy block");
+    for e in &report.lock_edges {
+        assert!(
+            documented.contains(&(e.from.clone(), e.to.clone())),
+            "lock-order edge `{}` -> `{}` (witnessed at {}:{} in `{}`) is not in \
+             ARCHITECTURE.md's documented hierarchy",
+            e.from,
+            e.to,
+            e.file,
+            e.line,
+            e.func
         );
     }
 }
@@ -80,6 +130,34 @@ fn cli_exits_zero_on_the_clean_workspace() {
         .expect("ust-lint binary runs");
     let body = String::from_utf8_lossy(&json.stdout);
     assert!(body.contains("\"finding_count\": 0"), "{body}");
+}
+
+/// The exact invocation CI runs: deny findings, emit the lock graph,
+/// check it against the documented hierarchy — all through the binary.
+#[test]
+fn cli_emits_the_lock_graph_and_checks_the_hierarchy() {
+    let root = workspace_root();
+    let dot_path = std::env::temp_dir().join(format!("ust-lint-graph-{}.dot", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_ust-lint"))
+        .args(["--root".as_ref(), root.as_os_str(), "--deny".as_ref()])
+        .args(["--emit".as_ref(), dot_path.as_os_str()])
+        .args(["--check-hierarchy".as_ref(), root.join("ARCHITECTURE.md").as_os_str()])
+        .output()
+        .expect("ust-lint binary runs");
+    let dot = std::fs::read_to_string(&dot_path).unwrap_or_default();
+    std::fs::remove_file(&dot_path).ok();
+    assert!(out.status.success(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    assert!(dot.starts_with("digraph lock_order {"), "{dot}");
+    assert!(dot.contains("\"QueryProcessor.notify_lock\""), "{dot}");
+
+    // Against a doc without the hierarchy markers the same invocation is
+    // a hard configuration error, not a silent pass.
+    let broken = Command::new(env!("CARGO_BIN_EXE_ust-lint"))
+        .args(["--root".as_ref(), root.as_os_str()])
+        .args(["--check-hierarchy".as_ref(), root.join("README.md").as_os_str()])
+        .output()
+        .expect("ust-lint binary runs");
+    assert_eq!(broken.status.code(), Some(2), "{}", String::from_utf8_lossy(&broken.stderr));
 }
 
 #[test]

@@ -204,9 +204,12 @@ pub(crate) fn step_dense_panels(
                 if v != 0.0 {
                     count += 1;
                 }
+                // lint: allow(alloc-in-kernel-hot-loop) — buf is pool-recycled and reserved to ncols above
                 buf.push(v);
             }
+            // lint: allow(alloc-in-kernel-hot-loop) — outs is with_capacity(batch); one push per lane, not per element
             out.outs.push(DenseVector::from_vec(buf));
+            // lint: allow(alloc-in-kernel-hot-loop) — nnz is with_capacity(batch); one push per lane, not per element
             out.nnz.push(count);
         }
         start += lanes;
@@ -350,6 +353,7 @@ pub(crate) fn step_sparse_union(
             } else {
                 marks[ru] = row_stamp;
                 bucket[ru] = 1;
+                // lint: allow(alloc-in-kernel-hot-loop) — union_rows is the scratch-recycled merge_rows buffer; it grows to the union size once, then recycles
                 union_rows.push(r);
             }
         }
@@ -364,6 +368,7 @@ pub(crate) fn step_sparse_union(
             union_rows.clear();
             for r in lo..=hi {
                 if marks[r as usize] == row_stamp {
+                    // lint: allow(alloc-in-kernel-hot-loop) — rebuilds into the already-sized scratch buffer just cleared above; no growth
                     union_rows.push(r);
                 }
             }
@@ -432,6 +437,7 @@ pub(crate) fn step_sparse_union(
                             // x = -0.0, so spelling it out keeps
                             // bit-identity.
                             *acc.add(cu) = 0.0 + vi * mv;
+                            // lint: allow(alloc-in-kernel-hot-loop) — touched is the lane's scratch-recycled first-touch list; one push per distinct column
                             lane.touched.push(c);
                             lane.lo = lane.lo.min(c);
                             lane.hi = lane.hi.max(c);
@@ -457,7 +463,9 @@ pub(crate) fn step_sparse_union(
                     if lane.epoch[cu] == stamp {
                         let v = lane.acc[cu];
                         if v != 0.0 {
+                            // lint: allow(alloc-in-kernel-hot-loop) — reserved to touched.len() above
                             indices.push(cu as u32);
+                            // lint: allow(alloc-in-kernel-hot-loop) — reserved to touched.len() above
                             values.push(v);
                         }
                     }
@@ -467,11 +475,14 @@ pub(crate) fn step_sparse_union(
                 for &c in &lane.touched {
                     let v = lane.acc[c as usize];
                     if v != 0.0 {
+                        // lint: allow(alloc-in-kernel-hot-loop) — reserved to touched.len() above
                         indices.push(c);
+                        // lint: allow(alloc-in-kernel-hot-loop) — reserved to touched.len() above
                         values.push(v);
                     }
                 }
             }
+            // lint: allow(alloc-in-kernel-hot-loop) — outs is with_capacity(members); one push per member, not per element
             out.outs.push(SparseVector::from_sorted_parts(ncols, indices, values));
         }
     }

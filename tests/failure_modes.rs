@@ -273,6 +273,104 @@ fn refresh_sheds_queue_full_then_resynchronizes() {
     assert_eq!(metrics.in_flight, 0, "shed refreshes never leak admission slots");
 }
 
+/// Deterministic four-thread stress under a bounded pool: submissions,
+/// arrivals, cache-eviction pressure and metrics snapshots interleave
+/// against one processor for a fixed number of rounds. Every snapshot
+/// must satisfy the metrics ledger identities, every admitted ticket
+/// must answer, and once quiescent the subscription must agree with a
+/// fresh batch execution over the final database state.
+#[test]
+fn concurrent_submit_ingest_eviction_and_metrics_stress() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const ROUNDS: u32 = 40;
+    let db = streaming_db();
+    let spec = streaming_spec(&db);
+    let processor = QueryProcessor::with_config(
+        &db,
+        EngineConfig::default().with_num_threads(2).with_max_queue_depth(2).with_cache_capacity(2),
+    );
+    let sub = processor.watch(&spec).unwrap();
+    let admitted = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        // Submissions: QueueFull rejections are expected under the bounded
+        // queue, but every admitted ticket must complete with an answer.
+        scope.spawn(|| {
+            for _ in 0..ROUNDS {
+                match processor.submit(&spec) {
+                    Ok(ticket) => {
+                        ticket.wait().unwrap();
+                        admitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(QueryError::QueueFull { .. }) => std::thread::yield_now(),
+                    Err(other) => panic!("unexpected submit error: {other}"),
+                }
+            }
+        });
+        // Arrivals: repeated fixes for one object at a fixed time that
+        // stays at/before every window start, cycling through states. An
+        // at-or-after fix always replaces, so every ingest is `Applied`
+        // regardless of interleaving, and its refreshes contend with the
+        // submissions for the two admission slots.
+        scope.spawn(|| {
+            for round in 0..ROUNDS {
+                assert_eq!(
+                    processor.ingest(1, Observation::exact(1, 3, (round % 3) as usize).unwrap()),
+                    Ok(IngestOutcome::Applied)
+                );
+            }
+        });
+        // Cache churn: rotate distinct windows through the two-entry field
+        // cache so backward fields are evicted and recomputed mid-flight.
+        scope.spawn(|| {
+            for round in 0..ROUNDS {
+                let start = 1 + (round % 4);
+                let window = QueryWindow::from_states(
+                    3,
+                    [(round % 3) as usize],
+                    TimeSet::interval(start, start + 2),
+                )
+                .unwrap();
+                let churn = Query::exists().window(window).build().unwrap();
+                processor.execute(&churn).unwrap();
+            }
+        });
+        // Observer: the ledger identities must hold in *every* snapshot,
+        // no matter where the other three threads are.
+        scope.spawn(|| {
+            for _ in 0..ROUNDS {
+                let m = processor.metrics();
+                assert_eq!(m.submitted, m.accepted + m.rejected, "{m}");
+                assert_eq!(m.finished() + m.in_flight, m.accepted, "{m}");
+                assert_eq!(m.failed + m.cancelled + m.dropped + m.panicked, 0, "{m}");
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    // Quiescent: every admission slot was returned and every admitted
+    // submission completed.
+    let metrics = processor.metrics();
+    assert_eq!(metrics.in_flight, 0, "{metrics}");
+    assert_eq!(metrics.submitted, metrics.accepted + metrics.rejected, "{metrics}");
+    assert!(metrics.completed >= admitted.load(Ordering::Relaxed), "{metrics}");
+
+    // Refreshes shed under contention leave the subscription stale but
+    // answering; one admitted arrival resynchronizes it. Either way the
+    // standing answer must equal a fresh batch execution over the final
+    // database state.
+    if sub.is_stale() {
+        assert_eq!(
+            processor.ingest(1, Observation::exact(1, 3, 0).unwrap()),
+            Ok(IngestOutcome::Applied)
+        );
+    }
+    assert!(!sub.is_stale());
+    let expected = QueryProcessor::new(&processor.snapshot()).execute(sub.spec());
+    assert_eq!(sub.answer(), expected);
+}
+
 /// Deadline shedding applies to refreshes too: under a zero deadline
 /// every arrival's refresh is shed with `DeadlineExceeded` and accounted
 /// as a deadline expiry, and the subscription keeps serving its
